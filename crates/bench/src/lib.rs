@@ -1,0 +1,490 @@
+//! Shared experiment infrastructure for the figure-regeneration binaries
+//! (see DESIGN.md §2 for the experiment index):
+//!
+//! * [`stats`] — mean/std-dev for the Monte-Carlo figures;
+//! * [`Workload`]/[`Proto`]/[`run_protocol_sim`] — build a full protocol
+//!   simulation (PIM in SPT or shared-tree mode, DVMRP, or CBT) over any
+//!   [`graph::Graph`], drive a membership+traffic scenario, and collect
+//!   the paper's overhead metrics (router state, control packets, data
+//!   packets, link concentration, deliveries);
+//! * [`cli`] — tiny flag parsing shared by the binaries.
+
+#![warn(missing_docs)]
+
+use cbt::{CbtConfig, CbtEngine, CbtRouter};
+use dvmrp::{DvmrpConfig, DvmrpEngine, DvmrpRouter};
+use graph::{Graph, NodeId};
+use igmp::HostNode;
+use netsim::{host_addr, router_addr, Duration, LinkKind, NodeIdx, SimTime, Topology};
+use pim::{Engine as PimEngine, PimConfig, PimRouter};
+use std::collections::BTreeSet;
+use unicast::OracleRib;
+use wire::Group;
+
+/// Mean and standard deviation of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator).
+    pub sd: f64,
+}
+
+/// Compute sample statistics.
+pub fn stats(xs: &[f64]) -> Stats {
+    assert!(!xs.is_empty(), "empty sample");
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let sd = if xs.len() < 2 {
+        0.0
+    } else {
+        (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+    };
+    Stats { mean, sd }
+}
+
+/// One multicast group's membership and traffic for a protocol run.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The group.
+    pub group: Group,
+    /// Routers with a member host attached.
+    pub members: Vec<NodeId>,
+    /// Routers with a sending host attached.
+    pub senders: Vec<NodeId>,
+    /// The RP (PIM) / core (CBT) router for the group. Ignored by DVMRP.
+    pub rendezvous: NodeId,
+}
+
+/// Which protocol to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Proto {
+    /// PIM sparse mode with immediate SPT switchover.
+    PimSpt,
+    /// PIM sparse mode pinned to the RP shared tree (policy Never).
+    PimShared,
+    /// Dense-mode truncated-broadcast-and-prune.
+    Dvmrp,
+    /// Core Based Trees.
+    Cbt,
+}
+
+impl Proto {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Proto::PimSpt => "PIM-SPT",
+            Proto::PimShared => "PIM-shared",
+            Proto::Dvmrp => "DVMRP",
+            Proto::Cbt => "CBT",
+        }
+    }
+}
+
+/// Overhead metrics from one protocol run — the paper's §1 efficiency
+/// measures ("state, control message processing, and data packet
+/// processing required across the entire network").
+#[derive(Clone, Debug, Default)]
+pub struct SimResult {
+    /// Multicast forwarding entries summed over all routers at the end.
+    pub state_entries: usize,
+    /// Control packets transmitted network-wide.
+    pub control_pkts: u64,
+    /// Data packets transmitted network-wide (per-link transits).
+    pub data_pkts: u64,
+    /// Distinct links that carried at least one data packet.
+    pub data_links_used: usize,
+    /// The hottest link's data-packet count (traffic concentration).
+    pub max_link_data: u64,
+    /// Unique packets received by member hosts (host-side truth).
+    pub deliveries: u64,
+    /// Duplicate packet receptions at member hosts.
+    pub duplicates: u64,
+    /// The deliveries a perfect protocol would make.
+    pub expected_deliveries: u64,
+    /// Data packets per router-router link, indexed by graph edge id.
+    pub link_data: Vec<u64>,
+}
+
+/// Simulation schedule shared by all protocols.
+const JOIN_START: u64 = 20;
+const SEND_START: u64 = 500;
+const SEND_GAP: u64 = 25;
+const COOLDOWN: u64 = 600;
+
+/// Knobs for [`run_protocol_sim_opts`] beyond the common defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    /// Packets each sender transmits.
+    pub packets_per_sender: u64,
+    /// World RNG seed.
+    pub seed: u64,
+    /// Independent per-receiver drop probability on every router-router
+    /// link (failure injection; applies to control and data alike).
+    pub link_loss: f64,
+    /// PIM configuration (both PIM modes; `spt_policy` is overridden by
+    /// the chosen [`Proto`]).
+    pub pim: PimConfig,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            packets_per_sender: 12,
+            seed: 1,
+            link_loss: 0.0,
+            pim: PimConfig::default(),
+        }
+    }
+}
+
+/// Run `proto` over `g` with the given workloads: members join, every
+/// sender transmits `packets_per_sender` packets, and the run continues
+/// long enough for timers to settle. Returns the overhead metrics.
+///
+/// All protocols share identical topology, host placement, schedule, and
+/// (oracle) unicast routing, so differences in the result are differences
+/// between the multicast protocols alone.
+pub fn run_protocol_sim(
+    g: &Graph,
+    proto: Proto,
+    workloads: &[Workload],
+    packets_per_sender: u64,
+    seed: u64,
+) -> SimResult {
+    run_protocol_sim_opts(
+        g,
+        proto,
+        workloads,
+        &SimOptions {
+            packets_per_sender,
+            seed,
+            ..SimOptions::default()
+        },
+    )
+}
+
+/// [`run_protocol_sim`] with full [`SimOptions`] control.
+pub fn run_protocol_sim_opts(
+    g: &Graph,
+    proto: Proto,
+    workloads: &[Workload],
+    opts: &SimOptions,
+) -> SimResult {
+    let packets_per_sender = opts.packets_per_sender;
+    let seed = opts.seed;
+    let topo = Topology::from_graph(g);
+
+    // Which routers need an attached host.
+    let mut involved: BTreeSet<NodeId> = BTreeSet::new();
+    for w in workloads {
+        involved.extend(w.members.iter().copied());
+        involved.extend(w.senders.iter().copied());
+    }
+
+    // Oracle unicast routing with every host aliased everywhere.
+    let mut ribs = OracleRib::for_all(g, &topo);
+    for &n in &involved {
+        let h = host_addr(n, 0);
+        for (i, rib) in ribs.iter_mut().enumerate() {
+            if i != n.index() {
+                rib.alias_host(h, router_addr(n));
+            }
+        }
+    }
+
+    let mut rib_iter = ribs.into_iter();
+    let (mut world, links) = topo.build_world(g, seed, |plan| match proto {
+        Proto::PimSpt | Proto::PimShared => {
+            let cfg = PimConfig {
+                spt_policy: if proto == Proto::PimSpt {
+                    opts.pim.spt_policy
+                } else {
+                    pim::SptPolicy::Never
+                },
+                ..opts.pim
+            };
+            let engine = PimEngine::new(plan.addr, plan.ifaces.len(), cfg);
+            let mut r = PimRouter::new(engine, Box::new(rib_iter.next().expect("rib per plan")));
+            for w in workloads {
+                r.set_rp_mapping(w.group, vec![router_addr(w.rendezvous)]);
+            }
+            Box::new(r)
+        }
+        Proto::Dvmrp => {
+            let engine = DvmrpEngine::new(plan.addr, plan.ifaces.len(), DvmrpConfig::default());
+            let r = DvmrpRouter::new(engine, Box::new(rib_iter.next().expect("rib per plan")));
+            Box::new(r)
+        }
+        Proto::Cbt => {
+            let engine = CbtEngine::new(plan.addr, CbtConfig::default());
+            let mut r = CbtRouter::new(engine, Box::new(rib_iter.next().expect("rib per plan")));
+            for w in workloads {
+                r.set_core(w.group, router_addr(w.rendezvous));
+            }
+            Box::new(r)
+        }
+    });
+
+    if opts.link_loss > 0.0 {
+        for &l in &links {
+            world.set_link_loss(l, opts.link_loss);
+        }
+    }
+
+    // Attach one host per involved router.
+    let mut host_of = std::collections::BTreeMap::new();
+    for &n in &involved {
+        let h_addr = host_addr(n, 0);
+        let h_idx = world.add_node(Box::new(HostNode::new(h_addr)));
+        let (_l, ifs) = world.add_lan(&[NodeIdx(n.index()), h_idx], Duration(1));
+        match proto {
+            Proto::PimSpt | Proto::PimShared => world
+                .node_mut::<PimRouter>(NodeIdx(n.index()))
+                .attach_host_lan(ifs[0], &[h_addr]),
+            Proto::Dvmrp => world
+                .node_mut::<DvmrpRouter>(NodeIdx(n.index()))
+                .attach_host_lan(ifs[0], &[h_addr]),
+            Proto::Cbt => world
+                .node_mut::<CbtRouter>(NodeIdx(n.index()))
+                .attach_host_lan(ifs[0], &[h_addr]),
+        }
+        host_of.insert(n, h_idx);
+    }
+
+    // Schedule joins and transmissions.
+    let mut stagger = 0u64;
+    for w in workloads {
+        let group = w.group;
+        for &m in &w.members {
+            let h = host_of[&m];
+            world.at(SimTime(JOIN_START + stagger % 40), move |w| {
+                w.call_node(h, |n, ctx| {
+                    n.as_any_mut()
+                        .downcast_mut::<HostNode>()
+                        .expect("host node")
+                        .join(ctx, group);
+                });
+            });
+            stagger += 1;
+        }
+        for &s in &w.senders {
+            let h = host_of[&s];
+            for k in 0..packets_per_sender {
+                world.at(
+                    SimTime(SEND_START + (stagger % 17) + k * SEND_GAP),
+                    move |w| {
+                        w.call_node(h, |n, ctx| {
+                            n.as_any_mut()
+                                .downcast_mut::<HostNode>()
+                                .expect("host node")
+                                .send_data(ctx, group);
+                        });
+                    },
+                );
+            }
+            stagger += 3;
+        }
+    }
+
+    // Sample total router state while traffic is flowing (dense-mode
+    // state is soft and would be garbage-collected by the end of the
+    // cooldown, hiding exactly the overhead the paper measures).
+    let state_sample = std::rc::Rc::new(std::cell::Cell::new(0usize));
+    let sample_at = SEND_START + (packets_per_sender * SEND_GAP) / 2;
+    {
+        let state_sample = std::rc::Rc::clone(&state_sample);
+        let nodes = g.node_count();
+        world.at(SimTime(sample_at), move |w| {
+            let mut total = 0;
+            for i in 0..nodes {
+                total += match proto {
+                    Proto::PimSpt | Proto::PimShared => {
+                        w.node::<PimRouter>(NodeIdx(i)).engine().entry_count()
+                    }
+                    Proto::Dvmrp => w.node::<DvmrpRouter>(NodeIdx(i)).engine().entry_count(),
+                    Proto::Cbt => w.node::<CbtRouter>(NodeIdx(i)).engine().entry_count(),
+                };
+            }
+            state_sample.set(total);
+        });
+    }
+
+    let end = SEND_START + packets_per_sender * SEND_GAP + COOLDOWN;
+    world.run_until(SimTime(end));
+
+    // Collect metrics.
+    let mut result = SimResult::default();
+    result.state_entries = state_sample.get();
+    // Link metrics cover router-router links only: the member host LANs
+    // carry identical delivery traffic under every protocol and would
+    // otherwise mask the transit-network differences the paper measures.
+    let counters = world.counters();
+    result.control_pkts = counters.total_control_pkts();
+    result.link_data = vec![0; g.edge_count()];
+    for (l, st) in counters.links() {
+        if world.link(l).kind != LinkKind::PointToPoint {
+            continue;
+        }
+        // build_world wires link k to graph edge k, so p2p link ids are
+        // edge indices.
+        result.link_data[l.0] = st.data_pkts;
+        result.data_pkts += st.data_pkts;
+        if st.data_pkts > 0 {
+            result.data_links_used += 1;
+        }
+        result.max_link_data = result.max_link_data.max(st.data_pkts);
+    }
+    // Host-side delivery accounting: unique (source, seq) receptions per
+    // member host, with duplicates tallied separately.
+    for (&n, &h) in &host_of {
+        let host: &HostNode = world.node(h);
+        let member_of: BTreeSet<Group> = workloads
+            .iter()
+            .filter(|w| w.members.contains(&n))
+            .map(|w| w.group)
+            .collect();
+        let mut seen = BTreeSet::new();
+        for r in &host.received {
+            if !member_of.contains(&r.group) {
+                continue;
+            }
+            if seen.insert((r.group, r.source, r.seq)) {
+                result.deliveries += 1;
+            } else {
+                result.duplicates += 1;
+            }
+        }
+    }
+    for w in workloads {
+        for &s in &w.senders {
+            let other_members = w.members.iter().filter(|&&m| m != s).count() as u64;
+            result.expected_deliveries += other_members * packets_per_sender;
+        }
+    }
+    result
+}
+
+/// Minimal CLI parsing for the experiment binaries: `--seed N`,
+/// `--trials N`, `--quick` (divides trials by 10).
+pub mod cli {
+    /// Parsed common flags.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Args {
+        /// RNG seed.
+        pub seed: u64,
+        /// Monte-Carlo trials per configuration point.
+        pub trials: usize,
+    }
+
+    /// Parse `std::env::args`, with the given default trial count.
+    pub fn parse(default_trials: usize) -> Args {
+        let mut args = Args {
+            seed: 1994, // the paper's year; any seed reproduces the shape
+            trials: default_trials,
+        };
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--seed" => {
+                    args.seed = argv
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs a number"));
+                    i += 2;
+                }
+                "--trials" => {
+                    args.trials = argv
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--trials needs a number"));
+                    i += 2;
+                }
+                "--quick" => {
+                    args.trials = (args.trials / 10).max(1);
+                    i += 1;
+                }
+                other => panic!("unknown flag {other}; supported: --seed N --trials N --quick"),
+            }
+        }
+        args
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_basics() {
+        let s = stats(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.sd - 1.0).abs() < 1e-12);
+        let single = stats(&[5.0]);
+        assert_eq!(single.sd, 0.0);
+    }
+
+    /// The four protocols deliver the same packets on the same scenario —
+    /// the comparison harness itself is sound.
+    #[test]
+    fn all_protocols_deliver_everything() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = graph::gen::random_connected(
+            &graph::gen::RandomGraphParams {
+                nodes: 12,
+                avg_degree: 3.0,
+                delay_range: (1, 3),
+            },
+            &mut rng,
+        );
+        let w = Workload {
+            group: Group::test(1),
+            members: vec![NodeId(2), NodeId(7), NodeId(11)],
+            senders: vec![NodeId(7)],
+            rendezvous: NodeId(0),
+        };
+        for proto in [Proto::PimSpt, Proto::PimShared, Proto::Dvmrp, Proto::Cbt] {
+            let r = run_protocol_sim(&g, proto, &[w.clone()], 6, 9);
+            assert_eq!(
+                r.deliveries, r.expected_deliveries,
+                "{} dropped packets: {r:?}",
+                proto.name()
+            );
+            assert!(r.state_entries > 0, "{}", proto.name());
+            assert!(r.control_pkts > 0, "{}", proto.name());
+        }
+    }
+
+    /// Dense mode touches more links with data than sparse mode on a
+    /// sparse group — the heart of the paper's motivation.
+    #[test]
+    fn dvmrp_floods_wider_than_pim() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = graph::gen::random_connected(
+            &graph::gen::RandomGraphParams {
+                nodes: 20,
+                avg_degree: 4.0,
+                delay_range: (1, 3),
+            },
+            &mut rng,
+        );
+        let w = Workload {
+            group: Group::test(1),
+            members: vec![NodeId(3), NodeId(17)],
+            senders: vec![NodeId(17)],
+            rendezvous: NodeId(5),
+        };
+        let pim = run_protocol_sim(&g, Proto::PimSpt, &[w.clone()], 8, 2);
+        let dvm = run_protocol_sim(&g, Proto::Dvmrp, &[w], 8, 2);
+        assert!(
+            dvm.data_links_used > pim.data_links_used,
+            "dense {} vs sparse {}",
+            dvm.data_links_used,
+            pim.data_links_used
+        );
+        assert!(dvm.data_pkts > pim.data_pkts);
+    }
+}

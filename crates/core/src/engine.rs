@@ -1,0 +1,1535 @@
+//! The PIM sparse-mode protocol engine — one instance per router.
+//!
+//! The engine is sans-IO: every handler takes the current time, the parsed
+//! input, and a read-only view of the unicast routing table ([`Rib`] — the
+//! *only* thing PIM may know about unicast routing, which is what makes it
+//! protocol independent), and returns a list of [`Output`] actions for the
+//! surrounding router to carry out.
+//!
+//! Handler ↔ paper map:
+//!
+//! | handler | paper |
+//! |---|---|
+//! | [`Engine::local_member_joined`] | §3.1 local hosts joining |
+//! | [`Engine::on_join_prune`] | §3.2 shared tree, §3.3 SPT, §3.7 LAN rules |
+//! | [`Engine::on_local_data`] / [`Engine::on_register`] | §3 register path |
+//! | [`Engine::on_data`] | §3.5 data packet processing |
+//! | [`Engine::on_rp_reachability`] | §3.2/§3.9 RP liveness & failover |
+//! | [`Engine::on_query`] | §3.7 DR election |
+//! | [`Engine::on_route_change`] | §3.8 unicast routing changes |
+//! | [`Engine::tick`] | §3.4 periodic refresh, §3.6 timers |
+
+use crate::config::{PimConfig, SptPolicy};
+use crate::entry::{Entry, GroupState, OifKind};
+use netsim::{Duration, IfaceId, SimTime};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use unicast::Rib;
+use wire::pim::{GroupEntry, JoinPrune, Query, Register, RpReachability, SourceEntry};
+use wire::{Addr, Group, Message};
+
+/// An action requested by the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Output {
+    /// Transmit a control message out of `iface`.
+    Send {
+        /// Interface to transmit on.
+        iface: IfaceId,
+        /// Network-header destination: `224.0.0.2` for hop-by-hop PIM
+        /// messages, the RP's unicast address for Registers.
+        dst: Addr,
+        /// Network-header TTL (1 for link-local control).
+        ttl: u8,
+        /// The message.
+        msg: Message,
+    },
+    /// Forward a multicast data packet out of each listed interface.
+    Forward {
+        /// Interfaces to copy the packet to.
+        ifaces: Vec<IfaceId>,
+        /// Original source.
+        source: Addr,
+        /// Destination group.
+        group: Group,
+        /// Payload bytes.
+        payload: Vec<u8>,
+    },
+}
+
+/// A prune received on a multi-access subnetwork, held for the §3.7
+/// override window before taking effect.
+#[derive(Clone, Debug)]
+struct PendingPrune {
+    group: Group,
+    entry: SourceEntry,
+    iface: IfaceId,
+    holdtime: Duration,
+    execute_at: SimTime,
+}
+
+/// Per-interface PIM neighbor and DR-election state (§3.7).
+#[derive(Clone, Debug, Default)]
+struct IfaceState {
+    /// Live PIM neighbors and their expiry times.
+    neighbors: BTreeMap<Addr, SimTime>,
+    /// Multi-access subnetwork? (prune override + join suppression apply).
+    is_lan: bool,
+    /// Host-facing (a leaf subnetwork with IGMP members, no PIM
+    /// neighbors expected).
+    is_host_lan: bool,
+}
+
+/// The PIM sparse-mode engine.
+pub struct Engine {
+    cfg: PimConfig,
+    my_addr: Addr,
+    groups: BTreeMap<Group, GroupState>,
+    ifaces: Vec<IfaceState>,
+    /// Directly attached hosts → the interface they live on.
+    local_hosts: HashMap<Addr, IfaceId>,
+    /// (group, source) → packet count & window start, for the
+    /// [`SptPolicy::AfterPackets`] switchover policy.
+    spt_counters: HashMap<(Group, Addr), (u32, SimTime)>,
+    pending_prunes: Vec<PendingPrune>,
+    next_refresh: SimTime,
+    next_query: SimTime,
+    next_reach: SimTime,
+    /// Registers sent (sender-side overhead metric).
+    pub registers_sent: u64,
+    /// Registers received and decapsulated (RP-side metric).
+    pub registers_received: u64,
+}
+
+impl Engine {
+    /// New engine for a router with address `my_addr` and `iface_count`
+    /// interfaces.
+    pub fn new(my_addr: Addr, iface_count: usize, cfg: PimConfig) -> Engine {
+        Engine {
+            cfg,
+            my_addr,
+            groups: BTreeMap::new(),
+            ifaces: vec![IfaceState::default(); iface_count],
+            local_hosts: HashMap::new(),
+            spt_counters: HashMap::new(),
+            pending_prunes: Vec::new(),
+            next_refresh: SimTime::ZERO,
+            next_query: SimTime::ZERO,
+            next_reach: SimTime::ZERO,
+            registers_sent: 0,
+            registers_received: 0,
+        }
+    }
+
+    /// This router's address.
+    pub fn addr(&self) -> Addr {
+        self.my_addr
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &PimConfig {
+        &self.cfg
+    }
+
+    /// Number of interfaces the engine knows about.
+    pub fn iface_count(&self) -> usize {
+        self.ifaces.len()
+    }
+
+    /// Grow the interface table (host LANs attached after construction).
+    pub fn add_iface(&mut self) -> IfaceId {
+        self.ifaces.push(IfaceState::default());
+        IfaceId(self.ifaces.len() as u32 - 1)
+    }
+
+    /// Mark `iface` as a multi-access subnetwork with other PIM routers:
+    /// §3.7 prune-override and join-suppression rules apply there.
+    pub fn set_lan(&mut self, iface: IfaceId) {
+        self.ifaces[iface.index()].is_lan = true;
+    }
+
+    /// Mark `iface` as a host-facing leaf subnetwork.
+    pub fn set_host_lan(&mut self, iface: IfaceId) {
+        self.ifaces[iface.index()].is_host_lan = true;
+    }
+
+    /// Register a directly attached host (potential source) on `iface`.
+    pub fn register_local_host(&mut self, host: Addr, iface: IfaceId) {
+        self.local_hosts.insert(host, iface);
+    }
+
+    /// Configure (or learn, via the host RP-mapping message) the RP set
+    /// for `group` (§3.1: "a sparse mode group is identified by the
+    /// presence of RP address(es) associated with the group").
+    pub fn set_rp_mapping(&mut self, group: Group, rps: Vec<Addr>) {
+        let gs = self.groups.entry(group).or_default();
+        if gs.rps != rps {
+            gs.rps = rps;
+            gs.current_rp = 0;
+        }
+    }
+
+    /// The RPs configured for `group`.
+    pub fn rp_mapping(&self, group: Group) -> &[Addr] {
+        self.groups.get(&group).map(|g| g.rps.as_slice()).unwrap_or(&[])
+    }
+
+    /// Is this router one of the RPs for `group`?
+    pub fn is_rp_for(&self, group: Group) -> bool {
+        self.rp_mapping(group).contains(&self.my_addr)
+    }
+
+    /// Is this router the designated router on `iface`? (Highest address
+    /// among live PIM neighbors wins; a router is trivially DR on an
+    /// interface with no neighbors.)
+    pub fn is_dr(&self, iface: IfaceId) -> bool {
+        self.ifaces[iface.index()]
+            .neighbors
+            .keys()
+            .all(|&n| n < self.my_addr)
+    }
+
+    /// Read-only view of the state for `group` (tests and experiments).
+    pub fn group_state(&self, group: Group) -> Option<&GroupState> {
+        self.groups.get(&group)
+    }
+
+    /// Total forwarding entries (the paper's state-overhead metric).
+    pub fn entry_count(&self) -> usize {
+        self.groups.values().map(|g| g.entry_count()).sum()
+    }
+
+    /// Iterate over all groups with any state.
+    pub fn groups(&self) -> impl Iterator<Item = (Group, &GroupState)> + '_ {
+        self.groups.iter().map(|(&g, s)| (g, s))
+    }
+
+    // ------------------------------------------------------------------
+    // §3.1 — local hosts joining a group
+    // ------------------------------------------------------------------
+
+    /// IGMP reported a first member of `group` on `iface`.
+    ///
+    /// Creates the (\*,G) entry with the iif set toward the RP and the
+    /// member subnetwork in the oif list, and triggers a join toward the
+    /// RP (§3.1–3.2). If no RP mapping exists the group is "not to be
+    /// supported with PIM sparse mode" and nothing happens.
+    pub fn local_member_joined(&mut self, now: SimTime, group: Group, iface: IfaceId, rib: &dyn Rib) -> Vec<Output> {
+        let Some(gs) = self.groups.get(&group) else {
+            return Vec::new(); // no RP mapping → not sparse mode (§3.1)
+        };
+        let Some(rp) = gs.rp() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let created = self.ensure_star(now, group, rp, rib);
+        let gs = self.groups.get_mut(&group).expect("ensured above");
+        let star = gs.star.as_mut().expect("ensured above");
+        star.add_oif(iface, OifKind::LocalMembers, SimTime(u64::MAX));
+        // "The DR sets an RP-timer for this entry" (§3.1).
+        if star.rp_timer.is_none() {
+            star.rp_timer = Some(now + self.cfg.rp_timeout);
+        }
+        // Local members receive from every source: mirror into existing
+        // (S,G) entries, per the §3.3 copy semantics.
+        for e in gs.sources.values_mut() {
+            if !e.pruned_oifs.contains_key(&iface) {
+                e.add_oif(iface, OifKind::LocalMembers, SimTime(u64::MAX));
+            }
+        }
+        if created {
+            out.extend(self.triggered_star_join(now, group));
+        }
+        out
+    }
+
+    /// The last IGMP member of `group` on `iface` expired.
+    pub fn local_member_left(&mut self, now: SimTime, group: Group, iface: IfaceId) -> Vec<Output> {
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return Vec::new();
+        };
+        let mut affected = false;
+        if let Some(star) = gs.star.as_mut() {
+            if star.remove_oif(iface) {
+                affected = true;
+            }
+            if !star.has_local_members() {
+                star.rp_timer = None;
+            }
+        }
+        for e in gs.sources.values_mut() {
+            e.remove_oif(iface);
+        }
+        if affected {
+            self.after_oif_removal(now, group)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Create the (\*,G) entry if absent. Returns true if created.
+    fn ensure_star(&mut self, _now: SimTime, group: Group, rp: Addr, rib: &dyn Rib) -> bool {
+        let my_addr = self.my_addr;
+        let gs = self.groups.entry(group).or_default();
+        if gs.star.is_some() {
+            return false;
+        }
+        let (iif, upstream) = if rp == my_addr {
+            // "The RP recognizes its own address ... the incoming interface
+            // in the RP's (*,G) entry is set to null" (§3.2).
+            (None, None)
+        } else {
+            match rib.route(rp) {
+                Some(r) => (Some(r.iface), Some(r.next_hop)),
+                None => (None, None), // RP currently unreachable; join when routing recovers
+            }
+        };
+        gs.star = Some(Entry::new_star(group, rp, iif, upstream));
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // §3.2/§3.3/§3.7 — join/prune processing
+    // ------------------------------------------------------------------
+
+    /// A PIM Join/Prune message arrived on `iface` from neighbor `src`.
+    pub fn on_join_prune(&mut self, now: SimTime, iface: IfaceId, src: Addr, msg: &JoinPrune, rib: &dyn Rib) -> Vec<Output> {
+        let mut out = Vec::new();
+        let addressed_to_me = msg.upstream_neighbor == self.my_addr;
+        let holdtime = Duration(msg.holdtime as u64);
+        for ge in &msg.groups {
+            if addressed_to_me {
+                for j in &ge.joins {
+                    out.extend(self.apply_join(now, iface, ge.group, j, holdtime, rib));
+                }
+                for p in &ge.prunes {
+                    out.extend(self.apply_prune(now, iface, ge.group, p, holdtime, rib));
+                }
+            } else if self.ifaces[iface.index()].is_lan {
+                // Overheard on a multi-access subnetwork (§3.7).
+                for j in &ge.joins {
+                    self.overhear_join(now, iface, ge.group, j, &msg.upstream_neighbor);
+                }
+                for p in &ge.prunes {
+                    out.extend(self.overhear_prune(now, iface, ge.group, p, msg.upstream_neighbor));
+                }
+            }
+        }
+        let _ = src;
+        out
+    }
+
+    fn apply_join(&mut self, now: SimTime, iface: IfaceId, group: Group, j: &SourceEntry, holdtime: Duration, rib: &dyn Rib) -> Vec<Output> {
+        let mut out = Vec::new();
+        let expires = now + holdtime;
+        self.cancel_pending_prune(group, j, iface);
+        if j.wildcard {
+            // Shared-tree join {RP, RPbit, WCbit}: instantiate/extend (*,G).
+            let rp = j.addr;
+            // Adopt the RP carried in the join if we had no mapping ("the
+            // RP address is included ... so that it will be included in
+            // upstream join messages", §3.1).
+            {
+                let gs = self.groups.entry(group).or_default();
+                if gs.rps.is_empty() {
+                    gs.rps = vec![rp];
+                }
+            }
+            let mut created = self.ensure_star(now, group, rp, rib);
+            let my_addr = self.my_addr;
+            let gs = self.groups.get_mut(&group).expect("ensured");
+            {
+                let star = gs.star.as_mut().expect("ensured");
+                if star.key != rp {
+                    // §3.9 failover propagation: the downstream receivers
+                    // have moved to an alternate RP; re-root the shared
+                    // tree toward it. The join carries the RP address for
+                    // exactly this purpose (§3.1: "the RP address is
+                    // included in a special record in the forwarding
+                    // entry, so that it will be included in upstream join
+                    // messages").
+                    let (iif, upstream) = if rp == my_addr {
+                        (None, None)
+                    } else {
+                        match rib.route(rp) {
+                            Some(r) => (Some(r.iface), Some(r.next_hop)),
+                            None => (None, None),
+                        }
+                    };
+                    star.key = rp;
+                    if let Some(i) = iif {
+                        star.remove_oif(i);
+                    }
+                    star.iif = iif;
+                    star.upstream = upstream;
+                    if let Some(pos) = gs.rps.iter().position(|&r| r == rp) {
+                        gs.current_rp = pos;
+                    }
+                    // Negative caches ride the shared tree; SPT entries
+                    // whose iif now coincides with the re-rooted tree no
+                    // longer diverge from it.
+                    for e in gs.sources.values_mut() {
+                        if e.is_negative() {
+                            e.iif = iif;
+                            e.upstream = upstream;
+                        } else if e.iif == iif {
+                            e.pruned_from_shared = false;
+                        }
+                    }
+                    created = true; // trigger a join toward the new RP
+                }
+            }
+            let star = gs.star.as_mut().expect("ensured");
+            // A join arriving on our own upstream interface would create a
+            // forwarding loop; ignore it.
+            if star.iif == Some(iface) {
+                return out;
+            }
+            star.add_oif(iface, OifKind::Joined, expires);
+            // Footnote 12: resetting a (*,G) oif also resets the copied
+            // (S,G) oifs; and a new shared-tree branch must receive
+            // existing sources' SPT traffic too.
+            for e in gs.sources.values_mut() {
+                if e.pruned_oifs.contains_key(&iface) {
+                    continue; // an active negative-cache prune wins
+                }
+                if e.is_negative() || e.iif != Some(iface) {
+                    e.add_oif(iface, OifKind::CopiedFromStar, expires);
+                }
+            }
+            if created {
+                out.extend(self.triggered_star_join(now, group));
+            }
+        } else if !j.rp_bit {
+            // Source-specific join {S}: instantiate/extend (S,G) SPT state.
+            let source = j.addr;
+            let created = self.ensure_source(now, group, source, rib);
+            let gs = self.groups.get_mut(&group).expect("ensured");
+            let e = gs.sources.get_mut(&source).expect("ensured");
+            if e.iif == Some(iface) {
+                return out;
+            }
+            e.add_oif(iface, OifKind::Joined, expires);
+            if created && !e.local_source {
+                out.extend(self.triggered_source_join(now, group, source));
+            }
+        } else {
+            // Join {S, RPbit}: re-join of a source on the shared tree —
+            // cancels a negative cache for this interface (LAN override,
+            // §3.7, and unicast-change repair, §3.8).
+            let source = j.addr;
+            if let Some(gs) = self.groups.get_mut(&group) {
+                let mut drop_neg = false;
+                if let Some(e) = gs.sources.get_mut(&source) {
+                    if e.iif == Some(iface) {
+                        // A join arriving on the entry's own upstream
+                        // interface would loop; ignore it.
+                    } else if e.is_negative() {
+                        e.pruned_oifs.remove(&iface);
+                        e.add_oif(iface, OifKind::CopiedFromStar, expires);
+                        // With nothing pruned anywhere the negative cache
+                        // is pure overhead; drop it and fall back to (*,G).
+                        drop_neg = e.pruned_oifs.is_empty();
+                    } else if e.iif != Some(iface) {
+                        // A real (S,G) whose shared-tree oif was pruned
+                        // earlier (footnote 11): restore the branch.
+                        e.pruned_oifs.remove(&iface);
+                        e.add_oif(iface, OifKind::CopiedFromStar, expires);
+                    }
+                }
+                if drop_neg {
+                    gs.sources.remove(&source);
+                }
+            }
+        }
+        out
+    }
+
+    /// Create an (S,G) SPT entry if absent, copying the (\*,G) oif list
+    /// (§3.3). Returns true if created.
+    fn ensure_source(&mut self, _now: SimTime, group: Group, source: Addr, rib: &dyn Rib) -> bool {
+        let local = self.local_hosts.get(&source).copied();
+        let gs = self.groups.entry(group).or_default();
+        if let Some(e) = gs.sources.get(&source) {
+            if !e.is_negative() {
+                return false;
+            }
+            // A real SPT join supersedes a negative cache.
+            gs.sources.remove(&source);
+        }
+        let (iif, upstream, local_source) = match local {
+            Some(host_iface) => (Some(host_iface), None, true),
+            None => match rib.route(source) {
+                Some(r) => (Some(r.iface), Some(r.next_hop), false),
+                None => (None, None, false),
+            },
+        };
+        let mut e = Entry::new_source(group, source, iif, upstream);
+        e.local_source = local_source;
+        // "When the (Sn,G) entry is created, the outgoing interface list is
+        // copied from (*,G)" (§3.3).
+        if let Some(star) = &gs.star {
+            for (&i, oif) in &star.oifs {
+                if Some(i) != iif {
+                    let kind = if oif.kind == OifKind::LocalMembers {
+                        OifKind::LocalMembers
+                    } else {
+                        OifKind::CopiedFromStar
+                    };
+                    e.add_oif(i, kind, oif.expires_at);
+                }
+            }
+        }
+        gs.sources.insert(source, e);
+        true
+    }
+
+    fn apply_prune(&mut self, now: SimTime, iface: IfaceId, group: Group, p: &SourceEntry, holdtime: Duration, rib: &dyn Rib) -> Vec<Output> {
+        if self.ifaces[iface.index()].is_lan {
+            // §3.7: hold the prune so another router on the subnetwork can
+            // override it with a join.
+            self.pending_prunes.push(PendingPrune {
+                group,
+                entry: *p,
+                iface,
+                holdtime,
+                execute_at: now + self.cfg.prune_override_delay,
+            });
+            Vec::new()
+        } else {
+            self.execute_prune(now, iface, group, p, holdtime, rib)
+        }
+    }
+
+    fn execute_prune(&mut self, now: SimTime, iface: IfaceId, group: Group, p: &SourceEntry, holdtime: Duration, rib: &dyn Rib) -> Vec<Output> {
+        let mut out = Vec::new();
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return out;
+        };
+        if p.wildcard {
+            // Leave the shared tree entirely on this interface.
+            let mut removed = false;
+            if let Some(star) = gs.star.as_mut() {
+                removed |= star.remove_oif(iface);
+            }
+            for e in gs.sources.values_mut() {
+                // Copied oifs followed the shared tree; explicit SPT joins
+                // (Joined) survive a shared-tree prune.
+                if e.oifs.get(&iface).map(|o| o.kind) == Some(OifKind::CopiedFromStar) {
+                    e.remove_oif(iface);
+                }
+            }
+            if removed {
+                out.extend(self.after_oif_removal(now, group));
+            }
+        } else if !p.rp_bit {
+            // Source-specific prune {S}.
+            let mut removed = false;
+            if let Some(e) = gs.sources.get_mut(&p.addr) {
+                if !e.is_negative() {
+                    removed = e.remove_oif(iface);
+                }
+            }
+            if removed {
+                out.extend(self.after_oif_removal(now, group));
+            }
+        } else {
+            // Prune {S, RPbit}: set up a negative cache on the RP tree
+            // (§3.3, footnote 11).
+            let Some(star) = gs.star.as_ref() else {
+                return out; // no shared tree here: nothing to prune from
+            };
+            let (star_iif, star_upstream) = (star.iif, star.upstream);
+            let star_oifs: Vec<(IfaceId, OifKind, SimTime)> = star
+                .oifs
+                .iter()
+                .map(|(&i, o)| (i, o.kind, o.expires_at))
+                .collect();
+            let e = gs.sources.entry(p.addr).or_insert_with(|| {
+                let mut neg = Entry::new_negative(group, p.addr, star_iif, star_upstream);
+                for (i, kind, exp) in star_oifs {
+                    let k = if kind == OifKind::LocalMembers {
+                        OifKind::LocalMembers
+                    } else {
+                        OifKind::CopiedFromStar
+                    };
+                    neg.add_oif(i, k, exp);
+                }
+                neg
+            });
+            if e.is_negative() {
+                e.remove_oif(iface);
+                e.pruned_oifs.insert(iface, now + holdtime);
+                // "Negative cache entries on the RP tree must be kept alive
+                // by receipt of prunes" (footnote 13).
+                e.delete_at = Some(now + holdtime);
+                if e.oifs_empty() {
+                    // Every shared-tree branch below us has pruned S:
+                    // propagate toward the RP.
+                    out.extend(self.triggered_negative_prune(now, group, p.addr));
+                }
+            } else {
+                // A real (S,G) entry (e.g. at the RP itself): footnote 11
+                // still applies — "the outgoing interface from which it
+                // receives a PIM prune message with (S,G) and the RP bit
+                // in the prune list, is deleted from the outgoing
+                // interface list."
+                let removed = e.remove_oif(iface);
+                e.pruned_oifs.insert(iface, now + holdtime);
+                if removed {
+                    out.extend(self.after_oif_removal(now, group));
+                }
+            }
+        }
+        let _ = rib;
+        out
+    }
+
+    /// §3.6: a prune (or expiry) may have emptied an oif list — prune
+    /// upstream and schedule deletion.
+    fn after_oif_removal(&mut self, now: SimTime, group: Group) -> Vec<Output> {
+        let mut out = Vec::new();
+        let linger = self.cfg.entry_linger;
+        let holdtime = self.cfg.holdtime;
+        let my = self.my_addr;
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return out;
+        };
+        let mut sends: Vec<(IfaceId, Addr, GroupEntry)> = Vec::new();
+        if let Some(star) = gs.star.as_mut() {
+            if star.oifs_empty() && star.delete_at.is_none() {
+                star.delete_at = Some(now + linger);
+                if let (Some(iif), Some(up)) = (star.iif, star.upstream) {
+                    sends.push((
+                        iif,
+                        up,
+                        GroupEntry::prune(group, SourceEntry::shared_tree(star.key)),
+                    ));
+                }
+            }
+        }
+        for e in gs.sources.values_mut() {
+            if e.is_negative() || e.local_source {
+                continue;
+            }
+            if e.oifs_empty() && e.delete_at.is_none() {
+                e.delete_at = Some(now + linger);
+                if let (Some(iif), Some(up)) = (e.iif, e.upstream) {
+                    sends.push((
+                        iif,
+                        up,
+                        GroupEntry::prune(group, SourceEntry::source(e.key)),
+                    ));
+                }
+            }
+        }
+        for (iface, upstream, ge) in sends {
+            out.push(Output::Send {
+                iface,
+                dst: Addr::ALL_PIM_ROUTERS,
+                ttl: 1,
+                msg: Message::PimJoinPrune(JoinPrune {
+                    upstream_neighbor: upstream,
+                    holdtime: holdtime.ticks().min(u16::MAX as u64) as u16,
+                    groups: vec![ge],
+                }),
+            });
+        }
+        let _ = my;
+        out
+    }
+
+    // §3.7 — overheard messages on multi-access subnetworks.
+
+    fn overhear_join(&mut self, now: SimTime, iface: IfaceId, group: Group, j: &SourceEntry, addressed_to: &Addr) {
+        // Join suppression: if we would send the identical periodic join to
+        // the same upstream over this subnetwork, stay quiet for a while.
+        let suppress_until = now + self.cfg.refresh_period;
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return;
+        };
+        if j.wildcard {
+            if let Some(star) = gs.star.as_mut() {
+                if star.iif == Some(iface) && star.upstream == Some(*addressed_to) && star.key == j.addr {
+                    star.suppressed_until = Some(suppress_until);
+                }
+            }
+        } else if let Some(e) = gs.sources.get_mut(&j.addr) {
+            if !e.is_negative() && e.iif == Some(iface) && e.upstream == Some(*addressed_to) {
+                e.suppressed_until = Some(suppress_until);
+            }
+        }
+        // An overheard join also cancels our own pending override: someone
+        // else already overrode the prune.
+        self.cancel_pending_prune(group, j, iface);
+    }
+
+    fn overhear_prune(&mut self, now: SimTime, iface: IfaceId, group: Group, p: &SourceEntry, upstream: Addr) -> Vec<Output> {
+        // "If there is any router that has the LAN as its incoming
+        // interface for the same (S,G) and has non-null outgoing interface
+        // list, then the router sends a join message onto the LAN to
+        // override the prune" (§3.7).
+        let Some(gs) = self.groups.get(&group) else {
+            return Vec::new();
+        };
+        let wants = if p.wildcard {
+            gs.star
+                .as_ref()
+                .map_or(false, |s| s.iif == Some(iface) && !s.oifs_empty())
+        } else if p.rp_bit {
+            // A negative-cache prune for S: we object if we still forward
+            // S via the shared tree on this iif (no negative cache of our
+            // own, shared tree comes in here, oifs alive).
+            let on_shared = gs
+                .star
+                .as_ref()
+                .map_or(false, |s| s.iif == Some(iface) && !s.oifs_empty());
+            let not_pruned_ourselves = match gs.sources.get(&p.addr) {
+                Some(e) if e.is_negative() => !e.oifs_empty(),
+                Some(_) => false, // we're on the SPT for S; shared-tree prune is fine
+                None => true,
+            };
+            on_shared && not_pruned_ourselves
+        } else {
+            gs.sources.get(&p.addr).map_or(false, |e| {
+                !e.is_negative() && e.iif == Some(iface) && !e.oifs_empty()
+            })
+        };
+        if !wants {
+            return Vec::new();
+        }
+        let _ = now;
+        vec![Output::Send {
+            iface,
+            dst: Addr::ALL_PIM_ROUTERS,
+            ttl: 1,
+            msg: Message::PimJoinPrune(JoinPrune {
+                upstream_neighbor: upstream,
+                holdtime: self.cfg.holdtime.ticks().min(u16::MAX as u64) as u16,
+                groups: vec![GroupEntry::join(group, *p)],
+            }),
+        }]
+    }
+
+    fn cancel_pending_prune(&mut self, group: Group, e: &SourceEntry, iface: IfaceId) {
+        self.pending_prunes.retain(|pp| {
+            !(pp.group == group
+                && pp.iface == iface
+                && pp.entry.addr == e.addr
+                && pp.entry.wildcard == e.wildcard
+                && pp.entry.rp_bit == e.rp_bit)
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Triggered messages (§3.4: "a PIM message is also sent on an
+    // event-triggered basis each time a new forwarding entry is
+    // established")
+    // ------------------------------------------------------------------
+
+    fn join_prune_to(&self, iface: IfaceId, upstream: Addr, groups: Vec<GroupEntry>) -> Output {
+        Output::Send {
+            iface,
+            dst: Addr::ALL_PIM_ROUTERS,
+            ttl: 1,
+            msg: Message::PimJoinPrune(JoinPrune {
+                upstream_neighbor: upstream,
+                holdtime: self.cfg.holdtime.ticks().min(u16::MAX as u64) as u16,
+                groups,
+            }),
+        }
+    }
+
+    fn triggered_star_join(&mut self, _now: SimTime, group: Group) -> Vec<Output> {
+        let Some(gs) = self.groups.get(&group) else {
+            return Vec::new();
+        };
+        let Some(star) = gs.star.as_ref() else {
+            return Vec::new();
+        };
+        let (Some(iif), Some(up)) = (star.iif, star.upstream) else {
+            return Vec::new(); // we are the RP, or the RP is unreachable
+        };
+        vec![self.join_prune_to(
+            iif,
+            up,
+            vec![GroupEntry::join(group, SourceEntry::shared_tree(star.key))],
+        )]
+    }
+
+    fn triggered_source_join(&mut self, _now: SimTime, group: Group, source: Addr) -> Vec<Output> {
+        let Some(gs) = self.groups.get(&group) else {
+            return Vec::new();
+        };
+        let Some(e) = gs.sources.get(&source) else {
+            return Vec::new();
+        };
+        let (Some(iif), Some(up)) = (e.iif, e.upstream) else {
+            return Vec::new();
+        };
+        vec![self.join_prune_to(iif, up, vec![GroupEntry::join(group, SourceEntry::source(source))])]
+    }
+
+    /// Prune {S, RPbit} toward the RP, from the router that switched to
+    /// the SPT (§3.3) or from a negative-cache holder whose downstream all
+    /// pruned.
+    fn triggered_negative_prune(&mut self, _now: SimTime, group: Group, source: Addr) -> Vec<Output> {
+        let Some(gs) = self.groups.get(&group) else {
+            return Vec::new();
+        };
+        let Some(star) = gs.star.as_ref() else {
+            return Vec::new();
+        };
+        let (Some(iif), Some(up)) = (star.iif, star.upstream) else {
+            return Vec::new(); // at the RP: nowhere further up
+        };
+        vec![self.join_prune_to(
+            iif,
+            up,
+            vec![GroupEntry::prune(group, SourceEntry::source_on_rp_tree(source))],
+        )]
+    }
+
+    // ------------------------------------------------------------------
+    // §3 / §3.5 — data-packet processing
+    // ------------------------------------------------------------------
+
+    /// A multicast data packet from a directly attached host arrived on
+    /// the host subnetwork `iface`. Returns forwarding actions plus, while
+    /// no native (S,G) path exists, a Register to each RP (§3: "the
+    /// first-hop PIM-speaking router sends a PIM register message,
+    /// piggybacked on the data packet, to the RP(s)").
+    pub fn on_local_data(&mut self, now: SimTime, iface: IfaceId, source: Addr, group: Group, payload: &[u8], rib: &dyn Rib) -> Vec<Output> {
+        let mut out = Vec::new();
+        if !self.is_dr(iface) {
+            return out; // only the DR serves this subnetwork (§3.7)
+        }
+        // Native forwarding via (S,G) state if the RP's join has reached us.
+        let mut native = false;
+        if let Some(gs) = self.groups.get_mut(&group) {
+            if let Some(e) = gs.sources.get_mut(&source) {
+                if !e.is_negative() && !e.oifs_empty() {
+                    native = true;
+                    e.spt_bit = true; // data is arriving over its own first hop
+                    let ifaces = e.forward_set(Some(iface));
+                    if !ifaces.is_empty() {
+                        out.push(Output::Forward {
+                            ifaces,
+                            source,
+                            group,
+                            payload: payload.to_vec(),
+                        });
+                    }
+                }
+            } else if let Some(star) = &gs.star {
+                // Local members on our other subnetworks hear the source
+                // through the shared tree once the RP reflects it; but
+                // members on *this* router can be served directly.
+                let ifaces: Vec<IfaceId> = star
+                    .oifs
+                    .iter()
+                    .filter(|(&i, o)| o.kind == OifKind::LocalMembers && i != iface)
+                    .map(|(&i, _)| i)
+                    .collect();
+                if !ifaces.is_empty() {
+                    out.push(Output::Forward {
+                        ifaces,
+                        source,
+                        group,
+                        payload: payload.to_vec(),
+                    });
+                }
+            }
+        }
+        if !native {
+            // Register (data encapsulated) to every RP (§3.9: "each source
+            // registers and sends data packets toward each of the RPs").
+            let rps: Vec<Addr> = self.rp_mapping(group).to_vec();
+            for rp in rps {
+                if rp == self.my_addr {
+                    // We are an RP ourselves: process as if received.
+                    out.extend(self.accept_register(now, source, group, payload, rib));
+                    continue;
+                }
+                if let Some(r) = rib.route(rp) {
+                    self.registers_sent += 1;
+                    out.push(Output::Send {
+                        iface: r.iface,
+                        dst: rp,
+                        ttl: self.cfg.unicast_ttl,
+                        msg: Message::PimRegister(Register {
+                            group,
+                            source,
+                            payload: payload.to_vec(),
+                        }),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// A PIM Register arrived (unicast, at an RP).
+    pub fn on_register(&mut self, now: SimTime, reg: &Register, rib: &dyn Rib) -> Vec<Output> {
+        if !self.is_rp_for(reg.group) {
+            return Vec::new();
+        }
+        self.registers_received += 1;
+        self.accept_register(now, reg.source, reg.group, &reg.payload, rib)
+    }
+
+    fn accept_register(&mut self, now: SimTime, source: Addr, group: Group, payload: &[u8], rib: &dyn Rib) -> Vec<Output> {
+        let mut out = Vec::new();
+        let has_receivers = self
+            .groups
+            .get(&group)
+            .and_then(|gs| gs.star.as_ref())
+            .map_or(false, |s| !s.oifs_empty());
+        if !has_receivers {
+            return out; // no shared tree: drop until a receiver joins
+        }
+        // "The RP responds by sending a join toward the source" (§3) —
+        // once, when the (S,G) entry is created.
+        let created = self.ensure_source(now, group, source, rib);
+        if created {
+            out.extend(self.triggered_source_join(now, group, source));
+        }
+        // Forward the decapsulated packet down the shared tree. The
+        // register tunnel is the logical incoming interface, so the full
+        // (*,G) oif list applies — including the physical interface that
+        // happens to point toward the source — minus any oifs carrying an
+        // active negative-cache prune for this source.
+        let gs = self.groups.get(&group).expect("has_receivers");
+        let star = gs.star.as_ref().expect("has_receivers");
+        let ifaces: Vec<_> = star
+            .oifs
+            .keys()
+            .copied()
+            .filter(|i| {
+                gs.sources
+                    .get(&source)
+                    .map_or(true, |e| !e.pruned_oifs.contains_key(i))
+            })
+            .collect();
+        if !ifaces.is_empty() {
+            out.push(Output::Forward {
+                ifaces,
+                source,
+                group,
+                payload: payload.to_vec(),
+            });
+        }
+        out
+    }
+
+    /// A multicast data packet arrived on router-router interface `iface`
+    /// (§3.5). Implements the incoming-interface check, the longest-match
+    /// rule, and the two shared→shortest-path transition exceptions.
+    pub fn on_data(&mut self, now: SimTime, iface: IfaceId, source: Addr, group: Group, payload: &[u8], rib: &dyn Rib) -> Vec<Output> {
+        let mut out = Vec::new();
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return out; // sparse mode: no state, no forwarding
+        };
+
+        enum Action {
+            Drop,
+            Forward(Vec<IfaceId>),
+            ForwardAndSetSpt(Vec<IfaceId>),
+            ForwardViaStar,
+        }
+
+        let action = match gs.sources.get(&source) {
+            Some(e) if e.is_negative() => {
+                if e.iif == Some(iface) {
+                    Action::Forward(e.forward_set(Some(iface)))
+                } else {
+                    Action::Drop
+                }
+            }
+            Some(e) => {
+                // (S,G) SPT entry.
+                if e.spt_bit {
+                    if e.iif == Some(iface) {
+                        Action::Forward(e.forward_set(Some(iface)))
+                    } else {
+                        Action::Drop
+                    }
+                } else if e.iif == Some(iface) {
+                    // "When a data packet matches on an (S,G) entry with a
+                    // cleared SPT bit, and the incoming interface of the
+                    // packet matches that of the (S,G) entry, then the
+                    // packet is forwarded and the SPT bit is set" (§3.5).
+                    Action::ForwardAndSetSpt(e.forward_set(Some(iface)))
+                } else if gs.star.as_ref().map_or(false, |s| s.iif == Some(iface)) {
+                    // Transition exception 1: still arriving via the
+                    // shared tree — forward according to (*,G).
+                    Action::ForwardViaStar
+                } else {
+                    Action::Drop
+                }
+            }
+            None => match gs.star.as_ref() {
+                Some(star) if star.iif == Some(iface) || star.iif.is_none() => {
+                    Action::ForwardViaStar
+                }
+                _ => Action::Drop,
+            },
+        };
+
+        match action {
+            Action::Drop => {}
+            Action::Forward(ifaces) => {
+                if !ifaces.is_empty() {
+                    out.push(Output::Forward {
+                        ifaces,
+                        source,
+                        group,
+                        payload: payload.to_vec(),
+                    });
+                }
+            }
+            Action::ForwardAndSetSpt(ifaces) => {
+                let e = gs.sources.get_mut(&source).expect("matched above");
+                e.spt_bit = true;
+                // "…sends a PIM prune toward RP if its shared tree incoming
+                // interface differs from its shortest path tree incoming
+                // interface" (§3.3).
+                let star_iif = gs.star.as_ref().and_then(|s| s.iif);
+                let diverges = gs.star.is_some() && star_iif != Some(iface);
+                if diverges {
+                    let e = gs.sources.get_mut(&source).expect("matched above");
+                    if !e.pruned_from_shared {
+                        e.pruned_from_shared = true;
+                        out.extend(self.triggered_negative_prune(now, group, source));
+                    }
+                }
+                if !ifaces.is_empty() {
+                    out.push(Output::Forward {
+                        ifaces,
+                        source,
+                        group,
+                        payload: payload.to_vec(),
+                    });
+                }
+            }
+            Action::ForwardViaStar => {
+                let star = gs.star.as_ref().expect("matched above");
+                let ifaces = star.forward_set(Some(iface));
+                let has_local = star.has_local_members();
+                if !ifaces.is_empty() {
+                    out.push(Output::Forward {
+                        ifaces,
+                        source,
+                        group,
+                        payload: payload.to_vec(),
+                    });
+                }
+                // §3.3 switchover decision: a router with directly
+                // connected members seeing shared-tree data from a source
+                // it has no (Sn,G) entry for may join the SPT.
+                if has_local
+                    && !self.local_hosts.contains_key(&source)
+                    && !self
+                        .groups
+                        .get(&group)
+                        .map_or(false, |g| g.sources.contains_key(&source))
+                    && self.spt_switch_due(now, group, source)
+                {
+                    out.extend(self.start_spt_switch(now, group, source, rib));
+                }
+            }
+        }
+        out
+    }
+
+    /// Has the configured switchover policy been satisfied for (group,
+    /// source)?
+    fn spt_switch_due(&mut self, now: SimTime, group: Group, source: Addr) -> bool {
+        match self.cfg.spt_policy {
+            SptPolicy::Immediate => true,
+            SptPolicy::Never => false,
+            SptPolicy::AfterPackets { packets, within } => {
+                let slot = self
+                    .spt_counters
+                    .entry((group, source))
+                    .or_insert((0, now));
+                if now.since(slot.1) > within {
+                    *slot = (0, now); // window lapsed: restart
+                }
+                slot.0 += 1;
+                slot.0 >= packets
+            }
+        }
+    }
+
+    /// §3.3: create the (Sn,G) entry with SPT bit cleared and send a join
+    /// toward the source.
+    fn start_spt_switch(&mut self, now: SimTime, group: Group, source: Addr, rib: &dyn Rib) -> Vec<Output> {
+        let created = self.ensure_source(now, group, source, rib);
+        if created {
+            self.spt_counters.remove(&(group, source));
+            self.triggered_source_join(now, group, source)
+        } else {
+            Vec::new()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §3.2/§3.9 — RP reachability and failover
+    // ------------------------------------------------------------------
+
+    /// An RP-reachability message arrived on `iface`.
+    pub fn on_rp_reachability(&mut self, now: SimTime, iface: IfaceId, msg: &RpReachability) -> Vec<Output> {
+        let Some(gs) = self.groups.get_mut(&msg.group) else {
+            return Vec::new();
+        };
+        let Some(star) = gs.star.as_mut() else {
+            return Vec::new();
+        };
+        if star.iif != Some(iface) || star.key != msg.rp {
+            return Vec::new();
+        }
+        if star.rp_timer.is_some() {
+            star.rp_timer = Some(now + self.cfg.rp_timeout);
+        }
+        // Distribute on down the (*,G) tree (§3.2), except to host LANs.
+        let ifaces: Vec<IfaceId> = star
+            .forward_set(Some(iface))
+            .into_iter()
+            .filter(|i| !self.ifaces[i.index()].is_host_lan)
+            .collect();
+        ifaces
+            .into_iter()
+            .map(|i| Output::Send {
+                iface: i,
+                dst: Addr::ALL_PIM_ROUTERS,
+                ttl: 1,
+                msg: Message::PimRpReachability(*msg),
+            })
+            .collect()
+    }
+
+    /// §3.9: the RP-timer lapsed — "the router looks up an alternate RP for
+    /// the group, sends a join toward the new RP."
+    fn rp_failover(&mut self, now: SimTime, group: Group, rib: &dyn Rib) -> Vec<Output> {
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return Vec::new();
+        };
+        if gs.rps.len() < 2 {
+            // Nowhere to fail over to; keep waiting and retry the join.
+            if let Some(star) = gs.star.as_mut() {
+                star.rp_timer = Some(now + self.cfg.rp_timeout);
+            }
+            return self.triggered_star_join(now, group);
+        }
+        let new_rp = gs.next_rp().expect("non-empty rps");
+        // "A new (*,G) entry is established with the incoming interface set
+        // to the interface used to reach the new RP. The outgoing interface
+        // list includes only those interfaces on which IGMP Reports for the
+        // group were received" (§3.9).
+        let local_oifs: Vec<IfaceId> = gs
+            .star
+            .as_ref()
+            .map(|s| {
+                s.oifs
+                    .iter()
+                    .filter(|(_, o)| o.kind == OifKind::LocalMembers)
+                    .map(|(&i, _)| i)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let (iif, upstream) = if new_rp == self.my_addr {
+            (None, None)
+        } else {
+            match rib.route(new_rp) {
+                Some(r) => (Some(r.iface), Some(r.next_hop)),
+                None => (None, None),
+            }
+        };
+        let mut star = Entry::new_star(group, new_rp, iif, upstream);
+        for i in local_oifs {
+            star.add_oif(i, OifKind::LocalMembers, SimTime(u64::MAX));
+        }
+        star.rp_timer = Some(now + self.cfg.rp_timeout);
+        let gs = self.groups.get_mut(&group).expect("exists");
+        gs.star = Some(star);
+        // Negative caches pointed at the old tree are meaningless now.
+        gs.sources.retain(|_, e| !e.is_negative());
+        self.triggered_star_join(now, group)
+    }
+
+    // ------------------------------------------------------------------
+    // §3.7 — PIM Query / DR election
+    // ------------------------------------------------------------------
+
+    /// A PIM Query (hello) arrived on `iface` from `src`.
+    pub fn on_query(&mut self, now: SimTime, iface: IfaceId, src: Addr, q: &Query) -> Vec<Output> {
+        self.ifaces[iface.index()]
+            .neighbors
+            .insert(src, now + Duration(q.holdtime as u64));
+        Vec::new()
+    }
+
+    // ------------------------------------------------------------------
+    // §3.8 — unicast routing changes
+    // ------------------------------------------------------------------
+
+    /// The unicast route toward `dst` changed. Re-derive the iif/upstream
+    /// of every entry keyed by `dst`, prune the old path, join the new.
+    pub fn on_route_change(&mut self, now: SimTime, dst: Addr, rib: &dyn Rib) -> Vec<Output> {
+        let mut out = Vec::new();
+        let new_route = rib.route(dst);
+        let groups: Vec<Group> = self.groups.keys().copied().collect();
+        for group in groups {
+            let mut star_join = false;
+            let mut source_join = false;
+            let mut prunes: Vec<(IfaceId, Addr, GroupEntry)> = Vec::new();
+            {
+                let gs = self.groups.get_mut(&group).expect("iterating keys");
+                if let Some(star) = gs.star.as_mut() {
+                    if star.key == dst && !star.oifs_empty() {
+                        let (new_iif, new_up) = match new_route {
+                            Some(r) => (Some(r.iface), Some(r.next_hop)),
+                            None => (None, None),
+                        };
+                        if new_iif != star.iif || new_up != star.upstream {
+                            if let (Some(old_iif), Some(old_up)) = (star.iif, star.upstream) {
+                                prunes.push((
+                                    old_iif,
+                                    old_up,
+                                    GroupEntry::prune(group, SourceEntry::shared_tree(star.key)),
+                                ));
+                            }
+                            // "If the new incoming interface appears in the
+                            // outgoing interface list, it is deleted" (§3.8).
+                            if let Some(i) = new_iif {
+                                star.remove_oif(i);
+                            }
+                            star.iif = new_iif;
+                            star.upstream = new_up;
+                            star_join = true;
+                            // Negative caches ride the shared tree: move
+                            // their iif along with it.
+                            for e in gs.sources.values_mut() {
+                                if e.is_negative() {
+                                    e.iif = new_iif;
+                                    e.upstream = new_up;
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(e) = gs.sources.get_mut(&dst) {
+                    if !e.is_negative() && !e.local_source && !e.oifs_empty() {
+                        let (new_iif, new_up) = match new_route {
+                            Some(r) => (Some(r.iface), Some(r.next_hop)),
+                            None => (None, None),
+                        };
+                        if new_iif != e.iif || new_up != e.upstream {
+                            if let (Some(old_iif), Some(old_up)) = (e.iif, e.upstream) {
+                                prunes.push((
+                                    old_iif,
+                                    old_up,
+                                    GroupEntry::prune(group, SourceEntry::source(dst)),
+                                ));
+                            }
+                            if let Some(i) = new_iif {
+                                e.remove_oif(i);
+                            }
+                            e.iif = new_iif;
+                            e.upstream = new_up;
+                            e.spt_bit = false; // must re-confirm over the new path
+                            source_join = true;
+                        }
+                    }
+                }
+            }
+            for (iface, upstream, ge) in prunes {
+                out.push(self.join_prune_to(iface, upstream, vec![ge]));
+            }
+            if star_join {
+                out.extend(self.triggered_star_join(now, group));
+            }
+            if source_join {
+                out.extend(self.triggered_source_join(now, group, dst));
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // §3.4/§3.6 — timers and periodic refresh
+    // ------------------------------------------------------------------
+
+    /// Periodic maintenance. The router adapter calls this once per
+    /// simulation tick batch (at least once per
+    /// [`PimConfig::prune_override_delay`]).
+    pub fn tick(&mut self, now: SimTime, rib: &dyn Rib) -> Vec<Output> {
+        let mut out = Vec::new();
+
+        // Execute matured pending LAN prunes.
+        let due: Vec<PendingPrune> = {
+            let (due, rest) = self
+                .pending_prunes
+                .drain(..)
+                .partition(|p| now >= p.execute_at);
+            self.pending_prunes = rest;
+            due
+        };
+        for p in due {
+            out.extend(self.execute_prune(now, p.iface, p.group, &p.entry, p.holdtime, rib));
+        }
+
+        // Expire neighbors (DR election input).
+        for st in &mut self.ifaces {
+            st.neighbors.retain(|_, &mut exp| now < exp);
+        }
+
+        // PIM queries.
+        if now >= self.next_query {
+            self.next_query = now + self.cfg.query_interval;
+            let holdtime = self.cfg.neighbor_holdtime.ticks().min(u16::MAX as u64) as u16;
+            // Queries go on every interface: DR election matters on member
+            // LANs with multiple routers too (§3.7); hosts ignore them.
+            for i in 0..self.ifaces.len() {
+                out.push(Output::Send {
+                    iface: IfaceId(i as u32),
+                    dst: Addr::ALL_PIM_ROUTERS,
+                    ttl: 1,
+                    msg: Message::PimQuery(Query { holdtime }),
+                });
+            }
+        }
+
+        // Entry timer maintenance.
+        out.extend(self.expire_entries(now));
+
+        // RP failover checks.
+        let lapsed: Vec<Group> = self
+            .groups
+            .iter()
+            .filter(|(_, gs)| {
+                gs.star
+                    .as_ref()
+                    .and_then(|s| s.rp_timer)
+                    .map_or(false, |t| now >= t)
+            })
+            .map(|(&g, _)| g)
+            .collect();
+        for g in lapsed {
+            out.extend(self.rp_failover(now, g, rib));
+        }
+
+        // RP-reachability generation (§3.2).
+        if now >= self.next_reach {
+            self.next_reach = now + self.cfg.rp_reach_period;
+            let holdtime = self.cfg.rp_timeout.ticks().min(u16::MAX as u64) as u16;
+            let mut sends = Vec::new();
+            for (&group, gs) in &self.groups {
+                if gs.rp() != Some(self.my_addr) && !gs.rps.contains(&self.my_addr) {
+                    continue;
+                }
+                let Some(star) = gs.star.as_ref() else {
+                    continue;
+                };
+                for i in star.forward_set(None) {
+                    if self.ifaces[i.index()].is_host_lan {
+                        continue;
+                    }
+                    sends.push(Output::Send {
+                        iface: i,
+                        dst: Addr::ALL_PIM_ROUTERS,
+                        ttl: 1,
+                        msg: Message::PimRpReachability(RpReachability {
+                            group,
+                            rp: self.my_addr,
+                            holdtime,
+                        }),
+                    });
+                }
+            }
+            out.extend(sends);
+        }
+
+        // Periodic join/prune refresh (§3.4), aggregated per upstream
+        // neighbor.
+        if now >= self.next_refresh {
+            self.next_refresh = now + self.cfg.refresh_period;
+            out.extend(self.periodic_refresh(now));
+        }
+
+        out
+    }
+
+    fn expire_entries(&mut self, now: SimTime) -> Vec<Output> {
+        let mut out = Vec::new();
+        let groups: Vec<Group> = self.groups.keys().copied().collect();
+        for group in groups {
+            let mut emptied = false;
+            {
+                let gs = self.groups.get_mut(&group).expect("iterating keys");
+                if let Some(star) = gs.star.as_mut() {
+                    let removed = star.expire_oifs(now);
+                    if !removed.is_empty() {
+                        emptied = true;
+                        // Copied (S,G) oifs follow the shared tree's lapses.
+                        for i in removed {
+                            for e in gs.sources.values_mut() {
+                                if e.oifs.get(&i).map(|o| o.kind) == Some(OifKind::CopiedFromStar) {
+                                    e.remove_oif(i);
+                                }
+                            }
+                        }
+                    }
+                }
+                for e in gs.sources.values_mut() {
+                    if !e.expire_oifs(now).is_empty() {
+                        emptied = true;
+                    }
+                    // Negative-cache pruned-oif leases lapse back to
+                    // forwarding (footnote 13: kept alive by prunes only).
+                    let lapsed: Vec<IfaceId> = e
+                        .pruned_oifs
+                        .iter()
+                        .filter(|(_, &t)| now >= t)
+                        .map(|(&i, _)| i)
+                        .collect();
+                    for i in lapsed {
+                        e.pruned_oifs.remove(&i);
+                    }
+                }
+                // Entries that ended up with no oifs by any path (including
+                // degenerate joins that arrived on the entry's own iif and
+                // never contributed an oif) must get a deletion deadline.
+                if gs
+                    .star
+                    .as_ref()
+                    .map_or(false, |e| e.oifs_empty() && e.delete_at.is_none())
+                {
+                    emptied = true;
+                }
+                if gs.sources.values().any(|e| {
+                    !e.is_negative() && !e.local_source && e.oifs_empty() && e.delete_at.is_none()
+                }) {
+                    emptied = true;
+                }
+                // Deletion of lapsed entries.
+                let star_dead = gs
+                    .star
+                    .as_ref()
+                    .and_then(|s| s.delete_at)
+                    .map_or(false, |t| now >= t);
+                if star_dead {
+                    gs.star = None;
+                    // Footnote 13: negative caches must not outlive (*,G).
+                    gs.sources.retain(|_, e| !e.is_negative());
+                }
+                for e in gs.sources.values_mut() {
+                    // A local-source entry with no remaining oifs carries no
+                    // forwarding value; the DR will re-register on the next
+                    // packet, so let it linger out like everything else.
+                    if e.local_source && e.oifs_empty() && e.delete_at.is_none() {
+                        e.delete_at = Some(now + self.cfg.entry_linger);
+                    }
+                }
+                gs.sources.retain(|_, e| e.delete_at.map_or(true, |t| now < t));
+            }
+            if emptied {
+                out.extend(self.after_oif_removal(now, group));
+            }
+            // Drop group states with nothing left but a mapping.
+            let gs = self.groups.get(&group).expect("exists");
+            if gs.star.is_none() && gs.sources.is_empty() && gs.rps.is_empty() {
+                self.groups.remove(&group);
+            }
+        }
+        out
+    }
+
+    /// "In the steady state each router sends periodic refreshes of PIM
+    /// messages upstream to each of the next hop routers that is en route
+    /// to each source ... as well as for the RP" (§3.4).
+    fn periodic_refresh(&mut self, now: SimTime) -> Vec<Output> {
+        // Aggregate entries per (iface, upstream neighbor).
+        let mut batches: HashMap<(IfaceId, Addr), Vec<GroupEntry>> = HashMap::new();
+        let mut push = |iface: IfaceId, up: Addr, group: Group, joins: Vec<SourceEntry>, prunes: Vec<SourceEntry>| {
+            let batch = batches.entry((iface, up)).or_default();
+            if let Some(ge) = batch.iter_mut().find(|ge| ge.group == group) {
+                ge.joins.extend(joins);
+                ge.prunes.extend(prunes);
+            } else {
+                batch.push(GroupEntry { group, joins, prunes });
+            }
+        };
+        for (&group, gs) in &self.groups {
+            if let Some(star) = &gs.star {
+                let suppressed = star.suppressed_until.map_or(false, |t| now < t);
+                if !star.oifs_empty() && !suppressed {
+                    if let (Some(iif), Some(up)) = (star.iif, star.upstream) {
+                        push(iif, up, group, vec![SourceEntry::shared_tree(star.key)], vec![]);
+                    }
+                }
+            }
+            for (&source, e) in &gs.sources {
+                let suppressed = e.suppressed_until.map_or(false, |t| now < t);
+                if e.is_negative() {
+                    // Footnote 10: "The RP bit in an (S,G) entry indicates
+                    // that periodic PIM join/prune should be sent toward
+                    // the RP" — refresh the upstream negative caches while
+                    // all our downstream branches remain pruned.
+                    if e.oifs_empty() {
+                        if let (Some(iif), Some(up)) = (e.iif, e.upstream) {
+                            push(iif, up, group, vec![], vec![SourceEntry::source_on_rp_tree(source)]);
+                        }
+                    }
+                } else {
+                    if !e.oifs_empty() && !e.local_source && !suppressed {
+                        if let (Some(iif), Some(up)) = (e.iif, e.upstream) {
+                            push(iif, up, group, vec![SourceEntry::source(source)], vec![]);
+                        }
+                    }
+                    if e.pruned_from_shared {
+                        // §3.3: the prune toward the RP only applies while
+                        // "its shared tree incoming interface differs from
+                        // its shortest path tree incoming interface" — a
+                        // re-rooted shared tree (RP failover, route change)
+                        // may have converged onto the SPT path.
+                        if let Some(star) = &gs.star {
+                            if star.iif != e.iif {
+                                if let (Some(siif), Some(sup)) = (star.iif, star.upstream) {
+                                    push(siif, sup, group, vec![], vec![SourceEntry::source_on_rp_tree(source)]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut keys: Vec<(IfaceId, Addr)> = batches.keys().copied().collect();
+        keys.sort();
+        keys.into_iter()
+            .map(|k| {
+                let groups = batches.remove(&k).expect("key from map");
+                self.join_prune_to(k.0, k.1, groups)
+            })
+            .collect()
+    }
+
+    /// Clear LAN suppression state for tests.
+    #[cfg(test)]
+    pub(crate) fn neighbors_on(&self, iface: IfaceId) -> Vec<Addr> {
+        self.ifaces[iface.index()].neighbors.keys().copied().collect()
+    }
+}
+
+/// Set-like helper used by the router adapter: which groups have local
+/// members according to the engine's oif state.
+pub fn groups_with_local_members(engine: &Engine) -> HashSet<Group> {
+    engine
+        .groups()
+        .filter(|(_, gs)| {
+            gs.star
+                .as_ref()
+                .map_or(false, |s| s.has_local_members())
+        })
+        .map(|(g, _)| g)
+        .collect()
+}

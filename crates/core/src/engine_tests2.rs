@@ -1,0 +1,399 @@
+//! Second batch of sans-IO engine tests: multi-RP behavior, entry
+//! lifecycle corner cases, pending-prune mechanics, and register-path
+//! details not covered by the first batch.
+
+use crate::config::PimConfig;
+use crate::engine::{Engine, Output};
+use crate::entry::OifKind;
+use netsim::{IfaceId, SimTime};
+use unicast::{OracleRib, RouteEntry};
+use wire::pim::{GroupEntry, JoinPrune, Query, Register, SourceEntry};
+use wire::{Addr, Group, Message};
+
+fn g() -> Group {
+    Group::test(1)
+}
+fn t(x: u64) -> SimTime {
+    SimTime(x)
+}
+fn rp1() -> Addr {
+    Addr::new(10, 0, 3, 1)
+}
+fn rp2() -> Addr {
+    Addr::new(10, 0, 8, 1)
+}
+fn me() -> Addr {
+    Addr::new(10, 0, 4, 1)
+}
+fn src_host() -> Addr {
+    Addr::new(10, 0, 4, 10)
+}
+
+fn sent_registers(out: &[Output]) -> Vec<(IfaceId, Addr)> {
+    out.iter()
+        .filter_map(|o| match o {
+            Output::Send { iface, dst, msg: Message::PimRegister(_), .. } => Some((*iface, *dst)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A sender-side DR with two RPs reachable over different interfaces.
+fn sender_dr() -> (Engine, OracleRib) {
+    let mut rib = OracleRib::empty(me());
+    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
+    rib.insert(rp2(), RouteEntry { iface: IfaceId(2), next_hop: rp2(), metric: 2 });
+    let mut e = Engine::new(me(), 3, PimConfig::default());
+    e.set_host_lan(IfaceId(0));
+    e.set_rp_mapping(g(), vec![rp1(), rp2()]);
+    e.register_local_host(src_host(), IfaceId(0));
+    (e, rib)
+}
+
+// ---------------------------------------------------------------------
+// §3.9 multi-RP sender behavior
+// ---------------------------------------------------------------------
+
+#[test]
+fn sender_registers_to_every_rp() {
+    let (mut e, rib) = sender_dr();
+    let out = e.on_local_data(t(5), IfaceId(0), src_host(), g(), b"p", &rib);
+    let regs = sent_registers(&out);
+    assert_eq!(
+        regs,
+        vec![(IfaceId(1), rp1()), (IfaceId(2), rp2())],
+        "§3.9: each source registers toward each of the RPs"
+    );
+    assert_eq!(e.registers_sent, 2);
+}
+
+#[test]
+fn register_to_self_when_dr_is_an_rp() {
+    // The DR is itself RP#2: the local copy is processed in place, only
+    // RP#1 gets a wire register.
+    let mut rib = OracleRib::empty(me());
+    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
+    let mut e = Engine::new(me(), 3, PimConfig::default());
+    e.set_host_lan(IfaceId(0));
+    e.set_rp_mapping(g(), vec![rp1(), me()]);
+    e.register_local_host(src_host(), IfaceId(0));
+    let out = e.on_local_data(t(5), IfaceId(0), src_host(), g(), b"p", &rib);
+    assert_eq!(sent_registers(&out), vec![(IfaceId(1), rp1())]);
+}
+
+#[test]
+fn unreachable_rp_is_skipped_gracefully() {
+    let mut rib = OracleRib::empty(me());
+    rib.insert(rp2(), RouteEntry { iface: IfaceId(2), next_hop: rp2(), metric: 2 });
+    // rp1 has no route at all.
+    let mut e = Engine::new(me(), 3, PimConfig::default());
+    e.set_host_lan(IfaceId(0));
+    e.set_rp_mapping(g(), vec![rp1(), rp2()]);
+    e.register_local_host(src_host(), IfaceId(0));
+    let out = e.on_local_data(t(5), IfaceId(0), src_host(), g(), b"p", &rib);
+    assert_eq!(sent_registers(&out), vec![(IfaceId(2), rp2())]);
+}
+
+// ---------------------------------------------------------------------
+// Entry lifecycle corners
+// ---------------------------------------------------------------------
+
+#[test]
+fn spt_entry_deleted_after_linger_when_downstream_leaves() {
+    // An intermediate router on an SPT: one downstream join, then silence.
+    let mut rib = OracleRib::empty(me());
+    rib.insert(src_host(), RouteEntry { iface: IfaceId(1), next_hop: Addr::new(10, 0, 9, 1), metric: 1 });
+    let mut e = Engine::new(me(), 3, PimConfig::default());
+    let join = JoinPrune {
+        upstream_neighbor: me(),
+        holdtime: 100,
+        groups: vec![GroupEntry::join(g(), SourceEntry::source(src_host()))],
+    };
+    e.on_join_prune(t(0), IfaceId(2), Addr::new(10, 0, 5, 1), &join, &rib);
+    assert!(e.group_state(g()).unwrap().sources.contains_key(&src_host()));
+    // oif lapses at t=100; upstream prune is sent; entry lingers 3×refresh
+    // (180) and is deleted.
+    let out = e.tick(t(101), &rib);
+    assert!(out.iter().any(|o| matches!(
+        o,
+        Output::Send { msg: Message::PimJoinPrune(jp), .. }
+            if jp.groups.iter().any(|ge| ge.prunes.contains(&SourceEntry::source(src_host())))
+    )));
+    e.tick(t(282), &rib);
+    assert!(
+        e.group_state(g()).map_or(true, |gs| gs.sources.is_empty()),
+        "entry must be deleted 3 refresh periods after its oifs emptied"
+    );
+}
+
+#[test]
+fn rejoin_during_linger_cancels_deletion() {
+    let mut rib = OracleRib::empty(me());
+    rib.insert(src_host(), RouteEntry { iface: IfaceId(1), next_hop: Addr::new(10, 0, 9, 1), metric: 1 });
+    let mut e = Engine::new(me(), 3, PimConfig::default());
+    let join = JoinPrune {
+        upstream_neighbor: me(),
+        holdtime: 100,
+        groups: vec![GroupEntry::join(g(), SourceEntry::source(src_host()))],
+    };
+    e.on_join_prune(t(0), IfaceId(2), Addr::new(10, 0, 5, 1), &join, &rib);
+    e.tick(t(101), &rib); // oifs empty, delete_at armed
+    // A fresh join arrives during the linger window (its oif holds until
+    // t=250).
+    e.on_join_prune(t(150), IfaceId(2), Addr::new(10, 0, 5, 1), &join, &rib);
+    e.tick(t(240), &rib);
+    let entry = &e.group_state(g()).unwrap().sources[&src_host()];
+    assert!(entry.oifs.contains_key(&IfaceId(2)), "rejoin must revive the entry");
+    assert_eq!(entry.delete_at, None);
+}
+
+#[test]
+fn local_member_left_removes_oifs_everywhere() {
+    let mut rib = OracleRib::empty(me());
+    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
+    rib.insert(src_host(), RouteEntry { iface: IfaceId(2), next_hop: Addr::new(10, 0, 9, 1), metric: 1 });
+    let mut e = Engine::new(me(), 3, PimConfig::default());
+    e.set_host_lan(IfaceId(0));
+    e.set_rp_mapping(g(), vec![rp1()]);
+    e.local_member_joined(t(0), g(), IfaceId(0), &rib);
+    // SPT switch for a remote source mirrors the member oif into (S,G).
+    let remote_src = Addr::new(10, 0, 9, 10);
+    rib.insert(remote_src, RouteEntry { iface: IfaceId(2), next_hop: Addr::new(10, 0, 9, 1), metric: 2 });
+    e.on_data(t(10), IfaceId(1), remote_src, g(), b"d", &rib);
+    assert!(e.group_state(g()).unwrap().sources[&remote_src]
+        .oifs
+        .contains_key(&IfaceId(0)));
+
+    let out = e.local_member_left(t(50), g(), IfaceId(0));
+    let gs = e.group_state(g()).unwrap();
+    assert!(!gs.star.as_ref().unwrap().oifs.contains_key(&IfaceId(0)));
+    assert!(!gs.sources[&remote_src].oifs.contains_key(&IfaceId(0)));
+    assert!(gs.star.as_ref().unwrap().rp_timer.is_none(), "no members → no RP-timer");
+    // With everything empty, prunes go upstream.
+    assert!(out.iter().any(|o| matches!(o, Output::Send { msg: Message::PimJoinPrune(_), .. })));
+}
+
+#[test]
+fn star_oif_expiry_cascades_to_copied_spt_oifs() {
+    // An intermediate router with (*,G) oif from a downstream join, plus an
+    // (S,G) entry that copied that oif.
+    let mut rib = OracleRib::empty(me());
+    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
+    rib.insert(src_host(), RouteEntry { iface: IfaceId(2), next_hop: Addr::new(10, 0, 9, 1), metric: 1 });
+    let mut e = Engine::new(me(), 3, PimConfig::default());
+    let down = Addr::new(10, 0, 5, 1);
+    let star_join = JoinPrune {
+        upstream_neighbor: me(),
+        holdtime: 100,
+        groups: vec![GroupEntry::join(g(), SourceEntry::shared_tree(rp1()))],
+    };
+    e.on_join_prune(t(0), IfaceId(0), down, &star_join, &rib);
+    let src_join = JoinPrune {
+        upstream_neighbor: me(),
+        holdtime: 400,
+        groups: vec![GroupEntry::join(g(), SourceEntry::source(src_host()))],
+    };
+    // The (S,G) join arrives on a *different* iface; the (*,G) oif is
+    // copied into the entry as CopiedFromStar.
+    e.on_join_prune(t(1), IfaceId(1), Addr::new(10, 0, 6, 1), &src_join, &rib);
+    {
+        let sg = &e.group_state(g()).unwrap().sources[&src_host()];
+        assert_eq!(sg.oifs[&IfaceId(0)].kind, OifKind::CopiedFromStar);
+    }
+    // The (*,G) oif lapses (no refresh): the copied oif must go with it.
+    e.tick(t(150), &rib);
+    let gs = e.group_state(g()).unwrap();
+    assert!(gs.star.as_ref().map_or(true, |s| !s.oifs.contains_key(&IfaceId(0))));
+    assert!(
+        !gs.sources[&src_host()].oifs.contains_key(&IfaceId(0)),
+        "copied oifs follow the shared tree's lapses"
+    );
+    // The explicitly-joined oif survives.
+    assert!(gs.sources[&src_host()].oifs.contains_key(&IfaceId(1)));
+}
+
+// ---------------------------------------------------------------------
+// Register payload integrity and state at the RP
+// ---------------------------------------------------------------------
+
+#[test]
+fn register_payload_is_forwarded_verbatim() {
+    let mut rib = OracleRib::empty(rp1());
+    rib.insert(src_host(), RouteEntry { iface: IfaceId(1), next_hop: me(), metric: 2 });
+    let mut e = Engine::new(rp1(), 2, PimConfig::default());
+    e.set_rp_mapping(g(), vec![rp1()]);
+    let join = JoinPrune {
+        upstream_neighbor: rp1(),
+        holdtime: 300,
+        groups: vec![GroupEntry::join(g(), SourceEntry::shared_tree(rp1()))],
+    };
+    e.on_join_prune(t(0), IfaceId(0), Addr::new(10, 0, 2, 1), &join, &rib);
+    let payload = vec![0xAB; 100];
+    let out = e.on_register(
+        t(5),
+        &Register { group: g(), source: src_host(), payload: payload.clone() },
+        &rib,
+    );
+    assert!(out.iter().any(|o| matches!(
+        o,
+        Output::Forward { payload: p, source, .. } if *p == payload && *source == src_host()
+    )));
+}
+
+#[test]
+fn second_register_does_not_rejoin() {
+    let mut rib = OracleRib::empty(rp1());
+    rib.insert(src_host(), RouteEntry { iface: IfaceId(1), next_hop: me(), metric: 2 });
+    let mut e = Engine::new(rp1(), 2, PimConfig::default());
+    e.set_rp_mapping(g(), vec![rp1()]);
+    let join = JoinPrune {
+        upstream_neighbor: rp1(),
+        holdtime: 300,
+        groups: vec![GroupEntry::join(g(), SourceEntry::shared_tree(rp1()))],
+    };
+    e.on_join_prune(t(0), IfaceId(0), Addr::new(10, 0, 2, 1), &join, &rib);
+    let reg = Register { group: g(), source: src_host(), payload: b"x".to_vec() };
+    let out1 = e.on_register(t(5), &reg, &rib);
+    let joins1 = out1
+        .iter()
+        .filter(|o| matches!(o, Output::Send { msg: Message::PimJoinPrune(_), .. }))
+        .count();
+    assert_eq!(joins1, 1, "first register triggers the (S,G) join");
+    let out2 = e.on_register(t(6), &reg, &rib);
+    let joins2 = out2
+        .iter()
+        .filter(|o| matches!(o, Output::Send { msg: Message::PimJoinPrune(_), .. }))
+        .count();
+    assert_eq!(joins2, 0, "further registers must not re-trigger the join");
+}
+
+// ---------------------------------------------------------------------
+// LAN pending-prune mechanics
+// ---------------------------------------------------------------------
+
+#[test]
+fn pending_prune_executes_via_tick_not_immediately() {
+    let mut rib = OracleRib::empty(me());
+    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
+    let mut e = Engine::new(me(), 2, PimConfig::default());
+    e.set_lan(IfaceId(0));
+    let down = Addr::new(10, 0, 5, 1);
+    let join = JoinPrune {
+        upstream_neighbor: me(),
+        holdtime: 300,
+        groups: vec![GroupEntry::join(g(), SourceEntry::shared_tree(rp1()))],
+    };
+    e.on_join_prune(t(0), IfaceId(0), down, &join, &rib);
+    let prune = JoinPrune {
+        upstream_neighbor: me(),
+        holdtime: 300,
+        groups: vec![GroupEntry::prune(g(), SourceEntry::shared_tree(rp1()))],
+    };
+    e.on_join_prune(t(10), IfaceId(0), down, &prune, &rib);
+    // Before the override window closes, ticks do nothing.
+    e.tick(t(12), &rib);
+    assert!(e
+        .group_state(g())
+        .unwrap()
+        .star
+        .as_ref()
+        .unwrap()
+        .oifs
+        .contains_key(&IfaceId(0)));
+    // After it closes, the prune lands.
+    e.tick(t(15), &rib);
+    assert!(!e
+        .group_state(g())
+        .unwrap()
+        .star
+        .as_ref()
+        .unwrap()
+        .oifs
+        .contains_key(&IfaceId(0)));
+}
+
+#[test]
+fn p2p_prune_is_immediate() {
+    let mut rib = OracleRib::empty(me());
+    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
+    let mut e = Engine::new(me(), 2, PimConfig::default());
+    // iface 0 NOT marked as LAN.
+    let down = Addr::new(10, 0, 5, 1);
+    let join = JoinPrune {
+        upstream_neighbor: me(),
+        holdtime: 300,
+        groups: vec![GroupEntry::join(g(), SourceEntry::shared_tree(rp1()))],
+    };
+    e.on_join_prune(t(0), IfaceId(0), down, &join, &rib);
+    let prune = JoinPrune {
+        upstream_neighbor: me(),
+        holdtime: 300,
+        groups: vec![GroupEntry::prune(g(), SourceEntry::shared_tree(rp1()))],
+    };
+    e.on_join_prune(t(10), IfaceId(0), down, &prune, &rib);
+    assert!(
+        !e.group_state(g())
+            .unwrap()
+            .star
+            .as_ref()
+            .unwrap()
+            .oifs
+            .contains_key(&IfaceId(0)),
+        "point-to-point prunes take effect immediately (no override possible)"
+    );
+}
+
+// ---------------------------------------------------------------------
+// DR election timing
+// ---------------------------------------------------------------------
+
+#[test]
+fn dr_role_returns_when_higher_neighbor_expires() {
+    let mut e = Engine::new(me(), 2, PimConfig::default());
+    let rib = OracleRib::empty(me());
+    e.on_query(t(0), IfaceId(0), Addr::new(10, 0, 200, 1), &Query { holdtime: 50 });
+    assert!(!e.is_dr(IfaceId(0)));
+    // Refreshes keep the neighbor alive.
+    e.on_query(t(40), IfaceId(0), Addr::new(10, 0, 200, 1), &Query { holdtime: 50 });
+    e.tick(t(60), &rib);
+    assert!(!e.is_dr(IfaceId(0)));
+    // Silence past the holdtime: DR again.
+    e.tick(t(95), &rib);
+    assert!(e.is_dr(IfaceId(0)));
+}
+
+#[test]
+fn wildcard_join_reroots_shared_tree_toward_new_rp() {
+    // §3.9 propagation: an upstream router whose (*,G) names the dead RP
+    // re-roots when a downstream join names the alternate.
+    let mut rib = OracleRib::empty(me());
+    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
+    rib.insert(rp2(), RouteEntry { iface: IfaceId(2), next_hop: rp2(), metric: 2 });
+    let mut e = Engine::new(me(), 3, PimConfig::default());
+    let down = Addr::new(10, 0, 5, 1);
+    let join1 = JoinPrune {
+        upstream_neighbor: me(),
+        holdtime: 300,
+        groups: vec![GroupEntry::join(g(), SourceEntry::shared_tree(rp1()))],
+    };
+    e.on_join_prune(t(0), IfaceId(0), down, &join1, &rib);
+    assert_eq!(e.group_state(g()).unwrap().star.as_ref().unwrap().key, rp1());
+    // The downstream failed over; its refresh now names rp2.
+    let join2 = JoinPrune {
+        upstream_neighbor: me(),
+        holdtime: 300,
+        groups: vec![GroupEntry::join(g(), SourceEntry::shared_tree(rp2()))],
+    };
+    let out = e.on_join_prune(t(50), IfaceId(0), down, &join2, &rib);
+    let star = e.group_state(g()).unwrap().star.as_ref().unwrap();
+    assert_eq!(star.key, rp2());
+    assert_eq!(star.iif, Some(IfaceId(2)));
+    assert_eq!(star.upstream, Some(rp2()));
+    // And a triggered join flows toward the new RP.
+    assert!(out.iter().any(|o| matches!(
+        o,
+        Output::Send { iface, msg: Message::PimJoinPrune(jp), .. }
+            if *iface == IfaceId(2)
+                && jp.groups[0].joins == vec![SourceEntry::shared_tree(rp2())]
+    )));
+}

@@ -1,0 +1,615 @@
+//! The sans-IO dense-mode engine.
+
+use netsim::{Duration, IfaceId, SimTime};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use unicast::Rib;
+use wire::dvmrp::{Graft, GraftAck, Probe, Prune};
+use wire::{Addr, Group, Message};
+
+/// Timers for the dense-mode protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct DvmrpConfig {
+    /// Lifetime carried in prunes; the pruned branch grows back after this
+    /// (§1.1: "pruned branches will grow back after a time-out period").
+    pub prune_lifetime: Duration,
+    /// An (S,G) entry with no data for this long is deleted.
+    pub entry_timeout: Duration,
+    /// Retransmit an unacknowledged graft after this.
+    pub graft_retransmit: Duration,
+    /// Period between neighbor probes.
+    pub probe_interval: Duration,
+    /// A neighbor silent for this long is dropped.
+    pub neighbor_timeout: Duration,
+    /// Minimum spacing between repeated prunes for the same (S,G) (avoids
+    /// a prune per data packet while pruned state is refreshed upstream).
+    pub prune_damping: Duration,
+}
+
+impl Default for DvmrpConfig {
+    fn default() -> Self {
+        DvmrpConfig {
+            prune_lifetime: Duration(200),
+            entry_timeout: Duration(400),
+            graft_retransmit: Duration(10),
+            probe_interval: Duration(30),
+            neighbor_timeout: Duration(105),
+            prune_damping: Duration(50),
+        }
+    }
+}
+
+/// An action requested by the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Output {
+    /// Transmit a control message.
+    Send {
+        /// Interface to transmit on.
+        iface: IfaceId,
+        /// Header destination address.
+        dst: Addr,
+        /// The message.
+        msg: Message,
+    },
+    /// Forward a data packet out of each listed interface.
+    Forward {
+        /// Interfaces to copy the packet to.
+        ifaces: Vec<IfaceId>,
+        /// Original source.
+        source: Addr,
+        /// Destination group.
+        group: Group,
+        /// Payload bytes.
+        payload: Vec<u8>,
+    },
+}
+
+/// Per-(S,G) dense-mode state.
+#[derive(Clone, Debug)]
+struct SgEntry {
+    /// Downstream interfaces currently pruned, with grow-back deadline.
+    pruned: BTreeMap<IfaceId, SimTime>,
+    /// We have sent a prune upstream (we have no receivers); data arriving
+    /// before the upstream prune takes effect is dropped silently.
+    pruned_upstream: bool,
+    /// Last time we sent an upstream prune (damping).
+    last_prune_at: Option<SimTime>,
+    /// Outstanding graft awaiting its ack, with next retransmit time.
+    pending_graft: Option<SimTime>,
+    /// Entry garbage collection deadline (refreshed by data).
+    expires_at: SimTime,
+}
+
+impl SgEntry {
+    fn new(expires_at: SimTime) -> SgEntry {
+        SgEntry {
+            pruned: BTreeMap::new(),
+            pruned_upstream: false,
+            last_prune_at: None,
+            pending_graft: None,
+            expires_at,
+        }
+    }
+}
+
+/// The dense-mode engine for one router.
+pub struct DvmrpEngine {
+    cfg: DvmrpConfig,
+    my_addr: Addr,
+    iface_count: usize,
+    /// Interfaces that are host-facing leaf subnetworks.
+    host_lans: HashSet<IfaceId>,
+    /// Live DVMRP neighbors per interface (probe-maintained).
+    neighbors: Vec<BTreeMap<Addr, SimTime>>,
+    /// Local members per group per interface (IGMP-fed).
+    members: HashMap<Group, HashSet<IfaceId>>,
+    /// Directly attached hosts → their interface.
+    local_hosts: HashMap<Addr, IfaceId>,
+    entries: BTreeMap<(Addr, Group), SgEntry>,
+    next_probe: SimTime,
+}
+
+impl DvmrpEngine {
+    /// New engine for a router with `iface_count` interfaces.
+    pub fn new(my_addr: Addr, iface_count: usize, cfg: DvmrpConfig) -> DvmrpEngine {
+        DvmrpEngine {
+            cfg,
+            my_addr,
+            iface_count,
+            host_lans: HashSet::new(),
+            neighbors: vec![BTreeMap::new(); iface_count],
+            members: HashMap::new(),
+            local_hosts: HashMap::new(),
+            entries: BTreeMap::new(),
+            next_probe: SimTime::ZERO,
+        }
+    }
+
+    /// The router's address.
+    pub fn addr(&self) -> Addr {
+        self.my_addr
+    }
+
+    /// Grow the interface table.
+    pub fn add_iface(&mut self) -> IfaceId {
+        self.iface_count += 1;
+        self.neighbors.push(BTreeMap::new());
+        IfaceId(self.iface_count as u32 - 1)
+    }
+
+    /// Number of interfaces.
+    pub fn iface_count(&self) -> usize {
+        self.iface_count
+    }
+
+    /// Mark `iface` host-facing (a candidate for truncation).
+    pub fn set_host_lan(&mut self, iface: IfaceId) {
+        self.host_lans.insert(iface);
+    }
+
+    /// Register a directly attached host.
+    pub fn register_local_host(&mut self, host: Addr, iface: IfaceId) {
+        self.local_hosts.insert(host, iface);
+    }
+
+    /// Number of (S,G) entries held (the state-overhead metric — note that
+    /// dense mode accumulates these on *every* router data reaches).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Read-only check: is `iface` pruned for (source, group)?
+    pub fn is_pruned(&self, source: Addr, group: Group, iface: IfaceId) -> bool {
+        self.entries
+            .get(&(source, group))
+            .map_or(false, |e| e.pruned.contains_key(&iface))
+    }
+
+    /// Have we pruned ourselves off (source, group) upstream?
+    pub fn pruned_upstream(&self, source: Addr, group: Group) -> bool {
+        self.entries
+            .get(&(source, group))
+            .map_or(false, |e| e.pruned_upstream)
+    }
+
+    fn has_member(&self, group: Group, iface: IfaceId) -> bool {
+        self.members
+            .get(&group)
+            .map_or(false, |s| s.contains(&iface))
+    }
+
+    fn has_any_member(&self, group: Group) -> bool {
+        self.members.get(&group).map_or(false, |s| !s.is_empty())
+    }
+
+    /// IGMP reported a first member of `group` on `iface`. If any (S,G)
+    /// for the group is pruned upstream, graft back on (and un-prune the
+    /// member interface downstreams).
+    pub fn local_member_joined(&mut self, now: SimTime, group: Group, iface: IfaceId, rib: &dyn Rib) -> Vec<Output> {
+        self.members.entry(group).or_default().insert(iface);
+        let mut out = Vec::new();
+        let keys: Vec<(Addr, Group)> = self
+            .entries
+            .keys()
+            .filter(|(_, g)| *g == group)
+            .copied()
+            .collect();
+        for (source, _) in keys {
+            let e = self.entries.get_mut(&(source, group)).expect("key listed");
+            if e.pruned_upstream {
+                e.pruned_upstream = false;
+                e.pending_graft = Some(now + self.cfg.graft_retransmit);
+                if let Some(r) = rib.route(source) {
+                    out.push(Output::Send {
+                        iface: r.iface,
+                        dst: r.next_hop,
+                        msg: Message::DvmrpGraft(Graft { source, group }),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The last member of `group` on `iface` lapsed.
+    pub fn local_member_left(&mut self, _now: SimTime, group: Group, iface: IfaceId) {
+        if let Some(s) = self.members.get_mut(&group) {
+            s.remove(&iface);
+        }
+        // Prunes happen lazily on the next data packet (data-driven).
+    }
+
+    /// The forwarding rule: all interfaces except the arrival interface,
+    /// minus pruned branches, minus leaf subnetworks with no members
+    /// (truncated broadcast), minus router-less interfaces with no members.
+    fn flood_set(&self, source: Addr, group: Group, arrival: IfaceId) -> Vec<IfaceId> {
+        let entry = self.entries.get(&(source, group));
+        (0..self.iface_count)
+            .map(|i| IfaceId(i as u32))
+            .filter(|&i| i != arrival)
+            .filter(|&i| {
+                if let Some(e) = entry {
+                    if e.pruned.contains_key(&i) {
+                        return false;
+                    }
+                }
+                if self.host_lans.contains(&i) {
+                    // Leaf subnetwork: truncate unless members present.
+                    self.has_member(group, i)
+                } else {
+                    // Router link: flood only if a neighbor lives there.
+                    !self.neighbors[i.index()].is_empty()
+                }
+            })
+            .collect()
+    }
+
+    /// A multicast data packet arrived on `iface` (router side or host
+    /// side — dense mode treats a local source's subnetwork as just
+    /// another RPF interface).
+    pub fn on_data(&mut self, now: SimTime, iface: IfaceId, source: Addr, group: Group, payload: &[u8], rib: &dyn Rib) -> Vec<Output> {
+        let mut out = Vec::new();
+        // RPF check: accept only on the interface we'd use to reach S
+        // (or the host LAN the source lives on).
+        let rpf_ok = match self.local_hosts.get(&source) {
+            Some(&h) => h == iface,
+            None => rib.rpf_iface(source) == Some(iface),
+        };
+        if !rpf_ok {
+            return out;
+        }
+        let expires = now + self.cfg.entry_timeout;
+        let entry = self
+            .entries
+            .entry((source, group))
+            .or_insert_with(|| SgEntry::new(expires));
+        entry.expires_at = expires;
+        // Grow back lapsed prunes.
+        let lapsed: Vec<IfaceId> = entry
+            .pruned
+            .iter()
+            .filter(|(_, &t)| now >= t)
+            .map(|(&i, _)| i)
+            .collect();
+        for i in lapsed {
+            entry.pruned.remove(&i);
+        }
+
+        let ifaces = self.flood_set(source, group, iface);
+        let no_receivers = ifaces.is_empty() && !self.has_any_member(group);
+        if no_receivers && self.local_hosts.get(&source) != Some(&iface) {
+            // "It will send a prune message upstream toward the source"
+            // (§1.1), damped.
+            let entry = self.entries.get_mut(&(source, group)).expect("inserted");
+            let due = entry
+                .last_prune_at
+                .map_or(true, |t| now.since(t) >= self.cfg.prune_damping);
+            if due {
+                entry.last_prune_at = Some(now);
+                entry.pruned_upstream = true;
+                if let Some(r) = rib.route(source) {
+                    out.push(Output::Send {
+                        iface: r.iface,
+                        dst: r.next_hop,
+                        msg: Message::DvmrpPrune(Prune {
+                            source,
+                            group,
+                            lifetime: self.cfg.prune_lifetime.ticks().min(u32::MAX as u64) as u32,
+                        }),
+                    });
+                }
+            }
+            return out;
+        }
+        if !ifaces.is_empty() {
+            out.push(Output::Forward {
+                ifaces,
+                source,
+                group,
+                payload: payload.to_vec(),
+            });
+        }
+        out
+    }
+
+    /// A prune arrived from a downstream router on `iface`.
+    pub fn on_prune(&mut self, now: SimTime, iface: IfaceId, p: &Prune) -> Vec<Output> {
+        let expires = now + self.cfg.entry_timeout;
+        let entry = self
+            .entries
+            .entry((p.source, p.group))
+            .or_insert_with(|| SgEntry::new(expires));
+        entry
+            .pruned
+            .insert(iface, now + Duration(p.lifetime as u64));
+        Vec::new()
+    }
+
+    /// A graft arrived from a downstream router on `iface`: un-prune the
+    /// branch, ack it, and cascade our own graft upstream if we had pruned.
+    pub fn on_graft(&mut self, now: SimTime, iface: IfaceId, gr: &Graft, rib: &dyn Rib) -> Vec<Output> {
+        let mut out = vec![Output::Send {
+            iface,
+            dst: Addr::ALL_PIM_ROUTERS, // link-local; the grafting router hears it
+            msg: Message::DvmrpGraftAck(GraftAck {
+                source: gr.source,
+                group: gr.group,
+            }),
+        }];
+        if let Some(e) = self.entries.get_mut(&(gr.source, gr.group)) {
+            e.pruned.remove(&iface);
+            if e.pruned_upstream {
+                e.pruned_upstream = false;
+                e.pending_graft = Some(now + self.cfg.graft_retransmit);
+                if let Some(r) = rib.route(gr.source) {
+                    out.push(Output::Send {
+                        iface: r.iface,
+                        dst: r.next_hop,
+                        msg: Message::DvmrpGraft(Graft {
+                            source: gr.source,
+                            group: gr.group,
+                        }),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// A graft ack arrived: stop retransmitting.
+    pub fn on_graft_ack(&mut self, _now: SimTime, ack: &GraftAck) {
+        if let Some(e) = self.entries.get_mut(&(ack.source, ack.group)) {
+            e.pending_graft = None;
+        }
+    }
+
+    /// A neighbor probe arrived on `iface`.
+    pub fn on_probe(&mut self, now: SimTime, iface: IfaceId, src: Addr, _p: &Probe) {
+        self.neighbors[iface.index()].insert(src, now + self.cfg.neighbor_timeout);
+    }
+
+    /// Periodic maintenance: probes, neighbor expiry, graft retransmits,
+    /// entry GC.
+    pub fn tick(&mut self, now: SimTime, rib: &dyn Rib) -> Vec<Output> {
+        let mut out = Vec::new();
+        if now >= self.next_probe {
+            self.next_probe = now + self.cfg.probe_interval;
+            for i in 0..self.iface_count {
+                let iface = IfaceId(i as u32);
+                if self.host_lans.contains(&iface) {
+                    continue;
+                }
+                let neighbors: Vec<Addr> = self.neighbors[i].keys().copied().collect();
+                out.push(Output::Send {
+                    iface,
+                    dst: Addr::ALL_PIM_ROUTERS,
+                    msg: Message::DvmrpProbe(Probe { neighbors }),
+                });
+            }
+        }
+        for nb in &mut self.neighbors {
+            nb.retain(|_, &mut t| now < t);
+        }
+        // Graft retransmission (the one acked DVMRP exchange).
+        let keys: Vec<(Addr, Group)> = self.entries.keys().copied().collect();
+        for key in keys {
+            let e = self.entries.get_mut(&key).expect("key listed");
+            if let Some(at) = e.pending_graft {
+                if now >= at {
+                    e.pending_graft = Some(now + self.cfg.graft_retransmit);
+                    if let Some(r) = rib.route(key.0) {
+                        out.push(Output::Send {
+                            iface: r.iface,
+                            dst: r.next_hop,
+                            msg: Message::DvmrpGraft(Graft {
+                                source: key.0,
+                                group: key.1,
+                            }),
+                        });
+                    }
+                }
+            }
+        }
+        self.entries.retain(|_, e| now < e.expires_at);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicast::{OracleRib, RouteEntry};
+
+    fn me() -> Addr {
+        Addr::new(10, 0, 1, 1)
+    }
+    fn up() -> Addr {
+        Addr::new(10, 0, 0, 1)
+    }
+    fn src() -> Addr {
+        Addr::new(10, 0, 0, 10)
+    }
+    fn g() -> Group {
+        Group::test(3)
+    }
+    fn t(x: u64) -> SimTime {
+        SimTime(x)
+    }
+
+    /// Engine with iface 0 = upstream (toward src), ifaces 1,2 = downstream
+    /// router links, iface 3 = host LAN.
+    fn engine_with_neighbors() -> (DvmrpEngine, OracleRib) {
+        let mut e = DvmrpEngine::new(me(), 4, DvmrpConfig::default());
+        e.set_host_lan(IfaceId(3));
+        // Downstream neighbors on 1 and 2 (and our upstream on 0).
+        e.on_probe(t(0), IfaceId(0), up(), &Probe { neighbors: vec![] });
+        e.on_probe(t(0), IfaceId(1), Addr::new(10, 0, 2, 1), &Probe { neighbors: vec![] });
+        e.on_probe(t(0), IfaceId(2), Addr::new(10, 0, 3, 1), &Probe { neighbors: vec![] });
+        let mut rib = OracleRib::empty(me());
+        rib.insert(src(), RouteEntry { iface: IfaceId(0), next_hop: up(), metric: 1 });
+        (e, rib)
+    }
+
+    #[test]
+    fn floods_to_router_links_truncates_memberless_leaves() {
+        let (mut e, rib) = engine_with_neighbors();
+        let out = e.on_data(t(1), IfaceId(0), src(), g(), b"d", &rib);
+        // Host LAN (3) has no members: truncated. Routers on 1,2 get it.
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            &out[0],
+            Output::Forward { ifaces, .. } if ifaces == &vec![IfaceId(1), IfaceId(2)]
+        ));
+        assert_eq!(e.entry_count(), 1);
+    }
+
+    #[test]
+    fn member_leaf_receives() {
+        let (mut e, rib) = engine_with_neighbors();
+        e.local_member_joined(t(0), g(), IfaceId(3), &rib);
+        let out = e.on_data(t(1), IfaceId(0), src(), g(), b"d", &rib);
+        assert!(matches!(
+            &out[0],
+            Output::Forward { ifaces, .. }
+                if ifaces == &vec![IfaceId(1), IfaceId(2), IfaceId(3)]
+        ));
+    }
+
+    #[test]
+    fn rpf_check_drops_wrong_interface() {
+        let (mut e, rib) = engine_with_neighbors();
+        let out = e.on_data(t(1), IfaceId(1), src(), g(), b"d", &rib);
+        assert!(out.is_empty(), "non-RPF arrival must be dropped");
+        assert_eq!(e.entry_count(), 0);
+    }
+
+    #[test]
+    fn prune_removes_branch_until_growback() {
+        let (mut e, rib) = engine_with_neighbors();
+        e.on_data(t(1), IfaceId(0), src(), g(), b"d", &rib);
+        e.on_prune(
+            t(2),
+            IfaceId(1),
+            &Prune { source: src(), group: g(), lifetime: 100 },
+        );
+        assert!(e.is_pruned(src(), g(), IfaceId(1)));
+        let out = e.on_data(t(3), IfaceId(0), src(), g(), b"d", &rib);
+        assert!(matches!(
+            &out[0],
+            Output::Forward { ifaces, .. } if ifaces == &vec![IfaceId(2)]
+        ));
+        // After the lifetime, the branch grows back (§1.1).
+        let out = e.on_data(t(103), IfaceId(0), src(), g(), b"d", &rib);
+        assert!(matches!(
+            &out[0],
+            Output::Forward { ifaces, .. } if ifaces == &vec![IfaceId(1), IfaceId(2)]
+        ));
+    }
+
+    #[test]
+    fn leaf_router_prunes_upstream_when_no_receivers() {
+        // Only the upstream link has a neighbor: we're a leaf router.
+        let mut e = DvmrpEngine::new(me(), 2, DvmrpConfig::default());
+        e.set_host_lan(IfaceId(1));
+        e.on_probe(t(0), IfaceId(0), up(), &Probe { neighbors: vec![] });
+        let mut rib = OracleRib::empty(me());
+        rib.insert(src(), RouteEntry { iface: IfaceId(0), next_hop: up(), metric: 1 });
+
+        let out = e.on_data(t(1), IfaceId(0), src(), g(), b"d", &rib);
+        assert!(matches!(
+            &out[0],
+            Output::Send { iface, dst, msg: Message::DvmrpPrune(p) }
+                if *iface == IfaceId(0) && *dst == up() && p.source == src()
+        ));
+        assert!(e.pruned_upstream(src(), g()));
+        // Damping: an immediate second packet does not re-prune.
+        let out = e.on_data(t(2), IfaceId(0), src(), g(), b"d", &rib);
+        assert!(out.is_empty());
+        // After the damping interval it may re-prune (upstream grow-back).
+        let out = e.on_data(t(60), IfaceId(0), src(), g(), b"d", &rib);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn member_join_grafts_pruned_branch() {
+        let mut e = DvmrpEngine::new(me(), 2, DvmrpConfig::default());
+        e.set_host_lan(IfaceId(1));
+        e.on_probe(t(0), IfaceId(0), up(), &Probe { neighbors: vec![] });
+        let mut rib = OracleRib::empty(me());
+        rib.insert(src(), RouteEntry { iface: IfaceId(0), next_hop: up(), metric: 1 });
+        e.on_data(t(1), IfaceId(0), src(), g(), b"d", &rib); // prunes upstream
+
+        let out = e.local_member_joined(t(10), g(), IfaceId(1), &rib);
+        assert!(matches!(
+            &out[0],
+            Output::Send { msg: Message::DvmrpGraft(gr), .. }
+                if gr.source == src() && gr.group == g()
+        ));
+        assert!(!e.pruned_upstream(src(), g()));
+        // Unacked graft retransmits on tick...
+        let out = e.tick(t(25), &rib);
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, Output::Send { msg: Message::DvmrpGraft(_), .. })));
+        // ...until the ack arrives.
+        e.on_graft_ack(t(26), &GraftAck { source: src(), group: g() });
+        let out = e.tick(t(50), &rib);
+        assert!(!out
+            .iter()
+            .any(|o| matches!(o, Output::Send { msg: Message::DvmrpGraft(_), .. })));
+    }
+
+    #[test]
+    fn graft_from_downstream_unprunes_and_acks() {
+        let (mut e, rib) = engine_with_neighbors();
+        e.on_data(t(1), IfaceId(0), src(), g(), b"d", &rib);
+        e.on_prune(t(2), IfaceId(1), &Prune { source: src(), group: g(), lifetime: 100 });
+        let out = e.on_graft(t(5), IfaceId(1), &Graft { source: src(), group: g() }, &rib);
+        assert!(matches!(
+            &out[0],
+            Output::Send { iface, msg: Message::DvmrpGraftAck(_), .. } if *iface == IfaceId(1)
+        ));
+        assert!(!e.is_pruned(src(), g(), IfaceId(1)));
+    }
+
+    #[test]
+    fn graft_cascades_upstream() {
+        let mut e = DvmrpEngine::new(me(), 2, DvmrpConfig::default());
+        e.on_probe(t(0), IfaceId(0), up(), &Probe { neighbors: vec![] });
+        e.on_probe(t(0), IfaceId(1), Addr::new(10, 0, 2, 1), &Probe { neighbors: vec![] });
+        let mut rib = OracleRib::empty(me());
+        rib.insert(src(), RouteEntry { iface: IfaceId(0), next_hop: up(), metric: 1 });
+        // Downstream pruned, so we pruned upstream too.
+        e.on_data(t(1), IfaceId(0), src(), g(), b"d", &rib);
+        e.on_prune(t(2), IfaceId(1), &Prune { source: src(), group: g(), lifetime: 100 });
+        e.on_data(t(60), IfaceId(0), src(), g(), b"d", &rib);
+        assert!(e.pruned_upstream(src(), g()));
+        // Downstream grafts: we must cascade.
+        let out = e.on_graft(t(70), IfaceId(1), &Graft { source: src(), group: g() }, &rib);
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Output::Send { iface, msg: Message::DvmrpGraft(_), .. } if *iface == IfaceId(0)
+        )));
+    }
+
+    #[test]
+    fn entries_gc_without_data() {
+        let (mut e, rib) = engine_with_neighbors();
+        e.on_data(t(1), IfaceId(0), src(), g(), b"d", &rib);
+        assert_eq!(e.entry_count(), 1);
+        e.tick(t(500), &rib);
+        assert_eq!(e.entry_count(), 0, "entries must lapse without traffic");
+    }
+
+    #[test]
+    fn local_source_floods_from_host_lan() {
+        let (mut e, rib) = engine_with_neighbors();
+        let local_src = Addr::new(10, 0, 1, 10);
+        e.register_local_host(local_src, IfaceId(3));
+        let out = e.on_data(t(1), IfaceId(3), local_src, g(), b"d", &rib);
+        assert!(matches!(
+            &out[0],
+            Output::Forward { ifaces, .. }
+                if ifaces == &vec![IfaceId(0), IfaceId(1), IfaceId(2)]
+        ));
+    }
+}

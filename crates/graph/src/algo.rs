@@ -1,0 +1,313 @@
+//! Shortest-path and connectivity algorithms.
+//!
+//! [`dijkstra`] is used by the oracle unicast RIB, by the link-state routing
+//! engine, and (via [`AllPairs`]) by the Figure-2 Monte-Carlo study, where a
+//! 50-node all-pairs table is computed once per topology and then shared by
+//! hundreds of group computations.
+
+use crate::{EdgeId, Graph, NodeId, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest-path computation.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    /// The source node.
+    pub source: NodeId,
+    /// `dist[v]` = shortest distance from the source to `v`, or `None` if
+    /// `v` is unreachable.
+    pub dist: Vec<Option<Weight>>,
+    /// `parent[v]` = the edge leading to `v` on a shortest path from the
+    /// source (`None` for the source itself and unreachable nodes).
+    pub parent: Vec<Option<EdgeId>>,
+}
+
+impl ShortestPaths {
+    /// Distance from the source to `v`, if reachable.
+    #[inline]
+    pub fn dist_to(&self, v: NodeId) -> Option<Weight> {
+        self.dist[v.index()]
+    }
+
+    /// The next node walking back from `v` toward the source, together with
+    /// the edge used, or `None` at the source / for unreachable nodes.
+    pub fn parent_of(&self, g: &Graph, v: NodeId) -> Option<(NodeId, EdgeId)> {
+        let e = self.parent[v.index()]?;
+        Some((g.edge(e).other(v), e))
+    }
+
+    /// The full path (sequence of nodes, source first) from the source to
+    /// `v`, or `None` if unreachable.
+    pub fn path_to(&self, g: &Graph, v: NodeId) -> Option<Vec<NodeId>> {
+        self.dist[v.index()]?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some((p, _)) = self.parent_of(g, cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.source);
+        Some(path)
+    }
+
+    /// The edges of the path from the source to `v`, or `None` if
+    /// unreachable.
+    pub fn path_edges_to(&self, g: &Graph, v: NodeId) -> Option<Vec<EdgeId>> {
+        self.dist[v.index()]?;
+        let mut edges = Vec::new();
+        let mut cur = v;
+        while let Some((p, e)) = self.parent_of(g, cur) {
+            edges.push(e);
+            cur = p;
+        }
+        edges.reverse();
+        Some(edges)
+    }
+}
+
+/// Dijkstra's algorithm from `source`.
+///
+/// Ties between equal-length paths are broken deterministically by preferring
+/// the path whose final hop has the smaller parent node id, then the smaller
+/// edge id. Deterministic tie-breaking matters: PIM's RPF checks require that
+/// all routers agree on reverse paths, and the simulator's oracle RIB and the
+/// distance-vector/link-state engines must converge to the same trees for the
+/// protocol-independence tests to be meaningful.
+pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPaths {
+    let n = g.node_count();
+    let mut dist: Vec<Option<Weight>> = vec![None; n];
+    let mut parent: Vec<Option<EdgeId>> = vec![None; n];
+    // Heap entries: Reverse((dist, parent_node, edge, node)) so that pops are
+    // ordered by distance, then by the deterministic tie-break key.
+    let mut heap: BinaryHeap<Reverse<(Weight, u32, u32, NodeId)>> = BinaryHeap::new();
+    dist[source.index()] = Some(0);
+    heap.push(Reverse((0, u32::MAX, u32::MAX, source)));
+
+    while let Some(Reverse((d, _pn, pe, v))) = heap.pop() {
+        match dist[v.index()] {
+            Some(best) if d > best => continue, // stale entry
+            Some(best) if d == best => {
+                // First settlement of v decides the parent; later equal
+                // entries are duplicates of the winning tie-break only if the
+                // recorded parent matches.
+                if parent[v.index()].map(|e| e.0) != (pe != u32::MAX).then_some(pe) {
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        for &eid in g.incident(v) {
+            let edge = g.edge(eid);
+            let u = edge.other(v);
+            let nd = d + edge.weight;
+            let better = match dist[u.index()] {
+                None => true,
+                Some(old) if nd < old => true,
+                Some(old) if nd == old => {
+                    // Equal-cost tie-break: smaller parent node id, then
+                    // smaller edge id.
+                    match parent[u.index()] {
+                        Some(old_e) => {
+                            let old_parent = g.edge(old_e).other(u);
+                            (v.0, eid.0) < (old_parent.0, old_e.0)
+                        }
+                        None => false,
+                    }
+                }
+                _ => false,
+            };
+            if better {
+                dist[u.index()] = Some(nd);
+                parent[u.index()] = Some(eid);
+                heap.push(Reverse((nd, v.0, eid.0, u)));
+            }
+        }
+    }
+
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+    }
+}
+
+/// All-pairs shortest paths, computed as one Dijkstra per node.
+///
+/// For the 50-node graphs of the Figure-2 study this costs ~50 heap-based
+/// Dijkstras and is then reused across all 300 groups of the topology.
+#[derive(Clone, Debug)]
+pub struct AllPairs {
+    /// `per_source[s]` = shortest paths from `s`.
+    pub per_source: Vec<ShortestPaths>,
+}
+
+impl AllPairs {
+    /// Compute all-pairs shortest paths for `g`.
+    pub fn new(g: &Graph) -> Self {
+        AllPairs {
+            per_source: g.nodes().map(|s| dijkstra(g, s)).collect(),
+        }
+    }
+
+    /// Distance from `a` to `b`, if connected.
+    #[inline]
+    pub fn dist(&self, a: NodeId, b: NodeId) -> Option<Weight> {
+        self.per_source[a.index()].dist_to(b)
+    }
+
+    /// The shortest-path tree rooted at `s`.
+    #[inline]
+    pub fn from(&self, s: NodeId) -> &ShortestPaths {
+        &self.per_source[s.index()]
+    }
+}
+
+/// True if every node is reachable from node 0 (and hence, since edges are
+/// undirected, the graph is connected). Empty graphs count as connected.
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.node_count();
+    if n == 0 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![NodeId(0)];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(v) = stack.pop() {
+        for u in g.neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                count += 1;
+                stack.push(u);
+            }
+        }
+    }
+    count == n
+}
+
+/// Breadth-first distances (hop counts) from `source`; `None` = unreachable.
+pub fn bfs_hops(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    let mut hops = vec![None; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    hops[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let h = hops[v.index()].expect("queued nodes have hop counts");
+        for u in g.neighbors(v) {
+            if hops[u.index()].is_none() {
+                hops[u.index()] = Some(h + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small fixture:
+    ///
+    /// ```text
+    ///      1 --5-- 3
+    ///     /|       |
+    ///    1 |2      |1
+    ///   /  |       |
+    ///  0 --+--4--- 2
+    /// ```
+    fn diamond() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 2);
+        g.add_edge(NodeId(0), NodeId(2), 4);
+        g.add_edge(NodeId(1), NodeId(3), 5);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        g
+    }
+
+    #[test]
+    fn dijkstra_distances() {
+        let g = diamond();
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(sp.dist_to(NodeId(0)), Some(0));
+        assert_eq!(sp.dist_to(NodeId(1)), Some(1));
+        assert_eq!(sp.dist_to(NodeId(2)), Some(3)); // via node 1
+        assert_eq!(sp.dist_to(NodeId(3)), Some(4)); // 0-1-2-3
+    }
+
+    #[test]
+    fn dijkstra_paths() {
+        let g = diamond();
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(
+            sp.path_to(&g, NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(sp.path_to(&g, NodeId(0)).unwrap(), vec![NodeId(0)]);
+        let edges = sp.path_edges_to(&g, NodeId(3)).unwrap();
+        assert_eq!(edges.len(), 3);
+        let total: Weight = edges.iter().map(|&e| g.edge(e).weight).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(sp.dist_to(NodeId(2)), None);
+        assert!(sp.path_to(&g, NodeId(2)).is_none());
+        assert!(sp.path_edges_to(&g, NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn dijkstra_deterministic_tie_break() {
+        // Two equal-cost paths 0->3: via 1 and via 2. The tie-break must pick
+        // the parent with the smaller node id (1).
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(0), NodeId(2), 1);
+        g.add_edge(NodeId(1), NodeId(3), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(
+            sp.path_to(&g, NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = diamond();
+        let ap = AllPairs::new(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(ap.dist(a, b), ap.dist(b, a), "{a} vs {b}");
+            }
+        }
+        assert_eq!(ap.dist(NodeId(0), NodeId(3)), Some(4));
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = diamond();
+        assert!(is_connected(&g));
+        let mut g2 = Graph::with_nodes(3);
+        g2.add_edge(NodeId(0), NodeId(1), 1);
+        assert!(!is_connected(&g2));
+        assert!(is_connected(&Graph::with_nodes(0)));
+        assert!(is_connected(&Graph::with_nodes(1)));
+    }
+
+    #[test]
+    fn bfs_hop_counts() {
+        let g = diamond();
+        let hops = bfs_hops(&g, NodeId(0));
+        assert_eq!(hops[0], Some(0));
+        assert_eq!(hops[1], Some(1));
+        assert_eq!(hops[2], Some(1));
+        assert_eq!(hops[3], Some(2));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the graph algorithms: Dijkstra is validated against
+//! an independent Bellman-Ford implementation, and the generators'
+//! contracts are pinned.
+
+use graph::algo::{bfs_hops, dijkstra, is_connected, AllPairs};
+use graph::gen::{random_connected, RandomGraphParams};
+use graph::{Graph, NodeId, Weight};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Reference shortest-path: Bellman-Ford (edge-list relaxations).
+fn bellman_ford(g: &Graph, src: NodeId) -> Vec<Option<Weight>> {
+    let n = g.node_count();
+    let mut dist: Vec<Option<Weight>> = vec![None; n];
+    dist[src.index()] = Some(0);
+    for _ in 0..n {
+        let mut changed = false;
+        for (_, e) in g.edges() {
+            for (a, b) in [(e.a, e.b), (e.b, e.a)] {
+                if let Some(da) = dist[a.index()] {
+                    let cand = da + e.weight;
+                    if dist[b.index()].map_or(true, |db| cand < db) {
+                        dist[b.index()] = Some(cand);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..20, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Densest feasible degree up to 3 (a 2-node simple graph tops out
+        // at average degree 1).
+        let avg_degree = (n as f64 - 1.0).min(3.0);
+        random_connected(
+            &RandomGraphParams {
+                nodes: n,
+                avg_degree,
+                delay_range: (1, 9),
+            },
+            &mut rng,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dijkstra_matches_bellman_ford(g in arb_graph(), src_pick in any::<prop::sample::Index>()) {
+        let src = NodeId(src_pick.index(g.node_count()) as u32);
+        let sp = dijkstra(&g, src);
+        let reference = bellman_ford(&g, src);
+        for v in g.nodes() {
+            prop_assert_eq!(sp.dist_to(v), reference[v.index()], "{:?}→{:?}", src, v);
+        }
+    }
+
+    #[test]
+    fn dijkstra_paths_are_consistent(g in arb_graph(), src_pick in any::<prop::sample::Index>()) {
+        let src = NodeId(src_pick.index(g.node_count()) as u32);
+        let sp = dijkstra(&g, src);
+        for v in g.nodes() {
+            let Some(d) = sp.dist_to(v) else { continue };
+            // The reported path's edge weights must sum to the distance.
+            let edges = sp.path_edges_to(&g, v).expect("reachable");
+            let total: Weight = edges.iter().map(|&e| g.edge(e).weight).sum();
+            prop_assert_eq!(total, d);
+            // And the node path must be edge-connected.
+            let path = sp.path_to(&g, v).expect("reachable");
+            prop_assert_eq!(path[0], src);
+            prop_assert_eq!(*path.last().expect("nonempty"), v);
+            for w in path.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric_and_triangle_bounded(g in arb_graph()) {
+        let ap = AllPairs::new(&g);
+        for a in g.nodes() {
+            prop_assert_eq!(ap.dist(a, a), Some(0));
+            for b in g.nodes() {
+                prop_assert_eq!(ap.dist(a, b), ap.dist(b, a));
+                for c in g.nodes() {
+                    if let (Some(ab), Some(bc), Some(ac)) =
+                        (ap.dist(a, b), ap.dist(b, c), ap.dist(a, c))
+                    {
+                        prop_assert!(ac <= ab + bc, "triangle inequality");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_contract(n in 4usize..40, deg in 3u32..6, seed in any::<u64>()) {
+        let deg = (deg as f64).min(n as f64 - 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_connected(
+            &RandomGraphParams { nodes: n, avg_degree: deg, delay_range: (1, 10) },
+            &mut rng,
+        );
+        prop_assert!(is_connected(&g));
+        prop_assert_eq!(g.node_count(), n);
+        let target = ((deg * n as f64) / 2.0).round() as usize;
+        prop_assert_eq!(g.edge_count(), target.max(n - 1));
+        // Simple graph: no duplicate edges.
+        let mut seen = std::collections::HashSet::new();
+        for (_, e) in g.edges() {
+            prop_assert!(seen.insert((e.a.min(e.b), e.a.max(e.b))));
+        }
+    }
+
+    #[test]
+    fn bfs_hops_lower_bounds_weighted_distance(g in arb_graph(), src_pick in any::<prop::sample::Index>()) {
+        let src = NodeId(src_pick.index(g.node_count()) as u32);
+        let hops = bfs_hops(&g, src);
+        let sp = dijkstra(&g, src);
+        for v in g.nodes() {
+            match (hops[v.index()], sp.dist_to(v)) {
+                (Some(h), Some(d)) => prop_assert!(u64::from(h) <= d, "min weight is 1"),
+                (None, None) => {}
+                other => prop_assert!(false, "reachability mismatch {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Center-based (core-based) shared trees, with exhaustive optimal-core
+//! search — the "optimal core-based tree algorithm" the paper simulated
+//! for Figure 2(a).
+
+use graph::algo::AllPairs;
+use graph::{EdgeId, Graph, NodeId, Weight};
+use std::collections::BTreeSet;
+
+/// A core-rooted shared tree: the union of shortest paths from the core to
+/// every member (which is how CBT joins, traveling hop-by-hop along
+/// unicast-shortest routes, materialize).
+#[derive(Clone, Debug)]
+pub struct CenterTree {
+    /// The core (center) node.
+    pub core: NodeId,
+    /// The tree's links.
+    pub edges: BTreeSet<EdgeId>,
+    /// For each member (in input order): the node sequence of its
+    /// core→member path. Used for tree-path delay computations.
+    member_paths: Vec<Vec<NodeId>>,
+    /// Distance from the core to each node on some member path (indexed by
+    /// node id; `u64::MAX` for off-tree nodes).
+    dist_from_core: Vec<Weight>,
+}
+
+impl CenterTree {
+    /// Delay from the core to `n` along the tree (`None` if off-tree).
+    pub fn dist_from_core(&self, n: NodeId) -> Option<Weight> {
+        let d = self.dist_from_core[n.index()];
+        (d != Weight::MAX).then_some(d)
+    }
+
+    /// Tree-path delay between member `i` and member `j` (indices into the
+    /// member list the tree was built with).
+    ///
+    /// The packet travels member-i → LCA → member-j, so the delay is
+    /// `d(core,i) + d(core,j) − 2·d(core,lca)`.
+    pub fn member_pair_delay(&self, i: usize, j: usize) -> Weight {
+        let pi = &self.member_paths[i];
+        let pj = &self.member_paths[j];
+        // Find the last common node of the two core-rooted paths.
+        let mut lca = pi[0];
+        for (a, b) in pi.iter().zip(pj.iter()) {
+            if a == b {
+                lca = *a;
+            } else {
+                break;
+            }
+        }
+        let di = self.dist_from_core[pi.last().expect("nonempty path").index()];
+        let dj = self.dist_from_core[pj.last().expect("nonempty path").index()];
+        let dl = self.dist_from_core[lca.index()];
+        di + dj - 2 * dl
+    }
+
+    /// The maximum delay between any two members through the tree — the
+    /// quantity Figure 2(a) reports for core-based trees.
+    pub fn max_pair_delay(&self, members_len: usize) -> Weight {
+        let mut max = 0;
+        for i in 0..members_len {
+            for j in (i + 1)..members_len {
+                max = max.max(self.member_pair_delay(i, j));
+            }
+        }
+        max
+    }
+}
+
+/// Build the shared tree for `members` rooted at `core`.
+///
+/// # Panics
+/// Panics if any member is unreachable from the core.
+pub fn center_tree(g: &Graph, ap: &AllPairs, core: NodeId, members: &[NodeId]) -> CenterTree {
+    let sp = ap.from(core);
+    let mut edges = BTreeSet::new();
+    let mut dist_from_core = vec![Weight::MAX; g.node_count()];
+    dist_from_core[core.index()] = 0;
+    let mut member_paths = Vec::with_capacity(members.len());
+    for &m in members {
+        let path = sp.path_to(g, m).expect("member must be reachable from core");
+        for &n in &path {
+            dist_from_core[n.index()] = sp.dist_to(n).expect("node on path");
+        }
+        for e in sp.path_edges_to(g, m).expect("member reachable") {
+            edges.insert(e);
+        }
+        member_paths.push(path);
+    }
+    CenterTree {
+        core,
+        edges,
+        member_paths,
+        dist_from_core,
+    }
+}
+
+/// Exhaustive optimal-core search: try every node as the core and keep the
+/// tree minimizing the maximum member-pair delay. Returns the tree and its
+/// max delay. This is the strongest possible core placement — the paper's
+/// point is that *even this* loses to SPTs on delay.
+pub fn optimal_center_tree(g: &Graph, ap: &AllPairs, members: &[NodeId]) -> (CenterTree, Weight) {
+    assert!(members.len() >= 2, "need at least two members");
+    let mut best: Option<(CenterTree, Weight)> = None;
+    for core in g.nodes() {
+        // Skip cores that can't reach everyone (disconnected graphs).
+        if members.iter().any(|&m| ap.dist(core, m).is_none()) {
+            continue;
+        }
+        let tree = center_tree(g, ap, core, members);
+        let d = tree.max_pair_delay(members.len());
+        if best.as_ref().map_or(true, |(_, bd)| d < *bd) {
+            best = Some((tree, d));
+        }
+    }
+    best.expect("at least one core can reach all members")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A star: center 0, leaves 1..=4, each edge weight 2.
+    fn star() -> Graph {
+        let mut g = Graph::with_nodes(5);
+        for i in 1..5 {
+            g.add_edge(NodeId(0), NodeId(i), 2);
+        }
+        g
+    }
+
+    #[test]
+    fn star_center_is_optimal() {
+        let g = star();
+        let ap = AllPairs::new(&g);
+        let members = [NodeId(1), NodeId(2), NodeId(3)];
+        let (tree, d) = optimal_center_tree(&g, &ap, &members);
+        assert_eq!(tree.core, NodeId(0));
+        assert_eq!(d, 4, "leaf→center→leaf");
+        assert_eq!(tree.edges.len(), 3);
+    }
+
+    #[test]
+    fn pair_delay_through_lca() {
+        // Path 0-1-2-3; members 0 and 3, core 1.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 3);
+        g.add_edge(NodeId(2), NodeId(3), 5);
+        let ap = AllPairs::new(&g);
+        let tree = center_tree(&g, &ap, NodeId(1), &[NodeId(0), NodeId(3)]);
+        assert_eq!(tree.member_pair_delay(0, 1), 9, "0→1→2→3");
+        assert_eq!(tree.dist_from_core(NodeId(3)), Some(8));
+        assert_eq!(tree.dist_from_core(NodeId(0)), Some(1));
+    }
+
+    #[test]
+    fn shared_segments_not_double_counted() {
+        // Y shape: core 0 - 1, then 1 - 2 and 1 - 3. Members 2,3.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 10);
+        g.add_edge(NodeId(1), NodeId(2), 1);
+        g.add_edge(NodeId(1), NodeId(3), 1);
+        let ap = AllPairs::new(&g);
+        let tree = center_tree(&g, &ap, NodeId(0), &[NodeId(2), NodeId(3)]);
+        // 2 and 3 meet at node 1, not at the core: delay 2, not 22.
+        assert_eq!(tree.member_pair_delay(0, 1), 2);
+        assert_eq!(tree.edges.len(), 3);
+    }
+
+    #[test]
+    fn member_at_core_has_zero_distance() {
+        let g = star();
+        let ap = AllPairs::new(&g);
+        let tree = center_tree(&g, &ap, NodeId(0), &[NodeId(0), NodeId(1)]);
+        assert_eq!(tree.member_pair_delay(0, 1), 2);
+    }
+
+    #[test]
+    fn optimal_beats_or_equals_arbitrary_core() {
+        let g = star();
+        let ap = AllPairs::new(&g);
+        let members = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        let (_, opt) = optimal_center_tree(&g, &ap, &members);
+        for core in g.nodes() {
+            let tree = center_tree(&g, &ap, core, &members);
+            assert!(tree.max_pair_delay(members.len()) >= opt);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-link traffic-flow counting — Figure 2(b)'s metric.
+//!
+//! "In each network, there were 300 active groups all having 40 members,
+//! of which 32 members were also senders. We measured the number of
+//! traffic flows on each link of the network, then recorded the maximum
+//! number within the network."
+//!
+//! A *flow* is one (group, sender) pair. A link carries the flow if the
+//! sender's packets traverse it:
+//!
+//! * **SPT**: the flow covers the sender's shortest-path tree pruned to
+//!   the group's members;
+//! * **CBT**: packets propagate over the whole bidirectional shared tree
+//!   (every tree leaf is a member by construction, so no branch is
+//!   spared) — every link of the group's tree carries every sender's
+//!   flow. This is the traffic-concentration effect of Figure 1(c).
+
+use crate::center::center_tree;
+use crate::spt::spt_tree_edges;
+use crate::GroupSpec;
+use graph::algo::AllPairs;
+use graph::{Graph, NodeId, Weight};
+
+/// Per-link flow counts when every sender uses its own SPT.
+/// `result[e]` = number of (group, sender) flows crossing edge `e`.
+pub fn spt_link_flows(g: &Graph, ap: &AllPairs, groups: &[GroupSpec]) -> Vec<u32> {
+    let mut flows = vec![0u32; g.edge_count()];
+    for spec in groups {
+        for &s in &spec.senders {
+            for e in spt_tree_edges(g, ap, s, &spec.members) {
+                flows[e.index()] += 1;
+            }
+        }
+    }
+    flows
+}
+
+/// Per-link flow counts when each group uses one shared core-based tree.
+/// `core_of` selects the core for each group (e.g. the optimal placement).
+pub fn cbt_link_flows(
+    g: &Graph,
+    ap: &AllPairs,
+    groups: &[GroupSpec],
+    mut core_of: impl FnMut(&GroupSpec) -> NodeId,
+) -> Vec<u32> {
+    let mut flows = vec![0u32; g.edge_count()];
+    for spec in groups {
+        let core = core_of(spec);
+        let tree = center_tree(g, ap, core, &spec.members);
+        let senders = spec.senders.len() as u32;
+        for e in &tree.edges {
+            flows[e.index()] += senders;
+        }
+    }
+    flows
+}
+
+/// The core placement used for the Figure 2(b) experiment: the member-set
+/// 1-center — the node minimizing the maximum shortest-path distance to
+/// any member (cheap, and near-optimal for delay).
+pub fn one_center(g: &Graph, ap: &AllPairs, members: &[NodeId]) -> NodeId {
+    g.nodes()
+        .filter_map(|c| {
+            let ecc: Option<Weight> = members
+                .iter()
+                .map(|&m| ap.dist(c, m))
+                .try_fold(0, |acc, d| d.map(|d| std::cmp::max(acc, d)));
+            ecc.map(|e| (e, c))
+        })
+        .min_by_key(|&(e, c)| (e, c.0))
+        .map(|(_, c)| c)
+        .expect("graph must be nonempty and connected")
+}
+
+/// The maximum flow count over all links (the quantity Figure 2(b)
+/// plots).
+pub fn max_flows(flows: &[u32]) -> u32 {
+    flows.iter().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::EdgeId;
+
+    /// 0-1-2 path plus 3 hanging off 1.
+    fn tee() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1); // e0
+        g.add_edge(NodeId(1), NodeId(2), 1); // e1
+        g.add_edge(NodeId(1), NodeId(3), 1); // e2
+        g
+    }
+
+    #[test]
+    fn spt_flows_count_per_sender() {
+        let g = tee();
+        let ap = AllPairs::new(&g);
+        let spec = GroupSpec::all_send(vec![NodeId(0), NodeId(2)]);
+        let flows = spt_link_flows(&g, &ap, &[spec]);
+        // Sender 0's tree uses e0,e1; sender 2's tree uses e1,e0. Edge e2
+        // leads to no member.
+        assert_eq!(flows, vec![2, 2, 0]);
+    }
+
+    #[test]
+    fn cbt_flows_concentrate_on_tree() {
+        let g = tee();
+        let ap = AllPairs::new(&g);
+        let spec = GroupSpec {
+            members: vec![NodeId(0), NodeId(2), NodeId(3)],
+            senders: vec![NodeId(0), NodeId(2)],
+        };
+        let flows = cbt_link_flows(&g, &ap, &[spec], |_| NodeId(1));
+        // Every tree link carries both senders' flows.
+        assert_eq!(flows, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn one_center_picks_topological_middle() {
+        let g = tee();
+        let ap = AllPairs::new(&g);
+        assert_eq!(one_center(&g, &ap, &[NodeId(0), NodeId(2), NodeId(3)]), NodeId(1));
+        // Ties break toward the smaller node id.
+        assert_eq!(one_center(&g, &ap, &[NodeId(0), NodeId(1)]), NodeId(0));
+    }
+
+    #[test]
+    fn multiple_groups_accumulate() {
+        let g = tee();
+        let ap = AllPairs::new(&g);
+        let a = GroupSpec::all_send(vec![NodeId(0), NodeId(2)]);
+        let b = GroupSpec::all_send(vec![NodeId(0), NodeId(3)]);
+        let flows = spt_link_flows(&g, &ap, &[a, b]);
+        assert_eq!(flows[EdgeId(0).index()], 4); // both groups cross e0
+        assert_eq!(max_flows(&flows), 4);
+    }
+
+    #[test]
+    fn max_flows_empty() {
+        assert_eq!(max_flows(&[]), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Overhead accounting.
+//!
+//! The paper's efficiency metric (§1): "state, control message processing,
+//! and data packet processing required across the entire network in order to
+//! deliver data packets to the members of the group." The simulator counts
+//! the per-link message halves of that here; router state is counted by the
+//! protocol adapters themselves (they know their table sizes).
+
+use crate::time::SimTime;
+use crate::world::{LinkId, NodeIdx};
+use std::collections::HashMap;
+use wire::ip::{Header, Protocol};
+
+/// Whether a packet is protocol control traffic or application data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacketClass {
+    /// IGMP-family control messages (IGMP, PIM, DVMRP, CBT, unicast
+    /// routing).
+    Control,
+    /// Application data (including data encapsulated in PIM Registers —
+    /// those count as control, since they are unicast protocol messages).
+    Data,
+}
+
+impl PacketClass {
+    /// Classify a serialized packet by its network-header protocol field.
+    /// Unparseable packets count as control (conservative for the
+    /// experiments, which report data-packet overhead for PIM).
+    pub fn classify(packet: &[u8]) -> PacketClass {
+        match Header::decap(packet) {
+            Ok((h, _)) if h.proto == Protocol::Data => PacketClass::Data,
+            _ => PacketClass::Control,
+        }
+    }
+}
+
+/// Per-link transmit statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Control packets transmitted onto the link.
+    pub control_pkts: u64,
+    /// Data packets transmitted onto the link.
+    pub data_pkts: u64,
+    /// Total bytes transmitted (all classes).
+    pub bytes: u64,
+    /// Packets dropped by loss injection.
+    pub losses: u64,
+    /// Time of the most recent data-packet transmission.
+    pub last_data_at: Option<SimTime>,
+}
+
+/// World-wide overhead counters.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    per_link: HashMap<LinkId, LinkStats>,
+    local_deliveries: HashMap<NodeIdx, u64>,
+    rx_pkts: u64,
+    rx_bytes: u64,
+}
+
+impl Counters {
+    pub(crate) fn record_tx(&mut self, link: LinkId, class: PacketClass, len: usize, at: SimTime) {
+        let s = self.per_link.entry(link).or_default();
+        match class {
+            PacketClass::Control => s.control_pkts += 1,
+            PacketClass::Data => {
+                s.data_pkts += 1;
+                s.last_data_at = Some(at);
+            }
+        }
+        s.bytes += len as u64;
+    }
+
+    pub(crate) fn record_rx(&mut self, _link: LinkId, len: usize) {
+        self.rx_pkts += 1;
+        self.rx_bytes += len as u64;
+    }
+
+    pub(crate) fn record_loss(&mut self, link: LinkId) {
+        self.per_link.entry(link).or_default().losses += 1;
+    }
+
+    pub(crate) fn record_local_delivery(&mut self, node: NodeIdx) {
+        *self.local_deliveries.entry(node).or_default() += 1;
+    }
+
+    /// Stats for one link (zeroes if it never carried traffic).
+    pub fn link(&self, link: LinkId) -> LinkStats {
+        self.per_link.get(&link).copied().unwrap_or_default()
+    }
+
+    /// Iterate over links that carried any traffic.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &LinkStats)> + '_ {
+        self.per_link.iter().map(|(&l, s)| (l, s))
+    }
+
+    /// Total control packets transmitted network-wide.
+    pub fn total_control_pkts(&self) -> u64 {
+        self.per_link.values().map(|s| s.control_pkts).sum()
+    }
+
+    /// Total data packets transmitted network-wide (each link transit counts
+    /// once — this is the paper's "data packet processing across the entire
+    /// network").
+    pub fn total_data_pkts(&self) -> u64 {
+        self.per_link.values().map(|s| s.data_pkts).sum()
+    }
+
+    /// Total bytes transmitted network-wide.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_link.values().map(|s| s.bytes).sum()
+    }
+
+    /// Total packets dropped by loss injection.
+    pub fn losses(&self) -> u64 {
+        self.per_link.values().map(|s| s.losses).sum()
+    }
+
+    /// Data packets delivered to local group members at `node`.
+    pub fn local_deliveries(&self, node: NodeIdx) -> u64 {
+        self.local_deliveries.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Total data packets delivered to local group members anywhere.
+    pub fn total_local_deliveries(&self) -> u64 {
+        self.local_deliveries.values().sum()
+    }
+
+    /// Number of distinct links that carried at least one data packet.
+    pub fn links_carrying_data(&self) -> usize {
+        self.per_link.values().filter(|s| s.data_pkts > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::ip::{Header, Protocol};
+    use wire::Addr;
+
+    fn data_packet() -> Vec<u8> {
+        Header {
+            proto: Protocol::Data,
+            ttl: 8,
+            src: Addr::new(10, 0, 0, 1),
+            dst: Addr::new(239, 0, 0, 1),
+        }
+        .encap(b"payload")
+    }
+
+    fn control_packet() -> Vec<u8> {
+        Header {
+            proto: Protocol::Igmp,
+            ttl: 1,
+            src: Addr::new(10, 0, 0, 1),
+            dst: Addr::ALL_PIM_ROUTERS,
+        }
+        .encap(&[0; 4])
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(PacketClass::classify(&data_packet()), PacketClass::Data);
+        assert_eq!(
+            PacketClass::classify(&control_packet()),
+            PacketClass::Control
+        );
+        assert_eq!(PacketClass::classify(&[1, 2, 3]), PacketClass::Control);
+    }
+
+    #[test]
+    fn accounting() {
+        let mut c = Counters::default();
+        let l = LinkId(0);
+        c.record_tx(l, PacketClass::Data, 30, SimTime(5));
+        c.record_tx(l, PacketClass::Control, 20, SimTime(6));
+        c.record_tx(LinkId(1), PacketClass::Data, 30, SimTime(7));
+        c.record_loss(l);
+        c.record_local_delivery(NodeIdx(3));
+        c.record_local_delivery(NodeIdx(3));
+
+        assert_eq!(c.link(l).data_pkts, 1);
+        assert_eq!(c.link(l).control_pkts, 1);
+        assert_eq!(c.link(l).bytes, 50);
+        assert_eq!(c.link(l).last_data_at, Some(SimTime(5)));
+        assert_eq!(c.link(LinkId(9)).data_pkts, 0);
+        assert_eq!(c.total_data_pkts(), 2);
+        assert_eq!(c.total_control_pkts(), 1);
+        assert_eq!(c.total_bytes(), 80);
+        assert_eq!(c.losses(), 1);
+        assert_eq!(c.local_deliveries(NodeIdx(3)), 2);
+        assert_eq!(c.local_deliveries(NodeIdx(0)), 0);
+        assert_eq!(c.total_local_deliveries(), 2);
+        assert_eq!(c.links_carrying_data(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulated time.
+//!
+//! Time is measured in abstract *ticks*. One tick equals one unit of link
+//! delay in the underlying [`graph::Graph`]. Protocol timer constants
+//! (refresh periods, holdtimes) are expressed in ticks as well; the defaults
+//! chosen by the protocol crates keep the paper's ordering (per-hop delays ≪
+//! refresh periods ≪ entry lifetimes).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A duration in simulated ticks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from a tick count.
+    pub const fn from_ticks(t: u64) -> Duration {
+        Duration(t)
+    }
+
+    /// The tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating multiplication by a scalar (used for "3 × refresh period"
+    /// style protocol constants).
+    pub const fn saturating_mul(self, k: u64) -> Duration {
+        Duration(self.0.saturating_mul(k))
+    }
+}
+
+/// An absolute instant in simulated time, in ticks since simulation start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Ticks since simulation start.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero if `earlier` is in
+    /// the future.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, other: SimTime) -> Duration {
+        self.since(other)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, other: Duration) -> Duration {
+        Duration(self.0 + other.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(100);
+        assert_eq!(t + Duration(5), SimTime(105));
+        assert_eq!(SimTime(105) - t, Duration(5));
+        assert_eq!(t - SimTime(105), Duration::ZERO); // saturating
+        assert_eq!(Duration(3) + Duration(4), Duration(7));
+        assert_eq!(Duration(10).saturating_mul(3), Duration(30));
+        assert_eq!(Duration(u64::MAX).saturating_mul(2), Duration(u64::MAX));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(Duration(1) < Duration(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime(7).to_string(), "t7");
+        assert_eq!(Duration(7).to_string(), "7t");
+    }
+}

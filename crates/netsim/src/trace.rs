@@ -1,0 +1,236 @@
+//! Human-readable packet tracing — the simulator's `tcpdump`.
+//!
+//! [`describe_packet`] renders any serialized packet (network header +
+//! IGMP-family payload) as a one-line summary, decoding PIM/IGMP/DVMRP/CBT
+//! semantics. Example scenarios and debugging sessions use it to narrate
+//! what crossed a link:
+//!
+//! ```
+//! use netsim::trace::describe_packet;
+//! use wire::ip::{Header, Protocol};
+//! use wire::pim::{GroupEntry, JoinPrune, SourceEntry};
+//! use wire::{Addr, Group, Message};
+//!
+//! let msg = Message::PimJoinPrune(JoinPrune {
+//!     upstream_neighbor: Addr::new(10, 0, 0, 2),
+//!     holdtime: 180,
+//!     groups: vec![GroupEntry::join(
+//!         Group::test(1),
+//!         SourceEntry::shared_tree(Addr::new(10, 0, 0, 9)),
+//!     )],
+//! });
+//! let pkt = Header {
+//!     proto: Protocol::Igmp,
+//!     ttl: 1,
+//!     src: Addr::new(10, 0, 0, 1),
+//!     dst: Addr::ALL_PIM_ROUTERS,
+//! }
+//! .encap(&msg.encode());
+//! let line = describe_packet(&pkt);
+//! assert!(line.contains("Join/Prune"));
+//! assert!(line.contains("join={*,239.1.0.1}"));
+//! ```
+
+use std::fmt::Write as _;
+use wire::ip::{Header, Protocol};
+use wire::pim::SourceEntry;
+use wire::Message;
+
+fn entry_str(group: wire::Group, e: &SourceEntry) -> String {
+    if e.wildcard {
+        format!("{{*,{group}}}")
+    } else if e.rp_bit {
+        format!("{{{},{group}}}rpt", e.addr)
+    } else {
+        format!("{{{},{group}}}", e.addr)
+    }
+}
+
+/// Render a serialized packet as a one-line human-readable summary.
+/// Never panics: malformed packets render as `corrupt(...)`.
+pub fn describe_packet(packet: &[u8]) -> String {
+    let Ok((h, payload)) = Header::decap(packet) else {
+        return format!("corrupt({} bytes)", packet.len());
+    };
+    let mut s = format!("{} > {} ttl={} ", h.src, h.dst, h.ttl);
+    match h.proto {
+        Protocol::Data => {
+            let _ = write!(s, "DATA {} bytes", payload.len());
+        }
+        Protocol::Igmp => match Message::decode(payload) {
+            Err(e) => {
+                let _ = write!(s, "IGMP-family corrupt: {e}");
+            }
+            Ok(msg) => match msg {
+                Message::HostQuery(q) => {
+                    let _ = write!(s, "IGMP Query max_resp={}", q.max_resp_time);
+                }
+                Message::HostReport(r) => {
+                    let _ = write!(s, "IGMP Report group={}", r.group);
+                }
+                Message::RpMapping(m) => {
+                    let _ = write!(s, "IGMP RP-Mapping group={} rps={:?}", m.group, m.rps);
+                }
+                Message::PimQuery(q) => {
+                    let _ = write!(s, "PIM Query holdtime={}", q.holdtime);
+                }
+                Message::PimRegister(r) => {
+                    let _ = write!(
+                        s,
+                        "PIM Register group={} source={} ({} data bytes)",
+                        r.group,
+                        r.source,
+                        r.payload.len()
+                    );
+                }
+                Message::PimJoinPrune(jp) => {
+                    let _ = write!(s, "PIM Join/Prune to={} ", jp.upstream_neighbor);
+                    let mut joins = Vec::new();
+                    let mut prunes = Vec::new();
+                    for ge in &jp.groups {
+                        joins.extend(ge.joins.iter().map(|e| entry_str(ge.group, e)));
+                        prunes.extend(ge.prunes.iter().map(|e| entry_str(ge.group, e)));
+                    }
+                    let _ = write!(
+                        s,
+                        "join={} prune={} holdtime={}",
+                        if joins.is_empty() { "-".into() } else { joins.join(",") },
+                        if prunes.is_empty() { "-".into() } else { prunes.join(",") },
+                        jp.holdtime
+                    );
+                }
+                Message::PimRpReachability(r) => {
+                    let _ = write!(
+                        s,
+                        "PIM RP-Reachability group={} rp={} holdtime={}",
+                        r.group, r.rp, r.holdtime
+                    );
+                }
+                Message::DvmrpProbe(p) => {
+                    let _ = write!(s, "DVMRP Probe neighbors={}", p.neighbors.len());
+                }
+                Message::DvmrpPrune(p) => {
+                    let _ = write!(
+                        s,
+                        "DVMRP Prune ({},{}) lifetime={}",
+                        p.source, p.group, p.lifetime
+                    );
+                }
+                Message::DvmrpGraft(g) => {
+                    let _ = write!(s, "DVMRP Graft ({},{})", g.source, g.group);
+                }
+                Message::DvmrpGraftAck(g) => {
+                    let _ = write!(s, "DVMRP Graft-Ack ({},{})", g.source, g.group);
+                }
+                Message::CbtJoinRequest(j) => {
+                    let _ = write!(
+                        s,
+                        "CBT Join-Request group={} core={} origin={}",
+                        j.group, j.core, j.originator
+                    );
+                }
+                Message::CbtJoinAck(j) => {
+                    let _ = write!(s, "CBT Join-Ack group={} core={}", j.group, j.core);
+                }
+                Message::CbtEcho(e) => {
+                    let _ = write!(s, "CBT Echo groups={}", e.groups.len());
+                }
+                Message::CbtEchoReply(e) => {
+                    let _ = write!(s, "CBT Echo-Reply groups={}", e.groups.len());
+                }
+                Message::CbtQuit(q) => {
+                    let _ = write!(s, "CBT Quit group={}", q.group);
+                }
+                Message::CbtFlushTree(f) => {
+                    let _ = write!(s, "CBT Flush-Tree group={}", f.group);
+                }
+                Message::DvUpdate(u) => {
+                    let _ = write!(s, "DV Update routes={}", u.routes.len());
+                }
+                Message::Lsa(l) => {
+                    let _ = write!(s, "LSA origin={} seq={} links={}", l.origin, l.seq, l.links.len());
+                }
+                Message::Hello(hh) => {
+                    let _ = write!(s, "Hello holdtime={}", hh.holdtime);
+                }
+            },
+        },
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::pim::{GroupEntry, JoinPrune, Register, SourceEntry};
+    use wire::{Addr, Group};
+
+    fn wrap(msg: &Message) -> Vec<u8> {
+        Header {
+            proto: Protocol::Igmp,
+            ttl: 1,
+            src: Addr::new(10, 0, 0, 1),
+            dst: Addr::ALL_PIM_ROUTERS,
+        }
+        .encap(&msg.encode())
+    }
+
+    #[test]
+    fn join_prune_renders_entries() {
+        let msg = Message::PimJoinPrune(JoinPrune {
+            upstream_neighbor: Addr::new(10, 0, 0, 2),
+            holdtime: 180,
+            groups: vec![GroupEntry {
+                group: Group::test(1),
+                joins: vec![SourceEntry::shared_tree(Addr::new(10, 0, 0, 9))],
+                prunes: vec![SourceEntry::source_on_rp_tree(Addr::new(10, 0, 7, 10))],
+            }],
+        });
+        let line = describe_packet(&wrap(&msg));
+        assert!(line.contains("PIM Join/Prune"), "{line}");
+        assert!(line.contains("join={*,239.1.0.1}"), "{line}");
+        assert!(line.contains("prune={10.0.7.10,239.1.0.1}rpt"), "{line}");
+    }
+
+    #[test]
+    fn register_renders_payload_size() {
+        let msg = Message::PimRegister(Register {
+            group: Group::test(2),
+            source: Addr::new(10, 0, 1, 10),
+            payload: vec![0; 48],
+        });
+        let line = describe_packet(&wrap(&msg));
+        assert!(line.contains("PIM Register"), "{line}");
+        assert!(line.contains("48 data bytes"), "{line}");
+    }
+
+    #[test]
+    fn data_packets_render() {
+        let pkt = Header {
+            proto: Protocol::Data,
+            ttl: 30,
+            src: Addr::new(10, 0, 1, 10),
+            dst: Group::test(1).addr(),
+        }
+        .encap(&[1, 2, 3]);
+        let line = describe_packet(&pkt);
+        assert!(line.contains("DATA 3 bytes"), "{line}");
+        assert!(line.contains("ttl=30"), "{line}");
+    }
+
+    #[test]
+    fn corrupt_packets_never_panic() {
+        assert!(describe_packet(&[]).starts_with("corrupt"));
+        assert!(describe_packet(&[1, 2, 3]).starts_with("corrupt"));
+        // Valid header, garbage payload.
+        let pkt = Header {
+            proto: Protocol::Igmp,
+            ttl: 1,
+            src: Addr::new(10, 0, 0, 1),
+            dst: Addr::ALL_PIM_ROUTERS,
+        }
+        .encap(&[0xFF; 9]);
+        let line = describe_packet(&pkt);
+        assert!(line.contains("corrupt"), "{line}");
+    }
+}

@@ -1,0 +1,706 @@
+//! The discrete-event simulation world: nodes, links, the event queue, and
+//! the driver loop.
+//!
+//! The simulator is deliberately simple (smoltcp-style "simplicity and
+//! robustness"): links have a fixed propagation delay and optional random
+//! loss, nodes are trait objects that react to packets and timers, and all
+//! randomness flows from a single seeded RNG so every run is reproducible.
+//! There is no bandwidth/queueing model — the paper's evaluation counts
+//! state, control messages, and data-packet processing, none of which
+//! depend on queueing.
+
+use crate::counters::{Counters, PacketClass};
+use crate::time::{Duration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Index of a node in the world.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeIdx(pub usize);
+
+impl fmt::Debug for NodeIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A node-local interface index: position in the node's own interface list.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IfaceId(pub u32);
+
+impl IfaceId {
+    /// As a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for IfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "if{}", self.0)
+    }
+}
+
+impl fmt::Display for IfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "if{}", self.0)
+    }
+}
+
+/// Index of a link in the world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// Whether a link is a point-to-point wire or a multi-access LAN.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Exactly two attachments; a send by one is delivered to the other.
+    PointToPoint,
+    /// Any number of attachments; a send by one is delivered to all others
+    /// (needed for the paper's §3.7 multi-access subnetwork behaviors:
+    /// prune override, join suppression, DR election).
+    Lan,
+}
+
+/// A link connecting node interfaces.
+#[derive(Debug)]
+pub struct Link {
+    /// Point-to-point or LAN.
+    pub kind: LinkKind,
+    /// One-way propagation delay.
+    pub delay: Duration,
+    /// Administratively/physically up?
+    pub up: bool,
+    /// Per-receiver independent drop probability (failure injection).
+    pub loss: f64,
+    /// The attached `(node, iface)` pairs.
+    pub attachments: Vec<(NodeIdx, IfaceId)>,
+}
+
+/// A simulated node. Implementations wrap sans-IO protocol engines and
+/// translate their outputs into [`Ctx`] calls.
+pub trait Node {
+    /// Called once when the simulation starts, before any packets flow.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A packet arrived on `iface`. `packet` is the full serialized buffer
+    /// (network header included).
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, packet: &[u8]);
+
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+
+    /// Downcast support for post-run inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support for scenario scripting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+enum Event {
+    Deliver {
+        node: NodeIdx,
+        iface: IfaceId,
+        packet: Vec<u8>,
+        link: LinkId,
+    },
+    Timer {
+        node: NodeIdx,
+        token: u64,
+    },
+    Script(Box<dyn FnOnce(&mut World)>),
+}
+
+/// Everything the world owns *except* the nodes, so a node callback can
+/// borrow the node mutably alongside the rest of the world.
+struct Fabric {
+    now: SimTime,
+    links: Vec<Link>,
+    /// ifaces[node.0][iface.0] = link the interface attaches to.
+    ifaces: Vec<Vec<LinkId>>,
+    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    /// Event payloads, indexed by the id carried in the heap. Slots are
+    /// taken (replaced by `None`) as events fire.
+    events: Vec<Option<Event>>,
+    seq: u64,
+    rng: StdRng,
+    counters: Counters,
+    /// Packet capture: `Some((limit, ring))` when enabled.
+    capture: Option<(usize, Vec<CaptureRecord>)>,
+}
+
+/// One captured transmission (see [`World::enable_capture`]).
+#[derive(Clone, Debug)]
+pub struct CaptureRecord {
+    /// Transmission time.
+    pub at: SimTime,
+    /// The link transmitted on.
+    pub link: LinkId,
+    /// The transmitting node.
+    pub from: NodeIdx,
+    /// Human-readable decode of the packet (see [`crate::trace`]).
+    pub summary: String,
+}
+
+impl Fabric {
+    fn push_event(&mut self, at: SimTime, ev: Event) {
+        let id = self.events.len();
+        self.events.push(Some(ev));
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, id)));
+    }
+
+    /// Transmit `packet` out of `(node, iface)`: schedule deliveries to all
+    /// other attachments of the link after its propagation delay, applying
+    /// the link's loss probability independently per receiver.
+    fn transmit(&mut self, from: NodeIdx, iface: IfaceId, packet: Vec<u8>) {
+        let link_id = self.ifaces[from.0][iface.index()];
+        let link = &self.links[link_id.0];
+        if !link.up {
+            return;
+        }
+        let class = PacketClass::classify(&packet);
+        self.counters
+            .record_tx(link_id, class, packet.len(), self.now);
+        if let Some((limit, ring)) = &mut self.capture {
+            if ring.len() < *limit {
+                ring.push(CaptureRecord {
+                    at: self.now,
+                    link: link_id,
+                    from,
+                    summary: crate::trace::describe_packet(&packet),
+                });
+            }
+        }
+        let delay = link.delay;
+        let dests: Vec<(NodeIdx, IfaceId)> = link
+            .attachments
+            .iter()
+            .copied()
+            .filter(|&(n, i)| (n, i) != (from, iface))
+            .collect();
+        let loss = link.loss;
+        let at = self.now + delay;
+        for (n, i) in dests {
+            if loss > 0.0 && self.rng.gen::<f64>() < loss {
+                self.counters.record_loss(link_id);
+                continue;
+            }
+            self.push_event(
+                at,
+                Event::Deliver {
+                    node: n,
+                    iface: i,
+                    packet: packet.clone(),
+                    link: link_id,
+                },
+            );
+        }
+    }
+}
+
+/// The per-callback view of the world handed to [`Node`] implementations.
+pub struct Ctx<'a> {
+    fabric: &'a mut Fabric,
+    node: NodeIdx,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.fabric.now
+    }
+
+    /// The index of the node being called.
+    pub fn me(&self) -> NodeIdx {
+        self.node
+    }
+
+    /// Number of interfaces this node has.
+    pub fn iface_count(&self) -> usize {
+        self.fabric.ifaces[self.node.0].len()
+    }
+
+    /// Transmit a serialized packet out of `iface`.
+    pub fn send(&mut self, iface: IfaceId, packet: Vec<u8>) {
+        debug_assert!(
+            iface.index() < self.iface_count(),
+            "send on nonexistent interface {iface:?}"
+        );
+        self.fabric.transmit(self.node, iface, packet);
+    }
+
+    /// Arrange for [`Node::on_timer`] to be called with `token` after `d`.
+    pub fn set_timer(&mut self, d: Duration, token: u64) {
+        let at = self.fabric.now + d;
+        self.fabric.push_event(
+            at,
+            Event::Timer {
+                node: self.node,
+                token,
+            },
+        );
+    }
+
+    /// Seeded randomness for protocol jitter (e.g. IGMP report delays).
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.fabric.rng
+    }
+
+    /// Is the link behind `iface` currently up?
+    pub fn iface_up(&self, iface: IfaceId) -> bool {
+        let link = self.fabric.ifaces[self.node.0][iface.index()];
+        self.fabric.links[link.0].up
+    }
+
+    /// Record that a data packet was delivered to a locally attached group
+    /// member (for the experiment counters).
+    pub fn count_local_delivery(&mut self) {
+        self.fabric.counters.record_local_delivery(self.node);
+    }
+}
+
+/// The simulation world.
+pub struct World {
+    nodes: Vec<Option<Box<dyn Node>>>,
+    fabric: Fabric,
+    started: bool,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl World {
+    /// Create an empty world whose RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> World {
+        World {
+            nodes: Vec::new(),
+            fabric: Fabric {
+                now: SimTime::ZERO,
+                links: Vec::new(),
+                ifaces: Vec::new(),
+                queue: BinaryHeap::new(),
+                events: Vec::new(),
+                seq: 0,
+                rng: StdRng::seed_from_u64(seed),
+                counters: Counters::default(),
+                capture: None,
+            },
+            started: false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.fabric.now
+    }
+
+    /// Add a node; returns its index.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeIdx {
+        assert!(!self.started, "cannot add nodes after start");
+        self.nodes.push(Some(node));
+        self.fabric.ifaces.push(Vec::new());
+        NodeIdx(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn attach(&mut self, node: NodeIdx, link: LinkId) -> IfaceId {
+        let ifaces = &mut self.fabric.ifaces[node.0];
+        ifaces.push(link);
+        let iface = IfaceId(ifaces.len() as u32 - 1);
+        self.fabric.links[link.0].attachments.push((node, iface));
+        iface
+    }
+
+    /// Add a point-to-point link; returns `(link, iface at a, iface at b)`.
+    pub fn add_p2p(&mut self, a: NodeIdx, b: NodeIdx, delay: Duration) -> (LinkId, IfaceId, IfaceId) {
+        assert_ne!(a, b, "p2p link endpoints must differ");
+        let id = LinkId(self.fabric.links.len());
+        self.fabric.links.push(Link {
+            kind: LinkKind::PointToPoint,
+            delay,
+            up: true,
+            loss: 0.0,
+            attachments: Vec::new(),
+        });
+        let ia = self.attach(a, id);
+        let ib = self.attach(b, id);
+        (id, ia, ib)
+    }
+
+    /// Add a multi-access LAN joining `nodes`; returns the link id and each
+    /// node's new interface, in order.
+    pub fn add_lan(&mut self, nodes: &[NodeIdx], delay: Duration) -> (LinkId, Vec<IfaceId>) {
+        assert!(nodes.len() >= 2, "a LAN needs at least two attachments");
+        let id = LinkId(self.fabric.links.len());
+        self.fabric.links.push(Link {
+            kind: LinkKind::Lan,
+            delay,
+            up: true,
+            loss: 0.0,
+            attachments: Vec::new(),
+        });
+        let ifaces = nodes.iter().map(|&n| self.attach(n, id)).collect();
+        (id, ifaces)
+    }
+
+    /// Take a link up or down (topology-change injection).
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.fabric.links[link.0].up = up;
+    }
+
+    /// Set a link's independent per-receiver drop probability.
+    pub fn set_link_loss(&mut self, link: LinkId, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss));
+        self.fabric.links[link.0].loss = loss;
+    }
+
+    /// Link metadata.
+    pub fn link(&self, link: LinkId) -> &Link {
+        &self.fabric.links[link.0]
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.fabric.links.len()
+    }
+
+    /// Overhead counters collected so far.
+    pub fn counters(&self) -> &Counters {
+        &self.fabric.counters
+    }
+
+    /// Reset the overhead counters (e.g. after protocol warm-up, so an
+    /// experiment measures steady state only).
+    pub fn reset_counters(&mut self) {
+        self.fabric.counters = Counters::default();
+    }
+
+    /// Start capturing packet transmissions — the simulator's `tcpdump`.
+    /// Records up to `limit` packets (time, link, sender, human-readable
+    /// decode) from now on; calling again clears the buffer.
+    pub fn enable_capture(&mut self, limit: usize) {
+        self.fabric.capture = Some((limit, Vec::new()));
+    }
+
+    /// The packets captured so far (empty if capture was never enabled).
+    pub fn captured(&self) -> &[CaptureRecord] {
+        self.fabric
+            .capture
+            .as_ref()
+            .map(|(_, ring)| ring.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Schedule an arbitrary scripted action (host joins a group, link
+    /// fails, ...) at absolute time `at`.
+    pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+        assert!(at >= self.fabric.now, "cannot schedule in the past");
+        self.fabric.push_event(at, Event::Script(Box::new(f)));
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Panics if the node is of a different type (a test bug, not a runtime
+    /// condition).
+    pub fn node<T: 'static>(&self, idx: NodeIdx) -> &T {
+        self.nodes[idx.0]
+            .as_ref()
+            .expect("node is not mid-callback")
+            .as_any()
+            .downcast_ref()
+            .expect("node type mismatch")
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    pub fn node_mut<T: 'static>(&mut self, idx: NodeIdx) -> &mut T {
+        self.nodes[idx.0]
+            .as_mut()
+            .expect("node is not mid-callback")
+            .as_any_mut()
+            .downcast_mut()
+            .expect("node type mismatch")
+    }
+
+    /// Run a node callback through the take-call-put dance that lets the
+    /// node borrow the fabric mutably alongside itself.
+    fn with_node(&mut self, idx: NodeIdx, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
+        let mut node = self.nodes[idx.0].take().expect("node re-entrancy");
+        {
+            let mut ctx = Ctx {
+                fabric: &mut self.fabric,
+                node: idx,
+            };
+            f(node.as_mut(), &mut ctx);
+        }
+        self.nodes[idx.0] = Some(node);
+    }
+
+    /// Invoke a node's [`Node::on_timer`]-style entry from scripted events,
+    /// giving scenario code a way to poke engines with full context.
+    pub fn call_node(&mut self, idx: NodeIdx, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
+        self.with_node(idx, f);
+    }
+
+    /// Deliver `on_start` to every node (idempotent; called automatically by
+    /// the run methods).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.with_node(NodeIdx(i), |n, ctx| n.on_start(ctx));
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        let Some(Reverse((at, _seq, id))) = self.fabric.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.fabric.now, "time went backwards");
+        self.fabric.now = at;
+        let ev = self.fabric.events[id].take().expect("event fired twice");
+        match ev {
+            Event::Deliver {
+                node,
+                iface,
+                packet,
+                link,
+            } => {
+                self.fabric.counters.record_rx(link, packet.len());
+                self.with_node(node, |n, ctx| n.on_packet(ctx, iface, &packet));
+            }
+            Event::Timer { node, token } => {
+                self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            Event::Script(f) => f(self),
+        }
+        true
+    }
+
+    /// Run until the event queue is empty or simulated time would exceed
+    /// `until`. Returns the number of events processed.
+    pub fn run_until(&mut self, until: SimTime) -> usize {
+        self.start();
+        let mut n = 0;
+        while let Some(&Reverse((at, _, _))) = self.fabric.queue.peek() {
+            if at > until {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        // Advance the clock to the requested horizon even if idle.
+        if self.fabric.now < until {
+            self.fabric.now = until;
+        }
+        n
+    }
+
+    /// Run until the queue drains completely (only sensible when no node
+    /// sets periodic timers), or until `max_events` as a runaway guard.
+    pub fn run_to_idle(&mut self, max_events: usize) -> usize {
+        self.start();
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A test node that echoes every packet back out the interface it came
+    /// in on, decrementing the first byte as a TTL; records deliveries.
+    struct Echo {
+        received: Vec<(u64, IfaceId, Vec<u8>)>,
+        timers: Vec<(u64, u64)>,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo {
+                received: Vec::new(),
+                timers: Vec::new(),
+            }
+        }
+    }
+
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, packet: &[u8]) {
+            self.received
+                .push((ctx.now().ticks(), iface, packet.to_vec()));
+            if let Some((&ttl, rest)) = packet.split_first() {
+                if ttl > 0 {
+                    let mut next = vec![ttl - 1];
+                    next.extend_from_slice(rest);
+                    ctx.send(iface, next);
+                }
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.timers.push((ctx.now().ticks(), token));
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_node_world() -> (World, NodeIdx, NodeIdx, LinkId) {
+        let mut w = World::new(1);
+        let a = w.add_node(Box::new(Echo::new()));
+        let b = w.add_node(Box::new(Echo::new()));
+        let (l, _, _) = w.add_p2p(a, b, Duration(3));
+        (w, a, b, l)
+    }
+
+    #[test]
+    fn p2p_delivery_with_delay() {
+        let (mut w, a, b, _) = two_node_world();
+        w.at(SimTime(10), move |w| {
+            w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0, 42]));
+        });
+        w.run_until(SimTime(100));
+        let eb: &Echo = w.node(b);
+        assert_eq!(eb.received.len(), 1);
+        assert_eq!(eb.received[0].0, 13); // 10 + delay 3
+        assert_eq!(eb.received[0].2, vec![0, 42]);
+        // TTL 0: no echo back.
+        let ea: &Echo = w.node(a);
+        assert!(ea.received.is_empty());
+    }
+
+    #[test]
+    fn ping_pong_until_ttl_exhausted() {
+        let (mut w, a, b, _) = two_node_world();
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![5]));
+        });
+        w.run_until(SimTime(1000));
+        let ea: &Echo = w.node(a);
+        let eb: &Echo = w.node(b);
+        // b receives ttl=5,3,1; a receives ttl=4,2,0.
+        assert_eq!(eb.received.len(), 3);
+        assert_eq!(ea.received.len(), 3);
+        assert_eq!(ea.received.last().unwrap().2, vec![0]);
+    }
+
+    #[test]
+    fn lan_broadcast_excludes_sender() {
+        let mut w = World::new(1);
+        let nodes: Vec<NodeIdx> = (0..4).map(|_| w.add_node(Box::new(Echo::new()))).collect();
+        let (_, _ifaces) = w.add_lan(&nodes, Duration(1));
+        let sender = nodes[2];
+        w.at(SimTime(0), move |w| {
+            w.call_node(sender, |_n, ctx| ctx.send(IfaceId(0), vec![0, 7]));
+        });
+        w.run_until(SimTime(10));
+        for (i, &n) in nodes.iter().enumerate() {
+            let e: &Echo = w.node(n);
+            if n == sender {
+                assert!(e.received.is_empty(), "sender must not hear itself");
+            } else {
+                assert_eq!(e.received.len(), 1, "node {i} missed the broadcast");
+                assert_eq!(e.received[0].0, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut w = World::new(1);
+        let a = w.add_node(Box::new(Echo::new()));
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| {
+                ctx.set_timer(Duration(10), 1);
+                ctx.set_timer(Duration(5), 2);
+                ctx.set_timer(Duration(10), 3); // same time as token 1: FIFO
+            });
+        });
+        w.run_until(SimTime(100));
+        let e: &Echo = w.node(a);
+        assert_eq!(e.timers, vec![(5, 2), (10, 1), (10, 3)]);
+    }
+
+    #[test]
+    fn downed_link_drops_traffic() {
+        let (mut w, a, b, l) = two_node_world();
+        w.at(SimTime(0), move |w| w.set_link_up(l, false));
+        w.at(SimTime(1), move |w| {
+            w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![3]));
+        });
+        w.run_until(SimTime(50));
+        let eb: &Echo = w.node(b);
+        assert!(eb.received.is_empty());
+    }
+
+    #[test]
+    fn lossy_link_drops_some() {
+        let (mut w, a, _b, l) = two_node_world();
+        w.set_link_loss(l, 0.5);
+        for t in 0..200 {
+            w.at(SimTime(t), move |w| {
+                w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0]));
+            });
+        }
+        w.run_until(SimTime(1000));
+        let eb: &Echo = w.node(NodeIdx(1));
+        assert!(eb.received.len() > 50, "lost too many: {}", eb.received.len());
+        assert!(eb.received.len() < 150, "lost too few: {}", eb.received.len());
+        assert!(w.counters().losses() > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let (mut w, a, _b, l) = two_node_world();
+            w.set_link_loss(l, 0.3);
+            for t in 0..50 {
+                w.at(SimTime(t), move |w| {
+                    w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0, t as u8]));
+                });
+            }
+            w.run_until(SimTime(500));
+            let eb: &Echo = w.node(NodeIdx(1));
+            eb.received.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clock_advances_to_horizon_when_idle() {
+        let (mut w, _a, _b, _l) = two_node_world();
+        w.run_until(SimTime(123));
+        assert_eq!(w.now(), SimTime(123));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_rejected() {
+        let (mut w, _a, _b, _l) = two_node_world();
+        w.run_until(SimTime(10));
+        w.at(SimTime(5), |_| {});
+    }
+}

@@ -1,0 +1,139 @@
+//! Simulator-level guarantees: bit-for-bit determinism per seed, seed
+//! sensitivity of loss injection, and event-ordering stability. These are
+//! the properties every experiment in the repository leans on.
+
+use netsim::{Ctx, Duration, IfaceId, Node, NodeIdx, SimTime, World};
+use proptest::prelude::*;
+use std::any::Any;
+
+/// A chatty node: floods a counter to all interfaces on a timer, records
+/// everything it hears.
+struct Chatter {
+    log: Vec<(u64, u32, Vec<u8>)>,
+    counter: u8,
+}
+
+impl Chatter {
+    fn new() -> Self {
+        Chatter {
+            log: Vec::new(),
+            counter: 0,
+        }
+    }
+}
+
+impl Node for Chatter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(Duration(3), 1);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, packet: &[u8]) {
+        self.log.push((ctx.now().ticks(), iface.0, packet.to_vec()));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        self.counter = self.counter.wrapping_add(1);
+        for i in 0..ctx.iface_count() {
+            ctx.send(IfaceId(i as u32), vec![self.counter]);
+        }
+        if ctx.now() < SimTime(200) {
+            ctx.set_timer(Duration(7), 1);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Build a 5-node mesh-ish world with loss, run it, and fingerprint every
+/// node's receive log.
+fn run(seed: u64, loss: f64) -> Vec<Vec<(u64, u32, Vec<u8>)>> {
+    let mut w = World::new(seed);
+    let nodes: Vec<NodeIdx> = (0..5).map(|_| w.add_node(Box::new(Chatter::new()))).collect();
+    let links = [
+        (0usize, 1usize, 2u64),
+        (1, 2, 3),
+        (2, 3, 1),
+        (3, 4, 2),
+        (4, 0, 5),
+        (1, 3, 4),
+    ];
+    for &(a, b, d) in &links {
+        let (l, _, _) = w.add_p2p(nodes[a], nodes[b], Duration(d));
+        if loss > 0.0 {
+            w.set_link_loss(l, loss);
+        }
+    }
+    let (lan, _) = w.add_lan(&[nodes[0], nodes[2], nodes[4]], Duration(1));
+    if loss > 0.0 {
+        w.set_link_loss(lan, loss);
+    }
+    w.run_until(SimTime(400));
+    nodes
+        .iter()
+        .map(|&n| w.node::<Chatter>(n).log.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Identical seeds produce identical histories, even with loss.
+    #[test]
+    fn identical_seed_identical_history(seed in any::<u64>()) {
+        prop_assert_eq!(run(seed, 0.3), run(seed, 0.3));
+    }
+
+    /// Without loss, histories are seed-independent (the RNG is only used
+    /// for loss decisions in this scenario).
+    #[test]
+    fn lossless_history_is_seed_independent(s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assert_eq!(run(s1, 0.0), run(s2, 0.0));
+    }
+}
+
+#[test]
+fn different_seed_different_losses() {
+    // With heavy loss, at least one of a few seed pairs must diverge
+    // (overwhelmingly likely; fixed seeds keep this deterministic).
+    let a = run(1, 0.5);
+    let b = run(2, 0.5);
+    assert_ne!(a, b, "seeds 1 and 2 produced identical loss patterns");
+}
+
+#[test]
+fn capture_records_transmissions() {
+    let mut w = World::new(4);
+    let a = w.add_node(Box::new(Chatter::new()));
+    let b = w.add_node(Box::new(Chatter::new()));
+    w.add_p2p(a, b, Duration(2));
+    w.enable_capture(5);
+    w.run_until(SimTime(100));
+    let cap = w.captured();
+    assert_eq!(cap.len(), 5, "capture must stop at the limit");
+    assert!(cap[0].at <= cap[1].at, "records in time order");
+    // The chatter payloads aren't valid packets: decoded as corrupt,
+    // never panicking.
+    assert!(cap[0].summary.starts_with("corrupt"));
+}
+
+#[test]
+fn counters_are_reproducible() {
+    let totals: Vec<u64> = (0..3)
+        .map(|_| {
+            let mut w = World::new(9);
+            let a = w.add_node(Box::new(Chatter::new()));
+            let b = w.add_node(Box::new(Chatter::new()));
+            w.add_p2p(a, b, Duration(2));
+            w.run_until(SimTime(300));
+            w.counters().total_bytes()
+        })
+        .collect();
+    assert_eq!(totals[0], totals[1]);
+    assert_eq!(totals[1], totals[2]);
+    assert!(totals[0] > 0);
+}

@@ -1,0 +1,247 @@
+//! Core Based Tree (CBT) control messages — the paper's §1.3 comparison
+//! protocol (Ballardie, Francis & Crowcroft, SIGCOMM '93).
+//!
+//! CBT builds one bidirectional shared tree per group rooted at a *core*.
+//! Its engineering contrast with PIM (paper footnote 4) is that CBT uses
+//! **explicit hop-by-hop reliability**: joins are acknowledged ([`JoinAck`])
+//! and tree liveness is maintained with child→parent [`Echo`] keepalives,
+//! whereas PIM relies purely on periodically refreshed soft state.
+
+use crate::{Addr, Error, Group, Reader, Result, Writer};
+
+/// Join request, forwarded hop-by-hop toward the group's core. Each
+/// intermediate router records a transient join state until the ack comes
+/// back down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinRequest {
+    /// The group being joined.
+    pub group: Group,
+    /// The core toward which this join travels.
+    pub core: Addr,
+    /// The router that originated the join (for ack matching / debugging).
+    pub originator: Addr,
+}
+
+impl JoinRequest {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.group(self.group);
+        w.addr(self.core);
+        w.addr(self.originator);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let group = r.group()?;
+        let core = r.addr()?;
+        let originator = r.addr()?;
+        if core.is_multicast() || originator.is_multicast() {
+            return Err(Error::Malformed);
+        }
+        Ok(JoinRequest {
+            group,
+            core,
+            originator,
+        })
+    }
+}
+
+/// Acknowledgment of a [`JoinRequest`], sent hop-by-hop back toward the
+/// originator; receipt turns transient join state into a confirmed
+/// child/parent tree edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinAck {
+    /// The group joined.
+    pub group: Group,
+    /// The core of the tree.
+    pub core: Addr,
+    /// The originator of the join being acknowledged.
+    pub originator: Addr,
+}
+
+impl JoinAck {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.group(self.group);
+        w.addr(self.core);
+        w.addr(self.originator);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let group = r.group()?;
+        let core = r.addr()?;
+        let originator = r.addr()?;
+        if core.is_multicast() || originator.is_multicast() {
+            return Err(Error::Malformed);
+        }
+        Ok(JoinAck {
+            group,
+            core,
+            originator,
+        })
+    }
+}
+
+/// Child→parent keepalive covering all of the child's groups on that
+/// parent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Echo {
+    /// Groups for which the sender is a child of the addressed parent.
+    pub groups: Vec<Group>,
+}
+
+impl Echo {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        assert!(self.groups.len() <= u8::MAX as usize);
+        w.u8(self.groups.len() as u8);
+        for g in &self.groups {
+            w.group(*g);
+        }
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let n = r.u8()? as usize;
+        if r.remaining() < n * 4 {
+            return Err(Error::Truncated);
+        }
+        let mut groups = Vec::with_capacity(n);
+        for _ in 0..n {
+            groups.push(r.group()?);
+        }
+        Ok(Echo { groups })
+    }
+}
+
+/// Parent→child reply to an [`Echo`]; lists the groups the parent still has
+/// tree state for. A group missing from the reply has been torn down and
+/// the child must rejoin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EchoReply {
+    /// Groups still alive on the parent.
+    pub groups: Vec<Group>,
+}
+
+impl EchoReply {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        assert!(self.groups.len() <= u8::MAX as usize);
+        w.u8(self.groups.len() as u8);
+        for g in &self.groups {
+            w.group(*g);
+        }
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let n = r.u8()? as usize;
+        if r.remaining() < n * 4 {
+            return Err(Error::Truncated);
+        }
+        let mut groups = Vec::with_capacity(n);
+        for _ in 0..n {
+            groups.push(r.group()?);
+        }
+        Ok(EchoReply { groups })
+    }
+}
+
+/// Child→parent notification that the child is leaving the tree for a
+/// group (its own members and children are gone).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Quit {
+    /// The group being left.
+    pub group: Group,
+}
+
+impl Quit {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.group(self.group);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Quit { group: r.group()? })
+    }
+}
+
+/// Parent→children teardown of a whole subtree (e.g. the parent lost its
+/// own path to the core); children must rejoin toward the core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushTree {
+    /// The group whose subtree is flushed.
+    pub group: Group,
+}
+
+impl FlushTree {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.group(self.group);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(FlushTree { group: r.group()? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    #[test]
+    fn join_roundtrip() {
+        let m = Message::CbtJoinRequest(JoinRequest {
+            group: Group::test(5),
+            core: Addr::new(10, 0, 0, 9),
+            originator: Addr::new(10, 2, 0, 1),
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn join_ack_roundtrip() {
+        let m = Message::CbtJoinAck(JoinAck {
+            group: Group::test(5),
+            core: Addr::new(10, 0, 0, 9),
+            originator: Addr::new(10, 2, 0, 1),
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let m = Message::CbtEcho(Echo {
+            groups: vec![Group::test(1), Group::test(2)],
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+        let r = Message::CbtEchoReply(EchoReply {
+            groups: vec![Group::test(1)],
+        });
+        assert_eq!(Message::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn quit_and_flush_roundtrip() {
+        let q = Message::CbtQuit(Quit {
+            group: Group::test(5),
+        });
+        assert_eq!(Message::decode(&q.encode()).unwrap(), q);
+        let f = Message::CbtFlushTree(FlushTree {
+            group: Group::test(5),
+        });
+        assert_eq!(Message::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn join_rejects_multicast_core() {
+        let mut w = Writer::new();
+        w.group(Group::test(5));
+        w.addr(Addr::new(224, 0, 0, 9));
+        w.addr(Addr::new(10, 2, 0, 1));
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(JoinRequest::decode_body(&mut r), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn echo_count_overflow_rejected() {
+        let mut w = Writer::new();
+        w.u8(99);
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(Echo::decode_body(&mut r), Err(Error::Truncated));
+    }
+}

@@ -1,0 +1,77 @@
+//! The internet checksum (RFC 1071), used by the IP-style header and by
+//! every IGMP-family message in this reproduction.
+
+/// Compute the 16-bit one's-complement internet checksum of `data`.
+///
+/// A trailing odd byte is padded with zero, per RFC 1071.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Verify a buffer whose checksum field is already filled in: the checksum
+/// of the whole buffer must be zero.
+pub fn verify(data: &[u8]) -> bool {
+    checksum(data) == 0
+}
+
+/// Fill in the 2-byte checksum field at `offset` in `buf`, which must
+/// currently be zero.
+///
+/// # Panics
+/// Panics if `offset + 2 > buf.len()` — checksum offsets are fixed by this
+/// crate's own encoders, never attacker-controlled.
+pub fn fill(buf: &mut [u8], offset: usize) {
+    debug_assert_eq!(&buf[offset..offset + 2], &[0, 0], "checksum field not zeroed");
+    let sum = checksum(buf);
+    buf[offset..offset + 2].copy_from_slice(&sum.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn zero_buffer() {
+        assert_eq!(checksum(&[0u8; 8]), 0xFFFF);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        assert_eq!(checksum(&[0xFF]), checksum(&[0xFF, 0x00]));
+    }
+
+    #[test]
+    fn fill_then_verify() {
+        let mut buf = vec![0x12, 0x34, 0x00, 0x00, 0xAB, 0xCD, 0x01];
+        fill(&mut buf, 2);
+        assert!(verify(&buf));
+        // Corrupt a byte; verification must fail.
+        buf[0] ^= 0x40;
+        assert!(!verify(&buf));
+    }
+
+    #[test]
+    fn fill_verify_empty_payload() {
+        let mut buf = vec![0x00, 0x00];
+        fill(&mut buf, 0);
+        assert!(verify(&buf));
+    }
+}

@@ -1,0 +1,201 @@
+//! DVMRP-style dense-mode control messages (the paper's §1.1 baseline).
+//!
+//! Dense mode needs only three control messages beyond the data packets
+//! themselves (membership is *assumed*; data is flooded by reverse-path
+//! forwarding):
+//!
+//! * [`Probe`] — neighbor discovery / keepalive, also carrying the set of
+//!   neighbors already heard from so both ends learn adjacency is
+//!   bidirectional;
+//! * [`Prune`] — "send a prune message upstream toward the source of the
+//!   data packet" when a router has no members and no downstream receivers;
+//!   carries a lifetime after which the pruned branch "grows back" (§1.1);
+//! * [`Graft`]/[`GraftAck`] — the standard extension that re-attaches a
+//!   pruned branch immediately when a member appears, instead of waiting
+//!   for the prune to time out. Grafts are the one *acknowledged* DVMRP
+//!   message (a lost graft would otherwise silence a new member until the
+//!   next flood).
+
+use crate::{Addr, Error, Group, Reader, Result, Writer};
+
+/// Neighbor discovery / keepalive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Probe {
+    /// Neighbors the sender has already heard probes from on this
+    /// interface.
+    pub neighbors: Vec<Addr>,
+}
+
+impl Probe {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        assert!(self.neighbors.len() <= u8::MAX as usize);
+        w.u8(self.neighbors.len() as u8);
+        for n in &self.neighbors {
+            w.addr(*n);
+        }
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let n = r.u8()? as usize;
+        if r.remaining() < n * 4 {
+            return Err(Error::Truncated);
+        }
+        let mut neighbors = Vec::with_capacity(n);
+        for _ in 0..n {
+            neighbors.push(r.addr()?);
+        }
+        Ok(Probe { neighbors })
+    }
+}
+
+/// Prune (source, group) state upstream: "the prune messages prune the tree
+/// branches not leading to group members" (§1.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prune {
+    /// The source whose tree is being pruned.
+    pub source: Addr,
+    /// The group.
+    pub group: Group,
+    /// Prune lifetime in time units; after expiry the branch grows back and
+    /// flooding resumes ("pruned branches will grow back after a time-out
+    /// period").
+    pub lifetime: u32,
+}
+
+impl Prune {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.addr(self.source);
+        w.group(self.group);
+        w.u32(self.lifetime);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let source = r.addr()?;
+        if source.is_multicast() {
+            return Err(Error::Malformed);
+        }
+        Ok(Prune {
+            source,
+            group: r.group()?,
+            lifetime: r.u32()?,
+        })
+    }
+}
+
+/// Re-attach a previously pruned branch (new member appeared downstream).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Graft {
+    /// The source whose tree is being re-joined.
+    pub source: Addr,
+    /// The group.
+    pub group: Group,
+}
+
+impl Graft {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.addr(self.source);
+        w.group(self.group);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let source = r.addr()?;
+        if source.is_multicast() {
+            return Err(Error::Malformed);
+        }
+        Ok(Graft {
+            source,
+            group: r.group()?,
+        })
+    }
+}
+
+/// Hop-by-hop acknowledgment of a [`Graft`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraftAck {
+    /// Echoed source from the graft.
+    pub source: Addr,
+    /// Echoed group from the graft.
+    pub group: Group,
+}
+
+impl GraftAck {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.addr(self.source);
+        w.group(self.group);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let source = r.addr()?;
+        if source.is_multicast() {
+            return Err(Error::Malformed);
+        }
+        Ok(GraftAck {
+            source,
+            group: r.group()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    #[test]
+    fn probe_roundtrip() {
+        let m = Message::DvmrpProbe(Probe {
+            neighbors: vec![Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2)],
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn probe_empty_roundtrip() {
+        let m = Message::DvmrpProbe(Probe { neighbors: vec![] });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn prune_roundtrip() {
+        let m = Message::DvmrpPrune(Prune {
+            source: Addr::new(10, 1, 1, 1),
+            group: Group::test(9),
+            lifetime: 7200,
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn graft_and_ack_roundtrip() {
+        let g = Message::DvmrpGraft(Graft {
+            source: Addr::new(10, 1, 1, 1),
+            group: Group::test(9),
+        });
+        assert_eq!(Message::decode(&g.encode()).unwrap(), g);
+        let a = Message::DvmrpGraftAck(GraftAck {
+            source: Addr::new(10, 1, 1, 1),
+            group: Group::test(9),
+        });
+        assert_eq!(Message::decode(&a.encode()).unwrap(), a);
+    }
+
+    #[test]
+    fn prune_rejects_multicast_source() {
+        let mut w = Writer::new();
+        w.addr(Addr::new(225, 0, 0, 1));
+        w.group(Group::test(0));
+        w.u32(1);
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(Prune::decode_body(&mut r), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn probe_count_overflow_rejected() {
+        let mut w = Writer::new();
+        w.u8(200); // declares 200 neighbors, provides none
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(Probe::decode_body(&mut r), Err(Error::Truncated));
+    }
+}

@@ -1,0 +1,145 @@
+//! IGMP host-membership messages (RFC 1112 flavor) plus the PIM paper's
+//! proposed host→router RP-mapping message.
+//!
+//! The paper (§3.1, footnote 9) requires *some* mechanism for hosts or
+//! configuration to provide routers the G → RP(s) mapping, and proposes "a
+//! new host message that would allow hosts to inform their
+//! directly-connected PIM-speaking routers of G, RP(s) mappings". That
+//! message is [`RpMapping`].
+
+use crate::{Addr, Error, Group, Reader, Result, Writer};
+
+/// IGMP membership query, sent by the elected querier to `224.0.0.1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HostQuery {
+    /// Maximum response time in time units; hosts pick a random delay below
+    /// this before reporting, for report suppression.
+    pub max_resp_time: u8,
+}
+
+impl HostQuery {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.u8(self.max_resp_time);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(HostQuery {
+            max_resp_time: r.u8()?,
+        })
+    }
+}
+
+/// IGMP membership report: "a member of `group` is present here".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HostReport {
+    /// The group being reported.
+    pub group: Group,
+}
+
+impl HostReport {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.group(self.group);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(HostReport { group: r.group()? })
+    }
+}
+
+/// Host→router advertisement of the rendezvous points for a group.
+///
+/// "We propose the use of a new host message that would allow hosts to
+/// inform their directly-connected PIM-speaking routers of G, RP(s)
+/// mappings" — paper §3.1 footnote 9. A group with at least one RP mapping
+/// is, by definition, a sparse-mode group (§3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RpMapping {
+    /// The group the mapping applies to.
+    pub group: Group,
+    /// The rendezvous points, in preference order. Senders register to all
+    /// of them; receivers join toward the first reachable one (§3.9).
+    pub rps: Vec<Addr>,
+}
+
+impl RpMapping {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        assert!(self.rps.len() <= u8::MAX as usize, "too many RPs");
+        w.group(self.group);
+        w.u8(self.rps.len() as u8);
+        for rp in &self.rps {
+            w.addr(*rp);
+        }
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let group = r.group()?;
+        let n = r.u8()? as usize;
+        let mut rps = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let rp = r.addr()?;
+            if rp.is_multicast() || rp == Addr::UNSPECIFIED {
+                return Err(Error::Malformed);
+            }
+            rps.push(rp);
+        }
+        Ok(RpMapping { group, rps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    #[test]
+    fn query_roundtrip() {
+        let m = Message::HostQuery(HostQuery { max_resp_time: 100 });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let m = Message::HostReport(HostReport {
+            group: Group::test(42),
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn rp_mapping_roundtrip() {
+        let m = Message::RpMapping(RpMapping {
+            group: Group::test(1),
+            rps: vec![Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 9)],
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn rp_mapping_empty_rps_roundtrip() {
+        let m = Message::RpMapping(RpMapping {
+            group: Group::test(1),
+            rps: vec![],
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn rp_mapping_rejects_multicast_rp() {
+        let mut w = Writer::new();
+        w.group(Group::test(1));
+        w.u8(1);
+        w.addr(Addr::new(224, 0, 0, 5)); // multicast RP address is invalid
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(RpMapping::decode_body(&mut r), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn report_rejects_unicast_group() {
+        let mut w = Writer::new();
+        w.addr(Addr::new(10, 0, 0, 1));
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(HostReport::decode_body(&mut r), Err(Error::Malformed));
+    }
+}

@@ -1,0 +1,448 @@
+//! PIM sparse-mode control messages, carried as IGMP extensions per the
+//! 1994 design (paper §5: "a protocol implementation of PIM using extensions
+//! to existing IGMP message types is in progress").
+//!
+//! Four message kinds:
+//!
+//! * [`Query`] — the PIM hello sent to `224.0.0.2` for neighbor discovery
+//!   and designated-router election (paper §3.7, footnote 14);
+//! * [`JoinPrune`] — the workhorse: per-group join and prune lists whose
+//!   entries carry the WC (wildcard / shared tree) and RP (toward-the-RP)
+//!   flag bits from §3.2/§3.3, addressed to `224.0.0.2` on multi-access
+//!   subnetworks with the intended upstream neighbor named in the message so
+//!   other routers can overhear and suppress/override (§3.7);
+//! * [`Register`] — sender's DR → RP, piggybacking the data packet (§3);
+//! * [`RpReachability`] — RP → down the (*,G) tree, resetting RP-timers so
+//!   receivers can detect RP failure and move to an alternate RP (§3.2,
+//!   §3.9).
+
+use crate::{Addr, Error, Group, Reader, Result, Writer};
+
+/// PIM hello / neighbor-discovery message ("PIM query packets to neighbor
+/// routers on the same LAN" — footnote 14). The sender with the highest
+/// address on a multi-access subnetwork becomes the designated router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// How long, in time units, neighbors should consider the sender alive.
+    pub holdtime: u16,
+}
+
+impl Query {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.u16(self.holdtime);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Query {
+            holdtime: r.u16()?,
+        })
+    }
+}
+
+/// One source entry in a join or prune list.
+///
+/// The address is a source, or the RP when the `wildcard` bit is set. The
+/// flag bits are exactly the paper's:
+///
+/// * **WC** — "the WC bit flags an address as being the RP associated with
+///   that shared tree" (§3.2); a join with WC+RP set instantiates (*,G)
+///   state upstream.
+/// * **RP** — "the RP bit indicates that the receiver expects to receive
+///   packets from new sources via this (shared tree) path"; in a *prune*
+///   list it requests a negative cache (S,G)RP-bit entry along the shared
+///   tree (§3.3, footnote 11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SourceEntry {
+    /// Source address, or RP address when `wildcard` is set.
+    pub addr: Addr,
+    /// The WC bit.
+    pub wildcard: bool,
+    /// The RP bit.
+    pub rp_bit: bool,
+}
+
+impl SourceEntry {
+    /// A plain (S,G) entry: join/prune this specific source's SPT.
+    pub fn source(addr: Addr) -> Self {
+        SourceEntry {
+            addr,
+            wildcard: false,
+            rp_bit: false,
+        }
+    }
+
+    /// A shared-tree entry `{RP, RPbit, WCbit}` as in the §3.2 join payload.
+    pub fn shared_tree(rp: Addr) -> Self {
+        SourceEntry {
+            addr: rp,
+            wildcard: true,
+            rp_bit: true,
+        }
+    }
+
+    /// A negative-cache prune entry `{S, RPbit}` sent toward the RP when a
+    /// receiver has switched to S's shortest-path tree (§3.3).
+    pub fn source_on_rp_tree(addr: Addr) -> Self {
+        SourceEntry {
+            addr,
+            wildcard: false,
+            rp_bit: true,
+        }
+    }
+
+    const FLAG_WC: u8 = 0x01;
+    const FLAG_RP: u8 = 0x02;
+
+    fn encode(&self, w: &mut Writer) {
+        w.addr(self.addr);
+        let mut flags = 0;
+        if self.wildcard {
+            flags |= Self::FLAG_WC;
+        }
+        if self.rp_bit {
+            flags |= Self::FLAG_RP;
+        }
+        w.u8(flags);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let addr = r.addr()?;
+        if addr.is_multicast() {
+            return Err(Error::Malformed);
+        }
+        let flags = r.u8()?;
+        if flags & !(Self::FLAG_WC | Self::FLAG_RP) != 0 {
+            return Err(Error::Malformed);
+        }
+        Ok(SourceEntry {
+            addr,
+            wildcard: flags & Self::FLAG_WC != 0,
+            rp_bit: flags & Self::FLAG_RP != 0,
+        })
+    }
+}
+
+/// The joins and prunes for a single group within a [`JoinPrune`] message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupEntry {
+    /// The multicast group.
+    pub group: Group,
+    /// Sources (or the RP, with WC set) being joined.
+    pub joins: Vec<SourceEntry>,
+    /// Sources (or the RP) being pruned.
+    pub prunes: Vec<SourceEntry>,
+}
+
+impl GroupEntry {
+    /// A join-only entry for one source.
+    pub fn join(group: Group, entry: SourceEntry) -> Self {
+        GroupEntry {
+            group,
+            joins: vec![entry],
+            prunes: Vec::new(),
+        }
+    }
+
+    /// A prune-only entry for one source.
+    pub fn prune(group: Group, entry: SourceEntry) -> Self {
+        GroupEntry {
+            group,
+            joins: Vec::new(),
+            prunes: vec![entry],
+        }
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        assert!(self.joins.len() <= u16::MAX as usize);
+        assert!(self.prunes.len() <= u16::MAX as usize);
+        w.group(self.group);
+        w.u16(self.joins.len() as u16);
+        w.u16(self.prunes.len() as u16);
+        for e in &self.joins {
+            e.encode(w);
+        }
+        for e in &self.prunes {
+            e.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let group = r.group()?;
+        let nj = r.u16()? as usize;
+        let np = r.u16()? as usize;
+        // Each entry is 5 bytes; reject counts that exceed the buffer before
+        // allocating.
+        if r.remaining() < (nj + np) * 5 {
+            return Err(Error::Truncated);
+        }
+        let mut joins = Vec::with_capacity(nj);
+        for _ in 0..nj {
+            joins.push(SourceEntry::decode(r)?);
+        }
+        let mut prunes = Vec::with_capacity(np);
+        for _ in 0..np {
+            prunes.push(SourceEntry::decode(r)?);
+        }
+        Ok(GroupEntry {
+            group,
+            joins,
+            prunes,
+        })
+    }
+}
+
+/// A PIM Join/Prune message.
+///
+/// Sent hop-by-hop toward a source or RP. On point-to-point links it is
+/// unicast to the upstream router; on multi-access subnetworks it is sent to
+/// `224.0.0.2` "with the IP address of the previous hop in the IGMP header"
+/// (§3.7) — that previous-hop address is [`JoinPrune::upstream_neighbor`],
+/// and it lets every router on the LAN overhear joins/prunes so it can
+/// suppress its own duplicate join or override a prune.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinPrune {
+    /// The router this message is logically addressed to.
+    pub upstream_neighbor: Addr,
+    /// How long, in time units, the receiver should keep the resulting
+    /// oif state alive without a refresh (soft state, §3.4/§3.6).
+    pub holdtime: u16,
+    /// Per-group join/prune lists.
+    pub groups: Vec<GroupEntry>,
+}
+
+impl JoinPrune {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        assert!(self.groups.len() <= u8::MAX as usize, "too many groups");
+        w.addr(self.upstream_neighbor);
+        w.u16(self.holdtime);
+        w.u8(self.groups.len() as u8);
+        for g in &self.groups {
+            g.encode(w);
+        }
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let upstream_neighbor = r.addr()?;
+        let holdtime = r.u16()?;
+        let n = r.u8()? as usize;
+        let mut groups = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            groups.push(GroupEntry::decode(r)?);
+        }
+        Ok(JoinPrune {
+            upstream_neighbor,
+            holdtime,
+            groups,
+        })
+    }
+}
+
+/// A PIM Register: the sender's first-hop DR unicasts the source's data
+/// packet to the RP, "piggybacked on the data packet" (§3). The RP
+/// de-encapsulates and forwards down the shared tree, and responds by
+/// joining toward the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Register {
+    /// The group the encapsulated packet is addressed to.
+    pub group: Group,
+    /// The original source of the encapsulated packet.
+    pub source: Addr,
+    /// The encapsulated data payload.
+    pub payload: Vec<u8>,
+}
+
+impl Register {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.group(self.group);
+        w.addr(self.source);
+        w.bytes(&self.payload);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let group = r.group()?;
+        let source = r.addr()?;
+        if source.is_multicast() || source == Addr::UNSPECIFIED {
+            return Err(Error::Malformed);
+        }
+        Ok(Register {
+            group,
+            source,
+            payload: r.rest().to_vec(),
+        })
+    }
+}
+
+/// RP-reachability message, "generated by RPs periodically and distributed
+/// down the (*,G) tree established for the group" (§3.2). Receipt resets the
+/// RP-timer in each (*,G) entry; expiry of that timer triggers joining
+/// toward an alternate RP (§3.9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RpReachability {
+    /// The group whose tree this message travels down.
+    pub group: Group,
+    /// The RP asserting its own reachability.
+    pub rp: Addr,
+    /// How long, in time units, receivers should consider this RP reachable.
+    pub holdtime: u16,
+}
+
+impl RpReachability {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.group(self.group);
+        w.addr(self.rp);
+        w.u16(self.holdtime);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let group = r.group()?;
+        let rp = r.addr()?;
+        if rp.is_multicast() || rp == Addr::UNSPECIFIED {
+            return Err(Error::Malformed);
+        }
+        Ok(RpReachability {
+            group,
+            rp,
+            holdtime: r.u16()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    fn rp() -> Addr {
+        Addr::new(10, 0, 0, 3)
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let m = Message::PimQuery(Query { holdtime: 105 });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn join_prune_roundtrip_shared_tree() {
+        // The exact §3.2 payload: Multicast-address=G,
+        // PIM-join={RP,RPbit,WCbit}, PIM-prune=NULL.
+        let m = Message::PimJoinPrune(JoinPrune {
+            upstream_neighbor: Addr::new(10, 0, 0, 2),
+            holdtime: 210,
+            groups: vec![GroupEntry::join(
+                Group::test(7),
+                SourceEntry::shared_tree(rp()),
+            )],
+        });
+        let decoded = Message::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        if let Message::PimJoinPrune(jp) = decoded {
+            assert!(jp.groups[0].joins[0].wildcard);
+            assert!(jp.groups[0].joins[0].rp_bit);
+            assert!(jp.groups[0].prunes.is_empty());
+        }
+    }
+
+    #[test]
+    fn join_prune_roundtrip_spt_switch() {
+        // §3.3: join toward Sn plus the later prune {Sn, RPbit} toward RP.
+        let sn = Addr::new(10, 0, 0, 77);
+        let m = Message::PimJoinPrune(JoinPrune {
+            upstream_neighbor: Addr::new(10, 0, 0, 2),
+            holdtime: 210,
+            groups: vec![GroupEntry {
+                group: Group::test(7),
+                joins: vec![SourceEntry::source(sn)],
+                prunes: vec![SourceEntry::source_on_rp_tree(sn)],
+            }],
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn join_prune_many_groups() {
+        let groups: Vec<GroupEntry> = (0..20)
+            .map(|i| GroupEntry {
+                group: Group::test(i),
+                joins: (0..5)
+                    .map(|j| SourceEntry::source(Addr(0x0A00_0000 + j)))
+                    .collect(),
+                prunes: (0..3)
+                    .map(|j| SourceEntry::source_on_rp_tree(Addr(0x0A00_0100 + j)))
+                    .collect(),
+            })
+            .collect();
+        let m = Message::PimJoinPrune(JoinPrune {
+            upstream_neighbor: Addr::new(10, 9, 9, 9),
+            holdtime: 1,
+            groups,
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn join_prune_entry_count_overflow_rejected() {
+        // Declare 1000 joins but supply none: must fail Truncated, not OOM
+        // or panic.
+        let mut w = Writer::new();
+        w.addr(Addr::new(10, 0, 0, 2));
+        w.u16(210);
+        w.u8(1);
+        w.group(Group::test(0));
+        w.u16(1000);
+        w.u16(0);
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(JoinPrune::decode_body(&mut r), Err(Error::Truncated));
+    }
+
+    #[test]
+    fn source_entry_rejects_unknown_flags() {
+        let mut w = Writer::new();
+        w.addr(Addr::new(10, 0, 0, 1));
+        w.u8(0x80);
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(SourceEntry::decode(&mut r), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn source_entry_rejects_multicast_source() {
+        let mut w = Writer::new();
+        w.addr(Addr::new(230, 0, 0, 1));
+        w.u8(0);
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(SourceEntry::decode(&mut r), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn register_roundtrip() {
+        let m = Message::PimRegister(Register {
+            group: Group::test(3),
+            source: Addr::new(10, 1, 0, 4),
+            payload: b"data packet body".to_vec(),
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn register_empty_payload_roundtrip() {
+        let m = Message::PimRegister(Register {
+            group: Group::test(3),
+            source: Addr::new(10, 1, 0, 4),
+            payload: Vec::new(),
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn rp_reachability_roundtrip() {
+        let m = Message::PimRpReachability(RpReachability {
+            group: Group::test(3),
+            rp: rp(),
+            holdtime: 300,
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+}

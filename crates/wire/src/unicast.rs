@@ -1,0 +1,226 @@
+//! Unicast routing-protocol messages.
+//!
+//! PIM is *protocol independent*: it consumes whatever unicast routing
+//! tables exist (paper §2, "Routing Protocol Independent"). To demonstrate
+//! that independence this reproduction ships two real unicast routing
+//! engines — a RIP-like distance-vector protocol and an OSPF-like
+//! link-state protocol — whose wire messages are defined here.
+
+use crate::{Addr, Error, Reader, Result, Writer};
+
+/// Metric value representing "unreachable" (RIP's infinity, generalized).
+pub const INFINITY_METRIC: u32 = 0xFFFF_FFFF;
+
+/// One destination/metric pair in a distance-vector update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DvRoute {
+    /// Destination address (a router or host).
+    pub dst: Addr,
+    /// Distance metric; [`INFINITY_METRIC`] poisons the route.
+    pub metric: u32,
+}
+
+/// A distance-vector routing update (RIP-like), sent periodically and on
+/// triggered changes, with split horizon / poisoned reverse applied by the
+/// sender per interface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DvUpdate {
+    /// Advertised routes.
+    pub routes: Vec<DvRoute>,
+}
+
+impl DvUpdate {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        assert!(self.routes.len() <= u16::MAX as usize);
+        w.u16(self.routes.len() as u16);
+        for r in &self.routes {
+            w.addr(r.dst);
+            w.u32(r.metric);
+        }
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let n = r.u16()? as usize;
+        if r.remaining() < n * 8 {
+            return Err(Error::Truncated);
+        }
+        let mut routes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let dst = r.addr()?;
+            if dst.is_multicast() {
+                return Err(Error::Malformed);
+            }
+            routes.push(DvRoute {
+                dst,
+                metric: r.u32()?,
+            });
+        }
+        Ok(DvUpdate { routes })
+    }
+}
+
+/// Per-interface neighbor keepalive used by the link-state engine to
+/// detect adjacency changes (a two-line OSPF Hello).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// How long, in time units, the receiver should consider the sender a
+    /// live neighbor.
+    pub holdtime: u16,
+}
+
+impl Hello {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        w.u16(self.holdtime);
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Hello {
+            holdtime: r.u16()?,
+        })
+    }
+}
+
+/// One adjacency in a link-state advertisement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LsaLink {
+    /// Neighbor router (or directly attached host) address.
+    pub neighbor: Addr,
+    /// Cost of the link toward it.
+    pub cost: u32,
+}
+
+/// A link-state advertisement (OSPF-like), flooded to all routers.
+///
+/// Sequence numbers order advertisements from the same origin; receivers
+/// drop stale or duplicate LSAs and re-flood fresh ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lsa {
+    /// The router describing its own links.
+    pub origin: Addr,
+    /// Monotonically increasing per-origin sequence number.
+    pub seq: u32,
+    /// The origin's current adjacencies.
+    pub links: Vec<LsaLink>,
+}
+
+impl Lsa {
+    pub(crate) fn encode_body(&self, w: &mut Writer) {
+        assert!(self.links.len() <= u16::MAX as usize);
+        w.addr(self.origin);
+        w.u32(self.seq);
+        w.u16(self.links.len() as u16);
+        for l in &self.links {
+            w.addr(l.neighbor);
+            w.u32(l.cost);
+        }
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
+        let origin = r.addr()?;
+        if origin.is_multicast() || origin == Addr::UNSPECIFIED {
+            return Err(Error::Malformed);
+        }
+        let seq = r.u32()?;
+        let n = r.u16()? as usize;
+        if r.remaining() < n * 8 {
+            return Err(Error::Truncated);
+        }
+        let mut links = Vec::with_capacity(n);
+        for _ in 0..n {
+            let neighbor = r.addr()?;
+            if neighbor.is_multicast() {
+                return Err(Error::Malformed);
+            }
+            links.push(LsaLink {
+                neighbor,
+                cost: r.u32()?,
+            });
+        }
+        Ok(Lsa { origin, seq, links })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    #[test]
+    fn dv_update_roundtrip() {
+        let m = Message::DvUpdate(DvUpdate {
+            routes: vec![
+                DvRoute {
+                    dst: Addr::new(10, 0, 0, 1),
+                    metric: 3,
+                },
+                DvRoute {
+                    dst: Addr::new(10, 0, 7, 1),
+                    metric: INFINITY_METRIC,
+                },
+            ],
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn dv_update_empty_roundtrip() {
+        let m = Message::DvUpdate(DvUpdate { routes: vec![] });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let m = Message::Hello(Hello { holdtime: 30 });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn lsa_roundtrip() {
+        let m = Message::Lsa(Lsa {
+            origin: Addr::new(10, 0, 0, 1),
+            seq: 42,
+            links: vec![
+                LsaLink {
+                    neighbor: Addr::new(10, 0, 0, 2),
+                    cost: 5,
+                },
+                LsaLink {
+                    neighbor: Addr::new(10, 0, 0, 3),
+                    cost: 1,
+                },
+            ],
+        });
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn dv_rejects_multicast_destination() {
+        let mut w = Writer::new();
+        w.u16(1);
+        w.addr(Addr::new(230, 0, 0, 1));
+        w.u32(1);
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(DvUpdate::decode_body(&mut r), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn lsa_rejects_zero_origin() {
+        let mut w = Writer::new();
+        w.addr(Addr::UNSPECIFIED);
+        w.u32(0);
+        w.u16(0);
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(Lsa::decode_body(&mut r), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn counts_overflowing_buffer_rejected() {
+        let mut w = Writer::new();
+        w.u16(500);
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(DvUpdate::decode_body(&mut r), Err(Error::Truncated));
+    }
+}

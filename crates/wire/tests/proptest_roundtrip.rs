@@ -1,0 +1,172 @@
+//! Property tests for the wire formats:
+//!
+//! * every structurally valid message encode→decode round-trips exactly;
+//! * no arbitrary byte soup makes a decoder panic (it must return an error
+//!   or a message that re-encodes consistently);
+//! * the IP header round-trips under arbitrary payloads.
+
+use proptest::prelude::*;
+use wire::ip::{Header, Protocol, HEADER_LEN};
+use wire::{cbt, dvmrp, igmp, pim, Addr, Group, Message};
+
+fn arb_unicast() -> impl Strategy<Value = Addr> {
+    // Any non-class-D, non-zero address.
+    (1u32..0xE000_0000).prop_map(Addr)
+}
+
+fn arb_group() -> impl Strategy<Value = Group> {
+    (0xE000_0000u32..=0xEFFF_FFFF).prop_map(|v| Group::new(Addr(v)).unwrap())
+}
+
+fn arb_source_entry() -> impl Strategy<Value = pim::SourceEntry> {
+    (arb_unicast(), any::<bool>(), any::<bool>()).prop_map(|(addr, wildcard, rp_bit)| {
+        pim::SourceEntry {
+            addr,
+            wildcard,
+            rp_bit,
+        }
+    })
+}
+
+fn arb_group_entry() -> impl Strategy<Value = pim::GroupEntry> {
+    (
+        arb_group(),
+        prop::collection::vec(arb_source_entry(), 0..8),
+        prop::collection::vec(arb_source_entry(), 0..8),
+    )
+        .prop_map(|(group, joins, prunes)| pim::GroupEntry {
+            group,
+            joins,
+            prunes,
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        any::<u8>().prop_map(|m| Message::HostQuery(igmp::HostQuery { max_resp_time: m })),
+        arb_group().prop_map(|group| Message::HostReport(igmp::HostReport { group })),
+        (arb_group(), prop::collection::vec(arb_unicast(), 0..5))
+            .prop_map(|(group, rps)| Message::RpMapping(igmp::RpMapping { group, rps })),
+        any::<u16>().prop_map(|holdtime| Message::PimQuery(pim::Query { holdtime })),
+        (
+            arb_group(),
+            arb_unicast(),
+            prop::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(group, source, payload)| {
+                Message::PimRegister(pim::Register {
+                    group,
+                    source,
+                    payload,
+                })
+            }),
+        (
+            arb_unicast(),
+            any::<u16>(),
+            prop::collection::vec(arb_group_entry(), 0..5)
+        )
+            .prop_map(|(upstream_neighbor, holdtime, groups)| {
+                Message::PimJoinPrune(pim::JoinPrune {
+                    upstream_neighbor,
+                    holdtime,
+                    groups,
+                })
+            }),
+        (arb_group(), arb_unicast(), any::<u16>()).prop_map(|(group, rp, holdtime)| {
+            Message::PimRpReachability(pim::RpReachability {
+                group,
+                rp,
+                holdtime,
+            })
+        }),
+        prop::collection::vec(arb_unicast(), 0..8)
+            .prop_map(|neighbors| Message::DvmrpProbe(dvmrp::Probe { neighbors })),
+        (arb_unicast(), arb_group(), any::<u32>()).prop_map(|(source, group, lifetime)| {
+            Message::DvmrpPrune(dvmrp::Prune {
+                source,
+                group,
+                lifetime,
+            })
+        }),
+        (arb_unicast(), arb_group())
+            .prop_map(|(source, group)| Message::DvmrpGraft(dvmrp::Graft { source, group })),
+        (arb_unicast(), arb_group()).prop_map(|(source, group)| {
+            Message::DvmrpGraftAck(dvmrp::GraftAck { source, group })
+        }),
+        (arb_group(), arb_unicast(), arb_unicast()).prop_map(|(group, core, originator)| {
+            Message::CbtJoinRequest(cbt::JoinRequest {
+                group,
+                core,
+                originator,
+            })
+        }),
+        (arb_group(), arb_unicast(), arb_unicast()).prop_map(|(group, core, originator)| {
+            Message::CbtJoinAck(cbt::JoinAck {
+                group,
+                core,
+                originator,
+            })
+        }),
+        prop::collection::vec(arb_group(), 0..8)
+            .prop_map(|groups| Message::CbtEcho(cbt::Echo { groups })),
+        prop::collection::vec(arb_group(), 0..8)
+            .prop_map(|groups| Message::CbtEchoReply(cbt::EchoReply { groups })),
+        arb_group().prop_map(|group| Message::CbtQuit(cbt::Quit { group })),
+        arb_group().prop_map(|group| Message::CbtFlushTree(cbt::FlushTree { group })),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn message_roundtrip(m in arb_message()) {
+        let buf = m.encode();
+        let decoded = Message::decode(&buf).expect("decode of own encoding");
+        prop_assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn message_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever happens, no panic; and anything that decodes must
+        // re-encode to a decodable buffer describing the same message.
+        if let Ok(m) = Message::decode(&bytes) {
+            let re = m.encode();
+            prop_assert_eq!(Message::decode(&re).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn ip_header_roundtrip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        ttl in any::<u8>(),
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        proto in prop_oneof![Just(Protocol::Igmp), Just(Protocol::Data)],
+    ) {
+        let h = Header { proto, ttl, src: Addr(src), dst: Addr(dst) };
+        let pkt = h.encap(&data);
+        prop_assert_eq!(pkt.len(), HEADER_LEN + data.len());
+        let (h2, payload) = Header::decap(&pkt).expect("decap of own encap");
+        prop_assert_eq!(h2, h);
+        prop_assert_eq!(payload, &data[..]);
+    }
+
+    #[test]
+    fn ip_decap_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Header::decap(&bytes);
+    }
+
+    #[test]
+    fn single_bitflip_detected(m in arb_message(), flip_bit in 0usize..32) {
+        // Flipping any single bit in the first 4 bytes (type + checksum
+        // region) must not yield the same message back.
+        let mut buf = m.encode();
+        let byte = flip_bit / 8;
+        if byte < buf.len() {
+            buf[byte] ^= 1 << (flip_bit % 8);
+            match Message::decode(&buf) {
+                Ok(decoded) => prop_assert_ne!(decoded, m),
+                Err(_) => {}
+            }
+        }
+    }
+}

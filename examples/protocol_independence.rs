@@ -1,0 +1,130 @@
+//! **Protocol independence** (§2): the same PIM scenario over three
+//! different unicast routing substrates — distance-vector, link-state,
+//! and the precomputed oracle — producing the same distribution tree.
+//!
+//! "The protocol should rely on existing unicast routing functionality
+//! ... but at the same time be independent of the particular protocol
+//! employed."
+//!
+//! Run: `cargo run -p examples --example protocol_independence`
+
+use graph::{Graph, NodeId};
+use igmp::HostNode;
+use netsim::{host_addr, router_addr, Duration, IfaceId, NodeIdx, SimTime, Topology};
+use pim::{Engine, PimConfig, PimRouter};
+use unicast::dv::{DvConfig, DvEngine};
+use unicast::ls::{LsConfig, LsEngine};
+use unicast::OracleRib;
+use wire::Group;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Substrate {
+    Oracle,
+    DistanceVector,
+    LinkState,
+}
+
+/// Run the quickstart diamond over the given unicast substrate; return
+/// (packets delivered, (*,G) iif at the receiver DR, (S,G) iif at the
+/// receiver DR).
+fn run(sub: Substrate) -> (usize, Option<IfaceId>, Option<IfaceId>) {
+    let mut g = Graph::with_nodes(4);
+    g.add_edge(NodeId(0), NodeId(1), 1);
+    g.add_edge(NodeId(1), NodeId(2), 1);
+    g.add_edge(NodeId(2), NodeId(3), 1);
+    g.add_edge(NodeId(0), NodeId(3), 2);
+    let topo = Topology::from_graph(&g);
+    let group = Group::test(1);
+    let rp = router_addr(NodeId(2));
+    let r_addr = host_addr(NodeId(0), 0);
+    let s_addr = host_addr(NodeId(3), 0);
+
+    let mut oracle = OracleRib::for_all(&g, &topo);
+    for (i, rib) in oracle.iter_mut().enumerate() {
+        if i != 0 {
+            rib.alias_host(r_addr, router_addr(NodeId(0)));
+        }
+        if i != 3 {
+            rib.alias_host(s_addr, router_addr(NodeId(3)));
+        }
+    }
+    let mut oracle_iter = oracle.into_iter();
+
+    let (mut world, _) = topo.build_world(&g, 5, |plan| {
+        let unicast: Box<dyn unicast::Engine> = match sub {
+            Substrate::Oracle => Box::new(oracle_iter.next().expect("rib")),
+            Substrate::DistanceVector => {
+                let _ = oracle_iter.next();
+                Box::new(DvEngine::new(plan, DvConfig::default()))
+            }
+            Substrate::LinkState => {
+                let _ = oracle_iter.next();
+                Box::new(LsEngine::new(plan, LsConfig::default()))
+            }
+        };
+        let mut r = PimRouter::new(
+            Engine::new(plan.addr, plan.ifaces.len(), PimConfig::default()),
+            unicast,
+        );
+        r.set_rp_mapping(group, vec![rp]);
+        Box::new(r)
+    });
+
+    let rh = world.add_node(Box::new(HostNode::new(r_addr)));
+    let (_l, ifs) = world.add_lan(&[NodeIdx(0), rh], Duration(1));
+    world.node_mut::<PimRouter>(NodeIdx(0)).attach_host_lan(ifs[0], &[r_addr]);
+    let sh = world.add_node(Box::new(HostNode::new(s_addr)));
+    let (_l, ifs) = world.add_lan(&[NodeIdx(3), sh], Duration(1));
+    world.node_mut::<PimRouter>(NodeIdx(3)).attach_host_lan(ifs[0], &[s_addr]);
+
+    // Real routing protocols need convergence time before the join.
+    world.at(SimTime(400), move |w| {
+        w.call_node(rh, |n, ctx| {
+            n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, group);
+        });
+    });
+    for k in 0..20u64 {
+        world.at(SimTime(800 + k * 25), move |w| {
+            w.call_node(sh, |n, ctx| {
+                n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, group);
+            });
+        });
+    }
+    world.run_until(SimTime(2200));
+
+    let host: &HostNode = world.node(rh);
+    let got = host.seqs_from(s_addr, group).len();
+    let r0: &PimRouter = world.node(NodeIdx(0));
+    let gs = r0.engine().group_state(group).expect("state at DR");
+    (
+        got,
+        gs.star.as_ref().and_then(|s| s.iif),
+        gs.sources.get(&s_addr).and_then(|e| e.iif),
+    )
+}
+
+fn main() {
+    println!("== Protocol independence (paper §2) ==");
+    println!("The identical PIM scenario over three unicast routing substrates:");
+    println!();
+    let mut results = Vec::new();
+    for sub in [Substrate::Oracle, Substrate::DistanceVector, Substrate::LinkState] {
+        let (got, star_iif, spt_iif) = run(sub);
+        println!(
+            "  {:<16} delivered {:>2}/20   (*,G) iif = {:?}   (S,G) iif = {:?}",
+            format!("{sub:?}:"),
+            got,
+            star_iif,
+            spt_iif
+        );
+        results.push((got, star_iif, spt_iif));
+    }
+    println!();
+    assert!(results.iter().all(|&(got, _, _)| got == 20), "all substrates must deliver all packets");
+    assert!(
+        results.windows(2).all(|w| w[0].1 == w[1].1 && w[0].2 == w[1].2),
+        "identical trees regardless of unicast protocol"
+    );
+    println!("Identical trees, identical delivery. PIM consumed the routing table through");
+    println!("the Rib trait alone — \"independent of how those tables are computed\" (§2).");
+}

@@ -1,0 +1,283 @@
+//! Multi-group scenarios: independent groups with distinct RPs and tree
+//! types coexisting on one internet (the paper's "configuration decision
+//! within a multicast protocol", §1.3), plus scale/invariant checks over
+//! random topologies.
+
+use graph::gen::{random_connected, RandomGraphParams};
+use graph::NodeId;
+use igmp::HostNode;
+use netsim::{host_addr, router_addr, Duration, NodeIdx, SimTime, Topology};
+use pim::{Engine, OifKind, PimConfig, PimRouter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unicast::OracleRib;
+use wire::{Addr, Group};
+
+/// Build a net where every router in `host_routers` gets a host; groups
+/// are configured per router via `set_rp_mapping` afterwards.
+fn build_multi(
+    g: &graph::Graph,
+    mappings: &[(Group, Vec<Addr>)],
+    host_routers: &[NodeId],
+    seed: u64,
+) -> (netsim::World, Vec<(NodeIdx, Addr)>) {
+    let topo = Topology::from_graph(g);
+    let mut ribs = OracleRib::for_all(g, &topo);
+    for &n in host_routers {
+        let h = host_addr(n, 0);
+        for (i, rib) in ribs.iter_mut().enumerate() {
+            if i != n.index() {
+                rib.alias_host(h, router_addr(n));
+            }
+        }
+    }
+    let mut rib_iter = ribs.into_iter();
+    let (mut world, _) = topo.build_world(g, seed, |plan| {
+        let mut r = PimRouter::new(
+            Engine::new(plan.addr, plan.ifaces.len(), PimConfig::default()),
+            Box::new(rib_iter.next().expect("rib")),
+        );
+        for (grp, rps) in mappings {
+            r.set_rp_mapping(*grp, rps.clone());
+        }
+        Box::new(r)
+    });
+    let mut hosts = Vec::new();
+    for &n in host_routers {
+        let ha = host_addr(n, 0);
+        let hi = world.add_node(Box::new(HostNode::new(ha)));
+        let (_l, ifs) = world.add_lan(&[NodeIdx(n.index()), hi], Duration(1));
+        world
+            .node_mut::<PimRouter>(NodeIdx(n.index()))
+            .attach_host_lan(ifs[0], &[ha]);
+        hosts.push((hi, ha));
+    }
+    (world, hosts)
+}
+
+fn join(world: &mut netsim::World, host: NodeIdx, grp: Group, at: u64) {
+    world.at(SimTime(at), move |w| {
+        w.call_node(host, |n, ctx| {
+            n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, grp);
+        });
+    });
+}
+
+fn send(world: &mut netsim::World, host: NodeIdx, grp: Group, start: u64, count: u64, gap: u64) {
+    for k in 0..count {
+        world.at(SimTime(start + k * gap), move |w| {
+            w.call_node(host, |n, ctx| {
+                n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, grp);
+            });
+        });
+    }
+}
+
+#[test]
+fn independent_groups_do_not_interfere() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let g = random_connected(
+        &RandomGraphParams {
+            nodes: 20,
+            avg_degree: 3.5,
+            delay_range: (1, 5),
+        },
+        &mut rng,
+    );
+    let ga = Group::test(10);
+    let gb = Group::test(11);
+    let rp_a = router_addr(NodeId(0));
+    let rp_b = router_addr(NodeId(19));
+    let host_routers = [NodeId(2), NodeId(5), NodeId(11), NodeId(17)];
+    let (mut world, hosts) = build_multi(
+        &g,
+        &[(ga, vec![rp_a]), (gb, vec![rp_b])],
+        &host_routers,
+        13,
+    );
+    // hosts[0], hosts[1] are group A members; hosts[2], hosts[3] group B.
+    join(&mut world, hosts[0].0, ga, 10);
+    join(&mut world, hosts[1].0, ga, 15);
+    join(&mut world, hosts[2].0, gb, 12);
+    join(&mut world, hosts[3].0, gb, 18);
+    // hosts[1] sends to A; hosts[3] sends to B, overlapping in time.
+    send(&mut world, hosts[1].0, ga, 300, 25, 20);
+    send(&mut world, hosts[3].0, gb, 305, 25, 20);
+    world.run_until(SimTime(1600));
+
+    let h0: &HostNode = world.node(hosts[0].0);
+    assert_eq!(h0.seqs_from(hosts[1].1, ga), (0..25).collect::<Vec<u64>>());
+    assert!(h0.seqs_from(hosts[3].1, gb).is_empty(), "no cross-group leak");
+    let h2: &HostNode = world.node(hosts[2].0);
+    assert_eq!(h2.seqs_from(hosts[3].1, gb), (0..25).collect::<Vec<u64>>());
+    assert!(h2.seqs_from(hosts[1].1, ga).is_empty(), "no cross-group leak");
+}
+
+#[test]
+fn one_host_in_many_groups() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let g = random_connected(
+        &RandomGraphParams {
+            nodes: 15,
+            avg_degree: 3.0,
+            delay_range: (1, 4),
+        },
+        &mut rng,
+    );
+    let groups: Vec<Group> = (20..26).map(Group::test).collect();
+    let rp = router_addr(NodeId(7));
+    let mappings: Vec<(Group, Vec<Addr>)> = groups.iter().map(|&g| (g, vec![rp])).collect();
+    let host_routers = [NodeId(1), NodeId(13)];
+    let (mut world, hosts) = build_multi(&g, &mappings, &host_routers, 14);
+    // Host 0 joins all six groups; host 1 sends one packet train to each.
+    for (i, &grp) in groups.iter().enumerate() {
+        join(&mut world, hosts[0].0, grp, 10 + i as u64 * 3);
+        send(&mut world, hosts[1].0, grp, 300 + i as u64 * 11, 8, 30);
+    }
+    world.run_until(SimTime(1800));
+    let h: &HostNode = world.node(hosts[0].0);
+    for &grp in &groups {
+        // Host sequence numbers are global per sender (interleaved across
+        // its groups), so assert count and monotonicity, not exact values.
+        let got = h.seqs_from(hosts[1].1, grp);
+        assert_eq!(got.len(), 8, "group {grp} incomplete: {got:?}");
+        assert!(got.windows(2).all(|w| w[1] > w[0]), "out of order: {got:?}");
+    }
+    // The DR holds one (*,G) per group (plus per-source SPT state).
+    let dr: &PimRouter = world.node(NodeIdx(1));
+    let stars = groups
+        .iter()
+        .filter(|&&grp| {
+            dr.engine()
+                .group_state(grp)
+                .and_then(|gs| gs.star.as_ref())
+                .is_some()
+        })
+        .count();
+    assert_eq!(stars, 6);
+}
+
+/// Engine-level invariants hold across a messy random scenario:
+/// * no entry has its iif in its oif list (forwarding-loop guard);
+/// * (S,G) negative caches exist only alongside a (*,G);
+/// * every oif of every entry is a real interface.
+#[test]
+fn state_invariants_after_random_scenario() {
+    for seed in [2u64, 15, 44] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_connected(
+            &RandomGraphParams {
+                nodes: 25,
+                avg_degree: 4.0,
+                delay_range: (1, 6),
+            },
+            &mut rng,
+        );
+        let grp = Group::test(1);
+        let rp = router_addr(NodeId(3));
+        let host_routers: Vec<NodeId> = vec![NodeId(5), NodeId(9), NodeId(14), NodeId(20), NodeId(24)];
+        let (mut world, hosts) = build_multi(&g, &[(grp, vec![rp])], &host_routers, seed);
+        for (i, &(h, _)) in hosts.iter().enumerate() {
+            join(&mut world, h, grp, 10 + i as u64 * 9);
+        }
+        // Everyone sends; members churn.
+        for &(h, _) in &hosts {
+            send(&mut world, h, grp, 400, 15, 35);
+        }
+        let leaver = hosts[2].0;
+        world.at(SimTime(700), move |w| {
+            w.node_mut::<HostNode>(leaver).leave(grp);
+        });
+        world.run_until(SimTime(2500));
+
+        for i in 0..g.node_count() {
+            let r: &PimRouter = world.node(NodeIdx(i));
+            let Some(gs) = r.engine().group_state(grp) else {
+                continue;
+            };
+            if let Some(star) = &gs.star {
+                if let Some(iif) = star.iif {
+                    assert!(
+                        !star.oifs.contains_key(&iif),
+                        "router {i}: (*,G) iif in oifs"
+                    );
+                }
+            }
+            for (s, e) in &gs.sources {
+                if let Some(iif) = e.iif {
+                    // LocalMembers oifs may legitimately coincide with a
+                    // host-side iif only for local sources.
+                    if !e.local_source {
+                        assert!(
+                            !e.oifs.contains_key(&iif),
+                            "router {i}: ({s},G) iif {iif:?} in oifs {:?}",
+                            e.oifs
+                        );
+                    }
+                }
+                if e.is_negative() {
+                    assert!(
+                        gs.star.is_some(),
+                        "router {i}: negative cache without (*,G) (footnote 13)"
+                    );
+                }
+                for (&oif, o) in &e.oifs {
+                    assert!(
+                        (oif.index()) < r.engine().iface_count(),
+                        "router {i}: oif {oif:?} out of range"
+                    );
+                    let _ = o;
+                }
+            }
+        }
+        // Sanity: members that stayed got full streams from all senders.
+        for (i, &(h, _)) in hosts.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            let host: &HostNode = world.node(h);
+            for (j, &(_, s_addr)) in hosts.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let got = host.seqs_from(s_addr, grp);
+                assert!(
+                    got.len() >= 14,
+                    "seed {seed}: member {i} got only {} of 15 from sender {j}",
+                    got.len()
+                );
+            }
+        }
+    }
+}
+
+/// The OifKind bookkeeping: local-member oifs never expire via PIM timers
+/// while the member stays, and joined oifs persist only under refresh.
+#[test]
+fn oif_kinds_behave() {
+    let mut rng = StdRng::seed_from_u64(88);
+    let g = random_connected(
+        &RandomGraphParams {
+            nodes: 10,
+            avg_degree: 3.0,
+            delay_range: (1, 3),
+        },
+        &mut rng,
+    );
+    let grp = Group::test(1);
+    let rp = router_addr(NodeId(0));
+    let (mut world, hosts) = build_multi(&g, &[(grp, vec![rp])], &[NodeId(4)], 7);
+    join(&mut world, hosts[0].0, grp, 10);
+    world.run_until(SimTime(2000));
+    let dr: &PimRouter = world.node(NodeIdx(4));
+    let star = dr
+        .engine()
+        .group_state(grp)
+        .and_then(|gs| gs.star.as_ref())
+        .expect("star survives under IGMP refresh");
+    let kinds: Vec<OifKind> = star.oifs.values().map(|o| o.kind).collect();
+    assert!(
+        kinds.contains(&OifKind::LocalMembers),
+        "the member subnetwork must be a LocalMembers oif"
+    );
+}

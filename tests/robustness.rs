@@ -1,0 +1,198 @@
+//! §2 "Robustness" and §3.4 soft state: the protocol must "gracefully
+//! adapt to routing changes", recover lost control messages at the next
+//! periodic refresh, and survive RP failure.
+
+use graph::{Graph, NodeId};
+use integration_tests::{build_net, diamond, join_at, send_at, seqs, Substrate};
+use netsim::{LinkId, NodeIdx, SimTime};
+use pim::{PimConfig, PimRouter};
+use wire::Group;
+
+fn group() -> Group {
+    Group::test(1)
+}
+
+/// Control-message loss: with 20% loss on every link, soft-state refresh
+/// must still converge the tree and deliver steady-state data. (This is
+/// the paper's footnote-4 argument for periodic refresh over explicit
+/// acks: "lost packets will be recovered from at the next periodic
+/// refresh time", §3.4.)
+#[test]
+fn soft_state_survives_control_loss() {
+    let g = diamond();
+    let mut net = build_net(
+        &g,
+        group(),
+        &[NodeId(2)],
+        &[NodeId(0), NodeId(3)],
+        Substrate::Oracle,
+        PimConfig::default(),
+        1234,
+    );
+    // Lossy control plane on the two tree links (router-router links are
+    // LinkId 0..4 = graph edges).
+    for l in 0..4 {
+        net.world.set_link_loss(LinkId(l), 0.2);
+    }
+    let (receiver, _) = net.hosts[0];
+    let (sender, s_addr) = net.hosts[1];
+    join_at(&mut net.world, receiver, group(), 50);
+    // A long steady stream; early packets may die to loss, but the tree
+    // must hold and most packets arrive.
+    send_at(&mut net.world, sender, group(), 600, 60, 30);
+    net.world.run_until(SimTime(3500));
+    let got = seqs(&net.world, receiver, s_addr, group());
+    assert!(
+        got.len() >= 40,
+        "soft state must keep the tree alive through 20% loss; got {} of 60",
+        got.len()
+    );
+    // The tree state itself must be intact at the end.
+    let r0: &PimRouter = net.world.node(NodeIdx(0));
+    assert!(r0
+        .engine()
+        .group_state(group())
+        .and_then(|gs| gs.star.as_ref())
+        .is_some());
+}
+
+/// §3.8: a link on the distribution tree fails; unicast routing (DV)
+/// reconverges; PIM joins on the new path and prunes the old, and data
+/// keeps flowing.
+#[test]
+fn link_failure_reroutes_tree() {
+    // 0 -- 1 -- 2(RP) with a backup path 0 -- 3 -- 2.
+    let mut g = Graph::with_nodes(4);
+    g.add_edge(NodeId(0), NodeId(1), 1); // e0 (primary)
+    g.add_edge(NodeId(1), NodeId(2), 1); // e1
+    g.add_edge(NodeId(0), NodeId(3), 2); // e2 (backup)
+    g.add_edge(NodeId(3), NodeId(2), 2); // e3
+    let mut net = build_net(
+        &g,
+        group(),
+        &[NodeId(2)],
+        &[NodeId(0), NodeId(2)],
+        Substrate::DistanceVector,
+        PimConfig::shared_tree_only(),
+        77,
+    );
+    let (receiver, _) = net.hosts[0];
+    let (sender, s_addr) = net.hosts[1]; // sender sits at the RP's site
+    join_at(&mut net.world, receiver, group(), 400);
+    send_at(&mut net.world, sender, group(), 500, 80, 40);
+    // Cut the primary path mid-stream.
+    net.world.at(SimTime(1000), |w| w.set_link_up(LinkId(0), false));
+    net.world.run_until(SimTime(4200));
+
+    let got = seqs(&net.world, receiver, s_addr, group());
+    // Pre-failure packets all arrive; post-reconvergence packets arrive;
+    // only the DV detection window (route_timeout = 180) may lose some.
+    let first_window: Vec<u64> = got.iter().copied().filter(|&s| s < 12).collect();
+    assert_eq!(first_window, (0..12).collect::<Vec<u64>>(), "pre-failure loss");
+    let late: Vec<u64> = got.iter().copied().filter(|&s| s >= 40).collect();
+    assert_eq!(
+        late,
+        (40..80).collect::<Vec<u64>>(),
+        "post-reconvergence packets must all arrive over the backup path"
+    );
+    // The DR's (*,G) iif must now point at the backup interface (toward
+    // node 3 — iface 1 of node 0).
+    let r0: &PimRouter = net.world.node(NodeIdx(0));
+    let star_iif = r0
+        .engine()
+        .group_state(group())
+        .and_then(|gs| gs.star.as_ref())
+        .and_then(|s| s.iif);
+    assert_eq!(star_iif, Some(netsim::IfaceId(1)), "§3.8 rerouting must have happened");
+}
+
+/// Membership churn: members come and go; state follows (soft-state
+/// expiry upstream), and a rejoining member resumes reception.
+#[test]
+fn membership_churn() {
+    let g = diamond();
+    let mut net = build_net(
+        &g,
+        group(),
+        &[NodeId(2)],
+        &[NodeId(0), NodeId(3)],
+        Substrate::Oracle,
+        PimConfig::shared_tree_only(),
+        5,
+    );
+    let (receiver, _) = net.hosts[0];
+    let (sender, s_addr) = net.hosts[1];
+    join_at(&mut net.world, receiver, group(), 20);
+    send_at(&mut net.world, sender, group(), 100, 120, 30); // through t=3670
+    // Leave at t=900 (silent), rejoin at t=2400.
+    net.world.at(SimTime(900), move |w| {
+        w.node_mut::<igmp::HostNode>(receiver).leave(group());
+    });
+    join_at(&mut net.world, receiver, group(), 2400);
+    net.world.run_until(SimTime(4400));
+
+    let got = seqs(&net.world, receiver, s_addr, group());
+    // Early packets arrive (joined), then a gap (left; membership expires
+    // after the IGMP timeout ≈ 280t), then reception resumes after the
+    // rejoin.
+    assert!(got.contains(&0), "joined phase must deliver");
+    let gap_missing = (45u64..70).filter(|s| !got.contains(s)).count();
+    assert!(
+        gap_missing > 15,
+        "after leaving, most packets in t≈[1450,2200] must NOT arrive (missing {gap_missing})"
+    );
+    let resumed: Vec<u64> = got.iter().copied().filter(|&s| s >= 85).collect();
+    assert_eq!(
+        resumed,
+        (85..120).collect::<Vec<u64>>(),
+        "after rejoining, delivery must fully resume"
+    );
+}
+
+/// RP failure with an alternate (§3.9), driven through the public API
+/// (this is the example scenario as a regression test, over DV).
+#[test]
+fn rp_failover_restores_shared_tree() {
+    let mut g = Graph::with_nodes(5);
+    g.add_edge(NodeId(0), NodeId(1), 1);
+    g.add_edge(NodeId(1), NodeId(2), 1); // to RP#1
+    g.add_edge(NodeId(1), NodeId(3), 1); // to RP#2
+    g.add_edge(NodeId(3), NodeId(4), 1);
+    g.add_edge(NodeId(2), NodeId(4), 1);
+    let mut net = build_net(
+        &g,
+        group(),
+        &[NodeId(2), NodeId(3)],
+        &[NodeId(0), NodeId(4)],
+        Substrate::DistanceVector,
+        // Shared-tree only: the receiver must depend on the RP, so the
+        // failover is load-bearing (with SPTs the receiver would dodge
+        // the dead RP entirely).
+        PimConfig::shared_tree_only(),
+        3,
+    );
+    let (receiver, _) = net.hosts[0];
+    let (sender, s_addr) = net.hosts[1];
+    join_at(&mut net.world, receiver, group(), 400);
+    send_at(&mut net.world, sender, group(), 500, 80, 40);
+    net.world.at(SimTime(700), |w| {
+        w.set_link_up(LinkId(1), false);
+        w.set_link_up(LinkId(4), false);
+    });
+    net.world.run_until(SimTime(4200));
+
+    let r0: &PimRouter = net.world.node(NodeIdx(0));
+    let gs = r0.engine().group_state(group()).expect("state");
+    assert_eq!(
+        gs.star.as_ref().expect("star").key,
+        netsim::router_addr(NodeId(3)),
+        "must have failed over to RP#2"
+    );
+    let got = seqs(&net.world, receiver, s_addr, group());
+    let late: Vec<u64> = got.iter().copied().filter(|&s| s >= 60).collect();
+    assert_eq!(
+        late,
+        (60..80).collect::<Vec<u64>>(),
+        "delivery must fully resume through the alternate RP"
+    );
+}

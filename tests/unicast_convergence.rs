@@ -1,0 +1,175 @@
+//! The live unicast routing engines must converge to the same routes the
+//! oracle computes from global knowledge — on random topologies, and
+//! again after link failures. This is what makes the protocol-independence
+//! tests meaningful: all three substrates present the same [`unicast::Rib`]
+//! view once converged.
+
+use graph::algo::AllPairs;
+use graph::gen::{random_connected, RandomGraphParams};
+use graph::{Graph, NodeId};
+use integration_tests::{build_net, Substrate};
+use netsim::{router_addr, NodeIdx, SimTime, Topology};
+use pim::{PimConfig, PimRouter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unicast::{OracleRib, Rib};
+use wire::Group;
+
+/// Compare every router's converged table against the oracle: same
+/// reachability and same path *metric* (interfaces may differ where
+/// equal-cost ties exist, but costs may not).
+fn assert_converged_to_oracle(g: &Graph, world: &netsim::World) {
+    let topo = Topology::from_graph(g);
+    let oracles = OracleRib::for_all(g, &topo);
+    for i in 0..g.node_count() {
+        let r: &PimRouter = world.node(NodeIdx(i));
+        for dst in g.nodes() {
+            if dst.index() == i {
+                continue;
+            }
+            let live = r.rib().route(router_addr(dst));
+            let want = oracles[i].route(router_addr(dst));
+            match (live, want) {
+                (Some(l), Some(w)) => assert_eq!(
+                    l.metric, w.metric,
+                    "router {i} → {dst:?}: live metric {} ≠ oracle {}",
+                    l.metric, w.metric
+                ),
+                (l, w) => panic!("router {i} → {dst:?}: reachability mismatch {l:?} vs {w:?}"),
+            }
+        }
+    }
+}
+
+fn random_graph(seed: u64, nodes: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_connected(
+        &RandomGraphParams {
+            nodes,
+            avg_degree: 3.0,
+            delay_range: (1, 6),
+        },
+        &mut rng,
+    )
+}
+
+#[test]
+fn distance_vector_converges_to_shortest_paths() {
+    for seed in [1u64, 7, 23] {
+        let g = random_graph(seed, 14);
+        let mut net = build_net(
+            &g,
+            Group::test(1),
+            &[NodeId(0)],
+            &[],
+            Substrate::DistanceVector,
+            PimConfig::default(),
+            seed,
+        );
+        net.world.run_until(SimTime(1000));
+        assert_converged_to_oracle(&g, &net.world);
+    }
+}
+
+#[test]
+fn link_state_converges_to_shortest_paths() {
+    for seed in [1u64, 7, 23] {
+        let g = random_graph(seed, 14);
+        let mut net = build_net(
+            &g,
+            Group::test(1),
+            &[NodeId(0)],
+            &[],
+            Substrate::LinkState,
+            PimConfig::default(),
+            seed,
+        );
+        net.world.run_until(SimTime(1000));
+        assert_converged_to_oracle(&g, &net.world);
+    }
+}
+
+#[test]
+fn distance_vector_reconverges_after_failure() {
+    // A ring: 0-1-2-3-4-0; cut 0-1 and routes must flip to the long way.
+    let mut g = Graph::with_nodes(5);
+    for i in 0..5u32 {
+        g.add_edge(NodeId(i), NodeId((i + 1) % 5), 1);
+    }
+    let mut net = build_net(
+        &g,
+        Group::test(1),
+        &[NodeId(0)],
+        &[],
+        Substrate::DistanceVector,
+        PimConfig::default(),
+        2,
+    );
+    net.world.run_until(SimTime(800));
+    {
+        let r0: &PimRouter = net.world.node(NodeIdx(0));
+        assert_eq!(r0.rib().route(router_addr(NodeId(1))).expect("route").metric, 1);
+    }
+    net.world.at(SimTime(800), |w| w.set_link_up(netsim::LinkId(0), false));
+    // DV detection needs route_timeout (180) + propagation + update cycles.
+    net.world.run_until(SimTime(2200));
+    let r0: &PimRouter = net.world.node(NodeIdx(0));
+    let r = r0.rib().route(router_addr(NodeId(1))).expect("must reroute the long way");
+    assert_eq!(r.metric, 4, "0→4→3→2→1");
+    // And the reverse direction too.
+    let r1: &PimRouter = net.world.node(NodeIdx(1));
+    assert_eq!(
+        r1.rib().route(router_addr(NodeId(0))).expect("route").metric,
+        4
+    );
+}
+
+#[test]
+fn link_state_reconverges_after_failure() {
+    let mut g = Graph::with_nodes(5);
+    for i in 0..5u32 {
+        g.add_edge(NodeId(i), NodeId((i + 1) % 5), 1);
+    }
+    let mut net = build_net(
+        &g,
+        Group::test(1),
+        &[NodeId(0)],
+        &[],
+        Substrate::LinkState,
+        PimConfig::default(),
+        2,
+    );
+    net.world.run_until(SimTime(500));
+    net.world.at(SimTime(500), |w| w.set_link_up(netsim::LinkId(0), false));
+    // LS detection: neighbor holdtime (35) + LSA flood + Dijkstra.
+    net.world.run_until(SimTime(1200));
+    let r0: &PimRouter = net.world.node(NodeIdx(0));
+    assert_eq!(
+        r0.rib().route(router_addr(NodeId(1))).expect("rerouted").metric,
+        4
+    );
+}
+
+/// Cross-validate the oracle itself: its metrics equal all-pairs
+/// shortest-path distances on random graphs.
+#[test]
+fn oracle_metrics_match_all_pairs() {
+    for seed in [5u64, 9] {
+        let g = random_graph(seed, 20);
+        let topo = Topology::from_graph(&g);
+        let ap = AllPairs::new(&g);
+        let oracles = OracleRib::for_all(&g, &topo);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    oracles[a.index()].route(router_addr(b)).expect("connected").metric as u64,
+                    ap.dist(a, b).expect("connected"),
+                    "{a:?}→{b:?}"
+                );
+            }
+        }
+    }
+}
