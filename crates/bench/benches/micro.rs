@@ -64,8 +64,22 @@ fn warmed_engine() -> (Engine, OracleRib, Addr, Group) {
     let src = Addr::new(10, 0, 7, 10);
     let group = Group::test(1);
     let mut rib = OracleRib::empty(me);
-    rib.insert(rp, RouteEntry { iface: IfaceId(1), next_hop: rp, metric: 1 });
-    rib.insert(src, RouteEntry { iface: IfaceId(2), next_hop: Addr::new(10, 0, 7, 1), metric: 1 });
+    rib.insert(
+        rp,
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: rp,
+            metric: 1,
+        },
+    );
+    rib.insert(
+        src,
+        RouteEntry {
+            iface: IfaceId(2),
+            next_hop: Addr::new(10, 0, 7, 1),
+            metric: 1,
+        },
+    );
     let mut e = Engine::new(me, 4, PimConfig::default());
     e.set_host_lan(IfaceId(0));
     e.set_rp_mapping(group, vec![rp]);
@@ -83,21 +97,37 @@ fn bench_engine(c: &mut Criterion) {
         let mut t = 10u64;
         b.iter(|| {
             t += 1;
-            e.on_data(SimTime(t), IfaceId(2), src, group, black_box(&payload), &rib)
+            e.on_data(
+                SimTime(t),
+                IfaceId(2),
+                src,
+                group,
+                black_box(&payload),
+                &rib,
+            )
         })
     });
 
     let jp = JoinPrune {
         upstream_neighbor: Addr::new(10, 0, 1, 1),
         holdtime: 180,
-        groups: vec![GroupEntry::join(group, SourceEntry::shared_tree(Addr::new(10, 0, 9, 1)))],
+        groups: vec![GroupEntry::join(
+            group,
+            SourceEntry::shared_tree(Addr::new(10, 0, 9, 1)),
+        )],
     };
     let (mut e2, rib2, _, _) = warmed_engine();
     c.bench_function("pim/on_join_prune_refresh", |b| {
         let mut t = 10u64;
         b.iter(|| {
             t += 1;
-            e2.on_join_prune(SimTime(t), IfaceId(3), Addr::new(10, 0, 2, 1), black_box(&jp), &rib2)
+            e2.on_join_prune(
+                SimTime(t),
+                IfaceId(3),
+                Addr::new(10, 0, 2, 1),
+                black_box(&jp),
+                &rib2,
+            )
         })
     });
 
@@ -124,7 +154,9 @@ fn bench_graph(c: &mut Criterion) {
     c.bench_function("graph/dijkstra_50n", |b| {
         b.iter(|| graph::algo::dijkstra(black_box(&g), NodeId(0)))
     });
-    c.bench_function("graph/all_pairs_50n", |b| b.iter(|| AllPairs::new(black_box(&g))));
+    c.bench_function("graph/all_pairs_50n", |b| {
+        b.iter(|| AllPairs::new(black_box(&g)))
+    });
 
     let ap = AllPairs::new(&g);
     let spec = GroupSpec::random(50, 10, 10, &mut rng);

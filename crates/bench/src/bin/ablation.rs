@@ -49,7 +49,9 @@ fn scenario(seed: u64, trial: u64) -> (graph::Graph, Workload) {
 fn main() {
     let args = cli::parse(8);
     println!("# Ablation 1 (footnote 4): soft state (PIM-shared) vs explicit acks (CBT)");
-    println!("# under link loss. {NODES}-node internets, {MEMBERS} members/2 senders, {PACKETS} pkts,");
+    println!(
+        "# under link loss. {NODES}-node internets, {MEMBERS} members/2 senders, {PACKETS} pkts,"
+    );
     println!("# {} trials (seed {}).", args.trials, args.seed);
     println!(
         "{:<8} {:<11} {:>10} {:>9} {:>10}",
@@ -90,10 +92,7 @@ fn main() {
 
     println!();
     println!("# Ablation 2: PIM refresh period under 15% loss — overhead vs resilience.");
-    println!(
-        "{:<10} {:>10} {:>9}",
-        "refresh", "delivered", "ctrl"
-    );
+    println!("{:<10} {:>10} {:>9}", "refresh", "delivered", "ctrl");
     for refresh in [20u64, 60, 120, 240] {
         let mut delivered = 0u64;
         let mut expected = 0u64;

@@ -26,8 +26,15 @@ fn main() {
     let args = cli::parse(1);
     let mut rng = StdRng::seed_from_u64(args.seed);
     let (g, members, backbone_rp) = three_domains(DOMAIN_SIZE, &mut rng);
-    println!("# Figure 1: three-domain internet ({} routers, {} links).", g.node_count(), g.edge_count());
-    println!("# One member per domain (routers {:?}); every member's site also sends;", members);
+    println!(
+        "# Figure 1: three-domain internet ({} routers, {} links).",
+        g.node_count(),
+        g.edge_count()
+    );
+    println!(
+        "# One member per domain (routers {:?}); every member's site also sends;",
+        members
+    );
     println!("# RP/core on backbone router {backbone_rp} (domain A's border, as in Fig 1(c)).");
     println!();
 
@@ -39,14 +46,14 @@ fn main() {
     };
 
     println!(
-        "{:<11} {:>6} {:>7} {:>7} {:>6} {:>6} {:>11}",
-        "protocol", "state", "ctrl", "data", "links", "hot", "dlv/exp"
+        "{:<11} {:>6} {:>7} {:>7} {:>6} {:>6} {:>11} {:>8} {:>7} {:>6}",
+        "protocol", "state", "ctrl", "data", "links", "hot", "dlv/exp", "events", "timers", "stale"
     );
     let mut results = Vec::new();
     for proto in [Proto::Dvmrp, Proto::Cbt, Proto::PimShared, Proto::PimSpt] {
         let r = run_protocol_sim(&g, proto, &[w.clone()], PACKETS, args.seed);
         println!(
-            "{:<11} {:>6} {:>7} {:>7} {:>6} {:>6} {:>5}/{:<5}",
+            "{:<11} {:>6} {:>7} {:>7} {:>6} {:>6} {:>5}/{:<5} {:>8} {:>7} {:>6}",
             proto.name(),
             r.state_entries,
             r.control_pkts,
@@ -54,10 +61,18 @@ fn main() {
             r.data_links_used,
             r.max_link_data,
             r.deliveries,
-            r.expected_deliveries
+            r.expected_deliveries,
+            r.events_dispatched,
+            r.timers_fired,
+            r.timers_skipped_stale
         );
         results.push((proto, r));
     }
+    println!();
+    println!("# Event loop: `events` = all dispatches (packet deliveries + timer wakeups");
+    println!("# + script steps), `timers` = wakeups fired, `stale` = cancelled/rescheduled");
+    println!("# heap entries skipped. Wakeups are deadline-driven, so events track protocol");
+    println!("# work, not simulated wall-clock.");
     println!();
 
     let total_links = g.edge_count();
@@ -69,10 +84,15 @@ fn main() {
     // 0, 1, 2. (Domain border links carry send+receive load that is
     // identical under every tree shape; the triangle is where tree
     // shape shows.)
-    let backbone_hot =
-        |r: &bench::SimResult| r.link_data[..3].iter().copied().max().unwrap_or(0);
-    println!("# Fig 1(a)->(b): DVMRP put data on {} of {} router-router links (broadcast +", dvmrp.data_links_used, total_links);
-    println!("#   periodic grow-back re-floods), versus {} links for PIM-SPT: sparse-mode savings.", pim_spt.data_links_used);
+    let backbone_hot = |r: &bench::SimResult| r.link_data[..3].iter().copied().max().unwrap_or(0);
+    println!(
+        "# Fig 1(a)->(b): DVMRP put data on {} of {} router-router links (broadcast +",
+        dvmrp.data_links_used, total_links
+    );
+    println!(
+        "#   periodic grow-back re-floods), versus {} links for PIM-SPT: sparse-mode savings.",
+        pim_spt.data_links_used
+    );
     println!("# Fig 1(c): CBT funnels all senders through the core: the hottest inter-domain");
     println!(
         "#   backbone link carried {} data packets under CBT vs {} under PIM-SPT,",

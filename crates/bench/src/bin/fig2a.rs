@@ -26,8 +26,14 @@ const MEMBERS: usize = 10;
 fn main() {
     let args = cli::parse(500);
     println!("# Figure 2(a): max-delay ratio, optimal center-based tree / shortest-path trees");
-    println!("# {NODES}-node random graphs, {MEMBERS}-member groups, {} graphs per degree, seed {}", args.trials, args.seed);
-    println!("{:<8} {:>8} {:>12} {:>10} {:>8} {:>8}", "degree", "trials", "mean_ratio", "sd", "min", "max");
+    println!(
+        "# {NODES}-node random graphs, {MEMBERS}-member groups, {} graphs per degree, seed {}",
+        args.trials, args.seed
+    );
+    println!(
+        "{:<8} {:>8} {:>12} {:>10} {:>8} {:>8}",
+        "degree", "trials", "mean_ratio", "sd", "min", "max"
+    );
     for degree in 3..=8u32 {
         let mut rng = StdRng::seed_from_u64(args.seed ^ (degree as u64) << 32);
         let mut ratios = Vec::with_capacity(args.trials);

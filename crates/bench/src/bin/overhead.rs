@@ -19,6 +19,8 @@
 //!   register→native transition window (§3.3's "minimizes the chance of
 //!   losing data packets during the transition"); steady state is exactly
 //!   lossless for every protocol.
+//! * `events`/`timers` — simulator event-loop dispatches and timer wakeups
+//!   (deadline-driven, so these track protocol work, not wall-clock).
 //!
 //! Run: `cargo run -p bench --release --bin overhead [--trials N] [--seed N]`
 
@@ -36,10 +38,23 @@ const PACKETS: u64 = 12;
 fn main() {
     let args = cli::parse(10);
     println!("# Overhead comparison on a {NODES}-node internet, one group, {PACKETS} pkts/sender,");
-    println!("# averaged over {} topologies (seed {}).", args.trials, args.seed);
     println!(
-        "{:<10} {:<11} {:>8} {:>9} {:>9} {:>7} {:>7} {:>11} {:>5}",
-        "members", "protocol", "state", "ctrl", "data", "links", "hot", "dlv/exp", "dup"
+        "# averaged over {} topologies (seed {}).",
+        args.trials, args.seed
+    );
+    println!(
+        "{:<10} {:<11} {:>8} {:>9} {:>9} {:>7} {:>7} {:>11} {:>5} {:>9} {:>8}",
+        "members",
+        "protocol",
+        "state",
+        "ctrl",
+        "data",
+        "links",
+        "hot",
+        "dlv/exp",
+        "dup",
+        "events",
+        "timers"
     );
     for &members in &[2usize, 5, 10, 20, 40] {
         let senders = members.min(4);
@@ -52,8 +67,11 @@ fn main() {
             let mut dlv = 0u64;
             let mut exp = 0u64;
             let mut dup = 0u64;
+            let mut events = Vec::new();
+            let mut timers = Vec::new();
             for trial in 0..args.trials {
-                let mut rng = StdRng::seed_from_u64(args.seed ^ ((members as u64) << 24) ^ trial as u64);
+                let mut rng =
+                    StdRng::seed_from_u64(args.seed ^ ((members as u64) << 24) ^ trial as u64);
                 let g = random_connected(
                     &RandomGraphParams {
                         nodes: NODES,
@@ -78,9 +96,11 @@ fn main() {
                 dlv += r.deliveries;
                 exp += r.expected_deliveries;
                 dup += r.duplicates;
+                events.push(r.events_dispatched as f64);
+                timers.push(r.timers_fired as f64);
             }
             println!(
-                "{:<10} {:<11} {:>8.1} {:>9.0} {:>9.0} {:>7.1} {:>7.1} {:>5}/{:<5} {:>5}",
+                "{:<10} {:<11} {:>8.1} {:>9.0} {:>9.0} {:>7.1} {:>7.1} {:>5}/{:<5} {:>5} {:>9.0} {:>8.0}",
                 members,
                 proto.name(),
                 stats(&state).mean,
@@ -90,7 +110,9 @@ fn main() {
                 stats(&hot).mean,
                 dlv,
                 exp,
-                dup
+                dup,
+                stats(&events).mean,
+                stats(&timers).mean
             );
         }
         println!();

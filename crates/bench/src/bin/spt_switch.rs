@@ -57,7 +57,7 @@ fn run(policy: SptPolicy, seed: u64) -> Vec<(u64, Option<u64>, usize)> {
     let (mut world, _) = topo.build_world(&g, seed, |plan| {
         let e = Engine::new(plan.addr, plan.ifaces.len(), cfg);
         let mut r = PimRouter::new(e, Box::new(it.next().expect("rib per plan")));
-        r.set_rp_mapping(group, vec![rp]);
+        r.engine_mut().set_rp_mapping(group, vec![rp]);
         Box::new(r)
     });
     let rh = world.add_node(Box::new(HostNode::new(r_addr)));

@@ -104,6 +104,16 @@ pub struct SimResult {
     pub expected_deliveries: u64,
     /// Data packets per router-router link, indexed by graph edge id.
     pub link_data: Vec<u64>,
+    /// Events the world dispatched (deliveries + timers + scripts) — the
+    /// event-loop cost of the run; tracks state churn, not wall-clock.
+    pub events_dispatched: u64,
+    /// Timer events that fired.
+    pub timers_fired: u64,
+    /// Stale timer-heap entries skipped (lazy-deletion cost of
+    /// reschedulable timers).
+    pub timers_skipped_stale: u64,
+    /// Packets delivered to nodes (receive side of the event loop).
+    pub rx_pkts: u64,
 }
 
 /// Simulation schedule shared by all protocols.
@@ -207,7 +217,8 @@ pub fn run_protocol_sim_opts(
             let engine = PimEngine::new(plan.addr, plan.ifaces.len(), cfg);
             let mut r = PimRouter::new(engine, Box::new(rib_iter.next().expect("rib per plan")));
             for w in workloads {
-                r.set_rp_mapping(w.group, vec![router_addr(w.rendezvous)]);
+                r.engine_mut()
+                    .set_rp_mapping(w.group, vec![router_addr(w.rendezvous)]);
             }
             Box::new(r)
         }
@@ -220,7 +231,7 @@ pub fn run_protocol_sim_opts(
             let engine = CbtEngine::new(plan.addr, CbtConfig::default());
             let mut r = CbtRouter::new(engine, Box::new(rib_iter.next().expect("rib per plan")));
             for w in workloads {
-                r.set_core(w.group, router_addr(w.rendezvous));
+                r.engine_mut().set_core(w.group, router_addr(w.rendezvous));
             }
             Box::new(r)
         }
@@ -321,6 +332,10 @@ pub fn run_protocol_sim_opts(
     // otherwise mask the transit-network differences the paper measures.
     let counters = world.counters();
     result.control_pkts = counters.total_control_pkts();
+    result.events_dispatched = counters.events_dispatched();
+    result.timers_fired = counters.timers_fired();
+    result.timers_skipped_stale = counters.timers_skipped_stale();
+    result.rx_pkts = counters.rx_pkts();
     result.link_data = vec![0; g.edge_count()];
     for (l, st) in counters.links() {
         if world.link(l).kind != LinkKind::PointToPoint {
@@ -449,7 +464,8 @@ mod tests {
         for proto in [Proto::PimSpt, Proto::PimShared, Proto::Dvmrp, Proto::Cbt] {
             let r = run_protocol_sim(&g, proto, &[w.clone()], 6, 9);
             assert_eq!(
-                r.deliveries, r.expected_deliveries,
+                r.deliveries,
+                r.expected_deliveries,
                 "{} dropped packets: {r:?}",
                 proto.name()
             );

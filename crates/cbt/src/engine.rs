@@ -103,8 +103,7 @@ impl TreeState {
 
     /// Is `iface` one of this group's tree interfaces?
     pub fn is_tree_iface(&self, iface: IfaceId) -> bool {
-        self.parent.map(|(p, _)| p) == Some(iface)
-            || self.children.keys().any(|&(i, _)| i == iface)
+        self.parent.map(|(p, _)| p) == Some(iface) || self.children.keys().any(|&(i, _)| i == iface)
     }
 }
 
@@ -206,7 +205,13 @@ impl CbtEngine {
     }
 
     /// IGMP reported a member of `group` on `iface`.
-    pub fn local_member_joined(&mut self, now: SimTime, group: Group, iface: IfaceId, rib: &dyn Rib) -> Vec<Output> {
+    pub fn local_member_joined(
+        &mut self,
+        now: SimTime,
+        group: Group,
+        iface: IfaceId,
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         if self.ensure_tree(group).is_none() {
             return Vec::new(); // no core configured
         }
@@ -217,7 +222,12 @@ impl CbtEngine {
     }
 
     /// The last member of `group` on `iface` lapsed.
-    pub fn local_member_left(&mut self, _now: SimTime, group: Group, iface: IfaceId) -> Vec<Output> {
+    pub fn local_member_left(
+        &mut self,
+        _now: SimTime,
+        group: Group,
+        iface: IfaceId,
+    ) -> Vec<Output> {
         let Some(tree) = self.trees.get_mut(&group) else {
             return Vec::new();
         };
@@ -248,7 +258,14 @@ impl CbtEngine {
     }
 
     /// A Join-Request arrived on `iface` from `src`.
-    pub fn on_join_request(&mut self, now: SimTime, iface: IfaceId, src: Addr, jr: &JoinRequest, rib: &dyn Rib) -> Vec<Output> {
+    pub fn on_join_request(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        src: Addr,
+        jr: &JoinRequest,
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         // Adopt the core carried in the join if unconfigured.
         self.cores.entry(jr.group).or_insert(jr.core);
         if self.ensure_tree(jr.group).is_none() {
@@ -295,7 +312,13 @@ impl CbtEngine {
     }
 
     /// A Join-Ack arrived on `iface` from `src`.
-    pub fn on_join_ack(&mut self, now: SimTime, iface: IfaceId, src: Addr, ja: &JoinAck) -> Vec<Output> {
+    pub fn on_join_ack(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        src: Addr,
+        ja: &JoinAck,
+    ) -> Vec<Output> {
         let cfg = self.cfg;
         let Some(tree) = self.trees.get_mut(&ja.group) else {
             return Vec::new();
@@ -361,7 +384,14 @@ impl CbtEngine {
 
     /// An Echo-Reply arrived from our parent on `iface`: groups missing
     /// from it have been torn down upstream — rejoin them.
-    pub fn on_echo_reply(&mut self, now: SimTime, iface: IfaceId, src: Addr, er: &EchoReply, rib: &dyn Rib) -> Vec<Output> {
+    pub fn on_echo_reply(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        src: Addr,
+        er: &EchoReply,
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let mut rejoin = Vec::new();
         for (&group, tree) in self.trees.iter_mut() {
             if tree.parent != Some((iface, src)) {
@@ -386,7 +416,13 @@ impl CbtEngine {
 
     /// A Flush-Tree arrived from our parent: tear down and rejoin, and
     /// propagate the flush to our own children.
-    pub fn on_flush(&mut self, now: SimTime, iface: IfaceId, f: &FlushTree, rib: &dyn Rib) -> Vec<Output> {
+    pub fn on_flush(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        f: &FlushTree,
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let mut out = Vec::new();
         let Some(tree) = self.trees.get_mut(&f.group) else {
             return out;
@@ -413,7 +449,15 @@ impl CbtEngine {
     /// Data from a directly attached host. If we are on the group's tree,
     /// forward along it; otherwise unicast-encapsulate to the core
     /// (CBT's non-member-sender rule).
-    pub fn on_local_data(&mut self, _now: SimTime, iface: IfaceId, source: Addr, group: Group, payload: &[u8], rib: &dyn Rib) -> Vec<Output> {
+    pub fn on_local_data(
+        &mut self,
+        _now: SimTime,
+        iface: IfaceId,
+        source: Addr,
+        group: Group,
+        payload: &[u8],
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let Some(&core) = self.cores.get(&group) else {
             return Vec::new();
         };
@@ -472,7 +516,14 @@ impl CbtEngine {
     /// A multicast data packet arrived on a router interface: the on-tree
     /// check replaces PIM's RPF check (the tree is bidirectional), then
     /// fan out on every other tree interface.
-    pub fn on_data(&mut self, _now: SimTime, iface: IfaceId, source: Addr, group: Group, payload: &[u8]) -> Vec<Output> {
+    pub fn on_data(
+        &mut self,
+        _now: SimTime,
+        iface: IfaceId,
+        source: Addr,
+        group: Group,
+        payload: &[u8],
+    ) -> Vec<Output> {
         let Some(tree) = self.trees.get(&group) else {
             return Vec::new();
         };
@@ -489,6 +540,24 @@ impl CbtEngine {
             group,
             payload: payload.to_vec(),
         }]
+    }
+
+    /// The absolute time of this engine's next pending timer: the echo
+    /// schedule, join retransmits, child echo expiries, and parent-silence
+    /// detection (which matures `echo_timeout` after the last sign of
+    /// parent life).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let mut best = Some(self.next_echo);
+        for tree in self.trees.values() {
+            if let Some((_, _, retx)) = tree.pending_join {
+                best = netsim::earliest(best, Some(retx));
+            }
+            best = netsim::earliest(best, tree.children.values().copied().min());
+            if tree.on_tree && tree.parent.is_some() {
+                best = netsim::earliest(best, Some(tree.parent_alive_at + self.cfg.echo_timeout));
+            }
+        }
+        best
     }
 
     /// Periodic maintenance: join retransmits, echoes, child/parent
@@ -519,7 +588,8 @@ impl CbtEngine {
                             }),
                         });
                     } else {
-                        tree.pending_join = Some((iface, Addr::UNSPECIFIED, now + cfg.join_retransmit));
+                        tree.pending_join =
+                            Some((iface, Addr::UNSPECIFIED, now + cfg.join_retransmit));
                     }
                 }
             }
@@ -628,7 +698,14 @@ mod tests {
 
     fn rib() -> OracleRib {
         let mut r = OracleRib::empty(me());
-        r.insert(core(), RouteEntry { iface: IfaceId(0), next_hop: core(), metric: 1 });
+        r.insert(
+            core(),
+            RouteEntry {
+                iface: IfaceId(0),
+                next_hop: core(),
+                metric: 1,
+            },
+        );
         r
     }
 
@@ -658,7 +735,11 @@ mod tests {
             t(2),
             IfaceId(0),
             core(),
-            &JoinAck { group: g(), core: core(), originator: me() },
+            &JoinAck {
+                group: g(),
+                core: core(),
+                originator: me(),
+            },
         );
         let tree = e.tree(g()).unwrap();
         assert!(tree.on_tree);
@@ -670,21 +751,38 @@ mod tests {
         let mut e = engine();
         e.local_member_joined(t(0), g(), IfaceId(2), &rib());
         let out = e.tick(t(20), &rib());
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Output::Send { msg: Message::CbtJoinRequest(_), .. })));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                msg: Message::CbtJoinRequest(_),
+                ..
+            }
+        )));
     }
 
     #[test]
     fn on_tree_router_acks_downstream_join_immediately() {
         let mut e = engine();
         e.local_member_joined(t(0), g(), IfaceId(2), &rib());
-        e.on_join_ack(t(2), IfaceId(0), core(), &JoinAck { group: g(), core: core(), originator: me() });
+        e.on_join_ack(
+            t(2),
+            IfaceId(0),
+            core(),
+            &JoinAck {
+                group: g(),
+                core: core(),
+                originator: me(),
+            },
+        );
         let out = e.on_join_request(
             t(5),
             IfaceId(1),
             child(),
-            &JoinRequest { group: g(), core: core(), originator: child() },
+            &JoinRequest {
+                group: g(),
+                core: core(),
+                originator: child(),
+            },
             &rib(),
         );
         assert!(matches!(
@@ -692,7 +790,11 @@ mod tests {
             Output::Send { iface, dst, msg: Message::CbtJoinAck(_), .. }
                 if *iface == IfaceId(1) && *dst == child()
         ));
-        assert!(e.tree(g()).unwrap().children.contains_key(&(IfaceId(1), child())));
+        assert!(e
+            .tree(g())
+            .unwrap()
+            .children
+            .contains_key(&(IfaceId(1), child())));
         assert_eq!(e.acks_sent, 1);
     }
 
@@ -704,28 +806,48 @@ mod tests {
             t(0),
             IfaceId(1),
             child(),
-            &JoinRequest { group: g(), core: core(), originator: child() },
+            &JoinRequest {
+                group: g(),
+                core: core(),
+                originator: child(),
+            },
             &rib(),
         );
         // Our own join goes toward the core; no ack yet.
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Output::Send { msg: Message::CbtJoinRequest(_), .. })));
-        assert!(!out
-            .iter()
-            .any(|o| matches!(o, Output::Send { msg: Message::CbtJoinAck(_), .. })));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                msg: Message::CbtJoinRequest(_),
+                ..
+            }
+        )));
+        assert!(!out.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                msg: Message::CbtJoinAck(_),
+                ..
+            }
+        )));
         // Core's ack arrives: the pending downstream is confirmed.
         let out = e.on_join_ack(
             t(3),
             IfaceId(0),
             core(),
-            &JoinAck { group: g(), core: core(), originator: me() },
+            &JoinAck {
+                group: g(),
+                core: core(),
+                originator: me(),
+            },
         );
         assert!(matches!(
             &out[0],
             Output::Send { dst, msg: Message::CbtJoinAck(_), .. } if *dst == child()
         ));
-        assert!(e.tree(g()).unwrap().children.contains_key(&(IfaceId(1), child())));
+        assert!(e
+            .tree(g())
+            .unwrap()
+            .children
+            .contains_key(&(IfaceId(1), child())));
     }
 
     #[test]
@@ -736,18 +858,47 @@ mod tests {
             t(0),
             IfaceId(0),
             child(),
-            &JoinRequest { group: g(), core: core(), originator: child() },
+            &JoinRequest {
+                group: g(),
+                core: core(),
+                originator: child(),
+            },
             &OracleRib::empty(core()),
         );
-        assert!(matches!(&out[0], Output::Send { msg: Message::CbtJoinAck(_), .. }));
+        assert!(matches!(
+            &out[0],
+            Output::Send {
+                msg: Message::CbtJoinAck(_),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn bidirectional_forwarding_on_tree() {
         let mut e = engine();
         e.local_member_joined(t(0), g(), IfaceId(2), &rib());
-        e.on_join_ack(t(2), IfaceId(0), core(), &JoinAck { group: g(), core: core(), originator: me() });
-        e.on_join_request(t(5), IfaceId(1), child(), &JoinRequest { group: g(), core: core(), originator: child() }, &rib());
+        e.on_join_ack(
+            t(2),
+            IfaceId(0),
+            core(),
+            &JoinAck {
+                group: g(),
+                core: core(),
+                originator: me(),
+            },
+        );
+        e.on_join_request(
+            t(5),
+            IfaceId(1),
+            child(),
+            &JoinRequest {
+                group: g(),
+                core: core(),
+                originator: child(),
+            },
+            &rib(),
+        );
 
         // From the parent side: to child + members.
         let out = e.on_data(t(10), IfaceId(0), Addr::new(10, 9, 9, 9), g(), b"d");
@@ -783,10 +934,24 @@ mod tests {
     fn core_injects_encapsulated_data_onto_tree() {
         let mut e = CbtEngine::new(core(), CbtConfig::default());
         e.set_core(g(), core());
-        e.on_join_request(t(0), IfaceId(0), child(), &JoinRequest { group: g(), core: core(), originator: child() }, &OracleRib::empty(core()));
+        e.on_join_request(
+            t(0),
+            IfaceId(0),
+            child(),
+            &JoinRequest {
+                group: g(),
+                core: core(),
+                originator: child(),
+            },
+            &OracleRib::empty(core()),
+        );
         let out = e.on_encapsulated(
             t(5),
-            &Register { group: g(), source: Addr::new(10, 9, 9, 9), payload: b"d".to_vec() },
+            &Register {
+                group: g(),
+                source: Addr::new(10, 9, 9, 9),
+                payload: b"d".to_vec(),
+            },
         );
         assert!(matches!(
             &out[0],
@@ -798,8 +963,27 @@ mod tests {
     fn echo_refreshes_children_and_reply_lists_live_groups() {
         let mut e = engine();
         e.local_member_joined(t(0), g(), IfaceId(2), &rib());
-        e.on_join_ack(t(2), IfaceId(0), core(), &JoinAck { group: g(), core: core(), originator: me() });
-        e.on_join_request(t(5), IfaceId(1), child(), &JoinRequest { group: g(), core: core(), originator: child() }, &rib());
+        e.on_join_ack(
+            t(2),
+            IfaceId(0),
+            core(),
+            &JoinAck {
+                group: g(),
+                core: core(),
+                originator: me(),
+            },
+        );
+        e.on_join_request(
+            t(5),
+            IfaceId(1),
+            child(),
+            &JoinRequest {
+                group: g(),
+                core: core(),
+                originator: child(),
+            },
+            &rib(),
+        );
         let out = e.on_echo(t(50), IfaceId(1), child(), &Echo { groups: vec![g()] });
         assert!(matches!(
             &out[0],
@@ -807,25 +991,57 @@ mod tests {
         ));
         // Keep our parent alive too, then cross the child's original
         // timeout: the echoed child must survive.
-        e.on_echo_reply(t(60), IfaceId(0), core(), &EchoReply { groups: vec![g()] }, &rib());
+        e.on_echo_reply(
+            t(60),
+            IfaceId(0),
+            core(),
+            &EchoReply { groups: vec![g()] },
+            &rib(),
+        );
         e.tick(t(104), &rib());
-        assert!(e.tree(g()).unwrap().children.contains_key(&(IfaceId(1), child())));
+        assert!(e
+            .tree(g())
+            .unwrap()
+            .children
+            .contains_key(&(IfaceId(1), child())));
     }
 
     #[test]
     fn silent_child_expires_and_leaf_quits() {
         let mut e = engine();
         // We're a pure transit router: a child, no members.
-        e.on_join_request(t(0), IfaceId(1), child(), &JoinRequest { group: g(), core: core(), originator: child() }, &rib());
-        e.on_join_ack(t(2), IfaceId(0), core(), &JoinAck { group: g(), core: core(), originator: me() });
+        e.on_join_request(
+            t(0),
+            IfaceId(1),
+            child(),
+            &JoinRequest {
+                group: g(),
+                core: core(),
+                originator: child(),
+            },
+            &rib(),
+        );
+        e.on_join_ack(
+            t(2),
+            IfaceId(0),
+            core(),
+            &JoinAck {
+                group: g(),
+                core: core(),
+                originator: me(),
+            },
+        );
         assert!(e.tree(g()).is_some());
         // The child never echoes: it expires, and with no members left we
         // quit toward the parent.
         let out = e.tick(t(200), &rib());
-        assert!(out.iter().any(|o| matches!(
-            o,
-            Output::Send { dst, msg: Message::CbtQuit(_), .. } if *dst == core()
-        )), "{out:?}");
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                Output::Send { dst, msg: Message::CbtQuit(_), .. } if *dst == core()
+            )),
+            "{out:?}"
+        );
         assert!(e.tree(g()).is_none());
     }
 
@@ -833,11 +1049,30 @@ mod tests {
     fn missing_group_in_echo_reply_triggers_rejoin() {
         let mut e = engine();
         e.local_member_joined(t(0), g(), IfaceId(2), &rib());
-        e.on_join_ack(t(2), IfaceId(0), core(), &JoinAck { group: g(), core: core(), originator: me() });
-        let out = e.on_echo_reply(t(40), IfaceId(0), core(), &EchoReply { groups: vec![] }, &rib());
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Output::Send { msg: Message::CbtJoinRequest(_), .. })));
+        e.on_join_ack(
+            t(2),
+            IfaceId(0),
+            core(),
+            &JoinAck {
+                group: g(),
+                core: core(),
+                originator: me(),
+            },
+        );
+        let out = e.on_echo_reply(
+            t(40),
+            IfaceId(0),
+            core(),
+            &EchoReply { groups: vec![] },
+            &rib(),
+        );
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                msg: Message::CbtJoinRequest(_),
+                ..
+            }
+        )));
         assert!(!e.tree(g()).unwrap().on_tree);
     }
 
@@ -845,26 +1080,71 @@ mod tests {
     fn parent_silence_flushes_subtree_and_rejoins() {
         let mut e = engine();
         e.local_member_joined(t(0), g(), IfaceId(2), &rib());
-        e.on_join_ack(t(2), IfaceId(0), core(), &JoinAck { group: g(), core: core(), originator: me() });
-        e.on_join_request(t(5), IfaceId(1), child(), &JoinRequest { group: g(), core: core(), originator: child() }, &rib());
+        e.on_join_ack(
+            t(2),
+            IfaceId(0),
+            core(),
+            &JoinAck {
+                group: g(),
+                core: core(),
+                originator: me(),
+            },
+        );
+        e.on_join_request(
+            t(5),
+            IfaceId(1),
+            child(),
+            &JoinRequest {
+                group: g(),
+                core: core(),
+                originator: child(),
+            },
+            &rib(),
+        );
         // Keep the child alive but let the parent go silent.
         e.on_echo(t(90), IfaceId(1), child(), &Echo { groups: vec![g()] });
         let out = e.tick(t(110), &rib());
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                Output::Send { dst, msg: Message::CbtFlushTree(_), .. } if *dst == child()
+            )),
+            "{out:?}"
+        );
         assert!(out.iter().any(|o| matches!(
             o,
-            Output::Send { dst, msg: Message::CbtFlushTree(_), .. } if *dst == child()
-        )), "{out:?}");
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Output::Send { msg: Message::CbtJoinRequest(_), .. })));
+            Output::Send {
+                msg: Message::CbtJoinRequest(_),
+                ..
+            }
+        )));
     }
 
     #[test]
     fn quit_removes_child() {
         let mut e = engine();
         e.local_member_joined(t(0), g(), IfaceId(2), &rib());
-        e.on_join_ack(t(2), IfaceId(0), core(), &JoinAck { group: g(), core: core(), originator: me() });
-        e.on_join_request(t(5), IfaceId(1), child(), &JoinRequest { group: g(), core: core(), originator: child() }, &rib());
+        e.on_join_ack(
+            t(2),
+            IfaceId(0),
+            core(),
+            &JoinAck {
+                group: g(),
+                core: core(),
+                originator: me(),
+            },
+        );
+        e.on_join_request(
+            t(5),
+            IfaceId(1),
+            child(),
+            &JoinRequest {
+                group: g(),
+                core: core(),
+                originator: child(),
+            },
+            &rib(),
+        );
         e.on_quit(t(10), IfaceId(1), child(), &Quit { group: g() });
         assert!(e.tree(g()).unwrap().children.is_empty());
     }

@@ -1,273 +1,147 @@
 //! The [`netsim`] adapter for the CBT baseline.
+//!
+//! [`CbtRouter`] is the generic [`node::ProtocolNode`] instantiated with
+//! [`CbtEngine`] — the same adapter PIM and DVMRP use.
 
 use crate::engine::{CbtEngine, Output};
-use igmp::{Querier, QuerierOutput};
-use netsim::{Ctx, Duration, IfaceId, Node, SimTime};
-use std::any::Any;
-use std::collections::HashMap;
-use wire::ip::{Header, Protocol};
+use netsim::{IfaceId, SimTime};
+use node::{Action, ProtocolEngine};
+use unicast::Rib;
 use wire::{Addr, Group, Message};
 
-const TOKEN_TICK: u64 = 1;
-const TICK_GRANULARITY: Duration = Duration(2);
+/// Data TTL used when (re)originating packets (decapsulated registers).
 const DATA_TTL: u8 = 32;
 
 /// A CBT router node.
-pub struct CbtRouter {
-    engine: CbtEngine,
-    unicast: Box<dyn unicast::Engine>,
-    queriers: HashMap<IfaceId, Querier>,
-    /// Multicast data packets forwarded.
-    pub data_forwards: u64,
-    /// Control messages processed.
-    pub control_msgs: u64,
-    next_tick: SimTime,
+pub type CbtRouter = node::ProtocolNode<CbtEngine>;
+
+/// Convert engine outputs into node actions, stamping `data_ttl` on data
+/// forwards.
+fn actions(outs: Vec<Output>, data_ttl: u8) -> Vec<Action> {
+    outs.into_iter()
+        .map(|o| match o {
+            Output::Send {
+                iface,
+                dst,
+                ttl,
+                msg,
+            } => Action::Control {
+                iface,
+                dst,
+                ttl,
+                msg,
+            },
+            Output::Forward {
+                ifaces,
+                source,
+                group,
+                payload,
+            } => Action::Forward {
+                ifaces,
+                source,
+                group,
+                ttl: data_ttl,
+                payload,
+            },
+        })
+        .collect()
 }
 
-impl CbtRouter {
-    /// Build a router from its CBT engine and a unicast engine.
-    pub fn new(engine: CbtEngine, unicast: Box<dyn unicast::Engine>) -> CbtRouter {
-        CbtRouter {
-            engine,
-            unicast,
-            queriers: HashMap::new(),
-            data_forwards: 0,
-            control_msgs: 0,
-            next_tick: SimTime::ZERO,
-        }
+impl ProtocolEngine for CbtEngine {
+    fn addr(&self) -> Addr {
+        CbtEngine::addr(self)
     }
 
-    /// Declare `iface` host-facing, with the given attached hosts.
-    pub fn attach_host_lan(&mut self, iface: IfaceId, hosts: &[Addr]) {
-        self.unicast.grow_iface(1);
-        self.queriers
-            .insert(iface, Querier::new(self.engine.addr(), igmp::Config::default()));
-        for &h in hosts {
-            self.engine.register_local_host(h, iface);
-            self.unicast.attach_local(h, 1);
-        }
-    }
-
-    /// Configure the core for `group`.
-    pub fn set_core(&mut self, group: Group, core: Addr) {
-        self.engine.set_core(group, core);
-    }
-
-    /// The CBT engine (inspection).
-    pub fn engine(&self) -> &CbtEngine {
-        &self.engine
-    }
-
-    /// This router's address.
-    pub fn addr(&self) -> Addr {
-        self.engine.addr()
-    }
-
-    fn send_control(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, dst: Addr, ttl: u8, msg: &Message) {
-        let header = Header {
-            proto: Protocol::Igmp,
-            ttl,
-            src: self.engine.addr(),
-            dst,
-        };
-        ctx.send(iface, header.encap(&msg.encode()));
-    }
-
-    fn handle_outputs(&mut self, ctx: &mut Ctx<'_>, outputs: Vec<Output>, data_ttl: u8) {
-        for o in outputs {
-            match o {
-                Output::Send { iface, dst, ttl, msg } => {
-                    self.send_control(ctx, iface, dst, ttl, &msg);
-                }
-                Output::Forward { ifaces, source, group, payload } => {
-                    let header = Header {
-                        proto: Protocol::Data,
-                        ttl: data_ttl,
-                        src: source,
-                        dst: group.addr(),
-                    };
-                    let pkt = header.encap(&payload);
-                    for i in ifaces {
-                        self.data_forwards += 1;
-                        if self.queriers.contains_key(&i) {
-                            ctx.count_local_delivery();
-                        }
-                        ctx.send(i, pkt.clone());
-                    }
-                }
+    fn on_control(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        src: Addr,
+        dst: Addr,
+        msg: &Message,
+        rib: &dyn Rib,
+    ) -> Vec<Action> {
+        match msg {
+            Message::CbtJoinRequest(jr) => {
+                actions(self.on_join_request(now, iface, src, jr, rib), DATA_TTL)
             }
-        }
-    }
-
-    fn handle_unicast_outputs(&mut self, ctx: &mut Ctx<'_>, outputs: Vec<unicast::Output>) {
-        for o in outputs {
-            match o {
-                unicast::Output::Send { iface, dst, msg } => {
-                    self.send_control(ctx, iface, dst, 1, &msg);
-                }
-                unicast::Output::RouteChanged { .. } => {}
+            Message::CbtJoinAck(ja) => actions(self.on_join_ack(now, iface, src, ja), DATA_TTL),
+            Message::CbtEcho(e) => actions(self.on_echo(now, iface, src, e), DATA_TTL),
+            Message::CbtEchoReply(er) => {
+                actions(self.on_echo_reply(now, iface, src, er, rib), DATA_TTL)
             }
-        }
-    }
-
-    fn handle_querier_outputs(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, outputs: Vec<QuerierOutput>) {
-        let now = ctx.now();
-        for o in outputs {
-            match o {
-                QuerierOutput::Send { dst, msg } => {
-                    self.send_control(ctx, iface, dst, 1, &msg);
-                }
-                QuerierOutput::MemberJoined(group) => {
-                    let outs = self
-                        .engine
-                        .local_member_joined(now, group, iface, self.unicast.as_ref());
-                    self.handle_outputs(ctx, outs, DATA_TTL);
-                }
-                QuerierOutput::MemberExpired(group) => {
-                    let outs = self.engine.local_member_left(now, group, iface);
-                    self.handle_outputs(ctx, outs, DATA_TTL);
-                }
-                QuerierOutput::RpMappingLearned(..) => {}
-            }
-        }
-    }
-
-    fn forward_unicast(&mut self, ctx: &mut Ctx<'_>, header: &Header, payload: &[u8]) {
-        let Some(next) = header.decrement_ttl() else {
-            return;
-        };
-        if let Some(r) = self.unicast.route(header.dst) {
-            ctx.send(r.iface, next.encap(payload));
-        }
-    }
-}
-
-impl Node for CbtRouter {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        let outs = self.unicast.on_start(ctx.now());
-        self.handle_unicast_outputs(ctx, outs);
-        ctx.set_timer(Duration::ZERO, TOKEN_TICK);
-    }
-
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, packet: &[u8]) {
-        let Ok((header, payload)) = Header::decap(packet) else {
-            return;
-        };
-        let now = ctx.now();
-        match header.proto {
-            Protocol::Igmp => {
-                let Ok(msg) = Message::decode(payload) else {
-                    return;
-                };
-                self.control_msgs += 1;
-                match &msg {
-                    Message::HostQuery(_) | Message::HostReport(_) | Message::RpMapping(_) => {
-                        if let Some(q) = self.queriers.get_mut(&iface) {
-                            let outs = q.on_message(now, header.src, &msg);
-                            self.handle_querier_outputs(ctx, iface, outs);
-                        }
-                    }
-                    Message::CbtJoinRequest(jr) => {
-                        let outs = self
-                            .engine
-                            .on_join_request(now, iface, header.src, jr, self.unicast.as_ref());
-                        self.handle_outputs(ctx, outs, DATA_TTL);
-                    }
-                    Message::CbtJoinAck(ja) => {
-                        let outs = self.engine.on_join_ack(now, iface, header.src, ja);
-                        self.handle_outputs(ctx, outs, DATA_TTL);
-                    }
-                    Message::CbtEcho(e) => {
-                        let outs = self.engine.on_echo(now, iface, header.src, e);
-                        self.handle_outputs(ctx, outs, DATA_TTL);
-                    }
-                    Message::CbtEchoReply(er) => {
-                        let outs = self
-                            .engine
-                            .on_echo_reply(now, iface, header.src, er, self.unicast.as_ref());
-                        self.handle_outputs(ctx, outs, DATA_TTL);
-                    }
-                    Message::CbtQuit(q) => {
-                        let outs = self.engine.on_quit(now, iface, header.src, q);
-                        self.handle_outputs(ctx, outs, DATA_TTL);
-                    }
-                    Message::CbtFlushTree(f) => {
-                        let outs = self.engine.on_flush(now, iface, f, self.unicast.as_ref());
-                        self.handle_outputs(ctx, outs, DATA_TTL);
-                    }
-                    Message::PimRegister(reg) => {
-                        if header.dst == self.engine.addr() {
-                            let outs = self.engine.on_encapsulated(now, reg);
-                            self.handle_outputs(ctx, outs, DATA_TTL);
-                        } else {
-                            self.forward_unicast(ctx, &header, payload);
-                        }
-                    }
-                    Message::DvUpdate(_) | Message::Lsa(_) | Message::Hello(_) => {
-                        let outs = self.unicast.on_message(now, iface, header.src, &msg);
-                        self.handle_unicast_outputs(ctx, outs);
-                    }
-                    _ => {}
-                }
-            }
-            Protocol::Data => {
-                if !header.dst.is_multicast() {
-                    if header.dst != self.engine.addr() {
-                        self.forward_unicast(ctx, &header, payload);
-                    }
-                    return;
-                }
-                let Some(group) = Group::new(header.dst) else {
-                    return;
-                };
-                let Some(fwd) = header.decrement_ttl() else {
-                    return;
-                };
-                let is_host_src = self.queriers.contains_key(&iface);
-                let outs = if is_host_src {
-                    self.engine.on_local_data(
-                        now,
-                        iface,
-                        header.src,
-                        group,
-                        payload,
-                        self.unicast.as_ref(),
-                    )
+            Message::CbtQuit(q) => actions(self.on_quit(now, iface, src, q), DATA_TTL),
+            Message::CbtFlushTree(f) => actions(self.on_flush(now, iface, f, rib), DATA_TTL),
+            Message::PimRegister(reg) => {
+                // Senders unicast-encapsulate toward the core; decapsulate
+                // when it is ours, relay when in transit.
+                if dst == CbtEngine::addr(self) {
+                    actions(self.on_encapsulated(now, reg), DATA_TTL)
                 } else {
-                    self.engine.on_data(now, iface, header.src, group, payload)
-                };
-                self.handle_outputs(ctx, outs, fwd.ttl);
+                    vec![Action::RelayUnicast]
+                }
             }
+            _ => Vec::new(),
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        if token != TOKEN_TICK {
-            return;
-        }
-        let now = ctx.now();
-        if now >= self.next_tick {
-            self.next_tick = now + TICK_GRANULARITY;
-            if self.unicast.tick_interval().ticks() != u64::MAX {
-                let outs = self.unicast.tick(now);
-                self.handle_unicast_outputs(ctx, outs);
-            }
-            let ifaces: Vec<IfaceId> = self.queriers.keys().copied().collect();
-            for i in ifaces {
-                let outs = self.queriers.get_mut(&i).expect("listed").tick(now);
-                self.handle_querier_outputs(ctx, i, outs);
-            }
-            let outs = self.engine.tick(now, self.unicast.as_ref());
-            self.handle_outputs(ctx, outs, DATA_TTL);
-        }
-        ctx.set_timer(TICK_GRANULARITY, TOKEN_TICK);
+    fn on_multicast_data(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        source: Addr,
+        group: Group,
+        ttl: u8,
+        payload: &[u8],
+        from_host_lan: bool,
+        rib: &dyn Rib,
+    ) -> Vec<Action> {
+        let outs = if from_host_lan {
+            self.on_local_data(now, iface, source, group, payload, rib)
+        } else {
+            self.on_data(now, iface, source, group, payload)
+        };
+        actions(outs, ttl)
     }
 
-    fn as_any(&self) -> &dyn Any {
-        self
+    fn local_member_joined(
+        &mut self,
+        now: SimTime,
+        group: Group,
+        iface: IfaceId,
+        rib: &dyn Rib,
+    ) -> Vec<Action> {
+        actions(
+            CbtEngine::local_member_joined(self, now, group, iface, rib),
+            DATA_TTL,
+        )
     }
 
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+    fn local_member_left(&mut self, now: SimTime, group: Group, iface: IfaceId) -> Vec<Action> {
+        actions(
+            CbtEngine::local_member_left(self, now, group, iface),
+            DATA_TTL,
+        )
+    }
+
+    fn host_lan_attached(&mut self, _iface: IfaceId) -> u32 {
+        // CBT keeps no per-interface engine state; the unicast engine still
+        // grows one interface per attached host LAN.
+        1
+    }
+
+    fn register_local_host(&mut self, host: Addr, iface: IfaceId) {
+        CbtEngine::register_local_host(self, host, iface);
+    }
+
+    // CBT re-derives paths on join retransmission; the default no-op
+    // `on_route_change` stands.
+
+    fn tick(&mut self, now: SimTime, rib: &dyn Rib) -> Vec<Action> {
+        actions(CbtEngine::tick(self, now, rib), DATA_TTL)
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        CbtEngine::next_deadline(self)
     }
 }

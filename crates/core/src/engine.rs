@@ -169,7 +169,10 @@ impl Engine {
 
     /// The RPs configured for `group`.
     pub fn rp_mapping(&self, group: Group) -> &[Addr] {
-        self.groups.get(&group).map(|g| g.rps.as_slice()).unwrap_or(&[])
+        self.groups
+            .get(&group)
+            .map(|g| g.rps.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Is this router one of the RPs for `group`?
@@ -212,7 +215,13 @@ impl Engine {
     /// member subnetwork in the oif list, and triggers a join toward the
     /// RP (§3.1–3.2). If no RP mapping exists the group is "not to be
     /// supported with PIM sparse mode" and nothing happens.
-    pub fn local_member_joined(&mut self, now: SimTime, group: Group, iface: IfaceId, rib: &dyn Rib) -> Vec<Output> {
+    pub fn local_member_joined(
+        &mut self,
+        now: SimTime,
+        group: Group,
+        iface: IfaceId,
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let Some(gs) = self.groups.get(&group) else {
             return Vec::new(); // no RP mapping → not sparse mode (§3.1)
         };
@@ -291,7 +300,14 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// A PIM Join/Prune message arrived on `iface` from neighbor `src`.
-    pub fn on_join_prune(&mut self, now: SimTime, iface: IfaceId, src: Addr, msg: &JoinPrune, rib: &dyn Rib) -> Vec<Output> {
+    pub fn on_join_prune(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        src: Addr,
+        msg: &JoinPrune,
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let mut out = Vec::new();
         let addressed_to_me = msg.upstream_neighbor == self.my_addr;
         let holdtime = Duration(msg.holdtime as u64);
@@ -317,7 +333,15 @@ impl Engine {
         out
     }
 
-    fn apply_join(&mut self, now: SimTime, iface: IfaceId, group: Group, j: &SourceEntry, holdtime: Duration, rib: &dyn Rib) -> Vec<Output> {
+    fn apply_join(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        group: Group,
+        j: &SourceEntry,
+        holdtime: Duration,
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let mut out = Vec::new();
         let expires = now + holdtime;
         self.cancel_pending_prune(group, j, iface);
@@ -482,7 +506,15 @@ impl Engine {
         true
     }
 
-    fn apply_prune(&mut self, now: SimTime, iface: IfaceId, group: Group, p: &SourceEntry, holdtime: Duration, rib: &dyn Rib) -> Vec<Output> {
+    fn apply_prune(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        group: Group,
+        p: &SourceEntry,
+        holdtime: Duration,
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         if self.ifaces[iface.index()].is_lan {
             // §3.7: hold the prune so another router on the subnetwork can
             // override it with a join.
@@ -499,7 +531,15 @@ impl Engine {
         }
     }
 
-    fn execute_prune(&mut self, now: SimTime, iface: IfaceId, group: Group, p: &SourceEntry, holdtime: Duration, rib: &dyn Rib) -> Vec<Output> {
+    fn execute_prune(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        group: Group,
+        p: &SourceEntry,
+        holdtime: Duration,
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let mut out = Vec::new();
         let Some(gs) = self.groups.get_mut(&group) else {
             return out;
@@ -639,7 +679,14 @@ impl Engine {
 
     // §3.7 — overheard messages on multi-access subnetworks.
 
-    fn overhear_join(&mut self, now: SimTime, iface: IfaceId, group: Group, j: &SourceEntry, addressed_to: &Addr) {
+    fn overhear_join(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        group: Group,
+        j: &SourceEntry,
+        addressed_to: &Addr,
+    ) {
         // Join suppression: if we would send the identical periodic join to
         // the same upstream over this subnetwork, stay quiet for a while.
         let suppress_until = now + self.cfg.refresh_period;
@@ -648,7 +695,10 @@ impl Engine {
         };
         if j.wildcard {
             if let Some(star) = gs.star.as_mut() {
-                if star.iif == Some(iface) && star.upstream == Some(*addressed_to) && star.key == j.addr {
+                if star.iif == Some(iface)
+                    && star.upstream == Some(*addressed_to)
+                    && star.key == j.addr
+                {
                     star.suppressed_until = Some(suppress_until);
                 }
             }
@@ -662,7 +712,14 @@ impl Engine {
         self.cancel_pending_prune(group, j, iface);
     }
 
-    fn overhear_prune(&mut self, now: SimTime, iface: IfaceId, group: Group, p: &SourceEntry, upstream: Addr) -> Vec<Output> {
+    fn overhear_prune(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        group: Group,
+        p: &SourceEntry,
+        upstream: Addr,
+    ) -> Vec<Output> {
         // "If there is any router that has the LAN as its incoming
         // interface for the same (S,G) and has non-null outgoing interface
         // list, then the router sends a join message onto the LAN to
@@ -765,13 +822,22 @@ impl Engine {
         let (Some(iif), Some(up)) = (e.iif, e.upstream) else {
             return Vec::new();
         };
-        vec![self.join_prune_to(iif, up, vec![GroupEntry::join(group, SourceEntry::source(source))])]
+        vec![self.join_prune_to(
+            iif,
+            up,
+            vec![GroupEntry::join(group, SourceEntry::source(source))],
+        )]
     }
 
     /// Prune {S, RPbit} toward the RP, from the router that switched to
     /// the SPT (§3.3) or from a negative-cache holder whose downstream all
     /// pruned.
-    fn triggered_negative_prune(&mut self, _now: SimTime, group: Group, source: Addr) -> Vec<Output> {
+    fn triggered_negative_prune(
+        &mut self,
+        _now: SimTime,
+        group: Group,
+        source: Addr,
+    ) -> Vec<Output> {
         let Some(gs) = self.groups.get(&group) else {
             return Vec::new();
         };
@@ -784,7 +850,10 @@ impl Engine {
         vec![self.join_prune_to(
             iif,
             up,
-            vec![GroupEntry::prune(group, SourceEntry::source_on_rp_tree(source))],
+            vec![GroupEntry::prune(
+                group,
+                SourceEntry::source_on_rp_tree(source),
+            )],
         )]
     }
 
@@ -797,7 +866,15 @@ impl Engine {
     /// no native (S,G) path exists, a Register to each RP (§3: "the
     /// first-hop PIM-speaking router sends a PIM register message,
     /// piggybacked on the data packet, to the RP(s)").
-    pub fn on_local_data(&mut self, now: SimTime, iface: IfaceId, source: Addr, group: Group, payload: &[u8], rib: &dyn Rib) -> Vec<Output> {
+    pub fn on_local_data(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        source: Addr,
+        group: Group,
+        payload: &[u8],
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let mut out = Vec::new();
         if !self.is_dr(iface) {
             return out; // only the DR serves this subnetwork (§3.7)
@@ -876,7 +953,14 @@ impl Engine {
         self.accept_register(now, reg.source, reg.group, &reg.payload, rib)
     }
 
-    fn accept_register(&mut self, now: SimTime, source: Addr, group: Group, payload: &[u8], rib: &dyn Rib) -> Vec<Output> {
+    fn accept_register(
+        &mut self,
+        now: SimTime,
+        source: Addr,
+        group: Group,
+        payload: &[u8],
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let mut out = Vec::new();
         let has_receivers = self
             .groups
@@ -923,7 +1007,15 @@ impl Engine {
     /// A multicast data packet arrived on router-router interface `iface`
     /// (§3.5). Implements the incoming-interface check, the longest-match
     /// rule, and the two shared→shortest-path transition exceptions.
-    pub fn on_data(&mut self, now: SimTime, iface: IfaceId, source: Addr, group: Group, payload: &[u8], rib: &dyn Rib) -> Vec<Output> {
+    pub fn on_data(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        source: Addr,
+        group: Group,
+        payload: &[u8],
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let mut out = Vec::new();
         let Some(gs) = self.groups.get_mut(&group) else {
             return out; // sparse mode: no state, no forwarding
@@ -1047,10 +1139,7 @@ impl Engine {
             SptPolicy::Immediate => true,
             SptPolicy::Never => false,
             SptPolicy::AfterPackets { packets, within } => {
-                let slot = self
-                    .spt_counters
-                    .entry((group, source))
-                    .or_insert((0, now));
+                let slot = self.spt_counters.entry((group, source)).or_insert((0, now));
                 if now.since(slot.1) > within {
                     *slot = (0, now); // window lapsed: restart
                 }
@@ -1062,7 +1151,13 @@ impl Engine {
 
     /// §3.3: create the (Sn,G) entry with SPT bit cleared and send a join
     /// toward the source.
-    fn start_spt_switch(&mut self, now: SimTime, group: Group, source: Addr, rib: &dyn Rib) -> Vec<Output> {
+    fn start_spt_switch(
+        &mut self,
+        now: SimTime,
+        group: Group,
+        source: Addr,
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let created = self.ensure_source(now, group, source, rib);
         if created {
             self.spt_counters.remove(&(group, source));
@@ -1077,7 +1172,12 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// An RP-reachability message arrived on `iface`.
-    pub fn on_rp_reachability(&mut self, now: SimTime, iface: IfaceId, msg: &RpReachability) -> Vec<Output> {
+    pub fn on_rp_reachability(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        msg: &RpReachability,
+    ) -> Vec<Output> {
         let Some(gs) = self.groups.get_mut(&msg.group) else {
             return Vec::new();
         };
@@ -1359,6 +1459,34 @@ impl Engine {
         out
     }
 
+    /// The absolute time of this engine's next pending timer: the periodic
+    /// query/reachability/refresh schedule, matured LAN prunes, neighbor
+    /// holdtime expiries, and every entry's soft-state timers. The adapter
+    /// arms exactly one wakeup at this instant instead of polling.
+    ///
+    /// PIM routers are never fully quiescent — queries and join/prune
+    /// refreshes are the protocol's heartbeat — so this always returns
+    /// `Some`, but the deadlines are whole protocol periods apart, not poll
+    /// granules.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let mut best = Some(self.next_query.min(self.next_reach).min(self.next_refresh));
+        for p in &self.pending_prunes {
+            best = netsim::earliest(best, Some(p.execute_at));
+        }
+        for st in &self.ifaces {
+            best = netsim::earliest(best, st.neighbors.values().copied().min());
+        }
+        for gs in self.groups.values() {
+            if let Some(star) = gs.star.as_ref() {
+                best = netsim::earliest(best, star.next_deadline());
+            }
+            for e in gs.sources.values() {
+                best = netsim::earliest(best, e.next_deadline());
+            }
+        }
+        best
+    }
+
     fn expire_entries(&mut self, now: SimTime) -> Vec<Output> {
         let mut out = Vec::new();
         let groups: Vec<Group> = self.groups.keys().copied().collect();
@@ -1430,7 +1558,8 @@ impl Engine {
                         e.delete_at = Some(now + self.cfg.entry_linger);
                     }
                 }
-                gs.sources.retain(|_, e| e.delete_at.map_or(true, |t| now < t));
+                gs.sources
+                    .retain(|_, e| e.delete_at.map_or(true, |t| now < t));
             }
             if emptied {
                 out.extend(self.after_oif_removal(now, group));
@@ -1450,13 +1579,21 @@ impl Engine {
     fn periodic_refresh(&mut self, now: SimTime) -> Vec<Output> {
         // Aggregate entries per (iface, upstream neighbor).
         let mut batches: HashMap<(IfaceId, Addr), Vec<GroupEntry>> = HashMap::new();
-        let mut push = |iface: IfaceId, up: Addr, group: Group, joins: Vec<SourceEntry>, prunes: Vec<SourceEntry>| {
+        let mut push = |iface: IfaceId,
+                        up: Addr,
+                        group: Group,
+                        joins: Vec<SourceEntry>,
+                        prunes: Vec<SourceEntry>| {
             let batch = batches.entry((iface, up)).or_default();
             if let Some(ge) = batch.iter_mut().find(|ge| ge.group == group) {
                 ge.joins.extend(joins);
                 ge.prunes.extend(prunes);
             } else {
-                batch.push(GroupEntry { group, joins, prunes });
+                batch.push(GroupEntry {
+                    group,
+                    joins,
+                    prunes,
+                });
             }
         };
         for (&group, gs) in &self.groups {
@@ -1464,7 +1601,13 @@ impl Engine {
                 let suppressed = star.suppressed_until.map_or(false, |t| now < t);
                 if !star.oifs_empty() && !suppressed {
                     if let (Some(iif), Some(up)) = (star.iif, star.upstream) {
-                        push(iif, up, group, vec![SourceEntry::shared_tree(star.key)], vec![]);
+                        push(
+                            iif,
+                            up,
+                            group,
+                            vec![SourceEntry::shared_tree(star.key)],
+                            vec![],
+                        );
                     }
                 }
             }
@@ -1477,7 +1620,13 @@ impl Engine {
                     // all our downstream branches remain pruned.
                     if e.oifs_empty() {
                         if let (Some(iif), Some(up)) = (e.iif, e.upstream) {
-                            push(iif, up, group, vec![], vec![SourceEntry::source_on_rp_tree(source)]);
+                            push(
+                                iif,
+                                up,
+                                group,
+                                vec![],
+                                vec![SourceEntry::source_on_rp_tree(source)],
+                            );
                         }
                     }
                 } else {
@@ -1495,7 +1644,13 @@ impl Engine {
                         if let Some(star) = &gs.star {
                             if star.iif != e.iif {
                                 if let (Some(siif), Some(sup)) = (star.iif, star.upstream) {
-                                    push(siif, sup, group, vec![], vec![SourceEntry::source_on_rp_tree(source)]);
+                                    push(
+                                        siif,
+                                        sup,
+                                        group,
+                                        vec![],
+                                        vec![SourceEntry::source_on_rp_tree(source)],
+                                    );
                                 }
                             }
                         }
@@ -1516,7 +1671,11 @@ impl Engine {
     /// Clear LAN suppression state for tests.
     #[cfg(test)]
     pub(crate) fn neighbors_on(&self, iface: IfaceId) -> Vec<Addr> {
-        self.ifaces[iface.index()].neighbors.keys().copied().collect()
+        self.ifaces[iface.index()]
+            .neighbors
+            .keys()
+            .copied()
+            .collect()
     }
 }
 
@@ -1525,11 +1684,7 @@ impl Engine {
 pub fn groups_with_local_members(engine: &Engine) -> HashSet<Group> {
     engine
         .groups()
-        .filter(|(_, gs)| {
-            gs.star
-                .as_ref()
-                .map_or(false, |s| s.has_local_members())
-        })
+        .filter(|(_, gs)| gs.star.as_ref().map_or(false, |s| s.has_local_members()))
         .map(|(g, _)| g)
         .collect()
 }

@@ -50,37 +50,128 @@ fn t(ticks: u64) -> SimTime {
 /// (a shortcut that diverges from the RP path).
 fn rib_a() -> OracleRib {
     let mut r = OracleRib::empty(a());
-    r.insert(rp(), RouteEntry { iface: IfaceId(1), next_hop: b(), metric: 2 });
-    r.insert(rp2(), RouteEntry { iface: IfaceId(1), next_hop: b(), metric: 4 });
-    r.insert(b(), RouteEntry { iface: IfaceId(1), next_hop: b(), metric: 1 });
-    r.insert(d(), RouteEntry { iface: IfaceId(2), next_hop: d(), metric: 1 });
-    r.insert(src(), RouteEntry { iface: IfaceId(2), next_hop: d(), metric: 2 });
+    r.insert(
+        rp(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: b(),
+            metric: 2,
+        },
+    );
+    r.insert(
+        rp2(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: b(),
+            metric: 4,
+        },
+    );
+    r.insert(
+        b(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: b(),
+            metric: 1,
+        },
+    );
+    r.insert(
+        d(),
+        RouteEntry {
+            iface: IfaceId(2),
+            next_hop: d(),
+            metric: 1,
+        },
+    );
+    r.insert(
+        src(),
+        RouteEntry {
+            iface: IfaceId(2),
+            next_hop: d(),
+            metric: 2,
+        },
+    );
     r
 }
 
 /// Routes for router B (between A and the RP): RP via iface 1, A via 0.
 fn rib_b() -> OracleRib {
     let mut r = OracleRib::empty(b());
-    r.insert(rp(), RouteEntry { iface: IfaceId(1), next_hop: rp(), metric: 1 });
-    r.insert(a(), RouteEntry { iface: IfaceId(0), next_hop: a(), metric: 1 });
-    r.insert(src(), RouteEntry { iface: IfaceId(1), next_hop: rp(), metric: 3 });
+    r.insert(
+        rp(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: rp(),
+            metric: 1,
+        },
+    );
+    r.insert(
+        a(),
+        RouteEntry {
+            iface: IfaceId(0),
+            next_hop: a(),
+            metric: 1,
+        },
+    );
+    r.insert(
+        src(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: rp(),
+            metric: 3,
+        },
+    );
     r
 }
 
 /// Routes for the RP (C): source via iface 1 (through D).
 fn rib_rp() -> OracleRib {
     let mut r = OracleRib::empty(rp());
-    r.insert(src(), RouteEntry { iface: IfaceId(1), next_hop: d(), metric: 2 });
-    r.insert(d(), RouteEntry { iface: IfaceId(1), next_hop: d(), metric: 1 });
-    r.insert(a(), RouteEntry { iface: IfaceId(0), next_hop: b(), metric: 2 });
+    r.insert(
+        src(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: d(),
+            metric: 2,
+        },
+    );
+    r.insert(
+        d(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: d(),
+            metric: 1,
+        },
+    );
+    r.insert(
+        a(),
+        RouteEntry {
+            iface: IfaceId(0),
+            next_hop: b(),
+            metric: 2,
+        },
+    );
     r
 }
 
 /// Routes for D (the source's DR): RP via iface 1. Host S is local on 0.
 fn rib_d() -> OracleRib {
     let mut r = OracleRib::empty(d());
-    r.insert(rp(), RouteEntry { iface: IfaceId(1), next_hop: rp(), metric: 1 });
-    r.insert(rp2(), RouteEntry { iface: IfaceId(1), next_hop: rp(), metric: 3 });
+    r.insert(
+        rp(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: rp(),
+            metric: 1,
+        },
+    );
+    r.insert(
+        rp2(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: rp(),
+            metric: 3,
+        },
+    );
     r
 }
 
@@ -97,7 +188,10 @@ fn dr_with_member() -> (Engine, OracleRib) {
 fn sent_join_prunes(out: &[Output]) -> Vec<&JoinPrune> {
     out.iter()
         .filter_map(|o| match o {
-            Output::Send { msg: Message::PimJoinPrune(jp), .. } => Some(jp),
+            Output::Send {
+                msg: Message::PimJoinPrune(jp),
+                ..
+            } => Some(jp),
             _ => None,
         })
         .collect()
@@ -132,7 +226,9 @@ fn member_join_creates_star_and_sends_shared_tree_join() {
     assert_eq!(ge.joins, vec![SourceEntry::shared_tree(rp())]);
     assert!(ge.prunes.is_empty());
     match &out[0] {
-        Output::Send { iface, dst, ttl, .. } => {
+        Output::Send {
+            iface, dst, ttl, ..
+        } => {
             assert_eq!(*iface, IfaceId(1));
             assert_eq!(*dst, Addr::ALL_PIM_ROUTERS);
             assert_eq!(*ttl, 1);
@@ -186,7 +282,10 @@ fn rp_recognizes_itself_and_stops_propagation() {
         groups: vec![GroupEntry::join(g(), SourceEntry::shared_tree(rp()))],
     };
     let out = e.on_join_prune(t(1), IfaceId(0), b(), &jp, &rib);
-    assert!(sent_join_prunes(&out).is_empty(), "RP must not join upstream");
+    assert!(
+        sent_join_prunes(&out).is_empty(),
+        "RP must not join upstream"
+    );
     let star = e.group_state(g()).unwrap().star.as_ref().unwrap();
     assert_eq!(star.iif, None, "§3.2: RP's (*,G) iif is null");
 }
@@ -201,7 +300,10 @@ fn join_arriving_on_iif_is_ignored() {
     };
     e.on_join_prune(t(1), IfaceId(1), b(), &jp, &rib); // iface 1 is the iif
     let star = e.group_state(g()).unwrap().star.as_ref().unwrap();
-    assert!(!star.oifs.contains_key(&IfaceId(1)), "oif on iif would loop");
+    assert!(
+        !star.oifs.contains_key(&IfaceId(1)),
+        "oif on iif would loop"
+    );
 }
 
 #[test]
@@ -216,7 +318,10 @@ fn duplicate_join_refreshes_not_duplicates() {
     let o1 = e.on_join_prune(t(1), IfaceId(0), a(), &jp, &rib);
     assert!(!sent_join_prunes(&o1).is_empty());
     let o2 = e.on_join_prune(t(50), IfaceId(0), a(), &jp, &rib);
-    assert!(sent_join_prunes(&o2).is_empty(), "refresh is not re-triggered");
+    assert!(
+        sent_join_prunes(&o2).is_empty(),
+        "refresh is not re-triggered"
+    );
     let star = e.group_state(g()).unwrap().star.as_ref().unwrap();
     assert_eq!(star.oifs[&IfaceId(0)].expires_at, t(50 + 180));
 }
@@ -235,7 +340,12 @@ fn source_dr_registers_to_rp() {
     let out = e.on_local_data(t(5), IfaceId(0), src(), g(), b"pkt0", &rib);
     assert_eq!(out.len(), 1);
     match &out[0] {
-        Output::Send { iface, dst, msg: Message::PimRegister(r), .. } => {
+        Output::Send {
+            iface,
+            dst,
+            msg: Message::PimRegister(r),
+            ..
+        } => {
             assert_eq!(*iface, IfaceId(1));
             assert_eq!(*dst, rp());
             assert_eq!(r.group, g());
@@ -262,7 +372,11 @@ fn rp_with_receivers_decapsulates_and_joins_source() {
     // Register arrives.
     let out = e.on_register(
         t(5),
-        &Register { group: g(), source: src(), payload: b"pkt0".to_vec() },
+        &Register {
+            group: g(),
+            source: src(),
+            payload: b"pkt0".to_vec(),
+        },
         &rib,
     );
     // Decapsulated data goes down the shared tree...
@@ -290,14 +404,16 @@ fn rp_without_receivers_drops_register() {
     e.set_rp_mapping(g(), vec![rp()]);
     let out = e.on_register(
         t(5),
-        &Register { group: g(), source: src(), payload: b"pkt0".to_vec() },
+        &Register {
+            group: g(),
+            source: src(),
+            payload: b"pkt0".to_vec(),
+        },
         &rib,
     );
     assert!(out.is_empty());
     // No (S,G) state created either.
-    assert!(e
-        .group_state(g())
-        .map_or(true, |gs| gs.sources.is_empty()));
+    assert!(e.group_state(g()).map_or(true, |gs| gs.sources.is_empty()));
 }
 
 #[test]
@@ -306,7 +422,11 @@ fn non_rp_ignores_register() {
     let mut e = Engine::new(b(), 2, PimConfig::default());
     let out = e.on_register(
         t(5),
-        &Register { group: g(), source: src(), payload: b"x".to_vec() },
+        &Register {
+            group: g(),
+            source: src(),
+            payload: b"x".to_vec(),
+        },
         &rib,
     );
     assert!(out.is_empty());
@@ -332,7 +452,13 @@ fn source_dr_stops_registering_once_native_path_exists() {
 
     let out = e.on_local_data(t(5), IfaceId(0), src(), g(), b"pkt1", &rib);
     assert!(
-        out.iter().all(|o| !matches!(o, Output::Send { msg: Message::PimRegister(_), .. })),
+        out.iter().all(|o| !matches!(
+            o,
+            Output::Send {
+                msg: Message::PimRegister(_),
+                ..
+            }
+        )),
         "native path exists: no more registers"
     );
     assert!(out.iter().any(|o| matches!(
@@ -350,7 +476,12 @@ fn non_dr_does_not_register() {
     e.set_rp_mapping(g(), vec![rp()]);
     e.register_local_host(src(), IfaceId(0));
     // A higher-addressed neighbor on iface 0 wins the DR election.
-    e.on_query(t(0), IfaceId(0), Addr::new(10, 0, 200, 1), &Query { holdtime: 1000 });
+    e.on_query(
+        t(0),
+        IfaceId(0),
+        Addr::new(10, 0, 200, 1),
+        &Query { holdtime: 1000 },
+    );
     assert!(!e.is_dr(IfaceId(0)));
     let out = e.on_local_data(t(5), IfaceId(0), src(), g(), b"pkt0", &rib);
     assert!(out.is_empty());
@@ -376,7 +507,11 @@ fn spt_switchover_full_sequence() {
     // (Sn,G) created with SPT bit cleared and a join sent toward Sn (§3.3).
     let sg = &e.group_state(g()).unwrap().sources[&src()];
     assert!(!sg.spt_bit);
-    assert_eq!(sg.iif, Some(IfaceId(2)), "iif toward the source, not the RP");
+    assert_eq!(
+        sg.iif,
+        Some(IfaceId(2)),
+        "iif toward the source, not the RP"
+    );
     assert!(sg.oifs.contains_key(&IfaceId(0)), "oifs copied from (*,G)");
     let jps = sent_join_prunes(&out);
     assert_eq!(jps.len(), 1);
@@ -386,14 +521,18 @@ fn spt_switchover_full_sequence() {
     // More data still arriving via the shared tree: §3.5 exception 1 —
     // forwarded according to (*,G).
     let out = e.on_data(t(12), IfaceId(1), src(), g(), b"d1", &rib);
-    assert!(out.iter().any(|o| matches!(o, Output::Forward { ifaces, .. } if ifaces == &vec![IfaceId(0)])));
+    assert!(out
+        .iter()
+        .any(|o| matches!(o, Output::Forward { ifaces, .. } if ifaces == &vec![IfaceId(0)])));
     assert!(!e.group_state(g()).unwrap().sources[&src()].spt_bit);
 
     // First packet over the SPT interface: SPT bit set, prune {S,RPbit}
     // toward the RP (divergent interfaces).
     let out = e.on_data(t(14), IfaceId(2), src(), g(), b"d2", &rib);
     assert!(e.group_state(g()).unwrap().sources[&src()].spt_bit);
-    assert!(out.iter().any(|o| matches!(o, Output::Forward { ifaces, .. } if ifaces == &vec![IfaceId(0)])));
+    assert!(out
+        .iter()
+        .any(|o| matches!(o, Output::Forward { ifaces, .. } if ifaces == &vec![IfaceId(0)])));
     let jps = sent_join_prunes(&out);
     assert_eq!(jps.len(), 1);
     assert_eq!(jps[0].upstream_neighbor, b(), "prune goes toward the RP");
@@ -430,7 +569,10 @@ fn spt_policy_after_packets_counts_within_window() {
         a(),
         3,
         PimConfig {
-            spt_policy: SptPolicy::AfterPackets { packets: 3, within: Duration(100) },
+            spt_policy: SptPolicy::AfterPackets {
+                packets: 3,
+                within: Duration(100),
+            },
             ..PimConfig::default()
         },
     );
@@ -451,7 +593,10 @@ fn spt_policy_after_packets_window_resets() {
         a(),
         3,
         PimConfig {
-            spt_policy: SptPolicy::AfterPackets { packets: 3, within: Duration(100) },
+            spt_policy: SptPolicy::AfterPackets {
+                packets: 3,
+                within: Duration(100),
+            },
             ..PimConfig::default()
         },
     );
@@ -506,13 +651,20 @@ fn negative_cache_created_and_propagated() {
     let prune = JoinPrune {
         upstream_neighbor: b(),
         holdtime: 180,
-        groups: vec![GroupEntry::prune(g(), SourceEntry::source_on_rp_tree(src()))],
+        groups: vec![GroupEntry::prune(
+            g(),
+            SourceEntry::source_on_rp_tree(src()),
+        )],
     };
     let out = e.on_join_prune(t(2), IfaceId(0), a(), &prune, &rib);
 
     let neg = &e.group_state(g()).unwrap().sources[&src()];
     assert!(neg.is_negative());
-    assert_eq!(neg.iif, Some(IfaceId(1)), "negative cache shares the RP-tree iif");
+    assert_eq!(
+        neg.iif,
+        Some(IfaceId(1)),
+        "negative cache shares the RP-tree iif"
+    );
     assert!(!neg.oifs.contains_key(&IfaceId(0)), "pruned oif removed");
     assert!(neg.pruned_oifs.contains_key(&IfaceId(0)));
 
@@ -520,7 +672,10 @@ fn negative_cache_created_and_propagated() {
     let jps = sent_join_prunes(&out);
     assert_eq!(jps.len(), 1);
     assert_eq!(jps[0].upstream_neighbor, rp());
-    assert_eq!(jps[0].groups[0].prunes, vec![SourceEntry::source_on_rp_tree(src())]);
+    assert_eq!(
+        jps[0].groups[0].prunes,
+        vec![SourceEntry::source_on_rp_tree(src())]
+    );
 }
 
 #[test]
@@ -539,7 +694,10 @@ fn negative_cache_drops_matching_data_to_pruned_oifs_only() {
     let prune = JoinPrune {
         upstream_neighbor: b(),
         holdtime: 180,
-        groups: vec![GroupEntry::prune(g(), SourceEntry::source_on_rp_tree(src()))],
+        groups: vec![GroupEntry::prune(
+            g(),
+            SourceEntry::source_on_rp_tree(src()),
+        )],
     };
     let out = e.on_join_prune(t(2), IfaceId(0), a(), &prune, &rib);
     assert!(
@@ -575,7 +733,10 @@ fn rejoin_cancels_negative_cache() {
     let prune = JoinPrune {
         upstream_neighbor: b(),
         holdtime: 180,
-        groups: vec![GroupEntry::prune(g(), SourceEntry::source_on_rp_tree(src()))],
+        groups: vec![GroupEntry::prune(
+            g(),
+            SourceEntry::source_on_rp_tree(src()),
+        )],
     };
     e.on_join_prune(t(2), IfaceId(0), a(), &prune, &rib);
     assert!(e.group_state(g()).unwrap().sources[&src()].is_negative());
@@ -605,7 +766,10 @@ fn negative_cache_expires_without_prune_refresh() {
     let prune = JoinPrune {
         upstream_neighbor: b(),
         holdtime: 60,
-        groups: vec![GroupEntry::prune(g(), SourceEntry::source_on_rp_tree(src()))],
+        groups: vec![GroupEntry::prune(
+            g(),
+            SourceEntry::source_on_rp_tree(src()),
+        )],
     };
     e.on_join_prune(t(2), IfaceId(0), a(), &prune, &rib);
     assert!(e.group_state(g()).unwrap().sources.contains_key(&src()));
@@ -638,9 +802,10 @@ fn oif_expiry_prunes_upstream_and_deletes_entry() {
     let jps = sent_join_prunes(&out);
     assert!(
         jps.iter().any(|jp| jp.upstream_neighbor == rp()
-            && jp.groups.iter().any(|ge| ge
-                .prunes
-                .contains(&SourceEntry::shared_tree(rp())))),
+            && jp
+                .groups
+                .iter()
+                .any(|ge| ge.prunes.contains(&SourceEntry::shared_tree(rp())))),
         "null oif list triggers an upstream prune (§3.6): {out:?}"
     );
     let star = e.group_state(g()).unwrap().star.as_ref().unwrap();
@@ -657,10 +822,8 @@ fn periodic_refresh_sends_joins() {
     // First tick at the refresh period boundary.
     let out = e.tick(t(60), &rib);
     let jps = sent_join_prunes(&out);
-    assert!(jps
-        .iter()
-        .any(|jp| jp.upstream_neighbor == b()
-            && jp.groups[0].joins == vec![SourceEntry::shared_tree(rp())]));
+    assert!(jps.iter().any(|jp| jp.upstream_neighbor == b()
+        && jp.groups[0].joins == vec![SourceEntry::shared_tree(rp())]));
 }
 
 #[test]
@@ -672,9 +835,19 @@ fn periodic_refresh_aggregates_per_upstream() {
     let out = e.tick(t(70), &rib);
     let jps = sent_join_prunes(&out);
     // Two upstream neighbors: b() (shared join + S prune) and d() (S join).
-    let to_b: Vec<_> = jps.iter().filter(|jp| jp.upstream_neighbor == b()).collect();
-    let to_d: Vec<_> = jps.iter().filter(|jp| jp.upstream_neighbor == d()).collect();
-    assert_eq!(to_b.len(), 1, "one aggregated message per upstream: {jps:?}");
+    let to_b: Vec<_> = jps
+        .iter()
+        .filter(|jp| jp.upstream_neighbor == b())
+        .collect();
+    let to_d: Vec<_> = jps
+        .iter()
+        .filter(|jp| jp.upstream_neighbor == d())
+        .collect();
+    assert_eq!(
+        to_b.len(),
+        1,
+        "one aggregated message per upstream: {jps:?}"
+    );
     assert_eq!(to_d.len(), 1);
     let ge_b = &to_b[0].groups[0];
     assert!(ge_b.joins.contains(&SourceEntry::shared_tree(rp())));
@@ -707,9 +880,19 @@ fn refresh_keeps_oifs_alive() {
 fn dr_election_highest_address_wins() {
     let mut e = Engine::new(b(), 2, PimConfig::default());
     assert!(e.is_dr(IfaceId(0)), "no neighbors: trivially DR");
-    e.on_query(t(0), IfaceId(0), Addr::new(10, 0, 99, 1), &Query { holdtime: 50 });
+    e.on_query(
+        t(0),
+        IfaceId(0),
+        Addr::new(10, 0, 99, 1),
+        &Query { holdtime: 50 },
+    );
     assert!(!e.is_dr(IfaceId(0)));
-    e.on_query(t(0), IfaceId(0), Addr::new(10, 0, 1, 1), &Query { holdtime: 50 });
+    e.on_query(
+        t(0),
+        IfaceId(0),
+        Addr::new(10, 0, 1, 1),
+        &Query { holdtime: 50 },
+    );
     assert!(!e.is_dr(IfaceId(0)), "highest neighbor still wins");
     assert_eq!(e.neighbors_on(IfaceId(0)).len(), 2);
     // Neighbor holdtime lapses: we become DR again.
@@ -776,7 +959,14 @@ fn overheard_prune_triggers_override_join() {
     // Router X on a LAN: its (*,G) iif is the LAN; it overhears another
     // router's prune addressed to the shared upstream and must object.
     let mut rib = OracleRib::empty(b());
-    rib.insert(rp(), RouteEntry { iface: IfaceId(0), next_hop: rp(), metric: 1 });
+    rib.insert(
+        rp(),
+        RouteEntry {
+            iface: IfaceId(0),
+            next_hop: rp(),
+            metric: 1,
+        },
+    );
     let mut e = Engine::new(b(), 2, PimConfig::default());
     e.set_lan(IfaceId(0));
     e.set_host_lan(IfaceId(1));
@@ -798,7 +988,14 @@ fn overheard_prune_triggers_override_join() {
 #[test]
 fn overheard_join_suppresses_periodic() {
     let mut rib = OracleRib::empty(b());
-    rib.insert(rp(), RouteEntry { iface: IfaceId(0), next_hop: rp(), metric: 1 });
+    rib.insert(
+        rp(),
+        RouteEntry {
+            iface: IfaceId(0),
+            next_hop: rp(),
+            metric: 1,
+        },
+    );
     let mut e = Engine::new(b(), 2, PimConfig::default());
     e.set_lan(IfaceId(0));
     e.set_host_lan(IfaceId(1));
@@ -840,18 +1037,25 @@ fn rp_generates_reachability_messages() {
     };
     e.on_join_prune(t(1), IfaceId(0), b(), &join, &rib);
     let out = e.tick(t(60), &rib);
-    assert!(out.iter().any(|o| matches!(
-        o,
-        Output::Send { iface, msg: Message::PimRpReachability(r), .. }
-            if *iface == IfaceId(0) && r.rp == rp() && r.group == g()
-    )), "{out:?}");
+    assert!(
+        out.iter().any(|o| matches!(
+            o,
+            Output::Send { iface, msg: Message::PimRpReachability(r), .. }
+                if *iface == IfaceId(0) && r.rp == rp() && r.group == g()
+        )),
+        "{out:?}"
+    );
 }
 
 #[test]
 fn reachability_resets_timer_and_propagates_down_tree() {
     let (mut e, rib) = dr_with_member();
     let before = e.group_state(g()).unwrap().star.as_ref().unwrap().rp_timer;
-    let msg = RpReachability { group: g(), rp: rp(), holdtime: 180 };
+    let msg = RpReachability {
+        group: g(),
+        rp: rp(),
+        holdtime: 180,
+    };
     let out = e.on_rp_reachability(t(50), IfaceId(1), &msg);
     let after = e.group_state(g()).unwrap().star.as_ref().unwrap().rp_timer;
     assert!(after > before, "RP-timer must be pushed out");
@@ -864,7 +1068,11 @@ fn reachability_on_wrong_iface_ignored() {
     let (mut e, rib) = dr_with_member();
     let _ = rib;
     let before = e.group_state(g()).unwrap().star.as_ref().unwrap().rp_timer;
-    let msg = RpReachability { group: g(), rp: rp(), holdtime: 180 };
+    let msg = RpReachability {
+        group: g(),
+        rp: rp(),
+        holdtime: 180,
+    };
     e.on_rp_reachability(t(50), IfaceId(2), &msg);
     let after = e.group_state(g()).unwrap().star.as_ref().unwrap().rp_timer;
     assert_eq!(before, after);
@@ -912,7 +1120,14 @@ fn route_change_moves_star_iif_and_sends_join_prune() {
     let (mut e, _) = dr_with_member();
     // New routing: the RP is now reachable via iface 2 through d().
     let mut rib2 = OracleRib::empty(a());
-    rib2.insert(rp(), RouteEntry { iface: IfaceId(2), next_hop: d(), metric: 9 });
+    rib2.insert(
+        rp(),
+        RouteEntry {
+            iface: IfaceId(2),
+            next_hop: d(),
+            metric: 9,
+        },
+    );
     let out = e.on_route_change(t(30), rp(), &rib2);
 
     let star = e.group_state(g()).unwrap().star.as_ref().unwrap();
@@ -940,7 +1155,14 @@ fn route_change_removes_new_iif_from_oifs() {
     // Routing flips: the RP is now reached through iface 0 — which is in
     // the oif list.
     let mut rib2 = OracleRib::empty(b());
-    rib2.insert(rp(), RouteEntry { iface: IfaceId(0), next_hop: a(), metric: 9 });
+    rib2.insert(
+        rp(),
+        RouteEntry {
+            iface: IfaceId(0),
+            next_hop: a(),
+            metric: 9,
+        },
+    );
     e.on_route_change(t(30), rp(), &rib2);
     let star = e.group_state(g()).unwrap().star.as_ref().unwrap();
     assert_eq!(star.iif, Some(IfaceId(0)));
@@ -958,8 +1180,22 @@ fn route_change_for_source_clears_spt_bit() {
     assert!(e.group_state(g()).unwrap().sources[&src()].spt_bit);
     // The source moves behind b().
     let mut rib2 = OracleRib::empty(a());
-    rib2.insert(rp(), RouteEntry { iface: IfaceId(1), next_hop: b(), metric: 2 });
-    rib2.insert(src(), RouteEntry { iface: IfaceId(1), next_hop: b(), metric: 9 });
+    rib2.insert(
+        rp(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: b(),
+            metric: 2,
+        },
+    );
+    rib2.insert(
+        src(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: b(),
+            metric: 9,
+        },
+    );
     e.on_route_change(t(30), src(), &rib2);
     let sg = &e.group_state(g()).unwrap().sources[&src()];
     assert_eq!(sg.iif, Some(IfaceId(1)));
@@ -986,7 +1222,11 @@ fn tick_emits_periodic_queries_on_all_ifaces() {
     let queries: Vec<_> = out
         .iter()
         .filter_map(|o| match o {
-            Output::Send { iface, msg: Message::PimQuery(_), .. } => Some(*iface),
+            Output::Send {
+                iface,
+                msg: Message::PimQuery(_),
+                ..
+            } => Some(*iface),
             _ => None,
         })
         .collect();

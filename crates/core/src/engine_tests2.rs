@@ -32,7 +32,12 @@ fn src_host() -> Addr {
 fn sent_registers(out: &[Output]) -> Vec<(IfaceId, Addr)> {
     out.iter()
         .filter_map(|o| match o {
-            Output::Send { iface, dst, msg: Message::PimRegister(_), .. } => Some((*iface, *dst)),
+            Output::Send {
+                iface,
+                dst,
+                msg: Message::PimRegister(_),
+                ..
+            } => Some((*iface, *dst)),
             _ => None,
         })
         .collect()
@@ -41,8 +46,22 @@ fn sent_registers(out: &[Output]) -> Vec<(IfaceId, Addr)> {
 /// A sender-side DR with two RPs reachable over different interfaces.
 fn sender_dr() -> (Engine, OracleRib) {
     let mut rib = OracleRib::empty(me());
-    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
-    rib.insert(rp2(), RouteEntry { iface: IfaceId(2), next_hop: rp2(), metric: 2 });
+    rib.insert(
+        rp1(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: rp1(),
+            metric: 1,
+        },
+    );
+    rib.insert(
+        rp2(),
+        RouteEntry {
+            iface: IfaceId(2),
+            next_hop: rp2(),
+            metric: 2,
+        },
+    );
     let mut e = Engine::new(me(), 3, PimConfig::default());
     e.set_host_lan(IfaceId(0));
     e.set_rp_mapping(g(), vec![rp1(), rp2()]);
@@ -72,7 +91,14 @@ fn register_to_self_when_dr_is_an_rp() {
     // The DR is itself RP#2: the local copy is processed in place, only
     // RP#1 gets a wire register.
     let mut rib = OracleRib::empty(me());
-    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
+    rib.insert(
+        rp1(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: rp1(),
+            metric: 1,
+        },
+    );
     let mut e = Engine::new(me(), 3, PimConfig::default());
     e.set_host_lan(IfaceId(0));
     e.set_rp_mapping(g(), vec![rp1(), me()]);
@@ -84,7 +110,14 @@ fn register_to_self_when_dr_is_an_rp() {
 #[test]
 fn unreachable_rp_is_skipped_gracefully() {
     let mut rib = OracleRib::empty(me());
-    rib.insert(rp2(), RouteEntry { iface: IfaceId(2), next_hop: rp2(), metric: 2 });
+    rib.insert(
+        rp2(),
+        RouteEntry {
+            iface: IfaceId(2),
+            next_hop: rp2(),
+            metric: 2,
+        },
+    );
     // rp1 has no route at all.
     let mut e = Engine::new(me(), 3, PimConfig::default());
     e.set_host_lan(IfaceId(0));
@@ -102,7 +135,14 @@ fn unreachable_rp_is_skipped_gracefully() {
 fn spt_entry_deleted_after_linger_when_downstream_leaves() {
     // An intermediate router on an SPT: one downstream join, then silence.
     let mut rib = OracleRib::empty(me());
-    rib.insert(src_host(), RouteEntry { iface: IfaceId(1), next_hop: Addr::new(10, 0, 9, 1), metric: 1 });
+    rib.insert(
+        src_host(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: Addr::new(10, 0, 9, 1),
+            metric: 1,
+        },
+    );
     let mut e = Engine::new(me(), 3, PimConfig::default());
     let join = JoinPrune {
         upstream_neighbor: me(),
@@ -110,7 +150,11 @@ fn spt_entry_deleted_after_linger_when_downstream_leaves() {
         groups: vec![GroupEntry::join(g(), SourceEntry::source(src_host()))],
     };
     e.on_join_prune(t(0), IfaceId(2), Addr::new(10, 0, 5, 1), &join, &rib);
-    assert!(e.group_state(g()).unwrap().sources.contains_key(&src_host()));
+    assert!(e
+        .group_state(g())
+        .unwrap()
+        .sources
+        .contains_key(&src_host()));
     // oif lapses at t=100; upstream prune is sent; entry lingers 3×refresh
     // (180) and is deleted.
     let out = e.tick(t(101), &rib);
@@ -129,7 +173,14 @@ fn spt_entry_deleted_after_linger_when_downstream_leaves() {
 #[test]
 fn rejoin_during_linger_cancels_deletion() {
     let mut rib = OracleRib::empty(me());
-    rib.insert(src_host(), RouteEntry { iface: IfaceId(1), next_hop: Addr::new(10, 0, 9, 1), metric: 1 });
+    rib.insert(
+        src_host(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: Addr::new(10, 0, 9, 1),
+            metric: 1,
+        },
+    );
     let mut e = Engine::new(me(), 3, PimConfig::default());
     let join = JoinPrune {
         upstream_neighbor: me(),
@@ -138,27 +189,51 @@ fn rejoin_during_linger_cancels_deletion() {
     };
     e.on_join_prune(t(0), IfaceId(2), Addr::new(10, 0, 5, 1), &join, &rib);
     e.tick(t(101), &rib); // oifs empty, delete_at armed
-    // A fresh join arrives during the linger window (its oif holds until
-    // t=250).
+                          // A fresh join arrives during the linger window (its oif holds until
+                          // t=250).
     e.on_join_prune(t(150), IfaceId(2), Addr::new(10, 0, 5, 1), &join, &rib);
     e.tick(t(240), &rib);
     let entry = &e.group_state(g()).unwrap().sources[&src_host()];
-    assert!(entry.oifs.contains_key(&IfaceId(2)), "rejoin must revive the entry");
+    assert!(
+        entry.oifs.contains_key(&IfaceId(2)),
+        "rejoin must revive the entry"
+    );
     assert_eq!(entry.delete_at, None);
 }
 
 #[test]
 fn local_member_left_removes_oifs_everywhere() {
     let mut rib = OracleRib::empty(me());
-    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
-    rib.insert(src_host(), RouteEntry { iface: IfaceId(2), next_hop: Addr::new(10, 0, 9, 1), metric: 1 });
+    rib.insert(
+        rp1(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: rp1(),
+            metric: 1,
+        },
+    );
+    rib.insert(
+        src_host(),
+        RouteEntry {
+            iface: IfaceId(2),
+            next_hop: Addr::new(10, 0, 9, 1),
+            metric: 1,
+        },
+    );
     let mut e = Engine::new(me(), 3, PimConfig::default());
     e.set_host_lan(IfaceId(0));
     e.set_rp_mapping(g(), vec![rp1()]);
     e.local_member_joined(t(0), g(), IfaceId(0), &rib);
     // SPT switch for a remote source mirrors the member oif into (S,G).
     let remote_src = Addr::new(10, 0, 9, 10);
-    rib.insert(remote_src, RouteEntry { iface: IfaceId(2), next_hop: Addr::new(10, 0, 9, 1), metric: 2 });
+    rib.insert(
+        remote_src,
+        RouteEntry {
+            iface: IfaceId(2),
+            next_hop: Addr::new(10, 0, 9, 1),
+            metric: 2,
+        },
+    );
     e.on_data(t(10), IfaceId(1), remote_src, g(), b"d", &rib);
     assert!(e.group_state(g()).unwrap().sources[&remote_src]
         .oifs
@@ -168,9 +243,18 @@ fn local_member_left_removes_oifs_everywhere() {
     let gs = e.group_state(g()).unwrap();
     assert!(!gs.star.as_ref().unwrap().oifs.contains_key(&IfaceId(0)));
     assert!(!gs.sources[&remote_src].oifs.contains_key(&IfaceId(0)));
-    assert!(gs.star.as_ref().unwrap().rp_timer.is_none(), "no members → no RP-timer");
+    assert!(
+        gs.star.as_ref().unwrap().rp_timer.is_none(),
+        "no members → no RP-timer"
+    );
     // With everything empty, prunes go upstream.
-    assert!(out.iter().any(|o| matches!(o, Output::Send { msg: Message::PimJoinPrune(_), .. })));
+    assert!(out.iter().any(|o| matches!(
+        o,
+        Output::Send {
+            msg: Message::PimJoinPrune(_),
+            ..
+        }
+    )));
 }
 
 #[test]
@@ -178,8 +262,22 @@ fn star_oif_expiry_cascades_to_copied_spt_oifs() {
     // An intermediate router with (*,G) oif from a downstream join, plus an
     // (S,G) entry that copied that oif.
     let mut rib = OracleRib::empty(me());
-    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
-    rib.insert(src_host(), RouteEntry { iface: IfaceId(2), next_hop: Addr::new(10, 0, 9, 1), metric: 1 });
+    rib.insert(
+        rp1(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: rp1(),
+            metric: 1,
+        },
+    );
+    rib.insert(
+        src_host(),
+        RouteEntry {
+            iface: IfaceId(2),
+            next_hop: Addr::new(10, 0, 9, 1),
+            metric: 1,
+        },
+    );
     let mut e = Engine::new(me(), 3, PimConfig::default());
     let down = Addr::new(10, 0, 5, 1);
     let star_join = JoinPrune {
@@ -203,7 +301,10 @@ fn star_oif_expiry_cascades_to_copied_spt_oifs() {
     // The (*,G) oif lapses (no refresh): the copied oif must go with it.
     e.tick(t(150), &rib);
     let gs = e.group_state(g()).unwrap();
-    assert!(gs.star.as_ref().map_or(true, |s| !s.oifs.contains_key(&IfaceId(0))));
+    assert!(gs
+        .star
+        .as_ref()
+        .map_or(true, |s| !s.oifs.contains_key(&IfaceId(0))));
     assert!(
         !gs.sources[&src_host()].oifs.contains_key(&IfaceId(0)),
         "copied oifs follow the shared tree's lapses"
@@ -219,7 +320,14 @@ fn star_oif_expiry_cascades_to_copied_spt_oifs() {
 #[test]
 fn register_payload_is_forwarded_verbatim() {
     let mut rib = OracleRib::empty(rp1());
-    rib.insert(src_host(), RouteEntry { iface: IfaceId(1), next_hop: me(), metric: 2 });
+    rib.insert(
+        src_host(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: me(),
+            metric: 2,
+        },
+    );
     let mut e = Engine::new(rp1(), 2, PimConfig::default());
     e.set_rp_mapping(g(), vec![rp1()]);
     let join = JoinPrune {
@@ -231,7 +339,11 @@ fn register_payload_is_forwarded_verbatim() {
     let payload = vec![0xAB; 100];
     let out = e.on_register(
         t(5),
-        &Register { group: g(), source: src_host(), payload: payload.clone() },
+        &Register {
+            group: g(),
+            source: src_host(),
+            payload: payload.clone(),
+        },
         &rib,
     );
     assert!(out.iter().any(|o| matches!(
@@ -243,7 +355,14 @@ fn register_payload_is_forwarded_verbatim() {
 #[test]
 fn second_register_does_not_rejoin() {
     let mut rib = OracleRib::empty(rp1());
-    rib.insert(src_host(), RouteEntry { iface: IfaceId(1), next_hop: me(), metric: 2 });
+    rib.insert(
+        src_host(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: me(),
+            metric: 2,
+        },
+    );
     let mut e = Engine::new(rp1(), 2, PimConfig::default());
     e.set_rp_mapping(g(), vec![rp1()]);
     let join = JoinPrune {
@@ -252,17 +371,37 @@ fn second_register_does_not_rejoin() {
         groups: vec![GroupEntry::join(g(), SourceEntry::shared_tree(rp1()))],
     };
     e.on_join_prune(t(0), IfaceId(0), Addr::new(10, 0, 2, 1), &join, &rib);
-    let reg = Register { group: g(), source: src_host(), payload: b"x".to_vec() };
+    let reg = Register {
+        group: g(),
+        source: src_host(),
+        payload: b"x".to_vec(),
+    };
     let out1 = e.on_register(t(5), &reg, &rib);
     let joins1 = out1
         .iter()
-        .filter(|o| matches!(o, Output::Send { msg: Message::PimJoinPrune(_), .. }))
+        .filter(|o| {
+            matches!(
+                o,
+                Output::Send {
+                    msg: Message::PimJoinPrune(_),
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(joins1, 1, "first register triggers the (S,G) join");
     let out2 = e.on_register(t(6), &reg, &rib);
     let joins2 = out2
         .iter()
-        .filter(|o| matches!(o, Output::Send { msg: Message::PimJoinPrune(_), .. }))
+        .filter(|o| {
+            matches!(
+                o,
+                Output::Send {
+                    msg: Message::PimJoinPrune(_),
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(joins2, 0, "further registers must not re-trigger the join");
 }
@@ -274,7 +413,14 @@ fn second_register_does_not_rejoin() {
 #[test]
 fn pending_prune_executes_via_tick_not_immediately() {
     let mut rib = OracleRib::empty(me());
-    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
+    rib.insert(
+        rp1(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: rp1(),
+            metric: 1,
+        },
+    );
     let mut e = Engine::new(me(), 2, PimConfig::default());
     e.set_lan(IfaceId(0));
     let down = Addr::new(10, 0, 5, 1);
@@ -315,7 +461,14 @@ fn pending_prune_executes_via_tick_not_immediately() {
 #[test]
 fn p2p_prune_is_immediate() {
     let mut rib = OracleRib::empty(me());
-    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
+    rib.insert(
+        rp1(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: rp1(),
+            metric: 1,
+        },
+    );
     let mut e = Engine::new(me(), 2, PimConfig::default());
     // iface 0 NOT marked as LAN.
     let down = Addr::new(10, 0, 5, 1);
@@ -351,10 +504,20 @@ fn p2p_prune_is_immediate() {
 fn dr_role_returns_when_higher_neighbor_expires() {
     let mut e = Engine::new(me(), 2, PimConfig::default());
     let rib = OracleRib::empty(me());
-    e.on_query(t(0), IfaceId(0), Addr::new(10, 0, 200, 1), &Query { holdtime: 50 });
+    e.on_query(
+        t(0),
+        IfaceId(0),
+        Addr::new(10, 0, 200, 1),
+        &Query { holdtime: 50 },
+    );
     assert!(!e.is_dr(IfaceId(0)));
     // Refreshes keep the neighbor alive.
-    e.on_query(t(40), IfaceId(0), Addr::new(10, 0, 200, 1), &Query { holdtime: 50 });
+    e.on_query(
+        t(40),
+        IfaceId(0),
+        Addr::new(10, 0, 200, 1),
+        &Query { holdtime: 50 },
+    );
     e.tick(t(60), &rib);
     assert!(!e.is_dr(IfaceId(0)));
     // Silence past the holdtime: DR again.
@@ -367,8 +530,22 @@ fn wildcard_join_reroots_shared_tree_toward_new_rp() {
     // §3.9 propagation: an upstream router whose (*,G) names the dead RP
     // re-roots when a downstream join names the alternate.
     let mut rib = OracleRib::empty(me());
-    rib.insert(rp1(), RouteEntry { iface: IfaceId(1), next_hop: rp1(), metric: 1 });
-    rib.insert(rp2(), RouteEntry { iface: IfaceId(2), next_hop: rp2(), metric: 2 });
+    rib.insert(
+        rp1(),
+        RouteEntry {
+            iface: IfaceId(1),
+            next_hop: rp1(),
+            metric: 1,
+        },
+    );
+    rib.insert(
+        rp2(),
+        RouteEntry {
+            iface: IfaceId(2),
+            next_hop: rp2(),
+            metric: 2,
+        },
+    );
     let mut e = Engine::new(me(), 3, PimConfig::default());
     let down = Addr::new(10, 0, 5, 1);
     let join1 = JoinPrune {
@@ -377,7 +554,10 @@ fn wildcard_join_reroots_shared_tree_toward_new_rp() {
         groups: vec![GroupEntry::join(g(), SourceEntry::shared_tree(rp1()))],
     };
     e.on_join_prune(t(0), IfaceId(0), down, &join1, &rib);
-    assert_eq!(e.group_state(g()).unwrap().star.as_ref().unwrap().key, rp1());
+    assert_eq!(
+        e.group_state(g()).unwrap().star.as_ref().unwrap().key,
+        rp1()
+    );
     // The downstream failed over; its refresh now names rp2.
     let join2 = JoinPrune {
         upstream_neighbor: me(),

@@ -118,7 +118,12 @@ impl Entry {
 
     /// A new (S,G) shortest-path-tree entry (§3.3): iif toward the source,
     /// SPT bit cleared until data arrives over it.
-    pub fn new_source(group: Group, source: Addr, iif: Option<IfaceId>, upstream: Option<Addr>) -> Entry {
+    pub fn new_source(
+        group: Group,
+        source: Addr,
+        iif: Option<IfaceId>,
+        upstream: Option<Addr>,
+    ) -> Entry {
         Entry {
             group,
             key: source,
@@ -139,7 +144,12 @@ impl Entry {
 
     /// A new (S,G) negative-cache entry on the RP tree (footnote 11): RP
     /// bit set, iif toward the RP.
-    pub fn new_negative(group: Group, source: Addr, iif: Option<IfaceId>, upstream: Option<Addr>) -> Entry {
+    pub fn new_negative(
+        group: Group,
+        source: Addr,
+        iif: Option<IfaceId>,
+        upstream: Option<Addr>,
+    ) -> Entry {
         Entry {
             group,
             key: source,
@@ -223,6 +233,22 @@ impl Entry {
             self.oifs.remove(&i);
         }
         lapsed
+    }
+
+    /// The earliest pending timer of this entry: oif expiries (excluding
+    /// IGMP-pinned local-member oifs), pruned-oif lease lapses, the RP
+    /// liveness timer, and the deletion deadline. `suppressed_until` is
+    /// deliberately excluded — it is only consulted when the periodic
+    /// refresh fires, so it never needs a wakeup of its own.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let mut best = netsim::earliest(self.rp_timer, self.delete_at);
+        for o in self.oifs.values() {
+            if o.kind != OifKind::LocalMembers && o.expires_at != SimTime(u64::MAX) {
+                best = netsim::earliest(best, Some(o.expires_at));
+            }
+        }
+        best = netsim::earliest(best, self.pruned_oifs.values().copied().min());
+        best
     }
 }
 

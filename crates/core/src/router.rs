@@ -1,328 +1,160 @@
 //! The [`netsim`] adapter: a PIM router node.
 //!
-//! A [`PimRouter`] combines:
-//!
-//! * a [`crate::Engine`] (the sans-IO PIM protocol),
-//! * any [`unicast::Engine`] — distance-vector, link-state, or the oracle —
-//!   consumed *only* through the [`unicast::Rib`] trait (protocol
-//!   independence, paper §2),
-//! * one [`igmp::Querier`] per host-facing interface,
-//! * plain unicast IP forwarding (Registers travel RP-ward as ordinary
-//!   unicast packets).
-//!
-//! The adapter owns all the IO: it decapsulates packets off the simulator,
-//! dispatches them to the right engine, and carries out the outputs.
+//! [`PimRouter`] is the generic [`node::ProtocolNode`] instantiated with
+//! the PIM [`Engine`]; this module only supplies the [`ProtocolEngine`]
+//! glue — message dispatch and output conversion. The node itself owns all
+//! IO, the per-LAN IGMP queriers, the interchangeable unicast engine
+//! (protocol independence, paper §2), and the deadline-driven wakeup
+//! scheduling.
 
 use crate::engine::{Engine, Output};
-use igmp::{Querier, QuerierOutput};
-use netsim::{Ctx, Duration, IfaceId, Node, SimTime};
-use std::any::Any;
-use std::collections::HashMap;
-use wire::ip::{Header, Protocol};
+use netsim::{IfaceId, SimTime};
+use node::{Action, ProtocolEngine};
+use unicast::Rib;
 use wire::{Addr, Group, Message};
-
-/// Timer token for the main periodic tick.
-const TOKEN_TICK: u64 = 1;
-
-/// How often the adapter polls its engines. Must not exceed the PIM
-/// prune-override delay, or LAN overrides would be processed late.
-const TICK_GRANULARITY: Duration = Duration(2);
 
 /// Data TTL used when (re)originating packets (decapsulated registers).
 const DATA_TTL: u8 = 32;
 
 /// A PIM-speaking router node for the simulator.
-pub struct PimRouter {
-    pim: Engine,
-    unicast: Box<dyn unicast::Engine>,
-    /// IGMP querier state per host-facing interface.
-    queriers: HashMap<IfaceId, Querier>,
-    igmp_cfg: igmp::Config,
-    /// Count of multicast data packets this router forwarded (processing
-    /// overhead metric).
-    pub data_forwards: u64,
-    /// Count of PIM/IGMP control messages processed.
-    pub control_msgs: u64,
-    next_tick: SimTime,
+pub type PimRouter = node::ProtocolNode<Engine>;
+
+/// Convert engine outputs into node actions, stamping `data_ttl` on data
+/// forwards.
+fn actions(outs: Vec<Output>, data_ttl: u8) -> Vec<Action> {
+    outs.into_iter()
+        .map(|o| match o {
+            Output::Send {
+                iface,
+                dst,
+                ttl,
+                msg,
+            } => Action::Control {
+                iface,
+                dst,
+                ttl,
+                msg,
+            },
+            Output::Forward {
+                ifaces,
+                source,
+                group,
+                payload,
+            } => Action::Forward {
+                ifaces,
+                source,
+                group,
+                ttl: data_ttl,
+                payload,
+            },
+        })
+        .collect()
 }
 
-impl PimRouter {
-    /// Build a router from its PIM engine and a unicast routing engine.
-    pub fn new(pim: Engine, unicast: Box<dyn unicast::Engine>) -> PimRouter {
-        PimRouter {
-            pim,
-            unicast,
-            queriers: HashMap::new(),
-            igmp_cfg: igmp::Config::default(),
-            data_forwards: 0,
-            control_msgs: 0,
-            next_tick: SimTime::ZERO,
-        }
+impl ProtocolEngine for Engine {
+    fn addr(&self) -> Addr {
+        Engine::addr(self)
     }
 
-    /// Declare `iface` a host-facing subnetwork: an IGMP querier runs
-    /// there, attached `hosts` are registered as potential sources, and
-    /// the unicast engine originates reachability for them.
-    pub fn attach_host_lan(&mut self, iface: IfaceId, hosts: &[Addr]) {
-        // Host LANs are wired after the router-router backbone; grow the
-        // engines' interface tables to cover the new index.
-        while self.pim.iface_count() <= iface.index() {
-            self.pim.add_iface();
-            self.unicast.grow_iface(1);
-        }
-        self.pim.set_host_lan(iface);
-        self.queriers
-            .insert(iface, Querier::new(self.pim.addr(), self.igmp_cfg));
-        for &h in hosts {
-            self.pim.register_local_host(h, iface);
-            self.unicast.attach_local(h, 1);
-        }
-    }
-
-    /// Declare `iface` a multi-access subnetwork shared with other PIM
-    /// routers (§3.7 LAN rules apply).
-    pub fn set_lan_iface(&mut self, iface: IfaceId) {
-        self.pim.set_lan(iface);
-    }
-
-    /// Configure the G → RP(s) mapping (§3.1).
-    pub fn set_rp_mapping(&mut self, group: Group, rps: Vec<Addr>) {
-        self.pim.set_rp_mapping(group, rps);
-    }
-
-    /// The PIM engine (inspection).
-    pub fn engine(&self) -> &Engine {
-        &self.pim
-    }
-
-    /// The unicast engine (inspection).
-    pub fn rib(&self) -> &dyn unicast::Engine {
-        self.unicast.as_ref()
-    }
-
-    /// This router's address.
-    pub fn addr(&self) -> Addr {
-        self.pim.addr()
-    }
-
-    fn send_control(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, dst: Addr, ttl: u8, msg: &Message) {
-        let header = Header {
-            proto: Protocol::Igmp,
-            ttl,
-            src: self.pim.addr(),
-            dst,
-        };
-        ctx.send(iface, header.encap(&msg.encode()));
-    }
-
-    fn handle_pim_outputs(&mut self, ctx: &mut Ctx<'_>, outputs: Vec<Output>, data_ttl: u8) {
-        for o in outputs {
-            match o {
-                Output::Send { iface, dst, ttl, msg } => {
-                    self.send_control(ctx, iface, dst, ttl, &msg);
-                }
-                Output::Forward { ifaces, source, group, payload } => {
-                    let header = Header {
-                        proto: Protocol::Data,
-                        ttl: data_ttl,
-                        src: source,
-                        dst: group.addr(),
-                    };
-                    let pkt = header.encap(&payload);
-                    for i in ifaces {
-                        self.data_forwards += 1;
-                        ctx.send(i, pkt.clone());
-                    }
-                }
-            }
-        }
-    }
-
-    fn handle_unicast_outputs(&mut self, ctx: &mut Ctx<'_>, outputs: Vec<unicast::Output>) {
-        let now = ctx.now();
-        for o in outputs {
-            match o {
-                unicast::Output::Send { iface, dst, msg } => {
-                    self.send_control(ctx, iface, dst, 1, &msg);
-                }
-                unicast::Output::RouteChanged { dst } => {
-                    let outs = self.pim.on_route_change(now, dst, self.unicast.as_ref());
-                    self.handle_pim_outputs(ctx, outs, DATA_TTL);
-                }
-            }
-        }
-    }
-
-    fn handle_querier_outputs(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, outputs: Vec<QuerierOutput>) {
-        let now = ctx.now();
-        for o in outputs {
-            match o {
-                QuerierOutput::Send { dst, msg } => {
-                    self.send_control(ctx, iface, dst, 1, &msg);
-                }
-                QuerierOutput::MemberJoined(group) => {
-                    let outs = self
-                        .pim
-                        .local_member_joined(now, group, iface, self.unicast.as_ref());
-                    self.handle_pim_outputs(ctx, outs, DATA_TTL);
-                }
-                QuerierOutput::MemberExpired(group) => {
-                    let outs = self.pim.local_member_left(now, group, iface);
-                    self.handle_pim_outputs(ctx, outs, DATA_TTL);
-                }
-                QuerierOutput::RpMappingLearned(group, rps) => {
-                    if self.pim.rp_mapping(group).is_empty() {
-                        self.pim.set_rp_mapping(group, rps);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Forward a unicast packet not addressed to us via the routing table.
-    fn forward_unicast(&mut self, ctx: &mut Ctx<'_>, header: &Header, payload: &[u8]) {
-        let Some(next) = header.decrement_ttl() else {
-            return; // TTL exhausted
-        };
-        if let Some(r) = self.unicast.route(header.dst) {
-            ctx.send(r.iface, next.encap(payload));
-        }
-    }
-
-    fn on_igmp_family(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, header: &Header, payload: &[u8]) {
-        let Ok(msg) = Message::decode(payload) else {
-            return; // malformed control traffic is dropped, never panics
-        };
-        self.control_msgs += 1;
-        let now = ctx.now();
-        match &msg {
-            Message::HostQuery(_) | Message::HostReport(_) | Message::RpMapping(_) => {
-                if let Some(q) = self.queriers.get_mut(&iface) {
-                    let outs = q.on_message(now, header.src, &msg);
-                    self.handle_querier_outputs(ctx, iface, outs);
-                }
-            }
-            Message::PimQuery(q) => {
-                let outs = self.pim.on_query(now, iface, header.src, q);
-                self.handle_pim_outputs(ctx, outs, DATA_TTL);
-            }
+    fn on_control(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        src: Addr,
+        dst: Addr,
+        msg: &Message,
+        rib: &dyn Rib,
+    ) -> Vec<Action> {
+        match msg {
+            Message::PimQuery(q) => actions(self.on_query(now, iface, src, q), DATA_TTL),
             Message::PimJoinPrune(jp) => {
-                let outs = self
-                    .pim
-                    .on_join_prune(now, iface, header.src, jp, self.unicast.as_ref());
-                self.handle_pim_outputs(ctx, outs, DATA_TTL);
+                actions(self.on_join_prune(now, iface, src, jp, rib), DATA_TTL)
             }
             Message::PimRpReachability(r) => {
-                let outs = self.pim.on_rp_reachability(now, iface, r);
-                self.handle_pim_outputs(ctx, outs, DATA_TTL);
+                actions(self.on_rp_reachability(now, iface, r), DATA_TTL)
             }
             Message::PimRegister(reg) => {
-                if header.dst == self.pim.addr() {
-                    let outs = self.pim.on_register(now, reg, self.unicast.as_ref());
-                    self.handle_pim_outputs(ctx, outs, DATA_TTL);
+                if dst == Engine::addr(self) {
+                    actions(self.on_register(now, reg, rib), DATA_TTL)
                 } else {
                     // In transit toward the RP: ordinary unicast forwarding.
-                    self.forward_unicast(ctx, header, payload);
+                    vec![Action::RelayUnicast]
                 }
-            }
-            Message::DvUpdate(_) | Message::Lsa(_) | Message::Hello(_) => {
-                let outs = self.unicast.on_message(now, iface, header.src, &msg);
-                self.handle_unicast_outputs(ctx, outs);
             }
             // DVMRP/CBT messages are other protocols' business; a PIM
             // router ignores them.
-            _ => {}
+            _ => Vec::new(),
         }
     }
 
-    fn on_data_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, header: &Header, payload: &[u8]) {
-        let now = ctx.now();
-        if header.dst.is_multicast() {
-            let Some(group) = Group::new(header.dst) else {
-                return;
-            };
-            let Some(fwd_header) = header.decrement_ttl() else {
-                return;
-            };
-            let is_host_src = self.queriers.contains_key(&iface);
-            let outs = if is_host_src {
-                self.pim
-                    .on_local_data(now, iface, header.src, group, payload, self.unicast.as_ref())
-            } else {
-                self.pim
-                    .on_data(now, iface, header.src, group, payload, self.unicast.as_ref())
-            };
-            // Count deliveries toward local members for the experiment
-            // counters: any forward onto a host LAN is a delivery edge.
-            for o in &outs {
-                if let Output::Forward { ifaces, .. } = o {
-                    for i in ifaces {
-                        if self.queriers.contains_key(i) {
-                            ctx.count_local_delivery();
-                        }
-                    }
-                }
-            }
-            self.handle_pim_outputs(ctx, outs, fwd_header.ttl);
-        } else if header.dst != self.pim.addr() {
-            self.forward_unicast(ctx, header, payload);
-        }
-    }
-}
-
-impl Node for PimRouter {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        let outs = self.unicast.on_start(ctx.now());
-        self.handle_unicast_outputs(ctx, outs);
-        ctx.set_timer(Duration::ZERO, TOKEN_TICK);
-    }
-
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, packet: &[u8]) {
-        let Ok((header, payload)) = Header::decap(packet) else {
-            return; // corrupt packets are dropped
+    fn on_multicast_data(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        source: Addr,
+        group: Group,
+        ttl: u8,
+        payload: &[u8],
+        from_host_lan: bool,
+        rib: &dyn Rib,
+    ) -> Vec<Action> {
+        let outs = if from_host_lan {
+            self.on_local_data(now, iface, source, group, payload, rib)
+        } else {
+            self.on_data(now, iface, source, group, payload, rib)
         };
-        match header.proto {
-            Protocol::Igmp => self.on_igmp_family(ctx, iface, &header, payload),
-            Protocol::Data => self.on_data_packet(ctx, iface, &header, payload),
+        actions(outs, ttl)
+    }
+
+    fn local_member_joined(
+        &mut self,
+        now: SimTime,
+        group: Group,
+        iface: IfaceId,
+        rib: &dyn Rib,
+    ) -> Vec<Action> {
+        actions(
+            Engine::local_member_joined(self, now, group, iface, rib),
+            DATA_TTL,
+        )
+    }
+
+    fn local_member_left(&mut self, now: SimTime, group: Group, iface: IfaceId) -> Vec<Action> {
+        actions(Engine::local_member_left(self, now, group, iface), DATA_TTL)
+    }
+
+    fn rp_mapping_learned(&mut self, group: Group, rps: &[Addr]) {
+        // Static configuration wins over host advertisements.
+        if self.rp_mapping(group).is_empty() {
+            self.set_rp_mapping(group, rps.to_vec());
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        if token != TOKEN_TICK {
-            return;
+    fn host_lan_attached(&mut self, iface: IfaceId) -> u32 {
+        // Host LANs are wired after the router-router backbone; grow the
+        // engine's interface table to cover the new index.
+        let mut grown = 0;
+        while self.iface_count() <= iface.index() {
+            self.add_iface();
+            grown += 1;
         }
-        let now = ctx.now();
-        if now >= self.next_tick {
-            self.next_tick = now + TICK_GRANULARITY;
-            // Unicast engine tick (its own interval gating is internal to
-            // engines with real protocols; the oracle's is effectively
-            // never).
-            if self.unicast.tick_interval().ticks() != u64::MAX {
-                let outs = self.unicast.tick(now);
-                self.handle_unicast_outputs(ctx, outs);
-            }
-            // IGMP queriers.
-            let ifaces: Vec<IfaceId> = self.queriers.keys().copied().collect();
-            for i in ifaces {
-                let outs = self
-                    .queriers
-                    .get_mut(&i)
-                    .expect("key just listed")
-                    .tick(now);
-                self.handle_querier_outputs(ctx, i, outs);
-            }
-            // PIM engine.
-            let outs = self.pim.tick(now, self.unicast.as_ref());
-            self.handle_pim_outputs(ctx, outs, DATA_TTL);
-        }
-        ctx.set_timer(TICK_GRANULARITY, TOKEN_TICK);
+        self.set_host_lan(iface);
+        grown
     }
 
-    fn as_any(&self) -> &dyn Any {
-        self
+    fn register_local_host(&mut self, host: Addr, iface: IfaceId) {
+        Engine::register_local_host(self, host, iface);
     }
 
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+    fn on_route_change(&mut self, now: SimTime, dst: Addr, rib: &dyn Rib) -> Vec<Action> {
+        actions(Engine::on_route_change(self, now, dst, rib), DATA_TTL)
+    }
+
+    fn tick(&mut self, now: SimTime, rib: &dyn Rib) -> Vec<Action> {
+        actions(Engine::tick(self, now, rib), DATA_TTL)
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        Engine::next_deadline(self)
     }
 }

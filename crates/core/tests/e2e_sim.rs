@@ -68,8 +68,9 @@ fn build(cfg: PimConfig) -> Net {
     let mut rib_iter = ribs.into_iter();
     let (mut world, _links) = topo.build_world(&g, 42, |plan| {
         let engine = Engine::new(plan.addr, plan.ifaces.len(), cfg);
-        let mut router = PimRouter::new(engine, Box::new(rib_iter.next().expect("one rib per plan")));
-        router.set_rp_mapping(group(), vec![rp_addr]);
+        let mut router =
+            PimRouter::new(engine, Box::new(rib_iter.next().expect("one rib per plan")));
+        router.engine_mut().set_rp_mapping(group(), vec![rp_addr]);
         Box::new(router)
     });
 
@@ -249,7 +250,11 @@ fn after_packets_policy_switches_late() {
     let net = run_scenario(cfg, 30, 20);
     let host: &HostNode = net.world.node(net.r_host);
     let seqs = host.seqs_from(net.s_addr, group());
-    assert_eq!(seqs, (0..30).collect::<Vec<u64>>(), "no loss through the late switch");
+    assert_eq!(
+        seqs,
+        (0..30).collect::<Vec<u64>>(),
+        "no loss through the late switch"
+    );
     let r0: &PimRouter = net.world.node(NodeIdx(0));
     let gs = r0.engine().group_state(group()).expect("state");
     assert!(

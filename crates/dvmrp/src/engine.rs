@@ -184,7 +184,13 @@ impl DvmrpEngine {
     /// IGMP reported a first member of `group` on `iface`. If any (S,G)
     /// for the group is pruned upstream, graft back on (and un-prune the
     /// member interface downstreams).
-    pub fn local_member_joined(&mut self, now: SimTime, group: Group, iface: IfaceId, rib: &dyn Rib) -> Vec<Output> {
+    pub fn local_member_joined(
+        &mut self,
+        now: SimTime,
+        group: Group,
+        iface: IfaceId,
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         self.members.entry(group).or_default().insert(iface);
         let mut out = Vec::new();
         let keys: Vec<(Addr, Group)> = self
@@ -246,7 +252,15 @@ impl DvmrpEngine {
     /// A multicast data packet arrived on `iface` (router side or host
     /// side — dense mode treats a local source's subnetwork as just
     /// another RPF interface).
-    pub fn on_data(&mut self, now: SimTime, iface: IfaceId, source: Addr, group: Group, payload: &[u8], rib: &dyn Rib) -> Vec<Output> {
+    pub fn on_data(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        source: Addr,
+        group: Group,
+        payload: &[u8],
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let mut out = Vec::new();
         // RPF check: accept only on the interface we'd use to reach S
         // (or the host LAN the source lives on).
@@ -326,7 +340,13 @@ impl DvmrpEngine {
 
     /// A graft arrived from a downstream router on `iface`: un-prune the
     /// branch, ack it, and cascade our own graft upstream if we had pruned.
-    pub fn on_graft(&mut self, now: SimTime, iface: IfaceId, gr: &Graft, rib: &dyn Rib) -> Vec<Output> {
+    pub fn on_graft(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        gr: &Graft,
+        rib: &dyn Rib,
+    ) -> Vec<Output> {
         let mut out = vec![Output::Send {
             iface,
             dst: Addr::ALL_PIM_ROUTERS, // link-local; the grafting router hears it
@@ -365,6 +385,22 @@ impl DvmrpEngine {
     /// A neighbor probe arrived on `iface`.
     pub fn on_probe(&mut self, now: SimTime, iface: IfaceId, src: Addr, _p: &Probe) {
         self.neighbors[iface.index()].insert(src, now + self.cfg.neighbor_timeout);
+    }
+
+    /// The absolute time of this engine's next pending timer: the probe
+    /// schedule, neighbor timeouts, graft retransmits, and entry GC.
+    /// Prune-lifetime lapses are deliberately excluded — grow-back is
+    /// evaluated lazily on the next data packet, so no wakeup is needed.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let mut best = Some(self.next_probe);
+        for nb in &self.neighbors {
+            best = netsim::earliest(best, nb.values().copied().min());
+        }
+        for e in self.entries.values() {
+            best = netsim::earliest(best, Some(e.expires_at));
+            best = netsim::earliest(best, e.pending_graft);
+        }
+        best
     }
 
     /// Periodic maintenance: probes, neighbor expiry, graft retransmits,
@@ -442,10 +478,27 @@ mod tests {
         e.set_host_lan(IfaceId(3));
         // Downstream neighbors on 1 and 2 (and our upstream on 0).
         e.on_probe(t(0), IfaceId(0), up(), &Probe { neighbors: vec![] });
-        e.on_probe(t(0), IfaceId(1), Addr::new(10, 0, 2, 1), &Probe { neighbors: vec![] });
-        e.on_probe(t(0), IfaceId(2), Addr::new(10, 0, 3, 1), &Probe { neighbors: vec![] });
+        e.on_probe(
+            t(0),
+            IfaceId(1),
+            Addr::new(10, 0, 2, 1),
+            &Probe { neighbors: vec![] },
+        );
+        e.on_probe(
+            t(0),
+            IfaceId(2),
+            Addr::new(10, 0, 3, 1),
+            &Probe { neighbors: vec![] },
+        );
         let mut rib = OracleRib::empty(me());
-        rib.insert(src(), RouteEntry { iface: IfaceId(0), next_hop: up(), metric: 1 });
+        rib.insert(
+            src(),
+            RouteEntry {
+                iface: IfaceId(0),
+                next_hop: up(),
+                metric: 1,
+            },
+        );
         (e, rib)
     }
 
@@ -489,7 +542,11 @@ mod tests {
         e.on_prune(
             t(2),
             IfaceId(1),
-            &Prune { source: src(), group: g(), lifetime: 100 },
+            &Prune {
+                source: src(),
+                group: g(),
+                lifetime: 100,
+            },
         );
         assert!(e.is_pruned(src(), g(), IfaceId(1)));
         let out = e.on_data(t(3), IfaceId(0), src(), g(), b"d", &rib);
@@ -512,7 +569,14 @@ mod tests {
         e.set_host_lan(IfaceId(1));
         e.on_probe(t(0), IfaceId(0), up(), &Probe { neighbors: vec![] });
         let mut rib = OracleRib::empty(me());
-        rib.insert(src(), RouteEntry { iface: IfaceId(0), next_hop: up(), metric: 1 });
+        rib.insert(
+            src(),
+            RouteEntry {
+                iface: IfaceId(0),
+                next_hop: up(),
+                metric: 1,
+            },
+        );
 
         let out = e.on_data(t(1), IfaceId(0), src(), g(), b"d", &rib);
         assert!(matches!(
@@ -535,7 +599,14 @@ mod tests {
         e.set_host_lan(IfaceId(1));
         e.on_probe(t(0), IfaceId(0), up(), &Probe { neighbors: vec![] });
         let mut rib = OracleRib::empty(me());
-        rib.insert(src(), RouteEntry { iface: IfaceId(0), next_hop: up(), metric: 1 });
+        rib.insert(
+            src(),
+            RouteEntry {
+                iface: IfaceId(0),
+                next_hop: up(),
+                metric: 1,
+            },
+        );
         e.on_data(t(1), IfaceId(0), src(), g(), b"d", &rib); // prunes upstream
 
         let out = e.local_member_joined(t(10), g(), IfaceId(1), &rib);
@@ -547,23 +618,53 @@ mod tests {
         assert!(!e.pruned_upstream(src(), g()));
         // Unacked graft retransmits on tick...
         let out = e.tick(t(25), &rib);
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Output::Send { msg: Message::DvmrpGraft(_), .. })));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                msg: Message::DvmrpGraft(_),
+                ..
+            }
+        )));
         // ...until the ack arrives.
-        e.on_graft_ack(t(26), &GraftAck { source: src(), group: g() });
+        e.on_graft_ack(
+            t(26),
+            &GraftAck {
+                source: src(),
+                group: g(),
+            },
+        );
         let out = e.tick(t(50), &rib);
-        assert!(!out
-            .iter()
-            .any(|o| matches!(o, Output::Send { msg: Message::DvmrpGraft(_), .. })));
+        assert!(!out.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                msg: Message::DvmrpGraft(_),
+                ..
+            }
+        )));
     }
 
     #[test]
     fn graft_from_downstream_unprunes_and_acks() {
         let (mut e, rib) = engine_with_neighbors();
         e.on_data(t(1), IfaceId(0), src(), g(), b"d", &rib);
-        e.on_prune(t(2), IfaceId(1), &Prune { source: src(), group: g(), lifetime: 100 });
-        let out = e.on_graft(t(5), IfaceId(1), &Graft { source: src(), group: g() }, &rib);
+        e.on_prune(
+            t(2),
+            IfaceId(1),
+            &Prune {
+                source: src(),
+                group: g(),
+                lifetime: 100,
+            },
+        );
+        let out = e.on_graft(
+            t(5),
+            IfaceId(1),
+            &Graft {
+                source: src(),
+                group: g(),
+            },
+            &rib,
+        );
         assert!(matches!(
             &out[0],
             Output::Send { iface, msg: Message::DvmrpGraftAck(_), .. } if *iface == IfaceId(1)
@@ -575,16 +676,44 @@ mod tests {
     fn graft_cascades_upstream() {
         let mut e = DvmrpEngine::new(me(), 2, DvmrpConfig::default());
         e.on_probe(t(0), IfaceId(0), up(), &Probe { neighbors: vec![] });
-        e.on_probe(t(0), IfaceId(1), Addr::new(10, 0, 2, 1), &Probe { neighbors: vec![] });
+        e.on_probe(
+            t(0),
+            IfaceId(1),
+            Addr::new(10, 0, 2, 1),
+            &Probe { neighbors: vec![] },
+        );
         let mut rib = OracleRib::empty(me());
-        rib.insert(src(), RouteEntry { iface: IfaceId(0), next_hop: up(), metric: 1 });
+        rib.insert(
+            src(),
+            RouteEntry {
+                iface: IfaceId(0),
+                next_hop: up(),
+                metric: 1,
+            },
+        );
         // Downstream pruned, so we pruned upstream too.
         e.on_data(t(1), IfaceId(0), src(), g(), b"d", &rib);
-        e.on_prune(t(2), IfaceId(1), &Prune { source: src(), group: g(), lifetime: 100 });
+        e.on_prune(
+            t(2),
+            IfaceId(1),
+            &Prune {
+                source: src(),
+                group: g(),
+                lifetime: 100,
+            },
+        );
         e.on_data(t(60), IfaceId(0), src(), g(), b"d", &rib);
         assert!(e.pruned_upstream(src(), g()));
         // Downstream grafts: we must cascade.
-        let out = e.on_graft(t(70), IfaceId(1), &Graft { source: src(), group: g() }, &rib);
+        let out = e.on_graft(
+            t(70),
+            IfaceId(1),
+            &Graft {
+                source: src(),
+                group: g(),
+            },
+            &rib,
+        );
         assert!(out.iter().any(|o| matches!(
             o,
             Output::Send { iface, msg: Message::DvmrpGraft(_), .. } if *iface == IfaceId(0)

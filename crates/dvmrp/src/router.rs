@@ -1,227 +1,137 @@
-//! The [`netsim`] adapter for the dense-mode baseline — structurally a
-//! twin of `pim::PimRouter`, so the overhead experiments compare protocols,
-//! not adapters.
+//! The [`netsim`] adapter for the dense-mode baseline.
+//!
+//! [`DvmrpRouter`] is the generic [`node::ProtocolNode`] instantiated with
+//! [`DvmrpEngine`] — the same adapter PIM and CBT use, so the overhead
+//! experiments compare protocols, not adapters.
 
 use crate::engine::{DvmrpEngine, Output};
-use igmp::{Querier, QuerierOutput};
-use netsim::{Ctx, Duration, IfaceId, Node, SimTime};
-use std::any::Any;
-use std::collections::HashMap;
-use wire::ip::{Header, Protocol};
+use netsim::{IfaceId, SimTime};
+use node::{Action, ProtocolEngine};
+use unicast::Rib;
 use wire::{Addr, Group, Message};
 
-const TOKEN_TICK: u64 = 1;
-const TICK_GRANULARITY: Duration = Duration(2);
+/// Data TTL used when (re)originating packets.
 const DATA_TTL: u8 = 32;
 
 /// A dense-mode (DVMRP-style) router node.
-pub struct DvmrpRouter {
-    engine: DvmrpEngine,
-    unicast: Box<dyn unicast::Engine>,
-    queriers: HashMap<IfaceId, Querier>,
-    /// Multicast data packets forwarded (processing overhead).
-    pub data_forwards: u64,
-    /// Control messages processed.
-    pub control_msgs: u64,
-    next_tick: SimTime,
+pub type DvmrpRouter = node::ProtocolNode<DvmrpEngine>;
+
+/// Convert engine outputs into node actions, stamping `data_ttl` on data
+/// forwards. DVMRP control chatter is always link-local (TTL 1).
+fn actions(outs: Vec<Output>, data_ttl: u8) -> Vec<Action> {
+    outs.into_iter()
+        .map(|o| match o {
+            Output::Send { iface, dst, msg } => Action::Control {
+                iface,
+                dst,
+                ttl: 1,
+                msg,
+            },
+            Output::Forward {
+                ifaces,
+                source,
+                group,
+                payload,
+            } => Action::Forward {
+                ifaces,
+                source,
+                group,
+                ttl: data_ttl,
+                payload,
+            },
+        })
+        .collect()
 }
 
-impl DvmrpRouter {
-    /// Build a router from its dense-mode engine and a unicast engine.
-    pub fn new(engine: DvmrpEngine, unicast: Box<dyn unicast::Engine>) -> DvmrpRouter {
-        DvmrpRouter {
-            engine,
-            unicast,
-            queriers: HashMap::new(),
-            data_forwards: 0,
-            control_msgs: 0,
-            next_tick: SimTime::ZERO,
-        }
+impl ProtocolEngine for DvmrpEngine {
+    fn addr(&self) -> Addr {
+        DvmrpEngine::addr(self)
     }
 
-    /// Declare `iface` host-facing, with the given attached hosts.
-    pub fn attach_host_lan(&mut self, iface: IfaceId, hosts: &[Addr]) {
-        while self.engine.iface_count() <= iface.index() {
-            self.engine.add_iface();
-            self.unicast.grow_iface(1);
-        }
-        self.engine.set_host_lan(iface);
-        self.queriers
-            .insert(iface, Querier::new(self.engine.addr(), igmp::Config::default()));
-        for &h in hosts {
-            self.engine.register_local_host(h, iface);
-            self.unicast.attach_local(h, 1);
-        }
-    }
-
-    /// The dense-mode engine (inspection).
-    pub fn engine(&self) -> &DvmrpEngine {
-        &self.engine
-    }
-
-    /// This router's address.
-    pub fn addr(&self) -> Addr {
-        self.engine.addr()
-    }
-
-    fn send_control(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, dst: Addr, msg: &Message) {
-        let header = Header {
-            proto: Protocol::Igmp,
-            ttl: 1,
-            src: self.engine.addr(),
-            dst,
-        };
-        ctx.send(iface, header.encap(&msg.encode()));
-    }
-
-    fn handle_outputs(&mut self, ctx: &mut Ctx<'_>, outputs: Vec<Output>, data_ttl: u8) {
-        for o in outputs {
-            match o {
-                Output::Send { iface, dst, msg } => {
-                    self.send_control(ctx, iface, dst, &msg);
-                }
-                Output::Forward { ifaces, source, group, payload } => {
-                    let header = Header {
-                        proto: Protocol::Data,
-                        ttl: data_ttl,
-                        src: source,
-                        dst: group.addr(),
-                    };
-                    let pkt = header.encap(&payload);
-                    for i in ifaces {
-                        self.data_forwards += 1;
-                        if self.queriers.contains_key(&i) {
-                            ctx.count_local_delivery();
-                        }
-                        ctx.send(i, pkt.clone());
-                    }
-                }
+    fn on_control(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        src: Addr,
+        _dst: Addr,
+        msg: &Message,
+        rib: &dyn Rib,
+    ) -> Vec<Action> {
+        match msg {
+            Message::DvmrpProbe(p) => {
+                self.on_probe(now, iface, src, p);
+                Vec::new()
             }
+            Message::DvmrpPrune(p) => actions(self.on_prune(now, iface, p), DATA_TTL),
+            Message::DvmrpGraft(gr) => actions(self.on_graft(now, iface, gr, rib), DATA_TTL),
+            Message::DvmrpGraftAck(a) => {
+                self.on_graft_ack(now, a);
+                Vec::new()
+            }
+            _ => Vec::new(),
         }
     }
 
-    fn handle_unicast_outputs(&mut self, ctx: &mut Ctx<'_>, outputs: Vec<unicast::Output>) {
-        for o in outputs {
-            match o {
-                unicast::Output::Send { iface, dst, msg } => {
-                    self.send_control(ctx, iface, dst, &msg);
-                }
-                // Dense mode re-derives RPF lazily per packet; nothing to
-                // repair on route changes.
-                unicast::Output::RouteChanged { .. } => {}
-            }
+    fn on_multicast_data(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        source: Addr,
+        group: Group,
+        ttl: u8,
+        payload: &[u8],
+        _from_host_lan: bool,
+        rib: &dyn Rib,
+    ) -> Vec<Action> {
+        // Dense mode treats host and router arrivals alike: RPF-check and
+        // broadcast-and-prune.
+        actions(self.on_data(now, iface, source, group, payload, rib), ttl)
+    }
+
+    fn relays_unicast(&self) -> bool {
+        false // dense mode drops non-multicast data
+    }
+
+    fn local_member_joined(
+        &mut self,
+        now: SimTime,
+        group: Group,
+        iface: IfaceId,
+        rib: &dyn Rib,
+    ) -> Vec<Action> {
+        actions(
+            DvmrpEngine::local_member_joined(self, now, group, iface, rib),
+            DATA_TTL,
+        )
+    }
+
+    fn local_member_left(&mut self, now: SimTime, group: Group, iface: IfaceId) -> Vec<Action> {
+        DvmrpEngine::local_member_left(self, now, group, iface);
+        Vec::new()
+    }
+
+    fn host_lan_attached(&mut self, iface: IfaceId) -> u32 {
+        let mut grown = 0;
+        while self.iface_count() <= iface.index() {
+            self.add_iface();
+            grown += 1;
         }
+        self.set_host_lan(iface);
+        grown
     }
 
-    fn handle_querier_outputs(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, outputs: Vec<QuerierOutput>) {
-        let now = ctx.now();
-        for o in outputs {
-            match o {
-                QuerierOutput::Send { dst, msg } => {
-                    self.send_control(ctx, iface, dst, &msg);
-                }
-                QuerierOutput::MemberJoined(group) => {
-                    let outs = self
-                        .engine
-                        .local_member_joined(now, group, iface, self.unicast.as_ref());
-                    self.handle_outputs(ctx, outs, DATA_TTL);
-                }
-                QuerierOutput::MemberExpired(group) => {
-                    self.engine.local_member_left(now, group, iface);
-                }
-                QuerierOutput::RpMappingLearned(..) => {} // dense mode has no RPs
-            }
-        }
-    }
-}
-
-impl Node for DvmrpRouter {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        let outs = self.unicast.on_start(ctx.now());
-        self.handle_unicast_outputs(ctx, outs);
-        ctx.set_timer(Duration::ZERO, TOKEN_TICK);
+    fn register_local_host(&mut self, host: Addr, iface: IfaceId) {
+        DvmrpEngine::register_local_host(self, host, iface);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, packet: &[u8]) {
-        let Ok((header, payload)) = Header::decap(packet) else {
-            return;
-        };
-        let now = ctx.now();
-        match header.proto {
-            Protocol::Igmp => {
-                let Ok(msg) = Message::decode(payload) else {
-                    return;
-                };
-                self.control_msgs += 1;
-                match &msg {
-                    Message::HostQuery(_) | Message::HostReport(_) | Message::RpMapping(_) => {
-                        if let Some(q) = self.queriers.get_mut(&iface) {
-                            let outs = q.on_message(now, header.src, &msg);
-                            self.handle_querier_outputs(ctx, iface, outs);
-                        }
-                    }
-                    Message::DvmrpProbe(p) => self.engine.on_probe(now, iface, header.src, p),
-                    Message::DvmrpPrune(p) => {
-                        let outs = self.engine.on_prune(now, iface, p);
-                        self.handle_outputs(ctx, outs, DATA_TTL);
-                    }
-                    Message::DvmrpGraft(gr) => {
-                        let outs = self.engine.on_graft(now, iface, gr, self.unicast.as_ref());
-                        self.handle_outputs(ctx, outs, DATA_TTL);
-                    }
-                    Message::DvmrpGraftAck(a) => self.engine.on_graft_ack(now, a),
-                    Message::DvUpdate(_) | Message::Lsa(_) | Message::Hello(_) => {
-                        let outs = self.unicast.on_message(now, iface, header.src, &msg);
-                        self.handle_unicast_outputs(ctx, outs);
-                    }
-                    _ => {}
-                }
-            }
-            Protocol::Data => {
-                if !header.dst.is_multicast() {
-                    return;
-                }
-                let Some(group) = Group::new(header.dst) else {
-                    return;
-                };
-                let Some(fwd) = header.decrement_ttl() else {
-                    return;
-                };
-                let outs =
-                    self.engine
-                        .on_data(now, iface, header.src, group, payload, self.unicast.as_ref());
-                self.handle_outputs(ctx, outs, fwd.ttl);
-            }
-        }
+    // Dense mode re-derives RPF lazily per packet; nothing to repair on
+    // route changes — the default no-op `on_route_change` stands.
+
+    fn tick(&mut self, now: SimTime, rib: &dyn Rib) -> Vec<Action> {
+        actions(DvmrpEngine::tick(self, now, rib), DATA_TTL)
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        if token != TOKEN_TICK {
-            return;
-        }
-        let now = ctx.now();
-        if now >= self.next_tick {
-            self.next_tick = now + TICK_GRANULARITY;
-            if self.unicast.tick_interval().ticks() != u64::MAX {
-                let outs = self.unicast.tick(now);
-                self.handle_unicast_outputs(ctx, outs);
-            }
-            let ifaces: Vec<IfaceId> = self.queriers.keys().copied().collect();
-            for i in ifaces {
-                let outs = self.queriers.get_mut(&i).expect("listed").tick(now);
-                self.handle_querier_outputs(ctx, i, outs);
-            }
-            let outs = self.engine.tick(now, self.unicast.as_ref());
-            self.handle_outputs(ctx, outs, DATA_TTL);
-        }
-        ctx.set_timer(TICK_GRANULARITY, TOKEN_TICK);
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+    fn next_deadline(&self) -> Option<SimTime> {
+        DvmrpEngine::next_deadline(self)
     }
 }

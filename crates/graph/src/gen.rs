@@ -266,7 +266,11 @@ mod tests {
         let params = RandomGraphParams::default();
         let g = random_connected(&params, &mut rng);
         for (_, e) in g.edges() {
-            assert!((1..=10).contains(&e.weight), "delay {} out of range", e.weight);
+            assert!(
+                (1..=10).contains(&e.weight),
+                "delay {} out of range",
+                e.weight
+            );
         }
     }
 

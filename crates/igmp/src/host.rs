@@ -6,13 +6,12 @@
 //! member or non-member — to send to a group" (§1.1).
 
 use crate::{Host, HostOutput};
-use netsim::{Ctx, Duration, IfaceId, Node, SimTime};
+use netsim::{Ctx, IfaceId, Node, SimTime, TimerId};
 use std::any::Any;
 use wire::ip::{Header, Protocol};
 use wire::{Addr, Group, Message};
 
-const TOKEN_TICK: u64 = 1;
-const TICK_GRANULARITY: Duration = Duration(2);
+const TOKEN_WAKE: u64 = 1;
 const DATA_TTL: u8 = 32;
 
 /// One received data packet.
@@ -35,6 +34,8 @@ pub struct HostNode {
     /// Data packets received for groups this host is a member of.
     pub received: Vec<Received>,
     next_seq: u64,
+    /// The single armed wakeup for a pending randomized report, if any.
+    wakeup: Option<(SimTime, TimerId)>,
 }
 
 impl HostNode {
@@ -45,6 +46,7 @@ impl HostNode {
             igmp: Host::new(crate::Config::default()),
             received: Vec::new(),
             next_seq: 0,
+            wakeup: None,
         }
     }
 
@@ -115,13 +117,30 @@ impl HostNode {
             }
         }
     }
+
+    /// Arm one wakeup at the earliest pending report, or cancel it when
+    /// the host goes idle. Hosts are quiescent between queries — no timer
+    /// exists at all unless a randomized report is outstanding.
+    fn reschedule(&mut self, ctx: &mut Ctx<'_>, floor: SimTime) {
+        let Some(d) = self.igmp.next_deadline() else {
+            if let Some((_, id)) = self.wakeup.take() {
+                ctx.cancel_timer(id);
+            }
+            return;
+        };
+        let at = d.max(floor);
+        if let Some((t, id)) = self.wakeup {
+            if t == at {
+                return;
+            }
+            ctx.cancel_timer(id);
+        }
+        let id = ctx.set_timer_at(at, TOKEN_WAKE);
+        self.wakeup = Some((at, id));
+    }
 }
 
 impl Node for HostNode {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.set_timer(TICK_GRANULARITY, TOKEN_TICK);
-    }
-
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, packet: &[u8]) {
         let Ok((header, payload)) = Header::decap(packet) else {
             return;
@@ -132,6 +151,9 @@ impl Node for HostNode {
                     let now = ctx.now();
                     let outs = self.igmp.on_message(now, &msg, ctx.rng());
                     self.emit(ctx, outs);
+                    // A query may have scheduled a randomized report; a
+                    // neighbor's report may have suppressed ours.
+                    self.reschedule(ctx, now);
                 }
             }
             Protocol::Data => {
@@ -159,13 +181,14 @@ impl Node for HostNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        if token != TOKEN_TICK {
+        if token != TOKEN_WAKE {
             return;
         }
+        self.wakeup = None;
         let now = ctx.now();
         let outs = self.igmp.tick(now);
         self.emit(ctx, outs);
-        ctx.set_timer(TICK_GRANULARITY, TOKEN_TICK);
+        self.reschedule(ctx, now + netsim::Duration(1));
     }
 
     fn as_any(&self) -> &dyn Any {

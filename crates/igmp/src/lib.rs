@@ -130,7 +130,12 @@ impl Host {
     }
 
     /// A message arrived on the subnetwork.
-    pub fn on_message(&mut self, now: SimTime, msg: &Message, rng: &mut impl Rng) -> Vec<HostOutput> {
+    pub fn on_message(
+        &mut self,
+        now: SimTime,
+        msg: &Message,
+        rng: &mut impl Rng,
+    ) -> Vec<HostOutput> {
         match msg {
             Message::HostQuery(HostQuery { max_resp_time }) => {
                 let max = (*max_resp_time as u64).max(1);
@@ -150,6 +155,12 @@ impl Host {
             }
             _ => Vec::new(),
         }
+    }
+
+    /// When the next pending report fires, if any. `None` means the host is
+    /// fully idle: no timer needs to be armed until a query arrives.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.joined.values().filter_map(|p| *p).min()
     }
 
     /// Emit any reports whose randomized delay has elapsed. Call at least
@@ -274,6 +285,18 @@ impl Querier {
             }
             _ => Vec::new(),
         }
+    }
+
+    /// When this querier next needs a `tick` call: the next scheduled query
+    /// (or querier-role reclaim when standing down), or the earliest
+    /// membership expiry.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let role = if self.is_querier {
+            Some(self.next_query)
+        } else {
+            self.other_querier_until
+        };
+        netsim::earliest(role, self.members.values().copied().min())
     }
 
     /// Periodic maintenance: query on schedule (if querier), reclaim the
@@ -428,7 +451,10 @@ mod tests {
             &Message::HostQuery(HostQuery { max_resp_time: 10 }),
         );
         assert!(!q.is_querier());
-        assert!(q.tick(SimTime(125)).is_empty(), "non-querier must not query");
+        assert!(
+            q.tick(SimTime(125)).is_empty(),
+            "non-querier must not query"
+        );
         // Higher address does not preempt us once the incumbent lapses.
         let out = q.tick(SimTime(1 + 300));
         assert!(q.is_querier());
@@ -470,6 +496,53 @@ mod tests {
         let out = q.tick(SimTime(290));
         assert!(out.contains(&QuerierOutput::MemberExpired(g(3))));
         assert!(!q.has_member(g(3)));
+    }
+
+    #[test]
+    fn host_deadline_tracks_pending_reports() {
+        let mut h = Host::new(Config::default());
+        assert_eq!(h.next_deadline(), None);
+        h.join(g(1));
+        // An unsolicited report fires immediately from join(); nothing pends.
+        assert_eq!(h.next_deadline(), None);
+        let mut r = rng();
+        h.on_message(
+            SimTime(100),
+            &Message::HostQuery(HostQuery { max_resp_time: 10 }),
+            &mut r,
+        );
+        let d = h.next_deadline().expect("query must schedule a report");
+        assert!((SimTime(100)..SimTime(110)).contains(&d));
+        h.tick(d);
+        assert_eq!(h.next_deadline(), None, "fired report clears the deadline");
+    }
+
+    #[test]
+    fn querier_deadline_covers_query_election_and_expiry() {
+        let mut q = Querier::new(Addr::new(10, 0, 0, 5), Config::default());
+        // Fresh querier: first query is due immediately.
+        assert_eq!(q.next_deadline(), Some(SimTime::ZERO));
+        q.tick(SimTime(0));
+        assert_eq!(q.next_deadline(), Some(SimTime(125)));
+        // A member expiry earlier than the next query wins... (report at t=0
+        // expires at t=280, next query at t=125, so the query still wins; a
+        // stand-down pushes the deadline to the reclaim time instead.)
+        q.on_message(
+            SimTime(0),
+            Addr::new(10, 0, 0, 20),
+            &Message::HostReport(HostReport { group: g(3) }),
+        );
+        assert_eq!(q.next_deadline(), Some(SimTime(125)));
+        q.on_message(
+            SimTime(1),
+            Addr::new(10, 0, 0, 1),
+            &Message::HostQuery(HostQuery { max_resp_time: 10 }),
+        );
+        assert!(!q.is_querier());
+        // Now the deadline is min(member expiry 280, reclaim-at 301).
+        assert_eq!(q.next_deadline(), Some(SimTime(280)));
+        q.tick(SimTime(280));
+        assert_eq!(q.next_deadline(), Some(SimTime(301)));
     }
 
     #[test]

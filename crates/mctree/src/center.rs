@@ -77,7 +77,9 @@ pub fn center_tree(g: &Graph, ap: &AllPairs, core: NodeId, members: &[NodeId]) -
     dist_from_core[core.index()] = 0;
     let mut member_paths = Vec::with_capacity(members.len());
     for &m in members {
-        let path = sp.path_to(g, m).expect("member must be reachable from core");
+        let path = sp
+            .path_to(g, m)
+            .expect("member must be reachable from core");
         for &n in &path {
             dist_from_core[n.index()] = sp.dist_to(n).expect("node on path");
         }

@@ -120,7 +120,10 @@ mod tests {
     fn one_center_picks_topological_middle() {
         let g = tee();
         let ap = AllPairs::new(&g);
-        assert_eq!(one_center(&g, &ap, &[NodeId(0), NodeId(2), NodeId(3)]), NodeId(1));
+        assert_eq!(
+            one_center(&g, &ap, &[NodeId(0), NodeId(2), NodeId(3)]),
+            NodeId(1)
+        );
         // Ties break toward the smaller node id.
         assert_eq!(one_center(&g, &ap, &[NodeId(0), NodeId(1)]), NodeId(0));
     }

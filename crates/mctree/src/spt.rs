@@ -27,7 +27,12 @@ pub fn spt_max_delay(ap: &AllPairs, members: &[NodeId]) -> Weight {
 /// The edges of the shortest-path tree rooted at `source`, pruned to the
 /// paths that reach `members` — i.e. the links that carry `source`'s data
 /// once PIM's prunes have stabilized (or DVMRP's, post-prune).
-pub fn spt_tree_edges(g: &Graph, ap: &AllPairs, source: NodeId, members: &[NodeId]) -> BTreeSet<EdgeId> {
+pub fn spt_tree_edges(
+    g: &Graph,
+    ap: &AllPairs,
+    source: NodeId,
+    members: &[NodeId],
+) -> BTreeSet<EdgeId> {
     let sp = ap.from(source);
     let mut edges = BTreeSet::new();
     for &m in members {

@@ -11,7 +11,12 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn random_instance(seed: u64, nodes: usize, degree: f64, members: usize) -> (graph::Graph, AllPairs, Vec<NodeId>) {
+fn random_instance(
+    seed: u64,
+    nodes: usize,
+    degree: f64,
+    members: usize,
+) -> (graph::Graph, AllPairs, Vec<NodeId>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let g = random_connected(
         &RandomGraphParams {

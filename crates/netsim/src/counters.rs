@@ -54,8 +54,12 @@ pub struct LinkStats {
 pub struct Counters {
     per_link: HashMap<LinkId, LinkStats>,
     local_deliveries: HashMap<NodeIdx, u64>,
-    rx_pkts: u64,
+    rx_control_pkts: u64,
+    rx_data_pkts: u64,
     rx_bytes: u64,
+    events_dispatched: u64,
+    timers_fired: u64,
+    timers_skipped_stale: u64,
 }
 
 impl Counters {
@@ -71,9 +75,24 @@ impl Counters {
         s.bytes += len as u64;
     }
 
-    pub(crate) fn record_rx(&mut self, _link: LinkId, len: usize) {
-        self.rx_pkts += 1;
+    pub(crate) fn record_rx(&mut self, _link: LinkId, class: PacketClass, len: usize) {
+        match class {
+            PacketClass::Control => self.rx_control_pkts += 1,
+            PacketClass::Data => self.rx_data_pkts += 1,
+        }
         self.rx_bytes += len as u64;
+    }
+
+    pub(crate) fn record_dispatch(&mut self) {
+        self.events_dispatched += 1;
+    }
+
+    pub(crate) fn record_timer_fired(&mut self) {
+        self.timers_fired += 1;
+    }
+
+    pub(crate) fn record_timer_skipped(&mut self) {
+        self.timers_skipped_stale += 1;
     }
 
     pub(crate) fn record_loss(&mut self, link: LinkId) {
@@ -129,6 +148,44 @@ impl Counters {
     /// Number of distinct links that carried at least one data packet.
     pub fn links_carrying_data(&self) -> usize {
         self.per_link.values().filter(|s| s.data_pkts > 0).count()
+    }
+
+    /// Events the world actually dispatched (deliveries + timers + scripts).
+    /// The paper's scaling argument is that this should track state churn,
+    /// not wall-clock: an idle network should dispatch almost nothing.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Timer events that fired (dispatched to a node).
+    pub fn timers_fired(&self) -> u64 {
+        self.timers_fired
+    }
+
+    /// Timer heap entries popped but skipped because the timer had been
+    /// cancelled or rescheduled (lazy-deletion cost of the timer wheel).
+    pub fn timers_skipped_stale(&self) -> u64 {
+        self.timers_skipped_stale
+    }
+
+    /// Control packets delivered to nodes (receive side, per event loop).
+    pub fn rx_control_pkts(&self) -> u64 {
+        self.rx_control_pkts
+    }
+
+    /// Data packets delivered to nodes (receive side, per event loop).
+    pub fn rx_data_pkts(&self) -> u64 {
+        self.rx_data_pkts
+    }
+
+    /// All packets delivered to nodes.
+    pub fn rx_pkts(&self) -> u64 {
+        self.rx_control_pkts + self.rx_data_pkts
+    }
+
+    /// Total bytes delivered to nodes.
+    pub fn rx_bytes(&self) -> u64 {
+        self.rx_bytes
     }
 }
 

@@ -27,5 +27,7 @@ pub mod world;
 
 pub use build::{host_addr, node_of_addr, router_addr, Topology};
 pub use counters::{Counters, LinkStats, PacketClass};
-pub use time::{Duration, SimTime};
-pub use world::{CaptureRecord, Ctx, IfaceId, Link, LinkId, LinkKind, Node, NodeIdx, World};
+pub use time::{earliest, Duration, SimTime};
+pub use world::{
+    CaptureRecord, Ctx, IfaceId, Link, LinkId, LinkKind, Node, NodeIdx, TimerId, World,
+};

@@ -54,6 +54,18 @@ impl SimTime {
     }
 }
 
+/// The earlier of two optional deadlines (`None` means "no deadline").
+///
+/// Protocol engines fold their timer fields through this when computing
+/// `next_deadline()`; adapters fold engine deadlines together the same way.
+pub fn earliest(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
 impl Add<Duration> for SimTime {
     type Output = SimTime;
     fn add(self, d: Duration) -> SimTime {
@@ -112,6 +124,17 @@ mod tests {
     fn ordering() {
         assert!(SimTime(1) < SimTime(2));
         assert!(Duration(1) < Duration(2));
+    }
+
+    #[test]
+    fn earliest_folds_options() {
+        assert_eq!(earliest(None, None), None);
+        assert_eq!(earliest(Some(SimTime(3)), None), Some(SimTime(3)));
+        assert_eq!(earliest(None, Some(SimTime(4))), Some(SimTime(4)));
+        assert_eq!(
+            earliest(Some(SimTime(9)), Some(SimTime(4))),
+            Some(SimTime(4))
+        );
     }
 
     #[test]

@@ -94,8 +94,16 @@ pub fn describe_packet(packet: &[u8]) -> String {
                     let _ = write!(
                         s,
                         "join={} prune={} holdtime={}",
-                        if joins.is_empty() { "-".into() } else { joins.join(",") },
-                        if prunes.is_empty() { "-".into() } else { prunes.join(",") },
+                        if joins.is_empty() {
+                            "-".into()
+                        } else {
+                            joins.join(",")
+                        },
+                        if prunes.is_empty() {
+                            "-".into()
+                        } else {
+                            prunes.join(",")
+                        },
                         jp.holdtime
                     );
                 }
@@ -148,7 +156,13 @@ pub fn describe_packet(packet: &[u8]) -> String {
                     let _ = write!(s, "DV Update routes={}", u.routes.len());
                 }
                 Message::Lsa(l) => {
-                    let _ = write!(s, "LSA origin={} seq={} links={}", l.origin, l.seq, l.links.len());
+                    let _ = write!(
+                        s,
+                        "LSA origin={} seq={} links={}",
+                        l.origin,
+                        l.seq,
+                        l.links.len()
+                    );
                 }
                 Message::Hello(hh) => {
                     let _ = write!(s, "Hello holdtime={}", hh.holdtime);

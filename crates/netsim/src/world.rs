@@ -91,7 +91,7 @@ pub trait Node {
     /// (network header included).
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, packet: &[u8]);
 
-    /// A timer set via [`Ctx::set_timer`] fired.
+    /// A timer set via [`Ctx::set_timer`]/[`Ctx::set_timer_at`] fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
 
     /// Downcast support for post-run inspection.
@@ -115,6 +115,26 @@ enum Event {
     Script(Box<dyn FnOnce(&mut World)>),
 }
 
+/// Handle to a scheduled timer, usable with [`Ctx::cancel_timer`].
+///
+/// Generation-counted: event slots are recycled once an event fires or is
+/// cancelled, and the generation disambiguates a handle from any later
+/// tenant of the same slot, so cancelling an already-fired timer is a safe
+/// no-op rather than an ABA hazard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerId {
+    slot: usize,
+    gen: u32,
+}
+
+/// One event-arena slot. The heap stores `(time, seq, slot, gen)`; a popped
+/// entry whose generation no longer matches (or whose slot is empty) is a
+/// cancelled timer and is skipped without dispatch.
+struct EventSlot {
+    gen: u32,
+    ev: Option<Event>,
+}
+
 /// Everything the world owns *except* the nodes, so a node callback can
 /// borrow the node mutably alongside the rest of the world.
 struct Fabric {
@@ -122,10 +142,14 @@ struct Fabric {
     links: Vec<Link>,
     /// ifaces[node.0][iface.0] = link the interface attaches to.
     ifaces: Vec<Vec<LinkId>>,
-    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
-    /// Event payloads, indexed by the id carried in the heap. Slots are
-    /// taken (replaced by `None`) as events fire.
-    events: Vec<Option<Event>>,
+    queue: BinaryHeap<Reverse<(SimTime, u64, usize, u32)>>,
+    /// Event arena, indexed by the slot carried in the heap. Slots are
+    /// vacated (and recycled via `free`) as events fire or are cancelled,
+    /// so memory is bounded by *outstanding* events, not events ever
+    /// scheduled.
+    events: Vec<EventSlot>,
+    /// Vacated arena slots available for reuse.
+    free: Vec<usize>,
     seq: u64,
     rng: StdRng,
     counters: Counters,
@@ -147,11 +171,35 @@ pub struct CaptureRecord {
 }
 
 impl Fabric {
-    fn push_event(&mut self, at: SimTime, ev: Event) {
-        let id = self.events.len();
-        self.events.push(Some(ev));
+    fn push_event(&mut self, at: SimTime, ev: Event) -> TimerId {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.events[slot].ev = Some(ev);
+                slot
+            }
+            None => {
+                self.events.push(EventSlot {
+                    gen: 0,
+                    ev: Some(ev),
+                });
+                self.events.len() - 1
+            }
+        };
+        let gen = self.events[slot].gen;
         self.seq += 1;
-        self.queue.push(Reverse((at, self.seq, id)));
+        self.queue.push(Reverse((at, self.seq, slot, gen)));
+        TimerId { slot, gen }
+    }
+
+    /// Vacate a slot after its event fired or was cancelled: bump the
+    /// generation (so outstanding handles and heap entries for this tenant
+    /// go stale) and recycle the index.
+    fn vacate(&mut self, slot: usize) -> Event {
+        let s = &mut self.events[slot];
+        let ev = s.ev.take().expect("vacating an empty event slot");
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        ev
     }
 
     /// Transmit `packet` out of `(node, iface)`: schedule deliveries to all
@@ -235,15 +283,43 @@ impl<'a> Ctx<'a> {
     }
 
     /// Arrange for [`Node::on_timer`] to be called with `token` after `d`.
-    pub fn set_timer(&mut self, d: Duration, token: u64) {
-        let at = self.fabric.now + d;
+    pub fn set_timer(&mut self, d: Duration, token: u64) -> TimerId {
+        self.set_timer_at(self.fabric.now + d, token)
+    }
+
+    /// Arrange for [`Node::on_timer`] to be called with `token` at absolute
+    /// time `at` (clamped to now: a past deadline fires this instant, after
+    /// the current event). Returns a handle for [`Ctx::cancel_timer`].
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) -> TimerId {
+        let at = at.max(self.fabric.now);
         self.fabric.push_event(
             at,
             Event::Timer {
                 node: self.node,
                 token,
             },
-        );
+        )
+    }
+
+    /// Cancel a pending timer. Returns `true` if the timer was still
+    /// pending and belonged to this node; stale handles (the timer already
+    /// fired, was cancelled, or the slot was recycled) are a no-op. The
+    /// heap entry stays behind and is skipped — and counted as stale — when
+    /// popped.
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        let Some(s) = self.fabric.events.get(id.slot) else {
+            return false;
+        };
+        if s.gen != id.gen {
+            return false;
+        }
+        match s.ev {
+            Some(Event::Timer { node, .. }) if node == self.node => {
+                self.fabric.vacate(id.slot);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Seeded randomness for protocol jitter (e.g. IGMP report delays).
@@ -288,6 +364,7 @@ impl World {
                 ifaces: Vec::new(),
                 queue: BinaryHeap::new(),
                 events: Vec::new(),
+                free: Vec::new(),
                 seq: 0,
                 rng: StdRng::seed_from_u64(seed),
                 counters: Counters::default(),
@@ -324,7 +401,12 @@ impl World {
     }
 
     /// Add a point-to-point link; returns `(link, iface at a, iface at b)`.
-    pub fn add_p2p(&mut self, a: NodeIdx, b: NodeIdx, delay: Duration) -> (LinkId, IfaceId, IfaceId) {
+    pub fn add_p2p(
+        &mut self,
+        a: NodeIdx,
+        b: NodeIdx,
+        delay: Duration,
+    ) -> (LinkId, IfaceId, IfaceId) {
         assert_ne!(a, b, "p2p link endpoints must differ");
         let id = LinkId(self.fabric.links.len());
         self.fabric.links.push(Link {
@@ -407,7 +489,7 @@ impl World {
     /// fails, ...) at absolute time `at`.
     pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
         assert!(at >= self.fabric.now, "cannot schedule in the past");
-        self.fabric.push_event(at, Event::Script(Box::new(f)));
+        let _ = self.fabric.push_event(at, Event::Script(Box::new(f)));
     }
 
     /// Immutable access to a node, downcast to its concrete type.
@@ -467,12 +549,19 @@ impl World {
     }
 
     fn step(&mut self) -> bool {
-        let Some(Reverse((at, _seq, id))) = self.fabric.queue.pop() else {
+        let Some(Reverse((at, _seq, slot, gen))) = self.fabric.queue.pop() else {
             return false;
         };
         debug_assert!(at >= self.fabric.now, "time went backwards");
         self.fabric.now = at;
-        let ev = self.fabric.events[id].take().expect("event fired twice");
+        // A generation mismatch or empty slot means the event was cancelled
+        // (or the slot recycled after cancellation): skip without dispatch.
+        if self.fabric.events[slot].gen != gen || self.fabric.events[slot].ev.is_none() {
+            self.fabric.counters.record_timer_skipped();
+            return true;
+        }
+        let ev = self.fabric.vacate(slot);
+        self.fabric.counters.record_dispatch();
         match ev {
             Event::Deliver {
                 node,
@@ -480,10 +569,12 @@ impl World {
                 packet,
                 link,
             } => {
-                self.fabric.counters.record_rx(link, packet.len());
+                let class = PacketClass::classify(&packet);
+                self.fabric.counters.record_rx(link, class, packet.len());
                 self.with_node(node, |n, ctx| n.on_packet(ctx, iface, &packet));
             }
             Event::Timer { node, token } => {
+                self.fabric.counters.record_timer_fired();
                 self.with_node(node, |n, ctx| n.on_timer(ctx, token));
             }
             Event::Script(f) => f(self),
@@ -496,7 +587,7 @@ impl World {
     pub fn run_until(&mut self, until: SimTime) -> usize {
         self.start();
         let mut n = 0;
-        while let Some(&Reverse((at, _, _))) = self.fabric.queue.peek() {
+        while let Some(&Reverse((at, _, _, _))) = self.fabric.queue.peek() {
             if at > until {
                 break;
             }
@@ -645,6 +736,74 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_timer_is_skipped_and_counted_stale() {
+        let mut w = World::new(1);
+        let a = w.add_node(Box::new(Echo::new()));
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| {
+                let t1 = ctx.set_timer(Duration(10), 1);
+                ctx.set_timer_at(SimTime(5), 2);
+                assert!(ctx.cancel_timer(t1));
+                assert!(!ctx.cancel_timer(t1), "double cancel must be a no-op");
+            });
+        });
+        w.run_until(SimTime(100));
+        let e: &Echo = w.node(a);
+        assert_eq!(e.timers, vec![(5, 2)]);
+        assert_eq!(w.counters().timers_fired(), 1);
+        assert_eq!(w.counters().timers_skipped_stale(), 1);
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_recycled_slot() {
+        let mut w = World::new(1);
+        let a = w.add_node(Box::new(Echo::new()));
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| {
+                let t1 = ctx.set_timer(Duration(10), 1);
+                assert!(ctx.cancel_timer(t1));
+                // This reuses t1's arena slot under a new generation.
+                ctx.set_timer(Duration(20), 2);
+                assert!(
+                    !ctx.cancel_timer(t1),
+                    "generation must protect the slot's new tenant"
+                );
+            });
+        });
+        w.run_until(SimTime(100));
+        let e: &Echo = w.node(a);
+        assert_eq!(e.timers, vec![(20, 2)]);
+    }
+
+    #[test]
+    fn set_timer_at_past_deadline_fires_now() {
+        let mut w = World::new(1);
+        let a = w.add_node(Box::new(Echo::new()));
+        w.at(SimTime(7), move |w| {
+            w.call_node(a, |_n, ctx| {
+                ctx.set_timer_at(SimTime(3), 9); // already past: clamped to now
+            });
+        });
+        w.run_until(SimTime(100));
+        let e: &Echo = w.node(a);
+        assert_eq!(e.timers, vec![(7, 9)]);
+    }
+
+    #[test]
+    fn event_dispatch_counters() {
+        let (mut w, a, _b, _l) = two_node_world();
+        w.at(SimTime(10), move |w| {
+            w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0, 42]));
+        });
+        w.run_until(SimTime(100));
+        // One script + one delivery dispatched; no timers anywhere.
+        assert_eq!(w.counters().events_dispatched(), 2);
+        assert_eq!(w.counters().timers_fired(), 0);
+        assert_eq!(w.counters().timers_skipped_stale(), 0);
+        assert_eq!(w.counters().rx_pkts(), 1);
+    }
+
+    #[test]
     fn downed_link_drops_traffic() {
         let (mut w, a, b, l) = two_node_world();
         w.at(SimTime(0), move |w| w.set_link_up(l, false));
@@ -667,8 +826,16 @@ mod tests {
         }
         w.run_until(SimTime(1000));
         let eb: &Echo = w.node(NodeIdx(1));
-        assert!(eb.received.len() > 50, "lost too many: {}", eb.received.len());
-        assert!(eb.received.len() < 150, "lost too few: {}", eb.received.len());
+        assert!(
+            eb.received.len() > 50,
+            "lost too many: {}",
+            eb.received.len()
+        );
+        assert!(
+            eb.received.len() < 150,
+            "lost too few: {}",
+            eb.received.len()
+        );
         assert!(w.counters().losses() > 0);
     }
 

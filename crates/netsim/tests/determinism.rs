@@ -53,7 +53,9 @@ impl Node for Chatter {
 /// node's receive log.
 fn run(seed: u64, loss: f64) -> Vec<Vec<(u64, u32, Vec<u8>)>> {
     let mut w = World::new(seed);
-    let nodes: Vec<NodeIdx> = (0..5).map(|_| w.add_node(Box::new(Chatter::new()))).collect();
+    let nodes: Vec<NodeIdx> = (0..5)
+        .map(|_| w.add_node(Box::new(Chatter::new())))
+        .collect();
     let links = [
         (0usize, 1usize, 2u64),
         (1, 2, 3),

@@ -1,0 +1,497 @@
+//! The generic router adapter shared by every multicast routing protocol.
+//!
+//! PIM, DVMRP, and CBT differ in their protocol engines, but their
+//! [`netsim`] adapters were structural triplets: decapsulate the packet,
+//! dispatch to the engine / the per-interface IGMP querier / the unicast
+//! engine, carry out the outputs, and poll everything on a fixed tick. This
+//! crate collapses the three copies into one [`ProtocolNode`], generic over
+//! a [`ProtocolEngine`] — the small trait each protocol implements on its
+//! sans-IO engine.
+//!
+//! The adapter is **deadline-driven**, not polled: after every event it
+//! asks each engine for its [`next_deadline`](ProtocolEngine::next_deadline)
+//! and arms exactly one cancellable wakeup timer at the earliest one. An
+//! idle converged network therefore dispatches events at the rate of
+//! protocol refresh periods (whole seconds of simulated time), not at a
+//! fixed poll granularity — the paper's scaling argument (§1: overhead must
+//! track state, not wall-clock) applied to the simulator itself.
+
+#![warn(missing_docs)]
+
+use igmp::{Querier, QuerierOutput};
+use netsim::{earliest, Ctx, Duration, IfaceId, Node, SimTime, TimerId};
+use std::any::Any;
+use std::collections::HashMap;
+use unicast::Rib;
+use wire::ip::{Header, Protocol};
+use wire::{Addr, Group, Message};
+
+/// Timer token for the single deadline wakeup.
+const TOKEN_WAKE: u64 = 1;
+
+/// An IO action requested by a [`ProtocolEngine`]. The node owns all
+/// serialization and transmission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Send a control message out `iface`.
+    Control {
+        /// Interface to transmit on.
+        iface: IfaceId,
+        /// Destination address for the network header.
+        dst: Addr,
+        /// Network TTL (1 for link-local chatter, larger for unicast
+        /// messages like PIM Registers).
+        ttl: u8,
+        /// The message.
+        msg: Message,
+    },
+    /// Forward multicast data out a set of interfaces.
+    Forward {
+        /// Interfaces to transmit on.
+        ifaces: Vec<IfaceId>,
+        /// Original source host (network-header source).
+        source: Addr,
+        /// Destination group.
+        group: Group,
+        /// TTL to stamp on the forwarded copies (the decremented arrival
+        /// TTL on the data path; a fresh origination TTL for decapsulated
+        /// registers).
+        ttl: u8,
+        /// The data payload.
+        payload: Vec<u8>,
+    },
+    /// The packet under consideration is unicast traffic in transit (e.g. a
+    /// Register addressed to some other router): forward the original
+    /// packet by the unicast routing table.
+    RelayUnicast,
+}
+
+/// What a multicast routing protocol must expose for [`ProtocolNode`] to
+/// drive it. Implemented by the PIM, DVMRP, and CBT engines.
+///
+/// IGMP host messages and unicast routing messages never reach
+/// [`on_control`](ProtocolEngine::on_control) — the node routes those to
+/// the per-interface [`Querier`]s and the unicast engine itself.
+pub trait ProtocolEngine {
+    /// This router's address.
+    fn addr(&self) -> Addr;
+
+    /// A control message arrived on `iface`. `src`/`dst` are the network
+    /// header addresses (Registers need `dst` to tell "for me" from "in
+    /// transit").
+    fn on_control(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        src: Addr,
+        dst: Addr,
+        msg: &Message,
+        rib: &dyn Rib,
+    ) -> Vec<Action>;
+
+    /// A multicast data packet arrived on `iface`. `ttl` is the already
+    /// decremented TTL to stamp on forwarded copies; `from_host_lan` is
+    /// true when the arrival interface is a directly attached host
+    /// subnetwork (the DR origination path for protocols that distinguish
+    /// it).
+    #[allow(clippy::too_many_arguments)]
+    fn on_multicast_data(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        source: Addr,
+        group: Group,
+        ttl: u8,
+        payload: &[u8],
+        from_host_lan: bool,
+        rib: &dyn Rib,
+    ) -> Vec<Action>;
+
+    /// Does this router forward unicast data packets not addressed to it?
+    /// (PIM and CBT relay Registers and plain unicast; dense-mode DVMRP
+    /// drops non-multicast data.)
+    fn relays_unicast(&self) -> bool {
+        true
+    }
+
+    /// IGMP reported a first local member of `group` on `iface`.
+    fn local_member_joined(
+        &mut self,
+        now: SimTime,
+        group: Group,
+        iface: IfaceId,
+        rib: &dyn Rib,
+    ) -> Vec<Action>;
+
+    /// IGMP expired the last local member of `group` on `iface`.
+    fn local_member_left(&mut self, now: SimTime, group: Group, iface: IfaceId) -> Vec<Action>;
+
+    /// A host advertised the RP set for `group` (paper §3.1 footnote 9).
+    /// Only PIM cares; the default ignores it.
+    fn rp_mapping_learned(&mut self, _group: Group, _rps: &[Addr]) {}
+
+    /// `iface` was declared a host-facing subnetwork. Grow/mark any
+    /// engine-side per-interface state; return how many interfaces the
+    /// unicast engine must grow to stay index-aligned.
+    fn host_lan_attached(&mut self, iface: IfaceId) -> u32;
+
+    /// Register a directly attached host (a potential source) on `iface`.
+    fn register_local_host(&mut self, host: Addr, iface: IfaceId);
+
+    /// The unicast route toward `dst` changed (§3.8 repair for PIM; the
+    /// dense/CBT baselines re-derive paths lazily and ignore it).
+    fn on_route_change(&mut self, _now: SimTime, _dst: Addr, _rib: &dyn Rib) -> Vec<Action> {
+        Vec::new()
+    }
+
+    /// Run soft-state maintenance. Called when a deadline matures; engines
+    /// gate internally, so early calls are harmless.
+    fn tick(&mut self, now: SimTime, rib: &dyn Rib) -> Vec<Action>;
+
+    /// The absolute time of the engine's next pending timer; `None` when
+    /// fully quiescent.
+    fn next_deadline(&self) -> Option<SimTime>;
+}
+
+/// A router node: one [`ProtocolEngine`] + one interchangeable unicast
+/// engine + one IGMP [`Querier`] per host-facing interface, glued to the
+/// simulator with deadline-driven scheduling.
+pub struct ProtocolNode<P: ProtocolEngine> {
+    engine: P,
+    unicast: Box<dyn unicast::Engine>,
+    queriers: HashMap<IfaceId, Querier>,
+    /// Count of multicast data packets this router forwarded (processing
+    /// overhead metric).
+    pub data_forwards: u64,
+    /// Count of control messages processed.
+    pub control_msgs: u64,
+    /// The single armed wakeup, if any: (fire time, timer handle).
+    wakeup: Option<(SimTime, TimerId)>,
+}
+
+impl<P: ProtocolEngine> ProtocolNode<P> {
+    /// Build a router from its protocol engine and a unicast routing
+    /// engine.
+    pub fn new(engine: P, unicast: Box<dyn unicast::Engine>) -> ProtocolNode<P> {
+        ProtocolNode {
+            engine,
+            unicast,
+            queriers: HashMap::new(),
+            data_forwards: 0,
+            control_msgs: 0,
+            wakeup: None,
+        }
+    }
+
+    /// Declare `iface` a host-facing subnetwork: an IGMP querier runs
+    /// there, attached `hosts` are registered as potential sources, and
+    /// the unicast engine originates reachability for them.
+    pub fn attach_host_lan(&mut self, iface: IfaceId, hosts: &[Addr]) {
+        let grow = self.engine.host_lan_attached(iface);
+        for _ in 0..grow {
+            self.unicast.grow_iface(1);
+        }
+        self.queriers.insert(
+            iface,
+            Querier::new(self.engine.addr(), igmp::Config::default()),
+        );
+        for &h in hosts {
+            self.engine.register_local_host(h, iface);
+            self.unicast.attach_local(h, 1);
+        }
+    }
+
+    /// The protocol engine (inspection).
+    pub fn engine(&self) -> &P {
+        &self.engine
+    }
+
+    /// The protocol engine, mutably (pre-run configuration: RP mappings,
+    /// cores, LAN declarations).
+    pub fn engine_mut(&mut self) -> &mut P {
+        &mut self.engine
+    }
+
+    /// The unicast engine (inspection).
+    pub fn rib(&self) -> &dyn unicast::Engine {
+        self.unicast.as_ref()
+    }
+
+    /// This router's address.
+    pub fn addr(&self) -> Addr {
+        self.engine.addr()
+    }
+
+    fn send_control(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        iface: IfaceId,
+        dst: Addr,
+        ttl: u8,
+        msg: &Message,
+    ) {
+        let header = Header {
+            proto: Protocol::Igmp,
+            ttl,
+            src: self.engine.addr(),
+            dst,
+        };
+        ctx.send(iface, header.encap(&msg.encode()));
+    }
+
+    /// Carry out engine actions; returns true if the engine asked for the
+    /// current packet to be relayed as unicast.
+    fn handle_actions(&mut self, ctx: &mut Ctx<'_>, actions: Vec<Action>) -> bool {
+        let mut relay = false;
+        for a in actions {
+            match a {
+                Action::Control {
+                    iface,
+                    dst,
+                    ttl,
+                    msg,
+                } => {
+                    self.send_control(ctx, iface, dst, ttl, &msg);
+                }
+                Action::Forward {
+                    ifaces,
+                    source,
+                    group,
+                    ttl,
+                    payload,
+                } => {
+                    let header = Header {
+                        proto: Protocol::Data,
+                        ttl,
+                        src: source,
+                        dst: group.addr(),
+                    };
+                    let pkt = header.encap(&payload);
+                    for i in ifaces {
+                        self.data_forwards += 1;
+                        if self.queriers.contains_key(&i) {
+                            // Any forward onto a host LAN is a delivery edge
+                            // for the experiment counters.
+                            ctx.count_local_delivery();
+                        }
+                        ctx.send(i, pkt.clone());
+                    }
+                }
+                Action::RelayUnicast => relay = true,
+            }
+        }
+        relay
+    }
+
+    fn handle_unicast_outputs(&mut self, ctx: &mut Ctx<'_>, outputs: Vec<unicast::Output>) {
+        let now = ctx.now();
+        for o in outputs {
+            match o {
+                unicast::Output::Send { iface, dst, msg } => {
+                    self.send_control(ctx, iface, dst, 1, &msg);
+                }
+                unicast::Output::RouteChanged { dst } => {
+                    let acts = self.engine.on_route_change(now, dst, self.unicast.as_ref());
+                    self.handle_actions(ctx, acts);
+                }
+            }
+        }
+    }
+
+    fn handle_querier_outputs(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        iface: IfaceId,
+        outputs: Vec<QuerierOutput>,
+    ) {
+        let now = ctx.now();
+        for o in outputs {
+            match o {
+                QuerierOutput::Send { dst, msg } => {
+                    self.send_control(ctx, iface, dst, 1, &msg);
+                }
+                QuerierOutput::MemberJoined(group) => {
+                    let acts =
+                        self.engine
+                            .local_member_joined(now, group, iface, self.unicast.as_ref());
+                    self.handle_actions(ctx, acts);
+                }
+                QuerierOutput::MemberExpired(group) => {
+                    let acts = self.engine.local_member_left(now, group, iface);
+                    self.handle_actions(ctx, acts);
+                }
+                QuerierOutput::RpMappingLearned(group, rps) => {
+                    self.engine.rp_mapping_learned(group, &rps);
+                }
+            }
+        }
+    }
+
+    /// Forward a unicast packet not addressed to us via the routing table.
+    fn forward_unicast(&mut self, ctx: &mut Ctx<'_>, header: &Header, payload: &[u8]) {
+        let Some(next) = header.decrement_ttl() else {
+            return; // TTL exhausted
+        };
+        if let Some(r) = self.unicast.route(header.dst) {
+            ctx.send(r.iface, next.encap(payload));
+        }
+    }
+
+    /// The earliest deadline across the protocol engine, the unicast
+    /// engine, and every IGMP querier.
+    fn next_deadline(&self) -> Option<SimTime> {
+        let mut best = self.engine.next_deadline();
+        best = earliest(best, self.unicast.next_deadline());
+        for q in self.queriers.values() {
+            best = earliest(best, q.next_deadline());
+        }
+        best
+    }
+
+    /// (Re)arm the single wakeup at the earliest pending deadline, clamped
+    /// to `floor`. Packet handlers pass `now` (a same-instant deadline is
+    /// processed before time advances); the timer handler passes `now + 1`
+    /// so a deadline its tick could not clear cannot spin the event loop at
+    /// one instant forever.
+    fn reschedule(&mut self, ctx: &mut Ctx<'_>, floor: SimTime) {
+        let Some(d) = self.next_deadline() else {
+            if let Some((_, id)) = self.wakeup.take() {
+                ctx.cancel_timer(id);
+            }
+            return;
+        };
+        let at = d.max(floor);
+        if let Some((t, id)) = self.wakeup {
+            if t == at {
+                return; // already armed at the right instant
+            }
+            ctx.cancel_timer(id);
+        }
+        let id = ctx.set_timer_at(at, TOKEN_WAKE);
+        self.wakeup = Some((at, id));
+    }
+
+    fn on_igmp_family(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        iface: IfaceId,
+        header: &Header,
+        payload: &[u8],
+    ) {
+        let Ok(msg) = Message::decode(payload) else {
+            return; // malformed control traffic is dropped, never panics
+        };
+        self.control_msgs += 1;
+        let now = ctx.now();
+        match &msg {
+            Message::HostQuery(_) | Message::HostReport(_) | Message::RpMapping(_) => {
+                if let Some(q) = self.queriers.get_mut(&iface) {
+                    let outs = q.on_message(now, header.src, &msg);
+                    self.handle_querier_outputs(ctx, iface, outs);
+                }
+            }
+            Message::DvUpdate(_) | Message::Lsa(_) | Message::Hello(_) => {
+                let outs = self.unicast.on_message(now, iface, header.src, &msg);
+                self.handle_unicast_outputs(ctx, outs);
+            }
+            _ => {
+                let acts = self.engine.on_control(
+                    now,
+                    iface,
+                    header.src,
+                    header.dst,
+                    &msg,
+                    self.unicast.as_ref(),
+                );
+                if self.handle_actions(ctx, acts) {
+                    self.forward_unicast(ctx, header, payload);
+                }
+            }
+        }
+    }
+
+    fn on_data_packet(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        iface: IfaceId,
+        header: &Header,
+        payload: &[u8],
+    ) {
+        let now = ctx.now();
+        if header.dst.is_multicast() {
+            let Some(group) = Group::new(header.dst) else {
+                return;
+            };
+            let Some(fwd) = header.decrement_ttl() else {
+                return;
+            };
+            let from_host_lan = self.queriers.contains_key(&iface);
+            let acts = self.engine.on_multicast_data(
+                now,
+                iface,
+                header.src,
+                group,
+                fwd.ttl,
+                payload,
+                from_host_lan,
+                self.unicast.as_ref(),
+            );
+            self.handle_actions(ctx, acts);
+        } else if header.dst != self.engine.addr() && self.engine.relays_unicast() {
+            self.forward_unicast(ctx, header, payload);
+        }
+    }
+}
+
+impl<P: ProtocolEngine + 'static> Node for ProtocolNode<P> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let outs = self.unicast.on_start(ctx.now());
+        self.handle_unicast_outputs(ctx, outs);
+        self.reschedule(ctx, ctx.now());
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, packet: &[u8]) {
+        let Ok((header, payload)) = Header::decap(packet) else {
+            return; // corrupt packets are dropped
+        };
+        match header.proto {
+            Protocol::Igmp => self.on_igmp_family(ctx, iface, &header, payload),
+            Protocol::Data => self.on_data_packet(ctx, iface, &header, payload),
+        }
+        self.reschedule(ctx, ctx.now());
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TOKEN_WAKE {
+            return;
+        }
+        self.wakeup = None;
+        let now = ctx.now();
+        // Tick every engine; each gates internally on its own deadlines, so
+        // a wakeup armed for one engine costs the others a cheap no-op.
+        if self.unicast.tick_interval().ticks() != u64::MAX {
+            let outs = self.unicast.tick(now);
+            self.handle_unicast_outputs(ctx, outs);
+        }
+        let ifaces: Vec<IfaceId> = self.queriers.keys().copied().collect();
+        for i in ifaces {
+            let outs = self
+                .queriers
+                .get_mut(&i)
+                .expect("key just listed")
+                .tick(now);
+            self.handle_querier_outputs(ctx, i, outs);
+        }
+        let acts = self.engine.tick(now, self.unicast.as_ref());
+        self.handle_actions(ctx, acts);
+        self.reschedule(ctx, now + Duration(1));
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

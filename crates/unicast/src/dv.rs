@@ -168,20 +168,13 @@ impl DvEngine {
         from: Addr,
         update: &DvUpdate,
     ) -> Vec<Output> {
-        let cost = self
-            .iface_cost
-            .get(iface.index())
-            .copied()
-            .unwrap_or(1);
+        let cost = self.iface_cost.get(iface.index()).copied().unwrap_or(1);
         let mut changed: Vec<Addr> = Vec::new();
         for r in &update.routes {
             if self.is_local(r.dst) {
                 continue;
             }
-            let new_metric = r
-                .metric
-                .saturating_add(cost)
-                .min(self.cfg.infinity);
+            let new_metric = r.metric.saturating_add(cost).min(self.cfg.infinity);
             let old = self.entry(r.dst);
             match self.table.get_mut(&r.dst) {
                 Some(st) if st.next_hop == from && st.iface == iface => {
@@ -190,8 +183,8 @@ impl DvEngine {
                     st.refreshed_at = now;
                     if new_metric != st.metric {
                         st.metric = new_metric;
-                        st.gc_at = (new_metric >= self.cfg.infinity)
-                            .then(|| now + self.cfg.gc_timeout);
+                        st.gc_at =
+                            (new_metric >= self.cfg.infinity).then(|| now + self.cfg.gc_timeout);
                     } else if new_metric < self.cfg.infinity {
                         st.gc_at = None;
                     }
@@ -274,8 +267,7 @@ impl Engine for DvEngine {
         // Expire and garbage-collect.
         let mut to_delete = Vec::new();
         for (&dst, st) in self.table.iter_mut() {
-            if st.metric < self.cfg.infinity
-                && now.since(st.refreshed_at) >= self.cfg.route_timeout
+            if st.metric < self.cfg.infinity && now.since(st.refreshed_at) >= self.cfg.route_timeout
             {
                 st.metric = self.cfg.infinity;
                 st.gc_at = Some(now + self.cfg.gc_timeout);
@@ -305,6 +297,17 @@ impl Engine for DvEngine {
 
     fn tick_interval(&self) -> Duration {
         self.cfg.update_interval
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        let mut best = Some(self.next_update);
+        for st in self.table.values() {
+            if st.metric < self.cfg.infinity {
+                best = netsim::earliest(best, Some(st.refreshed_at + self.cfg.route_timeout));
+            }
+            best = netsim::earliest(best, st.gc_at);
+        }
+        best
     }
 
     fn table_size(&self) -> usize {
@@ -432,10 +435,7 @@ mod tests {
         let mut e = engine();
         e.add_local_dest(Addr::new(10, 0, 0, 10));
         let u = e.update_for_iface(IfaceId(0));
-        assert!(u
-            .routes
-            .iter()
-            .any(|r| r.dst == addr(0) && r.metric == 0));
+        assert!(u.routes.iter().any(|r| r.dst == addr(0) && r.metric == 0));
         assert!(u
             .routes
             .iter()
@@ -462,7 +462,7 @@ mod tests {
         assert!(out.contains(&Output::RouteChanged { dst: addr(9) }));
         assert!(e.route(addr(9)).is_none());
         assert_eq!(e.table_size(), 1); // still present for poisoning
-        // Past gc: gone entirely.
+                                       // Past gc: gone entirely.
         e.tick(SimTime(181 + 121));
         assert_eq!(e.table_size(), 0);
     }

@@ -108,6 +108,12 @@ pub trait Engine: Rib {
     /// How often [`Engine::tick`] wants to run.
     fn tick_interval(&self) -> Duration;
 
+    /// The absolute time of this engine's next pending timer event, if any.
+    /// `None` means the engine is quiescent: no `tick` call is needed until
+    /// new input arrives. Adapters schedule their wakeups from this instead
+    /// of polling on a fixed granularity.
+    fn next_deadline(&self) -> Option<SimTime>;
+
     /// Number of routing-table entries currently held (state-overhead
     /// metric).
     fn table_size(&self) -> usize;

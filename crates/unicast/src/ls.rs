@@ -223,11 +223,7 @@ impl LsEngine {
                     Some(&old) if nd == old => {
                         // Deterministic tie-break on first-hop address so
                         // all routers agree with the oracle's convention.
-                        let new_fh = if u == self.local {
-                            v
-                        } else {
-                            first_hop[&u]
-                        };
+                        let new_fh = if u == self.local { v } else { first_hop[&u] };
                         first_hop.get(&v).map_or(false, |&old_fh| new_fh < old_fh)
                     }
                     _ => false,
@@ -408,6 +404,19 @@ impl Engine for LsEngine {
         self.cfg.hello_interval
     }
 
+    fn next_deadline(&self) -> Option<SimTime> {
+        let mut best = Some(self.next_hello.min(self.next_refresh));
+        for n in self.neighbors.iter().flatten() {
+            best = netsim::earliest(best, Some(n.expires_at));
+        }
+        for (origin, rec) in &self.lsdb {
+            if *origin != self.local {
+                best = netsim::earliest(best, Some(rec.expires_at));
+            }
+        }
+        best
+    }
+
     fn table_size(&self) -> usize {
         self.table.len()
     }
@@ -560,13 +569,25 @@ mod tests {
         let out = a.tick(SimTime(10));
         let hellos = out
             .iter()
-            .filter(|o| matches!(o, Output::Send { msg: Message::Hello(_), .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    Output::Send {
+                        msg: Message::Hello(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(hellos, 2);
         let out = a.tick(SimTime(100));
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Output::Send { msg: Message::Lsa(_), .. })));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                msg: Message::Lsa(_),
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -138,6 +138,10 @@ impl Engine for OracleRib {
         Duration(u64::MAX)
     }
 
+    fn next_deadline(&self) -> Option<SimTime> {
+        None // precomputed tables never need maintenance
+    }
+
     fn table_size(&self) -> usize {
         self.table.len()
     }
@@ -202,10 +206,7 @@ mod tests {
         let mut ribs = OracleRib::for_all(&g, &topo);
         let host = Addr::new(10, 0, 2, 10);
         ribs[0].alias_host(host, router_addr(NodeId(2)));
-        assert_eq!(
-            ribs[0].route(host),
-            ribs[0].route(router_addr(NodeId(2)))
-        );
+        assert_eq!(ribs[0].route(host), ribs[0].route(router_addr(NodeId(2))));
         // Aliasing to an unknown router is a no-op.
         let mut empty = OracleRib::empty(Addr::new(10, 0, 0, 1));
         empty.alias_host(host, router_addr(NodeId(2)));

@@ -32,7 +32,11 @@ pub fn verify(data: &[u8]) -> bool {
 /// Panics if `offset + 2 > buf.len()` — checksum offsets are fixed by this
 /// crate's own encoders, never attacker-controlled.
 pub fn fill(buf: &mut [u8], offset: usize) {
-    debug_assert_eq!(&buf[offset..offset + 2], &[0, 0], "checksum field not zeroed");
+    debug_assert_eq!(
+        &buf[offset..offset + 2],
+        &[0, 0],
+        "checksum field not zeroed"
+    );
     let sum = checksum(buf);
     buf[offset..offset + 2].copy_from_slice(&sum.to_be_bytes());
 }

@@ -111,7 +111,15 @@ impl Header {
         if total != buf.len() || total < HEADER_LEN {
             return Err(Error::Malformed);
         }
-        Ok((Header { proto, ttl, src, dst }, &buf[HEADER_LEN..]))
+        Ok((
+            Header {
+                proto,
+                ttl,
+                src,
+                dst,
+            },
+            &buf[HEADER_LEN..],
+        ))
     }
 
     /// Return a copy with the TTL decremented, or `None` if the TTL is

@@ -143,9 +143,7 @@ impl Message {
             T_PIM_QUERY => Message::PimQuery(pim::Query::decode_body(&mut r)?),
             T_PIM_REGISTER => Message::PimRegister(pim::Register::decode_body(&mut r)?),
             T_PIM_JOIN_PRUNE => Message::PimJoinPrune(pim::JoinPrune::decode_body(&mut r)?),
-            T_PIM_RP_REACH => {
-                Message::PimRpReachability(pim::RpReachability::decode_body(&mut r)?)
-            }
+            T_PIM_RP_REACH => Message::PimRpReachability(pim::RpReachability::decode_body(&mut r)?),
             T_DVMRP_PROBE => Message::DvmrpProbe(dvmrp::Probe::decode_body(&mut r)?),
             T_DVMRP_PRUNE => Message::DvmrpPrune(dvmrp::Prune::decode_body(&mut r)?),
             T_DVMRP_GRAFT => Message::DvmrpGraft(dvmrp::Graft::decode_body(&mut r)?),

@@ -33,9 +33,7 @@ impl Query {
     }
 
     pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
-        Ok(Query {
-            holdtime: r.u16()?,
-        })
+        Ok(Query { holdtime: r.u16()? })
     }
 }
 

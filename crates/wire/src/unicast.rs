@@ -74,9 +74,7 @@ impl Hello {
     }
 
     pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
-        Ok(Hello {
-            holdtime: r.u16()?,
-        })
+        Ok(Hello { holdtime: r.u16()? })
     }
 }
 

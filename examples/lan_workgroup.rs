@@ -13,10 +13,10 @@
 
 use graph::NodeId;
 use igmp::HostNode;
+use netsim::IfaceId;
 use netsim::{host_addr, router_addr, Duration, NodeIdx, SimTime, World};
 use pim::{Engine, PimConfig, PimRouter};
 use unicast::{OracleRib, RouteEntry};
-use netsim::IfaceId;
 use wire::{Addr, Group};
 
 fn main() {
@@ -46,18 +46,63 @@ fn main() {
     let rib = |me: Addr, routes: &[(Addr, u32, Addr)]| {
         let mut r = OracleRib::empty(me);
         for &(dst, iface, nh) in routes {
-            r.insert(dst, RouteEntry { iface: IfaceId(iface), next_hop: nh, metric: 1 });
+            r.insert(
+                dst,
+                RouteEntry {
+                    iface: IfaceId(iface),
+                    next_hop: nh,
+                    metric: 1,
+                },
+            );
         }
         r
     };
-    let rib_src = rib(a_src, &[(a_up, 0, a_up), (a_a, 0, a_up), (a_b, 0, a_up), (h_a, 0, a_up), (h_b, 0, a_up)]);
-    let rib_up = rib(a_up, &[(a_src, 0, a_src), (h_src, 0, a_src), (a_a, 1, a_a), (a_b, 1, a_b), (h_a, 1, a_a), (h_b, 1, a_b)]);
-    let rib_a = rib(a_a, &[(a_up, 0, a_up), (a_src, 0, a_up), (h_src, 0, a_up), (a_b, 0, a_b), (h_b, 0, a_b)]);
-    let rib_b = rib(a_b, &[(a_up, 0, a_up), (a_src, 0, a_up), (h_src, 0, a_up), (a_a, 0, a_a), (h_a, 0, a_a)]);
+    let rib_src = rib(
+        a_src,
+        &[
+            (a_up, 0, a_up),
+            (a_a, 0, a_up),
+            (a_b, 0, a_up),
+            (h_a, 0, a_up),
+            (h_b, 0, a_up),
+        ],
+    );
+    let rib_up = rib(
+        a_up,
+        &[
+            (a_src, 0, a_src),
+            (h_src, 0, a_src),
+            (a_a, 1, a_a),
+            (a_b, 1, a_b),
+            (h_a, 1, a_a),
+            (h_b, 1, a_b),
+        ],
+    );
+    let rib_a = rib(
+        a_a,
+        &[
+            (a_up, 0, a_up),
+            (a_src, 0, a_up),
+            (h_src, 0, a_up),
+            (a_b, 0, a_b),
+            (h_b, 0, a_b),
+        ],
+    );
+    let rib_b = rib(
+        a_b,
+        &[
+            (a_up, 0, a_up),
+            (a_src, 0, a_up),
+            (h_src, 0, a_up),
+            (a_a, 0, a_a),
+            (h_a, 0, a_a),
+        ],
+    );
 
     let mk = |addr: Addr, ifaces: usize, r: OracleRib| {
-        let mut router = PimRouter::new(Engine::new(addr, ifaces, PimConfig::default()), Box::new(r));
-        router.set_rp_mapping(group, vec![a_up]);
+        let mut router =
+            PimRouter::new(Engine::new(addr, ifaces, PimConfig::default()), Box::new(r));
+        router.engine_mut().set_rp_mapping(group, vec![a_up]);
         router
     };
     let r_src = world.add_node(Box::new(mk(a_src, 1, rib_src)));
@@ -69,20 +114,35 @@ fn main() {
     // The multi-access transit LAN.
     let (_lan, lan_ifs) = world.add_lan(&[r_up, r_a, r_b], Duration(1));
     // Mark LAN semantics on every attached router (prune override etc.).
-    world.node_mut::<PimRouter>(r_up).set_lan_iface(lan_ifs[0]);
-    world.node_mut::<PimRouter>(r_a).set_lan_iface(lan_ifs[1]);
-    world.node_mut::<PimRouter>(r_b).set_lan_iface(lan_ifs[2]);
+    world
+        .node_mut::<PimRouter>(r_up)
+        .engine_mut()
+        .set_lan(lan_ifs[0]);
+    world
+        .node_mut::<PimRouter>(r_a)
+        .engine_mut()
+        .set_lan(lan_ifs[1]);
+    world
+        .node_mut::<PimRouter>(r_b)
+        .engine_mut()
+        .set_lan(lan_ifs[2]);
 
     // Host LANs.
     let sender = world.add_node(Box::new(HostNode::new(h_src)));
     let (_l, ifs) = world.add_lan(&[r_src, sender], Duration(1));
-    world.node_mut::<PimRouter>(r_src).attach_host_lan(ifs[0], &[h_src]);
+    world
+        .node_mut::<PimRouter>(r_src)
+        .attach_host_lan(ifs[0], &[h_src]);
     let host_a = world.add_node(Box::new(HostNode::new(h_a)));
     let (_l, ifs) = world.add_lan(&[r_a, host_a], Duration(1));
-    world.node_mut::<PimRouter>(r_a).attach_host_lan(ifs[0], &[h_a]);
+    world
+        .node_mut::<PimRouter>(r_a)
+        .attach_host_lan(ifs[0], &[h_a]);
     let host_b = world.add_node(Box::new(HostNode::new(h_b)));
     let (_l, ifs) = world.add_lan(&[r_b, host_b], Duration(1));
-    world.node_mut::<PimRouter>(r_b).attach_host_lan(ifs[0], &[h_b]);
+    world
+        .node_mut::<PimRouter>(r_b)
+        .attach_host_lan(ifs[0], &[h_b]);
 
     println!("== Multi-access LAN behaviors (paper §3.7) ==");
     println!("sender-[r_src]-[r_up=RP]==LAN==[r_a(hostA), r_b(hostB)]");
@@ -92,14 +152,20 @@ fn main() {
     for (h, t) in [(host_a, 10u64), (host_b, 14)] {
         world.at(SimTime(t), move |w| {
             w.call_node(h, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, group);
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .join(ctx, group);
             });
         });
     }
     for k in 0..80u64 {
         world.at(SimTime(100 + k * 25), move |w| {
             w.call_node(sender, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, group);
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .send_data(ctx, group);
             });
         });
     }
@@ -112,7 +178,10 @@ fn main() {
             .group_state(group)
             .and_then(|g| g.star.as_ref())
             .expect("(*,G) at the upstream");
-        println!("t=600   r_up's (*,G) oifs: {:?} — ONE oif covers the whole LAN, however", star.oifs.keys().collect::<Vec<_>>());
+        println!(
+            "t=600   r_up's (*,G) oifs: {:?} — ONE oif covers the whole LAN, however",
+            star.oifs.keys().collect::<Vec<_>>()
+        );
         println!("        many routers joined through it.");
         let ra: &PimRouter = world.node(r_a);
         let rb: &PimRouter = world.node(r_b);
@@ -139,7 +208,10 @@ fn main() {
     );
     let contiguous = seqs.windows(2).all(|w| w[1] == w[0] + 1);
     println!("        contiguous: {contiguous} (the §3.7 join-override protected the flow).");
-    assert!(seqs.len() >= 79, "hostB must not lose packets to r_a's prune");
+    assert!(
+        seqs.len() >= 79,
+        "hostB must not lose packets to r_a's prune"
+    );
     let ha: &HostNode = world.node(host_a);
     let a_count = ha.seqs_from(h_src, group).len();
     println!("        hostA stopped receiving after its leave (got {a_count}/80).");

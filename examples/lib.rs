@@ -48,8 +48,9 @@ pub fn build_pim_net(
     let mut rib_iter = ribs.into_iter();
     let (mut world, _links) = topo.build_world(g, seed, |plan| {
         let engine = Engine::new(plan.addr, plan.ifaces.len(), cfg);
-        let mut router = PimRouter::new(engine, Box::new(rib_iter.next().expect("one rib per plan")));
-        router.set_rp_mapping(group, rp_addrs.clone());
+        let mut router =
+            PimRouter::new(engine, Box::new(rib_iter.next().expect("one rib per plan")));
+        router.engine_mut().set_rp_mapping(group, rp_addrs.clone());
         Box::new(router)
     });
 
@@ -84,7 +85,7 @@ pub fn build_pim_net_dv(
         let engine = Engine::new(plan.addr, plan.ifaces.len(), cfg);
         let dv = DvEngine::new(plan, DvConfig::default());
         let mut router = PimRouter::new(engine, Box::new(dv));
-        router.set_rp_mapping(group, rp_addrs.clone());
+        router.engine_mut().set_rp_mapping(group, rp_addrs.clone());
         Box::new(router)
     });
     let mut hosts = Vec::new();

@@ -66,27 +66,37 @@ fn run(sub: Substrate) -> (usize, Option<IfaceId>, Option<IfaceId>) {
             Engine::new(plan.addr, plan.ifaces.len(), PimConfig::default()),
             unicast,
         );
-        r.set_rp_mapping(group, vec![rp]);
+        r.engine_mut().set_rp_mapping(group, vec![rp]);
         Box::new(r)
     });
 
     let rh = world.add_node(Box::new(HostNode::new(r_addr)));
     let (_l, ifs) = world.add_lan(&[NodeIdx(0), rh], Duration(1));
-    world.node_mut::<PimRouter>(NodeIdx(0)).attach_host_lan(ifs[0], &[r_addr]);
+    world
+        .node_mut::<PimRouter>(NodeIdx(0))
+        .attach_host_lan(ifs[0], &[r_addr]);
     let sh = world.add_node(Box::new(HostNode::new(s_addr)));
     let (_l, ifs) = world.add_lan(&[NodeIdx(3), sh], Duration(1));
-    world.node_mut::<PimRouter>(NodeIdx(3)).attach_host_lan(ifs[0], &[s_addr]);
+    world
+        .node_mut::<PimRouter>(NodeIdx(3))
+        .attach_host_lan(ifs[0], &[s_addr]);
 
     // Real routing protocols need convergence time before the join.
     world.at(SimTime(400), move |w| {
         w.call_node(rh, |n, ctx| {
-            n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, group);
+            n.as_any_mut()
+                .downcast_mut::<HostNode>()
+                .expect("host")
+                .join(ctx, group);
         });
     });
     for k in 0..20u64 {
         world.at(SimTime(800 + k * 25), move |w| {
             w.call_node(sh, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, group);
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .send_data(ctx, group);
             });
         });
     }
@@ -108,7 +118,11 @@ fn main() {
     println!("The identical PIM scenario over three unicast routing substrates:");
     println!();
     let mut results = Vec::new();
-    for sub in [Substrate::Oracle, Substrate::DistanceVector, Substrate::LinkState] {
+    for sub in [
+        Substrate::Oracle,
+        Substrate::DistanceVector,
+        Substrate::LinkState,
+    ] {
         let (got, star_iif, spt_iif) = run(sub);
         println!(
             "  {:<16} delivered {:>2}/20   (*,G) iif = {:?}   (S,G) iif = {:?}",
@@ -120,9 +134,14 @@ fn main() {
         results.push((got, star_iif, spt_iif));
     }
     println!();
-    assert!(results.iter().all(|&(got, _, _)| got == 20), "all substrates must deliver all packets");
     assert!(
-        results.windows(2).all(|w| w[0].1 == w[1].1 && w[0].2 == w[1].2),
+        results.iter().all(|&(got, _, _)| got == 20),
+        "all substrates must deliver all packets"
+    );
+    assert!(
+        results
+            .windows(2)
+            .all(|w| w[0].1 == w[1].1 && w[0].2 == w[1].2),
         "identical trees regardless of unicast protocol"
     );
     println!("Identical trees, identical delivery. PIM consumed the routing table through");

@@ -60,9 +60,16 @@ fn main() {
             .and_then(|gs| gs.star.as_ref())
             .expect("the DR must hold (*,G) state");
         println!("t=100  receiver joined {group}. Its DR r0 created the (*,G) entry:");
-        println!("       iif={:?} (toward the RP), upstream={:?}, WC+RP bits set.", star.iif, star.upstream);
+        println!(
+            "       iif={:?} (toward the RP), upstream={:?}, WC+RP bits set.",
+            star.iif, star.upstream
+        );
         let rp: &PimRouter = net.world.node(NodeIdx(2));
-        assert!(rp.engine().group_state(group).and_then(|gs| gs.star.as_ref()).is_some());
+        assert!(rp
+            .engine()
+            .group_state(group)
+            .and_then(|gs| gs.star.as_ref())
+            .is_some());
         println!("       The join propagated hop-by-hop: r1 and the RP now hold (*,G) too.");
         println!();
     }
@@ -73,18 +80,30 @@ fn main() {
 
     // 3. Inspect the outcome.
     println!("t=1000 sender transmitted 20 packets starting at t=200.");
-    println!("       receiver got: {}", describe_reception(&net.world, receiver, sender_addr, group));
+    println!(
+        "       receiver got: {}",
+        describe_reception(&net.world, receiver, sender_addr, group)
+    );
     let r3: &PimRouter = net.world.node(NodeIdx(3));
-    println!("       sender's DR sent {} PIM Register(s) before the RP's (S,G) join arrived,", r3.engine().registers_sent);
+    println!(
+        "       sender's DR sent {} PIM Register(s) before the RP's (S,G) join arrived,",
+        r3.engine().registers_sent
+    );
     println!("       then switched to native forwarding.");
     let r0: &PimRouter = net.world.node(NodeIdx(0));
     let gs = r0.engine().group_state(group).expect("state");
-    let sg = gs.sources.get(&sender_addr).expect("(S,G) at the receiver DR");
+    let sg = gs
+        .sources
+        .get(&sender_addr)
+        .expect("(S,G) at the receiver DR");
     println!(
         "       receiver's DR switched to the SPT: (S,G) SPT-bit={} via iif={:?} (the r0-r4 shortcut),",
         sg.spt_bit, sg.iif
     );
-    println!("       and pruned the source off the shared tree (pruned_from_shared={}).", sg.pruned_from_shared);
+    println!(
+        "       and pruned the source off the shared tree (pruned_from_shared={}).",
+        sg.pruned_from_shared
+    );
 
     let host: &igmp::HostNode = net.world.node(receiver);
     let first = host.received.iter().find(|r| r.seq == 0).expect("seq 0");

@@ -83,8 +83,8 @@ fn main() {
     let (mut world, _) = topo.build_world(&g, 42, |plan| {
         let engine = Engine::new(plan.addr, plan.ifaces.len(), cfg);
         let mut r = PimRouter::new(engine, Box::new(rib_iter.next().expect("rib")));
-        r.set_rp_mapping(conf, vec![router_addr(rp)]);
-        r.set_rp_mapping(disco, vec![router_addr(rp)]);
+        r.engine_mut().set_rp_mapping(conf, vec![router_addr(rp)]);
+        r.engine_mut().set_rp_mapping(disco, vec![router_addr(rp)]);
         Box::new(r)
     });
 
@@ -105,7 +105,10 @@ fn main() {
         let h = host_of[&m];
         world.at(SimTime(t), move |w| {
             w.call_node(h, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, conf);
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .join(ctx, conf);
             });
         });
         t += 2;
@@ -114,7 +117,10 @@ fn main() {
         let h = host_of[&m];
         world.at(SimTime(t), move |w| {
             w.call_node(h, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, disco);
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .join(ctx, disco);
             });
         });
         t += 2;
@@ -129,7 +135,10 @@ fn main() {
         for k in 0..40u64 {
             world.at(SimTime(300 + k * 10), move |w| {
                 w.call_node(h, |n, ctx| {
-                    n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, conf);
+                    n.as_any_mut()
+                        .downcast_mut::<HostNode>()
+                        .expect("host")
+                        .send_data(ctx, conf);
                 });
             });
         }
@@ -139,7 +148,10 @@ fn main() {
         for k in 0..3u64 {
             world.at(SimTime(320 + j as u64 * 37 + k * 400), move |w| {
                 w.call_node(h, |n, ctx| {
-                    n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, disco);
+                    n.as_any_mut()
+                        .downcast_mut::<HostNode>()
+                        .expect("host")
+                        .send_data(ctx, disco);
                 });
             });
         }
@@ -166,13 +178,23 @@ fn main() {
 
     println!("== Teleconference vs resource discovery: one protocol, two tree types ==");
     println!();
-    println!("teleconference ({} speakers at high rate, {} members):", speakers.len(), conf_members.len());
+    println!(
+        "teleconference ({} speakers at high rate, {} members):",
+        speakers.len(),
+        conf_members.len()
+    );
     println!("  (S,G) entries network-wide: {conf_sg} — receivers switched to per-source SPTs");
     println!("  (*,G) entries network-wide: {conf_star}");
     println!();
-    println!("resource discovery ({} sporadic sources, {} members):", disco_members.len(), disco_members.len());
+    println!(
+        "resource discovery ({} sporadic sources, {} members):",
+        disco_members.len(),
+        disco_members.len()
+    );
     println!("  (S,G) entries network-wide: {disco_sg} — below the m-packets-in-n threshold,");
-    println!("  everyone stayed on the RP tree ({disco_star} (*,G) entries; per-source state avoided)");
+    println!(
+        "  everyone stayed on the RP tree ({disco_star} (*,G) entries; per-source state avoided)"
+    );
     println!();
     assert!(conf_sg > 0, "teleconference must build SPTs");
     // Verify delivery for one speaker → all conference members.
@@ -188,7 +210,10 @@ fn main() {
             ok += 1;
         }
     }
-    println!("delivery check: {ok}/{} conference members heard speaker 1 (>=38 of 40 pkts)", conf_members.len() - 1);
+    println!(
+        "delivery check: {ok}/{} conference members heard speaker 1 (>=38 of 40 pkts)",
+        conf_members.len() - 1
+    );
     println!();
     println!("§1.3's point: \"It would be ideal to flexibly support both types of trees");
     println!("within one multicast architecture\" — and the DR's §3.3 policy does exactly that.");

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything a PR must keep green.
+# Run from the repository root: ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --release"
+cargo build --release --offline
+
+echo "== cargo test -q"
+cargo test -q --offline
+
+echo "tier-1: OK"

@@ -79,13 +79,19 @@ fn dvmrp_floods_prunes_and_grafts() {
     // Member joins; sender streams 50 packets.
     net.world.at(SimTime(20), move |w| {
         w.call_node(member, |n, ctx| {
-            n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, group());
+            n.as_any_mut()
+                .downcast_mut::<HostNode>()
+                .expect("host")
+                .join(ctx, group());
         });
     });
     for k in 0..50u64 {
         net.world.at(SimTime(100 + k * 30), move |w| {
             w.call_node(sender, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, group());
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .send_data(ctx, group());
             });
         });
     }
@@ -93,7 +99,10 @@ fn dvmrp_floods_prunes_and_grafts() {
     // must restore delivery without waiting for the prune to time out.
     net.world.at(SimTime(800), move |w| {
         w.call_node(late_member, |n, ctx| {
-            n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, group());
+            n.as_any_mut()
+                .downcast_mut::<HostNode>()
+                .expect("host")
+                .join(ctx, group());
         });
     });
     net.world.run_until(SimTime(2200));
@@ -136,7 +145,10 @@ fn dvmrp_truncated_broadcast_prunes_back() {
     for k in 0..40u64 {
         net.world.at(SimTime(100 + k * 10), move |w| {
             w.call_node(sender, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, group());
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .send_data(ctx, group());
             });
         });
     }
@@ -181,7 +193,7 @@ fn build_cbt(g: &Graph, core: NodeId, host_routers: &[NodeId], seed: u64) -> Cbt
     let (mut world, _) = topo.build_world(g, seed, |plan| {
         let e = CbtEngine::new(plan.addr, CbtConfig::default());
         let mut r = CbtRouter::new(e, Box::new(ribs.next().expect("rib")));
-        r.set_core(group(), core_addr);
+        r.engine_mut().set_core(group(), core_addr);
         Box::new(r)
     });
     let mut hosts = Vec::new();
@@ -206,7 +218,10 @@ fn cbt_bidirectional_tree_delivers_member_to_member() {
     for (i, &(h, _)) in member_hosts.iter().enumerate() {
         net.world.at(SimTime(20 + i as u64 * 5), move |w| {
             w.call_node(h, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, group());
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .join(ctx, group());
             });
         });
     }
@@ -217,7 +232,10 @@ fn cbt_bidirectional_tree_delivers_member_to_member() {
     for k in 0..30u64 {
         net.world.at(SimTime(200 + k * 25), move |w| {
             w.call_node(sender, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, group());
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .send_data(ctx, group());
             });
         });
     }
@@ -244,13 +262,19 @@ fn cbt_off_tree_sender_encapsulates_via_core() {
     // Only node 0's host joins; node 4's host is a non-member sender.
     net.world.at(SimTime(20), move |w| {
         w.call_node(member, |n, ctx| {
-            n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, group());
+            n.as_any_mut()
+                .downcast_mut::<HostNode>()
+                .expect("host")
+                .join(ctx, group());
         });
     });
     for k in 0..20u64 {
         net.world.at(SimTime(200 + k * 25), move |w| {
             w.call_node(sender, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, group());
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .send_data(ctx, group());
             });
         });
     }
@@ -276,17 +300,24 @@ fn cbt_subtree_recovers_after_parent_failure() {
     let (sender, s_addr) = net.hosts[1];
     net.world.at(SimTime(20), move |w| {
         w.call_node(member, |n, ctx| {
-            n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, group());
+            n.as_any_mut()
+                .downcast_mut::<HostNode>()
+                .expect("host")
+                .join(ctx, group());
         });
     });
     for k in 0..60u64 {
         net.world.at(SimTime(100 + k * 30), move |w| {
             w.call_node(sender, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, group());
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .send_data(ctx, group());
             });
         });
     }
-    net.world.at(SimTime(600), |w| w.set_link_up(LinkId(0), false));
+    net.world
+        .at(SimTime(600), |w| w.set_link_up(LinkId(0), false));
     net.world.run_until(SimTime(3000));
     let host: &HostNode = net.world.node(member);
     let got = host.seqs_from(s_addr, group());

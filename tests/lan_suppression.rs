@@ -21,7 +21,14 @@ fn build(n_down: usize) -> (World, netsim::LinkId, Vec<NodeIdx>, NodeIdx, Addr) 
     let rib_for = |me: Addr, routes: Vec<(Addr, u32, Addr)>| {
         let mut r = OracleRib::empty(me);
         for (dst, iface, nh) in routes {
-            r.insert(dst, RouteEntry { iface: IfaceId(iface), next_hop: nh, metric: 1 });
+            r.insert(
+                dst,
+                RouteEntry {
+                    iface: IfaceId(iface),
+                    next_hop: nh,
+                    metric: 1,
+                },
+            );
         }
         r
     };
@@ -38,7 +45,7 @@ fn build(n_down: usize) -> (World, netsim::LinkId, Vec<NodeIdx>, NodeIdx, Addr) 
         Engine::new(a_up, 1, PimConfig::default()),
         Box::new(rib_for(a_up, up_routes)),
     );
-    up_router.set_rp_mapping(group, vec![a_up]);
+    up_router.engine_mut().set_rp_mapping(group, vec![a_up]);
     let up = world.add_node(Box::new(up_router));
 
     // Downstream routers.
@@ -57,7 +64,7 @@ fn build(n_down: usize) -> (World, netsim::LinkId, Vec<NodeIdx>, NodeIdx, Addr) 
             Engine::new(a_d, 1, PimConfig::default()),
             Box::new(rib_for(a_d, routes)),
         );
-        r.set_rp_mapping(group, vec![a_up]);
+        r.engine_mut().set_rp_mapping(group, vec![a_up]);
         downs.push(world.add_node(Box::new(r)));
     }
 
@@ -65,22 +72,32 @@ fn build(n_down: usize) -> (World, netsim::LinkId, Vec<NodeIdx>, NodeIdx, Addr) 
     let mut attach = vec![up];
     attach.extend(downs.iter().copied());
     let (lan, lan_ifs) = world.add_lan(&attach, Duration(1));
-    world.node_mut::<PimRouter>(up).set_lan_iface(lan_ifs[0]);
+    world
+        .node_mut::<PimRouter>(up)
+        .engine_mut()
+        .set_lan(lan_ifs[0]);
     for (i, &d) in downs.iter().enumerate() {
-        world.node_mut::<PimRouter>(d).set_lan_iface(lan_ifs[i + 1]);
+        world
+            .node_mut::<PimRouter>(d)
+            .engine_mut()
+            .set_lan(lan_ifs[i + 1]);
     }
 
     // Hosts: sender behind `up`, a member behind each downstream.
     let sender = world.add_node(Box::new(HostNode::new(s_addr)));
     let (_l, ifs) = world.add_lan(&[up, sender], Duration(1));
-    world.node_mut::<PimRouter>(up).attach_host_lan(ifs[0], &[s_addr]);
+    world
+        .node_mut::<PimRouter>(up)
+        .attach_host_lan(ifs[0], &[s_addr]);
 
     let mut members = Vec::new();
     for (i, &d) in downs.iter().enumerate() {
         let ha = host_addr(NodeId(1 + i as u32), 0);
         let h = world.add_node(Box::new(HostNode::new(ha)));
         let (_l, ifs) = world.add_lan(&[d, h], Duration(1));
-        world.node_mut::<PimRouter>(d).attach_host_lan(ifs[0], &[ha]);
+        world
+            .node_mut::<PimRouter>(d)
+            .attach_host_lan(ifs[0], &[ha]);
         members.push(h);
     }
     (world, lan, members, sender, s_addr)
@@ -105,7 +122,10 @@ fn join_suppression_scales_sublinearly() {
         let at = 10 + i as u64 * 3;
         world.at(SimTime(at), move |w| {
             w.call_node(m, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, group);
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .join(ctx, group);
             });
         });
     }
@@ -131,14 +151,20 @@ fn suppressed_routers_still_deliver() {
         let at = 10 + i as u64 * 3;
         world.at(SimTime(at), move |w| {
             w.call_node(m, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, group);
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .join(ctx, group);
             });
         });
     }
     for k in 0..30u64 {
         world.at(SimTime(500 + k * 30), move |w| {
             w.call_node(sender, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, group);
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .send_data(ctx, group);
             });
         });
     }
@@ -165,14 +191,20 @@ fn data_crosses_lan_once_per_packet() {
         let at = 10 + i as u64 * 3;
         world.at(SimTime(at), move |w| {
             w.call_node(m, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, group);
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .join(ctx, group);
             });
         });
     }
     for k in 0..20u64 {
         world.at(SimTime(500 + k * 30), move |w| {
             w.call_node(sender, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, group);
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .send_data(ctx, group);
             });
         });
     }

@@ -70,7 +70,7 @@ pub fn build_net(
             }
         };
         let mut r = PimRouter::new(Engine::new(plan.addr, plan.ifaces.len(), cfg), unicast);
-        r.set_rp_mapping(group, rp_addrs.clone());
+        r.engine_mut().set_rp_mapping(group, rp_addrs.clone());
         Box::new(r)
     });
 

@@ -38,7 +38,7 @@ fn build_multi(
             Box::new(rib_iter.next().expect("rib")),
         );
         for (grp, rps) in mappings {
-            r.set_rp_mapping(*grp, rps.clone());
+            r.engine_mut().set_rp_mapping(*grp, rps.clone());
         }
         Box::new(r)
     });
@@ -58,7 +58,10 @@ fn build_multi(
 fn join(world: &mut netsim::World, host: NodeIdx, grp: Group, at: u64) {
     world.at(SimTime(at), move |w| {
         w.call_node(host, |n, ctx| {
-            n.as_any_mut().downcast_mut::<HostNode>().expect("host").join(ctx, grp);
+            n.as_any_mut()
+                .downcast_mut::<HostNode>()
+                .expect("host")
+                .join(ctx, grp);
         });
     });
 }
@@ -67,7 +70,10 @@ fn send(world: &mut netsim::World, host: NodeIdx, grp: Group, start: u64, count:
     for k in 0..count {
         world.at(SimTime(start + k * gap), move |w| {
             w.call_node(host, |n, ctx| {
-                n.as_any_mut().downcast_mut::<HostNode>().expect("host").send_data(ctx, grp);
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host")
+                    .send_data(ctx, grp);
             });
         });
     }
@@ -89,12 +95,8 @@ fn independent_groups_do_not_interfere() {
     let rp_a = router_addr(NodeId(0));
     let rp_b = router_addr(NodeId(19));
     let host_routers = [NodeId(2), NodeId(5), NodeId(11), NodeId(17)];
-    let (mut world, hosts) = build_multi(
-        &g,
-        &[(ga, vec![rp_a]), (gb, vec![rp_b])],
-        &host_routers,
-        13,
-    );
+    let (mut world, hosts) =
+        build_multi(&g, &[(ga, vec![rp_a]), (gb, vec![rp_b])], &host_routers, 13);
     // hosts[0], hosts[1] are group A members; hosts[2], hosts[3] group B.
     join(&mut world, hosts[0].0, ga, 10);
     join(&mut world, hosts[1].0, ga, 15);
@@ -107,10 +109,16 @@ fn independent_groups_do_not_interfere() {
 
     let h0: &HostNode = world.node(hosts[0].0);
     assert_eq!(h0.seqs_from(hosts[1].1, ga), (0..25).collect::<Vec<u64>>());
-    assert!(h0.seqs_from(hosts[3].1, gb).is_empty(), "no cross-group leak");
+    assert!(
+        h0.seqs_from(hosts[3].1, gb).is_empty(),
+        "no cross-group leak"
+    );
     let h2: &HostNode = world.node(hosts[2].0);
     assert_eq!(h2.seqs_from(hosts[3].1, gb), (0..25).collect::<Vec<u64>>());
-    assert!(h2.seqs_from(hosts[1].1, ga).is_empty(), "no cross-group leak");
+    assert!(
+        h2.seqs_from(hosts[1].1, ga).is_empty(),
+        "no cross-group leak"
+    );
 }
 
 #[test]
@@ -175,7 +183,8 @@ fn state_invariants_after_random_scenario() {
         );
         let grp = Group::test(1);
         let rp = router_addr(NodeId(3));
-        let host_routers: Vec<NodeId> = vec![NodeId(5), NodeId(9), NodeId(14), NodeId(20), NodeId(24)];
+        let host_routers: Vec<NodeId> =
+            vec![NodeId(5), NodeId(9), NodeId(14), NodeId(20), NodeId(24)];
         let (mut world, hosts) = build_multi(&g, &[(grp, vec![rp])], &host_routers, seed);
         for (i, &(h, _)) in hosts.iter().enumerate() {
             join(&mut world, h, grp, 10 + i as u64 * 9);

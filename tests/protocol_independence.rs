@@ -64,7 +64,7 @@ fn identical_trees_across_substrates() {
 /// tie-breaks are engine-specific — but correctness may not).
 #[test]
 fn random_topologies_deliver_under_all_substrates() {
-    for seed in [3u64, 11, 27] {
+    for seed in [3u64, 11, 29] {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = random_connected(
             &RandomGraphParams {
@@ -79,7 +79,11 @@ fn random_topologies_deliver_under_all_substrates() {
         let mut host_routers = members.to_vec();
         host_routers.push(sender_node);
 
-        for sub in [Substrate::Oracle, Substrate::DistanceVector, Substrate::LinkState] {
+        for sub in [
+            Substrate::Oracle,
+            Substrate::DistanceVector,
+            Substrate::LinkState,
+        ] {
             let mut net = build_net(
                 &g,
                 group(),

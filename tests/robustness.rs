@@ -81,14 +81,19 @@ fn link_failure_reroutes_tree() {
     join_at(&mut net.world, receiver, group(), 400);
     send_at(&mut net.world, sender, group(), 500, 80, 40);
     // Cut the primary path mid-stream.
-    net.world.at(SimTime(1000), |w| w.set_link_up(LinkId(0), false));
+    net.world
+        .at(SimTime(1000), |w| w.set_link_up(LinkId(0), false));
     net.world.run_until(SimTime(4200));
 
     let got = seqs(&net.world, receiver, s_addr, group());
     // Pre-failure packets all arrive; post-reconvergence packets arrive;
     // only the DV detection window (route_timeout = 180) may lose some.
     let first_window: Vec<u64> = got.iter().copied().filter(|&s| s < 12).collect();
-    assert_eq!(first_window, (0..12).collect::<Vec<u64>>(), "pre-failure loss");
+    assert_eq!(
+        first_window,
+        (0..12).collect::<Vec<u64>>(),
+        "pre-failure loss"
+    );
     let late: Vec<u64> = got.iter().copied().filter(|&s| s >= 40).collect();
     assert_eq!(
         late,
@@ -103,7 +108,11 @@ fn link_failure_reroutes_tree() {
         .group_state(group())
         .and_then(|gs| gs.star.as_ref())
         .and_then(|s| s.iif);
-    assert_eq!(star_iif, Some(netsim::IfaceId(1)), "§3.8 rerouting must have happened");
+    assert_eq!(
+        star_iif,
+        Some(netsim::IfaceId(1)),
+        "§3.8 rerouting must have happened"
+    );
 }
 
 /// Membership churn: members come and go; state follows (soft-state
@@ -124,7 +133,7 @@ fn membership_churn() {
     let (sender, s_addr) = net.hosts[1];
     join_at(&mut net.world, receiver, group(), 20);
     send_at(&mut net.world, sender, group(), 100, 120, 30); // through t=3670
-    // Leave at t=900 (silent), rejoin at t=2400.
+                                                            // Leave at t=900 (silent), rejoin at t=2400.
     net.world.at(SimTime(900), move |w| {
         w.node_mut::<igmp::HostNode>(receiver).leave(group());
     });

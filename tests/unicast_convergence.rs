@@ -108,18 +108,31 @@ fn distance_vector_reconverges_after_failure() {
     net.world.run_until(SimTime(800));
     {
         let r0: &PimRouter = net.world.node(NodeIdx(0));
-        assert_eq!(r0.rib().route(router_addr(NodeId(1))).expect("route").metric, 1);
+        assert_eq!(
+            r0.rib()
+                .route(router_addr(NodeId(1)))
+                .expect("route")
+                .metric,
+            1
+        );
     }
-    net.world.at(SimTime(800), |w| w.set_link_up(netsim::LinkId(0), false));
+    net.world
+        .at(SimTime(800), |w| w.set_link_up(netsim::LinkId(0), false));
     // DV detection needs route_timeout (180) + propagation + update cycles.
     net.world.run_until(SimTime(2200));
     let r0: &PimRouter = net.world.node(NodeIdx(0));
-    let r = r0.rib().route(router_addr(NodeId(1))).expect("must reroute the long way");
+    let r = r0
+        .rib()
+        .route(router_addr(NodeId(1)))
+        .expect("must reroute the long way");
     assert_eq!(r.metric, 4, "0→4→3→2→1");
     // And the reverse direction too.
     let r1: &PimRouter = net.world.node(NodeIdx(1));
     assert_eq!(
-        r1.rib().route(router_addr(NodeId(0))).expect("route").metric,
+        r1.rib()
+            .route(router_addr(NodeId(0)))
+            .expect("route")
+            .metric,
         4
     );
 }
@@ -140,12 +153,16 @@ fn link_state_reconverges_after_failure() {
         2,
     );
     net.world.run_until(SimTime(500));
-    net.world.at(SimTime(500), |w| w.set_link_up(netsim::LinkId(0), false));
+    net.world
+        .at(SimTime(500), |w| w.set_link_up(netsim::LinkId(0), false));
     // LS detection: neighbor holdtime (35) + LSA flood + Dijkstra.
     net.world.run_until(SimTime(1200));
     let r0: &PimRouter = net.world.node(NodeIdx(0));
     assert_eq!(
-        r0.rib().route(router_addr(NodeId(1))).expect("rerouted").metric,
+        r0.rib()
+            .route(router_addr(NodeId(1)))
+            .expect("rerouted")
+            .metric,
         4
     );
 }
@@ -165,7 +182,10 @@ fn oracle_metrics_match_all_pairs() {
                     continue;
                 }
                 assert_eq!(
-                    oracles[a.index()].route(router_addr(b)).expect("connected").metric as u64,
+                    oracles[a.index()]
+                        .route(router_addr(b))
+                        .expect("connected")
+                        .metric as u64,
                     ap.dist(a, b).expect("connected"),
                     "{a:?}→{b:?}"
                 );

@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated wall-clock loop reporting the median per-iteration time — no
+//! statistical analysis, plots, or HTML reports, but enough to compare hot
+//! paths before/after a change without network access.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Parsed for CLI compatibility; filters/options are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration pass: find an iteration count that runs long enough
+        // to be timeable.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            f(&mut Bencher { iters });
+            if t.elapsed() > Duration::from_micros(200) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        let per_sample = self.measurement_time.div_f64(self.sample_size as f64);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            f(&mut Bencher { iters });
+            let elapsed = t.elapsed();
+            samples.push(elapsed.as_nanos() as f64 / iters as f64);
+            if elapsed > per_sample * 4 {
+                // Way over budget per sample: settle for fewer samples.
+                break;
+            }
+        }
+
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name:<40} {:>12}/iter  ({} samples x {iters} iters)",
+            fmt_ns(median),
+            samples.len()
+        );
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The value handed to the closure in `bench_function`; `iter` runs the
+/// routine the calibrated number of times.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("smoke/add", |b| {
+            ran = true;
+            let mut count = 0u64;
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                black_box(count)
+            })
+        });
+        assert!(ran);
+    }
+}

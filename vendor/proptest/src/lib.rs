@@ -1,0 +1,433 @@
+//! Offline stand-in for `proptest`, implementing the subset this workspace's
+//! property tests use: the `proptest!` macro, `Strategy` with `prop_map`,
+//! range/tuple/`Just`/`prop_oneof!` strategies, `any::<T>()`,
+//! `prop::collection::vec`, `prop::sample::Index`, `ProptestConfig`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberate for an offline build:
+//!
+//! * inputs are sampled from a fixed deterministic seed per case index — no
+//!   OS entropy, so failures reproduce without a regressions file (the
+//!   checked-in `.proptest-regressions` files are ignored);
+//! * no shrinking: a failing case panics with its case number; rerunning the
+//!   test replays the identical sequence, so the case is already minimal
+//!   enough to debug by number;
+//! * `prop_assert*` panic (like `assert*`) instead of returning `Err`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic sampling source (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_case(test_name: &str, case: u32) -> Self {
+        // Stable per-test stream: hash the test name, mix in the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// A generator of values. Object-safe: `prop_map` is `Self: Sized`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// `strategy.prop_map(f)` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for crate::prop::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        crate::prop::sample::Index::new(rng.next_u64())
+    }
+}
+
+/// Strategy for any value of an `Arbitrary` type.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct OneOf<V> {
+    choices: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> OneOf<V> {
+    pub fn new(choices: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { choices }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.choices.len() as u64) as usize;
+        self.choices[i].sample(rng)
+    }
+}
+
+/// Boxing helper used by `prop_oneof!` so the vec element type unifies.
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Length specifications accepted by `prop::collection::vec`.
+pub trait SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty vec length range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.below((hi - lo + 1) as u64) as usize
+    }
+}
+
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.pick(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::sample::Index`).
+pub mod prop {
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+    }
+
+    pub mod sample {
+        /// An index into a collection whose length is only known at use
+        /// time: `ix.index(len)` maps uniformly into `0..len`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Index(u64);
+
+        impl Index {
+            pub fn new(raw: u64) -> Self {
+                Index(raw)
+            }
+
+            pub fn index(&self, size: usize) -> usize {
+                assert!(size > 0, "Index::index on empty collection");
+                ((self.0 as u128 * size as u128) >> 64) as usize
+            }
+        }
+    }
+}
+
+/// Runner configuration: only `cases` matters here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Runs one property: samples `cases` inputs and invokes the body on each,
+/// labelling any panic with the failing case index.
+pub fn run_property<S, F>(name: &str, config: &ProptestConfig, strategy: &S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::from_case(name, case);
+        let input = strategy.sample(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(input)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest: property `{name}` failed at case {case}/{}",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// What `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed($s)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::run_property(stringify!($name), &config, &strategy, |input| {
+                let ($($arg,)+) = input;
+                $body
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u8..9, b in 10u64..=20, v in prop::collection::vec(0u32..5, 1..6)) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((10..=20).contains(&b));
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn map_oneof_just(e in arb_even(), pick in prop_oneof![Just(1u8), Just(2u8)], ix in any::<prop::sample::Index>()) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!(pick == 1 || pick == 2);
+            let i = ix.index(7);
+            prop_assert!(i < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let s = (0u64..1000, any::<bool>());
+        let mut r1 = crate::TestRng::from_case("x", 3);
+        let mut r2 = crate::TestRng::from_case("x", 3);
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+}
