@@ -51,7 +51,7 @@ fn main() {
     );
     let mut results = Vec::new();
     for proto in [Proto::Dvmrp, Proto::Cbt, Proto::PimShared, Proto::PimSpt] {
-        let r = run_protocol_sim(&g, proto, &[w.clone()], PACKETS, args.seed);
+        let r = run_protocol_sim(&g, proto, std::slice::from_ref(&w), PACKETS, args.seed);
         println!(
             "{:<11} {:>6} {:>7} {:>7} {:>6} {:>6} {:>5}/{:<5} {:>8} {:>7} {:>6}",
             proto.name(),

@@ -325,8 +325,10 @@ pub fn run_protocol_sim_opts(
     world.run_until(SimTime(end));
 
     // Collect metrics.
-    let mut result = SimResult::default();
-    result.state_entries = state_sample.get();
+    let mut result = SimResult {
+        state_entries: state_sample.get(),
+        ..SimResult::default()
+    };
     // Link metrics cover router-router links only: the member host LANs
     // carry identical delivery traffic under every protocol and would
     // otherwise mask the transit-network differences the paper measures.
@@ -462,7 +464,7 @@ mod tests {
             rendezvous: NodeId(0),
         };
         for proto in [Proto::PimSpt, Proto::PimShared, Proto::Dvmrp, Proto::Cbt] {
-            let r = run_protocol_sim(&g, proto, &[w.clone()], 6, 9);
+            let r = run_protocol_sim(&g, proto, std::slice::from_ref(&w), 6, 9);
             assert_eq!(
                 r.deliveries,
                 r.expected_deliveries,
@@ -493,7 +495,7 @@ mod tests {
             senders: vec![NodeId(17)],
             rendezvous: NodeId(5),
         };
-        let pim = run_protocol_sim(&g, Proto::PimSpt, &[w.clone()], 8, 2);
+        let pim = run_protocol_sim(&g, Proto::PimSpt, std::slice::from_ref(&w), 8, 2);
         let dvm = run_protocol_sim(&g, Proto::Dvmrp, &[w], 8, 2);
         assert!(
             dvm.data_links_used > pim.data_links_used,

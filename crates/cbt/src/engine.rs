@@ -162,6 +162,28 @@ impl CbtEngine {
         self.trees.len()
     }
 
+    /// Iterate all per-group tree state — the state-inspection hook for
+    /// cross-node invariant oracles (ack-ledger consistency, orphan
+    /// detection).
+    pub fn trees(&self) -> impl Iterator<Item = (Group, &TreeState)> + '_ {
+        self.trees.iter().map(|(&g, t)| (g, t))
+    }
+
+    /// Does this tree have an outstanding (unacked) join toward the core?
+    /// (oracle hook: a router mid-join is not yet bound by the ack ledger)
+    pub fn join_pending(&self, group: Group) -> bool {
+        self.trees
+            .get(&group)
+            .is_some_and(|t| t.pending_join.is_some())
+    }
+
+    /// Crash with total state loss: all tree state is erased; the
+    /// configured group→core mappings and attached hosts survive.
+    pub fn reset(&mut self) {
+        self.trees.clear();
+        self.next_echo = SimTime::ZERO;
+    }
+
     fn ensure_tree(&mut self, group: Group) -> Option<&mut TreeState> {
         let core = *self.cores.get(&group)?;
         let me = self.my_addr;
@@ -325,7 +347,7 @@ impl CbtEngine {
         };
         let matches = tree
             .pending_join
-            .map_or(false, |(i, nh, _)| i == iface && nh == src);
+            .is_some_and(|(i, nh, _)| i == iface && nh == src);
         if !matches {
             return Vec::new();
         }
@@ -640,7 +662,7 @@ impl CbtEngine {
             let has_members = self
                 .trees
                 .get(&group)
-                .map_or(false, |t| !t.member_ifaces.is_empty());
+                .is_some_and(|t| !t.member_ifaces.is_empty());
             if let Some(t) = self.trees.get_mut(&group) {
                 t.children.clear();
                 t.parent_alive_at = now; // restart the clock for the rejoin

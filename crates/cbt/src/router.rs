@@ -137,6 +137,10 @@ impl ProtocolEngine for CbtEngine {
     // CBT re-derives paths on join retransmission; the default no-op
     // `on_route_change` stands.
 
+    fn reset(&mut self) {
+        CbtEngine::reset(self);
+    }
+
     fn tick(&mut self, now: SimTime, rib: &dyn Rib) -> Vec<Action> {
         actions(CbtEngine::tick(self, now, rib), DATA_TTL)
     }

@@ -22,7 +22,7 @@
 use crate::config::{PimConfig, SptPolicy};
 use crate::entry::{Entry, GroupState, OifKind};
 use netsim::{Duration, IfaceId, SimTime};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use unicast::Rib;
 use wire::pim::{GroupEntry, JoinPrune, Query, Register, RpReachability, SourceEntry};
 use wire::{Addr, Group, Message};
@@ -203,6 +203,31 @@ impl Engine {
     /// Iterate over all groups with any state.
     pub fn groups(&self) -> impl Iterator<Item = (Group, &GroupState)> + '_ {
         self.groups.iter().map(|(&g, s)| (g, s))
+    }
+
+    /// Crash with total state loss (§2 robustness). Tree state, neighbor
+    /// adjacencies, and pending work are erased; configuration — address,
+    /// interface roles, attached hosts, and the administratively scoped RP
+    /// mappings (§3.1 footnote 9) — survives, as do the overhead counters
+    /// (they are observability, not protocol state).
+    pub fn reset(&mut self) {
+        self.groups.retain(|_, gs| {
+            if gs.rps.is_empty() {
+                return false; // purely dynamic state: forget the group
+            }
+            gs.star = None;
+            gs.sources.clear();
+            gs.current_rp = 0;
+            true
+        });
+        for ifs in self.ifaces.iter_mut() {
+            ifs.neighbors.clear();
+        }
+        self.spt_counters.clear();
+        self.pending_prunes.clear();
+        self.next_refresh = SimTime::ZERO;
+        self.next_query = SimTime::ZERO;
+        self.next_reach = SimTime::ZERO;
     }
 
     // ------------------------------------------------------------------
@@ -730,7 +755,7 @@ impl Engine {
         let wants = if p.wildcard {
             gs.star
                 .as_ref()
-                .map_or(false, |s| s.iif == Some(iface) && !s.oifs_empty())
+                .is_some_and(|s| s.iif == Some(iface) && !s.oifs_empty())
         } else if p.rp_bit {
             // A negative-cache prune for S: we object if we still forward
             // S via the shared tree on this iif (no negative cache of our
@@ -738,7 +763,7 @@ impl Engine {
             let on_shared = gs
                 .star
                 .as_ref()
-                .map_or(false, |s| s.iif == Some(iface) && !s.oifs_empty());
+                .is_some_and(|s| s.iif == Some(iface) && !s.oifs_empty());
             let not_pruned_ourselves = match gs.sources.get(&p.addr) {
                 Some(e) if e.is_negative() => !e.oifs_empty(),
                 Some(_) => false, // we're on the SPT for S; shared-tree prune is fine
@@ -746,9 +771,9 @@ impl Engine {
             };
             on_shared && not_pruned_ourselves
         } else {
-            gs.sources.get(&p.addr).map_or(false, |e| {
-                !e.is_negative() && e.iif == Some(iface) && !e.oifs_empty()
-            })
+            gs.sources
+                .get(&p.addr)
+                .is_some_and(|e| !e.is_negative() && e.iif == Some(iface) && !e.oifs_empty())
         };
         if !wants {
             return Vec::new();
@@ -881,11 +906,21 @@ impl Engine {
         }
         // Native forwarding via (S,G) state if the RP's join has reached us.
         let mut native = false;
+        let mut probe = false;
         if let Some(gs) = self.groups.get_mut(&group) {
             if let Some(e) = gs.sources.get_mut(&source) {
                 if !e.is_negative() && !e.oifs_empty() {
                     native = true;
                     e.spt_bit = true; // data is arriving over its own first hop
+                                      // Native oifs only prove some receiver's SPT join
+                                      // reached us — not that the RP still holds the source.
+                                      // Periodically re-register one data packet so an RP
+                                      // that lost its (S,G) state (crash, shared-tree churn)
+                                      // can reacquire it for later shared-tree members.
+                    if now >= e.next_register_probe {
+                        probe = true;
+                        e.next_register_probe = now + self.cfg.register_probe_interval;
+                    }
                     let ifaces = e.forward_set(Some(iface));
                     if !ifaces.is_empty() {
                         out.push(Output::Forward {
@@ -916,7 +951,7 @@ impl Engine {
                 }
             }
         }
-        if !native {
+        if !native || probe {
             // Register (data encapsulated) to every RP (§3.9: "each source
             // registers and sends data packets toward each of the RPs").
             let rps: Vec<Addr> = self.rp_mapping(group).to_vec();
@@ -966,7 +1001,7 @@ impl Engine {
             .groups
             .get(&group)
             .and_then(|gs| gs.star.as_ref())
-            .map_or(false, |s| !s.oifs_empty());
+            .is_some_and(|s| !s.oifs_empty());
         if !has_receivers {
             return out; // no shared tree: drop until a receiver joins
         }
@@ -975,6 +1010,16 @@ impl Engine {
         let created = self.ensure_source(now, group, source, rib);
         if created {
             out.extend(self.triggered_source_join(now, group, source));
+        } else if self
+            .groups
+            .get(&group)
+            .and_then(|gs| gs.sources.get(&source))
+            .is_some_and(|e| !e.is_negative() && e.spt_bit)
+        {
+            // Already receiving this source natively over its shortest-path
+            // tree: the register copy is redundant (the role Register-Stop
+            // plays in later PIM-SM). Keep the state, drop the payload.
+            return out;
         }
         // Forward the decapsulated packet down the shared tree. The
         // register tunnel is the logical incoming interface, so the full
@@ -990,7 +1035,7 @@ impl Engine {
             .filter(|i| {
                 gs.sources
                     .get(&source)
-                    .map_or(true, |e| !e.pruned_oifs.contains_key(i))
+                    .is_none_or(|e| !e.pruned_oifs.contains_key(i))
             })
             .collect();
         if !ifaces.is_empty() {
@@ -1050,7 +1095,7 @@ impl Engine {
                     // packet matches that of the (S,G) entry, then the
                     // packet is forwarded and the SPT bit is set" (§3.5).
                     Action::ForwardAndSetSpt(e.forward_set(Some(iface)))
-                } else if gs.star.as_ref().map_or(false, |s| s.iif == Some(iface)) {
+                } else if gs.star.as_ref().is_some_and(|s| s.iif == Some(iface)) {
                     // Transition exception 1: still arriving via the
                     // shared tree — forward according to (*,G).
                     Action::ForwardViaStar
@@ -1122,7 +1167,7 @@ impl Engine {
                     && !self
                         .groups
                         .get(&group)
-                        .map_or(false, |g| g.sources.contains_key(&source))
+                        .is_some_and(|g| g.sources.contains_key(&source))
                     && self.spt_switch_due(now, group, source)
                 {
                     out.extend(self.start_spt_switch(now, group, source, rib));
@@ -1383,6 +1428,35 @@ impl Engine {
             st.neighbors.retain(|_, &mut exp| now < exp);
         }
 
+        // §3.8 repair: an entry can be left with no upstream when its
+        // unicast route vanished, and the RouteChanged notification for
+        // the route's return skips entries whose oif list was empty at
+        // that instant (nothing to join *for*). If downstream interest
+        // arrived later, the entry is live again but pointing nowhere —
+        // re-resolve it against the RIB and send the triggered join.
+        let orphaned: BTreeSet<Addr> = self
+            .groups
+            .values()
+            .flat_map(|gs| {
+                let star = gs
+                    .star
+                    .as_ref()
+                    .filter(|s| s.iif.is_none() && !s.oifs_empty())
+                    .map(|s| s.key);
+                let sources = gs
+                    .sources
+                    .iter()
+                    .filter(|(_, e)| {
+                        !e.is_negative() && !e.local_source && e.iif.is_none() && !e.oifs_empty()
+                    })
+                    .map(|(&a, _)| a);
+                star.into_iter().chain(sources)
+            })
+            .collect();
+        for dst in orphaned {
+            out.extend(self.on_route_change(now, dst, rib));
+        }
+
         // PIM queries.
         if now >= self.next_query {
             self.next_query = now + self.cfg.query_interval;
@@ -1410,7 +1484,7 @@ impl Engine {
                 gs.star
                     .as_ref()
                     .and_then(|s| s.rp_timer)
-                    .map_or(false, |t| now >= t)
+                    .is_some_and(|t| now >= t)
             })
             .map(|(&g, _)| g)
             .collect();
@@ -1530,7 +1604,7 @@ impl Engine {
                 if gs
                     .star
                     .as_ref()
-                    .map_or(false, |e| e.oifs_empty() && e.delete_at.is_none())
+                    .is_some_and(|e| e.oifs_empty() && e.delete_at.is_none())
                 {
                     emptied = true;
                 }
@@ -1544,7 +1618,7 @@ impl Engine {
                     .star
                     .as_ref()
                     .and_then(|s| s.delete_at)
-                    .map_or(false, |t| now >= t);
+                    .is_some_and(|t| now >= t);
                 if star_dead {
                     gs.star = None;
                     // Footnote 13: negative caches must not outlive (*,G).
@@ -1559,7 +1633,7 @@ impl Engine {
                     }
                 }
                 gs.sources
-                    .retain(|_, e| e.delete_at.map_or(true, |t| now < t));
+                    .retain(|_, e| e.delete_at.is_none_or(|t| now < t));
             }
             if emptied {
                 out.extend(self.after_oif_removal(now, group));
@@ -1598,7 +1672,7 @@ impl Engine {
         };
         for (&group, gs) in &self.groups {
             if let Some(star) = &gs.star {
-                let suppressed = star.suppressed_until.map_or(false, |t| now < t);
+                let suppressed = star.suppressed_until.is_some_and(|t| now < t);
                 if !star.oifs_empty() && !suppressed {
                     if let (Some(iif), Some(up)) = (star.iif, star.upstream) {
                         push(
@@ -1612,7 +1686,7 @@ impl Engine {
                 }
             }
             for (&source, e) in &gs.sources {
-                let suppressed = e.suppressed_until.map_or(false, |t| now < t);
+                let suppressed = e.suppressed_until.is_some_and(|t| now < t);
                 if e.is_negative() {
                     // Footnote 10: "The RP bit in an (S,G) entry indicates
                     // that periodic PIM join/prune should be sent toward
@@ -1684,7 +1758,7 @@ impl Engine {
 pub fn groups_with_local_members(engine: &Engine) -> HashSet<Group> {
     engine
         .groups()
-        .filter(|(_, gs)| gs.star.as_ref().map_or(false, |s| s.has_local_members()))
+        .filter(|(_, gs)| gs.star.as_ref().is_some_and(|s| s.has_local_members()))
         .map(|(g, _)| g)
         .collect()
 }

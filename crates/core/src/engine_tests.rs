@@ -413,7 +413,7 @@ fn rp_without_receivers_drops_register() {
     );
     assert!(out.is_empty());
     // No (S,G) state created either.
-    assert!(e.group_state(g()).map_or(true, |gs| gs.sources.is_empty()));
+    assert!(e.group_state(g()).is_none_or(|gs| gs.sources.is_empty()));
 }
 
 #[test]
@@ -433,9 +433,10 @@ fn non_rp_ignores_register() {
 }
 
 #[test]
-fn source_dr_stops_registering_once_native_path_exists() {
+fn source_dr_suppresses_registers_between_probes() {
     let rib = rib_d();
     let mut e = Engine::new(d(), 2, PimConfig::default());
+    let probe_gap = e.config().register_probe_interval.ticks();
     e.set_host_lan(IfaceId(0));
     e.set_rp_mapping(g(), vec![rp()]);
     e.register_local_host(src(), IfaceId(0));
@@ -450,22 +451,42 @@ fn source_dr_stops_registering_once_native_path_exists() {
     assert!(sg.local_source);
     assert_eq!(sg.iif, Some(IfaceId(0)), "iif is the host subnetwork");
 
-    let out = e.on_local_data(t(5), IfaceId(0), src(), g(), b"pkt1", &rib);
-    assert!(
-        out.iter().all(|o| !matches!(
+    let is_register = |o: &Output| {
+        matches!(
             o,
             Output::Send {
                 msg: Message::PimRegister(_),
                 ..
             }
-        )),
-        "native path exists: no more registers"
-    );
+        )
+    };
+    // First native packet still registers once: native oifs only prove a
+    // receiver's SPT join reached us, not that the RP holds the source,
+    // so the DR probes on a slow clock (register_probe_interval).
+    let out = e.on_local_data(t(5), IfaceId(0), src(), g(), b"pkt1", &rib);
+    assert!(out.iter().any(is_register), "probe register");
     assert!(out.iter().any(|o| matches!(
         o,
         Output::Forward { ifaces, .. } if ifaces == &vec![IfaceId(1)]
     )));
-    assert_eq!(e.registers_sent, 0);
+    assert_eq!(e.registers_sent, 1);
+
+    // Until the next probe is due, native forwarding suppresses registers
+    // entirely — the steady-state claim of §3.
+    for dt in [1, 2, probe_gap - 10] {
+        let out = e.on_local_data(t(5 + dt), IfaceId(0), src(), g(), b"pkt", &rib);
+        assert!(
+            !out.iter().any(is_register),
+            "native path exists: no registers between probes"
+        );
+        assert!(out.iter().any(|o| matches!(o, Output::Forward { .. })));
+    }
+    assert_eq!(e.registers_sent, 1);
+
+    // Once the interval lapses, the next data packet re-registers.
+    let out = e.on_local_data(t(5 + probe_gap), IfaceId(0), src(), g(), b"pkt", &rib);
+    assert!(out.iter().any(is_register), "periodic probe register");
+    assert_eq!(e.registers_sent, 2);
 }
 
 #[test]
@@ -813,7 +834,7 @@ fn oif_expiry_prunes_upstream_and_deletes_entry() {
     assert!(star.delete_at.is_some());
     // "The entry is deleted after 3 times the refresh period."
     e.tick(t(101 + 181), &rib);
-    assert!(e.group_state(g()).map_or(true, |gs| gs.star.is_none()));
+    assert!(e.group_state(g()).is_none_or(|gs| gs.star.is_none()));
 }
 
 #[test]
@@ -1049,7 +1070,7 @@ fn rp_generates_reachability_messages() {
 
 #[test]
 fn reachability_resets_timer_and_propagates_down_tree() {
-    let (mut e, rib) = dr_with_member();
+    let (mut e, _rib) = dr_with_member();
     let before = e.group_state(g()).unwrap().star.as_ref().unwrap().rp_timer;
     let msg = RpReachability {
         group: g(),

@@ -165,7 +165,7 @@ fn spt_entry_deleted_after_linger_when_downstream_leaves() {
     )));
     e.tick(t(282), &rib);
     assert!(
-        e.group_state(g()).map_or(true, |gs| gs.sources.is_empty()),
+        e.group_state(g()).is_none_or(|gs| gs.sources.is_empty()),
         "entry must be deleted 3 refresh periods after its oifs emptied"
     );
 }
@@ -304,7 +304,7 @@ fn star_oif_expiry_cascades_to_copied_spt_oifs() {
     assert!(gs
         .star
         .as_ref()
-        .map_or(true, |s| !s.oifs.contains_key(&IfaceId(0))));
+        .is_none_or(|s| !s.oifs.contains_key(&IfaceId(0))));
     assert!(
         !gs.sources[&src_host()].oifs.contains_key(&IfaceId(0)),
         "copied oifs follow the shared tree's lapses"

@@ -93,6 +93,10 @@ pub struct Entry {
     /// For source entries at the source's own DR: the data actually
     /// originates on a directly attached subnetwork.
     pub local_source: bool,
+    /// For local-source entries: the next time the DR re-registers a data
+    /// packet to the RP(s) even though it is forwarding natively (the
+    /// periodic register probe; see `PimConfig::register_probe_interval`).
+    pub next_register_probe: SimTime,
 }
 
 impl Entry {
@@ -113,6 +117,7 @@ impl Entry {
             delete_at: None,
             suppressed_until: None,
             local_source: false,
+            next_register_probe: SimTime::ZERO,
         }
     }
 
@@ -139,6 +144,7 @@ impl Entry {
             delete_at: None,
             suppressed_until: None,
             local_source: false,
+            next_register_probe: SimTime::ZERO,
         }
     }
 
@@ -165,6 +171,7 @@ impl Entry {
             delete_at: None,
             suppressed_until: None,
             local_source: false,
+            next_register_probe: SimTime::ZERO,
         }
     }
 
@@ -373,8 +380,10 @@ mod tests {
 
     #[test]
     fn group_state_longest_match() {
-        let mut gs = GroupState::default();
-        gs.star = Some(Entry::new_star(g(), rp(), Some(IfaceId(0)), None));
+        let mut gs = GroupState {
+            star: Some(Entry::new_star(g(), rp(), Some(IfaceId(0)), None)),
+            ..Default::default()
+        };
         gs.sources
             .insert(src(), Entry::new_source(g(), src(), Some(IfaceId(2)), None));
         assert!(!gs.match_data(src()).unwrap().wildcard);

@@ -150,6 +150,10 @@ impl ProtocolEngine for Engine {
         actions(Engine::on_route_change(self, now, dst, rib), DATA_TTL)
     }
 
+    fn reset(&mut self) {
+        Engine::reset(self);
+    }
+
     fn tick(&mut self, now: SimTime, rib: &dyn Rib) -> Vec<Action> {
         actions(Engine::tick(self, now, rib), DATA_TTL)
     }

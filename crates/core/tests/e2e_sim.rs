@@ -160,7 +160,7 @@ fn shared_tree_is_built_from_receiver_to_rp() {
     assert!(
         r3.engine()
             .group_state(group())
-            .map_or(true, |gs| gs.star.is_none()),
+            .is_none_or(|gs| gs.star.is_none()),
         "n3 must not hold shared-tree state"
     );
 }
@@ -258,7 +258,7 @@ fn after_packets_policy_switches_late() {
     let r0: &PimRouter = net.world.node(NodeIdx(0));
     let gs = r0.engine().group_state(group()).expect("state");
     assert!(
-        gs.sources.get(&net.s_addr).map_or(false, |e| e.spt_bit),
+        gs.sources.get(&net.s_addr).is_some_and(|e| e.spt_bit),
         "switch must eventually happen"
     );
     // Early packets ride the RP path (latency 5), late ones the SPT (4).
@@ -269,14 +269,20 @@ fn after_packets_policy_switches_late() {
 }
 
 #[test]
-fn sender_side_registers_stop_after_native_path() {
+fn sender_side_registers_drop_to_probe_rate() {
+    // 30 packets, 20 ticks apart: a 600-tick stream. Once the RP's join
+    // arrives, registers are bounded by the probe clock
+    // (register_probe_interval = 120), not the packet rate.
     let net = run_scenario(PimConfig::default(), 30, 20);
     let r3: &PimRouter = net.world.node(NodeIdx(3));
     let sent = r3.engine().registers_sent;
+    let probe_gap = PimConfig::default().register_probe_interval.ticks();
+    let probe_bound = 1 + 600 / probe_gap + 1;
     assert!(sent >= 1, "at least the first packet registers");
     assert!(
-        sent < 5,
-        "registers must stop once the RP's join arrives (sent {sent})"
+        sent <= probe_bound,
+        "native forwarding must cut registers to the probe rate \
+         (sent {sent}, bound {probe_bound} for 30 packets)"
     );
     let rp: &PimRouter = net.world.node(NodeIdx(2));
     assert_eq!(rp.engine().registers_received, sent);
@@ -304,7 +310,7 @@ fn membership_expires_after_receiver_leaves() {
         .engine()
         .group_state(group())
         .and_then(|gs| gs.star.as_ref())
-        .map_or(false, |s| s.has_local_members());
+        .is_some_and(|s| s.has_local_members());
     assert!(
         !star_alive,
         "membership must lapse after the host stops reporting"
@@ -314,7 +320,7 @@ fn membership_expires_after_receiver_leaves() {
     assert!(
         r1.engine()
             .group_state(group())
-            .map_or(true, |gs| gs.star.is_none()),
+            .is_none_or(|gs| gs.star.is_none()),
         "n1's (*,G) must expire without refreshes"
     );
 }

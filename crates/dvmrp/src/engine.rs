@@ -161,24 +161,49 @@ impl DvmrpEngine {
     pub fn is_pruned(&self, source: Addr, group: Group, iface: IfaceId) -> bool {
         self.entries
             .get(&(source, group))
-            .map_or(false, |e| e.pruned.contains_key(&iface))
+            .is_some_and(|e| e.pruned.contains_key(&iface))
     }
 
     /// Have we pruned ourselves off (source, group) upstream?
     pub fn pruned_upstream(&self, source: Addr, group: Group) -> bool {
         self.entries
             .get(&(source, group))
-            .map_or(false, |e| e.pruned_upstream)
+            .is_some_and(|e| e.pruned_upstream)
+    }
+
+    /// Iterate the (source, group) keys of all held (S,G) entries — the
+    /// state-inspection hook for cross-node invariant oracles (orphan
+    /// detection after prune + timeout).
+    pub fn entry_keys(&self) -> impl Iterator<Item = (Addr, Group)> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Local members known on `iface` for any group? (oracle hook)
+    pub fn member_groups(&self) -> impl Iterator<Item = Group> + '_ {
+        self.members
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(&g, _)| g)
+    }
+
+    /// Crash with total state loss: forwarding entries, neighbor liveness,
+    /// and IGMP-fed membership are erased; interface roles and attached
+    /// hosts are configuration and survive.
+    pub fn reset(&mut self) {
+        for n in self.neighbors.iter_mut() {
+            n.clear();
+        }
+        self.members.clear();
+        self.entries.clear();
+        self.next_probe = SimTime::ZERO;
     }
 
     fn has_member(&self, group: Group, iface: IfaceId) -> bool {
-        self.members
-            .get(&group)
-            .map_or(false, |s| s.contains(&iface))
+        self.members.get(&group).is_some_and(|s| s.contains(&iface))
     }
 
     fn has_any_member(&self, group: Group) -> bool {
-        self.members.get(&group).map_or(false, |s| !s.is_empty())
+        self.members.get(&group).is_some_and(|s| !s.is_empty())
     }
 
     /// IGMP reported a first member of `group` on `iface`. If any (S,G)
@@ -296,7 +321,7 @@ impl DvmrpEngine {
             let entry = self.entries.get_mut(&(source, group)).expect("inserted");
             let due = entry
                 .last_prune_at
-                .map_or(true, |t| now.since(t) >= self.cfg.prune_damping);
+                .is_none_or(|t| now.since(t) >= self.cfg.prune_damping);
             if due {
                 entry.last_prune_at = Some(now);
                 entry.pruned_upstream = true;

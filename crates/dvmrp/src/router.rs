@@ -127,6 +127,10 @@ impl ProtocolEngine for DvmrpEngine {
     // Dense mode re-derives RPF lazily per packet; nothing to repair on
     // route changes — the default no-op `on_route_change` stands.
 
+    fn reset(&mut self) {
+        DvmrpEngine::reset(self);
+    }
+
     fn tick(&mut self, now: SimTime, rib: &dyn Rib) -> Vec<Action> {
         actions(DvmrpEngine::tick(self, now, rib), DATA_TTL)
     }

@@ -87,13 +87,14 @@ pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPaths {
     while let Some(Reverse((d, _pn, pe, v))) = heap.pop() {
         match dist[v.index()] {
             Some(best) if d > best => continue, // stale entry
-            Some(best) if d == best => {
+            Some(best)
+                if d == best
                 // First settlement of v decides the parent; later equal
                 // entries are duplicates of the winning tie-break only if the
                 // recorded parent matches.
-                if parent[v.index()].map(|e| e.0) != (pe != u32::MAX).then_some(pe) {
-                    continue;
-                }
+                && parent[v.index()].map(|e| e.0) != (pe != u32::MAX).then_some(pe) =>
+            {
+                continue;
             }
             _ => {}
         }

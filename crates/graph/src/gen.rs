@@ -172,7 +172,7 @@ pub fn waxman(params: &WaxmanParams, rng: &mut impl Rng) -> Graph {
                     continue;
                 }
                 let d = dist(v, u);
-                if best.map_or(true, |(_, _, bd)| d < bd) {
+                if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((v, u, d));
                 }
             }

@@ -20,7 +20,7 @@ fn bellman_ford(g: &Graph, src: NodeId) -> Vec<Option<Weight>> {
             for (a, b) in [(e.a, e.b), (e.b, e.a)] {
                 if let Some(da) = dist[a.index()] {
                     let cand = da + e.weight;
-                    if dist[b.index()].map_or(true, |db| cand < db) {
+                    if dist[b.index()].is_none_or(|db| cand < db) {
                         dist[b.index()] = Some(cand);
                         changed = true;
                     }

@@ -273,7 +273,7 @@ impl Querier {
                 let was_live = self
                     .members
                     .insert(*group, expiry)
-                    .map_or(false, |old| now < old);
+                    .is_some_and(|old| now < old);
                 if was_live {
                     Vec::new()
                 } else {

@@ -89,7 +89,7 @@ proptest! {
             );
             let was_member = last_report
                 .get(&g)
-                .map_or(false, |&t| now < t + cfg.membership_timeout.ticks());
+                .is_some_and(|&t| now < t + cfg.membership_timeout.ticks());
             if was_member {
                 prop_assert!(outs.is_empty(), "refresh must not re-announce");
             } else {

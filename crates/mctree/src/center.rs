@@ -110,7 +110,7 @@ pub fn optimal_center_tree(g: &Graph, ap: &AllPairs, members: &[NodeId]) -> (Cen
         }
         let tree = center_tree(g, ap, core, members);
         let d = tree.max_pair_delay(members.len());
-        if best.as_ref().map_or(true, |(_, bd)| d < *bd) {
+        if best.as_ref().is_none_or(|(_, bd)| d < *bd) {
             best = Some((tree, d));
         }
     }

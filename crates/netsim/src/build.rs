@@ -32,7 +32,7 @@ pub fn host_addr(n: NodeId, k: u8) -> Addr {
 /// Reverse of [`router_addr`]: the graph node a router address denotes.
 pub fn node_of_addr(addr: Addr) -> Option<NodeId> {
     let [ten, hi, lo, last] = addr.to_bytes();
-    (ten == 10 && last == 1).then(|| NodeId(((hi as u32) << 8) | lo as u32))
+    (ten == 10 && last == 1).then_some(NodeId(((hi as u32) << 8) | lo as u32))
 }
 
 /// One planned router interface.

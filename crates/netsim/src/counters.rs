@@ -60,6 +60,8 @@ pub struct Counters {
     events_dispatched: u64,
     timers_fired: u64,
     timers_skipped_stale: u64,
+    timers_cancelled_node_down: u64,
+    pkts_dropped_node_down: u64,
 }
 
 impl Counters {
@@ -93,6 +95,14 @@ impl Counters {
 
     pub(crate) fn record_timer_skipped(&mut self) {
         self.timers_skipped_stale += 1;
+    }
+
+    pub(crate) fn record_timer_cancelled_node_down(&mut self) {
+        self.timers_cancelled_node_down += 1;
+    }
+
+    pub(crate) fn record_pkt_dropped_node_down(&mut self) {
+        self.pkts_dropped_node_down += 1;
     }
 
     pub(crate) fn record_loss(&mut self, link: LinkId) {
@@ -166,6 +176,20 @@ impl Counters {
     /// cancelled or rescheduled (lazy-deletion cost of the timer wheel).
     pub fn timers_skipped_stale(&self) -> u64 {
         self.timers_skipped_stale
+    }
+
+    /// Armed timers cancelled because their owning node crashed (see
+    /// [`crate::World::crash_node`]); without this sweep, stale wakeups
+    /// would fire against a dead node.
+    pub fn timers_cancelled_node_down(&self) -> u64 {
+        self.timers_cancelled_node_down
+    }
+
+    /// Packets discarded because the receiving node was down — either at
+    /// transmit time (attachment is dead) or in flight when the node
+    /// crashed.
+    pub fn pkts_dropped_node_down(&self) -> u64 {
+        self.pkts_dropped_node_down
     }
 
     /// Control packets delivered to nodes (receive side, per event loop).

@@ -94,6 +94,19 @@ pub trait Node {
     /// A timer set via [`Ctx::set_timer`]/[`Ctx::set_timer_at`] fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
 
+    /// The node crashed with total state loss ([`World::crash_node`]).
+    /// Implementations drop all volatile protocol state; static
+    /// configuration (addresses, interface roles) survives, modelling a
+    /// router whose config is in NVRAM but whose RAM is gone. No [`Ctx`] is
+    /// provided — a dead node cannot send or arm timers.
+    fn on_crash(&mut self) {}
+
+    /// The node powered back up after a crash ([`World::restart_node`]).
+    /// Default: cold-boot via [`Node::on_start`].
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        self.on_start(ctx);
+    }
+
     /// Downcast support for post-run inspection.
     fn as_any(&self) -> &dyn Any;
 
@@ -142,6 +155,9 @@ struct Fabric {
     links: Vec<Link>,
     /// ifaces[node.0][iface.0] = link the interface attaches to.
     ifaces: Vec<Vec<LinkId>>,
+    /// node_up[node.0]: false while the node is crashed. Down nodes get no
+    /// deliveries and no timer callbacks.
+    node_up: Vec<bool>,
     queue: BinaryHeap<Reverse<(SimTime, u64, usize, u32)>>,
     /// Event arena, indexed by the slot carried in the heap. Slots are
     /// vacated (and recycled via `free`) as events fire or are cancelled,
@@ -234,6 +250,10 @@ impl Fabric {
         let loss = link.loss;
         let at = self.now + delay;
         for (n, i) in dests {
+            if !self.node_up[n.0] {
+                self.counters.record_pkt_dropped_node_down();
+                continue;
+            }
             if loss > 0.0 && self.rng.gen::<f64>() < loss {
                 self.counters.record_loss(link_id);
                 continue;
@@ -363,6 +383,7 @@ impl World {
                 links: Vec::new(),
                 ifaces: Vec::new(),
                 queue: BinaryHeap::new(),
+                node_up: Vec::new(),
                 events: Vec::new(),
                 free: Vec::new(),
                 seq: 0,
@@ -384,6 +405,7 @@ impl World {
         assert!(!self.started, "cannot add nodes after start");
         self.nodes.push(Some(node));
         self.fabric.ifaces.push(Vec::new());
+        self.fabric.node_up.push(true);
         NodeIdx(self.nodes.len() - 1)
     }
 
@@ -435,6 +457,55 @@ impl World {
         });
         let ifaces = nodes.iter().map(|&n| self.attach(n, id)).collect();
         (id, ifaces)
+    }
+
+    /// Crash `node` with total state loss (§2 robustness: routers "may
+    /// fail"). The node's volatile protocol state is dropped via
+    /// [`Node::on_crash`], every timer it has armed is cancelled (counted
+    /// in [`Counters::timers_cancelled_node_down`]) so no stale wakeup
+    /// fires against the corpse, and packets addressed to it are discarded
+    /// until [`World::restart_node`]. No-op if the node is already down.
+    pub fn crash_node(&mut self, idx: NodeIdx) {
+        if !self.fabric.node_up[idx.0] {
+            return;
+        }
+        self.fabric.node_up[idx.0] = false;
+        // Eagerly vacate every armed timer owned by the node. The heap
+        // entries stay behind and are skipped as stale when popped; what
+        // matters is that no Timer event can reach a dead node.
+        let doomed: Vec<usize> = self
+            .fabric
+            .events
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, s)| match s.ev {
+                Some(Event::Timer { node, .. }) if node == idx => Some(slot),
+                _ => None,
+            })
+            .collect();
+        for slot in doomed {
+            self.fabric.vacate(slot);
+            self.fabric.counters.record_timer_cancelled_node_down();
+        }
+        if let Some(node) = self.nodes[idx.0].as_mut() {
+            node.on_crash();
+        }
+    }
+
+    /// Power a crashed node back up: it cold-boots via
+    /// [`Node::on_restart`] with whatever static configuration survived
+    /// [`Node::on_crash`]. No-op if the node is already up.
+    pub fn restart_node(&mut self, idx: NodeIdx) {
+        if self.fabric.node_up[idx.0] {
+            return;
+        }
+        self.fabric.node_up[idx.0] = true;
+        self.with_node(idx, |n, ctx| n.on_restart(ctx));
+    }
+
+    /// Is `node` currently up (not crashed)?
+    pub fn is_node_up(&self, idx: NodeIdx) -> bool {
+        self.fabric.node_up[idx.0]
     }
 
     /// Take a link up or down (topology-change injection).
@@ -569,11 +640,24 @@ impl World {
                 packet,
                 link,
             } => {
+                // In-flight packets to a node that crashed after transmit
+                // are discarded at its dead NIC.
+                if !self.fabric.node_up[node.0] {
+                    self.fabric.counters.record_pkt_dropped_node_down();
+                    return true;
+                }
                 let class = PacketClass::classify(&packet);
                 self.fabric.counters.record_rx(link, class, packet.len());
                 self.with_node(node, |n, ctx| n.on_packet(ctx, iface, &packet));
             }
             Event::Timer { node, token } => {
+                // Belt-and-braces: crash_node cancels the node's timers
+                // eagerly, but a script could still arm one against a down
+                // node via call_node.
+                if !self.fabric.node_up[node.0] {
+                    self.fabric.counters.record_timer_cancelled_node_down();
+                    return true;
+                }
                 self.fabric.counters.record_timer_fired();
                 self.with_node(node, |n, ctx| n.on_timer(ctx, token));
             }
@@ -869,5 +953,74 @@ mod tests {
         let (mut w, _a, _b, _l) = two_node_world();
         w.run_until(SimTime(10));
         w.at(SimTime(5), |_| {});
+    }
+
+    #[test]
+    fn crash_cancels_armed_timers() {
+        let mut w = World::new(1);
+        let a = w.add_node(Box::new(Echo::new()));
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| {
+                ctx.set_timer(Duration(10), 1);
+                ctx.set_timer(Duration(20), 2);
+            });
+        });
+        w.at(SimTime(5), move |w| w.crash_node(a));
+        w.run_until(SimTime(100));
+        let e: &Echo = w.node(a);
+        assert!(e.timers.is_empty(), "no timer may fire on a dead node");
+        assert_eq!(w.counters().timers_cancelled_node_down(), 2);
+        assert_eq!(w.counters().timers_fired(), 0);
+        assert!(!w.is_node_up(a));
+    }
+
+    #[test]
+    fn down_node_drops_deliveries_and_restart_revives() {
+        let (mut w, a, b, _l) = two_node_world();
+        w.at(SimTime(0), move |w| w.crash_node(b));
+        // Transmitted while b is down: dropped at the dead attachment.
+        w.at(SimTime(1), move |w| {
+            w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0, 1]));
+        });
+        w.at(SimTime(10), move |w| w.restart_node(b));
+        // Transmitted after restart: delivered normally.
+        w.at(SimTime(20), move |w| {
+            w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0, 2]));
+        });
+        w.run_until(SimTime(100));
+        let eb: &Echo = w.node(b);
+        assert_eq!(eb.received.len(), 1, "only the post-restart packet");
+        assert_eq!(eb.received[0].2, vec![0, 2]);
+        assert_eq!(w.counters().pkts_dropped_node_down(), 1);
+        assert!(w.is_node_up(b));
+    }
+
+    #[test]
+    fn in_flight_packet_to_crashing_node_is_dropped() {
+        // delay 3: send at t=0, crash at t=1, delivery due t=3 is discarded.
+        let (mut w, a, b, _l) = two_node_world();
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0, 9]));
+        });
+        w.at(SimTime(1), move |w| w.crash_node(b));
+        w.run_until(SimTime(100));
+        let eb: &Echo = w.node(b);
+        assert!(eb.received.is_empty());
+        assert_eq!(w.counters().pkts_dropped_node_down(), 1);
+    }
+
+    #[test]
+    fn crash_and_restart_are_idempotent() {
+        let (mut w, _a, b, _l) = two_node_world();
+        w.at(SimTime(0), move |w| {
+            w.crash_node(b);
+            w.crash_node(b); // no-op
+        });
+        w.at(SimTime(5), move |w| {
+            w.restart_node(b);
+            w.restart_node(b); // no-op
+        });
+        w.run_until(SimTime(50));
+        assert!(w.is_node_up(b));
     }
 }

@@ -49,9 +49,9 @@ impl Node for Chatter {
     }
 }
 
-/// Build a 5-node mesh-ish world with loss, run it, and fingerprint every
-/// node's receive log.
-fn run(seed: u64, loss: f64) -> Vec<Vec<(u64, u32, Vec<u8>)>> {
+/// Build a 5-node mesh-ish world with loss, optionally crash/restart two
+/// of the nodes mid-run, and fingerprint every node's receive log.
+fn run_with_faults(seed: u64, loss: f64, faults: bool) -> Vec<Vec<(u64, u32, Vec<u8>)>> {
     let mut w = World::new(seed);
     let nodes: Vec<NodeIdx> = (0..5)
         .map(|_| w.add_node(Box::new(Chatter::new())))
@@ -74,11 +74,24 @@ fn run(seed: u64, loss: f64) -> Vec<Vec<(u64, u32, Vec<u8>)>> {
     if loss > 0.0 {
         w.set_link_loss(lan, loss);
     }
+    if faults {
+        // Crash two nodes mid-run (cancelling their armed timers) and
+        // restart one; the other stays down. Both paths must be
+        // deterministic.
+        let (n1, n3) = (nodes[1], nodes[3]);
+        w.at(SimTime(60), move |w| w.crash_node(n1));
+        w.at(SimTime(90), move |w| w.crash_node(n3));
+        w.at(SimTime(140), move |w| w.restart_node(n1));
+    }
     w.run_until(SimTime(400));
     nodes
         .iter()
         .map(|&n| w.node::<Chatter>(n).log.clone())
         .collect()
+}
+
+fn run(seed: u64, loss: f64) -> Vec<Vec<(u64, u32, Vec<u8>)>> {
+    run_with_faults(seed, loss, false)
 }
 
 proptest! {
@@ -96,6 +109,35 @@ proptest! {
     fn lossless_history_is_seed_independent(s1 in any::<u64>(), s2 in any::<u64>()) {
         prop_assert_eq!(run(s1, 0.0), run(s2, 0.0));
     }
+
+    /// Crash (with timer cancellation) and restart are part of the
+    /// deterministic event order: same seed + same fault script ⇒
+    /// identical histories, lossy links and all.
+    #[test]
+    fn crash_restart_history_is_deterministic(seed in any::<u64>()) {
+        prop_assert_eq!(
+            run_with_faults(seed, 0.3, true),
+            run_with_faults(seed, 0.3, true)
+        );
+    }
+}
+
+#[test]
+fn crashed_node_hears_nothing_while_down() {
+    let logs = run_with_faults(5, 0.0, true);
+    // Node 3 crashes at t=90 and never restarts: its log must stop there
+    // (packets to a down node are discarded, its timers were cancelled).
+    assert!(
+        logs[3].iter().all(|&(at, _, _)| at <= 90),
+        "a crashed node must not receive after its crash"
+    );
+    // Node 1 restarts at t=140 and must resume receiving.
+    assert!(
+        logs[1].iter().any(|&(at, _, _)| at > 140),
+        "a restarted node must hear traffic again"
+    );
+    // The fault script must actually change history vs. the healthy run.
+    assert_ne!(logs, run_with_faults(5, 0.0, false));
 }
 
 #[test]

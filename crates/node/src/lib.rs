@@ -144,6 +144,15 @@ pub trait ProtocolEngine {
         Vec::new()
     }
 
+    /// Drop all volatile protocol state (crash with total state loss,
+    /// [`netsim::World::crash_node`]). Static configuration survives —
+    /// address, interface roles, registered local hosts, and administrative
+    /// mappings (RP sets, core placements) model NVRAM config — while
+    /// adjacencies, tree/table entries, and pending timer deadlines are
+    /// erased, so a restarted router rebuilds everything from protocol
+    /// exchange alone.
+    fn reset(&mut self);
+
     /// Run soft-state maintenance. Called when a deadline matures; engines
     /// gate internally, so early calls are harmless.
     fn tick(&mut self, now: SimTime, rib: &dyn Rib) -> Vec<Action>;
@@ -460,6 +469,23 @@ impl<P: ProtocolEngine + 'static> Node for ProtocolNode<P> {
         }
         self.reschedule(ctx, ctx.now());
     }
+
+    /// Crash with total state loss: the protocol engine, the unicast
+    /// engine, and every IGMP querier forget their volatile state. The
+    /// world has already cancelled our armed wakeup.
+    fn on_crash(&mut self) {
+        self.engine.reset();
+        self.unicast.reset();
+        let addr = self.engine.addr();
+        for q in self.queriers.values_mut() {
+            *q = Querier::new(addr, igmp::Config::default());
+        }
+        self.wakeup = None;
+    }
+
+    // on_restart: the default cold-boot via on_start is exactly right —
+    // the unicast engine re-announces and the single wakeup is re-armed at
+    // the earliest post-reset deadline (typically "immediately").
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token != TOKEN_WAKE {

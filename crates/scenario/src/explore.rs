@@ -1,0 +1,405 @@
+//! The seeded schedule explorer and its replay artifacts.
+//!
+//! From one seed the explorer derives one random fault schedule per
+//! topology, runs *all three protocols* against the identical schedule,
+//! waits for quiescence, and applies the oracle layer. On violation it
+//! emits a minimal replay artifact — protocol, topology name, seed,
+//! schedule text, and trace fingerprint — that
+//! [`replay`] re-executes byte-identically.
+//!
+//! ## Scenario timeline
+//!
+//! Every generated schedule keeps to a fixed phase structure so the
+//! oracles know when to look:
+//!
+//! | ticks        | phase                                             |
+//! |--------------|---------------------------------------------------|
+//! | 20–90        | initial joins                                     |
+//! | 100–860      | pre-fault data train (builds protocol state)      |
+//! | 200–2400     | fault injection window                            |
+//! | ≤ 2950       | every fault explicitly healed by the schedule     |
+//! | 4500–4710    | probe train (8 packets, 30 apart)                 |
+//! | 6000         | quiescence checkpoint: oracles run                |
+//!
+//! The heal events are part of the schedule itself (a crash always pairs
+//! with a later restart, a link-down with a link-up, a loss ramp with a
+//! ramp to zero), so a schedule is self-contained: replaying it never
+//! depends on generator internals.
+
+use crate::net::{build_net, Protocol, ScenarioNet, Substrate};
+use crate::oracle::{check_delivery, check_no_orphans, check_structure, Violation};
+use crate::schedule::{FaultEvent, FaultSchedule};
+use graph::{Graph, NodeId};
+use netsim::{host_addr, NodeIdx, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use wire::Group;
+
+/// Number of packets in the pre-fault data train (sequence numbers
+/// `0..TRAIN`).
+const TRAIN: u64 = 20;
+/// Number of post-heal probe packets (sequence numbers
+/// `TRAIN..TRAIN + PROBES`) — the delivery oracle's expectation.
+const PROBES: u64 = 8;
+/// When the probe train starts.
+const PROBE_START: u64 = 4500;
+/// Probe spacing.
+const PROBE_GAP: u64 = 30;
+/// When the oracles run.
+const CHECK_AT: u64 = 6000;
+/// Capture-ring limit: generously above any scenario's traffic.
+const CAPTURE_LIMIT: usize = 300_000;
+
+/// A named topology the explorer samples schedules over.
+pub struct TopoSpec {
+    /// Stable name used in replay artifacts.
+    pub name: &'static str,
+    /// The router graph.
+    pub graph: Graph,
+    /// RP (PIM) / core (CBT) placement.
+    pub rendezvous: NodeId,
+    /// Routers with an attached host; slot 0 is the sender, slots 1.. are
+    /// potential members.
+    pub host_routers: Vec<NodeId>,
+}
+
+/// The explorer's topology zoo: a redundant diamond, a line with a stub
+/// branch, and a cyclic mesh — small enough to quiesce fast, varied
+/// enough to exercise reroute, leaf-prune, and multipath behavior.
+pub fn topologies() -> Vec<TopoSpec> {
+    let mut diamond = Graph::with_nodes(4);
+    diamond.add_edge(NodeId(0), NodeId(1), 1);
+    diamond.add_edge(NodeId(1), NodeId(2), 1);
+    diamond.add_edge(NodeId(2), NodeId(3), 1);
+    diamond.add_edge(NodeId(0), NodeId(3), 2);
+
+    let mut line_stub = Graph::with_nodes(6);
+    line_stub.add_edge(NodeId(0), NodeId(1), 1);
+    line_stub.add_edge(NodeId(1), NodeId(2), 1);
+    line_stub.add_edge(NodeId(2), NodeId(3), 1);
+    line_stub.add_edge(NodeId(3), NodeId(4), 1);
+    line_stub.add_edge(NodeId(2), NodeId(5), 1);
+
+    let mut mesh = Graph::with_nodes(5);
+    mesh.add_edge(NodeId(0), NodeId(1), 1);
+    mesh.add_edge(NodeId(1), NodeId(2), 1);
+    mesh.add_edge(NodeId(2), NodeId(3), 1);
+    mesh.add_edge(NodeId(3), NodeId(4), 1);
+    mesh.add_edge(NodeId(4), NodeId(0), 2);
+    mesh.add_edge(NodeId(1), NodeId(3), 2);
+
+    vec![
+        TopoSpec {
+            name: "diamond",
+            graph: diamond,
+            rendezvous: NodeId(2),
+            host_routers: vec![NodeId(0), NodeId(1), NodeId(3)],
+        },
+        TopoSpec {
+            name: "line-stub",
+            graph: line_stub,
+            rendezvous: NodeId(2),
+            host_routers: vec![NodeId(4), NodeId(0), NodeId(5), NodeId(3)],
+        },
+        TopoSpec {
+            name: "mesh",
+            graph: mesh,
+            rendezvous: NodeId(2),
+            host_routers: vec![NodeId(0), NodeId(2), NodeId(4)],
+        },
+    ]
+}
+
+/// Look a topology up by its artifact name.
+pub fn topology(name: &str) -> Option<TopoSpec> {
+    topologies().into_iter().find(|t| t.name == name)
+}
+
+/// Generate the random fault schedule for `seed` over `topo`.
+///
+/// With `teardown`, every member leaves after the heal point and the
+/// no-orphans oracle runs instead of delivery (the mode is recoverable
+/// from the schedule alone via [`FaultSchedule::final_members`]).
+pub fn random_schedule(topo: &TopoSpec, seed: u64, teardown: bool) -> FaultSchedule {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5c4e);
+    let mut s = FaultSchedule::default();
+    let links = topo.graph.edge_count();
+    let routers = topo.graph.node_count() as u32;
+    let member_slots = 1..topo.host_routers.len() as u32;
+
+    // Initial joins: each member slot joins with probability 2/3.
+    let mut any_join = false;
+    for slot in member_slots.clone() {
+        if rng.gen_range(0..3) < 2 {
+            s.push(rng.gen_range(20..=90), FaultEvent::Join(slot));
+            any_join = true;
+        }
+    }
+    if !any_join {
+        s.push(rng.gen_range(20..=90), FaultEvent::Join(1));
+    }
+
+    // Faults: 2–5 of them, each healed by its own later event.
+    for _ in 0..rng.gen_range(2..=5) {
+        let at = rng.gen_range(200..=2400u64);
+        let heal = (at + rng.gen_range(100..=400)).min(2950);
+        match rng.gen_range(0..4) {
+            0 => {
+                let l = rng.gen_range(0..links);
+                s.push(at, FaultEvent::LinkDown(l));
+                s.push(heal, FaultEvent::LinkUp(l));
+            }
+            1 => {
+                let l = rng.gen_range(0..links);
+                let pm = rng.gen_range(100..=500);
+                s.push(at, FaultEvent::LinkLoss(l, pm));
+                s.push(heal, FaultEvent::LinkLoss(l, 0));
+            }
+            2 => {
+                let r = rng.gen_range(0..routers);
+                s.push(at, FaultEvent::CrashRouter(r));
+                s.push(heal, FaultEvent::RestartRouter(r));
+            }
+            _ => {
+                // Membership churn mid-fault-window counts as a fault too.
+                let slot = rng.gen_range(member_slots.clone());
+                s.push(at, FaultEvent::Leave(slot));
+                s.push(heal, FaultEvent::Join(slot));
+            }
+        }
+    }
+
+    if teardown {
+        // Everyone leaves after the heal point; the probe train then runs
+        // against an empty group and the no-orphans oracle takes over.
+        for slot in member_slots {
+            s.push(2960 + u64::from(slot), FaultEvent::Leave(slot));
+        }
+    } else if s.final_members(topo.host_routers.len()).is_empty() {
+        s.push(2900, FaultEvent::Join(1));
+    }
+    s
+}
+
+/// The outcome of one (topology, protocol, schedule, seed) run.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// Oracle violations, in deterministic order.
+    pub violations: Vec<Violation>,
+    /// Hash over the full packet trace — byte-identical replays produce
+    /// the identical fingerprint.
+    pub fingerprint: u64,
+    /// The captured packet trace, one line per transmission.
+    pub trace: Vec<String>,
+}
+
+/// Format the captured trace, one stable line per transmission.
+fn trace_lines(net: &ScenarioNet) -> Vec<String> {
+    net.world
+        .captured()
+        .iter()
+        .map(|r| {
+            format!(
+                "{} link{} r{} {}",
+                r.at.ticks(),
+                r.link.0,
+                r.from.0,
+                r.summary
+            )
+        })
+        .collect()
+}
+
+fn fingerprint(lines: &[String]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for l in lines {
+        l.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Run one schedule against one protocol and apply the oracles.
+///
+/// The explorer always uses the oracle unicast substrate: static routing
+/// keeps the run bit-for-bit reproducible from `(schedule, seed)` alone,
+/// which the replay-artifact contract depends on.
+pub fn run_case(
+    topo: &TopoSpec,
+    protocol: Protocol,
+    schedule: &FaultSchedule,
+    seed: u64,
+) -> CaseOutcome {
+    let group = Group::test(1);
+    let mut net = build_net(
+        &topo.graph,
+        protocol,
+        Substrate::Oracle,
+        group,
+        topo.rendezvous,
+        &topo.host_routers,
+        seed,
+    );
+    net.world.enable_capture(CAPTURE_LIMIT);
+
+    let host_nodes: Vec<NodeIdx> = net.hosts.iter().map(|&(n, _)| n).collect();
+    schedule.install(&mut net.world, &host_nodes, group);
+
+    // Pre-fault train then post-heal probes, both from slot 0.
+    net.send_at(0, 100, TRAIN, 40);
+    net.send_at(0, PROBE_START, PROBES, PROBE_GAP);
+
+    net.world.run_until(SimTime(CHECK_AT));
+
+    let members = schedule.final_members(topo.host_routers.len());
+    let source = host_addr(topo.host_routers[0], 0);
+    let expected: Vec<u64> = (TRAIN..TRAIN + PROBES).collect();
+
+    let mut violations = check_structure(&net);
+    if members.is_empty() {
+        violations.extend(check_no_orphans(&net));
+    } else {
+        violations.extend(check_delivery(&net, &members, source, &expected));
+    }
+
+    let trace = trace_lines(&net);
+    CaseOutcome {
+        violations,
+        fingerprint: fingerprint(&trace),
+        trace,
+    }
+}
+
+/// Explore one seed on one topology: derive its schedule (teardown mode
+/// on every third seed) and run all three protocols against it.
+pub fn explore_seed(topo: &TopoSpec, seed: u64) -> Vec<(Protocol, CaseOutcome)> {
+    let schedule = random_schedule(topo, seed, seed % 3 == 2);
+    Protocol::ALL
+        .into_iter()
+        .map(|p| (p, run_case(topo, p, &schedule, seed)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Replay artifacts
+// ---------------------------------------------------------------------
+
+/// A minimal, self-contained reproduction of one violating run: enough to
+/// re-execute it byte-identically, nothing more.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Artifact {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Topology name (resolved via [`topology`]).
+    pub topology: String,
+    /// World seed.
+    pub seed: u64,
+    /// The exact fault schedule.
+    pub schedule: FaultSchedule,
+    /// Trace fingerprint of the violating run.
+    pub fingerprint: u64,
+    /// The violations observed, rendered.
+    pub violations: Vec<String>,
+}
+
+impl Artifact {
+    /// Capture an artifact from a violating run.
+    pub fn capture(
+        topo: &TopoSpec,
+        protocol: Protocol,
+        schedule: &FaultSchedule,
+        seed: u64,
+        outcome: &CaseOutcome,
+    ) -> Artifact {
+        Artifact {
+            protocol,
+            topology: topo.name.to_string(),
+            seed,
+            schedule: schedule.clone(),
+            fingerprint: outcome.fingerprint,
+            violations: outcome.violations.iter().map(|v| v.to_string()).collect(),
+        }
+    }
+
+    /// Serialize to the artifact text form.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("scenario-replay-v1\n");
+        s.push_str(&format!("protocol {}\n", self.protocol.name()));
+        s.push_str(&format!("topology {}\n", self.topology));
+        s.push_str(&format!("seed {}\n", self.seed));
+        s.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        s.push_str("schedule\n");
+        s.push_str(&self.schedule.to_text());
+        s.push_str("end\n");
+        for v in &self.violations {
+            s.push_str(&format!("violation {v}\n"));
+        }
+        s
+    }
+
+    /// Parse the artifact text form back.
+    pub fn from_text(text: &str) -> Result<Artifact, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("scenario-replay-v1") {
+            return Err("not a scenario-replay-v1 artifact".into());
+        }
+        let mut field = |key: &str| -> Result<String, String> {
+            let l = lines.next().ok_or_else(|| format!("missing {key} line"))?;
+            l.strip_prefix(key)
+                .and_then(|r| r.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected `{key} ...`, got {l:?}"))
+        };
+        let protocol = Protocol::from_name(&field("protocol")?)
+            .ok_or_else(|| "unknown protocol".to_string())?;
+        let topology = field("topology")?;
+        let seed: u64 = field("seed")?.parse().map_err(|_| "bad seed".to_string())?;
+        let fingerprint = u64::from_str_radix(&field("fingerprint")?, 16)
+            .map_err(|_| "bad fingerprint".to_string())?;
+        if lines.next() != Some("schedule") {
+            return Err("missing schedule section".into());
+        }
+        let mut sched_text = String::new();
+        let mut violations = Vec::new();
+        let mut in_schedule = true;
+        for l in lines {
+            if in_schedule {
+                if l == "end" {
+                    in_schedule = false;
+                } else {
+                    sched_text.push_str(l);
+                    sched_text.push('\n');
+                }
+            } else if let Some(v) = l.strip_prefix("violation ") {
+                violations.push(v.to_string());
+            }
+        }
+        if in_schedule {
+            return Err("schedule section not terminated by `end`".into());
+        }
+        Ok(Artifact {
+            protocol,
+            topology,
+            seed,
+            schedule: FaultSchedule::from_text(&sched_text)?,
+            fingerprint,
+            violations,
+        })
+    }
+}
+
+/// Re-execute an artifact. The run is deterministic, so the returned
+/// outcome's fingerprint and violations must equal the artifact's — the
+/// replay test target asserts exactly that.
+pub fn replay(artifact: &Artifact) -> Result<CaseOutcome, String> {
+    let topo = topology(&artifact.topology)
+        .ok_or_else(|| format!("unknown topology {:?}", artifact.topology))?;
+    Ok(run_case(
+        &topo,
+        artifact.protocol,
+        &artifact.schedule,
+        artifact.seed,
+    ))
+}

@@ -1,0 +1,39 @@
+//! Deterministic fault-schedule engine and protocol-invariant oracles.
+//!
+//! Systematic robustness testing for the three multicast protocols in
+//! this repository (PIM sparse mode, DVMRP dense mode, CBT), built from
+//! three layers:
+//!
+//! 1. [`schedule`] — a declarative, text-serializable fault DSL: link
+//!    flaps, loss ramps, router crashes with total state loss, restarts,
+//!    and membership churn, compiled onto the simulator's scripted-event
+//!    machinery.
+//! 2. [`oracle`] — cross-node invariants checked after quiescence: RPF
+//!    consistency, loop freedom, eventual delivery, no orphaned state
+//!    after teardown, and CBT's hop-by-hop ack ledger.
+//! 3. [`explore`] — a seeded explorer that samples random schedules per
+//!    topology, runs all three protocols against the identical schedule,
+//!    and on violation emits a minimal replay artifact (seed + schedule +
+//!    trace fingerprint) that re-executes byte-identically.
+//!
+//! The paper motivates this: §2 requires the architecture stay robust
+//! under "unicast route changes, router failures, and membership churn";
+//! the oracles turn those prose requirements into executable invariants.
+
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod net;
+pub mod oracle;
+pub mod schedule;
+
+pub use explore::{
+    explore_seed, random_schedule, replay, run_case, topologies, topology, Artifact, CaseOutcome,
+    TopoSpec,
+};
+pub use net::{build_net, Protocol, ScenarioNet, Substrate};
+pub use oracle::{
+    check_cbt_ack_ledger, check_delivery, check_loop_freedom, check_no_orphans, check_rpf,
+    check_structure, Violation,
+};
+pub use schedule::{FaultEvent, FaultSchedule};

@@ -1,0 +1,225 @@
+//! Building a protocol network a fault schedule can run against.
+//!
+//! The same topology + rendezvous-point assignment + host placement is
+//! instantiated for any of the three protocols and any unicast substrate,
+//! so the explorer can hold the schedule fixed and vary only the protocol
+//! under test.
+
+use cbt::{CbtConfig, CbtEngine, CbtRouter};
+use dvmrp::{DvmrpConfig, DvmrpEngine, DvmrpRouter};
+use graph::{Graph, NodeId};
+use igmp::HostNode;
+use netsim::{host_addr, router_addr, Duration, IfaceId, NodeIdx, SimTime, Topology, World};
+use pim::{Engine, PimConfig, PimRouter};
+use unicast::dv::{DvConfig, DvEngine};
+use unicast::ls::{LsConfig, LsEngine};
+use unicast::OracleRib;
+use wire::{Addr, Group};
+
+/// The multicast protocol under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// PIM sparse mode (the paper's architecture).
+    Pim,
+    /// DVMRP dense mode (broadcast-and-prune baseline).
+    Dvmrp,
+    /// Core-based trees (shared-tree baseline).
+    Cbt,
+}
+
+impl Protocol {
+    /// All three protocols, in canonical order.
+    pub const ALL: [Protocol; 3] = [Protocol::Pim, Protocol::Dvmrp, Protocol::Cbt];
+
+    /// Stable name used in replay artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Pim => "pim",
+            Protocol::Dvmrp => "dvmrp",
+            Protocol::Cbt => "cbt",
+        }
+    }
+
+    /// Parse an artifact name back.
+    pub fn from_name(s: &str) -> Option<Protocol> {
+        Protocol::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// The unicast substrate the routers run underneath the multicast engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Substrate {
+    /// Static tables from global knowledge (deterministic, zero chatter —
+    /// what the explorer uses for byte-identical trace comparison).
+    Oracle,
+    /// RIP-like distance vector.
+    DistanceVector,
+    /// OSPF-like link state.
+    LinkState,
+}
+
+/// One router-router interface, as the oracles see it.
+#[derive(Clone, Copy, Debug)]
+pub struct IfacePeer {
+    /// The interface id on this router.
+    pub iface: IfaceId,
+    /// The neighbor router's graph node.
+    pub neighbor: NodeId,
+    /// The neighbor router's address.
+    pub neighbor_addr: Addr,
+}
+
+/// A built scenario network: world plus the side tables the oracle layer
+/// needs to interpret router state.
+pub struct ScenarioNet {
+    /// The simulation world.
+    pub world: World,
+    /// `(world node, address)` of host slot `k`, in `host_routers` order.
+    pub hosts: Vec<(NodeIdx, Addr)>,
+    /// Which protocol the routers run.
+    pub protocol: Protocol,
+    /// The group all membership and data traffic targets.
+    pub group: Group,
+    /// Number of routers (world nodes `0..router_count` are routers).
+    pub router_count: usize,
+    /// The RP (PIM) / core (CBT) router. DVMRP has no rendezvous point.
+    pub rendezvous: NodeId,
+    /// The router each host slot sits behind.
+    pub host_routers: Vec<NodeId>,
+    /// Router-router interface map per router, indexed by graph node.
+    pub peers: Vec<Vec<IfacePeer>>,
+}
+
+/// Build a network of `protocol` routers over `g` with a host behind each
+/// router in `host_routers`, the rendezvous point (RP or core) at
+/// `rendezvous`, and the chosen unicast substrate.
+pub fn build_net(
+    g: &Graph,
+    protocol: Protocol,
+    substrate: Substrate,
+    group: Group,
+    rendezvous: NodeId,
+    host_routers: &[NodeId],
+    seed: u64,
+) -> ScenarioNet {
+    let topo = Topology::from_graph(g);
+    let rdv_addr = router_addr(rendezvous);
+
+    let mut oracle = OracleRib::for_all(g, &topo);
+    for &n in host_routers {
+        let h = host_addr(n, 0);
+        for (i, rib) in oracle.iter_mut().enumerate() {
+            if i != n.index() {
+                rib.alias_host(h, router_addr(n));
+            }
+        }
+    }
+    let mut oracle_iter = oracle.into_iter();
+
+    let (mut world, _links) = topo.build_world(g, seed, |plan| {
+        let unicast: Box<dyn unicast::Engine> = match substrate {
+            Substrate::Oracle => Box::new(oracle_iter.next().expect("rib per plan")),
+            Substrate::DistanceVector => {
+                let _ = oracle_iter.next();
+                Box::new(DvEngine::new(plan, DvConfig::default()))
+            }
+            Substrate::LinkState => {
+                let _ = oracle_iter.next();
+                Box::new(LsEngine::new(plan, LsConfig::default()))
+            }
+        };
+        match protocol {
+            Protocol::Pim => {
+                let mut r = PimRouter::new(
+                    Engine::new(plan.addr, plan.ifaces.len(), PimConfig::default()),
+                    unicast,
+                );
+                r.engine_mut().set_rp_mapping(group, vec![rdv_addr]);
+                Box::new(r)
+            }
+            Protocol::Dvmrp => Box::new(DvmrpRouter::new(
+                DvmrpEngine::new(plan.addr, plan.ifaces.len(), DvmrpConfig::default()),
+                unicast,
+            )),
+            Protocol::Cbt => {
+                let mut e = CbtEngine::new(plan.addr, CbtConfig::default());
+                e.set_core(group, rdv_addr);
+                Box::new(CbtRouter::new(e, unicast))
+            }
+        }
+    });
+
+    let mut hosts = Vec::new();
+    for &n in host_routers {
+        let ha = host_addr(n, 0);
+        let hi = world.add_node(Box::new(HostNode::new(ha)));
+        let (_l, ifs) = world.add_lan(&[NodeIdx(n.index()), hi], Duration(1));
+        let r = NodeIdx(n.index());
+        match protocol {
+            Protocol::Pim => world
+                .node_mut::<PimRouter>(r)
+                .attach_host_lan(ifs[0], &[ha]),
+            Protocol::Dvmrp => world
+                .node_mut::<DvmrpRouter>(r)
+                .attach_host_lan(ifs[0], &[ha]),
+            Protocol::Cbt => world
+                .node_mut::<CbtRouter>(r)
+                .attach_host_lan(ifs[0], &[ha]),
+        }
+        hosts.push((hi, ha));
+    }
+
+    let peers = topo
+        .plans()
+        .iter()
+        .map(|p| {
+            p.ifaces
+                .iter()
+                .map(|i| IfacePeer {
+                    iface: i.iface,
+                    neighbor: i.neighbor,
+                    neighbor_addr: i.neighbor_addr,
+                })
+                .collect()
+        })
+        .collect();
+
+    ScenarioNet {
+        world,
+        hosts,
+        protocol,
+        group,
+        router_count: g.node_count(),
+        rendezvous,
+        host_routers: host_routers.to_vec(),
+        peers,
+    }
+}
+
+impl ScenarioNet {
+    /// Schedule host slot `k` to stream `count` data packets starting at
+    /// `start`, `gap` ticks apart. Returns nothing; sequence numbers are
+    /// consecutive from the host's own counter.
+    pub fn send_at(&mut self, slot: usize, start: u64, count: u64, gap: u64) {
+        let (host, _) = self.hosts[slot];
+        let group = self.group;
+        for k in 0..count {
+            self.world.at(SimTime(start + k * gap), move |w| {
+                w.call_node(host, |n, ctx| {
+                    n.as_any_mut()
+                        .downcast_mut::<HostNode>()
+                        .expect("host slot is a HostNode")
+                        .send_data(ctx, group);
+                });
+            });
+        }
+    }
+
+    /// The sequence numbers host slot `k` received from `source`.
+    pub fn seqs(&self, slot: usize, source: Addr) -> Vec<u64> {
+        let (host, _) = self.hosts[slot];
+        self.world
+            .node::<HostNode>(host)
+            .seqs_from(source, self.group)
+    }
+}

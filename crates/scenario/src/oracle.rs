@@ -1,0 +1,437 @@
+//! Protocol-invariant oracles.
+//!
+//! After a fault schedule has fully healed and the network has quiesced,
+//! these walk router state across the whole world and assert cross-node
+//! invariants, reporting the offending node and entry on failure:
+//!
+//! * **RPF consistency** (PIM) — every tree entry's incoming interface and
+//!   upstream neighbor agree with the router's own unicast RIB: (*,G) and
+//!   RP-bit entries point along the unicast path toward the RP, (S,G)
+//!   entries along the path toward the source.
+//! * **Loop freedom** — upstream pointers (PIM) / parent pointers (CBT)
+//!   form forests, never cycles, walking chains of a single destination
+//!   class (toward-RP, toward-source, toward-core) across routers.
+//! * **Delivery** — every host whose last membership event was a join
+//!   received every probe packet sent after the heal.
+//! * **No orphans** — once every member has left and all holdtimes have
+//!   run out, no router retains (*,G)/(S,G)/tree state (the CBT core's
+//!   own bare tree anchor is exempt: a core never quits its tree).
+//! * **CBT ack ledger** — an on-tree router's parent link is mirrored by a
+//!   child entry at the parent: hop-by-hop explicit acks must leave the
+//!   two ends of every tree edge in agreement.
+
+use crate::net::{Protocol, ScenarioNet};
+use cbt::CbtRouter;
+use dvmrp::DvmrpRouter;
+use netsim::{node_of_addr, NodeIdx};
+use pim::PimRouter;
+use std::collections::BTreeSet;
+use std::fmt;
+use wire::Addr;
+
+/// One invariant violation, pinned to the router it was observed at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which oracle fired.
+    pub oracle: &'static str,
+    /// The offending router (graph node index).
+    pub node: usize,
+    /// The offending entry / expectation, human-readable.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ r{}: {}", self.oracle, self.node, self.detail)
+    }
+}
+
+fn violation(oracle: &'static str, node: usize, detail: String) -> Violation {
+    Violation {
+        oracle,
+        node,
+        detail,
+    }
+}
+
+/// Routers that are up (crashed-and-never-restarted routers hold no
+/// checkable state and take no part in the invariants).
+fn up_routers(net: &ScenarioNet) -> Vec<usize> {
+    (0..net.router_count)
+        .filter(|&n| net.world.is_node_up(NodeIdx(n)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// RPF consistency (PIM)
+// ---------------------------------------------------------------------
+
+/// Every PIM entry's (iif, upstream) pair must match the router's current
+/// RIB: toward the RP for (*,G) and RP-bit entries, toward the source for
+/// SPT entries. DVMRP and CBT are exempt by construction — DVMRP computes
+/// RPF per packet from the RIB and stores no iif, and CBT trees legally
+/// diverge from the current unicast paths between join events.
+pub fn check_rpf(net: &ScenarioNet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if net.protocol != Protocol::Pim {
+        return out;
+    }
+    for n in up_routers(net) {
+        let r = net.world.node::<PimRouter>(NodeIdx(n));
+        let (engine, rib) = (r.engine(), r.rib());
+        let my_addr = engine.addr();
+        for (group, gs) in engine.groups() {
+            let rp = gs.rp();
+            let expect_toward = |dst: Addr| match rib.route(dst) {
+                Some(e) => (Some(e.iface), Some(e.next_hop)),
+                None => (None, None),
+            };
+            let mut check = |kind: &str, key: Addr, got: (Option<_>, Option<Addr>), dst: Addr| {
+                let want = if dst == my_addr {
+                    (None, None)
+                } else {
+                    expect_toward(dst)
+                };
+                if got != want {
+                    out.push(violation(
+                        "rpf-consistency",
+                        n,
+                        format!(
+                            "{kind} entry ({key}, {group:?}): iif/upstream {got:?} \
+                             disagree with rib {want:?} toward {dst}"
+                        ),
+                    ));
+                }
+            };
+            if let Some(star) = &gs.star {
+                if let Some(rp) = rp {
+                    check("(*,G)", star.key, (star.iif, star.upstream), rp);
+                }
+            }
+            for (&s, e) in &gs.sources {
+                if e.local_source {
+                    continue; // iif is the host LAN; not a RIB-visible path
+                }
+                if e.rp_bit {
+                    if let Some(rp) = rp {
+                        check("(S,G)RP-bit", s, (e.iif, e.upstream), rp);
+                    }
+                } else {
+                    check("(S,G)", s, (e.iif, e.upstream), s);
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Loop freedom
+// ---------------------------------------------------------------------
+
+/// Follow a chain of upstream/parent pointers from `start`, resolving each
+/// hop with `next`, and report a violation if any router repeats.
+fn walk_chain(
+    oracle: &'static str,
+    what: &str,
+    start: usize,
+    router_count: usize,
+    next: impl Fn(usize) -> Option<Addr>,
+    out: &mut Vec<Violation>,
+) {
+    let mut seen = BTreeSet::new();
+    let mut at = start;
+    seen.insert(at);
+    while let Some(up) = next(at) {
+        let Some(node) = node_of_addr(up) else { break };
+        let nx = node.index();
+        if nx >= router_count {
+            break;
+        }
+        if !seen.insert(nx) {
+            out.push(violation(
+                oracle,
+                start,
+                format!("{what}: upstream chain revisits r{nx}"),
+            ));
+            return;
+        }
+        at = nx;
+    }
+}
+
+/// No cycle in the upstream-pointer graph of any destination class:
+/// PIM's toward-RP chain ((*,G) and RP-bit entries) and per-source SPT
+/// chain, and CBT's parent chain toward the core. Each chain follows
+/// pointers of its own class only, so a cycle is a genuine routing-state
+/// inconsistency rather than an artifact of mixing tree types.
+pub fn check_loop_freedom(net: &ScenarioNet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let up = up_routers(net);
+    let is_up = |n: usize| net.world.is_node_up(NodeIdx(n));
+    match net.protocol {
+        Protocol::Pim => {
+            let star_up = |n: usize| -> Option<Addr> {
+                if !is_up(n) {
+                    return None;
+                }
+                let e = net.world.node::<PimRouter>(NodeIdx(n)).engine();
+                e.group_state(net.group)?.star.as_ref()?.upstream
+            };
+            let mut sources = BTreeSet::new();
+            for &n in &up {
+                let e = net.world.node::<PimRouter>(NodeIdx(n)).engine();
+                if let Some(gs) = e.group_state(net.group) {
+                    sources.extend(gs.sources.keys().copied());
+                }
+            }
+            for &n in &up {
+                walk_chain(
+                    "loop-freedom",
+                    "(*,G)",
+                    n,
+                    net.router_count,
+                    star_up,
+                    &mut out,
+                );
+                for &s in &sources {
+                    let spt_up = |m: usize| -> Option<Addr> {
+                        if !is_up(m) {
+                            return None;
+                        }
+                        let e = net.world.node::<PimRouter>(NodeIdx(m)).engine();
+                        let entry = e.group_state(net.group)?.sources.get(&s)?;
+                        if entry.rp_bit || entry.local_source {
+                            return None; // different class / chain terminus
+                        }
+                        entry.upstream
+                    };
+                    walk_chain(
+                        "loop-freedom",
+                        &format!("(S={s},G)"),
+                        n,
+                        net.router_count,
+                        spt_up,
+                        &mut out,
+                    );
+                }
+            }
+        }
+        Protocol::Cbt => {
+            let parent_of = |n: usize| -> Option<Addr> {
+                if !is_up(n) {
+                    return None;
+                }
+                let e = net.world.node::<CbtRouter>(NodeIdx(n)).engine();
+                e.tree(net.group)?.parent.map(|(_, a)| a)
+            };
+            for &n in &up {
+                walk_chain(
+                    "loop-freedom",
+                    "tree parent",
+                    n,
+                    net.router_count,
+                    parent_of,
+                    &mut out,
+                );
+            }
+        }
+        // DVMRP holds no upstream pointers: RPF is recomputed from the RIB
+        // per packet, so the RIB's own loop freedom is the invariant.
+        Protocol::Dvmrp => {}
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Delivery
+// ---------------------------------------------------------------------
+
+/// Every member host (by slot) received every expected probe sequence
+/// number from `source`. Duplicates are allowed — an SPT switchover
+/// legitimately double-delivers during the transition — but gaps are not.
+pub fn check_delivery(
+    net: &ScenarioNet,
+    members: &[u32],
+    source: Addr,
+    expected: &[u64],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &slot in members {
+        let got: BTreeSet<u64> = net.seqs(slot as usize, source).into_iter().collect();
+        let missing: Vec<u64> = expected
+            .iter()
+            .copied()
+            .filter(|s| !got.contains(s))
+            .collect();
+        if !missing.is_empty() {
+            let router = net.host_routers[slot as usize].index();
+            out.push(violation(
+                "delivery",
+                router,
+                format!(
+                    "member slot {slot} missing seqs {missing:?} from {source} \
+                     (got {} of {})",
+                    expected.len() - missing.len(),
+                    expected.len()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// No orphaned state
+// ---------------------------------------------------------------------
+
+/// After every member has left and all holdtimes/lingers have expired, no
+/// router may retain forwarding state. The CBT core's own bare tree
+/// anchor (no parent, no children, no members) is exempt — a core never
+/// quits its tree by design.
+pub fn check_no_orphans(net: &ScenarioNet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for n in up_routers(net) {
+        match net.protocol {
+            Protocol::Pim => {
+                let e = net.world.node::<PimRouter>(NodeIdx(n)).engine();
+                for (group, gs) in e.groups() {
+                    if let Some(star) = &gs.star {
+                        out.push(violation(
+                            "no-orphans",
+                            n,
+                            format!("(*,{group:?}) survives teardown: {:?}", star.oifs.keys()),
+                        ));
+                    }
+                    for &s in gs.sources.keys() {
+                        out.push(violation(
+                            "no-orphans",
+                            n,
+                            format!("({s}, {group:?}) survives teardown"),
+                        ));
+                    }
+                }
+            }
+            Protocol::Dvmrp => {
+                let e = net.world.node::<DvmrpRouter>(NodeIdx(n)).engine();
+                for (s, g) in e.entry_keys() {
+                    out.push(violation(
+                        "no-orphans",
+                        n,
+                        format!("({s}, {g:?}) survives its entry timeout"),
+                    ));
+                }
+            }
+            Protocol::Cbt => {
+                let my_addr = net.world.node::<CbtRouter>(NodeIdx(n)).engine().addr();
+                let e = net.world.node::<CbtRouter>(NodeIdx(n)).engine();
+                for (g, t) in e.trees() {
+                    let bare_core_anchor = t.core == my_addr
+                        && t.parent.is_none()
+                        && t.children.is_empty()
+                        && t.member_ifaces.is_empty();
+                    if !bare_core_anchor {
+                        out.push(violation(
+                            "no-orphans",
+                            n,
+                            format!(
+                                "tree for {g:?} survives teardown (parent {:?}, \
+                                 {} children, {} member ifaces)",
+                                t.parent,
+                                t.children.len(),
+                                t.member_ifaces.len()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// CBT ack ledger
+// ---------------------------------------------------------------------
+
+/// Hop-by-hop explicit acks must leave both ends of every CBT tree edge
+/// in agreement: if an on-tree router records `(iface, parent)` as its
+/// parent link, then `parent` must be the direct neighbor on that iface,
+/// and the parent router must hold a matching child entry for this router
+/// on its own side of the same link. Routers with a join still pending
+/// are exempt — their edge is not yet acknowledged.
+pub fn check_cbt_ack_ledger(net: &ScenarioNet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if net.protocol != Protocol::Cbt {
+        return out;
+    }
+    for n in up_routers(net) {
+        let e = net.world.node::<CbtRouter>(NodeIdx(n)).engine();
+        let my_addr = e.addr();
+        for (group, tree) in e.trees() {
+            if !tree.on_tree || e.join_pending(group) {
+                continue;
+            }
+            let Some((p_iface, p_addr)) = tree.parent else {
+                continue; // the core: no parent by definition
+            };
+            let Some(peer) = net.peers[n].iter().find(|p| p.iface == p_iface) else {
+                out.push(violation(
+                    "cbt-ack-ledger",
+                    n,
+                    format!("parent iface {p_iface:?} is not a router-router link"),
+                ));
+                continue;
+            };
+            if peer.neighbor_addr != p_addr {
+                out.push(violation(
+                    "cbt-ack-ledger",
+                    n,
+                    format!(
+                        "parent {p_addr} recorded on iface {p_iface:?}, but that \
+                         link's neighbor is {}",
+                        peer.neighbor_addr
+                    ),
+                ));
+                continue;
+            }
+            let pn = peer.neighbor.index();
+            if !net.world.is_node_up(NodeIdx(pn)) {
+                continue; // parent crashed; echo timeout will flush us
+            }
+            let Some(back) = net.peers[pn].iter().find(|p| p.neighbor.index() == n) else {
+                continue;
+            };
+            let pe = net.world.node::<CbtRouter>(NodeIdx(pn)).engine();
+            let ledger_ok = pe
+                .tree(group)
+                .is_some_and(|pt| pt.children.contains_key(&(back.iface, my_addr)));
+            if !ledger_ok {
+                out.push(violation(
+                    "cbt-ack-ledger",
+                    n,
+                    format!(
+                        "on-tree with parent r{pn} for {group:?}, but r{pn} holds \
+                         no child entry for {my_addr} on iface {:?}",
+                        back.iface
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Composites
+// ---------------------------------------------------------------------
+
+/// The structural invariants that must hold after any healed schedule,
+/// regardless of final membership: RPF consistency, loop freedom, and the
+/// CBT ack ledger.
+pub fn check_structure(net: &ScenarioNet) -> Vec<Violation> {
+    let mut out = check_rpf(net);
+    out.extend(check_loop_freedom(net));
+    out.extend(check_cbt_ack_ledger(net));
+    out
+}

@@ -1,0 +1,259 @@
+//! The declarative fault-schedule DSL.
+//!
+//! A [`FaultSchedule`] is an ordered list of timed [`FaultEvent`]s — link
+//! flaps, loss ramps, router crashes with state loss, restarts, and
+//! membership churn. Schedules are pure data: they serialize to a
+//! line-oriented text form with an exact round trip (loss is carried in
+//! per-mille, never floating point), which is what makes replay artifacts
+//! byte-identical, and they compile onto the simulator's existing scripted
+//! event machinery via [`FaultSchedule::install`].
+//!
+//! "RP failure" and "unicast route change" from the fault taxonomy are
+//! expressed through the same primitives: crashing the router that holds
+//! the RP (or core) *is* the RP-failure fault, and a link down/up pair
+//! under an adaptive unicast substrate *is* a route change.
+
+use igmp::HostNode;
+use netsim::{LinkId, NodeIdx, SimTime, World};
+use wire::Group;
+
+/// One fault, applied at a scheduled instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Take a router-router link down.
+    LinkDown(usize),
+    /// Bring a link back up.
+    LinkUp(usize),
+    /// Set a link's per-receiver drop probability, in per-mille
+    /// (`0..=1000`). Integer so the text form round-trips exactly.
+    LinkLoss(usize, u32),
+    /// Crash a router with total state loss ([`World::crash_node`]).
+    /// Crashing the RP / core router is the RP-failure fault class.
+    CrashRouter(u32),
+    /// Power a crashed router back up ([`World::restart_node`]).
+    RestartRouter(u32),
+    /// Host slot `k` joins the group (membership churn).
+    Join(u32),
+    /// Host slot `k` leaves the group (silent IGMPv1 leave).
+    Leave(u32),
+}
+
+impl FaultEvent {
+    fn to_line(self) -> String {
+        match self {
+            FaultEvent::LinkDown(l) => format!("link-down {l}"),
+            FaultEvent::LinkUp(l) => format!("link-up {l}"),
+            FaultEvent::LinkLoss(l, pm) => format!("link-loss {l} {pm}"),
+            FaultEvent::CrashRouter(r) => format!("crash {r}"),
+            FaultEvent::RestartRouter(r) => format!("restart {r}"),
+            FaultEvent::Join(h) => format!("join {h}"),
+            FaultEvent::Leave(h) => format!("leave {h}"),
+        }
+    }
+}
+
+/// A deterministic, serializable fault schedule.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// `(time, fault)` pairs. [`FaultSchedule::install`] sorts stably by
+    /// time, so same-instant events keep their listed order.
+    pub events: Vec<(u64, FaultEvent)>,
+}
+
+impl FaultSchedule {
+    /// Append an event.
+    pub fn push(&mut self, at: u64, ev: FaultEvent) {
+        self.events.push((at, ev));
+    }
+
+    /// The largest scheduled time (0 for an empty schedule).
+    pub fn span(&self) -> u64 {
+        self.events.iter().map(|&(t, _)| t).max().unwrap_or(0)
+    }
+
+    /// Serialize to the line-oriented text form:
+    ///
+    /// ```text
+    /// 250 link-down 0
+    /// 400 link-loss 2 500
+    /// 700 crash 3
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for &(t, ev) in &self.events {
+            s.push_str(&format!("{t} {}\n", ev.to_line()));
+        }
+        s
+    }
+
+    /// Parse the text form back. Blank lines and `#` comments are skipped.
+    /// `from_text(s).to_text()` reproduces `s` up to those skipped lines —
+    /// the exact round trip replay artifacts depend on.
+    pub fn from_text(text: &str) -> Result<FaultSchedule, String> {
+        let mut events = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let err = |what: &str| format!("line {}: {what}: {line:?}", ln + 1);
+            let at: u64 = parts
+                .next()
+                .ok_or_else(|| err("missing time"))?
+                .parse()
+                .map_err(|_| err("bad time"))?;
+            let kind = parts.next().ok_or_else(|| err("missing fault kind"))?;
+            let mut arg = |what: &str| -> Result<u64, String> {
+                parts
+                    .next()
+                    .ok_or_else(|| err(what))?
+                    .parse::<u64>()
+                    .map_err(|_| err(what))
+            };
+            let ev = match kind {
+                "link-down" => FaultEvent::LinkDown(arg("missing link")? as usize),
+                "link-up" => FaultEvent::LinkUp(arg("missing link")? as usize),
+                "link-loss" => {
+                    let l = arg("missing link")? as usize;
+                    let pm = arg("missing per-mille")? as u32;
+                    if pm > 1000 {
+                        return Err(err("per-mille out of range"));
+                    }
+                    FaultEvent::LinkLoss(l, pm)
+                }
+                "crash" => FaultEvent::CrashRouter(arg("missing router")? as u32),
+                "restart" => FaultEvent::RestartRouter(arg("missing router")? as u32),
+                "join" => FaultEvent::Join(arg("missing host")? as u32),
+                "leave" => FaultEvent::Leave(arg("missing host")? as u32),
+                _ => return Err(err("unknown fault kind")),
+            };
+            if parts.next().is_some() {
+                return Err(err("trailing tokens"));
+            }
+            events.push((at, ev));
+        }
+        Ok(FaultSchedule { events })
+    }
+
+    /// The set of host slots whose *last* membership event is a join —
+    /// i.e. the members expected at the end of the schedule (the delivery
+    /// oracle's member set).
+    pub fn final_members(&self, host_count: usize) -> Vec<u32> {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut joined = vec![false; host_count];
+        for &(_, ev) in &sorted {
+            match ev {
+                FaultEvent::Join(h) => {
+                    if let Some(j) = joined.get_mut(h as usize) {
+                        *j = true;
+                    }
+                }
+                FaultEvent::Leave(h) => {
+                    if let Some(j) = joined.get_mut(h as usize) {
+                        *j = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        (0..host_count as u32)
+            .filter(|&h| joined[h as usize])
+            .collect()
+    }
+
+    /// Compile the schedule onto `world`'s scripted-event machinery.
+    /// `hosts[k]` is the world node of host slot `k`; membership events
+    /// target `group`. Events are installed in stable time order.
+    pub fn install(&self, world: &mut World, hosts: &[NodeIdx], group: Group) {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        for (at, ev) in sorted {
+            let hosts = hosts.to_vec();
+            world.at(SimTime(at), move |w| apply(w, ev, &hosts, group));
+        }
+    }
+}
+
+/// Apply one fault to the world.
+fn apply(w: &mut World, ev: FaultEvent, hosts: &[NodeIdx], group: Group) {
+    match ev {
+        FaultEvent::LinkDown(l) => w.set_link_up(LinkId(l), false),
+        FaultEvent::LinkUp(l) => w.set_link_up(LinkId(l), true),
+        FaultEvent::LinkLoss(l, pm) => w.set_link_loss(LinkId(l), f64::from(pm.min(1000)) / 1000.0),
+        FaultEvent::CrashRouter(r) => w.crash_node(NodeIdx(r as usize)),
+        FaultEvent::RestartRouter(r) => w.restart_node(NodeIdx(r as usize)),
+        FaultEvent::Join(h) => {
+            let idx = hosts[h as usize];
+            w.call_node(idx, |n, ctx| {
+                n.as_any_mut()
+                    .downcast_mut::<HostNode>()
+                    .expect("host slot is a HostNode")
+                    .join(ctx, group);
+            });
+        }
+        FaultEvent::Leave(h) => {
+            let idx = hosts[h as usize];
+            w.node_mut::<HostNode>(idx).leave(group);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultSchedule {
+        let mut s = FaultSchedule::default();
+        s.push(30, FaultEvent::Join(1));
+        s.push(250, FaultEvent::LinkDown(0));
+        s.push(400, FaultEvent::LinkLoss(2, 500));
+        s.push(700, FaultEvent::CrashRouter(3));
+        s.push(900, FaultEvent::RestartRouter(3));
+        s.push(950, FaultEvent::LinkUp(0));
+        s.push(960, FaultEvent::LinkLoss(2, 0));
+        s.push(1000, FaultEvent::Leave(1));
+        s
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let s = sample();
+        let text = s.to_text();
+        let back = FaultSchedule::from_text(&text).expect("parse");
+        assert_eq!(back, s);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# a comment\n\n10 crash 2\n";
+        let s = FaultSchedule::from_text(text).expect("parse");
+        assert_eq!(s.events, vec![(10, FaultEvent::CrashRouter(2))]);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(FaultSchedule::from_text("abc crash 2").is_err());
+        assert!(FaultSchedule::from_text("10 explode 2").is_err());
+        assert!(FaultSchedule::from_text("10 link-loss 2 1001").is_err());
+        assert!(FaultSchedule::from_text("10 crash 2 junk").is_err());
+        assert!(FaultSchedule::from_text("10 crash").is_err());
+    }
+
+    #[test]
+    fn final_members_follows_last_event() {
+        let mut s = sample(); // join 1 ... leave 1
+        assert_eq!(s.final_members(3), Vec::<u32>::new());
+        s.push(1200, FaultEvent::Join(1));
+        s.push(1300, FaultEvent::Join(2));
+        assert_eq!(s.final_members(3), vec![1, 2]);
+    }
+
+    #[test]
+    fn span_is_last_time() {
+        assert_eq!(sample().span(), 1000);
+        assert_eq!(FaultSchedule::default().span(), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! The replay-artifact contract, demonstrated on an intentionally broken
+//! fixture: a schedule that crashes the only transit router and never
+//! restarts it. Delivery must fail, the violation must be captured into a
+//! minimal artifact, and re-executing the artifact must reproduce the
+//! violating run byte-identically (same trace fingerprint, same
+//! violations).
+
+use scenario::{replay, run_case, topology, Artifact, FaultEvent, FaultSchedule, Protocol};
+
+/// line-stub topology: 0-1-2-3-4 with a 2-5 stub. Sender host is behind
+/// r4; crashing r2 forever severs every member from the source.
+fn broken_schedule() -> FaultSchedule {
+    let mut s = FaultSchedule::default();
+    s.push(30, FaultEvent::Join(1)); // member behind r0
+    s.push(40, FaultEvent::Join(3)); // member behind r3
+    s.push(300, FaultEvent::CrashRouter(2)); // no restart: permanent partition
+    s
+}
+
+#[test]
+fn broken_fixture_yields_minimal_replay_artifact() {
+    let topo = topology("line-stub").unwrap();
+    let schedule = broken_schedule();
+    let seed = 7;
+
+    for protocol in Protocol::ALL {
+        let outcome = run_case(&topo, protocol, &schedule, seed);
+        assert!(
+            outcome.violations.iter().any(|v| v.oracle == "delivery"),
+            "{}: a permanently partitioned member must trip the delivery \
+             oracle, got {:?}",
+            protocol.name(),
+            outcome.violations
+        );
+
+        // Capture → serialize → parse: exact round-trip.
+        let artifact = Artifact::capture(&topo, protocol, &schedule, seed, &outcome);
+        let text = artifact.to_text();
+        let parsed = Artifact::from_text(&text).expect("artifact parses back");
+        assert_eq!(parsed, artifact, "artifact text form must round-trip");
+
+        // Replay: byte-identical re-execution.
+        let rerun = replay(&parsed).expect("replay resolves topology");
+        assert_eq!(
+            rerun.fingerprint,
+            artifact.fingerprint,
+            "{}: replay must reproduce the identical packet trace",
+            protocol.name()
+        );
+        assert_eq!(
+            rerun
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>(),
+            artifact.violations,
+            "{}: replay must reproduce the identical violations",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn artifact_parser_rejects_malformed_input() {
+    assert!(Artifact::from_text("not an artifact").is_err());
+    assert!(Artifact::from_text("scenario-replay-v1\nprotocol pim\n").is_err());
+    let unterminated = "scenario-replay-v1\nprotocol pim\ntopology diamond\n\
+                        seed 1\nfingerprint 00000000000000ff\nschedule\n30 join 1\n";
+    assert!(Artifact::from_text(unterminated).is_err());
+}
+
+#[test]
+fn replay_rejects_unknown_topology() {
+    let artifact = Artifact {
+        protocol: Protocol::Pim,
+        topology: "no-such-topology".into(),
+        seed: 1,
+        schedule: broken_schedule(),
+        fingerprint: 0,
+        violations: vec![],
+    };
+    assert!(replay(&artifact).is_err());
+}

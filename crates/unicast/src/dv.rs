@@ -125,9 +125,9 @@ impl DvEngine {
             .map(|&dst| DvRoute { dst, metric: 0 })
             .collect();
         for (&dst, st) in &self.table {
-            let metric = if st.iface == iface {
-                INFINITY_METRIC // poisoned reverse
-            } else if st.metric >= self.cfg.infinity {
+            // Poisoned reverse: routes learned over `iface` go back as
+            // unreachable, as do routes already at infinity.
+            let metric = if st.iface == iface || st.metric >= self.cfg.infinity {
                 INFINITY_METRIC
             } else {
                 st.metric
@@ -320,6 +320,14 @@ impl Engine for DvEngine {
 
     fn grow_iface(&mut self, cost: u32) {
         self.add_iface(cost);
+    }
+
+    fn reset(&mut self) {
+        // Learned routes are volatile; local originations and interface
+        // costs are configuration and survive. `on_start` after the restart
+        // re-announces and re-arms the periodic update.
+        self.table.clear();
+        self.next_update = SimTime::ZERO;
     }
 }
 

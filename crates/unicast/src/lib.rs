@@ -126,6 +126,12 @@ pub trait Engine: Rib {
     /// The router grew an interface after construction (host LANs are
     /// wired after the backbone). Keeps per-interface cost tables aligned.
     fn grow_iface(&mut self, _cost: u32) {}
+
+    /// Crash with state loss: forget every learned route/adjacency while
+    /// keeping static configuration (local address, interface costs,
+    /// attached-host originations). The oracle's default is a no-op — its
+    /// precomputed tables play the role of static config.
+    fn reset(&mut self) {}
 }
 
 /// Compare two optional routes for "has the PIM-visible route changed"

@@ -224,7 +224,7 @@ impl LsEngine {
                         // Deterministic tie-break on first-hop address so
                         // all routers agree with the oracle's convention.
                         let new_fh = if u == self.local { v } else { first_hop[&u] };
-                        first_hop.get(&v).map_or(false, |&old_fh| new_fh < old_fh)
+                        first_hop.get(&v).is_some_and(|&old_fh| new_fh < old_fh)
                     }
                     _ => false,
                 };
@@ -427,6 +427,21 @@ impl Engine for LsEngine {
 
     fn grow_iface(&mut self, cost: u32) {
         self.add_iface(cost);
+    }
+
+    fn reset(&mut self) {
+        // Adjacencies, the LSDB, and the computed table are volatile;
+        // interface costs and stub originations are configuration. `my_seq`
+        // survives so our first post-restart LSA outranks the stale copy
+        // neighbors still hold (standing in for OSPF's sequence-number
+        // recovery procedure).
+        for n in self.neighbors.iter_mut() {
+            *n = None;
+        }
+        self.lsdb.clear();
+        self.table.clear();
+        self.next_hello = SimTime::ZERO;
+        self.next_refresh = SimTime::ZERO;
     }
 }
 

@@ -14,7 +14,7 @@
 use graph::NodeId;
 use igmp::HostNode;
 use netsim::IfaceId;
-use netsim::{host_addr, router_addr, Duration, NodeIdx, SimTime, World};
+use netsim::{host_addr, router_addr, Duration, SimTime, World};
 use pim::{Engine, PimConfig, PimRouter};
 use unicast::{OracleRib, RouteEntry};
 use wire::{Addr, Group};

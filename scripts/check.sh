@@ -11,6 +11,9 @@ cargo fmt --check
 echo "== cargo build --release"
 cargo build --release --offline
 
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== cargo test -q"
 cargo test -q --offline
 

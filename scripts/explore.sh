@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Fixed-budget fault-schedule exploration: 300 seeded schedules per
+# topology zoo rotation, all three protocols each, oracle-checked.
+# Exits nonzero and prints a scenario-replay-v1 artifact on any
+# violation. Run from the repository root: ./scripts/explore.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SEEDS="${SEEDS:-300}"
+START="${START:-0}"
+
+cargo run --release --offline -q -p scenario --bin explore -- "$SEEDS" "$START"

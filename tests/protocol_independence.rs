@@ -143,7 +143,6 @@ fn star_iif_matches_rpf_under_live_routing() {
             if star.iif.is_none() {
                 continue; // the RP
             }
-            use unicast::Rib;
             assert_eq!(
                 star.iif,
                 r.rib().rpf_iface(star.key),

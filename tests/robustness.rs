@@ -205,3 +205,82 @@ fn rp_failover_restores_shared_tree() {
         "delivery must fully resume through the alternate RP"
     );
 }
+
+/// §2 robustness, taken literally: the RP *router* crashes losing all of
+/// its volatile state, then restarts. The source's DR must resume
+/// registering (its periodic register probe covers the case where it was
+/// already forwarding natively), the receivers' DRs must rebuild the
+/// (*,G) shared tree at the restarted RP via their periodic refreshes,
+/// and delivery must fully resume — no operator action, pure soft state.
+fn rp_crash_and_restart(substrate: Substrate, seed: u64) {
+    // 0 — 1 — 2(RP) — 3, receiver behind 0, sender behind 3.
+    let mut g = Graph::with_nodes(4);
+    g.add_edge(NodeId(0), NodeId(1), 1);
+    g.add_edge(NodeId(1), NodeId(2), 1);
+    g.add_edge(NodeId(2), NodeId(3), 1);
+    let mut net = build_net(
+        &g,
+        group(),
+        &[NodeId(2)],
+        &[NodeId(0), NodeId(3)],
+        substrate,
+        // Shared-tree only: delivery genuinely depends on the RP holding
+        // (*,G) and (S,G) state, so the rebuild is load-bearing.
+        PimConfig::shared_tree_only(),
+        seed,
+    );
+    let (receiver, _) = net.hosts[0];
+    let (sender, s_addr) = net.hosts[1];
+    join_at(&mut net.world, receiver, group(), 50);
+    send_at(&mut net.world, sender, group(), 400, 120, 30); // through t=3970
+
+    // Crash the RP mid-stream; its engine, unicast and IGMP state are
+    // erased (NVRAM model: only static config survives). Restart shortly
+    // after.
+    net.world.at(SimTime(900), |w| w.crash_node(NodeIdx(2)));
+    net.world.at(SimTime(1100), |w| w.restart_node(NodeIdx(2)));
+    // The register counters are observability, not protocol state — they
+    // survive the crash — so snapshot just before the restart to count
+    // post-restart registers only.
+    net.world.run_until(SimTime(1099));
+    let regs_before = {
+        let rp: &PimRouter = net.world.node(NodeIdx(2));
+        rp.engine().registers_received
+    };
+    net.world.run_until(SimTime(4600));
+
+    let rp: &PimRouter = net.world.node(NodeIdx(2));
+    assert!(
+        rp.engine().registers_received > regs_before,
+        "registers must resume at the restarted RP"
+    );
+    let gs = rp
+        .engine()
+        .group_state(group())
+        .expect("group state rebuilt");
+    let star = gs.star.as_ref().expect("(*,G) rebuilt at the restarted RP");
+    assert!(
+        !star.oifs_empty(),
+        "the rebuilt shared tree must have downstream receivers"
+    );
+    let got = seqs(&net.world, receiver, s_addr, group());
+    // Early packets arrive; the crash window loses some; after the RP is
+    // back and soft state has refreshed, delivery must fully resume.
+    assert!(got.contains(&0), "pre-crash delivery");
+    let late: Vec<u64> = got.iter().copied().filter(|&s| s >= 80).collect();
+    assert_eq!(
+        late,
+        (80..120).collect::<Vec<u64>>(),
+        "delivery must fully resume after the RP restarts"
+    );
+}
+
+#[test]
+fn rp_crash_and_restart_over_distance_vector() {
+    rp_crash_and_restart(Substrate::DistanceVector, 21);
+}
+
+#[test]
+fn rp_crash_and_restart_over_link_state() {
+    rp_crash_and_restart(Substrate::LinkState, 22);
+}

@@ -21,14 +21,14 @@ use wire::Group;
 fn assert_converged_to_oracle(g: &Graph, world: &netsim::World) {
     let topo = Topology::from_graph(g);
     let oracles = OracleRib::for_all(g, &topo);
-    for i in 0..g.node_count() {
+    for (i, oracle) in oracles.iter().enumerate() {
         let r: &PimRouter = world.node(NodeIdx(i));
         for dst in g.nodes() {
             if dst.index() == i {
                 continue;
             }
             let live = r.rib().route(router_addr(dst));
-            let want = oracles[i].route(router_addr(dst));
+            let want = oracle.route(router_addr(dst));
             match (live, want) {
                 (Some(l), Some(w)) => assert_eq!(
                     l.metric, w.metric,
