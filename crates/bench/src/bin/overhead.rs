@@ -22,12 +22,18 @@
 //! * `events`/`timers` — simulator event-loop dispatches and timer wakeups
 //!   (deadline-driven, so these track protocol work, not wall-clock).
 //!
+//! A second table attributes `ctrl` to its control sub-protocol
+//! (multicast routing vs IGMP vs the unicast substrate), classified
+//! once at tx time by [`netsim::CtrlProto`] — the paper's per-protocol
+//! control-cost axis.
+//!
 //! Run: `cargo run -p bench --release --bin overhead [--trials N] [--seed N]`
 
 use bench::{cli, run_protocol_sim, stats, Proto, Workload};
 use graph::gen::{random_connected, RandomGraphParams};
 use graph::NodeId;
 use mctree::GroupSpec;
+use netsim::CtrlProto;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wire::Group;
@@ -56,6 +62,7 @@ fn main() {
         "events",
         "timers"
     );
+    let mut attribution: Vec<(usize, &'static str, [u64; 6])> = Vec::new();
     for &members in &[2usize, 5, 10, 20, 40] {
         let senders = members.min(4);
         for proto in [Proto::PimSpt, Proto::PimShared, Proto::Cbt, Proto::Dvmrp] {
@@ -69,6 +76,7 @@ fn main() {
             let mut dup = 0u64;
             let mut events = Vec::new();
             let mut timers = Vec::new();
+            let mut ctrl_by = [0u64; 6];
             for trial in 0..args.trials {
                 let mut rng =
                     StdRng::seed_from_u64(args.seed ^ ((members as u64) << 24) ^ trial as u64);
@@ -98,7 +106,11 @@ fn main() {
                 dup += r.duplicates;
                 events.push(r.events_dispatched as f64);
                 timers.push(r.timers_fired as f64);
+                for (slot, (_, n)) in ctrl_by.iter_mut().zip(r.control_breakdown) {
+                    *slot += n;
+                }
             }
+            attribution.push((members, proto.name(), ctrl_by));
             println!(
                 "{:<10} {:<11} {:>8.1} {:>9.0} {:>9.0} {:>7.1} {:>7.1} {:>5}/{:<5} {:>5} {:>9.0} {:>8.0}",
                 members,
@@ -117,6 +129,20 @@ fn main() {
         }
         println!();
     }
+    println!("# Control-cost attribution (mean pkts/run by sub-protocol, tx-time classified):");
+    print!("{:<10} {:<11}", "members", "protocol");
+    for p in CtrlProto::ALL {
+        print!(" {:>8}", p.name());
+    }
+    println!();
+    for (members, proto, ctrl_by) in &attribution {
+        print!("{members:<10} {proto:<11}");
+        for n in ctrl_by {
+            print!(" {:>8.0}", *n as f64 / args.trials as f64);
+        }
+        println!();
+    }
+    println!();
     println!("# Expected shape (paper §1.2): for sparse membership DVMRP pays data packets and");
     println!("# state on links/routers that lead to no members (flood + periodic re-flood),");
     println!("# while PIM's explicit joins keep data and state on the distribution tree only.");

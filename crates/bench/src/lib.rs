@@ -15,7 +15,7 @@ use cbt::{CbtConfig, CbtEngine, CbtRouter};
 use dvmrp::{DvmrpConfig, DvmrpEngine, DvmrpRouter};
 use graph::{Graph, NodeId};
 use igmp::HostNode;
-use netsim::{host_addr, router_addr, Duration, LinkKind, NodeIdx, SimTime, Topology};
+use netsim::{host_addr, router_addr, CtrlProto, Duration, LinkKind, NodeIdx, SimTime, Topology};
 use pim::{Engine as PimEngine, PimConfig, PimRouter};
 use std::collections::BTreeSet;
 use unicast::OracleRib;
@@ -114,6 +114,10 @@ pub struct SimResult {
     pub timers_skipped_stale: u64,
     /// Packets delivered to nodes (receive side of the event loop).
     pub rx_pkts: u64,
+    /// Control packets by sub-protocol ([`CtrlProto::ALL`] order) —
+    /// attributes `control_pkts` to PIM vs IGMP vs DVMRP vs CBT vs the
+    /// unicast substrate, classified once at tx time.
+    pub control_breakdown: [(CtrlProto, u64); 6],
 }
 
 /// Simulation schedule shared by all protocols.
@@ -334,6 +338,7 @@ pub fn run_protocol_sim_opts(
     // otherwise mask the transit-network differences the paper measures.
     let counters = world.counters();
     result.control_pkts = counters.total_control_pkts();
+    result.control_breakdown = counters.control_breakdown();
     result.events_dispatched = counters.events_dispatched();
     result.timers_fired = counters.timers_fired();
     result.timers_skipped_stale = counters.timers_skipped_stale();

@@ -2,6 +2,8 @@
 
 use netsim::{Duration, IfaceId, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt::Write as _;
+use telemetry::{flags, EntryKey, Event, StateDump, Telem};
 use unicast::Rib;
 use wire::cbt::{Echo, EchoReply, FlushTree, JoinAck, JoinRequest, Quit};
 use wire::pim::Register;
@@ -120,6 +122,18 @@ pub struct CbtEngine {
     next_echo: SimTime,
     /// Join-Acks sent (explicit-reliability message overhead metric).
     pub acks_sent: u64,
+    /// Structured-event emitter (disabled by default; pure observer).
+    telem: Telem,
+}
+
+/// The telemetry flag bits a tree entry currently carries. CBT's single
+/// notion of state is on-tree membership.
+fn tree_flags(t: &TreeState) -> u8 {
+    if t.on_tree {
+        flags::ON_TREE
+    } else {
+        0
+    }
 }
 
 impl CbtEngine {
@@ -133,7 +147,14 @@ impl CbtEngine {
             local_hosts: HashMap::new(),
             next_echo: SimTime::ZERO,
             acks_sent: 0,
+            telem: Telem::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle. Emission never changes protocol
+    /// behavior (DESIGN.md determinism rules).
+    pub fn set_telemetry(&mut self, telem: Telem) {
+        self.telem = telem;
     }
 
     /// The router's address.
@@ -184,9 +205,16 @@ impl CbtEngine {
         self.next_echo = SimTime::ZERO;
     }
 
-    fn ensure_tree(&mut self, group: Group) -> Option<&mut TreeState> {
+    fn ensure_tree(&mut self, now: SimTime, group: Group) -> Option<&mut TreeState> {
         let core = *self.cores.get(&group)?;
         let me = self.my_addr;
+        if !self.trees.contains_key(&group) {
+            self.telem.emit(now.ticks(), || Event::EntryCreated {
+                group,
+                key: EntryKey::Star,
+                flags: if core == me { flags::ON_TREE } else { 0 },
+            });
+        }
         Some(self.trees.entry(group).or_insert_with(|| TreeState {
             core,
             on_tree: core == me,
@@ -234,7 +262,7 @@ impl CbtEngine {
         iface: IfaceId,
         rib: &dyn Rib,
     ) -> Vec<Output> {
-        if self.ensure_tree(group).is_none() {
+        if self.ensure_tree(now, group).is_none() {
             return Vec::new(); // no core configured
         }
         let tree = self.trees.get_mut(&group).expect("ensured");
@@ -254,11 +282,11 @@ impl CbtEngine {
             return Vec::new();
         };
         tree.member_ifaces.remove(&iface);
-        self.maybe_quit(group)
+        self.maybe_quit(_now, group)
     }
 
     /// Leave the tree if we have neither members nor children.
-    fn maybe_quit(&mut self, group: Group) -> Vec<Output> {
+    fn maybe_quit(&mut self, now: SimTime, group: Group) -> Vec<Output> {
         let Some(tree) = self.trees.get(&group) else {
             return Vec::new();
         };
@@ -276,6 +304,10 @@ impl CbtEngine {
             });
         }
         self.trees.remove(&group);
+        self.telem.emit(now.ticks(), || Event::EntryExpired {
+            group,
+            key: EntryKey::Star,
+        });
         out
     }
 
@@ -290,7 +322,7 @@ impl CbtEngine {
     ) -> Vec<Output> {
         // Adopt the core carried in the join if unconfigured.
         self.cores.entry(jr.group).or_insert(jr.core);
-        if self.ensure_tree(jr.group).is_none() {
+        if self.ensure_tree(now, jr.group).is_none() {
             return Vec::new();
         }
         let me = self.my_addr;
@@ -352,9 +384,16 @@ impl CbtEngine {
             return Vec::new();
         }
         tree.pending_join = None;
+        let from = tree_flags(tree);
         tree.on_tree = true;
         tree.parent = Some((iface, src));
         tree.parent_alive_at = now;
+        self.telem.emit(now.ticks(), || Event::EntryModified {
+            group: ja.group,
+            key: EntryKey::Star,
+            from,
+            to: from | flags::ON_TREE,
+        });
         // Now confirm everyone who was waiting on us.
         let waiting = std::mem::take(&mut tree.pending_downstream);
         let core = tree.core;
@@ -381,7 +420,7 @@ impl CbtEngine {
         if let Some(tree) = self.trees.get_mut(&q.group) {
             tree.children.remove(&(iface, src));
         }
-        self.maybe_quit(q.group)
+        self.maybe_quit(_now, q.group)
     }
 
     /// An Echo keepalive arrived from child `src`: refresh its edges and
@@ -423,9 +462,16 @@ impl CbtEngine {
                 tree.parent_alive_at = now;
             } else if tree.on_tree {
                 // Parent lost the tree: detach and rejoin.
+                let from = tree_flags(tree);
                 tree.on_tree = false;
                 tree.parent = None;
                 tree.pending_join = None;
+                self.telem.emit(now.ticks(), || Event::EntryModified {
+                    group,
+                    key: EntryKey::Star,
+                    from,
+                    to: from & !flags::ON_TREE,
+                });
                 rejoin.push(group);
             }
         }
@@ -461,9 +507,18 @@ impl CbtEngine {
             });
         }
         tree.children.clear();
+        let from = tree_flags(tree);
         tree.on_tree = false;
         tree.parent = None;
         tree.pending_join = None;
+        if from & flags::ON_TREE != 0 {
+            self.telem.emit(now.ticks(), || Event::EntryModified {
+                group: f.group,
+                key: EntryKey::Star,
+                from,
+                to: from & !flags::ON_TREE,
+            });
+        }
         out.extend(self.initiate_join(now, f.group, rib));
         out
     }
@@ -628,7 +683,7 @@ impl CbtEngine {
             }
         }
         for group in quit_checks {
-            out.extend(self.maybe_quit(group));
+            out.extend(self.maybe_quit(now, group));
         }
 
         // Parent liveness: a silent parent means our whole subtree must
@@ -639,9 +694,16 @@ impl CbtEngine {
                 && tree.parent.is_some()
                 && now.since(tree.parent_alive_at) >= cfg.echo_timeout
             {
+                let from = tree_flags(tree);
                 tree.on_tree = false;
                 tree.parent = None;
                 tree.pending_join = None;
+                self.telem.emit(now.ticks(), || Event::EntryModified {
+                    group,
+                    key: EntryKey::Star,
+                    from,
+                    to: from & !flags::ON_TREE,
+                });
                 to_rejoin.push(group);
             }
         }
@@ -672,6 +734,10 @@ impl CbtEngine {
             } else {
                 // Nothing left to serve: drop the state entirely.
                 self.trees.remove(&group);
+                self.telem.emit(now.ticks(), || Event::EntryExpired {
+                    group,
+                    key: EntryKey::Star,
+                });
             }
         }
 
@@ -694,6 +760,63 @@ impl CbtEngine {
             }
         }
         out
+    }
+}
+
+impl StateDump for CbtEngine {
+    /// `show mroute`-style snapshot: one line per group tree — core,
+    /// on-tree flag, parent edge, last parent-liveness proof — plus child
+    /// edges with echo expiries, member subnetworks, and pending joins.
+    fn state_dump(&self, now: telemetry::Ticks) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "cbt {} t{}", self.my_addr, now);
+        for (&group, tree) in &self.trees {
+            let _ = write!(
+                s,
+                "  group {group} core={} flags={}",
+                tree.core,
+                flags::render(tree_flags(tree))
+            );
+            match tree.parent {
+                Some((i, p)) => {
+                    let _ = write!(s, " parent={p}@if{}", i.index());
+                }
+                None => {
+                    let _ = write!(s, " parent=-");
+                }
+            }
+            let _ = write!(s, " parent-alive=t{}", tree.parent_alive_at.ticks());
+            if let Some((i, nh, retx)) = tree.pending_join {
+                let _ = write!(
+                    s,
+                    " join-pending={nh}@if{} retx=t{}",
+                    i.index(),
+                    retx.ticks()
+                );
+            }
+            let _ = writeln!(s);
+            for (&(i, child), &exp) in &tree.children {
+                let _ = writeln!(
+                    s,
+                    "    child {child}@if{} expires=t{}",
+                    i.index(),
+                    exp.ticks()
+                );
+            }
+            let mut members: Vec<u32> = tree
+                .member_ifaces
+                .iter()
+                .map(|i| i.index() as u32)
+                .collect();
+            members.sort_unstable();
+            for i in members {
+                let _ = writeln!(s, "    members on if{i}");
+            }
+            for &(i, req) in &tree.pending_downstream {
+                let _ = writeln!(s, "    awaiting-ack {req}@if{}", i.index());
+            }
+        }
+        s
     }
 }
 

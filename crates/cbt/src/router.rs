@@ -52,6 +52,10 @@ impl ProtocolEngine for CbtEngine {
         CbtEngine::addr(self)
     }
 
+    fn set_telemetry(&mut self, telem: telemetry::Telem) {
+        CbtEngine::set_telemetry(self, telem);
+    }
+
     fn on_control(
         &mut self,
         now: SimTime,

@@ -23,6 +23,8 @@ use crate::config::{PimConfig, SptPolicy};
 use crate::entry::{Entry, GroupState, OifKind};
 use netsim::{Duration, IfaceId, SimTime};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::Write as _;
+use telemetry::{flags, EntryKey, Event, StateDump, Telem};
 use unicast::Rib;
 use wire::pim::{GroupEntry, JoinPrune, Query, Register, RpReachability, SourceEntry};
 use wire::{Addr, Group, Message};
@@ -97,6 +99,23 @@ pub struct Engine {
     pub registers_sent: u64,
     /// Registers received and decapsulated (RP-side metric).
     pub registers_received: u64,
+    /// Structured-event emitter (disabled by default; pure observer).
+    telem: Telem,
+}
+
+/// The telemetry flag bits an entry currently carries.
+fn entry_flags(e: &Entry) -> u8 {
+    let mut f = 0;
+    if e.wildcard {
+        f |= flags::WC;
+    }
+    if e.rp_bit {
+        f |= flags::RP;
+    }
+    if e.spt_bit {
+        f |= flags::SPT;
+    }
+    f
 }
 
 impl Engine {
@@ -116,7 +135,15 @@ impl Engine {
             next_reach: SimTime::ZERO,
             registers_sent: 0,
             registers_received: 0,
+            telem: Telem::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle. The engine only *observes* through it —
+    /// emission never changes protocol behavior (DESIGN.md determinism
+    /// rules).
+    pub fn set_telemetry(&mut self, telem: Telem) {
+        self.telem = telem;
     }
 
     /// This router's address.
@@ -300,7 +327,7 @@ impl Engine {
     }
 
     /// Create the (\*,G) entry if absent. Returns true if created.
-    fn ensure_star(&mut self, _now: SimTime, group: Group, rp: Addr, rib: &dyn Rib) -> bool {
+    fn ensure_star(&mut self, now: SimTime, group: Group, rp: Addr, rib: &dyn Rib) -> bool {
         let my_addr = self.my_addr;
         let gs = self.groups.entry(group).or_default();
         if gs.star.is_some() {
@@ -317,6 +344,11 @@ impl Engine {
             }
         };
         gs.star = Some(Entry::new_star(group, rp, iif, upstream));
+        self.telem.emit(now.ticks(), || Event::EntryCreated {
+            group,
+            key: EntryKey::Star,
+            flags: flags::WC | flags::RP,
+        });
         true
     }
 
@@ -494,7 +526,7 @@ impl Engine {
 
     /// Create an (S,G) SPT entry if absent, copying the (\*,G) oif list
     /// (§3.3). Returns true if created.
-    fn ensure_source(&mut self, _now: SimTime, group: Group, source: Addr, rib: &dyn Rib) -> bool {
+    fn ensure_source(&mut self, now: SimTime, group: Group, source: Addr, rib: &dyn Rib) -> bool {
         let local = self.local_hosts.get(&source).copied();
         let gs = self.groups.entry(group).or_default();
         if let Some(e) = gs.sources.get(&source) {
@@ -528,6 +560,11 @@ impl Engine {
             }
         }
         gs.sources.insert(source, e);
+        self.telem.emit(now.ticks(), || Event::EntryCreated {
+            group,
+            key: EntryKey::Source(source),
+            flags: 0,
+        });
         true
     }
 
@@ -608,6 +645,13 @@ impl Engine {
                 .iter()
                 .map(|(&i, o)| (i, o.kind, o.expires_at))
                 .collect();
+            if !gs.sources.contains_key(&p.addr) {
+                self.telem.emit(now.ticks(), || Event::EntryCreated {
+                    group,
+                    key: EntryKey::Source(p.addr),
+                    flags: flags::RP,
+                });
+            }
             let e = gs.sources.entry(p.addr).or_insert_with(|| {
                 let mut neg = Entry::new_negative(group, p.addr, star_iif, star_upstream);
                 for (i, kind, exp) in star_oifs {
@@ -911,12 +955,22 @@ impl Engine {
             if let Some(e) = gs.sources.get_mut(&source) {
                 if !e.is_negative() && !e.oifs_empty() {
                     native = true;
-                    e.spt_bit = true; // data is arriving over its own first hop
-                                      // Native oifs only prove some receiver's SPT join
-                                      // reached us — not that the RP still holds the source.
-                                      // Periodically re-register one data packet so an RP
-                                      // that lost its (S,G) state (crash, shared-tree churn)
-                                      // can reacquire it for later shared-tree members.
+                    if !e.spt_bit {
+                        // Data is arriving over its own first hop.
+                        let from = entry_flags(e);
+                        e.spt_bit = true;
+                        self.telem.emit(now.ticks(), || Event::EntryModified {
+                            group,
+                            key: EntryKey::Source(source),
+                            from,
+                            to: from | flags::SPT,
+                        });
+                    }
+                    // Native oifs only prove some receiver's SPT join
+                    // reached us — not that the RP still holds the source.
+                    // Periodically re-register one data packet so an RP
+                    // that lost its (S,G) state (crash, shared-tree churn)
+                    // can reacquire it for later shared-tree members.
                     if now >= e.next_register_probe {
                         probe = true;
                         e.next_register_probe = now + self.cfg.register_probe_interval;
@@ -1125,7 +1179,16 @@ impl Engine {
             }
             Action::ForwardAndSetSpt(ifaces) => {
                 let e = gs.sources.get_mut(&source).expect("matched above");
-                e.spt_bit = true;
+                if !e.spt_bit {
+                    let from = entry_flags(e);
+                    e.spt_bit = true;
+                    self.telem.emit(now.ticks(), || Event::EntryModified {
+                        group,
+                        key: EntryKey::Source(source),
+                        from,
+                        to: from | flags::SPT,
+                    });
+                }
                 // "…sends a PIM prune toward RP if its shared tree incoming
                 // interface differs from its shortest path tree incoming
                 // interface" (§3.3).
@@ -1203,6 +1266,8 @@ impl Engine {
         source: Addr,
         rib: &dyn Rib,
     ) -> Vec<Output> {
+        self.telem
+            .emit(now.ticks(), || Event::SptSwitchStart { group, source });
         let created = self.ensure_source(now, group, source, rib);
         if created {
             self.spt_counters.remove(&(group, source));
@@ -1265,7 +1330,13 @@ impl Engine {
             }
             return self.triggered_star_join(now, group);
         }
+        let old_rp = gs.star.as_ref().map(|s| s.key);
         let new_rp = gs.next_rp().expect("non-empty rps");
+        self.telem.emit(now.ticks(), || Event::RpFailover {
+            group,
+            from: old_rp.unwrap_or(new_rp),
+            to: new_rp,
+        });
         // "A new (*,G) entry is established with the incoming interface set
         // to the interface used to reach the new RP. The outgoing interface
         // list includes only those interfaces on which IGMP Reports for the
@@ -1297,6 +1368,16 @@ impl Engine {
         let gs = self.groups.get_mut(&group).expect("exists");
         gs.star = Some(star);
         // Negative caches pointed at the old tree are meaningless now.
+        if self.telem.is_enabled() {
+            for (&s, e) in gs.sources.iter() {
+                if e.is_negative() {
+                    self.telem.emit(now.ticks(), || Event::EntryExpired {
+                        group,
+                        key: EntryKey::Source(s),
+                    });
+                }
+            }
+        }
         gs.sources.retain(|_, e| !e.is_negative());
         self.triggered_star_join(now, group)
     }
@@ -1307,9 +1388,17 @@ impl Engine {
 
     /// A PIM Query (hello) arrived on `iface` from `src`.
     pub fn on_query(&mut self, now: SimTime, iface: IfaceId, src: Addr, q: &Query) -> Vec<Output> {
+        let was_dr = self.is_dr(iface);
         self.ifaces[iface.index()]
             .neighbors
             .insert(src, now + Duration(q.holdtime as u64));
+        let is_dr = self.is_dr(iface);
+        if was_dr != is_dr {
+            self.telem.emit(now.ticks(), || Event::DrChanged {
+                iface: iface.index() as u32,
+                is_dr,
+            });
+        }
         Vec::new()
     }
 
@@ -1424,8 +1513,17 @@ impl Engine {
         }
 
         // Expire neighbors (DR election input).
-        for st in &mut self.ifaces {
-            st.neighbors.retain(|_, &mut exp| now < exp);
+        for idx in 0..self.ifaces.len() {
+            let iface = IfaceId(idx as u32);
+            let was_dr = self.is_dr(iface);
+            self.ifaces[idx].neighbors.retain(|_, &mut exp| now < exp);
+            let is_dr = self.is_dr(iface);
+            if was_dr != is_dr {
+                self.telem.emit(now.ticks(), || Event::DrChanged {
+                    iface: idx as u32,
+                    is_dr,
+                });
+            }
         }
 
         // §3.8 repair: an entry can be left with no upstream when its
@@ -1621,7 +1719,21 @@ impl Engine {
                     .is_some_and(|t| now >= t);
                 if star_dead {
                     gs.star = None;
+                    self.telem.emit(now.ticks(), || Event::EntryExpired {
+                        group,
+                        key: EntryKey::Star,
+                    });
                     // Footnote 13: negative caches must not outlive (*,G).
+                    if self.telem.is_enabled() {
+                        for (&s, e) in gs.sources.iter() {
+                            if e.is_negative() {
+                                self.telem.emit(now.ticks(), || Event::EntryExpired {
+                                    group,
+                                    key: EntryKey::Source(s),
+                                });
+                            }
+                        }
+                    }
                     gs.sources.retain(|_, e| !e.is_negative());
                 }
                 for e in gs.sources.values_mut() {
@@ -1630,6 +1742,16 @@ impl Engine {
                     // packet, so let it linger out like everything else.
                     if e.local_source && e.oifs_empty() && e.delete_at.is_none() {
                         e.delete_at = Some(now + self.cfg.entry_linger);
+                    }
+                }
+                if self.telem.is_enabled() {
+                    for (&s, e) in gs.sources.iter() {
+                        if e.delete_at.is_some_and(|t| now >= t) {
+                            self.telem.emit(now.ticks(), || Event::EntryExpired {
+                                group,
+                                key: EntryKey::Source(s),
+                            });
+                        }
                     }
                 }
                 gs.sources
@@ -1750,6 +1872,111 @@ impl Engine {
             .keys()
             .copied()
             .collect()
+    }
+}
+
+impl StateDump for Engine {
+    /// `show mroute`-style snapshot: per-interface PIM neighbors (the DR
+    /// election inputs), then every (\*,G)/(S,G) entry with its flag bits,
+    /// iif/upstream, oif list, negative-cache prune leases, and soft-state
+    /// deadlines. Rendered from [`BTreeMap`]s, so byte-stable across runs.
+    fn state_dump(&self, now: telemetry::Ticks) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "pim {} t{}", self.my_addr, now);
+        for (i, st) in self.ifaces.iter().enumerate() {
+            if st.neighbors.is_empty() {
+                continue;
+            }
+            let nbrs: Vec<String> = st
+                .neighbors
+                .iter()
+                .map(|(a, exp)| format!("{a}/{}", fmt_deadline(*exp)))
+                .collect();
+            let dr = if self.is_dr(IfaceId(i as u32)) {
+                " dr"
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "  if{i}{dr} nbrs=[{}]", nbrs.join(","));
+        }
+        for (&group, gs) in &self.groups {
+            let rps: Vec<String> = gs.rps.iter().map(|r| r.to_string()).collect();
+            let rp = gs
+                .rp()
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(s, "  group {group} rps=[{}] rp={rp}", rps.join(","));
+            if let Some(star) = &gs.star {
+                dump_entry(&mut s, star);
+            }
+            for e in gs.sources.values() {
+                dump_entry(&mut s, e);
+            }
+        }
+        s
+    }
+}
+
+/// One forwarding entry in `show mroute` style, plus oif/prune sub-lines.
+fn dump_entry(s: &mut String, e: &Entry) {
+    let lhs = if e.wildcard {
+        "*".to_string()
+    } else {
+        e.key.to_string()
+    };
+    let _ = write!(
+        s,
+        "    ({lhs}, {}) flags={}",
+        e.group,
+        flags::render(entry_flags(e))
+    );
+    if e.wildcard {
+        // For (*,G) the key carries the RP the tree is rooted at.
+        let _ = write!(s, " rp={}", e.key);
+    }
+    match e.iif {
+        Some(i) => {
+            let _ = write!(s, " iif={}", i.index());
+        }
+        None => {
+            let _ = write!(s, " iif=-");
+        }
+    }
+    if let Some(up) = e.upstream {
+        let _ = write!(s, " up={up}");
+    }
+    if let Some(t) = e.rp_timer {
+        let _ = write!(s, " rp-timer={}", fmt_deadline(t));
+    }
+    if let Some(t) = e.delete_at {
+        let _ = write!(s, " delete-at={}", fmt_deadline(t));
+    }
+    let _ = writeln!(s);
+    for (&i, o) in &e.oifs {
+        let kind = match o.kind {
+            OifKind::Joined => "joined",
+            OifKind::CopiedFromStar => "copied",
+            OifKind::LocalMembers => "local",
+        };
+        let _ = writeln!(
+            s,
+            "      oif {} {kind} expires={}",
+            i.index(),
+            fmt_deadline(o.expires_at)
+        );
+    }
+    for (&i, &t) in &e.pruned_oifs {
+        let _ = writeln!(s, "      pruned {} until={}", i.index(), fmt_deadline(t));
+    }
+}
+
+/// Render a soft-state deadline; `u64::MAX` is the "never expires"
+/// sentinel used for local-member oifs.
+fn fmt_deadline(t: SimTime) -> String {
+    if t.ticks() == u64::MAX {
+        "never".to_string()
+    } else {
+        format!("t{}", t.ticks())
     }
 }
 

@@ -18,7 +18,7 @@
 //!   interchangeable unicast routing engine (distance-vector, link-state,
 //!   or oracle — PIM's protocol independence made concrete) and per-LAN
 //!   IGMP queriers;
-//! * [`host`] — a simulated end host: IGMP membership plus data
+//! * [`HostNode`] (re-exported from `igmp`) — a simulated end host: IGMP membership plus data
 //!   sending/receiving with sequence tracking for loss/duplicate analysis.
 //!
 //! # Quick start

@@ -56,6 +56,10 @@ impl ProtocolEngine for Engine {
         Engine::addr(self)
     }
 
+    fn set_telemetry(&mut self, telem: telemetry::Telem) {
+        Engine::set_telemetry(self, telem);
+    }
+
     fn on_control(
         &mut self,
         now: SimTime,

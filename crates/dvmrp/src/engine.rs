@@ -2,6 +2,8 @@
 
 use netsim::{Duration, IfaceId, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt::Write as _;
+use telemetry::{flags, EntryKey, Event, StateDump, Telem};
 use unicast::Rib;
 use wire::dvmrp::{Graft, GraftAck, Probe, Prune};
 use wire::{Addr, Group, Message};
@@ -106,6 +108,18 @@ pub struct DvmrpEngine {
     local_hosts: HashMap<Addr, IfaceId>,
     entries: BTreeMap<(Addr, Group), SgEntry>,
     next_probe: SimTime,
+    /// Structured-event emitter (disabled by default; pure observer).
+    telem: Telem,
+}
+
+/// The telemetry flag bits an (S,G) entry currently carries. Dense mode
+/// has no WC/RP/SPT notions; PRUNED tracks the upstream prune.
+fn sg_flags(e: &SgEntry) -> u8 {
+    if e.pruned_upstream {
+        flags::PRUNED
+    } else {
+        0
+    }
 }
 
 impl DvmrpEngine {
@@ -121,7 +135,14 @@ impl DvmrpEngine {
             local_hosts: HashMap::new(),
             entries: BTreeMap::new(),
             next_probe: SimTime::ZERO,
+            telem: Telem::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle. Emission never changes protocol
+    /// behavior (DESIGN.md determinism rules).
+    pub fn set_telemetry(&mut self, telem: Telem) {
+        self.telem = telem;
     }
 
     /// The router's address.
@@ -227,7 +248,14 @@ impl DvmrpEngine {
         for (source, _) in keys {
             let e = self.entries.get_mut(&(source, group)).expect("key listed");
             if e.pruned_upstream {
+                let from = sg_flags(e);
                 e.pruned_upstream = false;
+                self.telem.emit(now.ticks(), || Event::EntryModified {
+                    group,
+                    key: EntryKey::Source(source),
+                    from,
+                    to: from & !flags::PRUNED,
+                });
                 e.pending_graft = Some(now + self.cfg.graft_retransmit);
                 if let Some(r) = rib.route(source) {
                     out.push(Output::Send {
@@ -297,6 +325,13 @@ impl DvmrpEngine {
             return out;
         }
         let expires = now + self.cfg.entry_timeout;
+        if !self.entries.contains_key(&(source, group)) {
+            self.telem.emit(now.ticks(), || Event::EntryCreated {
+                group,
+                key: EntryKey::Source(source),
+                flags: 0,
+            });
+        }
         let entry = self
             .entries
             .entry((source, group))
@@ -324,7 +359,16 @@ impl DvmrpEngine {
                 .is_none_or(|t| now.since(t) >= self.cfg.prune_damping);
             if due {
                 entry.last_prune_at = Some(now);
-                entry.pruned_upstream = true;
+                if !entry.pruned_upstream {
+                    let from = sg_flags(entry);
+                    entry.pruned_upstream = true;
+                    self.telem.emit(now.ticks(), || Event::EntryModified {
+                        group,
+                        key: EntryKey::Source(source),
+                        from,
+                        to: from | flags::PRUNED,
+                    });
+                }
                 if let Some(r) = rib.route(source) {
                     out.push(Output::Send {
                         iface: r.iface,
@@ -353,6 +397,13 @@ impl DvmrpEngine {
     /// A prune arrived from a downstream router on `iface`.
     pub fn on_prune(&mut self, now: SimTime, iface: IfaceId, p: &Prune) -> Vec<Output> {
         let expires = now + self.cfg.entry_timeout;
+        if !self.entries.contains_key(&(p.source, p.group)) {
+            self.telem.emit(now.ticks(), || Event::EntryCreated {
+                group: p.group,
+                key: EntryKey::Source(p.source),
+                flags: 0,
+            });
+        }
         let entry = self
             .entries
             .entry((p.source, p.group))
@@ -383,7 +434,14 @@ impl DvmrpEngine {
         if let Some(e) = self.entries.get_mut(&(gr.source, gr.group)) {
             e.pruned.remove(&iface);
             if e.pruned_upstream {
+                let from = sg_flags(e);
                 e.pruned_upstream = false;
+                self.telem.emit(now.ticks(), || Event::EntryModified {
+                    group: gr.group,
+                    key: EntryKey::Source(gr.source),
+                    from,
+                    to: from & !flags::PRUNED,
+                });
                 e.pending_graft = Some(now + self.cfg.graft_retransmit);
                 if let Some(r) = rib.route(gr.source) {
                     out.push(Output::Send {
@@ -470,8 +528,67 @@ impl DvmrpEngine {
                 }
             }
         }
+        if self.telem.is_enabled() {
+            for (&(source, group), e) in self.entries.iter() {
+                if now >= e.expires_at {
+                    self.telem.emit(now.ticks(), || Event::EntryExpired {
+                        group,
+                        key: EntryKey::Source(source),
+                    });
+                }
+            }
+        }
         self.entries.retain(|_, e| now < e.expires_at);
         out
+    }
+}
+
+impl StateDump for DvmrpEngine {
+    /// `show mroute`-style snapshot: per-interface DVMRP neighbors, local
+    /// membership, then every (S,G) entry with its pruned branch set,
+    /// upstream prune/graft state, and GC deadline.
+    fn state_dump(&self, now: telemetry::Ticks) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "dvmrp {} t{}", self.my_addr, now);
+        for (i, nb) in self.neighbors.iter().enumerate() {
+            if nb.is_empty() {
+                continue;
+            }
+            let nbrs: Vec<String> = nb
+                .iter()
+                .map(|(a, exp)| format!("{a}/t{}", exp.ticks()))
+                .collect();
+            let _ = writeln!(s, "  if{i} nbrs=[{}]", nbrs.join(","));
+        }
+        let mut member_groups: Vec<Group> = self
+            .members
+            .iter()
+            .filter(|(_, set)| !set.is_empty())
+            .map(|(&g, _)| g)
+            .collect();
+        member_groups.sort();
+        for g in member_groups {
+            let mut ifs: Vec<u32> = self.members[&g].iter().map(|i| i.index() as u32).collect();
+            ifs.sort_unstable();
+            let ifs: Vec<String> = ifs.into_iter().map(|i| format!("if{i}")).collect();
+            let _ = writeln!(s, "  members {g} on [{}]", ifs.join(","));
+        }
+        for (&(source, group), e) in &self.entries {
+            let _ = write!(
+                s,
+                "    ({source}, {group}) flags={} expires=t{}",
+                flags::render(sg_flags(e)),
+                e.expires_at.ticks()
+            );
+            if let Some(t) = e.pending_graft {
+                let _ = write!(s, " graft-retx=t{}", t.ticks());
+            }
+            let _ = writeln!(s);
+            for (&i, &t) in &e.pruned {
+                let _ = writeln!(s, "      pruned {} until=t{}", i.index(), t.ticks());
+            }
+        }
+        s
     }
 }
 

@@ -48,6 +48,10 @@ impl ProtocolEngine for DvmrpEngine {
         DvmrpEngine::addr(self)
     }
 
+    fn set_telemetry(&mut self, telem: telemetry::Telem) {
+        DvmrpEngine::set_telemetry(self, telem);
+    }
+
     fn on_control(
         &mut self,
         now: SimTime,

@@ -27,9 +27,89 @@ impl PacketClass {
     /// Unparseable packets count as control (conservative for the
     /// experiments, which report data-packet overhead for PIM).
     pub fn classify(packet: &[u8]) -> PacketClass {
+        Self::classify_full(packet).0
+    }
+
+    /// Classify class *and* control sub-protocol in one header decode —
+    /// the tx path calls this once per transmission so EXPERIMENTS.md can
+    /// attribute control cost per protocol without re-parsing.
+    pub fn classify_full(packet: &[u8]) -> (PacketClass, Option<CtrlProto>) {
         match Header::decap(packet) {
-            Ok((h, _)) if h.proto == Protocol::Data => PacketClass::Data,
-            _ => PacketClass::Control,
+            Ok((h, _)) if h.proto == Protocol::Data => (PacketClass::Data, None),
+            Ok((_, payload)) => (
+                PacketClass::Control,
+                Some(CtrlProto::of_type_octet(payload.first().copied())),
+            ),
+            Err(_) => (PacketClass::Control, Some(CtrlProto::Other)),
+        }
+    }
+}
+
+/// The control sub-protocol of a control packet, classified from the
+/// message-type octet (the first payload byte) without a full message
+/// decode. The type-octet ranges are fixed by `wire::message`:
+/// `0x11..=0x13` IGMP, `0x20..=0x23` PIM, `0x30..=0x33` DVMRP,
+/// `0x40..=0x45` CBT, `0x50..=0x52` unicast routing (DV/LSA/Hello).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CtrlProto {
+    /// IGMP host-membership messages (query/report/RP-mapping).
+    Igmp,
+    /// PIM query/register/join-prune/RP-reachability.
+    Pim,
+    /// DVMRP probe/prune/graft/graft-ack.
+    Dvmrp,
+    /// CBT join/join-ack/echo/echo-reply/quit/flush.
+    Cbt,
+    /// Unicast routing control (DV updates, LSAs, hellos).
+    Unicast,
+    /// Unknown type octet or unparseable packet.
+    #[default]
+    Other,
+}
+
+impl CtrlProto {
+    /// All sub-protocols, in report order.
+    pub const ALL: [CtrlProto; 6] = [
+        CtrlProto::Igmp,
+        CtrlProto::Pim,
+        CtrlProto::Dvmrp,
+        CtrlProto::Cbt,
+        CtrlProto::Unicast,
+        CtrlProto::Other,
+    ];
+
+    /// Classify from a message-type octet (`None` = empty payload).
+    pub fn of_type_octet(octet: Option<u8>) -> CtrlProto {
+        match octet {
+            Some(0x11..=0x13) => CtrlProto::Igmp,
+            Some(0x20..=0x23) => CtrlProto::Pim,
+            Some(0x30..=0x33) => CtrlProto::Dvmrp,
+            Some(0x40..=0x45) => CtrlProto::Cbt,
+            Some(0x50..=0x52) => CtrlProto::Unicast,
+            _ => CtrlProto::Other,
+        }
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CtrlProto::Igmp => "igmp",
+            CtrlProto::Pim => "pim",
+            CtrlProto::Dvmrp => "dvmrp",
+            CtrlProto::Cbt => "cbt",
+            CtrlProto::Unicast => "unicast",
+            CtrlProto::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CtrlProto::Igmp => 0,
+            CtrlProto::Pim => 1,
+            CtrlProto::Dvmrp => 2,
+            CtrlProto::Cbt => 3,
+            CtrlProto::Unicast => 4,
+            CtrlProto::Other => 5,
         }
     }
 }
@@ -53,6 +133,9 @@ pub struct LinkStats {
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
     per_link: HashMap<LinkId, LinkStats>,
+    /// Control packets transmitted, broken down by sub-protocol
+    /// ([`CtrlProto::index`] order).
+    ctrl_tx: [u64; 6],
     local_deliveries: HashMap<NodeIdx, u64>,
     rx_control_pkts: u64,
     rx_data_pkts: u64,
@@ -65,10 +148,20 @@ pub struct Counters {
 }
 
 impl Counters {
-    pub(crate) fn record_tx(&mut self, link: LinkId, class: PacketClass, len: usize, at: SimTime) {
+    pub(crate) fn record_tx(
+        &mut self,
+        link: LinkId,
+        class: PacketClass,
+        proto: Option<CtrlProto>,
+        len: usize,
+        at: SimTime,
+    ) {
         let s = self.per_link.entry(link).or_default();
         match class {
-            PacketClass::Control => s.control_pkts += 1,
+            PacketClass::Control => {
+                s.control_pkts += 1;
+                self.ctrl_tx[proto.unwrap_or(CtrlProto::Other).index()] += 1;
+            }
             PacketClass::Data => {
                 s.data_pkts += 1;
                 s.last_data_at = Some(at);
@@ -126,6 +219,17 @@ impl Counters {
     /// Total control packets transmitted network-wide.
     pub fn total_control_pkts(&self) -> u64 {
         self.per_link.values().map(|s| s.control_pkts).sum()
+    }
+
+    /// Control packets transmitted for one sub-protocol.
+    pub fn control_pkts_by(&self, proto: CtrlProto) -> u64 {
+        self.ctrl_tx[proto.index()]
+    }
+
+    /// The per-sub-protocol control-packet breakdown, in
+    /// [`CtrlProto::ALL`] order.
+    pub fn control_breakdown(&self) -> [(CtrlProto, u64); 6] {
+        CtrlProto::ALL.map(|p| (p, self.ctrl_tx[p.index()]))
     }
 
     /// Total data packets transmitted network-wide (each link transit counts
@@ -250,12 +354,88 @@ mod tests {
     }
 
     #[test]
+    fn ctrl_proto_type_octet_ranges() {
+        use CtrlProto::*;
+        let cases = [
+            (0x11, Igmp),
+            (0x13, Igmp),
+            (0x20, Pim),
+            (0x23, Pim),
+            (0x30, Dvmrp),
+            (0x33, Dvmrp),
+            (0x40, Cbt),
+            (0x45, Cbt),
+            (0x50, Unicast),
+            (0x52, Unicast),
+            (0x00, Other),
+            (0x60, Other),
+        ];
+        for (octet, want) in cases {
+            assert_eq!(
+                CtrlProto::of_type_octet(Some(octet)),
+                want,
+                "octet {octet:#04x}"
+            );
+        }
+        assert_eq!(CtrlProto::of_type_octet(None), Other);
+    }
+
+    #[test]
+    fn classify_full_attributes_sub_protocol() {
+        let (class, proto) = PacketClass::classify_full(&data_packet());
+        assert_eq!(class, PacketClass::Data);
+        assert_eq!(proto, None);
+        // control_packet() carries a zeroed payload: type octet 0 = Other.
+        let (class, proto) = PacketClass::classify_full(&control_packet());
+        assert_eq!(class, PacketClass::Control);
+        assert_eq!(proto, Some(CtrlProto::Other));
+        let (class, proto) = PacketClass::classify_full(&[1, 2, 3]);
+        assert_eq!(class, PacketClass::Control);
+        assert_eq!(proto, Some(CtrlProto::Other));
+    }
+
+    #[test]
+    fn control_breakdown_accumulates_per_proto() {
+        let mut c = Counters::default();
+        let l = LinkId(0);
+        c.record_tx(
+            l,
+            PacketClass::Control,
+            Some(CtrlProto::Pim),
+            20,
+            SimTime(1),
+        );
+        c.record_tx(
+            l,
+            PacketClass::Control,
+            Some(CtrlProto::Pim),
+            20,
+            SimTime(2),
+        );
+        c.record_tx(
+            l,
+            PacketClass::Control,
+            Some(CtrlProto::Igmp),
+            20,
+            SimTime(3),
+        );
+        c.record_tx(l, PacketClass::Control, None, 20, SimTime(4));
+        c.record_tx(l, PacketClass::Data, None, 30, SimTime(5));
+        assert_eq!(c.control_pkts_by(CtrlProto::Pim), 2);
+        assert_eq!(c.control_pkts_by(CtrlProto::Igmp), 1);
+        assert_eq!(c.control_pkts_by(CtrlProto::Other), 1);
+        assert_eq!(c.control_pkts_by(CtrlProto::Cbt), 0);
+        let total: u64 = c.control_breakdown().iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, c.total_control_pkts());
+    }
+
+    #[test]
     fn accounting() {
         let mut c = Counters::default();
         let l = LinkId(0);
-        c.record_tx(l, PacketClass::Data, 30, SimTime(5));
-        c.record_tx(l, PacketClass::Control, 20, SimTime(6));
-        c.record_tx(LinkId(1), PacketClass::Data, 30, SimTime(7));
+        c.record_tx(l, PacketClass::Data, None, 30, SimTime(5));
+        c.record_tx(l, PacketClass::Control, None, 20, SimTime(6));
+        c.record_tx(LinkId(1), PacketClass::Data, None, 30, SimTime(7));
         c.record_loss(l);
         c.record_local_delivery(NodeIdx(3));
         c.record_local_delivery(NodeIdx(3));

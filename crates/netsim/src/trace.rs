@@ -189,6 +189,203 @@ mod tests {
         .encap(&msg.encode())
     }
 
+    /// Every [`Message`] variant has a render path here; this table
+    /// pins each one (the compiler's exhaustiveness check on
+    /// `all_variants` keeps the table honest when variants are added).
+    #[test]
+    fn every_message_variant_renders() {
+        use wire::{cbt, dvmrp, igmp, pim, unicast};
+
+        let g = Group::test(3);
+        let a = Addr::new(10, 0, 0, 7);
+        let b = Addr::new(10, 0, 0, 9);
+        let all_variants: Vec<(Message, &[&str])> = vec![
+            (
+                Message::HostQuery(igmp::HostQuery { max_resp_time: 10 }),
+                &["IGMP Query max_resp=10"],
+            ),
+            (
+                Message::HostReport(igmp::HostReport { group: g }),
+                &["IGMP Report group=239.1.0.3"],
+            ),
+            (
+                Message::RpMapping(igmp::RpMapping {
+                    group: g,
+                    rps: vec![a, b],
+                }),
+                &[
+                    "IGMP RP-Mapping group=239.1.0.3",
+                    "rps=[10.0.0.7, 10.0.0.9]",
+                ],
+            ),
+            (
+                Message::PimQuery(pim::Query { holdtime: 105 }),
+                &["PIM Query holdtime=105"],
+            ),
+            (
+                Message::PimRegister(pim::Register {
+                    group: g,
+                    source: a,
+                    payload: vec![0; 32],
+                }),
+                &[
+                    "PIM Register group=239.1.0.3 source=10.0.0.7",
+                    "32 data bytes",
+                ],
+            ),
+            (
+                Message::PimJoinPrune(pim::JoinPrune {
+                    upstream_neighbor: b,
+                    holdtime: 180,
+                    groups: vec![pim::GroupEntry {
+                        group: g,
+                        joins: vec![pim::SourceEntry::shared_tree(a)],
+                        prunes: vec![pim::SourceEntry::source_on_rp_tree(a)],
+                    }],
+                }),
+                &[
+                    "PIM Join/Prune to=10.0.0.9",
+                    "join={*,239.1.0.3}",
+                    "prune={10.0.0.7,239.1.0.3}rpt",
+                    "holdtime=180",
+                ],
+            ),
+            (
+                Message::PimRpReachability(pim::RpReachability {
+                    group: g,
+                    rp: b,
+                    holdtime: 210,
+                }),
+                &["PIM RP-Reachability group=239.1.0.3 rp=10.0.0.9 holdtime=210"],
+            ),
+            (
+                Message::DvmrpProbe(dvmrp::Probe {
+                    neighbors: vec![a, b],
+                }),
+                &["DVMRP Probe neighbors=2"],
+            ),
+            (
+                Message::DvmrpPrune(dvmrp::Prune {
+                    source: a,
+                    group: g,
+                    lifetime: 200,
+                }),
+                &["DVMRP Prune (10.0.0.7,239.1.0.3) lifetime=200"],
+            ),
+            (
+                Message::DvmrpGraft(dvmrp::Graft {
+                    source: a,
+                    group: g,
+                }),
+                &["DVMRP Graft (10.0.0.7,239.1.0.3)"],
+            ),
+            (
+                Message::DvmrpGraftAck(dvmrp::GraftAck {
+                    source: a,
+                    group: g,
+                }),
+                &["DVMRP Graft-Ack (10.0.0.7,239.1.0.3)"],
+            ),
+            (
+                Message::CbtJoinRequest(cbt::JoinRequest {
+                    group: g,
+                    core: b,
+                    originator: a,
+                }),
+                &["CBT Join-Request group=239.1.0.3 core=10.0.0.9 origin=10.0.0.7"],
+            ),
+            (
+                Message::CbtJoinAck(cbt::JoinAck {
+                    group: g,
+                    core: b,
+                    originator: a,
+                }),
+                &["CBT Join-Ack group=239.1.0.3 core=10.0.0.9"],
+            ),
+            (
+                Message::CbtEcho(cbt::Echo {
+                    groups: vec![g, Group::test(4)],
+                }),
+                &["CBT Echo groups=2"],
+            ),
+            (
+                Message::CbtEchoReply(cbt::EchoReply { groups: vec![g] }),
+                &["CBT Echo-Reply groups=1"],
+            ),
+            (
+                Message::CbtQuit(cbt::Quit { group: g }),
+                &["CBT Quit group=239.1.0.3"],
+            ),
+            (
+                Message::CbtFlushTree(cbt::FlushTree { group: g }),
+                &["CBT Flush-Tree group=239.1.0.3"],
+            ),
+            (
+                Message::DvUpdate(unicast::DvUpdate {
+                    routes: vec![unicast::DvRoute { dst: a, metric: 3 }],
+                }),
+                &["DV Update routes=1"],
+            ),
+            (
+                Message::Lsa(unicast::Lsa {
+                    origin: a,
+                    seq: 12,
+                    links: vec![unicast::LsaLink {
+                        neighbor: b,
+                        cost: 1,
+                    }],
+                }),
+                &["LSA origin=10.0.0.7 seq=12 links=1"],
+            ),
+            (
+                Message::Hello(unicast::Hello { holdtime: 30 }),
+                &["Hello holdtime=30"],
+            ),
+        ];
+
+        // Exhaustiveness: a new Message variant must be added to the table.
+        let covered = |m: &Message| {
+            all_variants
+                .iter()
+                .any(|(t, _)| std::mem::discriminant(t) == std::mem::discriminant(m))
+        };
+        for (msg, _) in &all_variants {
+            match msg {
+                Message::HostQuery(_)
+                | Message::HostReport(_)
+                | Message::RpMapping(_)
+                | Message::PimQuery(_)
+                | Message::PimRegister(_)
+                | Message::PimJoinPrune(_)
+                | Message::PimRpReachability(_)
+                | Message::DvmrpProbe(_)
+                | Message::DvmrpPrune(_)
+                | Message::DvmrpGraft(_)
+                | Message::DvmrpGraftAck(_)
+                | Message::CbtJoinRequest(_)
+                | Message::CbtJoinAck(_)
+                | Message::CbtEcho(_)
+                | Message::CbtEchoReply(_)
+                | Message::CbtQuit(_)
+                | Message::CbtFlushTree(_)
+                | Message::DvUpdate(_)
+                | Message::Lsa(_)
+                | Message::Hello(_) => assert!(covered(msg)),
+            }
+        }
+
+        for (msg, wants) in &all_variants {
+            let line = describe_packet(&wrap(msg));
+            assert!(
+                line.starts_with("10.0.0.1 > 224.0.0.2 ttl=1 "),
+                "missing header prefix: {line}"
+            );
+            for want in *wants {
+                assert!(line.contains(want), "{msg:?}: want {want:?} in {line:?}");
+            }
+        }
+    }
+
     #[test]
     fn join_prune_renders_entries() {
         let msg = Message::PimJoinPrune(JoinPrune {

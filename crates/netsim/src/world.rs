@@ -14,9 +14,11 @@ use crate::time::{Duration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::rc::Rc;
 
 /// Index of a node in the world.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -171,6 +173,10 @@ struct Fabric {
     counters: Counters,
     /// Packet capture: `Some((limit, ring))` when enabled.
     capture: Option<(usize, Vec<CaptureRecord>)>,
+    /// Structured-event sink for the world's own events (timer arm /
+    /// fire / cancel, injected faults). `None` = telemetry disabled;
+    /// the only cost on the hot path is this branch.
+    telem: Option<Rc<RefCell<dyn telemetry::Sink>>>,
 }
 
 /// One captured transmission (see [`World::enable_capture`]).
@@ -187,6 +193,18 @@ pub struct CaptureRecord {
 }
 
 impl Fabric {
+    /// Emit a structured telemetry event on behalf of `node`. The
+    /// closure runs only when a sink is attached, so the disabled path
+    /// never constructs (or allocates for) the event.
+    #[inline]
+    fn emit(&self, node: NodeIdx, f: impl FnOnce() -> telemetry::Event) {
+        if let Some(sink) = &self.telem {
+            let ev = f();
+            sink.borrow_mut()
+                .event(node.0 as u32, self.now.ticks(), &ev);
+        }
+    }
+
     fn push_event(&mut self, at: SimTime, ev: Event) -> TimerId {
         let slot = match self.free.pop() {
             Some(slot) => {
@@ -227,9 +245,9 @@ impl Fabric {
         if !link.up {
             return;
         }
-        let class = PacketClass::classify(&packet);
+        let (class, proto) = PacketClass::classify_full(&packet);
         self.counters
-            .record_tx(link_id, class, packet.len(), self.now);
+            .record_tx(link_id, class, proto, packet.len(), self.now);
         if let Some((limit, ring)) = &mut self.capture {
             if ring.len() < *limit {
                 ring.push(CaptureRecord {
@@ -312,6 +330,11 @@ impl<'a> Ctx<'a> {
     /// the current event). Returns a handle for [`Ctx::cancel_timer`].
     pub fn set_timer_at(&mut self, at: SimTime, token: u64) -> TimerId {
         let at = at.max(self.fabric.now);
+        self.fabric
+            .emit(self.node, || telemetry::Event::TimerArmed {
+                token,
+                deadline: at.ticks(),
+            });
         self.fabric.push_event(
             at,
             Event::Timer {
@@ -334,8 +357,10 @@ impl<'a> Ctx<'a> {
             return false;
         }
         match s.ev {
-            Some(Event::Timer { node, .. }) if node == self.node => {
+            Some(Event::Timer { node, token }) if node == self.node => {
                 self.fabric.vacate(id.slot);
+                self.fabric
+                    .emit(self.node, || telemetry::Event::TimerCancelled { token });
                 true
             }
             _ => false,
@@ -390,6 +415,7 @@ impl World {
                 rng: StdRng::seed_from_u64(seed),
                 counters: Counters::default(),
                 capture: None,
+                telem: None,
             },
             started: false,
         }
@@ -540,6 +566,23 @@ impl World {
         self.fabric.counters = Counters::default();
     }
 
+    /// Attach a structured-event sink for the world's own telemetry
+    /// (timer arm / fire / cancel, injected fault markers). Node
+    /// adapters attach their own per-node handles separately (see the
+    /// `telemetry` crate). Telemetry only observes: it consumes no
+    /// randomness and takes no behavioral branches, so packet traces
+    /// are identical with or without a sink.
+    pub fn set_telemetry(&mut self, sink: Rc<RefCell<dyn telemetry::Sink>>) {
+        self.fabric.telem = Some(sink);
+    }
+
+    /// Emit one telemetry event on behalf of `node` (no-op when no sink
+    /// is attached). Scenario scripts use this to mark injected faults
+    /// so sinks can measure post-fault reconvergence.
+    pub fn emit_event(&mut self, node: NodeIdx, ev: telemetry::Event) {
+        self.fabric.emit(node, || ev);
+    }
+
     /// Start capturing packet transmissions — the simulator's `tcpdump`.
     /// Records up to `limit` packets (time, link, sender, human-readable
     /// decode) from now on; calling again clears the buffer.
@@ -659,6 +702,8 @@ impl World {
                     return true;
                 }
                 self.fabric.counters.record_timer_fired();
+                self.fabric
+                    .emit(node, || telemetry::Event::TimerFired { token });
                 self.with_node(node, |n, ctx| n.on_timer(ctx, token));
             }
             Event::Script(f) => f(self),

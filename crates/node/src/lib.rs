@@ -22,6 +22,7 @@ use igmp::{Querier, QuerierOutput};
 use netsim::{earliest, Ctx, Duration, IfaceId, Node, SimTime, TimerId};
 use std::any::Any;
 use std::collections::HashMap;
+use telemetry::{message_kind, Event, StateDump, Telem};
 use unicast::Rib;
 use wire::ip::{Header, Protocol};
 use wire::{Addr, Group, Message};
@@ -72,7 +73,11 @@ pub enum Action {
 /// IGMP host messages and unicast routing messages never reach
 /// [`on_control`](ProtocolEngine::on_control) — the node routes those to
 /// the per-interface [`Querier`]s and the unicast engine itself.
-pub trait ProtocolEngine {
+///
+/// The [`StateDump`] supertrait is the `show mroute` of the simulator:
+/// every engine renders its live (*,G)/(S,G)/tree state as stable text
+/// for replay artifacts and debugging.
+pub trait ProtocolEngine: StateDump {
     /// This router's address.
     fn addr(&self) -> Addr;
 
@@ -160,6 +165,11 @@ pub trait ProtocolEngine {
     /// The absolute time of the engine's next pending timer; `None` when
     /// fully quiescent.
     fn next_deadline(&self) -> Option<SimTime>;
+
+    /// Attach a structured-event handle ([`telemetry::Telem`]). Engines
+    /// emit entry-lifecycle and election events through it; the default
+    /// no-op suits engines with nothing protocol-specific to report.
+    fn set_telemetry(&mut self, _telem: Telem) {}
 }
 
 /// A router node: one [`ProtocolEngine`] + one interchangeable unicast
@@ -176,6 +186,8 @@ pub struct ProtocolNode<P: ProtocolEngine> {
     pub control_msgs: u64,
     /// The single armed wakeup, if any: (fire time, timer handle).
     wakeup: Option<(SimTime, TimerId)>,
+    /// Structured-event handle (disabled unless a sink is attached).
+    telem: Telem,
 }
 
 impl<P: ProtocolEngine> ProtocolNode<P> {
@@ -189,7 +201,23 @@ impl<P: ProtocolEngine> ProtocolNode<P> {
             data_forwards: 0,
             control_msgs: 0,
             wakeup: None,
+            telem: Telem::disabled(),
         }
+    }
+
+    /// Attach a structured-event handle; it is forwarded to the engine
+    /// so protocol transitions and adapter-level events (control
+    /// send/receive, deliveries, membership, querier elections) share
+    /// one sink. Telemetry only observes — attaching never changes
+    /// protocol behavior or packet traces.
+    pub fn set_telemetry(&mut self, telem: Telem) {
+        self.telem = telem.clone();
+        self.engine.set_telemetry(telem);
+    }
+
+    /// The engine's `show mroute`-style state snapshot at `now`.
+    pub fn state_dump(&self, now: SimTime) -> String {
+        self.engine.state_dump(now.ticks())
     }
 
     /// Declare `iface` a host-facing subnetwork: an IGMP querier runs
@@ -239,6 +267,10 @@ impl<P: ProtocolEngine> ProtocolNode<P> {
         ttl: u8,
         msg: &Message,
     ) {
+        self.telem.emit(ctx.now().ticks(), || Event::CtrlSend {
+            kind: message_kind(msg),
+            dst,
+        });
         let header = Header {
             proto: Protocol::Igmp,
             ttl,
@@ -282,6 +314,8 @@ impl<P: ProtocolEngine> ProtocolNode<P> {
                             // Any forward onto a host LAN is a delivery edge
                             // for the experiment counters.
                             ctx.count_local_delivery();
+                            self.telem
+                                .emit(ctx.now().ticks(), || Event::DataDelivered { group, source });
                         }
                         ctx.send(i, pkt.clone());
                     }
@@ -300,6 +334,7 @@ impl<P: ProtocolEngine> ProtocolNode<P> {
                     self.send_control(ctx, iface, dst, 1, &msg);
                 }
                 unicast::Output::RouteChanged { dst } => {
+                    self.telem.emit(now.ticks(), || Event::RouteChanged { dst });
                     let acts = self.engine.on_route_change(now, dst, self.unicast.as_ref());
                     self.handle_actions(ctx, acts);
                 }
@@ -320,12 +355,16 @@ impl<P: ProtocolEngine> ProtocolNode<P> {
                     self.send_control(ctx, iface, dst, 1, &msg);
                 }
                 QuerierOutput::MemberJoined(group) => {
+                    self.telem
+                        .emit(now.ticks(), || Event::LocalMemberJoined { group });
                     let acts =
                         self.engine
                             .local_member_joined(now, group, iface, self.unicast.as_ref());
                     self.handle_actions(ctx, acts);
                 }
                 QuerierOutput::MemberExpired(group) => {
+                    self.telem
+                        .emit(now.ticks(), || Event::LocalMemberLeft { group });
                     let acts = self.engine.local_member_left(now, group, iface);
                     self.handle_actions(ctx, acts);
                 }
@@ -392,10 +431,22 @@ impl<P: ProtocolEngine> ProtocolNode<P> {
         };
         self.control_msgs += 1;
         let now = ctx.now();
+        self.telem.emit(now.ticks(), || Event::CtrlRecv {
+            kind: message_kind(&msg),
+            src: header.src,
+        });
         match &msg {
             Message::HostQuery(_) | Message::HostReport(_) | Message::RpMapping(_) => {
                 if let Some(q) = self.queriers.get_mut(&iface) {
+                    let was_querier = q.is_querier();
                     let outs = q.on_message(now, header.src, &msg);
+                    let is_querier = q.is_querier();
+                    if was_querier != is_querier {
+                        self.telem.emit(now.ticks(), || Event::QuerierChanged {
+                            iface: iface.0,
+                            is_querier,
+                        });
+                    }
                     self.handle_querier_outputs(ctx, iface, outs);
                 }
             }
@@ -501,11 +552,16 @@ impl<P: ProtocolEngine + 'static> Node for ProtocolNode<P> {
         }
         let ifaces: Vec<IfaceId> = self.queriers.keys().copied().collect();
         for i in ifaces {
-            let outs = self
-                .queriers
-                .get_mut(&i)
-                .expect("key just listed")
-                .tick(now);
+            let q = self.queriers.get_mut(&i).expect("key just listed");
+            let was_querier = q.is_querier();
+            let outs = q.tick(now);
+            let is_querier = q.is_querier();
+            if was_querier != is_querier {
+                self.telem.emit(now.ticks(), || Event::QuerierChanged {
+                    iface: i.0,
+                    is_querier,
+                });
+            }
             self.handle_querier_outputs(ctx, i, outs);
         }
         let acts = self.engine.tick(now, self.unicast.as_ref());

@@ -1,0 +1,145 @@
+//! Run one scenario end-to-end and pretty-print its telemetry trace.
+//!
+//! ```text
+//! trace [TOPOLOGY] [PROTOCOL] [SEED] [--jsonl]
+//! ```
+//!
+//! Defaults: `diamond pim 0`. The run is the explorer's standard
+//! timeline (joins, fault window, heal, probe train, quiescence at
+//! t6000) under the seeded random schedule for `SEED`.
+//!
+//! By default the output is a merged human-readable timeline: every
+//! packet transmission (decoded via `netsim::trace::describe_packet`)
+//! interleaved with every structured telemetry event, sorted by sim
+//! time, followed by each router's state snapshot and the convergence
+//! metrics. With `--jsonl` the raw JSON-lines event stream is printed
+//! instead — one object per line, machine-readable.
+
+use netsim::{NodeIdx, SimTime};
+use scenario::{build_net, random_schedule, topologies, topology, Protocol, Substrate};
+use std::cell::RefCell;
+use std::rc::Rc;
+use telemetry::{Event, Fanout, JsonlSink, MetricsAggregator, Sink, Ticks};
+use wire::Group;
+
+/// The explorer's standard timeline (see `scenario::explore`).
+const TRAIN: u64 = 20;
+const PROBES: u64 = 8;
+const PROBE_START: u64 = 4500;
+const PROBE_GAP: u64 = 30;
+const CHECK_AT: u64 = 6000;
+
+/// Records every event as a rendered line, unbounded — the pretty
+/// printer's source.
+#[derive(Default)]
+struct Lines(Vec<(u64, String)>);
+
+impl Sink for Lines {
+    fn event(&mut self, node: u32, at: Ticks, ev: &Event) {
+        self.0.push((at, format!("t{at} r{node} {}", ev.render())));
+    }
+}
+
+fn main() {
+    let mut jsonl_mode = false;
+    let mut pos = Vec::new();
+    for a in std::env::args().skip(1) {
+        if a == "--jsonl" {
+            jsonl_mode = true;
+        } else {
+            pos.push(a);
+        }
+    }
+    let topo_name = pos.first().map(String::as_str).unwrap_or("diamond");
+    let proto_name = pos.get(1).map(String::as_str).unwrap_or("pim");
+    let seed: u64 = pos
+        .get(2)
+        .map(|s| s.parse().expect("SEED must be a number"))
+        .unwrap_or(0);
+
+    let topo = topology(topo_name).unwrap_or_else(|| {
+        let names: Vec<_> = topologies().iter().map(|t| t.name).collect();
+        panic!("unknown topology {topo_name:?}; pick one of {names:?}")
+    });
+    let protocol = Protocol::from_name(proto_name)
+        .unwrap_or_else(|| panic!("unknown protocol {proto_name:?}; pim, dvmrp, or cbt"));
+
+    let group = Group::test(1);
+    let mut net = build_net(
+        &topo.graph,
+        protocol,
+        Substrate::Oracle,
+        group,
+        topo.rendezvous,
+        &topo.host_routers,
+        seed,
+    );
+    net.world.enable_capture(300_000);
+
+    let lines = Rc::new(RefCell::new(Lines::default()));
+    let jsonl = Rc::new(RefCell::new(JsonlSink::new(Vec::<u8>::new())));
+    let metrics = Rc::new(RefCell::new(MetricsAggregator::new()));
+    let mut fan = Fanout::new();
+    fan.push(lines.clone());
+    fan.push(jsonl.clone());
+    fan.push(metrics.clone());
+    net.attach_telemetry(Rc::new(RefCell::new(fan)));
+
+    let schedule = random_schedule(&topo, seed, false);
+    let host_nodes: Vec<NodeIdx> = net.hosts.iter().map(|&(n, _)| n).collect();
+    schedule.install(&mut net.world, &host_nodes, group);
+    net.send_at(0, 100, TRAIN, 40);
+    net.send_at(0, PROBE_START, PROBES, PROBE_GAP);
+    net.world.run_until(SimTime(CHECK_AT));
+
+    if jsonl_mode {
+        print!(
+            "{}",
+            String::from_utf8(jsonl.borrow().get_ref().clone()).expect("JSONL is UTF-8")
+        );
+        return;
+    }
+
+    println!("# {topo_name} / {proto_name} / seed {seed} — schedule:");
+    for l in schedule.to_text().lines() {
+        println!("#   {l}");
+    }
+
+    // Merge packet transmissions (already decoded by describe_packet in
+    // the capture layer) with telemetry events, stable by sim time.
+    let mut merged: Vec<(u64, String)> = net
+        .world
+        .captured()
+        .iter()
+        .map(|r| {
+            (
+                r.at.ticks(),
+                format!(
+                    "t{} wire link{} r{} {}",
+                    r.at.ticks(),
+                    r.link.0,
+                    r.from.0,
+                    r.summary
+                ),
+            )
+        })
+        .collect();
+    merged.extend(lines.borrow().0.iter().cloned());
+    merged.sort_by_key(|&(t, _)| t);
+    for (_, l) in &merged {
+        println!("{l}");
+    }
+
+    println!("\n# state snapshots at t{CHECK_AT}:");
+    for n in 0..net.router_count {
+        for l in net.state_dump(n, SimTime(CHECK_AT)).lines() {
+            println!("{l}");
+        }
+    }
+
+    metrics.borrow_mut().finish();
+    println!("\n# convergence metrics:");
+    for l in metrics.borrow().render().lines() {
+        println!("{l}");
+    }
+}

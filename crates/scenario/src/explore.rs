@@ -2,10 +2,14 @@
 //!
 //! From one seed the explorer derives one random fault schedule per
 //! topology, runs *all three protocols* against the identical schedule,
-//! waits for quiescence, and applies the oracle layer. On violation it
-//! emits a minimal replay artifact — protocol, topology name, seed,
-//! schedule text, and trace fingerprint — that
-//! [`replay`] re-executes byte-identically.
+//! waits for quiescence, and applies the oracle layer. Every run carries
+//! full structured telemetry — a per-router flight recorder, a JSONL
+//! event stream, and convergence metrics — and on violation the explorer
+//! emits a replay artifact: protocol, topology name, seed, schedule
+//! text, trace and telemetry fingerprints, plus each implicated router's
+//! flight-recorder tail and `show mroute`-style state snapshot.
+//! [`replay`] re-executes the artifact byte-identically, telemetry
+//! stream included.
 //!
 //! ## Scenario timeline
 //!
@@ -33,8 +37,11 @@ use graph::{Graph, NodeId};
 use netsim::{host_addr, NodeIdx, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+use telemetry::{Fanout, FlightRecorder, JsonlSink, MetricsAggregator, FLIGHT_RECORDER_CAP};
 use wire::Group;
 
 /// Number of packets in the pre-fault data train (sequence numbers
@@ -193,6 +200,30 @@ pub struct CaseOutcome {
     pub fingerprint: u64,
     /// The captured packet trace, one line per transmission.
     pub trace: Vec<String>,
+    /// The JSONL telemetry event stream of the run (one object per
+    /// line, keyed by sim time). Deterministic: replays reproduce it
+    /// byte for byte.
+    pub telemetry: String,
+    /// Hash over [`CaseOutcome::telemetry`].
+    pub telemetry_fingerprint: u64,
+    /// Rendered convergence metrics (join latency, SPT switchover,
+    /// post-fault reconvergence histograms).
+    pub metrics: String,
+    /// Flight-recorder and state dumps of the routers implicated by the
+    /// violations; empty when every oracle passed.
+    pub dumps: Vec<NodeDump>,
+}
+
+/// One implicated router's post-mortem: its flight-recorder tail and its
+/// `show mroute`-style state snapshot at the oracle checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeDump {
+    /// Graph node index of the router.
+    pub node: usize,
+    /// Flight-recorder lines, oldest first (`t<ticks> <event>`).
+    pub flight: Vec<String>,
+    /// State-snapshot lines ([`telemetry::StateDump`] output, split).
+    pub state: Vec<String>,
 }
 
 /// Format the captured trace, one stable line per transmission.
@@ -220,6 +251,12 @@ fn fingerprint(lines: &[String]) -> u64 {
     h.finish()
 }
 
+fn hash_text(text: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    text.hash(&mut h);
+    h.finish()
+}
+
 /// Run one schedule against one protocol and apply the oracles.
 ///
 /// The explorer always uses the oracle unicast substrate: static routing
@@ -243,6 +280,18 @@ pub fn run_case(
     );
     net.world.enable_capture(CAPTURE_LIMIT);
 
+    // Telemetry: flight recorder (post-mortem dumps), JSONL stream (the
+    // byte-identity contract), metrics aggregator (convergence
+    // histograms). Observation only — the packet trace is unchanged.
+    let flight = Rc::new(RefCell::new(FlightRecorder::new(FLIGHT_RECORDER_CAP)));
+    let jsonl = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+    let metrics = Rc::new(RefCell::new(MetricsAggregator::new()));
+    let mut fan = Fanout::new();
+    fan.push(flight.clone());
+    fan.push(jsonl.clone());
+    fan.push(metrics.clone());
+    net.attach_telemetry(Rc::new(RefCell::new(fan)));
+
     let host_nodes: Vec<NodeIdx> = net.hosts.iter().map(|&(n, _)| n).collect();
     schedule.install(&mut net.world, &host_nodes, group);
 
@@ -263,11 +312,41 @@ pub fn run_case(
         violations.extend(check_delivery(&net, &members, source, &expected));
     }
 
+    // Post-mortem dumps for every router an oracle implicated.
+    let mut implicated: Vec<usize> = violations
+        .iter()
+        .map(|v| v.node)
+        .filter(|&n| n < net.router_count)
+        .collect();
+    implicated.sort_unstable();
+    implicated.dedup();
+    let dumps = implicated
+        .into_iter()
+        .map(|n| NodeDump {
+            node: n,
+            flight: flight.borrow().dump(n as u32),
+            state: net
+                .state_dump(n, SimTime(CHECK_AT))
+                .lines()
+                .map(str::to_string)
+                .collect(),
+        })
+        .collect();
+
+    metrics.borrow_mut().finish();
+    let metrics = metrics.borrow().render();
+    let telemetry = String::from_utf8(jsonl.borrow().get_ref().clone())
+        .expect("JSONL telemetry is always UTF-8");
+
     let trace = trace_lines(&net);
     CaseOutcome {
         violations,
         fingerprint: fingerprint(&trace),
         trace,
+        telemetry_fingerprint: hash_text(&telemetry),
+        telemetry,
+        metrics,
+        dumps,
     }
 }
 
@@ -286,7 +365,9 @@ pub fn explore_seed(topo: &TopoSpec, seed: u64) -> Vec<(Protocol, CaseOutcome)> 
 // ---------------------------------------------------------------------
 
 /// A minimal, self-contained reproduction of one violating run: enough to
-/// re-execute it byte-identically, nothing more.
+/// re-execute it byte-identically, plus the implicated routers'
+/// post-mortems (flight-recorder tails and state snapshots) so the
+/// failure can be read without re-running anything.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Artifact {
     /// Protocol under test.
@@ -299,8 +380,13 @@ pub struct Artifact {
     pub schedule: FaultSchedule,
     /// Trace fingerprint of the violating run.
     pub fingerprint: u64,
+    /// Fingerprint of the JSONL telemetry event stream — replay must
+    /// reproduce the stream byte-identically.
+    pub telemetry: u64,
     /// The violations observed, rendered.
     pub violations: Vec<String>,
+    /// Post-mortems of the routers the violations implicate.
+    pub dumps: Vec<NodeDump>,
 }
 
 impl Artifact {
@@ -318,11 +404,15 @@ impl Artifact {
             seed,
             schedule: schedule.clone(),
             fingerprint: outcome.fingerprint,
+            telemetry: outcome.telemetry_fingerprint,
             violations: outcome.violations.iter().map(|v| v.to_string()).collect(),
+            dumps: outcome.dumps.clone(),
         }
     }
 
-    /// Serialize to the artifact text form.
+    /// Serialize to the artifact text form. Dump payload lines are
+    /// indented two spaces so the bare `flight` / `state` / `end`
+    /// markers can never collide with recorded content.
     pub fn to_text(&self) -> String {
         let mut s = String::new();
         s.push_str("scenario-replay-v1\n");
@@ -330,16 +420,32 @@ impl Artifact {
         s.push_str(&format!("topology {}\n", self.topology));
         s.push_str(&format!("seed {}\n", self.seed));
         s.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        s.push_str(&format!("telemetry {:016x}\n", self.telemetry));
         s.push_str("schedule\n");
         s.push_str(&self.schedule.to_text());
         s.push_str("end\n");
         for v in &self.violations {
             s.push_str(&format!("violation {v}\n"));
         }
+        for d in &self.dumps {
+            s.push_str(&format!("dump r{}\n", d.node));
+            s.push_str("flight\n");
+            for l in &d.flight {
+                s.push_str(&format!("  {l}\n"));
+            }
+            s.push_str("end\n");
+            s.push_str("state\n");
+            for l in &d.state {
+                s.push_str(&format!("  {l}\n"));
+            }
+            s.push_str("end\n");
+            s.push_str("end\n");
+        }
         s
     }
 
-    /// Parse the artifact text form back.
+    /// Parse the artifact text form back (exact round trip of
+    /// [`Artifact::to_text`]).
     pub fn from_text(text: &str) -> Result<Artifact, String> {
         let mut lines = text.lines();
         if lines.next() != Some("scenario-replay-v1") {
@@ -358,41 +464,108 @@ impl Artifact {
         let seed: u64 = field("seed")?.parse().map_err(|_| "bad seed".to_string())?;
         let fingerprint = u64::from_str_radix(&field("fingerprint")?, 16)
             .map_err(|_| "bad fingerprint".to_string())?;
+        let telemetry = u64::from_str_radix(&field("telemetry")?, 16)
+            .map_err(|_| "bad telemetry fingerprint".to_string())?;
         if lines.next() != Some("schedule") {
             return Err("missing schedule section".into());
         }
         let mut sched_text = String::new();
-        let mut violations = Vec::new();
-        let mut in_schedule = true;
-        for l in lines {
-            if in_schedule {
-                if l == "end" {
-                    in_schedule = false;
-                } else {
-                    sched_text.push_str(l);
-                    sched_text.push('\n');
-                }
-            } else if let Some(v) = l.strip_prefix("violation ") {
-                violations.push(v.to_string());
+        let mut terminated = false;
+        for l in lines.by_ref() {
+            if l == "end" {
+                terminated = true;
+                break;
             }
+            sched_text.push_str(l);
+            sched_text.push('\n');
         }
-        if in_schedule {
+        if !terminated {
             return Err("schedule section not terminated by `end`".into());
         }
+        let schedule = FaultSchedule::from_text(&sched_text)?;
+        let (violations, dumps) = Self::parse_tail(lines)?;
         Ok(Artifact {
             protocol,
             topology,
             seed,
-            schedule: FaultSchedule::from_text(&sched_text)?,
+            schedule,
             fingerprint,
+            telemetry,
             violations,
+            dumps,
         })
+    }
+
+    /// Parse the violation and dump sections after the schedule.
+    fn parse_tail<'a>(
+        lines: impl Iterator<Item = &'a str>,
+    ) -> Result<(Vec<String>, Vec<NodeDump>), String> {
+        #[derive(PartialEq)]
+        enum Mode {
+            Top,
+            Dump,
+            Flight,
+            State,
+        }
+        let mut mode = Mode::Top;
+        let mut violations = Vec::new();
+        let mut dumps: Vec<NodeDump> = Vec::new();
+        let mut cur: Option<NodeDump> = None;
+        for l in lines {
+            match mode {
+                Mode::Top => {
+                    if let Some(v) = l.strip_prefix("violation ") {
+                        violations.push(v.to_string());
+                    } else if let Some(n) = l.strip_prefix("dump r") {
+                        let node = n.parse().map_err(|_| format!("bad dump node {n:?}"))?;
+                        cur = Some(NodeDump {
+                            node,
+                            flight: Vec::new(),
+                            state: Vec::new(),
+                        });
+                        mode = Mode::Dump;
+                    } else {
+                        return Err(format!("unexpected artifact line {l:?}"));
+                    }
+                }
+                Mode::Dump => match l {
+                    "flight" => mode = Mode::Flight,
+                    "state" => mode = Mode::State,
+                    "end" => {
+                        dumps.push(cur.take().expect("dump under construction"));
+                        mode = Mode::Top;
+                    }
+                    _ => return Err(format!("unexpected dump line {l:?}")),
+                },
+                Mode::Flight | Mode::State => {
+                    if l == "end" {
+                        mode = Mode::Dump;
+                    } else {
+                        let payload = l
+                            .strip_prefix("  ")
+                            .ok_or_else(|| format!("unindented dump payload {l:?}"))?
+                            .to_string();
+                        let d = cur.as_mut().expect("dump under construction");
+                        if mode == Mode::Flight {
+                            d.flight.push(payload);
+                        } else {
+                            d.state.push(payload);
+                        }
+                    }
+                }
+            }
+        }
+        if mode != Mode::Top {
+            return Err("dump section not terminated by `end`".into());
+        }
+        Ok((violations, dumps))
     }
 }
 
 /// Re-execute an artifact. The run is deterministic, so the returned
-/// outcome's fingerprint and violations must equal the artifact's — the
-/// replay test target asserts exactly that.
+/// outcome's fingerprint, telemetry fingerprint, violations, and dumps
+/// must equal the artifact's — the replay test target asserts exactly
+/// that.
 pub fn replay(artifact: &Artifact) -> Result<CaseOutcome, String> {
     let topo = topology(&artifact.topology)
         .ok_or_else(|| format!("unknown topology {:?}", artifact.topology))?;
@@ -402,4 +575,53 @@ pub fn replay(artifact: &Artifact) -> Result<CaseOutcome, String> {
         &artifact.schedule,
         artifact.seed,
     ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The telemetry layer's core contract at full-stack scope: attaching
+    /// the complete sink fanout changes nothing about protocol behavior —
+    /// the packet trace is identical line for line.
+    #[test]
+    fn telemetry_attachment_does_not_perturb_the_trace() {
+        let topo = &topologies()[0];
+        let schedule = random_schedule(topo, 3, false);
+        let group = Group::test(1);
+        let run = |protocol: Protocol, attach: bool| -> Vec<String> {
+            let mut net = build_net(
+                &topo.graph,
+                protocol,
+                Substrate::Oracle,
+                group,
+                topo.rendezvous,
+                &topo.host_routers,
+                3,
+            );
+            net.world.enable_capture(CAPTURE_LIMIT);
+            if attach {
+                let mut fan = Fanout::new();
+                fan.push(Rc::new(RefCell::new(FlightRecorder::new(
+                    FLIGHT_RECORDER_CAP,
+                ))));
+                fan.push(Rc::new(RefCell::new(JsonlSink::new(Vec::new()))));
+                fan.push(Rc::new(RefCell::new(MetricsAggregator::new())));
+                net.attach_telemetry(Rc::new(RefCell::new(fan)));
+            }
+            let host_nodes: Vec<NodeIdx> = net.hosts.iter().map(|&(n, _)| n).collect();
+            schedule.install(&mut net.world, &host_nodes, group);
+            net.send_at(0, 100, TRAIN, 40);
+            net.world.run_until(SimTime(CHECK_AT));
+            trace_lines(&net)
+        };
+        for protocol in Protocol::ALL {
+            assert_eq!(
+                run(protocol, false),
+                run(protocol, true),
+                "{}: telemetry must be observation-only",
+                protocol.name()
+            );
+        }
+    }
 }

@@ -12,9 +12,12 @@
 //!    consistency, loop freedom, eventual delivery, no orphaned state
 //!    after teardown, and CBT's hop-by-hop ack ledger.
 //! 3. [`explore`] — a seeded explorer that samples random schedules per
-//!    topology, runs all three protocols against the identical schedule,
-//!    and on violation emits a minimal replay artifact (seed + schedule +
-//!    trace fingerprint) that re-executes byte-identically.
+//!    topology, runs all three protocols against the identical schedule
+//!    with full structured telemetry attached (flight recorder, JSONL
+//!    event stream, convergence metrics), and on violation emits a
+//!    replay artifact (seed + schedule + trace and telemetry
+//!    fingerprints + per-router flight-recorder and state dumps) that
+//!    re-executes byte-identically.
 //!
 //! The paper motivates this: §2 requires the architecture stay robust
 //! under "unicast route changes, router failures, and membership churn";
@@ -29,7 +32,7 @@ pub mod schedule;
 
 pub use explore::{
     explore_seed, random_schedule, replay, run_case, topologies, topology, Artifact, CaseOutcome,
-    TopoSpec,
+    NodeDump, TopoSpec,
 };
 pub use net::{build_net, Protocol, ScenarioNet, Substrate};
 pub use oracle::{

@@ -11,6 +11,9 @@ use graph::{Graph, NodeId};
 use igmp::HostNode;
 use netsim::{host_addr, router_addr, Duration, IfaceId, NodeIdx, SimTime, Topology, World};
 use pim::{Engine, PimConfig, PimRouter};
+use std::cell::RefCell;
+use std::rc::Rc;
+use telemetry::{Sink, Telem};
 use unicast::dv::{DvConfig, DvEngine};
 use unicast::ls::{LsConfig, LsEngine};
 use unicast::OracleRib;
@@ -221,5 +224,33 @@ impl ScenarioNet {
         self.world
             .node::<HostNode>(host)
             .seqs_from(source, self.group)
+    }
+
+    /// Attach one structured-event sink to the whole network: the world's
+    /// own telemetry (timers, injected fault markers) plus a per-router
+    /// [`Telem`] handle keyed by graph node index. Telemetry only
+    /// observes — the packet trace is identical with or without a sink.
+    pub fn attach_telemetry(&mut self, sink: Rc<RefCell<dyn Sink>>) {
+        self.world.set_telemetry(Rc::clone(&sink));
+        for n in 0..self.router_count {
+            let telem = Telem::attached(Rc::clone(&sink), n as u32);
+            let idx = NodeIdx(n);
+            match self.protocol {
+                Protocol::Pim => self.world.node_mut::<PimRouter>(idx).set_telemetry(telem),
+                Protocol::Dvmrp => self.world.node_mut::<DvmrpRouter>(idx).set_telemetry(telem),
+                Protocol::Cbt => self.world.node_mut::<CbtRouter>(idx).set_telemetry(telem),
+            }
+        }
+    }
+
+    /// Router `node`'s `show mroute`-style state snapshot at `now`
+    /// (see [`telemetry::StateDump`]).
+    pub fn state_dump(&self, node: usize, now: SimTime) -> String {
+        let idx = NodeIdx(node);
+        match self.protocol {
+            Protocol::Pim => self.world.node::<PimRouter>(idx).state_dump(now),
+            Protocol::Dvmrp => self.world.node::<DvmrpRouter>(idx).state_dump(now),
+            Protocol::Cbt => self.world.node::<CbtRouter>(idx).state_dump(now),
+        }
     }
 }

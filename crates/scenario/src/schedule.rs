@@ -166,18 +166,47 @@ impl FaultSchedule {
     /// Compile the schedule onto `world`'s scripted-event machinery.
     /// `hosts[k]` is the world node of host slot `k`; membership events
     /// target `group`. Events are installed in stable time order.
+    ///
+    /// Link, crash, and restart events also emit one
+    /// [`telemetry::Event::Fault`] marker (no-op without a sink), so
+    /// metrics sinks can measure post-fault reconvergence windows. Only
+    /// the first fault at each instant is marked — same-tick siblings
+    /// would open zero-width windows.
     pub fn install(&self, world: &mut World, hosts: &[NodeIdx], group: Group) {
         let mut sorted = self.events.clone();
         sorted.sort_by_key(|&(t, _)| t);
+        let mut last_marked = None;
         for (at, ev) in sorted {
+            let is_fault = !matches!(ev, FaultEvent::Join(_) | FaultEvent::Leave(_));
+            let mark = is_fault && last_marked != Some(at);
+            if mark {
+                last_marked = Some(at);
+            }
             let hosts = hosts.to_vec();
-            world.at(SimTime(at), move |w| apply(w, ev, &hosts, group));
+            world.at(SimTime(at), move |w| apply(w, ev, &hosts, group, mark));
         }
     }
 }
 
-/// Apply one fault to the world.
-fn apply(w: &mut World, ev: FaultEvent, hosts: &[NodeIdx], group: Group) {
+/// The world node a fault marker is attributed to: the crashed or
+/// restarted router itself; for link faults, router 0 as a deterministic
+/// stand-in (the marker's `desc` names the link).
+fn fault_node(ev: FaultEvent) -> NodeIdx {
+    match ev {
+        FaultEvent::CrashRouter(r) | FaultEvent::RestartRouter(r) => NodeIdx(r as usize),
+        _ => NodeIdx(0),
+    }
+}
+
+/// Apply one fault to the world, emitting its telemetry marker first so
+/// flight recorders show the fault before its consequences.
+fn apply(w: &mut World, ev: FaultEvent, hosts: &[NodeIdx], group: Group, mark: bool) {
+    if mark {
+        w.emit_event(
+            fault_node(ev),
+            telemetry::Event::Fault { desc: ev.to_line() },
+        );
+    }
     match ev {
         FaultEvent::LinkDown(l) => w.set_link_up(LinkId(l), false),
         FaultEvent::LinkUp(l) => w.set_link_up(LinkId(l), true),

@@ -22,6 +22,15 @@ fn identical_runs_produce_identical_traces() {
             );
             assert_eq!(a.fingerprint, b.fingerprint);
             assert_eq!(
+                a.telemetry,
+                b.telemetry,
+                "{} on {}: telemetry JSONL streams must be byte-identical",
+                protocol.name(),
+                topo.name
+            );
+            assert_eq!(a.telemetry_fingerprint, b.telemetry_fingerprint);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(
                 a.violations
                     .iter()
                     .map(|v| v.to_string())

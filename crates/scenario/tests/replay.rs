@@ -1,9 +1,11 @@
 //! The replay-artifact contract, demonstrated on an intentionally broken
 //! fixture: a schedule that crashes the only transit router and never
 //! restarts it. Delivery must fail, the violation must be captured into a
-//! minimal artifact, and re-executing the artifact must reproduce the
-//! violating run byte-identically (same trace fingerprint, same
-//! violations).
+//! minimal artifact (now carrying the implicated routers' flight
+//! recorders and state snapshots), and re-executing the artifact must
+//! reproduce the violating run byte-identically — same trace
+//! fingerprint, same telemetry event stream, same violations, same
+//! dumps.
 
 use scenario::{replay, run_case, topology, Artifact, FaultEvent, FaultSchedule, Protocol};
 
@@ -33,18 +35,41 @@ fn broken_fixture_yields_minimal_replay_artifact() {
             outcome.violations
         );
 
+        // The violation implicates at least one router, so the artifact
+        // carries its post-mortem: a non-empty flight recorder tail and a
+        // state snapshot.
+        assert!(
+            !outcome.dumps.is_empty(),
+            "{}: a violating run must dump the implicated routers",
+            protocol.name()
+        );
+        for d in &outcome.dumps {
+            assert!(
+                !d.state.is_empty(),
+                "{}: r{} state snapshot must not be empty",
+                protocol.name(),
+                d.node
+            );
+        }
+
         // Capture → serialize → parse: exact round-trip.
         let artifact = Artifact::capture(&topo, protocol, &schedule, seed, &outcome);
         let text = artifact.to_text();
         let parsed = Artifact::from_text(&text).expect("artifact parses back");
         assert_eq!(parsed, artifact, "artifact text form must round-trip");
 
-        // Replay: byte-identical re-execution.
+        // Replay: byte-identical re-execution, telemetry included.
         let rerun = replay(&parsed).expect("replay resolves topology");
         assert_eq!(
             rerun.fingerprint,
             artifact.fingerprint,
             "{}: replay must reproduce the identical packet trace",
+            protocol.name()
+        );
+        assert_eq!(
+            rerun.telemetry_fingerprint,
+            artifact.telemetry,
+            "{}: replay must reproduce the identical telemetry stream",
             protocol.name()
         );
         assert_eq!(
@@ -57,6 +82,12 @@ fn broken_fixture_yields_minimal_replay_artifact() {
             "{}: replay must reproduce the identical violations",
             protocol.name()
         );
+        assert_eq!(
+            rerun.dumps,
+            artifact.dumps,
+            "{}: replay must reproduce the identical post-mortem dumps",
+            protocol.name()
+        );
     }
 }
 
@@ -64,9 +95,16 @@ fn broken_fixture_yields_minimal_replay_artifact() {
 fn artifact_parser_rejects_malformed_input() {
     assert!(Artifact::from_text("not an artifact").is_err());
     assert!(Artifact::from_text("scenario-replay-v1\nprotocol pim\n").is_err());
-    let unterminated = "scenario-replay-v1\nprotocol pim\ntopology diamond\n\
-                        seed 1\nfingerprint 00000000000000ff\nschedule\n30 join 1\n";
-    assert!(Artifact::from_text(unterminated).is_err());
+    let head = "scenario-replay-v1\nprotocol pim\ntopology diamond\n\
+                seed 1\nfingerprint 00000000000000ff\ntelemetry 00000000000000aa\n";
+    let unterminated = format!("{head}schedule\n30 join 1\n");
+    assert!(Artifact::from_text(&unterminated).is_err());
+    // A dump section must be fully terminated and properly indented.
+    let open_dump = format!("{head}schedule\nend\ndump r2\nflight\n");
+    assert!(Artifact::from_text(&open_dump).is_err());
+    let unindented =
+        format!("{head}schedule\nend\ndump r2\nflight\nt5 raw\nend\nstate\nend\nend\n");
+    assert!(Artifact::from_text(&unindented).is_err());
 }
 
 #[test]
@@ -77,7 +115,9 @@ fn replay_rejects_unknown_topology() {
         seed: 1,
         schedule: broken_schedule(),
         fingerprint: 0,
+        telemetry: 0,
         violations: vec![],
+        dumps: vec![],
     };
     assert!(replay(&artifact).is_err());
 }

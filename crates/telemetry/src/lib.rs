@@ -1,0 +1,1005 @@
+//! Structured protocol-event telemetry.
+//!
+//! The paper's evaluation (§1, §4) compares protocols by the state they
+//! hold, the control messages they process, and the data packets they
+//! forward. This crate provides the per-event observability layer that
+//! makes those comparisons possible inside the simulator: a typed
+//! [`Event`] stream emitted by netsim, the node adapter, and all three
+//! protocol engines, consumed through the [`Sink`] trait.
+//!
+//! Three sinks ship with the crate:
+//!
+//! * [`FlightRecorder`] — a bounded per-node ring buffer of rendered
+//!   events, dumped into replay artifacts when an oracle fires;
+//! * [`JsonlSink`] — a JSON-lines writer keyed by deterministic sim
+//!   time, whose byte stream doubles as the determinism fingerprint;
+//! * [`MetricsAggregator`] — sim-time histograms of join latency,
+//!   SPT-switchover time, and post-fault reconvergence time.
+//!
+//! # Determinism rules
+//!
+//! Telemetry *observes*; it never participates. Emitters consume no
+//! randomness and take no behavioral branches on whether a sink is
+//! attached, so packet traces are bit-identical with telemetry on or
+//! off. Every event is keyed by deterministic sim time ([`Ticks`]) —
+//! wall-clock time never appears in an event or a rendered line.
+//!
+//! # Zero overhead when disabled
+//!
+//! The [`Telem`] handle is an `Option` internally; [`Telem::emit`]
+//! takes a closure so a disabled handle costs one branch and never
+//! constructs the [`Event`].
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::Write;
+use std::rc::Rc;
+
+use wire::{Addr, Group, Message};
+
+/// Simulator time in ticks.
+///
+/// This crate sits below `netsim` in the dependency graph (so the
+/// protocol crates can use it without a cycle), so it cannot name
+/// `netsim::SimTime`; emitters pass `SimTime.0` and sinks treat the
+/// value as opaque ordered time.
+pub type Ticks = u64;
+
+/// Bit flags describing a multicast state entry, shared across all
+/// three protocols so sinks can diff transitions uniformly.
+///
+/// PIM uses [`flags::WC`]/[`flags::RP`]/[`flags::SPT`] exactly as the
+/// paper's join/prune entry bits; DVMRP expresses its negative cache
+/// with [`flags::PRUNED`]; CBT expresses tree membership with
+/// [`flags::ON_TREE`].
+pub mod flags {
+    /// Wildcard entry — PIM (*,G).
+    pub const WC: u8 = 1;
+    /// RP-bit — state toward the rendezvous point (also marks PIM
+    /// negative cache entries).
+    pub const RP: u8 = 2;
+    /// SPT-bit — packets arriving on the shortest-path tree.
+    pub const SPT: u8 = 4;
+    /// DVMRP prune state: the entry's upstream has been pruned.
+    pub const PRUNED: u8 = 8;
+    /// CBT: this router is attached to the group's core-based tree.
+    pub const ON_TREE: u8 = 16;
+
+    /// Render a flag set as a stable short string, e.g. `WC|RP`.
+    /// Empty sets render as `-`.
+    pub fn render(f: u8) -> String {
+        const NAMES: [(u8, &str); 5] = [
+            (WC, "WC"),
+            (RP, "RP"),
+            (SPT, "SPT"),
+            (PRUNED, "PRUNED"),
+            (ON_TREE, "ON_TREE"),
+        ];
+        let mut out = String::new();
+        for (bit, name) in NAMES {
+            if f & bit != 0 {
+                if !out.is_empty() {
+                    out.push('|');
+                }
+                out.push_str(name);
+            }
+        }
+        if out.is_empty() {
+            out.push('-');
+        }
+        out
+    }
+}
+
+/// The key of a multicast routing entry: the shared tree or a source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EntryKey {
+    /// The shared (*,G) entry.
+    Star,
+    /// A source-specific (S,G) entry.
+    Source(Addr),
+}
+
+impl fmt::Display for EntryKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntryKey::Star => write!(f, "*"),
+            EntryKey::Source(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One structured protocol event, keyed by the emitting node and sim
+/// time at the [`Sink`] boundary (see [`Sink::event`]).
+///
+/// The taxonomy covers every transition class the paper's evaluation
+/// reasons about: entry lifecycle with flag deltas, timers, control
+/// traffic, local membership, elections, RP failover, SPT switchover,
+/// and unicast route change.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A (*,G) or (S,G) entry was created with the given flags.
+    EntryCreated {
+        /// Group the entry belongs to.
+        group: Group,
+        /// Shared-tree or source key.
+        key: EntryKey,
+        /// Initial [`flags`] bit set.
+        flags: u8,
+    },
+    /// An entry's flag bits changed (e.g. SPT-bit set, prune installed).
+    EntryModified {
+        /// Group the entry belongs to.
+        group: Group,
+        /// Shared-tree or source key.
+        key: EntryKey,
+        /// Flag bits before the transition.
+        from: u8,
+        /// Flag bits after the transition.
+        to: u8,
+    },
+    /// An entry timed out or was deleted.
+    EntryExpired {
+        /// Group the entry belonged to.
+        group: Group,
+        /// Shared-tree or source key.
+        key: EntryKey,
+    },
+    /// A timer was armed for `deadline`.
+    TimerArmed {
+        /// Node-local timer token.
+        token: u64,
+        /// Absolute sim-time deadline.
+        deadline: Ticks,
+    },
+    /// A live timer fired.
+    TimerFired {
+        /// Node-local timer token.
+        token: u64,
+    },
+    /// A pending timer was cancelled before firing.
+    TimerCancelled {
+        /// Node-local timer token.
+        token: u64,
+    },
+    /// A control message was sent (join/prune, register, graft, hello…).
+    CtrlSend {
+        /// Stable message-kind name from [`message_kind`].
+        kind: &'static str,
+        /// Destination address.
+        dst: Addr,
+    },
+    /// A control message was received and decoded.
+    CtrlRecv {
+        /// Stable message-kind name from [`message_kind`].
+        kind: &'static str,
+        /// Source address.
+        src: Addr,
+    },
+    /// Multicast data was delivered to local group members.
+    DataDelivered {
+        /// Destination group.
+        group: Group,
+        /// Original data source.
+        source: Addr,
+    },
+    /// IGMP reported a first local member for `group`.
+    LocalMemberJoined {
+        /// The joined group.
+        group: Group,
+    },
+    /// IGMP reported the last local member of `group` expired.
+    LocalMemberLeft {
+        /// The departed group.
+        group: Group,
+    },
+    /// This router's designated-router status on an interface changed.
+    DrChanged {
+        /// Interface index.
+        iface: u32,
+        /// Whether this router is now the DR.
+        is_dr: bool,
+    },
+    /// This router's IGMP querier status on an interface changed.
+    QuerierChanged {
+        /// Interface index.
+        iface: u32,
+        /// Whether this router is now the querier.
+        is_querier: bool,
+    },
+    /// The group's reachable RP changed (paper §3.3: RP failure).
+    RpFailover {
+        /// The affected group.
+        group: Group,
+        /// Previous RP.
+        from: Addr,
+        /// Newly selected RP.
+        to: Addr,
+    },
+    /// A receiver-side switch from shared tree to source SPT began.
+    SptSwitchStart {
+        /// The affected group.
+        group: Group,
+        /// The source being switched to.
+        source: Addr,
+    },
+    /// The unicast RIB's route toward `dst` changed.
+    RouteChanged {
+        /// Route destination.
+        dst: Addr,
+    },
+    /// An injected fault (scenario schedules mark these so sinks can
+    /// measure post-fault reconvergence).
+    Fault {
+        /// Human-readable fault description, e.g. `crash r2`.
+        desc: String,
+    },
+}
+
+impl Event {
+    /// Stable single-line text rendering (used by the flight recorder
+    /// and replay artifacts; changing it invalidates recorded dumps).
+    pub fn render(&self) -> String {
+        match self {
+            Event::EntryCreated {
+                group,
+                key,
+                flags: f,
+            } => {
+                format!("entry-created ({key},{group}) flags={}", flags::render(*f))
+            }
+            Event::EntryModified {
+                group,
+                key,
+                from,
+                to,
+            } => format!(
+                "entry-modified ({key},{group}) {}->{}",
+                flags::render(*from),
+                flags::render(*to)
+            ),
+            Event::EntryExpired { group, key } => format!("entry-expired ({key},{group})"),
+            Event::TimerArmed { token, deadline } => {
+                format!("timer-armed token={token} deadline={deadline}")
+            }
+            Event::TimerFired { token } => format!("timer-fired token={token}"),
+            Event::TimerCancelled { token } => format!("timer-cancelled token={token}"),
+            Event::CtrlSend { kind, dst } => format!("ctrl-send {kind} dst={dst}"),
+            Event::CtrlRecv { kind, src } => format!("ctrl-recv {kind} src={src}"),
+            Event::DataDelivered { group, source } => {
+                format!("data-delivered group={group} source={source}")
+            }
+            Event::LocalMemberJoined { group } => format!("member-joined group={group}"),
+            Event::LocalMemberLeft { group } => format!("member-left group={group}"),
+            Event::DrChanged { iface, is_dr } => format!("dr-changed iface={iface} is_dr={is_dr}"),
+            Event::QuerierChanged { iface, is_querier } => {
+                format!("querier-changed iface={iface} is_querier={is_querier}")
+            }
+            Event::RpFailover { group, from, to } => {
+                format!("rp-failover group={group} from={from} to={to}")
+            }
+            Event::SptSwitchStart { group, source } => {
+                format!("spt-switch-start group={group} source={source}")
+            }
+            Event::RouteChanged { dst } => format!("route-changed dst={dst}"),
+            Event::Fault { desc } => format!("fault {desc}"),
+        }
+    }
+
+    /// The event's stable kind tag, used as the JSON `ev` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::EntryCreated { .. } => "entry_created",
+            Event::EntryModified { .. } => "entry_modified",
+            Event::EntryExpired { .. } => "entry_expired",
+            Event::TimerArmed { .. } => "timer_armed",
+            Event::TimerFired { .. } => "timer_fired",
+            Event::TimerCancelled { .. } => "timer_cancelled",
+            Event::CtrlSend { .. } => "ctrl_send",
+            Event::CtrlRecv { .. } => "ctrl_recv",
+            Event::DataDelivered { .. } => "data_delivered",
+            Event::LocalMemberJoined { .. } => "member_joined",
+            Event::LocalMemberLeft { .. } => "member_left",
+            Event::DrChanged { .. } => "dr_changed",
+            Event::QuerierChanged { .. } => "querier_changed",
+            Event::RpFailover { .. } => "rp_failover",
+            Event::SptSwitchStart { .. } => "spt_switch_start",
+            Event::RouteChanged { .. } => "route_changed",
+            Event::Fault { .. } => "fault",
+        }
+    }
+
+    /// Render as one JSON object (no trailing newline). Hand-rolled —
+    /// the workspace builds offline with no serde — but every field is
+    /// either numeric, a dotted-quad, or an escaped string, so the
+    /// output is valid JSON.
+    pub fn to_json(&self, node: u32, at: Ticks) -> String {
+        let mut s = format!("{{\"t\":{at},\"node\":{node},\"ev\":\"{}\"", self.kind());
+        match self {
+            Event::EntryCreated {
+                group,
+                key,
+                flags: f,
+            } => {
+                s.push_str(&format!(
+                    ",\"group\":\"{group}\",\"key\":\"{key}\",\"flags\":\"{}\"",
+                    flags::render(*f)
+                ));
+            }
+            Event::EntryModified {
+                group,
+                key,
+                from,
+                to,
+            } => {
+                s.push_str(&format!(
+                    ",\"group\":\"{group}\",\"key\":\"{key}\",\"from\":\"{}\",\"to\":\"{}\"",
+                    flags::render(*from),
+                    flags::render(*to)
+                ));
+            }
+            Event::EntryExpired { group, key } => {
+                s.push_str(&format!(",\"group\":\"{group}\",\"key\":\"{key}\""));
+            }
+            Event::TimerArmed { token, deadline } => {
+                s.push_str(&format!(",\"token\":{token},\"deadline\":{deadline}"));
+            }
+            Event::TimerFired { token } | Event::TimerCancelled { token } => {
+                s.push_str(&format!(",\"token\":{token}"));
+            }
+            Event::CtrlSend { kind, dst } => {
+                s.push_str(&format!(",\"kind\":\"{kind}\",\"dst\":\"{dst}\""));
+            }
+            Event::CtrlRecv { kind, src } => {
+                s.push_str(&format!(",\"kind\":\"{kind}\",\"src\":\"{src}\""));
+            }
+            Event::DataDelivered { group, source } => {
+                s.push_str(&format!(",\"group\":\"{group}\",\"source\":\"{source}\""));
+            }
+            Event::LocalMemberJoined { group } | Event::LocalMemberLeft { group } => {
+                s.push_str(&format!(",\"group\":\"{group}\""));
+            }
+            Event::DrChanged { iface, is_dr } => {
+                s.push_str(&format!(",\"iface\":{iface},\"is_dr\":{is_dr}"));
+            }
+            Event::QuerierChanged { iface, is_querier } => {
+                s.push_str(&format!(",\"iface\":{iface},\"is_querier\":{is_querier}"));
+            }
+            Event::RpFailover { group, from, to } => {
+                s.push_str(&format!(
+                    ",\"group\":\"{group}\",\"from\":\"{from}\",\"to\":\"{to}\""
+                ));
+            }
+            Event::SptSwitchStart { group, source } => {
+                s.push_str(&format!(",\"group\":\"{group}\",\"source\":\"{source}\""));
+            }
+            Event::RouteChanged { dst } => {
+                s.push_str(&format!(",\"dst\":\"{dst}\""));
+            }
+            Event::Fault { desc } => {
+                s.push_str(",\"desc\":\"");
+                for c in desc.chars() {
+                    match c {
+                        '"' => s.push_str("\\\""),
+                        '\\' => s.push_str("\\\\"),
+                        '\n' => s.push_str("\\n"),
+                        c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => s.push(c),
+                    }
+                }
+                s.push('"');
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// The stable short name of a wire message, used by the `CtrlSend` /
+/// `CtrlRecv` events. One name per [`Message`] variant.
+pub fn message_kind(msg: &Message) -> &'static str {
+    match msg {
+        Message::HostQuery(_) => "igmp-query",
+        Message::HostReport(_) => "igmp-report",
+        Message::RpMapping(_) => "rp-mapping",
+        Message::PimQuery(_) => "pim-query",
+        Message::PimRegister(_) => "pim-register",
+        Message::PimJoinPrune(_) => "pim-join-prune",
+        Message::PimRpReachability(_) => "pim-rp-reachability",
+        Message::DvmrpProbe(_) => "dvmrp-probe",
+        Message::DvmrpPrune(_) => "dvmrp-prune",
+        Message::DvmrpGraft(_) => "dvmrp-graft",
+        Message::DvmrpGraftAck(_) => "dvmrp-graft-ack",
+        Message::CbtJoinRequest(_) => "cbt-join",
+        Message::CbtJoinAck(_) => "cbt-join-ack",
+        Message::CbtEcho(_) => "cbt-echo",
+        Message::CbtEchoReply(_) => "cbt-echo-reply",
+        Message::CbtQuit(_) => "cbt-quit",
+        Message::CbtFlushTree(_) => "cbt-flush",
+        Message::DvUpdate(_) => "dv-update",
+        Message::Lsa(_) => "lsa",
+        Message::Hello(_) => "hello",
+    }
+}
+
+/// A consumer of structured events.
+///
+/// Sinks receive every event with the emitting node index and the sim
+/// time of emission. Implementations must be order-preserving and must
+/// not feed anything back into the simulation.
+pub trait Sink {
+    /// Consume one event emitted by `node` at sim time `at`.
+    fn event(&mut self, node: u32, at: Ticks, ev: &Event);
+}
+
+/// A shareable handle to a [`Sink`], cloned into every emitter.
+///
+/// `Telem::default()` is the disabled handle: [`Telem::emit`] reduces
+/// to a single `None` branch and the event-constructing closure is
+/// never called — the zero-overhead-when-disabled contract.
+#[derive(Clone, Default)]
+pub struct Telem {
+    inner: Option<(Rc<RefCell<dyn Sink>>, u32)>,
+}
+
+impl fmt::Debug for Telem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some((_, node)) => write!(f, "Telem(node {node})"),
+            None => write!(f, "Telem(disabled)"),
+        }
+    }
+}
+
+impl Telem {
+    /// An enabled handle delivering events from `node` into `sink`.
+    pub fn attached(sink: Rc<RefCell<dyn Sink>>, node: u32) -> Telem {
+        Telem {
+            inner: Some((sink, node)),
+        }
+    }
+
+    /// The disabled handle (same as `Telem::default()`).
+    pub fn disabled() -> Telem {
+        Telem::default()
+    }
+
+    /// Whether a sink is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit an event at sim time `at`. The closure runs only when a
+    /// sink is attached, so disabled emission never allocates or
+    /// formats anything.
+    #[inline]
+    pub fn emit(&self, at: Ticks, f: impl FnOnce() -> Event) {
+        if let Some((sink, node)) = &self.inner {
+            let ev = f();
+            sink.borrow_mut().event(*node, at, &ev);
+        }
+    }
+
+    /// A handle on the same sink re-keyed to another node index (the
+    /// world clones one handle per node).
+    pub fn for_node(&self, node: u32) -> Telem {
+        Telem {
+            inner: self.inner.as_ref().map(|(sink, _)| (Rc::clone(sink), node)),
+        }
+    }
+}
+
+/// A bounded per-node ring buffer of rendered events — the flight
+/// recorder dumped into replay artifacts when an oracle fires.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    cap: usize,
+    rings: BTreeMap<u32, VecDeque<String>>,
+}
+
+/// Default per-node flight-recorder capacity.
+pub const FLIGHT_RECORDER_CAP: usize = 256;
+
+impl FlightRecorder {
+    /// A recorder keeping the last `cap` events per node.
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap: cap.max(1),
+            rings: BTreeMap::new(),
+        }
+    }
+
+    /// The last recorded events of `node`, oldest first, each line
+    /// formatted `t<ticks> <event>`.
+    pub fn dump(&self, node: u32) -> Vec<String> {
+        self.rings
+            .get(&node)
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Node indices that have recorded at least one event.
+    pub fn nodes(&self) -> Vec<u32> {
+        self.rings.keys().copied().collect()
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn event(&mut self, node: u32, at: Ticks, ev: &Event) {
+        let ring = self.rings.entry(node).or_default();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(format!("t{at} {}", ev.render()));
+    }
+}
+
+/// A JSON-lines event writer. One object per line, keyed by sim time.
+///
+/// With `W = Vec<u8>` the accumulated bytes *are* the deterministic
+/// event stream: the scenario replay test asserts byte-identity of two
+/// runs' buffers.
+#[derive(Debug, Default)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    /// Write-error count; sinks must never panic mid-simulation.
+    pub errors: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink writing JSONL to `out`.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink { out, errors: 0 }
+    }
+
+    /// Consume the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    /// The writer, for in-place inspection (e.g. a `Vec<u8>` buffer).
+    pub fn get_ref(&self) -> &W {
+        &self.out
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn event(&mut self, node: u32, at: Ticks, ev: &Event) {
+        let line = ev.to_json(node, at);
+        if writeln!(self.out, "{line}").is_err() {
+            self.errors += 1;
+        }
+    }
+}
+
+/// A power-of-two-bucketed histogram of sim-time durations.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` ticks (bucket 0 also
+/// takes zero). Log-scale because convergence times span from one-tick
+/// LAN overrides to multi-hundred-tick timeout recoveries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: Ticks,
+}
+
+impl Histogram {
+    /// Record one duration sample.
+    pub fn record(&mut self, d: Ticks) {
+        let idx = (Ticks::BITS - d.leading_zeros()).saturating_sub(1) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(d);
+        self.max = self.max.max(d);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, zero when empty.
+    pub fn mean(&self) -> Ticks {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.count)) as Ticks
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> Ticks {
+        self.max
+    }
+
+    /// Render as `count=N mean=M max=X buckets=[..]`.
+    pub fn render(&self) -> String {
+        format!(
+            "count={} mean={} max={} buckets={:?}",
+            self.count,
+            self.mean(),
+            self.max,
+            self.buckets
+        )
+    }
+}
+
+/// Aggregates convergence metrics from the event stream:
+///
+/// * **join latency** — first local member join of (node, group) to
+///   first data delivery there;
+/// * **SPT-switchover time** — [`Event::SptSwitchStart`] to the
+///   (S,G) entry gaining the SPT bit on the same node;
+/// * **reconvergence time** — each [`Event::Fault`] to the last
+///   protocol state change anywhere (closed by [`MetricsAggregator::finish`]).
+#[derive(Debug, Default)]
+pub struct MetricsAggregator {
+    /// Join-latency histogram (ticks from member-join to first delivery).
+    pub join_latency: Histogram,
+    /// SPT-switchover histogram (ticks from switch start to SPT bit set).
+    pub spt_switch: Histogram,
+    /// Post-fault reconvergence histogram (ticks from fault to last
+    /// state change before quiescence).
+    pub reconvergence: Histogram,
+    pending_joins: BTreeMap<(u32, u32), Ticks>,
+    pending_spt: BTreeMap<(u32, u32, u32), Ticks>,
+    open_fault: Option<Ticks>,
+    last_state_change: Option<Ticks>,
+}
+
+impl MetricsAggregator {
+    /// A fresh aggregator.
+    pub fn new() -> MetricsAggregator {
+        MetricsAggregator::default()
+    }
+
+    /// Close the open post-fault window (call once after the run; the
+    /// final fault's reconvergence time is unknown until quiescence).
+    pub fn finish(&mut self) {
+        if let (Some(f), Some(last)) = (self.open_fault.take(), self.last_state_change) {
+            if last >= f {
+                self.reconvergence.record(last - f);
+            }
+        }
+    }
+
+    /// Render the three histograms as stable text, one per line.
+    pub fn render(&self) -> String {
+        format!(
+            "join_latency {}\nspt_switch {}\nreconvergence {}",
+            self.join_latency.render(),
+            self.spt_switch.render(),
+            self.reconvergence.render()
+        )
+    }
+
+    fn state_changed(&mut self, at: Ticks) {
+        self.last_state_change = Some(at);
+    }
+}
+
+impl Sink for MetricsAggregator {
+    fn event(&mut self, node: u32, at: Ticks, ev: &Event) {
+        match ev {
+            Event::LocalMemberJoined { group } => {
+                self.pending_joins
+                    .entry((node, group.addr().0))
+                    .or_insert(at);
+                self.state_changed(at);
+            }
+            Event::DataDelivered { group, .. } => {
+                if let Some(t0) = self.pending_joins.remove(&(node, group.addr().0)) {
+                    self.join_latency.record(at - t0);
+                }
+            }
+            Event::SptSwitchStart { group, source } => {
+                self.pending_spt
+                    .entry((node, group.addr().0, source.0))
+                    .or_insert(at);
+                self.state_changed(at);
+            }
+            Event::EntryModified {
+                group,
+                key,
+                from,
+                to,
+            } => {
+                if to & flags::SPT != 0 && from & flags::SPT == 0 {
+                    if let EntryKey::Source(s) = key {
+                        if let Some(t0) = self.pending_spt.remove(&(node, group.addr().0, s.0)) {
+                            self.spt_switch.record(at - t0);
+                        }
+                    }
+                }
+                self.state_changed(at);
+            }
+            Event::EntryCreated { .. }
+            | Event::EntryExpired { .. }
+            | Event::RpFailover { .. }
+            | Event::RouteChanged { .. }
+            | Event::DrChanged { .. }
+            | Event::QuerierChanged { .. }
+            | Event::LocalMemberLeft { .. } => self.state_changed(at),
+            Event::Fault { .. } => {
+                if let (Some(f), Some(last)) = (self.open_fault, self.last_state_change) {
+                    if last >= f {
+                        self.reconvergence.record(last - f);
+                    }
+                }
+                self.open_fault = Some(at);
+                self.last_state_change = Some(at);
+            }
+            Event::TimerArmed { .. }
+            | Event::TimerFired { .. }
+            | Event::TimerCancelled { .. }
+            | Event::CtrlSend { .. }
+            | Event::CtrlRecv { .. } => {}
+        }
+    }
+}
+
+/// Fans one event stream out to several child sinks in order.
+///
+/// Callers keep concrete `Rc<RefCell<…>>` clones of the children to
+/// read results after the run (an `Rc<RefCell<FlightRecorder>>`
+/// coerces to `Rc<RefCell<dyn Sink>>` when pushed here).
+#[derive(Clone, Default)]
+pub struct Fanout {
+    children: Vec<Rc<RefCell<dyn Sink>>>,
+}
+
+impl fmt::Debug for Fanout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fanout({} children)", self.children.len())
+    }
+}
+
+impl Fanout {
+    /// An empty fanout.
+    pub fn new() -> Fanout {
+        Fanout::default()
+    }
+
+    /// Append a child sink.
+    pub fn push(&mut self, child: Rc<RefCell<dyn Sink>>) {
+        self.children.push(child);
+    }
+}
+
+impl Sink for Fanout {
+    fn event(&mut self, node: u32, at: Ticks, ev: &Event) {
+        for child in &self.children {
+            child.borrow_mut().event(node, at, ev);
+        }
+    }
+}
+
+/// `show mroute`-style introspection: every protocol engine renders
+/// its live multicast state — (*,G)/(S,G) entries with flag bits,
+/// outgoing interfaces, and timers — as stable text for replay
+/// artifacts and debugging sessions.
+pub trait StateDump {
+    /// Render the full multicast routing state at sim time `now`, one
+    /// entry per line. Must be deterministic (iterate sorted maps) and
+    /// free of wall-clock values.
+    fn state_dump(&self, now: Ticks) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Group {
+        Group::test(7)
+    }
+
+    #[test]
+    fn flags_render_stable() {
+        assert_eq!(flags::render(0), "-");
+        assert_eq!(flags::render(flags::WC | flags::RP), "WC|RP");
+        assert_eq!(flags::render(flags::SPT), "SPT");
+        assert_eq!(
+            flags::render(flags::PRUNED | flags::ON_TREE),
+            "PRUNED|ON_TREE"
+        );
+    }
+
+    #[test]
+    fn disabled_handle_never_runs_closure() {
+        let t = Telem::disabled();
+        assert!(!t.is_enabled());
+        t.emit(5, || panic!("closure must not run when disabled"));
+    }
+
+    #[test]
+    fn flight_recorder_bounds_and_orders() {
+        let rec = Rc::new(RefCell::new(FlightRecorder::new(3)));
+        let t = Telem::attached(rec.clone(), 9);
+        assert!(t.is_enabled());
+        for i in 0..5u64 {
+            t.emit(i, || Event::TimerFired { token: i });
+        }
+        let dump = rec.borrow().dump(9);
+        assert_eq!(
+            dump,
+            vec![
+                "t2 timer-fired token=2",
+                "t3 timer-fired token=3",
+                "t4 timer-fired token=4"
+            ]
+        );
+        assert_eq!(rec.borrow().nodes(), vec![9]);
+        assert!(rec.borrow().dump(1).is_empty());
+    }
+
+    #[test]
+    fn jsonl_lines_are_stable() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.event(
+            2,
+            10,
+            &Event::EntryCreated {
+                group: g(),
+                key: EntryKey::Star,
+                flags: flags::WC | flags::RP,
+            },
+        );
+        sink.event(
+            2,
+            11,
+            &Event::Fault {
+                desc: "crash \"r2\"".into(),
+            },
+        );
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(
+            text,
+            concat!(
+                "{\"t\":10,\"node\":2,\"ev\":\"entry_created\",\"group\":\"239.1.0.7\",",
+                "\"key\":\"*\",\"flags\":\"WC|RP\"}\n",
+                "{\"t\":11,\"node\":2,\"ev\":\"fault\",\"desc\":\"crash \\\"r2\\\"\"}\n"
+            )
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_log2() {
+        let mut h = Histogram::default();
+        for d in [0, 1, 2, 3, 4, 1000] {
+            h.record(d);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), (1010 / 6) as Ticks);
+        // 0,1 -> bucket 0; 2,3 -> bucket 1; 4 -> bucket 2; 1000 -> bucket 9.
+        assert_eq!(
+            h.render(),
+            "count=6 mean=168 max=1000 buckets=[2, 2, 1, 0, 0, 0, 0, 0, 0, 1]"
+        );
+    }
+
+    #[test]
+    fn metrics_join_latency_and_spt() {
+        let mut m = MetricsAggregator::new();
+        let s = Addr::new(10, 0, 0, 1);
+        m.event(1, 100, &Event::LocalMemberJoined { group: g() });
+        m.event(
+            1,
+            130,
+            &Event::DataDelivered {
+                group: g(),
+                source: s,
+            },
+        );
+        // Second delivery for the same (node, group) is not a new join.
+        m.event(
+            1,
+            140,
+            &Event::DataDelivered {
+                group: g(),
+                source: s,
+            },
+        );
+        m.event(
+            2,
+            200,
+            &Event::SptSwitchStart {
+                group: g(),
+                source: s,
+            },
+        );
+        m.event(
+            2,
+            260,
+            &Event::EntryModified {
+                group: g(),
+                key: EntryKey::Source(s),
+                from: flags::RP,
+                to: flags::SPT,
+            },
+        );
+        assert_eq!(m.join_latency.count(), 1);
+        assert_eq!(m.join_latency.mean(), 30);
+        assert_eq!(m.spt_switch.count(), 1);
+        assert_eq!(m.spt_switch.mean(), 60);
+    }
+
+    #[test]
+    fn metrics_reconvergence_windows() {
+        let mut m = MetricsAggregator::new();
+        m.event(
+            0,
+            100,
+            &Event::Fault {
+                desc: "link-down 0".into(),
+            },
+        );
+        m.event(
+            1,
+            150,
+            &Event::RouteChanged {
+                dst: Addr::new(10, 0, 0, 2),
+            },
+        );
+        m.event(
+            1,
+            180,
+            &Event::EntryExpired {
+                group: g(),
+                key: EntryKey::Star,
+            },
+        );
+        // Next fault closes the first window at the last state change (180).
+        m.event(
+            0,
+            400,
+            &Event::Fault {
+                desc: "crash 1".into(),
+            },
+        );
+        m.event(2, 420, &Event::LocalMemberLeft { group: g() });
+        m.finish();
+        assert_eq!(m.reconvergence.count(), 2);
+        assert_eq!(m.reconvergence.max(), 80);
+    }
+
+    #[test]
+    fn fanout_feeds_all_children() {
+        let rec = Rc::new(RefCell::new(FlightRecorder::new(8)));
+        let metrics = Rc::new(RefCell::new(MetricsAggregator::new()));
+        let mut fan = Fanout::new();
+        fan.push(rec.clone());
+        fan.push(metrics.clone());
+        fan.event(3, 50, &Event::LocalMemberJoined { group: g() });
+        assert_eq!(rec.borrow().dump(3).len(), 1);
+        assert_eq!(metrics.borrow().pending_joins.len(), 1);
+    }
+
+    #[test]
+    fn message_kind_covers_renderable_names() {
+        use wire::igmp::HostQuery;
+        let m = Message::HostQuery(HostQuery { max_resp_time: 10 });
+        assert_eq!(message_kind(&m), "igmp-query");
+    }
+
+    #[test]
+    fn for_node_rekeys() {
+        let rec = Rc::new(RefCell::new(FlightRecorder::new(8)));
+        let t = Telem::attached(rec.clone(), 0);
+        let t5 = t.for_node(5);
+        t5.emit(1, || Event::TimerFired { token: 1 });
+        assert_eq!(rec.borrow().dump(5).len(), 1);
+        assert!(rec.borrow().dump(0).is_empty());
+        assert_eq!(format!("{t5:?}"), "Telem(node 5)");
+        assert_eq!(format!("{:?}", Telem::disabled()), "Telem(disabled)");
+    }
+}

@@ -17,4 +17,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test -q"
 cargo test -q --offline
 
+echo "== cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
+
 echo "tier-1: OK"

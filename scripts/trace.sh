@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Run one scenario end-to-end and pretty-print its telemetry trace:
+# packet transmissions (decoded via describe_packet) merged with the
+# structured JSONL event stream, plus state snapshots and convergence
+# metrics. Pass --jsonl for the raw machine-readable stream.
+#
+# Usage: ./scripts/trace.sh [TOPOLOGY] [PROTOCOL] [SEED] [--jsonl]
+#   e.g. ./scripts/trace.sh diamond pim 7
+#        ./scripts/trace.sh mesh cbt 3 --jsonl > trace.jsonl
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo run -q --release --offline -p scenario --bin trace -- "$@"

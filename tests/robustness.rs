@@ -206,6 +206,73 @@ fn rp_failover_restores_shared_tree() {
     );
 }
 
+/// The §3.9 failover is *observable*: a flight recorder attached to the
+/// same scenario records the receiver-DR's `rp-failover` transition plus
+/// the surrounding entry churn (the EXPERIMENTS.md OBS excerpt is this
+/// test's recorder dump).
+#[test]
+fn rp_failover_appears_in_flight_recorder() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use telemetry::{FlightRecorder, Sink, Telem};
+
+    let mut g = Graph::with_nodes(5);
+    g.add_edge(NodeId(0), NodeId(1), 1);
+    g.add_edge(NodeId(1), NodeId(2), 1); // to RP#1
+    g.add_edge(NodeId(1), NodeId(3), 1); // to RP#2
+    g.add_edge(NodeId(3), NodeId(4), 1);
+    g.add_edge(NodeId(2), NodeId(4), 1);
+    let mut net = build_net(
+        &g,
+        group(),
+        &[NodeId(2), NodeId(3)],
+        &[NodeId(0), NodeId(4)],
+        Substrate::DistanceVector,
+        PimConfig::shared_tree_only(),
+        3,
+    );
+    // Large ring: this run is long, and the excerpt of interest (the
+    // failover at t≈1000) must survive 3000 ticks of steady-state
+    // chatter that follows it.
+    let rec = Rc::new(RefCell::new(FlightRecorder::new(8192)));
+    let sink: Rc<RefCell<dyn Sink>> = rec.clone();
+    net.world.set_telemetry(Rc::clone(&sink));
+    for n in 0..5u32 {
+        net.world
+            .node_mut::<PimRouter>(NodeIdx(n as usize))
+            .set_telemetry(Telem::attached(Rc::clone(&sink), n));
+    }
+    let (receiver, _) = net.hosts[0];
+    let (sender, _) = net.hosts[1];
+    join_at(&mut net.world, receiver, group(), 400);
+    send_at(&mut net.world, sender, group(), 500, 80, 40);
+    net.world.at(SimTime(700), |w| {
+        w.set_link_up(LinkId(1), false);
+        w.set_link_up(LinkId(4), false);
+    });
+    net.world.run_until(SimTime(4200));
+
+    // The receiver's DR (r0) must have recorded the failover from RP#1
+    // (10.0.2.1) to RP#2 (10.0.3.1), and its (*,G) entry churn around it.
+    let dump = rec.borrow().dump(0);
+    let failover = dump
+        .iter()
+        .position(|l| l.contains("rp-failover group=239.1.0.1 from=10.0.2.1 to=10.0.3.1"))
+        .expect("r0's flight recorder must contain the rp-failover event");
+    assert!(
+        dump[..failover]
+            .iter()
+            .any(|l| l.contains("entry-created (*,239.1.0.1)")),
+        "the pre-failover (*,G) creation must precede the failover in the ring"
+    );
+    assert!(
+        dump[failover..]
+            .iter()
+            .any(|l| l.contains("ctrl-send pim-join-prune")),
+        "the failover must be followed by a join toward the new RP"
+    );
+}
+
 /// §2 robustness, taken literally: the RP *router* crashes losing all of
 /// its volatile state, then restarts. The source's DR must resume
 /// registering (its periodic register probe covers the case where it was
