@@ -1,0 +1,196 @@
+//! **Simulator microbenchmarks** — the netsim hot paths the protocol
+//! experiments lean on, timed in isolation:
+//!
+//! 1. **LAN fan-out**: one sender and many receivers on a single
+//!    multi-access link. Every transmit schedules one delivery per
+//!    receiver; with the `Arc<[u8]>` payload this is a refcount bump per
+//!    receiver instead of a buffer copy, and this bench is where that
+//!    shows up. A FNV-1a fingerprint of every reception (time, iface,
+//!    payload) is printed so payload-representation changes can be proven
+//!    behavior-preserving.
+//! 2. **End-to-end protocol run**: a full PIM source-tree simulation over
+//!    a random internet, the workload `scenario`/`ablation` execute
+//!    thousands of times.
+//!
+//! Run: `cargo run -p bench --release --bin simbench [--trials N]
+//! [--seed N] [--smoke] [--json PATH]` (`--trials` = LAN packets).
+
+use bench::{cli, perf, run_protocol_sim_opts, Proto, SimOptions, Workload};
+use graph::gen::{random_connected, RandomGraphParams};
+use graph::NodeId;
+use mctree::GroupSpec;
+use netsim::{Ctx, Duration, IfaceId, Node, NodeIdx, SimTime, World};
+use pim::PimConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use wire::Group;
+
+const RECEIVERS: usize = 32;
+const PAYLOAD: usize = 1024;
+
+/// Sends `total` packets on interface 0, one per tick.
+struct Blaster {
+    payload: Vec<u8>,
+    total: u64,
+    sent: u64,
+}
+
+impl Node for Blaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(Duration(1), 0);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _iface: IfaceId, _packet: &[u8]) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.sent < self.total {
+            // Vary the first byte so the fingerprint covers payload bytes,
+            // not just counts.
+            self.payload[0] = (self.sent & 0xFF) as u8;
+            ctx.send(IfaceId(0), self.payload.clone());
+            self.sent += 1;
+            ctx.set_timer(Duration(1), 0);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Counts receptions and folds every delivery into a FNV-1a fingerprint.
+struct Sink {
+    received: u64,
+    fingerprint: u64,
+}
+
+impl Sink {
+    fn new() -> Sink {
+        Sink {
+            received: 0,
+            fingerprint: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn fold(&mut self, byte: u8) {
+        self.fingerprint = (self.fingerprint ^ byte as u64).wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+impl Node for Sink {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, packet: &[u8]) {
+        self.received += 1;
+        for b in ctx.now().ticks().to_le_bytes() {
+            self.fold(b);
+        }
+        self.fold(iface.index() as u8);
+        for &b in packet {
+            self.fold(b);
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// LAN fan-out: returns (deliveries, combined fingerprint, wall ms).
+fn lan_fanout(seed: u64, packets: u64) -> (u64, u64, f64) {
+    let mut w = World::new(seed);
+    let sender = w.add_node(Box::new(Blaster {
+        payload: vec![0u8; PAYLOAD],
+        total: packets,
+        sent: 0,
+    }));
+    let sinks: Vec<NodeIdx> = (0..RECEIVERS)
+        .map(|_| w.add_node(Box::new(Sink::new())))
+        .collect();
+    let mut all: Vec<NodeIdx> = vec![sender];
+    all.extend(&sinks);
+    w.add_lan(&all, Duration(1));
+    let (_, wall_ms) = perf::time(|| w.run_until(SimTime(packets + 8)));
+    let mut received = 0;
+    let mut fingerprint = 0u64;
+    for &s in &sinks {
+        let sink: &Sink = w.node(s);
+        received += sink.received;
+        fingerprint ^= sink.fingerprint.rotate_left((s.0 % 64) as u32);
+    }
+    (received, fingerprint, wall_ms)
+}
+
+/// One end-to-end PIM source-tree run; returns (deliveries, wall ms).
+fn protocol_run(seed: u64) -> (u64, f64) {
+    let mut rng = StdRng::seed_from_u64(par::mix(seed, 2, 0));
+    let g = random_connected(
+        &RandomGraphParams {
+            nodes: 30,
+            avg_degree: 3.5,
+            delay_range: (1, 6),
+        },
+        &mut rng,
+    );
+    let spec = GroupSpec::random(30, 6, 2, &mut rng);
+    let w = Workload {
+        group: Group::test(1),
+        members: spec.members.clone(),
+        senders: spec.senders.clone(),
+        rendezvous: NodeId(rng.gen_range(0..30)),
+    };
+    let (r, wall_ms) = perf::time(|| {
+        run_protocol_sim_opts(
+            &g,
+            Proto::PimSpt,
+            &[w],
+            &SimOptions {
+                packets_per_sender: 40,
+                seed: par::mix(seed, 3, 0),
+                link_loss: 0.0,
+                pim: PimConfig::default(),
+            },
+        )
+    });
+    (r.deliveries, wall_ms)
+}
+
+fn main() {
+    let args = cli::parse_smoke(20_000, 500);
+    let packets = args.trials as u64;
+    println!("# Simulator microbench: LAN fan-out + end-to-end protocol run");
+    let (received, fingerprint, lan_ms) = lan_fanout(args.seed, packets);
+    assert_eq!(received, packets * RECEIVERS as u64, "lost deliveries");
+    println!(
+        "lan_fanout   {packets} pkts x {RECEIVERS} receivers x {PAYLOAD}B: \
+         {received} deliveries in {lan_ms:.1} ms ({:.0}/ms)",
+        received as f64 / lan_ms
+    );
+    println!("lan_fanout   fingerprint {fingerprint:#018x}");
+    let (deliveries, proto_ms) = protocol_run(args.seed);
+    println!("protocol_run pim-spt 30 nodes, 2 senders x 40 pkts: {deliveries} deliveries in {proto_ms:.1} ms");
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\n  \"bench\": \"simbench\", \"seed\": {},\n  \
+             \"lan_fanout\": {{\"packets\": {packets}, \"receivers\": {RECEIVERS}, \
+             \"payload_bytes\": {PAYLOAD}, \"deliveries\": {received}, \
+             \"fingerprint\": \"{fingerprint:#018x}\", \"wall_ms\": {lan_ms:.1}, \
+             \"deliveries_per_ms\": {:.0}}},\n  \
+             \"protocol_run\": {{\"proto\": \"pim-spt\", \"nodes\": 30, \
+             \"deliveries\": {deliveries}, \"wall_ms\": {proto_ms:.1}}}\n}}\n",
+            args.seed,
+            received as f64 / lan_ms,
+        );
+        perf::write_json(path, &json);
+    }
+}

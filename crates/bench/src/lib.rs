@@ -388,23 +388,41 @@ pub fn run_protocol_sim_opts(
 }
 
 /// Minimal CLI parsing for the experiment binaries: `--seed N`,
-/// `--trials N`, `--quick` (divides trials by 10).
+/// `--trials N`, `--quick` (divides trials by 10), `--smoke` (tiny
+/// bin-chosen trial count for the CI gate), `--threads N` (trial
+/// fan-out width; output is bit-identical for every value), and
+/// `--json PATH` (machine-readable timing record).
 pub mod cli {
     /// Parsed common flags.
-    #[derive(Clone, Copy, Debug)]
+    #[derive(Clone, Debug)]
     pub struct Args {
         /// RNG seed.
         pub seed: u64,
         /// Monte-Carlo trials per configuration point.
         pub trials: usize,
+        /// Worker threads for the deterministic trial fan-out.
+        pub threads: usize,
+        /// Where to write the machine-readable timing record, if asked.
+        pub json: Option<String>,
+        /// Override for a bin-specific size knob (fig2b: groups per
+        /// network).
+        pub groups: Option<usize>,
+        /// `--smoke` was given (bins may also shrink non-trial knobs).
+        pub smoke: bool,
     }
 
-    /// Parse `std::env::args`, with the given default trial count.
-    pub fn parse(default_trials: usize) -> Args {
+    /// Parse `std::env::args` with the given default trial count;
+    /// `--smoke` uses `smoke_trials` unless `--trials` overrides it.
+    pub fn parse_smoke(default_trials: usize, smoke_trials: usize) -> Args {
         let mut args = Args {
             seed: 1994, // the paper's year; any seed reproduces the shape
             trials: default_trials,
+            threads: par::default_threads(),
+            json: None,
+            groups: None,
+            smoke: false,
         };
+        let mut explicit_trials = false;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {
@@ -421,16 +439,93 @@ pub mod cli {
                         .get(i + 1)
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| panic!("--trials needs a number"));
+                    explicit_trials = true;
+                    i += 2;
+                }
+                "--threads" => {
+                    args.threads = argv
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| panic!("--threads needs a positive number"));
+                    i += 2;
+                }
+                "--json" => {
+                    args.json = Some(
+                        argv.get(i + 1)
+                            .unwrap_or_else(|| panic!("--json needs a path"))
+                            .clone(),
+                    );
+                    i += 2;
+                }
+                "--groups" => {
+                    args.groups = Some(
+                        argv.get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| panic!("--groups needs a number")),
+                    );
                     i += 2;
                 }
                 "--quick" => {
                     args.trials = (args.trials / 10).max(1);
                     i += 1;
                 }
-                other => panic!("unknown flag {other}; supported: --seed N --trials N --quick"),
+                "--smoke" => {
+                    args.smoke = true;
+                    i += 1;
+                }
+                other => panic!(
+                    "unknown flag {other}; supported: --seed N --trials N --quick --smoke \
+                     --threads N --json PATH --groups N"
+                ),
             }
         }
+        if args.smoke && !explicit_trials {
+            args.trials = smoke_trials;
+        }
         args
+    }
+
+    /// [`parse_smoke`] with a derived smoke trial count (default/25, at
+    /// least 1).
+    pub fn parse(default_trials: usize) -> Args {
+        parse_smoke(default_trials, (default_trials / 25).max(1))
+    }
+}
+
+/// Wall-clock timing and the hand-rolled JSON records the bench binaries
+/// emit (`BENCH_fig2.json`, `BENCH_sim.json`) so future PRs have a
+/// recorded perf trajectory to regress against.
+pub mod perf {
+    use std::time::Instant;
+
+    /// Run `f`, returning its value and the elapsed wall time in
+    /// milliseconds.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+        let t = Instant::now();
+        let v = f();
+        (v, t.elapsed().as_secs_f64() * 1e3)
+    }
+
+    /// Write `json` to `path` and log the write on stdout (comment-style,
+    /// so figure output stays machine-greppable).
+    pub fn write_json(path: &str, json: &str) {
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("# wrote {path}");
+    }
+
+    /// The common timing block of a bench JSON record. `wall_ms_1t` is
+    /// the same sweep re-run with `--threads 1` (equal by construction
+    /// to the multi-thread output — the speedup is free of any
+    /// result-level caveat).
+    pub fn timing_fields(threads: usize, trials: usize, wall_ms: f64, wall_ms_1t: f64) -> String {
+        format!(
+            "\"threads\": {threads}, \"trials\": {trials}, \"wall_ms\": {wall_ms:.1}, \
+             \"trials_per_sec\": {:.2}, \"wall_ms_1thread\": {wall_ms_1t:.1}, \
+             \"speedup_vs_1thread\": {:.2}",
+            trials as f64 / (wall_ms / 1e3),
+            wall_ms_1t / wall_ms
+        )
     }
 }
 

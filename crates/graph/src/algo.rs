@@ -137,24 +137,58 @@ pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPaths {
 ///
 /// For the 50-node graphs of the Figure-2 study this costs ~50 heap-based
 /// Dijkstras and is then reused across all 300 groups of the topology.
+///
+/// Distances additionally live in one flat `n × n` [`Weight`] matrix
+/// ([`Weight::MAX`] = unreachable): the Monte-Carlo hot paths
+/// (`spt_max_delay`, the optimal-core search) issue millions of distance
+/// queries per topology, and a contiguous row avoids both the
+/// double-indirection through `Vec<ShortestPaths>` and the per-query
+/// `Option` unwrapping of [`ShortestPaths::dist_to`].
 #[derive(Clone, Debug)]
 pub struct AllPairs {
-    /// `per_source[s]` = shortest paths from `s`.
+    /// `per_source[s]` = shortest paths from `s` (parent pointers for
+    /// tree construction; its `dist` field duplicates a matrix row).
     pub per_source: Vec<ShortestPaths>,
+    /// Flat row-major distance matrix; `dist[a * n + b]`, `MAX` =
+    /// unreachable.
+    dist: Vec<Weight>,
+    n: usize,
 }
 
 impl AllPairs {
     /// Compute all-pairs shortest paths for `g`.
     pub fn new(g: &Graph) -> Self {
+        let per_source: Vec<ShortestPaths> = g.nodes().map(|s| dijkstra(g, s)).collect();
+        let n = g.node_count();
+        let mut dist = vec![Weight::MAX; n * n];
+        for (s, sp) in per_source.iter().enumerate() {
+            let row = &mut dist[s * n..(s + 1) * n];
+            for (v, d) in sp.dist.iter().enumerate() {
+                if let Some(d) = d {
+                    row[v] = *d;
+                }
+            }
+        }
         AllPairs {
-            per_source: g.nodes().map(|s| dijkstra(g, s)).collect(),
+            per_source,
+            dist,
+            n,
         }
     }
 
     /// Distance from `a` to `b`, if connected.
     #[inline]
     pub fn dist(&self, a: NodeId, b: NodeId) -> Option<Weight> {
-        self.per_source[a.index()].dist_to(b)
+        let d = self.dist[a.index() * self.n + b.index()];
+        (d != Weight::MAX).then_some(d)
+    }
+
+    /// The row of distances from `s` to every node, as a contiguous
+    /// slice indexed by node id; [`Weight::MAX`] marks unreachable
+    /// nodes. This is the hot-path form of [`AllPairs::dist`].
+    #[inline]
+    pub fn dist_row(&self, s: NodeId) -> &[Weight] {
+        &self.dist[s.index() * self.n..(s.index() + 1) * self.n]
     }
 
     /// The shortest-path tree rooted at `s`.
@@ -289,6 +323,24 @@ mod tests {
             }
         }
         assert_eq!(ap.dist(NodeId(0), NodeId(3)), Some(4));
+    }
+
+    #[test]
+    fn flat_rows_match_per_source_dijkstra() {
+        let mut g = diamond();
+        g.add_node(); // isolated node: unreachable from everyone
+        let ap = AllPairs::new(&g);
+        for s in g.nodes() {
+            let row = ap.dist_row(s);
+            assert_eq!(row.len(), g.node_count());
+            let sp = dijkstra(&g, s);
+            for v in g.nodes() {
+                match sp.dist_to(v) {
+                    Some(d) => assert_eq!(row[v.index()], d),
+                    None => assert_eq!(row[v.index()], Weight::MAX),
+                }
+            }
+        }
     }
 
     #[test]

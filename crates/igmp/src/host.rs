@@ -92,6 +92,13 @@ impl HostNode {
         seq
     }
 
+    /// Drain the reception log, returning it without copying. For
+    /// post-run inspection when the world is about to be dropped —
+    /// cloning `received` there is pure waste.
+    pub fn take_received(&mut self) -> Vec<Received> {
+        std::mem::take(&mut self.received)
+    }
+
     /// Sequence numbers received from `source` for `group`, in arrival
     /// order.
     pub fn seqs_from(&self, source: Addr, group: Group) -> Vec<u64> {

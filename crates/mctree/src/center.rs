@@ -96,11 +96,30 @@ pub fn center_tree(g: &Graph, ap: &AllPairs, core: NodeId, members: &[NodeId]) -
     }
 }
 
-/// Exhaustive optimal-core search: try every node as the core and keep the
-/// tree minimizing the maximum member-pair delay. Returns the tree and its
-/// max delay. This is the strongest possible core placement — the paper's
-/// point is that *even this* loses to SPTs on delay.
+/// Optimal-core search: the core minimizing the maximum member-pair
+/// delay, with ties broken toward the smaller node id. Returns the tree
+/// and its max delay. This is the strongest possible core placement —
+/// the paper's point is that *even this* loses to SPTs on delay.
+///
+/// Equivalent to [`optimal_center_tree_exhaustive`] (the property tests
+/// pin the equivalence) but only the *winning* tree is materialized:
+/// candidate cores are scored by [`optimal_center_delay`], which works
+/// from the all-pairs parent arrays and distance rows alone.
 pub fn optimal_center_tree(g: &Graph, ap: &AllPairs, members: &[NodeId]) -> (CenterTree, Weight) {
+    let (core, d) = optimal_center_delay(g, ap, members);
+    (center_tree(g, ap, core, members), d)
+}
+
+/// Reference implementation of the optimal-core search: build the full
+/// [`CenterTree`] for every candidate core and keep the best. Kept (and
+/// exercised by the `prune_equivalence` property tests and the fig2a
+/// `--json` timing comparison) as the ground truth for
+/// [`optimal_center_delay`]'s pruned search.
+pub fn optimal_center_tree_exhaustive(
+    g: &Graph,
+    ap: &AllPairs,
+    members: &[NodeId],
+) -> (CenterTree, Weight) {
     assert!(members.len() >= 2, "need at least two members");
     let mut best: Option<(CenterTree, Weight)> = None;
     for core in g.nodes() {
@@ -115,6 +134,136 @@ pub fn optimal_center_tree(g: &Graph, ap: &AllPairs, members: &[NodeId]) -> (Cen
         }
     }
     best.expect("at least one core can reach all members")
+}
+
+/// Tree-free optimal-core search: score every candidate core straight
+/// from the all-pairs data and return `(core, max_pair_delay)` without
+/// materializing any [`CenterTree`]. Exactly matches
+/// [`optimal_center_tree_exhaustive`], including tie-breaks (smallest
+/// node id among cores achieving the minimum).
+///
+/// Why this is the hot-path form: the Figure-2(a) study evaluates all 50
+/// candidate cores of every one of 3 000 topologies, and the exhaustive
+/// search pays for an edge set, per-member path vectors, and a
+/// distance array per *candidate* just to read one scalar. Here each
+/// candidate is scored with reused scratch buffers (zero steady-state
+/// allocation), and two sound prunes cut work further:
+///
+/// * **spread prune** — any member pair's tree delay is at least
+///   `|d(core,i) − d(core,j)|` (the LCA is no nearer the core than the
+///   closer member), so `max_i d(core,mᵢ) − min_i d(core,mᵢ)` lower-bounds
+///   the score and candidates whose spread already exceeds the best are
+///   skipped without scoring. (The tempting stronger bound
+///   `max_i d(core,mᵢ)` is *not* sound: put two members at the far end
+///   of a line and the core at the near end — their pair delay is tiny
+///   while `max_i` is the whole line.)
+/// * **diameter early-exit** — a tree path can never beat the
+///   shortest path, so no core scores below the members' pairwise
+///   shortest-path diameter; once a candidate achieves exactly that,
+///   later candidates can at best tie and the scan stops.
+pub fn optimal_center_delay(g: &Graph, ap: &AllPairs, members: &[NodeId]) -> (NodeId, Weight) {
+    assert!(members.len() >= 2, "need at least two members");
+
+    // Members' pairwise shortest-path diameter: the global lower bound.
+    let mut diameter = 0;
+    for (i, &a) in members.iter().enumerate() {
+        let row = ap.dist_row(a);
+        for &b in &members[i + 1..] {
+            let d = row[b.index()];
+            if d != Weight::MAX {
+                diameter = diameter.max(d);
+            }
+        }
+    }
+
+    // Reused scratch: one core→member node path per member, oldest core's
+    // contents overwritten in place.
+    let mut paths: Vec<Vec<NodeId>> = vec![Vec::new(); members.len()];
+
+    let mut best: Option<(Weight, NodeId)> = None;
+    for core in g.nodes() {
+        let row = ap.dist_row(core);
+        let mut dmax = 0;
+        let mut dmin = Weight::MAX;
+        let mut reachable = true;
+        for &m in members {
+            let d = row[m.index()];
+            if d == Weight::MAX {
+                reachable = false;
+                break;
+            }
+            dmax = dmax.max(d);
+            dmin = dmin.min(d);
+        }
+        if !reachable {
+            continue;
+        }
+        if let Some((bd, _)) = best {
+            // Sound skip: score(core) >= dmax - dmin, so a spread already
+            // at/above the incumbent can never *strictly* beat it (and
+            // ties never replace, matching the exhaustive iteration).
+            if dmax - dmin >= bd {
+                continue;
+            }
+        }
+        let d = score_core(g, ap, core, members, &mut paths);
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, core));
+            if d == diameter {
+                // No core can score below the member diameter, and later
+                // (larger-id) candidates can only tie: the scan is done.
+                break;
+            }
+        }
+    }
+    let (d, core) = best.expect("at least one core can reach all members");
+    (core, d)
+}
+
+/// Exact max member-pair tree delay for one candidate core, computed
+/// from the core's shortest-path parent array. Identical arithmetic to
+/// [`CenterTree::member_pair_delay`] over [`center_tree`]'s paths —
+/// just without the edge set, the per-call path allocations, or the
+/// per-node distance array.
+fn score_core(
+    g: &Graph,
+    ap: &AllPairs,
+    core: NodeId,
+    members: &[NodeId],
+    paths: &mut [Vec<NodeId>],
+) -> Weight {
+    let sp = ap.from(core);
+    let row = ap.dist_row(core);
+    for (&m, path) in members.iter().zip(paths.iter_mut()) {
+        path.clear();
+        let mut cur = m;
+        path.push(cur);
+        while let Some((p, _)) = sp.parent_of(g, cur) {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(*path.last().expect("nonempty"), core);
+        path.reverse();
+    }
+    let mut max = 0;
+    for i in 0..members.len() {
+        let pi = &paths[i];
+        let di = row[members[i].index()];
+        for (j, pj) in paths.iter().enumerate().skip(i + 1) {
+            // Deepest common node of the two core-rooted paths.
+            let mut lca = pi[0];
+            for (a, b) in pi.iter().zip(pj.iter()) {
+                if a == b {
+                    lca = *a;
+                } else {
+                    break;
+                }
+            }
+            let dj = row[members[j].index()];
+            max = max.max(di + dj - 2 * row[lca.index()]);
+        }
+    }
+    max
 }
 
 #[cfg(test)]

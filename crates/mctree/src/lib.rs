@@ -29,7 +29,10 @@ pub mod center;
 pub mod flows;
 pub mod spt;
 
-pub use center::{center_tree, optimal_center_tree, CenterTree};
+pub use center::{
+    center_tree, optimal_center_delay, optimal_center_tree, optimal_center_tree_exhaustive,
+    CenterTree,
+};
 pub use flows::{cbt_link_flows, spt_link_flows};
 pub use spt::{spt_max_delay, spt_tree_edges};
 

@@ -14,10 +14,15 @@ use std::collections::BTreeSet;
 /// connectivity) or if fewer than two members are given.
 pub fn spt_max_delay(ap: &AllPairs, members: &[NodeId]) -> Weight {
     assert!(members.len() >= 2, "need at least two members");
+    // Half-triangle over the flat distance rows: one row fetch per
+    // source, one array read per pair — this runs inside the Figure-2
+    // Monte-Carlo loop, millions of pairs per sweep.
     let mut max = 0;
     for (i, &s) in members.iter().enumerate() {
+        let row = ap.dist_row(s);
         for &r in &members[i + 1..] {
-            let d = ap.dist(s, r).expect("members must be connected");
+            let d = row[r.index()];
+            assert!(d != Weight::MAX, "members must be connected");
             max = max.max(d);
         }
     }

@@ -1,42 +1,72 @@
 //! Command-line schedule explorer.
 //!
 //! ```text
-//! explore [SEEDS] [START]
+//! explore [SEEDS] [START] [--threads N]
 //! ```
 //!
 //! Runs `SEEDS` seeded schedules (default 50) starting at seed `START`
 //! (default 0), each over one topology from the zoo (round-robin) and all
-//! three protocols. Prints a per-protocol summary; on any oracle
-//! violation, prints the full replay artifact and exits nonzero.
+//! three protocols. Seeds fan out over a deterministic scoped-thread pool
+//! (each run re-derives everything from its seed), and results are
+//! reported in seed order — output is bit-identical for every `--threads`
+//! value. Prints a per-protocol summary; on any oracle violation, prints
+//! the full replay artifact and exits nonzero.
 
 use scenario::{explore_seed, random_schedule, topologies, Artifact, Protocol};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let seeds: u64 = args
-        .next()
-        .map(|s| s.parse().expect("SEEDS must be a number"))
-        .unwrap_or(50);
-    let start: u64 = args
-        .next()
-        .map(|s| s.parse().expect("START must be a number"))
-        .unwrap_or(0);
+    let mut seeds: u64 = 50;
+    let mut start: u64 = 0;
+    let mut threads = par::default_threads();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = 0;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--threads" => {
+                threads = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--threads needs a positive number");
+                i += 2;
+            }
+            s => {
+                let n = s.parse().expect("SEEDS/START must be numbers");
+                match positional {
+                    0 => seeds = n,
+                    1 => start = n,
+                    _ => panic!("too many positional args; usage: explore [SEEDS] [START]"),
+                }
+                positional += 1;
+                i += 1;
+            }
+        }
+    }
 
     let zoo = topologies();
+    // Fan the seeds out; each worker's runs depend only on its seed, and
+    // reassembly is in seed order, so the report (and the exit code) is
+    // independent of the thread count.
+    let outcomes = par::run_trials(threads, seeds as usize, |t| {
+        let seed = start + t as u64;
+        let topo = &zoo[(seed % zoo.len() as u64) as usize];
+        explore_seed(topo, seed)
+    });
+
     let mut runs = 0u64;
     let mut violating = 0u64;
     let mut per_protocol = [0u64; 3];
-
-    for seed in start..start + seeds {
+    for (t, results) in outcomes.iter().enumerate() {
+        let seed = start + t as u64;
         let topo = &zoo[(seed % zoo.len() as u64) as usize];
-        let schedule = random_schedule(topo, seed, seed % 3 == 2);
-        for (protocol, outcome) in explore_seed(topo, seed) {
+        for (protocol, outcome) in results {
             runs += 1;
             if outcome.violations.is_empty() {
                 continue;
             }
             violating += 1;
-            let slot = Protocol::ALL.iter().position(|&p| p == protocol).unwrap();
+            let slot = Protocol::ALL.iter().position(|p| p == protocol).unwrap();
             per_protocol[slot] += 1;
             eprintln!(
                 "seed {seed} topology {} protocol {}: {} violation(s)",
@@ -44,7 +74,8 @@ fn main() {
                 protocol.name(),
                 outcome.violations.len()
             );
-            let artifact = Artifact::capture(topo, protocol, &schedule, seed, &outcome);
+            let schedule = random_schedule(topo, seed, seed % 3 == 2);
+            let artifact = Artifact::capture(topo, *protocol, &schedule, seed, outcome);
             eprintln!("--- replay artifact ---\n{}", artifact.to_text());
         }
     }

@@ -20,4 +20,7 @@ cargo test -q --offline
 echo "== cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
 
+echo "== bench smoke"
+./scripts/bench.sh smoke
+
 echo "tier-1: OK"
