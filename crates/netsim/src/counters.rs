@@ -125,6 +125,12 @@ pub struct LinkStats {
     pub bytes: u64,
     /// Packets dropped by loss injection.
     pub losses: u64,
+    /// Packet copies corrupted by the channel model (one byte flipped).
+    pub corrupted: u64,
+    /// Extra packet copies injected by the channel model's duplication.
+    pub duplicated: u64,
+    /// Packet copies delayed out of order by the channel model.
+    pub reordered: u64,
     /// Time of the most recent data-packet transmission.
     pub last_data_at: Option<SimTime>,
 }
@@ -137,6 +143,8 @@ pub struct Counters {
     /// ([`CtrlProto::index`] order).
     ctrl_tx: [u64; 6],
     local_deliveries: HashMap<NodeIdx, u64>,
+    /// Undecodable payloads dropped at each node's receive path.
+    decode_failures: HashMap<NodeIdx, u64>,
     rx_control_pkts: u64,
     rx_data_pkts: u64,
     rx_bytes: u64,
@@ -202,6 +210,22 @@ impl Counters {
         self.per_link.entry(link).or_default().losses += 1;
     }
 
+    pub(crate) fn record_corrupted(&mut self, link: LinkId) {
+        self.per_link.entry(link).or_default().corrupted += 1;
+    }
+
+    pub(crate) fn record_duplicated(&mut self, link: LinkId) {
+        self.per_link.entry(link).or_default().duplicated += 1;
+    }
+
+    pub(crate) fn record_reordered(&mut self, link: LinkId) {
+        self.per_link.entry(link).or_default().reordered += 1;
+    }
+
+    pub(crate) fn record_decode_failure(&mut self, node: NodeIdx) {
+        *self.decode_failures.entry(node).or_default() += 1;
+    }
+
     pub(crate) fn record_local_delivery(&mut self, node: NodeIdx) {
         *self.local_deliveries.entry(node).or_default() += 1;
     }
@@ -247,6 +271,33 @@ impl Counters {
     /// Total packets dropped by loss injection.
     pub fn losses(&self) -> u64 {
         self.per_link.values().map(|s| s.losses).sum()
+    }
+
+    /// Total packet copies corrupted by the channel model.
+    pub fn pkts_corrupted(&self) -> u64 {
+        self.per_link.values().map(|s| s.corrupted).sum()
+    }
+
+    /// Total extra packet copies injected by channel duplication.
+    pub fn pkts_duplicated(&self) -> u64 {
+        self.per_link.values().map(|s| s.duplicated).sum()
+    }
+
+    /// Total packet copies delayed out of order by the channel model.
+    pub fn pkts_reordered(&self) -> u64 {
+        self.per_link.values().map(|s| s.reordered).sum()
+    }
+
+    /// Undecodable payloads dropped at `node`'s receive path.
+    pub fn decode_failures(&self, node: NodeIdx) -> u64 {
+        self.decode_failures.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Undecodable payloads dropped network-wide. Zero on a clean channel:
+    /// every encoder produces decodable bytes, so decode failures can only
+    /// come from channel corruption (asserted by the hardening oracle).
+    pub fn total_decode_failures(&self) -> u64 {
+        self.decode_failures.values().sum()
     }
 
     /// Data packets delivered to local group members at `node`.

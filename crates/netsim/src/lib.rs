@@ -29,5 +29,6 @@ pub use build::{host_addr, node_of_addr, router_addr, Topology};
 pub use counters::{Counters, CtrlProto, LinkStats, PacketClass};
 pub use time::{earliest, Duration, SimTime};
 pub use world::{
-    CaptureRecord, Ctx, IfaceId, Link, LinkId, LinkKind, Node, NodeIdx, TimerId, World,
+    CaptureRecord, ChannelModel, Ctx, IfaceId, Link, LinkId, LinkKind, Node, NodeIdx, TimerId,
+    World,
 };

@@ -69,6 +69,45 @@ pub enum LinkKind {
     Lan,
 }
 
+/// Per-link adversarial impairments, applied independently per receiver
+/// copy at transmit time from the world's single seeded RNG — a real
+/// wide-area fabric does not just drop packets, it also corrupts,
+/// duplicates, and reorders them (the regime where the paper's §2
+/// soft-state robustness claim must hold).
+///
+/// Probabilities are integer per-mille (`0..=1000`), never floats, so
+/// scenario schedules carrying them round-trip exactly through text.
+/// The default (all zeros) is a clean channel that consumes no
+/// randomness, leaving pre-existing traces byte-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelModel {
+    /// Per-mille probability that a delivered copy has one byte flipped.
+    pub corrupt_pm: u32,
+    /// Per-mille probability that a receiver gets the packet twice.
+    pub duplicate_pm: u32,
+    /// Per-mille probability that a copy is delayed past later traffic.
+    pub reorder_pm: u32,
+    /// Maximum extra delay (in ticks) added to a reordered copy; the
+    /// actual extra delay is drawn uniformly from `1..=jitter.max(1)`.
+    pub jitter: u64,
+}
+
+impl ChannelModel {
+    /// A clean channel: no corruption, duplication, or reordering.
+    pub const CLEAN: ChannelModel = ChannelModel {
+        corrupt_pm: 0,
+        duplicate_pm: 0,
+        reorder_pm: 0,
+        jitter: 0,
+    };
+
+    /// True when every impairment probability is zero (the transmit path
+    /// then consumes no randomness for this model).
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_pm == 0 && self.duplicate_pm == 0 && self.reorder_pm == 0
+    }
+}
+
 /// A link connecting node interfaces.
 #[derive(Debug)]
 pub struct Link {
@@ -80,6 +119,8 @@ pub struct Link {
     pub up: bool,
     /// Per-receiver independent drop probability (failure injection).
     pub loss: f64,
+    /// Adversarial impairments (corrupt/duplicate/reorder).
+    pub channel: ChannelModel,
     /// The attached `(node, iface)` pairs.
     pub attachments: Vec<(NodeIdx, IfaceId)>,
 }
@@ -272,6 +313,7 @@ impl Fabric {
             .filter(|&(n, i)| (n, i) != (from, iface))
             .collect();
         let loss = link.loss;
+        let chan = link.channel;
         let at = self.now + delay;
         // One shared buffer for the whole fan-out; each delivery below is
         // a refcount bump, not a copy of the packet bytes.
@@ -285,15 +327,61 @@ impl Fabric {
                 self.counters.record_loss(link_id);
                 continue;
             }
-            self.push_event(
-                at,
-                Event::Deliver {
-                    node: n,
-                    iface: i,
-                    packet: packet.clone(),
-                    link: link_id,
-                },
-            );
+            // Adversarial channel: per-receiver rolls in a fixed order
+            // (duplicate, then corrupt and reorder per copy) so traces are
+            // a pure function of the seed. Each roll happens only when its
+            // probability is nonzero — a clean channel consumes no
+            // randomness and pre-existing traces stay byte-identical.
+            let copies = if chan.duplicate_pm > 0 && self.rng.gen_range(0..1000) < chan.duplicate_pm
+            {
+                self.counters.record_duplicated(link_id);
+                self.emit(n, || telemetry::Event::ChannelImpaired {
+                    what: "duplicate",
+                    link: link_id.0 as u32,
+                });
+                2
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                let mut copy = packet.clone();
+                let mut due = at;
+                if chan.corrupt_pm > 0 && self.rng.gen_range(0..1000) < chan.corrupt_pm {
+                    // Flip one random bit of one random byte. The shared
+                    // Arc must never be mutated (other receivers see the
+                    // same buffer), so the corrupted copy gets its own
+                    // private allocation.
+                    let mut bytes = copy.to_vec();
+                    if !bytes.is_empty() {
+                        let idx = self.rng.gen_range(0..bytes.len());
+                        let bit = 1u8 << self.rng.gen_range(0..8u32);
+                        bytes[idx] ^= bit;
+                    }
+                    copy = bytes.into();
+                    self.counters.record_corrupted(link_id);
+                    self.emit(n, || telemetry::Event::ChannelImpaired {
+                        what: "corrupt",
+                        link: link_id.0 as u32,
+                    });
+                }
+                if chan.reorder_pm > 0 && self.rng.gen_range(0..1000) < chan.reorder_pm {
+                    due += Duration(self.rng.gen_range(1..=chan.jitter.max(1)));
+                    self.counters.record_reordered(link_id);
+                    self.emit(n, || telemetry::Event::ChannelImpaired {
+                        what: "reorder",
+                        link: link_id.0 as u32,
+                    });
+                }
+                self.push_event(
+                    due,
+                    Event::Deliver {
+                        node: n,
+                        iface: i,
+                        packet: copy,
+                        link: link_id,
+                    },
+                );
+            }
         }
     }
 }
@@ -392,6 +480,18 @@ impl<'a> Ctx<'a> {
     pub fn count_local_delivery(&mut self) {
         self.fabric.counters.record_local_delivery(self.node);
     }
+
+    /// Record that a received payload failed to decode and was dropped
+    /// (see [`crate::Counters::total_decode_failures`]), emitting one
+    /// telemetry [`telemetry::Event::DecodeFailed`] mark.
+    pub fn count_decode_failure(&mut self, iface: IfaceId, kind: &'static str) {
+        self.fabric.counters.record_decode_failure(self.node);
+        self.fabric
+            .emit(self.node, || telemetry::Event::DecodeFailed {
+                kind,
+                iface: iface.0,
+            });
+    }
 }
 
 /// The simulation world.
@@ -471,6 +571,7 @@ impl World {
             delay,
             up: true,
             loss: 0.0,
+            channel: ChannelModel::CLEAN,
             attachments: Vec::new(),
         });
         let ia = self.attach(a, id);
@@ -488,6 +589,7 @@ impl World {
             delay,
             up: true,
             loss: 0.0,
+            channel: ChannelModel::CLEAN,
             attachments: Vec::new(),
         });
         let ifaces = nodes.iter().map(|&n| self.attach(n, id)).collect();
@@ -552,6 +654,16 @@ impl World {
     pub fn set_link_loss(&mut self, link: LinkId, loss: f64) {
         assert!((0.0..=1.0).contains(&loss));
         self.fabric.links[link.0].loss = loss;
+    }
+
+    /// Install an adversarial [`ChannelModel`] on a link (corruption,
+    /// duplication, reordering). `ChannelModel::CLEAN` restores a clean
+    /// channel.
+    pub fn set_channel_model(&mut self, link: LinkId, channel: ChannelModel) {
+        assert!(channel.corrupt_pm <= 1000, "corrupt_pm is per-mille");
+        assert!(channel.duplicate_pm <= 1000, "duplicate_pm is per-mille");
+        assert!(channel.reorder_pm <= 1000, "reorder_pm is per-mille");
+        self.fabric.links[link.0].channel = channel;
     }
 
     /// Link metadata.
@@ -795,6 +907,40 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
         }
+    }
+
+    /// Records deliveries and nothing else — no retransmission. The
+    /// channel-model tests need this: corruption can flip a bit in the
+    /// byte [`Echo`] treats as a TTL, and an echoing receiver would then
+    /// amplify duplicated copies into an unbounded packet storm.
+    #[derive(Default)]
+    struct Quiet {
+        received: Vec<(u64, IfaceId, Vec<u8>)>,
+    }
+
+    impl Node for Quiet {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, packet: &[u8]) {
+            self.received
+                .push((ctx.now().ticks(), iface, packet.to_vec()));
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn quiet_world() -> (World, NodeIdx, NodeIdx, LinkId) {
+        let mut w = World::new(1);
+        let a = w.add_node(Box::<Quiet>::default());
+        let b = w.add_node(Box::<Quiet>::default());
+        let (l, _, _) = w.add_p2p(a, b, Duration(3));
+        (w, a, b, l)
     }
 
     fn two_node_world() -> (World, NodeIdx, NodeIdx, LinkId) {
@@ -1093,6 +1239,157 @@ mod tests {
         let eb: &Echo = w.node(b);
         assert!(eb.received.is_empty());
         assert_eq!(w.counters().pkts_dropped_node_down(), 1);
+    }
+
+    #[test]
+    fn channel_corruption_flips_one_bit_and_counts() {
+        let (mut w, a, _b, l) = quiet_world();
+        w.set_channel_model(
+            l,
+            ChannelModel {
+                corrupt_pm: 1000, // always corrupt
+                ..ChannelModel::CLEAN
+            },
+        );
+        let payload = vec![0u8, 0xAA, 0xBB, 0xCC];
+        let sent = payload.clone();
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), sent));
+        });
+        w.run_until(SimTime(50));
+        let eb: &Quiet = w.node(NodeIdx(1));
+        assert_eq!(eb.received.len(), 1, "corruption must not drop the packet");
+        let got = &eb.received[0].2;
+        assert_eq!(got.len(), payload.len());
+        let diff: u32 = got
+            .iter()
+            .zip(&payload)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "exactly one bit flipped");
+        assert_eq!(w.counters().pkts_corrupted(), 1);
+    }
+
+    #[test]
+    fn channel_duplication_delivers_twice() {
+        let (mut w, a, _b, l) = quiet_world();
+        w.set_channel_model(
+            l,
+            ChannelModel {
+                duplicate_pm: 1000,
+                ..ChannelModel::CLEAN
+            },
+        );
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0, 7]));
+        });
+        w.run_until(SimTime(50));
+        let eb: &Quiet = w.node(NodeIdx(1));
+        assert_eq!(eb.received.len(), 2, "duplicate delivers two copies");
+        assert_eq!(eb.received[0].2, eb.received[1].2);
+        assert_eq!(w.counters().pkts_duplicated(), 1);
+    }
+
+    #[test]
+    fn channel_reorder_delays_past_later_traffic() {
+        let (mut w, a, _b, l) = quiet_world();
+        w.set_channel_model(
+            l,
+            ChannelModel {
+                reorder_pm: 1000,
+                jitter: 100,
+                ..ChannelModel::CLEAN
+            },
+        );
+        // First packet is delayed by 1..=100 extra ticks; switch the
+        // channel off before the second so it travels clean — the second
+        // can overtake the first whenever the jitter draw exceeds 5.
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0, 1]));
+        });
+        w.at(SimTime(1), move |w| {
+            w.set_channel_model(l, ChannelModel::CLEAN)
+        });
+        w.at(SimTime(5), move |w| {
+            w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0, 2]));
+        });
+        w.run_until(SimTime(500));
+        let eb: &Quiet = w.node(NodeIdx(1));
+        assert_eq!(eb.received.len(), 2);
+        assert_eq!(w.counters().pkts_reordered(), 1);
+        // Delivery time of the jittered copy is strictly later than clean.
+        assert!(eb.received.iter().any(|r| r.2 == [0, 1] && r.0 > 3));
+    }
+
+    #[test]
+    fn clean_channel_consumes_no_randomness() {
+        // Installing a CLEAN model must leave the trace identical to not
+        // touching the channel at all (same RNG stream).
+        let run = |install: bool| {
+            let (mut w, a, _b, l) = quiet_world();
+            w.set_link_loss(l, 0.3);
+            if install {
+                w.set_channel_model(l, ChannelModel::CLEAN);
+            }
+            for t in 0..50 {
+                w.at(SimTime(t), move |w| {
+                    w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0, t as u8]));
+                });
+            }
+            w.run_until(SimTime(500));
+            let eb: &mut Quiet = w.node_mut(NodeIdx(1));
+            std::mem::take(&mut eb.received)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn adversarial_channel_is_deterministic() {
+        let run = || {
+            let (mut w, a, _b, l) = quiet_world();
+            w.set_channel_model(
+                l,
+                ChannelModel {
+                    corrupt_pm: 300,
+                    duplicate_pm: 300,
+                    reorder_pm: 300,
+                    jitter: 40,
+                },
+            );
+            for t in 0..80 {
+                w.at(SimTime(t * 3), move |w| {
+                    w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0, t as u8]));
+                });
+            }
+            w.run_until(SimTime(2000));
+            let stats = (
+                w.counters().pkts_corrupted(),
+                w.counters().pkts_duplicated(),
+                w.counters().pkts_reordered(),
+            );
+            let eb: &mut Quiet = w.node_mut(NodeIdx(1));
+            (std::mem::take(&mut eb.received), stats)
+        };
+        let (recv_a, stats_a) = run();
+        let (recv_b, stats_b) = run();
+        assert_eq!(recv_a, recv_b);
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.0 > 0 && stats_a.1 > 0 && stats_a.2 > 0);
+    }
+
+    #[test]
+    fn decode_failure_accounting() {
+        let (mut w, a, _b, _l) = two_node_world();
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| {
+                ctx.count_decode_failure(IfaceId(0), "checksum");
+                ctx.count_decode_failure(IfaceId(0), "truncated");
+            });
+        });
+        w.run_until(SimTime(10));
+        assert_eq!(w.counters().decode_failures(a), 2);
+        assert_eq!(w.counters().decode_failures(NodeIdx(1)), 0);
+        assert_eq!(w.counters().total_decode_failures(), 2);
     }
 
     #[test]

@@ -184,6 +184,10 @@ pub struct ProtocolNode<P: ProtocolEngine> {
     pub data_forwards: u64,
     /// Count of control messages processed.
     pub control_msgs: u64,
+    /// Count of received payloads dropped because they failed to decode
+    /// (truncated frames, checksum mismatches, unknown types…). Zero on a
+    /// clean channel; nonzero only under channel corruption.
+    pub malformed_drops: u64,
     /// The single armed wakeup, if any: (fire time, timer handle).
     wakeup: Option<(SimTime, TimerId)>,
     /// Structured-event handle (disabled unless a sink is attached).
@@ -200,6 +204,7 @@ impl<P: ProtocolEngine> ProtocolNode<P> {
             queriers: HashMap::new(),
             data_forwards: 0,
             control_msgs: 0,
+            malformed_drops: 0,
             wakeup: None,
             telem: Telem::disabled(),
         }
@@ -426,8 +431,17 @@ impl<P: ProtocolEngine> ProtocolNode<P> {
         header: &Header,
         payload: &[u8],
     ) {
-        let Ok(msg) = Message::decode(payload) else {
-            return; // malformed control traffic is dropped, never panics
+        let msg = match Message::decode(payload) {
+            Ok(msg) => msg,
+            // Malformed control traffic is dropped, never panics — but the
+            // drop is accounted (counter + world counters + telemetry with
+            // the DecodeError kind and ingress interface), so the
+            // adversarial-channel experiments can audit every lost frame.
+            Err(e) => {
+                self.malformed_drops += 1;
+                ctx.count_decode_failure(iface, e.kind());
+                return;
+            }
         };
         self.control_msgs += 1;
         let now = ctx.now();
@@ -511,8 +525,15 @@ impl<P: ProtocolEngine + 'static> Node for ProtocolNode<P> {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, packet: &[u8]) {
-        let Ok((header, payload)) = Header::decap(packet) else {
-            return; // corrupt packets are dropped
+        let (header, payload) = match Header::decap(packet) {
+            Ok(hp) => hp,
+            Err(e) => {
+                // Corrupt packets are dropped at the network layer; same
+                // accounting as an undecodable IGMP-family payload.
+                self.malformed_drops += 1;
+                ctx.count_decode_failure(iface, e.kind());
+                return;
+            }
         };
         match header.proto {
             Protocol::Igmp => self.on_igmp_family(ctx, iface, &header, payload),
@@ -552,7 +573,11 @@ impl<P: ProtocolEngine + 'static> Node for ProtocolNode<P> {
         }
         let ifaces: Vec<IfaceId> = self.queriers.keys().copied().collect();
         for i in ifaces {
-            let q = self.queriers.get_mut(&i).expect("key just listed");
+            // Keys are a snapshot; if a concurrent fault path ever removed
+            // a querier mid-iteration, skip it rather than aborting the sim.
+            let Some(q) = self.queriers.get_mut(&i) else {
+                continue;
+            };
             let was_querier = q.is_querier();
             let outs = q.tick(now);
             let is_querier = q.is_querier();

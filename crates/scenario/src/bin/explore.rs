@@ -9,10 +9,115 @@
 //! three protocols. Seeds fan out over a deterministic scoped-thread pool
 //! (each run re-derives everything from its seed), and results are
 //! reported in seed order — output is bit-identical for every `--threads`
-//! value. Prints a per-protocol summary; on any oracle violation, prints
-//! the full replay artifact and exits nonzero.
+//! value. Prints a per-protocol summary plus a chaos summary (channel
+//! impairments inflicted, malformed frames dropped by decode-error kind,
+//! merged post-fault reconvergence histogram); on any oracle violation,
+//! prints the full replay artifact and exits nonzero.
 
-use scenario::{explore_seed, random_schedule, topologies, Artifact, Protocol};
+use scenario::{explore_seed, random_schedule, topologies, Artifact, CaseOutcome, Protocol};
+use std::collections::BTreeMap;
+
+/// Per-protocol campaign aggregates for the chaos summary.
+#[derive(Default)]
+struct ChaosAgg {
+    /// Channel impairments inflicted, by kind (`corrupt`/`duplicate`/`reorder`).
+    impairments: BTreeMap<String, u64>,
+    /// Malformed frames dropped, by [`wire::DecodeError::kind`] label.
+    drops: BTreeMap<String, u64>,
+    /// Merged reconvergence histogram: (count, approx sum, max, buckets).
+    reconv: (u64, u128, u64, Vec<u64>),
+}
+
+/// Extract `"key":"value"` from a JSONL line.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+impl ChaosAgg {
+    fn absorb(&mut self, outcome: &CaseOutcome) {
+        for line in outcome.telemetry.lines() {
+            match json_str(line, "ev") {
+                Some("channel_impaired") => {
+                    if let Some(what) = json_str(line, "what") {
+                        *self.impairments.entry(what.to_string()).or_default() += 1;
+                    }
+                }
+                Some("decode_failed") => {
+                    if let Some(kind) = json_str(line, "kind") {
+                        *self.drops.entry(kind.to_string()).or_default() += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Merge the rendered reconvergence histogram: counts and buckets
+        // sum exactly, max is max; the mean is re-derived from the
+        // truncated per-run means (documentation-grade, ±1 tick).
+        let Some(line) = outcome
+            .metrics
+            .lines()
+            .find_map(|l| l.strip_prefix("reconvergence "))
+        else {
+            return;
+        };
+        let field = |key: &str| -> Option<&str> {
+            let pat = format!("{key}=");
+            let start = line.find(&pat)? + pat.len();
+            let end = line[start..].find(' ').unwrap_or(line.len() - start);
+            Some(&line[start..start + end])
+        };
+        let (Some(count), Some(mean), Some(max)) = (field("count"), field("mean"), field("max"))
+        else {
+            return;
+        };
+        let count: u64 = count.parse().unwrap_or(0);
+        let mean: u128 = mean.parse().unwrap_or(0);
+        let max: u64 = max.parse().unwrap_or(0);
+        self.reconv.0 += count;
+        self.reconv.1 += mean * u128::from(count);
+        self.reconv.2 = self.reconv.2.max(max);
+        if let Some(b) = line.find('[').and_then(|i| {
+            line[i + 1..]
+                .strip_suffix(']')
+                .map(|inner| inner.to_string())
+        }) {
+            for (i, tok) in b.split(',').enumerate() {
+                let v: u64 = tok.trim().parse().unwrap_or(0);
+                if self.reconv.3.len() <= i {
+                    self.reconv.3.resize(i + 1, 0);
+                }
+                self.reconv.3[i] += v;
+            }
+        }
+    }
+
+    fn render_counts(m: &BTreeMap<String, u64>) -> String {
+        if m.is_empty() {
+            return "-".to_string();
+        }
+        m.iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    fn print(&self, name: &str) {
+        let (count, sum, max, buckets) = &self.reconv;
+        let mean = if *count == 0 {
+            0
+        } else {
+            sum / u128::from(*count)
+        };
+        println!(
+            "  {name:>5}: impaired {}\n         dropped  {}\n         reconvergence count={count} mean~{mean} max={max} buckets={buckets:?}",
+            ChaosAgg::render_counts(&self.impairments),
+            ChaosAgg::render_counts(&self.drops),
+        );
+    }
+}
 
 fn main() {
     let mut seeds: u64 = 50;
@@ -57,16 +162,18 @@ fn main() {
     let mut runs = 0u64;
     let mut violating = 0u64;
     let mut per_protocol = [0u64; 3];
+    let mut chaos: [ChaosAgg; 3] = Default::default();
     for (t, results) in outcomes.iter().enumerate() {
         let seed = start + t as u64;
         let topo = &zoo[(seed % zoo.len() as u64) as usize];
         for (protocol, outcome) in results {
             runs += 1;
+            let slot = Protocol::ALL.iter().position(|p| p == protocol).unwrap();
+            chaos[slot].absorb(outcome);
             if outcome.violations.is_empty() {
                 continue;
             }
             violating += 1;
-            let slot = Protocol::ALL.iter().position(|p| p == protocol).unwrap();
             per_protocol[slot] += 1;
             eprintln!(
                 "seed {seed} topology {} protocol {}: {} violation(s)",
@@ -86,6 +193,10 @@ fn main() {
     );
     for (i, p) in Protocol::ALL.iter().enumerate() {
         println!("  {:>5}: {} violating runs", p.name(), per_protocol[i]);
+    }
+    println!("chaos summary (summed over the campaign):");
+    for (i, p) in Protocol::ALL.iter().enumerate() {
+        chaos[i].print(p.name());
     }
     if violating > 0 {
         std::process::exit(1);

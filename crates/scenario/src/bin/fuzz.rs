@@ -1,0 +1,78 @@
+//! Command-line deterministic fuzz harness.
+//!
+//! ```text
+//! fuzz [smoke|full] [--seed N]
+//! ```
+//!
+//! * `smoke` (default): 12k wire frames + 2k engine frames per protocol —
+//!   the tier-1 gate, a few seconds.
+//! * `full`: 200k wire frames + 10k engine frames per protocol — the
+//!   CHAOS experiment campaign.
+//!
+//! Everything derives from the seed (default 1); the run is offline and
+//! deterministic, so any failure reproduces from the same command line.
+//! Prints the reject taxonomy and per-protocol absorption stats; exits
+//! nonzero on any panic, round-trip failure, or oracle violation.
+
+use scenario::{fuzz_engines, fuzz_wire};
+
+fn main() {
+    let mut mode = "smoke".to_string();
+    let mut seed: u64 = 1;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seed" => {
+                seed = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+                i += 2;
+            }
+            m @ ("smoke" | "full") => {
+                mode = m.to_string();
+                i += 1;
+            }
+            other => panic!("unknown arg {other:?}; usage: fuzz [smoke|full] [--seed N]"),
+        }
+    }
+    let (wire_frames, engine_frames) = match mode.as_str() {
+        "full" => (200_000u64, 10_000u64),
+        _ => (12_000, 2_000),
+    };
+
+    let mut failed = false;
+
+    let w = fuzz_wire(seed, wire_frames);
+    println!(
+        "wire: {} frames, {} accepted, {} panics, {} round-trip failures",
+        w.frames, w.accepted, w.panics, w.roundtrip_failures
+    );
+    for (kind, n) in &w.rejects {
+        println!("  reject {kind:<12} {n}");
+    }
+    if w.panics > 0 || w.roundtrip_failures > 0 {
+        failed = true;
+    }
+
+    for outcome in fuzz_engines(seed, engine_frames) {
+        println!(
+            "engine {:>5}: {} injected, {} decode failures, {} malformed drops, {} violation(s)",
+            outcome.protocol.name(),
+            outcome.injected,
+            outcome.decode_failures,
+            outcome.malformed_drops,
+            outcome.violations.len()
+        );
+        for v in &outcome.violations {
+            eprintln!("  violation: {v}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("fuzz {mode}: OK");
+}

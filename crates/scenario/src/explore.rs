@@ -148,11 +148,16 @@ pub fn random_schedule(topo: &TopoSpec, seed: u64, teardown: bool) -> FaultSched
         s.push(rng.gen_range(20..=90), FaultEvent::Join(1));
     }
 
-    // Faults: 2–5 of them, each healed by its own later event.
+    // Faults: 2–5 of them, each healed by its own later event. Channel
+    // impairments (corrupt/duplicate/reorder) and partitions follow the
+    // same heal discipline as link faults: everything is clean again
+    // before the probe train, because undetectable data-payload
+    // corruption during the probes would fail delivery for reasons the
+    // protocols cannot observe.
     for _ in 0..rng.gen_range(2..=5) {
         let at = rng.gen_range(200..=2400u64);
         let heal = (at + rng.gen_range(100..=400)).min(2950);
-        match rng.gen_range(0..4) {
+        match rng.gen_range(0..8) {
             0 => {
                 let l = rng.gen_range(0..links);
                 s.push(at, FaultEvent::LinkDown(l));
@@ -168,6 +173,37 @@ pub fn random_schedule(topo: &TopoSpec, seed: u64, teardown: bool) -> FaultSched
                 let r = rng.gen_range(0..routers);
                 s.push(at, FaultEvent::CrashRouter(r));
                 s.push(heal, FaultEvent::RestartRouter(r));
+            }
+            3 => {
+                let l = rng.gen_range(0..links);
+                let pm = rng.gen_range(100..=400);
+                s.push(at, FaultEvent::CorruptLink(l, pm));
+                s.push(heal, FaultEvent::CorruptLink(l, 0));
+            }
+            4 => {
+                let l = rng.gen_range(0..links);
+                let pm = rng.gen_range(100..=500);
+                s.push(at, FaultEvent::DuplicateLink(l, pm));
+                s.push(heal, FaultEvent::DuplicateLink(l, 0));
+            }
+            5 => {
+                let l = rng.gen_range(0..links);
+                let pm = rng.gen_range(100..=500);
+                let jitter = rng.gen_range(5..=40);
+                s.push(at, FaultEvent::ReorderLink(l, pm, jitter));
+                s.push(heal, FaultEvent::ReorderLink(l, 0, 0));
+            }
+            6 => {
+                // Atomic multi-link cut; the heal restores every link
+                // and resets its channel model in the same tick.
+                let a = rng.gen_range(0..links);
+                let b = rng.gen_range(0..links);
+                let mut cut = vec![a];
+                if b != a {
+                    cut.push(b);
+                }
+                s.push(at, FaultEvent::Partition(cut.clone()));
+                s.push(heal, FaultEvent::Heal(cut));
             }
             _ => {
                 // Membership churn mid-fault-window counts as a fault too.
@@ -262,7 +298,46 @@ fn hash_text(text: &str) -> u64 {
 /// The explorer always uses the oracle unicast substrate: static routing
 /// keeps the run bit-for-bit reproducible from `(schedule, seed)` alone,
 /// which the replay-artifact contract depends on.
+///
+/// The run executes under the **no-panic oracle**: a panic anywhere in
+/// the simulation (an engine choking on adversarial input, an overflow
+/// in a decode path) is caught and reported as a `no-panic` violation
+/// instead of tearing the explorer down, so one poisoned run still
+/// yields a replayable artifact.
 pub fn run_case(
+    topo: &TopoSpec,
+    protocol: Protocol,
+    schedule: &FaultSchedule,
+    seed: u64,
+) -> CaseOutcome {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_case_inner(topo, protocol, schedule, seed)
+    })) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            CaseOutcome {
+                violations: vec![Violation {
+                    oracle: "no-panic",
+                    node: 0,
+                    detail: format!("simulation panicked: {msg}"),
+                }],
+                fingerprint: 0,
+                trace: Vec::new(),
+                telemetry: String::new(),
+                telemetry_fingerprint: 0,
+                metrics: String::new(),
+                dumps: Vec::new(),
+            }
+        }
+    }
+}
+
+fn run_case_inner(
     topo: &TopoSpec,
     protocol: Protocol,
     schedule: &FaultSchedule,

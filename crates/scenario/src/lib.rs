@@ -18,6 +18,11 @@
 //!    replay artifact (seed + schedule + trace and telemetry
 //!    fingerprints + per-router flight-recorder and state dumps) that
 //!    re-executes byte-identically.
+//! 4. [`fuzz`] — a deterministic, dependency-free fuzz harness: seeded
+//!    splitmix mutation of valid wire encodings against the decoders
+//!    (never panic; accepted inputs re-encode idempotently) and live
+//!    injection of malformed control frames into running engines (state
+//!    stays bounded, drops are accounted, delivery recovers).
 //!
 //! The paper motivates this: §2 requires the architecture stay robust
 //! under "unicast route changes, router failures, and membership churn";
@@ -26,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod fuzz;
 pub mod net;
 pub mod oracle;
 pub mod schedule;
@@ -34,9 +40,13 @@ pub use explore::{
     explore_seed, random_schedule, replay, run_case, topologies, topology, Artifact, CaseOutcome,
     NodeDump, TopoSpec,
 };
+pub use fuzz::{
+    corpus, fuzz_engine, fuzz_engines, fuzz_wire, mutate, EngineFuzzOutcome, SeedStream,
+    WireFuzzReport,
+};
 pub use net::{build_net, Protocol, ScenarioNet, Substrate};
 pub use oracle::{
-    check_cbt_ack_ledger, check_delivery, check_loop_freedom, check_no_orphans, check_rpf,
-    check_structure, Violation,
+    check_bounded_state, check_cbt_ack_ledger, check_delivery, check_hardening, check_loop_freedom,
+    check_no_orphans, check_rpf, check_structure, Violation,
 };
 pub use schedule::{FaultEvent, FaultSchedule};

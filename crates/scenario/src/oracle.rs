@@ -19,6 +19,10 @@
 //! * **CBT ack ledger** — an on-tree router's parent link is mirrored by a
 //!   child entry at the parent: hop-by-hop explicit acks must leave the
 //!   two ends of every tree edge in agreement.
+//! * **Hardening** — adversarial channel traffic never implants state:
+//!   router state is bounded to the scenario's group, malformed-drop
+//!   counters agree with the world's decode-failure ledger, and a clean
+//!   channel produces zero decode failures.
 
 use crate::net::{Protocol, ScenarioNet};
 use cbt::CbtRouter;
@@ -423,15 +427,113 @@ pub fn check_cbt_ack_ledger(net: &ScenarioNet) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------
+// Hardening: bounded malformed state
+// ---------------------------------------------------------------------
+
+/// Adversarial traffic must never implant state. Two clauses, valid even
+/// when malformed frames are injected directly into routers (the fuzz
+/// harness) rather than arriving via a corrupting channel:
+///
+/// * **Bounded state** — every up router's multicast state refers only to
+///   the scenario's own group: a corrupted or malformed control frame
+///   must not conjure entries for groups nobody joined.
+/// * **Drop bookkeeping** — each router's own `malformed_drops`
+///   counter agrees with the world's per-node decode-failure ledger;
+///   every undecodable frame is counted exactly once on both sides.
+pub fn check_bounded_state(net: &ScenarioNet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let counters = net.world.counters();
+    for n in up_routers(net) {
+        let idx = NodeIdx(n);
+        let mut bad_groups: Vec<String> = Vec::new();
+        let malformed_drops = match net.protocol {
+            Protocol::Pim => {
+                let r = net.world.node::<PimRouter>(idx);
+                for (g, _) in r.engine().groups() {
+                    if g != net.group {
+                        bad_groups.push(format!("{g:?}"));
+                    }
+                }
+                r.malformed_drops
+            }
+            Protocol::Dvmrp => {
+                let r = net.world.node::<DvmrpRouter>(idx);
+                for (s, g) in r.engine().entry_keys() {
+                    if g != net.group {
+                        bad_groups.push(format!("({s}, {g:?})"));
+                    }
+                }
+                r.malformed_drops
+            }
+            Protocol::Cbt => {
+                let r = net.world.node::<CbtRouter>(idx);
+                for (g, _) in r.engine().trees() {
+                    if g != net.group {
+                        bad_groups.push(format!("{g:?}"));
+                    }
+                }
+                r.malformed_drops
+            }
+        };
+        if !bad_groups.is_empty() {
+            out.push(violation(
+                "hardening",
+                n,
+                format!(
+                    "state for group(s) outside the scenario: {}",
+                    bad_groups.join(", ")
+                ),
+            ));
+        }
+        let ledger = counters.decode_failures(idx);
+        if malformed_drops != ledger {
+            out.push(violation(
+                "hardening",
+                n,
+                format!(
+                    "malformed-drop counter {malformed_drops} disagrees with \
+                     the world's decode-failure ledger {ledger}"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// The full decode-hardening oracle the explorer runs:
+/// [`check_bounded_state`] plus **clean-channel silence** — if no
+/// transmission was ever corrupted, no router may report a decode
+/// failure, because decode failures may only originate from channel
+/// corruption, never from well-formed peers. (The fuzz harness, which
+/// injects malformed frames without a corrupting channel, checks
+/// [`check_bounded_state`] alone.)
+pub fn check_hardening(net: &ScenarioNet) -> Vec<Violation> {
+    let mut out = check_bounded_state(net);
+    let counters = net.world.counters();
+    if counters.pkts_corrupted() == 0 && counters.total_decode_failures() > 0 {
+        out.push(violation(
+            "hardening",
+            0,
+            format!(
+                "{} decode failure(s) on a channel that never corrupted a frame",
+                counters.total_decode_failures()
+            ),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Composites
 // ---------------------------------------------------------------------
 
 /// The structural invariants that must hold after any healed schedule,
-/// regardless of final membership: RPF consistency, loop freedom, and the
-/// CBT ack ledger.
+/// regardless of final membership: RPF consistency, loop freedom, the
+/// CBT ack ledger, and the decode-hardening invariants.
 pub fn check_structure(net: &ScenarioNet) -> Vec<Violation> {
     let mut out = check_rpf(net);
     out.extend(check_loop_freedom(net));
     out.extend(check_cbt_ack_ledger(net));
+    out.extend(check_hardening(net));
     out
 }

@@ -1,24 +1,30 @@
 //! The declarative fault-schedule DSL.
 //!
 //! A [`FaultSchedule`] is an ordered list of timed [`FaultEvent`]s — link
-//! flaps, loss ramps, router crashes with state loss, restarts, and
-//! membership churn. Schedules are pure data: they serialize to a
-//! line-oriented text form with an exact round trip (loss is carried in
-//! per-mille, never floating point), which is what makes replay artifacts
-//! byte-identical, and they compile onto the simulator's existing scripted
-//! event machinery via [`FaultSchedule::install`].
+//! flaps, loss ramps, adversarial channel impairments (corruption,
+//! duplication, reordering), multi-link partitions, router crashes with
+//! state loss, restarts, and membership churn. Schedules are pure data:
+//! they serialize to a line-oriented text form with an exact round trip
+//! (loss and impairment probabilities are carried in per-mille, never
+//! floating point), which is what makes replay artifacts byte-identical,
+//! and they compile onto the simulator's existing scripted event
+//! machinery via [`FaultSchedule::install`].
 //!
 //! "RP failure" and "unicast route change" from the fault taxonomy are
 //! expressed through the same primitives: crashing the router that holds
 //! the RP (or core) *is* the RP-failure fault, and a link down/up pair
-//! under an adaptive unicast substrate *is* a route change.
+//! under an adaptive unicast substrate *is* a route change. A
+//! [`FaultEvent::Partition`] cuts a set of links at one instant — the
+//! atomic multi-link failure that separates the topology into islands —
+//! and its paired [`FaultEvent::Heal`] restores every cut link *and*
+//! resets their channel models to clean in the same tick.
 
 use igmp::HostNode;
-use netsim::{LinkId, NodeIdx, SimTime, World};
+use netsim::{ChannelModel, LinkId, NodeIdx, SimTime, World};
 use wire::Group;
 
 /// One fault, applied at a scheduled instant.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FaultEvent {
     /// Take a router-router link down.
     LinkDown(usize),
@@ -27,6 +33,23 @@ pub enum FaultEvent {
     /// Set a link's per-receiver drop probability, in per-mille
     /// (`0..=1000`). Integer so the text form round-trips exactly.
     LinkLoss(usize, u32),
+    /// Set a link's per-copy single-bit corruption probability, in
+    /// per-mille. Corrupted control frames fail the wire checksum and
+    /// are dropped at decode; corrupted data payloads pass through
+    /// (the data plane carries no payload checksum).
+    CorruptLink(usize, u32),
+    /// Set a link's per-receiver duplication probability, in per-mille.
+    /// A duplicated transmission delivers two independent copies.
+    DuplicateLink(usize, u32),
+    /// Set a link's per-copy reorder probability (per-mille) and the
+    /// extra delay jitter (ticks) a reordered copy is held for.
+    ReorderLink(usize, u32, u64),
+    /// Cut a set of links atomically at one instant (multi-link
+    /// failure separating the topology into islands).
+    Partition(Vec<usize>),
+    /// Restore a set of links atomically, and reset each link's
+    /// channel model to clean in the same tick.
+    Heal(Vec<usize>),
     /// Crash a router with total state loss ([`World::crash_node`]).
     /// Crashing the RP / core router is the RP-failure fault class.
     CrashRouter(u32),
@@ -39,17 +62,30 @@ pub enum FaultEvent {
 }
 
 impl FaultEvent {
-    fn to_line(self) -> String {
+    fn to_line(&self) -> String {
         match self {
             FaultEvent::LinkDown(l) => format!("link-down {l}"),
             FaultEvent::LinkUp(l) => format!("link-up {l}"),
             FaultEvent::LinkLoss(l, pm) => format!("link-loss {l} {pm}"),
+            FaultEvent::CorruptLink(l, pm) => format!("corrupt {l} {pm}"),
+            FaultEvent::DuplicateLink(l, pm) => format!("duplicate {l} {pm}"),
+            FaultEvent::ReorderLink(l, pm, jitter) => format!("reorder {l} {pm} {jitter}"),
+            FaultEvent::Partition(ls) => format!("partition {}", join(ls)),
+            FaultEvent::Heal(ls) => format!("heal {}", join(ls)),
             FaultEvent::CrashRouter(r) => format!("crash {r}"),
             FaultEvent::RestartRouter(r) => format!("restart {r}"),
             FaultEvent::Join(h) => format!("join {h}"),
             FaultEvent::Leave(h) => format!("leave {h}"),
         }
     }
+}
+
+/// Space-join a link list for the text form.
+fn join(ls: &[usize]) -> String {
+    ls.iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// A deterministic, serializable fault schedule.
@@ -76,11 +112,13 @@ impl FaultSchedule {
     /// ```text
     /// 250 link-down 0
     /// 400 link-loss 2 500
+    /// 500 corrupt 1 250
+    /// 600 partition 0 3
     /// 700 crash 3
     /// ```
     pub fn to_text(&self) -> String {
         let mut s = String::new();
-        for &(t, ev) in &self.events {
+        for (t, ev) in &self.events {
             s.push_str(&format!("{t} {}\n", ev.to_line()));
         }
         s
@@ -96,39 +134,75 @@ impl FaultSchedule {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let mut parts = line.split_whitespace();
             let err = |what: &str| format!("line {}: {what}: {line:?}", ln + 1);
+            let mut parts = line.split_whitespace();
             let at: u64 = parts
                 .next()
                 .ok_or_else(|| err("missing time"))?
                 .parse()
                 .map_err(|_| err("bad time"))?;
             let kind = parts.next().ok_or_else(|| err("missing fault kind"))?;
-            let mut arg = |what: &str| -> Result<u64, String> {
-                parts
-                    .next()
+            let args: Vec<&str> = parts.collect();
+            let num = |i: usize, what: &str| -> Result<u64, String> {
+                args.get(i)
                     .ok_or_else(|| err(what))?
                     .parse::<u64>()
                     .map_err(|_| err(what))
             };
-            let ev = match kind {
-                "link-down" => FaultEvent::LinkDown(arg("missing link")? as usize),
-                "link-up" => FaultEvent::LinkUp(arg("missing link")? as usize),
-                "link-loss" => {
-                    let l = arg("missing link")? as usize;
-                    let pm = arg("missing per-mille")? as u32;
-                    if pm > 1000 {
-                        return Err(err("per-mille out of range"));
-                    }
-                    FaultEvent::LinkLoss(l, pm)
+            let pm_at = |i: usize| -> Result<u32, String> {
+                let pm = num(i, "missing per-mille")?;
+                if pm > 1000 {
+                    return Err(err("per-mille out of range"));
                 }
-                "crash" => FaultEvent::CrashRouter(arg("missing router")? as u32),
-                "restart" => FaultEvent::RestartRouter(arg("missing router")? as u32),
-                "join" => FaultEvent::Join(arg("missing host")? as u32),
-                "leave" => FaultEvent::Leave(arg("missing host")? as u32),
+                Ok(pm as u32)
+            };
+            let ev = match kind {
+                "link-down" => FaultEvent::LinkDown(num(0, "missing link")? as usize),
+                "link-up" => FaultEvent::LinkUp(num(0, "missing link")? as usize),
+                "link-loss" => FaultEvent::LinkLoss(num(0, "missing link")? as usize, pm_at(1)?),
+                "corrupt" => FaultEvent::CorruptLink(num(0, "missing link")? as usize, pm_at(1)?),
+                "duplicate" => {
+                    FaultEvent::DuplicateLink(num(0, "missing link")? as usize, pm_at(1)?)
+                }
+                "reorder" => FaultEvent::ReorderLink(
+                    num(0, "missing link")? as usize,
+                    pm_at(1)?,
+                    num(2, "missing jitter")?,
+                ),
+                "partition" | "heal" => {
+                    if args.is_empty() {
+                        return Err(err("missing links"));
+                    }
+                    let mut ls = Vec::with_capacity(args.len());
+                    for i in 0..args.len() {
+                        ls.push(num(i, "bad link")? as usize);
+                    }
+                    if kind == "partition" {
+                        FaultEvent::Partition(ls)
+                    } else {
+                        FaultEvent::Heal(ls)
+                    }
+                }
+                "crash" => FaultEvent::CrashRouter(num(0, "missing router")? as u32),
+                "restart" => FaultEvent::RestartRouter(num(0, "missing router")? as u32),
+                "join" => FaultEvent::Join(num(0, "missing host")? as u32),
+                "leave" => FaultEvent::Leave(num(0, "missing host")? as u32),
                 _ => return Err(err("unknown fault kind")),
             };
-            if parts.next().is_some() {
+            let expected = match &ev {
+                FaultEvent::LinkDown(_)
+                | FaultEvent::LinkUp(_)
+                | FaultEvent::CrashRouter(_)
+                | FaultEvent::RestartRouter(_)
+                | FaultEvent::Join(_)
+                | FaultEvent::Leave(_) => 1,
+                FaultEvent::LinkLoss(..)
+                | FaultEvent::CorruptLink(..)
+                | FaultEvent::DuplicateLink(..) => 2,
+                FaultEvent::ReorderLink(..) => 3,
+                FaultEvent::Partition(ls) | FaultEvent::Heal(ls) => ls.len(),
+            };
+            if args.len() != expected {
                 return Err(err("trailing tokens"));
             }
             events.push((at, ev));
@@ -143,15 +217,15 @@ impl FaultSchedule {
         let mut sorted = self.events.clone();
         sorted.sort_by_key(|&(t, _)| t);
         let mut joined = vec![false; host_count];
-        for &(_, ev) in &sorted {
+        for (_, ev) in &sorted {
             match ev {
                 FaultEvent::Join(h) => {
-                    if let Some(j) = joined.get_mut(h as usize) {
+                    if let Some(j) = joined.get_mut(*h as usize) {
                         *j = true;
                     }
                 }
                 FaultEvent::Leave(h) => {
-                    if let Some(j) = joined.get_mut(h as usize) {
+                    if let Some(j) = joined.get_mut(*h as usize) {
                         *j = false;
                     }
                 }
@@ -167,7 +241,7 @@ impl FaultSchedule {
     /// `hosts[k]` is the world node of host slot `k`; membership events
     /// target `group`. Events are installed in stable time order.
     ///
-    /// Link, crash, and restart events also emit one
+    /// Link, channel, partition, crash, and restart events also emit one
     /// [`telemetry::Event::Fault`] marker (no-op without a sink), so
     /// metrics sinks can measure post-fault reconvergence windows. Only
     /// the first fault at each instant is marked — same-tick siblings
@@ -189,11 +263,11 @@ impl FaultSchedule {
 }
 
 /// The world node a fault marker is attributed to: the crashed or
-/// restarted router itself; for link faults, router 0 as a deterministic
-/// stand-in (the marker's `desc` names the link).
-fn fault_node(ev: FaultEvent) -> NodeIdx {
+/// restarted router itself; for link and channel faults, router 0 as a
+/// deterministic stand-in (the marker's `desc` names the link).
+fn fault_node(ev: &FaultEvent) -> NodeIdx {
     match ev {
-        FaultEvent::CrashRouter(r) | FaultEvent::RestartRouter(r) => NodeIdx(r as usize),
+        FaultEvent::CrashRouter(r) | FaultEvent::RestartRouter(r) => NodeIdx(*r as usize),
         _ => NodeIdx(0),
     }
 }
@@ -203,7 +277,7 @@ fn fault_node(ev: FaultEvent) -> NodeIdx {
 fn apply(w: &mut World, ev: FaultEvent, hosts: &[NodeIdx], group: Group, mark: bool) {
     if mark {
         w.emit_event(
-            fault_node(ev),
+            fault_node(&ev),
             telemetry::Event::Fault { desc: ev.to_line() },
         );
     }
@@ -211,6 +285,33 @@ fn apply(w: &mut World, ev: FaultEvent, hosts: &[NodeIdx], group: Group, mark: b
         FaultEvent::LinkDown(l) => w.set_link_up(LinkId(l), false),
         FaultEvent::LinkUp(l) => w.set_link_up(LinkId(l), true),
         FaultEvent::LinkLoss(l, pm) => w.set_link_loss(LinkId(l), f64::from(pm.min(1000)) / 1000.0),
+        FaultEvent::CorruptLink(l, pm) => {
+            let mut c = w.link(LinkId(l)).channel;
+            c.corrupt_pm = pm;
+            w.set_channel_model(LinkId(l), c);
+        }
+        FaultEvent::DuplicateLink(l, pm) => {
+            let mut c = w.link(LinkId(l)).channel;
+            c.duplicate_pm = pm;
+            w.set_channel_model(LinkId(l), c);
+        }
+        FaultEvent::ReorderLink(l, pm, jitter) => {
+            let mut c = w.link(LinkId(l)).channel;
+            c.reorder_pm = pm;
+            c.jitter = jitter;
+            w.set_channel_model(LinkId(l), c);
+        }
+        FaultEvent::Partition(ls) => {
+            for l in ls {
+                w.set_link_up(LinkId(l), false);
+            }
+        }
+        FaultEvent::Heal(ls) => {
+            for l in ls {
+                w.set_link_up(LinkId(l), true);
+                w.set_channel_model(LinkId(l), ChannelModel::CLEAN);
+            }
+        }
         FaultEvent::CrashRouter(r) => w.crash_node(NodeIdx(r as usize)),
         FaultEvent::RestartRouter(r) => w.restart_node(NodeIdx(r as usize)),
         FaultEvent::Join(h) => {
@@ -238,8 +339,13 @@ mod tests {
         s.push(30, FaultEvent::Join(1));
         s.push(250, FaultEvent::LinkDown(0));
         s.push(400, FaultEvent::LinkLoss(2, 500));
+        s.push(450, FaultEvent::CorruptLink(1, 250));
+        s.push(470, FaultEvent::DuplicateLink(0, 100));
+        s.push(490, FaultEvent::ReorderLink(2, 300, 25));
+        s.push(600, FaultEvent::Partition(vec![0, 2, 3]));
         s.push(700, FaultEvent::CrashRouter(3));
         s.push(900, FaultEvent::RestartRouter(3));
+        s.push(940, FaultEvent::Heal(vec![0, 2, 3]));
         s.push(950, FaultEvent::LinkUp(0));
         s.push(960, FaultEvent::LinkLoss(2, 0));
         s.push(1000, FaultEvent::Leave(1));
@@ -256,6 +362,24 @@ mod tests {
     }
 
     #[test]
+    fn channel_fault_lines_render_as_specified() {
+        assert_eq!(FaultEvent::CorruptLink(1, 250).to_line(), "corrupt 1 250");
+        assert_eq!(
+            FaultEvent::DuplicateLink(0, 100).to_line(),
+            "duplicate 0 100"
+        );
+        assert_eq!(
+            FaultEvent::ReorderLink(2, 300, 25).to_line(),
+            "reorder 2 300 25"
+        );
+        assert_eq!(
+            FaultEvent::Partition(vec![0, 2, 3]).to_line(),
+            "partition 0 2 3"
+        );
+        assert_eq!(FaultEvent::Heal(vec![4]).to_line(), "heal 4");
+    }
+
+    #[test]
     fn comments_and_blanks_skipped() {
         let text = "# a comment\n\n10 crash 2\n";
         let s = FaultSchedule::from_text(text).expect("parse");
@@ -269,6 +393,14 @@ mod tests {
         assert!(FaultSchedule::from_text("10 link-loss 2 1001").is_err());
         assert!(FaultSchedule::from_text("10 crash 2 junk").is_err());
         assert!(FaultSchedule::from_text("10 crash").is_err());
+        // Channel and partition fault arity / range errors.
+        assert!(FaultSchedule::from_text("10 corrupt 0 1001").is_err());
+        assert!(FaultSchedule::from_text("10 corrupt 0").is_err());
+        assert!(FaultSchedule::from_text("10 duplicate 0 500 junk").is_err());
+        assert!(FaultSchedule::from_text("10 reorder 1 100").is_err());
+        assert!(FaultSchedule::from_text("10 partition").is_err());
+        assert!(FaultSchedule::from_text("10 partition 0 x").is_err());
+        assert!(FaultSchedule::from_text("10 heal").is_err());
     }
 
     #[test]

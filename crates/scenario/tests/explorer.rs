@@ -42,33 +42,58 @@ fn schedules_are_self_healing() {
             let mut link_state = std::collections::BTreeMap::new();
             let mut node_down = std::collections::BTreeSet::new();
             let mut loss = std::collections::BTreeMap::new();
+            let mut impaired = std::collections::BTreeMap::new();
             for &(at, ref ev) in &s.events {
                 use scenario::FaultEvent::*;
-                match *ev {
+                match ev {
                     LinkDown(l) => {
-                        link_state.insert(l, at);
+                        link_state.insert(*l, at);
                     }
                     LinkUp(l) => {
-                        link_state.remove(&l);
+                        link_state.remove(l);
                     }
-                    LinkLoss(l, pm) if pm > 0 => {
-                        loss.insert(l, at);
+                    LinkLoss(l, pm) if *pm > 0 => {
+                        loss.insert(*l, at);
                     }
                     LinkLoss(l, _) => {
-                        loss.remove(&l);
+                        loss.remove(l);
+                    }
+                    CorruptLink(l, pm) | DuplicateLink(l, pm) | ReorderLink(l, pm, _)
+                        if *pm > 0 =>
+                    {
+                        impaired.insert(*l, at);
+                    }
+                    CorruptLink(l, _) | DuplicateLink(l, _) | ReorderLink(l, _, _) => {
+                        impaired.remove(l);
+                    }
+                    Partition(ls) => {
+                        for l in ls {
+                            link_state.insert(*l, at);
+                        }
+                    }
+                    Heal(ls) => {
+                        // A heal restores the links *and* resets their
+                        // channel models — mirror both effects.
+                        for l in ls {
+                            link_state.remove(l);
+                            impaired.remove(l);
+                        }
                     }
                     CrashRouter(r) => {
-                        node_down.insert(r);
+                        node_down.insert(*r);
                     }
                     RestartRouter(r) => {
-                        node_down.remove(&r);
+                        node_down.remove(r);
                     }
                     Join(_) | Leave(_) => {}
                 }
             }
             assert!(
-                link_state.is_empty() && node_down.is_empty() && loss.is_empty(),
-                "seed {seed} on {}: unhealed faults {link_state:?} {node_down:?} {loss:?}",
+                link_state.is_empty()
+                    && node_down.is_empty()
+                    && loss.is_empty()
+                    && impaired.is_empty(),
+                "seed {seed} on {}: unhealed faults {link_state:?} {node_down:?} {loss:?} {impaired:?}",
                 topo.name
             );
             assert!(s.span() < 4500, "faults must settle before the probe train");

@@ -121,3 +121,77 @@ fn replay_rejects_unknown_topology() {
     };
     assert!(replay(&artifact).is_err());
 }
+
+/// A schedule exercising every adversarial-channel fault: corruption,
+/// duplication, reordering, and an atomic partition — all healed before
+/// the probe train so delivery measures recovery.
+fn adversarial_schedule() -> FaultSchedule {
+    let mut s = FaultSchedule::default();
+    s.push(30, FaultEvent::Join(1));
+    s.push(60, FaultEvent::Join(2));
+    s.push(300, FaultEvent::CorruptLink(0, 300));
+    s.push(400, FaultEvent::DuplicateLink(1, 400));
+    s.push(500, FaultEvent::ReorderLink(2, 300, 20));
+    s.push(800, FaultEvent::Partition(vec![3]));
+    s.push(1500, FaultEvent::Heal(vec![3]));
+    s.push(1600, FaultEvent::CorruptLink(0, 0));
+    s.push(1700, FaultEvent::DuplicateLink(1, 0));
+    s.push(1800, FaultEvent::ReorderLink(2, 0, 0));
+    s
+}
+
+#[test]
+fn adversarial_channel_schedule_roundtrips_and_replays_byte_identically() {
+    let topo = topology("diamond").unwrap();
+    let schedule = adversarial_schedule();
+    let seed = 13;
+
+    // DSL round-trip is byte-exact.
+    let text = schedule.to_text();
+    let parsed = FaultSchedule::from_text(&text).expect("DSL parses back");
+    assert_eq!(parsed.to_text(), text, "schedule text must round-trip");
+
+    for protocol in Protocol::ALL {
+        let outcome = run_case(&topo, protocol, &parsed, seed);
+
+        // Heal discipline means every oracle — including the hardening
+        // oracle — must hold despite the adversarial channel.
+        assert!(
+            outcome.violations.is_empty(),
+            "{}: healed adversarial channel must leave no violations, got {:?}",
+            protocol.name(),
+            outcome.violations
+        );
+
+        // Not vacuous: the channel really impaired traffic, and every
+        // corrupted frame shows up in the decode-failure accounting.
+        for what in ["corrupt", "duplicate", "reorder"] {
+            assert!(
+                outcome.telemetry.contains(what),
+                "{}: no {what} impairment mark in telemetry",
+                protocol.name()
+            );
+        }
+        assert!(
+            outcome.telemetry.contains("decode_failed"),
+            "{}: corruption never tripped a decode failure",
+            protocol.name()
+        );
+
+        // Capture → replay: byte-identical trace and telemetry.
+        let artifact = Artifact::capture(&topo, protocol, &parsed, seed, &outcome);
+        let rerun = replay(&artifact).expect("replay resolves topology");
+        assert_eq!(
+            rerun.fingerprint,
+            artifact.fingerprint,
+            "{}: adversarial replay must reproduce the identical trace",
+            protocol.name()
+        );
+        assert_eq!(
+            rerun.telemetry_fingerprint,
+            artifact.telemetry,
+            "{}: adversarial replay must reproduce the identical telemetry",
+            protocol.name()
+        );
+    }
+}

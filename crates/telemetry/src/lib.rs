@@ -237,6 +237,23 @@ pub enum Event {
         /// Human-readable fault description, e.g. `crash r2`.
         desc: String,
     },
+    /// A received payload failed to decode and was dropped (adversarial
+    /// channel accounting; never opens a reconvergence window).
+    DecodeFailed {
+        /// Stable [`wire::DecodeError::kind`] label, e.g. `checksum`.
+        kind: &'static str,
+        /// Ingress interface the undecodable payload arrived on.
+        iface: u32,
+    },
+    /// The channel model impaired a packet copy in flight (corrupted,
+    /// duplicated, or delayed out of order). A per-packet mark, distinct
+    /// from [`Event::Fault`] so it never opens a reconvergence window.
+    ChannelImpaired {
+        /// What happened: `corrupt`, `duplicate`, or `reorder`.
+        what: &'static str,
+        /// The link the impairment occurred on.
+        link: u32,
+    },
 }
 
 impl Event {
@@ -286,6 +303,10 @@ impl Event {
             }
             Event::RouteChanged { dst } => format!("route-changed dst={dst}"),
             Event::Fault { desc } => format!("fault {desc}"),
+            Event::DecodeFailed { kind, iface } => {
+                format!("decode-failed kind={kind} iface={iface}")
+            }
+            Event::ChannelImpaired { what, link } => format!("channel {what} link={link}"),
         }
     }
 
@@ -309,6 +330,8 @@ impl Event {
             Event::SptSwitchStart { .. } => "spt_switch_start",
             Event::RouteChanged { .. } => "route_changed",
             Event::Fault { .. } => "fault",
+            Event::DecodeFailed { .. } => "decode_failed",
+            Event::ChannelImpaired { .. } => "channel_impaired",
         }
     }
 
@@ -391,6 +414,12 @@ impl Event {
                     }
                 }
                 s.push('"');
+            }
+            Event::DecodeFailed { kind, iface } => {
+                s.push_str(&format!(",\"kind\":\"{kind}\",\"iface\":{iface}"));
+            }
+            Event::ChannelImpaired { what, link } => {
+                s.push_str(&format!(",\"what\":\"{what}\",\"link\":{link}"));
             }
         }
         s.push('}');
@@ -738,11 +767,16 @@ impl Sink for MetricsAggregator {
                 self.open_fault = Some(at);
                 self.last_state_change = Some(at);
             }
+            // Channel impairments and decode-failure drops are per-packet
+            // noise, not protocol state changes: they must neither open
+            // reconvergence windows (only `Fault` does) nor extend one.
             Event::TimerArmed { .. }
             | Event::TimerFired { .. }
             | Event::TimerCancelled { .. }
             | Event::CtrlSend { .. }
-            | Event::CtrlRecv { .. } => {}
+            | Event::CtrlRecv { .. }
+            | Event::DecodeFailed { .. }
+            | Event::ChannelImpaired { .. } => {}
         }
     }
 }

@@ -7,7 +7,7 @@
 //! and tree liveness is maintained with child→parent [`Echo`] keepalives,
 //! whereas PIM relies purely on periodically refreshed soft state.
 
-use crate::{Addr, Error, Group, Reader, Result, Writer};
+use crate::{Addr, DecodeError, Group, Reader, Result, Writer};
 
 /// Join request, forwarded hop-by-hop toward the group's core. Each
 /// intermediate router records a transient join state until the ack comes
@@ -34,7 +34,7 @@ impl JoinRequest {
         let core = r.addr()?;
         let originator = r.addr()?;
         if core.is_multicast() || originator.is_multicast() {
-            return Err(Error::Malformed);
+            return Err(DecodeError::Malformed);
         }
         Ok(JoinRequest {
             group,
@@ -69,7 +69,7 @@ impl JoinAck {
         let core = r.addr()?;
         let originator = r.addr()?;
         if core.is_multicast() || originator.is_multicast() {
-            return Err(Error::Malformed);
+            return Err(DecodeError::Malformed);
         }
         Ok(JoinAck {
             group,
@@ -99,7 +99,7 @@ impl Echo {
     pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
         let n = r.u8()? as usize;
         if r.remaining() < n * 4 {
-            return Err(Error::Truncated);
+            return Err(DecodeError::BadLength);
         }
         let mut groups = Vec::with_capacity(n);
         for _ in 0..n {
@@ -130,7 +130,7 @@ impl EchoReply {
     pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
         let n = r.u8()? as usize;
         if r.remaining() < n * 4 {
-            return Err(Error::Truncated);
+            return Err(DecodeError::BadLength);
         }
         let mut groups = Vec::with_capacity(n);
         for _ in 0..n {
@@ -233,7 +233,10 @@ mod tests {
         w.addr(Addr::new(10, 2, 0, 1));
         let body = w.finish();
         let mut r = Reader::new(&body);
-        assert_eq!(JoinRequest::decode_body(&mut r), Err(Error::Malformed));
+        assert_eq!(
+            JoinRequest::decode_body(&mut r),
+            Err(DecodeError::Malformed)
+        );
     }
 
     #[test]
@@ -242,6 +245,6 @@ mod tests {
         w.u8(99);
         let body = w.finish();
         let mut r = Reader::new(&body);
-        assert_eq!(Echo::decode_body(&mut r), Err(Error::Truncated));
+        assert_eq!(Echo::decode_body(&mut r), Err(DecodeError::BadLength));
     }
 }

@@ -16,7 +16,7 @@
 //!   message (a lost graft would otherwise silence a new member until the
 //!   next flood).
 
-use crate::{Addr, Error, Group, Reader, Result, Writer};
+use crate::{Addr, DecodeError, Group, Reader, Result, Writer};
 
 /// Neighbor discovery / keepalive.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,7 +38,7 @@ impl Probe {
     pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
         let n = r.u8()? as usize;
         if r.remaining() < n * 4 {
-            return Err(Error::Truncated);
+            return Err(DecodeError::BadLength);
         }
         let mut neighbors = Vec::with_capacity(n);
         for _ in 0..n {
@@ -72,7 +72,7 @@ impl Prune {
     pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
         let source = r.addr()?;
         if source.is_multicast() {
-            return Err(Error::Malformed);
+            return Err(DecodeError::Malformed);
         }
         Ok(Prune {
             source,
@@ -100,7 +100,7 @@ impl Graft {
     pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
         let source = r.addr()?;
         if source.is_multicast() {
-            return Err(Error::Malformed);
+            return Err(DecodeError::Malformed);
         }
         Ok(Graft {
             source,
@@ -127,7 +127,7 @@ impl GraftAck {
     pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
         let source = r.addr()?;
         if source.is_multicast() {
-            return Err(Error::Malformed);
+            return Err(DecodeError::Malformed);
         }
         Ok(GraftAck {
             source,
@@ -187,7 +187,7 @@ mod tests {
         w.u32(1);
         let body = w.finish();
         let mut r = Reader::new(&body);
-        assert_eq!(Prune::decode_body(&mut r), Err(Error::Malformed));
+        assert_eq!(Prune::decode_body(&mut r), Err(DecodeError::Malformed));
     }
 
     #[test]
@@ -196,6 +196,6 @@ mod tests {
         w.u8(200); // declares 200 neighbors, provides none
         let body = w.finish();
         let mut r = Reader::new(&body);
-        assert_eq!(Probe::decode_body(&mut r), Err(Error::Truncated));
+        assert_eq!(Probe::decode_body(&mut r), Err(DecodeError::BadLength));
     }
 }

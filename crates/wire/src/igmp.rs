@@ -7,7 +7,7 @@
 //! directly-connected PIM-speaking routers of G, RP(s) mappings". That
 //! message is [`RpMapping`].
 
-use crate::{Addr, Error, Group, Reader, Result, Writer};
+use crate::{Addr, DecodeError, Group, Reader, Result, Writer};
 
 /// IGMP membership query, sent by the elected querier to `224.0.0.1`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,11 +74,14 @@ impl RpMapping {
     pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
         let group = r.group()?;
         let n = r.u8()? as usize;
+        if r.remaining() < n * 4 {
+            return Err(DecodeError::BadLength);
+        }
         let mut rps = Vec::with_capacity(n.min(64));
         for _ in 0..n {
             let rp = r.addr()?;
             if rp.is_multicast() || rp == Addr::UNSPECIFIED {
-                return Err(Error::Malformed);
+                return Err(DecodeError::Malformed);
             }
             rps.push(rp);
         }
@@ -131,7 +134,7 @@ mod tests {
         w.addr(Addr::new(224, 0, 0, 5)); // multicast RP address is invalid
         let body = w.finish();
         let mut r = Reader::new(&body);
-        assert_eq!(RpMapping::decode_body(&mut r), Err(Error::Malformed));
+        assert_eq!(RpMapping::decode_body(&mut r), Err(DecodeError::Malformed));
     }
 
     #[test]
@@ -140,6 +143,6 @@ mod tests {
         w.addr(Addr::new(10, 0, 0, 1));
         let body = w.finish();
         let mut r = Reader::new(&body);
-        assert_eq!(HostReport::decode_body(&mut r), Err(Error::Malformed));
+        assert_eq!(HostReport::decode_body(&mut r), Err(DecodeError::Malformed));
     }
 }

@@ -20,7 +20,7 @@
 //! well-formed packet is detected. The checksum covers the header only
 //! (like real IPv4); IGMP-family payloads carry their own checksum.
 
-use crate::{checksum, Addr, Error, Result};
+use crate::{checksum, Addr, DecodeError, Result};
 
 /// Protocol numbers carried in the header's `proto` field.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -44,7 +44,7 @@ impl Protocol {
         match b {
             2 => Ok(Protocol::Igmp),
             17 => Ok(Protocol::Data),
-            other => Err(Error::UnknownType(other)),
+            other => Err(DecodeError::UnknownType(other)),
         }
     }
 }
@@ -95,13 +95,13 @@ impl Header {
     /// total length matches the buffer.
     pub fn decap(buf: &[u8]) -> Result<(Header, &[u8])> {
         if buf.len() < HEADER_LEN {
-            return Err(Error::Truncated);
+            return Err(DecodeError::Truncated);
         }
         if buf[0] != VERSION {
-            return Err(Error::Version(buf[0]));
+            return Err(DecodeError::Version(buf[0]));
         }
         if !checksum::verify(&buf[..HEADER_LEN]) {
-            return Err(Error::Checksum);
+            return Err(DecodeError::Checksum);
         }
         let proto = Protocol::from_byte(buf[1])?;
         let ttl = buf[2];
@@ -109,7 +109,7 @@ impl Header {
         let dst = Addr::from_bytes([buf[8], buf[9], buf[10], buf[11]]);
         let total = u16::from_be_bytes([buf[12], buf[13]]) as usize;
         if total != buf.len() || total < HEADER_LEN {
-            return Err(Error::Malformed);
+            return Err(DecodeError::BadLength);
         }
         Ok((
             Header {
@@ -170,28 +170,31 @@ mod tests {
     #[test]
     fn truncated_rejected() {
         let pkt = sample().encap(b"x");
-        assert_eq!(Header::decap(&pkt[..HEADER_LEN - 1]), Err(Error::Truncated));
+        assert_eq!(
+            Header::decap(&pkt[..HEADER_LEN - 1]),
+            Err(DecodeError::Truncated)
+        );
     }
 
     #[test]
     fn length_mismatch_rejected() {
         let mut pkt = sample().encap(b"abc");
         pkt.push(0); // trailing garbage
-        assert_eq!(Header::decap(&pkt), Err(Error::Malformed));
+        assert_eq!(Header::decap(&pkt), Err(DecodeError::BadLength));
     }
 
     #[test]
     fn corrupted_header_rejected() {
         let mut pkt = sample().encap(b"abc");
         pkt[5] ^= 0xFF; // flip a source-address byte
-        assert_eq!(Header::decap(&pkt), Err(Error::Checksum));
+        assert_eq!(Header::decap(&pkt), Err(DecodeError::Checksum));
     }
 
     #[test]
     fn bad_version_rejected() {
         let mut pkt = sample().encap(&[]);
         pkt[0] = 9;
-        assert_eq!(Header::decap(&pkt), Err(Error::Version(9)));
+        assert_eq!(Header::decap(&pkt), Err(DecodeError::Version(9)));
     }
 
     #[test]
@@ -202,7 +205,7 @@ mod tests {
         pkt[14] = 0;
         pkt[15] = 0;
         crate::checksum::fill(&mut pkt[..HEADER_LEN], 14);
-        assert_eq!(Header::decap(&pkt), Err(Error::UnknownType(99)));
+        assert_eq!(Header::decap(&pkt), Err(DecodeError::UnknownType(99)));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!
 //! Everything here follows the smoltcp house rules for wire code: no
 //! `unsafe`, no panics on untrusted input (decoding returns
-//! `Result<_, `[`Error`]`>`), explicit network byte order, and an internet
+//! `Result<_, `[`DecodeError`]`>`), explicit network byte order, and an internet
 //! checksum over every message. Encode→decode round-trips are covered by
 //! unit tests and property tests.
 
@@ -136,12 +136,13 @@ impl fmt::Display for Group {
     }
 }
 
-/// Decoding errors. Encoding is infallible; decoding of untrusted bytes is
-/// not.
+/// Decode-failure taxonomy. Encoding is infallible; decoding of untrusted
+/// bytes is not, and every way it can fail is classified so receive paths
+/// can account for *why* a frame was dropped (the adversarial-channel
+/// experiments break drops down by kind).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Error {
-    /// The buffer is shorter than the fixed header or the lengths it
-    /// declares.
+pub enum DecodeError {
+    /// The buffer ended before a fixed-size field it must contain.
     Truncated,
     /// A checksum did not verify.
     Checksum,
@@ -149,27 +150,47 @@ pub enum Error {
     UnknownType(u8),
     /// A version field had an unsupported value.
     Version(u8),
+    /// A declared length or entry-count field disagrees with the actual
+    /// buffer: trailing bytes after a complete message, an IP total length
+    /// that is not the buffer length, or an entry count whose entries
+    /// cannot fit in the bytes that follow.
+    BadLength,
     /// A field held a value that is structurally invalid (e.g. a non-class-D
-    /// group address, an entry count that overflows the message).
+    /// group address where a group is required).
     Malformed,
 }
 
-impl fmt::Display for Error {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl DecodeError {
+    /// Stable lower-case label for telemetry and drop accounting.
+    pub fn kind(self) -> &'static str {
         match self {
-            Error::Truncated => write!(f, "buffer truncated"),
-            Error::Checksum => write!(f, "checksum mismatch"),
-            Error::UnknownType(t) => write!(f, "unknown message type {t:#04x}"),
-            Error::Version(v) => write!(f, "unsupported version {v}"),
-            Error::Malformed => write!(f, "structurally invalid field"),
+            DecodeError::Truncated => "truncated",
+            DecodeError::Checksum => "checksum",
+            DecodeError::UnknownType(_) => "unknown-type",
+            DecodeError::Version(_) => "version",
+            DecodeError::BadLength => "bad-length",
+            DecodeError::Malformed => "malformed",
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::Checksum => write!(f, "checksum mismatch"),
+            DecodeError::UnknownType(t) => write!(f, "unknown message type {t:#04x}"),
+            DecodeError::Version(v) => write!(f, "unsupported version {v}"),
+            DecodeError::BadLength => write!(f, "length field disagrees with buffer"),
+            DecodeError::Malformed => write!(f, "structurally invalid field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// Shorthand result type for decoding.
-pub type Result<T> = std::result::Result<T, Error>;
+pub type Result<T> = std::result::Result<T, DecodeError>;
 
 /// Cursor-style reader over untrusted bytes; every accessor bounds-checks.
 #[derive(Clone, Copy, Debug)]
@@ -189,7 +210,7 @@ impl<'a> Reader<'a> {
 
     pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
-            return Err(Error::Truncated);
+            return Err(DecodeError::Truncated);
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -215,7 +236,7 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn group(&mut self) -> Result<Group> {
-        Group::new(self.addr()?).ok_or(Error::Malformed)
+        Group::new(self.addr()?).ok_or(DecodeError::Malformed)
     }
 
     /// The rest of the buffer.
@@ -304,8 +325,8 @@ mod tests {
         let mut r = Reader::new(&[1, 2, 3]);
         assert_eq!(r.u8(), Ok(1));
         assert_eq!(r.u16(), Ok(0x0203));
-        assert_eq!(r.u8(), Err(Error::Truncated));
-        assert_eq!(r.u32(), Err(Error::Truncated));
+        assert_eq!(r.u8(), Err(DecodeError::Truncated));
+        assert_eq!(r.u32(), Err(DecodeError::Truncated));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! The checksum covers the whole message (with the checksum field zeroed),
 //! per RFC 1071.
 
-use crate::{cbt, checksum, dvmrp, igmp, pim, unicast, Error, Reader, Result, Writer};
+use crate::{cbt, checksum, dvmrp, igmp, pim, unicast, DecodeError, Reader, Result, Writer};
 
 /// Every message that can appear in an IGMP-family payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -127,10 +127,10 @@ impl Message {
     /// Parse a framed message, verifying its checksum.
     pub fn decode(buf: &[u8]) -> Result<Message> {
         if buf.len() < 4 {
-            return Err(Error::Truncated);
+            return Err(DecodeError::Truncated);
         }
         if !checksum::verify(buf) {
-            return Err(Error::Checksum);
+            return Err(DecodeError::Checksum);
         }
         let mut r = Reader::new(buf);
         let ty = r.u8()?;
@@ -157,12 +157,12 @@ impl Message {
             T_DV_UPDATE => Message::DvUpdate(unicast::DvUpdate::decode_body(&mut r)?),
             T_LSA => Message::Lsa(unicast::Lsa::decode_body(&mut r)?),
             T_HELLO => Message::Hello(unicast::Hello::decode_body(&mut r)?),
-            other => return Err(Error::UnknownType(other)),
+            other => return Err(DecodeError::UnknownType(other)),
         };
         // Registers deliberately consume the rest of the buffer (their
         // payload is the remainder); everything else must end exactly.
         if r.remaining() != 0 {
-            return Err(Error::Malformed);
+            return Err(DecodeError::BadLength);
         }
         Ok(msg)
     }
@@ -180,14 +180,14 @@ mod tests {
         });
         let mut buf = m.encode();
         buf[5] ^= 0x01;
-        assert_eq!(Message::decode(&buf), Err(Error::Checksum));
+        assert_eq!(Message::decode(&buf), Err(DecodeError::Checksum));
     }
 
     #[test]
     fn unknown_type_rejected() {
         let mut buf = vec![0x77, 0, 0, 0];
         checksum::fill(&mut buf, 2);
-        assert_eq!(Message::decode(&buf), Err(Error::UnknownType(0x77)));
+        assert_eq!(Message::decode(&buf), Err(DecodeError::UnknownType(0x77)));
     }
 
     #[test]
@@ -199,14 +199,14 @@ mod tests {
         buf[2] = 0;
         buf[3] = 0;
         checksum::fill(&mut buf, 2);
-        assert_eq!(Message::decode(&buf), Err(Error::Malformed));
+        assert_eq!(Message::decode(&buf), Err(DecodeError::BadLength));
     }
 
     #[test]
     fn tiny_buffers_rejected() {
-        assert_eq!(Message::decode(&[]), Err(Error::Truncated));
-        assert_eq!(Message::decode(&[0x11]), Err(Error::Truncated));
-        assert_eq!(Message::decode(&[0x11, 0, 0]), Err(Error::Truncated));
+        assert_eq!(Message::decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(Message::decode(&[0x11]), Err(DecodeError::Truncated));
+        assert_eq!(Message::decode(&[0x11, 0, 0]), Err(DecodeError::Truncated));
     }
 
     #[test]

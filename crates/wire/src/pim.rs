@@ -16,7 +16,7 @@
 //!   receivers can detect RP failure and move to an alternate RP (§3.2,
 //!   §3.9).
 
-use crate::{Addr, Error, Group, Reader, Result, Writer};
+use crate::{Addr, DecodeError, Group, Reader, Result, Writer};
 
 /// PIM hello / neighbor-discovery message ("PIM query packets to neighbor
 /// routers on the same LAN" — footnote 14). The sender with the highest
@@ -106,11 +106,11 @@ impl SourceEntry {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let addr = r.addr()?;
         if addr.is_multicast() {
-            return Err(Error::Malformed);
+            return Err(DecodeError::Malformed);
         }
         let flags = r.u8()?;
         if flags & !(Self::FLAG_WC | Self::FLAG_RP) != 0 {
-            return Err(Error::Malformed);
+            return Err(DecodeError::Malformed);
         }
         Ok(SourceEntry {
             addr,
@@ -171,7 +171,7 @@ impl GroupEntry {
         // Each entry is 5 bytes; reject counts that exceed the buffer before
         // allocating.
         if r.remaining() < (nj + np) * 5 {
-            return Err(Error::Truncated);
+            return Err(DecodeError::BadLength);
         }
         let mut joins = Vec::with_capacity(nj);
         for _ in 0..nj {
@@ -260,7 +260,7 @@ impl Register {
         let group = r.group()?;
         let source = r.addr()?;
         if source.is_multicast() || source == Addr::UNSPECIFIED {
-            return Err(Error::Malformed);
+            return Err(DecodeError::Malformed);
         }
         Ok(Register {
             group,
@@ -295,7 +295,7 @@ impl RpReachability {
         let group = r.group()?;
         let rp = r.addr()?;
         if rp.is_multicast() || rp == Addr::UNSPECIFIED {
-            return Err(Error::Malformed);
+            return Err(DecodeError::Malformed);
         }
         Ok(RpReachability {
             group,
@@ -391,7 +391,7 @@ mod tests {
         w.u16(0);
         let body = w.finish();
         let mut r = Reader::new(&body);
-        assert_eq!(JoinPrune::decode_body(&mut r), Err(Error::Truncated));
+        assert_eq!(JoinPrune::decode_body(&mut r), Err(DecodeError::BadLength));
     }
 
     #[test]
@@ -401,7 +401,7 @@ mod tests {
         w.u8(0x80);
         let body = w.finish();
         let mut r = Reader::new(&body);
-        assert_eq!(SourceEntry::decode(&mut r), Err(Error::Malformed));
+        assert_eq!(SourceEntry::decode(&mut r), Err(DecodeError::Malformed));
     }
 
     #[test]
@@ -411,7 +411,7 @@ mod tests {
         w.u8(0);
         let body = w.finish();
         let mut r = Reader::new(&body);
-        assert_eq!(SourceEntry::decode(&mut r), Err(Error::Malformed));
+        assert_eq!(SourceEntry::decode(&mut r), Err(DecodeError::Malformed));
     }
 
     #[test]

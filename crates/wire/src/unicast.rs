@@ -6,7 +6,7 @@
 //! engines — a RIP-like distance-vector protocol and an OSPF-like
 //! link-state protocol — whose wire messages are defined here.
 
-use crate::{Addr, Error, Reader, Result, Writer};
+use crate::{Addr, DecodeError, Reader, Result, Writer};
 
 /// Metric value representing "unreachable" (RIP's infinity, generalized).
 pub const INFINITY_METRIC: u32 = 0xFFFF_FFFF;
@@ -42,13 +42,13 @@ impl DvUpdate {
     pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
         let n = r.u16()? as usize;
         if r.remaining() < n * 8 {
-            return Err(Error::Truncated);
+            return Err(DecodeError::BadLength);
         }
         let mut routes = Vec::with_capacity(n);
         for _ in 0..n {
             let dst = r.addr()?;
             if dst.is_multicast() {
-                return Err(Error::Malformed);
+                return Err(DecodeError::Malformed);
             }
             routes.push(DvRoute {
                 dst,
@@ -116,18 +116,18 @@ impl Lsa {
     pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self> {
         let origin = r.addr()?;
         if origin.is_multicast() || origin == Addr::UNSPECIFIED {
-            return Err(Error::Malformed);
+            return Err(DecodeError::Malformed);
         }
         let seq = r.u32()?;
         let n = r.u16()? as usize;
         if r.remaining() < n * 8 {
-            return Err(Error::Truncated);
+            return Err(DecodeError::BadLength);
         }
         let mut links = Vec::with_capacity(n);
         for _ in 0..n {
             let neighbor = r.addr()?;
             if neighbor.is_multicast() {
-                return Err(Error::Malformed);
+                return Err(DecodeError::Malformed);
             }
             links.push(LsaLink {
                 neighbor,
@@ -199,7 +199,7 @@ mod tests {
         w.u32(1);
         let body = w.finish();
         let mut r = Reader::new(&body);
-        assert_eq!(DvUpdate::decode_body(&mut r), Err(Error::Malformed));
+        assert_eq!(DvUpdate::decode_body(&mut r), Err(DecodeError::Malformed));
     }
 
     #[test]
@@ -210,7 +210,7 @@ mod tests {
         w.u16(0);
         let body = w.finish();
         let mut r = Reader::new(&body);
-        assert_eq!(Lsa::decode_body(&mut r), Err(Error::Malformed));
+        assert_eq!(Lsa::decode_body(&mut r), Err(DecodeError::Malformed));
     }
 
     #[test]
@@ -219,6 +219,6 @@ mod tests {
         w.u16(500);
         let body = w.finish();
         let mut r = Reader::new(&body);
-        assert_eq!(DvUpdate::decode_body(&mut r), Err(Error::Truncated));
+        assert_eq!(DvUpdate::decode_body(&mut r), Err(DecodeError::BadLength));
     }
 }

@@ -1,0 +1,185 @@
+//! Table-driven truncation tests.
+//!
+//! Every strict prefix of every [`Message`] variant's encoding must come
+//! back as a [`DecodeError`] — never a panic, never a silently shortened
+//! message. The same holds for [`Header::decap`] over truncated frames.
+//! The exemplars deliberately populate every variable-length list so the
+//! count-prefixed sections are actually exercised by the prefix sweep.
+
+use wire::ip::{Header, Protocol};
+use wire::{cbt, dvmrp, igmp, pim, unicast, Addr, Group, Message};
+
+/// One exemplar per `Message` variant, all lists non-empty.
+fn exemplars() -> Vec<Message> {
+    let src = pim::SourceEntry {
+        addr: Addr::new(10, 0, 0, 9),
+        wildcard: false,
+        rp_bit: true,
+    };
+    vec![
+        Message::HostQuery(igmp::HostQuery { max_resp_time: 10 }),
+        Message::HostReport(igmp::HostReport {
+            group: Group::test(1),
+        }),
+        Message::RpMapping(igmp::RpMapping {
+            group: Group::test(1),
+            rps: vec![Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2)],
+        }),
+        Message::PimQuery(pim::Query { holdtime: 105 }),
+        Message::PimRegister(pim::Register {
+            group: Group::test(2),
+            source: Addr::new(10, 0, 0, 2),
+            payload: vec![1, 2, 3, 4, 5],
+        }),
+        Message::PimJoinPrune(pim::JoinPrune {
+            upstream_neighbor: Addr::new(10, 0, 0, 3),
+            holdtime: 210,
+            groups: vec![pim::GroupEntry {
+                group: Group::test(3),
+                joins: vec![src],
+                prunes: vec![pim::SourceEntry {
+                    addr: Addr::new(10, 0, 0, 8),
+                    wildcard: true,
+                    rp_bit: false,
+                }],
+            }],
+        }),
+        Message::PimRpReachability(pim::RpReachability {
+            group: Group::test(3),
+            rp: Addr::new(10, 0, 0, 4),
+            holdtime: 90,
+        }),
+        Message::DvmrpProbe(dvmrp::Probe {
+            neighbors: vec![Addr::new(10, 0, 1, 1), Addr::new(10, 0, 1, 2)],
+        }),
+        Message::DvmrpPrune(dvmrp::Prune {
+            source: Addr::new(10, 0, 0, 5),
+            group: Group::test(4),
+            lifetime: 100,
+        }),
+        Message::DvmrpGraft(dvmrp::Graft {
+            source: Addr::new(10, 0, 0, 5),
+            group: Group::test(4),
+        }),
+        Message::DvmrpGraftAck(dvmrp::GraftAck {
+            source: Addr::new(10, 0, 0, 5),
+            group: Group::test(4),
+        }),
+        Message::CbtJoinRequest(cbt::JoinRequest {
+            group: Group::test(5),
+            core: Addr::new(10, 0, 0, 6),
+            originator: Addr::new(10, 0, 0, 7),
+        }),
+        Message::CbtJoinAck(cbt::JoinAck {
+            group: Group::test(5),
+            core: Addr::new(10, 0, 0, 6),
+            originator: Addr::new(10, 0, 0, 7),
+        }),
+        Message::CbtEcho(cbt::Echo {
+            groups: vec![Group::test(6), Group::test(7)],
+        }),
+        Message::CbtEchoReply(cbt::EchoReply {
+            groups: vec![Group::test(6), Group::test(7)],
+        }),
+        Message::CbtQuit(cbt::Quit {
+            group: Group::test(7),
+        }),
+        Message::CbtFlushTree(cbt::FlushTree {
+            group: Group::test(7),
+        }),
+        Message::DvUpdate(unicast::DvUpdate {
+            routes: vec![
+                unicast::DvRoute {
+                    dst: Addr::new(10, 0, 2, 1),
+                    metric: 3,
+                },
+                unicast::DvRoute {
+                    dst: Addr::new(10, 0, 2, 2),
+                    metric: unicast::INFINITY_METRIC,
+                },
+            ],
+        }),
+        Message::Lsa(unicast::Lsa {
+            origin: Addr::new(10, 0, 3, 1),
+            seq: 7,
+            links: vec![
+                unicast::LsaLink {
+                    neighbor: Addr::new(10, 0, 3, 2),
+                    cost: 1,
+                },
+                unicast::LsaLink {
+                    neighbor: Addr::new(10, 0, 3, 3),
+                    cost: 4,
+                },
+            ],
+        }),
+        Message::Hello(unicast::Hello { holdtime: 30 }),
+    ]
+}
+
+#[test]
+fn exemplars_cover_every_variant() {
+    // Guard against the table rotting when a variant is added: each
+    // exemplar must carry a distinct type byte (first encoded octet).
+    let msgs = exemplars();
+    let mut types: Vec<u8> = msgs.iter().map(|m| m.encode()[0]).collect();
+    types.sort_unstable();
+    types.dedup();
+    assert_eq!(types.len(), msgs.len(), "duplicate variant in exemplars");
+    assert_eq!(msgs.len(), 20, "exemplars out of sync with Message enum");
+}
+
+#[test]
+fn every_strict_prefix_of_every_variant_errors() {
+    for m in exemplars() {
+        let buf = m.encode();
+        assert_eq!(Message::decode(&buf).unwrap(), m, "full decode of {m:?}");
+        for k in 0..buf.len() {
+            match Message::decode(&buf[..k]) {
+                Err(_) => {}
+                Ok(got) => panic!("{m:?}: {k}-byte prefix of {} decoded as {got:?}", buf.len()),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_strict_prefix_of_encapped_frame_fails_decap() {
+    for m in exemplars() {
+        let h = Header {
+            proto: Protocol::Igmp,
+            ttl: 32,
+            src: Addr::new(10, 9, 0, 1),
+            dst: Addr::new(10, 9, 0, 2),
+        };
+        let frame = h.encap(&m.encode());
+        let (h2, payload) = Header::decap(&frame).expect("full decap");
+        assert_eq!(h2, h);
+        assert_eq!(Message::decode(payload).unwrap(), m);
+        for k in 0..frame.len() {
+            match Header::decap(&frame[..k]) {
+                Err(_) => {}
+                Ok(_) => panic!("{m:?}: {k}-byte prefix of encapped frame decapped"),
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_errors_carry_stable_kinds() {
+    // The taxonomy the telemetry layer keys on: short prefixes are
+    // Truncated; once the checksum region is present, corrupt-sum
+    // prefixes report Checksum or a length error — all four-kind space,
+    // never UnknownType for a known type byte with a valid header.
+    let m = Message::CbtEcho(cbt::Echo {
+        groups: vec![Group::test(6)],
+    });
+    let buf = m.encode();
+    for k in 0..buf.len() {
+        let kind = Message::decode(&buf[..k]).unwrap_err().kind();
+        assert!(
+            matches!(kind, "truncated" | "checksum" | "bad-length" | "malformed"),
+            "prefix {k}: unexpected kind {kind}"
+        );
+    }
+}

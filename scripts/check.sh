@@ -23,4 +23,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
 echo "== bench smoke"
 ./scripts/bench.sh smoke
 
+echo "== fuzz smoke"
+./scripts/fuzz.sh smoke
+
 echo "tier-1: OK"

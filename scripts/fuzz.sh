@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Deterministic fuzz harness driver.
+#   ./scripts/fuzz.sh smoke   - tier-1 gate: 12k wire frames + 2k engine
+#                               frames per protocol, a few seconds
+#   ./scripts/fuzz.sh full    - CHAOS campaign scale (200k wire frames,
+#                               10k engine frames per protocol)
+# Extra args (e.g. --seed N) are passed through to the fuzz binary.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE="${1:-smoke}"
+shift 2>/dev/null || true
+
+cargo run --release --offline -q -p scenario --bin fuzz -- "$MODE" "$@"
