@@ -75,6 +75,7 @@ fn run_point(args: &cli::Args, proto: Proto, loss: f64, pim: PimConfig) -> (u64,
                 seed: par::mix(args.seed, 1, trial),
                 link_loss: loss,
                 pim,
+                threads: 1,
             },
         );
         TrialOut {

@@ -11,12 +11,19 @@
 //! 2. **End-to-end protocol run**: a full PIM source-tree simulation over
 //!    a random internet, the workload `scenario`/`ablation` execute
 //!    thousands of times.
+//! 3. **Node-count scaling sweep**: the same PIM workload over Waxman
+//!    internets of growing size (default 20/50/100/200 routers), the
+//!    wall-clock-vs-node-count table that tracks how the region-
+//!    partitioned event core scales with topology size. Each point also
+//!    reports how many regions the auto-partitioner produced at the
+//!    requested `--threads`.
 //!
 //! Run: `cargo run -p bench --release --bin simbench [--trials N]
-//! [--seed N] [--smoke] [--json PATH]` (`--trials` = LAN packets).
+//! [--seed N] [--smoke] [--threads N] [--nodes N,N,...] [--json PATH]`
+//! (`--trials` = LAN packets).
 
 use bench::{cli, perf, run_protocol_sim_opts, Proto, SimOptions, Workload};
-use graph::gen::{random_connected, RandomGraphParams};
+use graph::gen::{random_connected, waxman, RandomGraphParams, WaxmanParams};
 use graph::NodeId;
 use mctree::GroupSpec;
 use netsim::{Ctx, Duration, IfaceId, Node, NodeIdx, SimTime, World};
@@ -131,7 +138,7 @@ fn lan_fanout(seed: u64, packets: u64) -> (u64, u64, f64) {
 }
 
 /// One end-to-end PIM source-tree run; returns (deliveries, wall ms).
-fn protocol_run(seed: u64) -> (u64, f64) {
+fn protocol_run(seed: u64, threads: usize) -> (u64, f64) {
     let mut rng = StdRng::seed_from_u64(par::mix(seed, 2, 0));
     let g = random_connected(
         &RandomGraphParams {
@@ -158,10 +165,68 @@ fn protocol_run(seed: u64) -> (u64, f64) {
                 seed: par::mix(seed, 3, 0),
                 link_loss: 0.0,
                 pim: PimConfig::default(),
+                threads,
             },
         )
     });
     (r.deliveries, wall_ms)
+}
+
+/// One row of the node-count scaling sweep.
+struct SweepRow {
+    nodes: usize,
+    deliveries: u64,
+    events: u64,
+    regions: usize,
+    wall_ms: f64,
+}
+
+/// PIM source-tree runs over Waxman internets of growing size: the
+/// wall-clock-vs-node-count table. Membership scales with the network
+/// (one member per ~5 routers, 2 senders) so larger points do
+/// proportionally more protocol work, not just more idle topology.
+fn node_sweep(sizes: &[usize], seed: u64, threads: usize) -> Vec<SweepRow> {
+    sizes
+        .iter()
+        .map(|&nodes| {
+            let mut rng = StdRng::seed_from_u64(par::mix(seed, 4, nodes as u64));
+            let g = waxman(
+                &WaxmanParams {
+                    nodes,
+                    ..WaxmanParams::default()
+                },
+                &mut rng,
+            );
+            let spec = GroupSpec::random(nodes, (nodes / 5).max(4), 2, &mut rng);
+            let w = Workload {
+                group: Group::test(1),
+                members: spec.members.clone(),
+                senders: spec.senders.clone(),
+                rendezvous: NodeId(rng.gen_range(0..nodes as u32)),
+            };
+            let (r, wall_ms) = perf::time(|| {
+                run_protocol_sim_opts(
+                    &g,
+                    Proto::PimSpt,
+                    std::slice::from_ref(&w),
+                    &SimOptions {
+                        packets_per_sender: 30,
+                        seed: par::mix(seed, 5, nodes as u64),
+                        link_loss: 0.0,
+                        pim: PimConfig::default(),
+                        threads,
+                    },
+                )
+            });
+            SweepRow {
+                nodes,
+                deliveries: r.deliveries,
+                events: r.events_dispatched,
+                regions: r.regions,
+                wall_ms,
+            }
+        })
+        .collect()
 }
 
 fn main() {
@@ -176,19 +241,64 @@ fn main() {
         received as f64 / lan_ms
     );
     println!("lan_fanout   fingerprint {fingerprint:#018x}");
-    let (deliveries, proto_ms) = protocol_run(args.seed);
+    let (deliveries, proto_ms) = protocol_run(args.seed, args.threads);
     println!("protocol_run pim-spt 30 nodes, 2 senders x 40 pkts: {deliveries} deliveries in {proto_ms:.1} ms");
 
+    let sizes: Vec<usize> = args.nodes.clone().unwrap_or_else(|| {
+        if args.smoke {
+            vec![20, 50]
+        } else {
+            vec![20, 50, 100, 200]
+        }
+    });
+    let rows = node_sweep(&sizes, args.seed, args.threads);
+    println!(
+        "node_sweep   pim-spt on Waxman internets, {} threads:",
+        args.threads
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>9} {:>10}",
+        "nodes", "deliveries", "events", "regions", "wall ms"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>12} {:>12} {:>9} {:>10.1}",
+            r.nodes, r.deliveries, r.events, r.regions, r.wall_ms
+        );
+    }
+    // Greppable one-liner for the CI gate: the auto-partitioner must be
+    // live at the largest sweep point.
+    let last = rows.last().expect("non-empty sweep");
+    println!(
+        "auto_partition regions={} nodes={} threads={}",
+        last.regions, last.nodes, args.threads
+    );
+
     if let Some(path) = &args.json {
+        let mut sweep_json = String::new();
+        for (i, r) in rows.iter().enumerate() {
+            sweep_json.push_str(&format!(
+                "    {{\"nodes\": {}, \"deliveries\": {}, \"events\": {}, \
+                 \"regions\": {}, \"wall_ms\": {:.1}}}{}\n",
+                r.nodes,
+                r.deliveries,
+                r.events,
+                r.regions,
+                r.wall_ms,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
         let json = format!(
-            "{{\n  \"bench\": \"simbench\", \"seed\": {},\n  \
+            "{{\n  \"bench\": \"simbench\", \"seed\": {}, \"threads\": {},\n  \
              \"lan_fanout\": {{\"packets\": {packets}, \"receivers\": {RECEIVERS}, \
              \"payload_bytes\": {PAYLOAD}, \"deliveries\": {received}, \
              \"fingerprint\": \"{fingerprint:#018x}\", \"wall_ms\": {lan_ms:.1}, \
              \"deliveries_per_ms\": {:.0}}},\n  \
              \"protocol_run\": {{\"proto\": \"pim-spt\", \"nodes\": 30, \
-             \"deliveries\": {deliveries}, \"wall_ms\": {proto_ms:.1}}}\n}}\n",
+             \"deliveries\": {deliveries}, \"wall_ms\": {proto_ms:.1}}},\n  \
+             \"node_sweep\": [\n{sweep_json}  ]\n}}\n",
             args.seed,
+            args.threads,
             received as f64 / lan_ms,
         );
         perf::write_json(path, &json);

@@ -25,10 +25,11 @@
 use bench::{cli, stats};
 use netsim::{NodeIdx, SimTime};
 use scenario::{build_net, random_schedule, topologies, Protocol, Substrate};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use telemetry::{Fanout, FlightRecorder, JsonlSink, MetricsAggregator, Sink, FLIGHT_RECORDER_CAP};
+use telemetry::{
+    Fanout, FlightRecorder, JsonlSink, MetricsAggregator, SharedSink, FLIGHT_RECORDER_CAP,
+};
 use wire::Group;
 
 /// When the measured run stops (the explorer's quiescence checkpoint).
@@ -57,21 +58,21 @@ impl Mode {
         }
     }
 
-    fn sink(self) -> Option<Rc<RefCell<dyn Sink>>> {
+    fn sink(self) -> Option<SharedSink> {
         match self {
             Mode::Disabled => None,
-            Mode::Flight => Some(Rc::new(RefCell::new(FlightRecorder::new(
+            Mode::Flight => Some(Arc::new(Mutex::new(FlightRecorder::new(
                 FLIGHT_RECORDER_CAP,
             )))),
-            Mode::Jsonl => Some(Rc::new(RefCell::new(JsonlSink::new(Vec::<u8>::new())))),
+            Mode::Jsonl => Some(Arc::new(Mutex::new(JsonlSink::new(Vec::<u8>::new())))),
             Mode::Full => {
                 let mut fan = Fanout::new();
-                fan.push(Rc::new(RefCell::new(FlightRecorder::new(
+                fan.push(Arc::new(Mutex::new(FlightRecorder::new(
                     FLIGHT_RECORDER_CAP,
                 ))));
-                fan.push(Rc::new(RefCell::new(JsonlSink::new(Vec::<u8>::new()))));
-                fan.push(Rc::new(RefCell::new(MetricsAggregator::new())));
-                Some(Rc::new(RefCell::new(fan)))
+                fan.push(Arc::new(Mutex::new(JsonlSink::new(Vec::<u8>::new()))));
+                fan.push(Arc::new(Mutex::new(MetricsAggregator::new())));
+                Some(Arc::new(Mutex::new(fan)))
             }
         }
     }

@@ -118,6 +118,10 @@ pub struct SimResult {
     /// attributes `control_pkts` to PIM vs IGMP vs DVMRP vs CBT vs the
     /// unicast substrate, classified once at tx time.
     pub control_breakdown: [(CtrlProto, u64); 6],
+    /// Regions the world was partitioned into for the run (1 = the
+    /// sequential core; >1 only when [`SimOptions::threads`] > 1 and the
+    /// auto-partitioner found a cut).
+    pub regions: usize,
 }
 
 /// Simulation schedule shared by all protocols.
@@ -139,6 +143,9 @@ pub struct SimOptions {
     /// PIM configuration (both PIM modes; `spt_policy` is overridden by
     /// the chosen [`Proto`]).
     pub pim: PimConfig,
+    /// Worker threads for the region-partitioned world (1 = the classic
+    /// sequential core). Results are byte-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for SimOptions {
@@ -148,6 +155,7 @@ impl Default for SimOptions {
             seed: 1,
             link_loss: 0.0,
             pim: PimConfig::default(),
+            threads: 1,
         }
     }
 }
@@ -326,11 +334,13 @@ pub fn run_protocol_sim_opts(
     }
 
     let end = SEND_START + packets_per_sender * SEND_GAP + COOLDOWN;
+    world.parallelize(opts.threads);
     world.run_until(SimTime(end));
 
     // Collect metrics.
     let mut result = SimResult {
         state_entries: state_sample.get(),
+        regions: world.region_count(),
         ..SimResult::default()
     };
     // Link metrics cover router-router links only: the member host LANs
@@ -390,7 +400,8 @@ pub fn run_protocol_sim_opts(
 /// Minimal CLI parsing for the experiment binaries: `--seed N`,
 /// `--trials N`, `--quick` (divides trials by 10), `--smoke` (tiny
 /// bin-chosen trial count for the CI gate), `--threads N` (trial
-/// fan-out width; output is bit-identical for every value), and
+/// fan-out and world-partition width; output is bit-identical for every
+/// value), `--nodes N,N,...` (simbench: Waxman scaling sweep sizes), and
 /// `--json PATH` (machine-readable timing record).
 pub mod cli {
     /// Parsed common flags.
@@ -407,6 +418,9 @@ pub mod cli {
         /// Override for a bin-specific size knob (fig2b: groups per
         /// network).
         pub groups: Option<usize>,
+        /// Node-count sweep override (simbench: comma-separated router
+        /// counts for the Waxman scaling table).
+        pub nodes: Option<Vec<usize>>,
         /// `--smoke` was given (bins may also shrink non-trial knobs).
         pub smoke: bool,
     }
@@ -420,6 +434,7 @@ pub mod cli {
             threads: par::default_threads(),
             json: None,
             groups: None,
+            nodes: None,
             smoke: false,
         };
         let mut explicit_trials = false;
@@ -466,6 +481,22 @@ pub mod cli {
                     );
                     i += 2;
                 }
+                "--nodes" => {
+                    args.nodes = Some(
+                        argv.get(i + 1)
+                            .map(|s| {
+                                s.split(',')
+                                    .map(|p| {
+                                        p.trim().parse().unwrap_or_else(|_| {
+                                            panic!("--nodes needs comma-separated counts")
+                                        })
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_else(|| panic!("--nodes needs comma-separated counts")),
+                    );
+                    i += 2;
+                }
                 "--quick" => {
                     args.trials = (args.trials / 10).max(1);
                     i += 1;
@@ -476,7 +507,7 @@ pub mod cli {
                 }
                 other => panic!(
                     "unknown flag {other}; supported: --seed N --trials N --quick --smoke \
-                     --threads N --json PATH --groups N"
+                     --threads N --json PATH --groups N --nodes N,N,..."
                 ),
             }
         }

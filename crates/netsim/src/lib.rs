@@ -10,8 +10,10 @@
 //!   injection ([`World::add_p2p`], [`World::add_lan`]);
 //! * a [`Node`] trait implemented by protocol router/host adapters; nodes
 //!   receive packets and timer callbacks and emit packets through [`Ctx`];
-//! * deterministic execution: one seeded RNG, and ties in the event queue
-//!   break in insertion order;
+//! * deterministic execution: seeded per-node RNG streams and a
+//!   partition-independent canonical event order, so results are
+//!   byte-identical for any region assignment and thread count
+//!   ([`World::parallelize`], [`partition::auto_partition`]);
 //! * overhead [`Counters`] for the paper's efficiency metrics (control
 //!   packets, data packets, bytes per link; local member deliveries);
 //! * a [`build::Topology`] planner that instantiates a world from a
@@ -21,6 +23,7 @@
 
 pub mod build;
 pub mod counters;
+pub mod partition;
 pub mod time;
 pub mod trace;
 pub mod world;

@@ -1,25 +1,60 @@
-//! The discrete-event simulation world: nodes, links, the event queue, and
-//! the driver loop.
+//! The discrete-event simulation world: nodes, links, region-partitioned
+//! event heaps, and the conservative parallel driver loop.
 //!
 //! The simulator is deliberately simple (smoltcp-style "simplicity and
 //! robustness"): links have a fixed propagation delay and optional random
 //! loss, nodes are trait objects that react to packets and timers, and all
-//! randomness flows from a single seeded RNG so every run is reproducible.
-//! There is no bandwidth/queueing model — the paper's evaluation counts
-//! state, control messages, and data-packet processing, none of which
-//! depend on queueing.
+//! randomness flows from seeded per-node RNG streams so every run is
+//! reproducible. There is no bandwidth/queueing model — the paper's
+//! evaluation counts state, control messages, and data-packet processing,
+//! none of which depend on queueing.
+//!
+//! # Parallel core (DESIGN.md §9)
+//!
+//! Nodes are assigned to **regions** (one by default; see
+//! [`World::set_partition`] and [`World::parallelize`]). Each region owns
+//! its own event heap, event arena, RNG streams, `Counters` shard, and
+//! telemetry buffer, so regions can advance concurrently with no locks on
+//! the hot path. Regions advance in lock-step **windows** bounded by the
+//! conservative lookahead `L = min cross-region link delay`: no event a
+//! region processes before `T_min + L` can be affected by another region's
+//! work in the same window, because any cross-region packet created in the
+//! window is due at or after that bound. Cross-region deliveries travel
+//! through per-region outboxes drained at the window barrier.
+//!
+//! # Determinism contract
+//!
+//! Every event carries a partition-independent **canonical key**
+//! `(time, epoch, origin node, origin dispatch seq, emission index)`; each
+//! region's heap orders by that key, per-node RNG streams are a pure
+//! function of the world seed and the node index, and telemetry is
+//! buffered per region and merged in canonical-key order at each barrier.
+//! The result: receptions, merged counters, captures, and the telemetry
+//! byte stream are **identical for any partition and any `--threads`**,
+//! including the default single region.
 
 use crate::counters::{Counters, PacketClass};
 use crate::time::{Duration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
-use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// RNG stream id for per-node streams (see [`par::mix`]): node `i`'s
+/// stream is `mix(world_seed, NODE_RNG_STREAM, i)`, disjoint from the
+/// trial-level streams the bench drivers derive from the same seed.
+const NODE_RNG_STREAM: u64 = 0x6E6F_6465; // "node"
+
+/// Canonical-key epoch for start-of-world dispatches (`on_start`): they
+/// sort before any runtime event at the same tick.
+const EPOCH_START: u8 = 0;
+/// Canonical-key epoch for runtime node events (deliveries, timers,
+/// barrier dispatches). Epoch 1 is reserved for scripts, which live in a
+/// separate world-level queue and never enter a region heap.
+const EPOCH_EVENT: u8 = 2;
 
 /// Index of a node in the world.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -70,7 +105,7 @@ pub enum LinkKind {
 }
 
 /// Per-link adversarial impairments, applied independently per receiver
-/// copy at transmit time from the world's single seeded RNG — a real
+/// copy at transmit time from the sender's seeded RNG stream — a real
 /// wide-area fabric does not just drop packets, it also corrupts,
 /// duplicates, and reorders them (the regime where the paper's §2
 /// soft-state robustness claim must hold).
@@ -127,7 +162,11 @@ pub struct Link {
 
 /// A simulated node. Implementations wrap sans-IO protocol engines and
 /// translate their outputs into [`Ctx`] calls.
-pub trait Node {
+///
+/// `Send` is required because the partitioned world hands whole regions
+/// (which own their nodes) across scoped threads at window boundaries;
+/// a node is only ever touched by the one thread running its region.
+pub trait Node: Send {
     /// Called once when the simulation starts, before any packets flow.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
@@ -151,11 +190,35 @@ pub trait Node {
         self.on_start(ctx);
     }
 
+    /// The world attached a telemetry sink ([`World::set_telemetry`]):
+    /// adopt the per-node handle for protocol-level emissions. Default:
+    /// ignore (nodes that emit nothing need no handle).
+    fn set_telemetry(&mut self, _telem: telemetry::Telem) {}
+
     /// Downcast support for post-run inspection.
     fn as_any(&self) -> &dyn Any;
 
     /// Mutable downcast support for scenario scripting.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The partition-independent canonical key of a region event.
+///
+/// `origin` is the creating node's index + 1 (0 is reserved for the
+/// world itself, which never creates region events); `seq` is the
+/// creating dispatch's per-node sequence number; `emit` is the 1-based
+/// emission index within that dispatch (0 is reserved for the dispatch's
+/// own identity tag, used to key telemetry and captures). Because every
+/// component is derived from the creating node's own deterministic
+/// history — never from a global insertion counter — the total order of
+/// events is the same for every region assignment and thread count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+struct Tag {
+    time: SimTime,
+    epoch: u8,
+    origin: u32,
+    seq: u64,
+    emit: u32,
 }
 
 enum Event {
@@ -174,7 +237,6 @@ enum Event {
         node: NodeIdx,
         token: u64,
     },
-    Script(Box<dyn FnOnce(&mut World)>),
 }
 
 /// Handle to a scheduled timer, usable with [`Ctx::cancel_timer`].
@@ -182,48 +244,21 @@ enum Event {
 /// Generation-counted: event slots are recycled once an event fires or is
 /// cancelled, and the generation disambiguates a handle from any later
 /// tenant of the same slot, so cancelling an already-fired timer is a safe
-/// no-op rather than an ABA hazard.
+/// no-op rather than an ABA hazard. The slot index is region-local; a
+/// handle is only meaningful to the node that armed the timer (timers
+/// never cross regions).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TimerId {
     slot: usize,
     gen: u32,
 }
 
-/// One event-arena slot. The heap stores `(time, seq, slot, gen)`; a popped
+/// One event-arena slot. The heap stores `(tag, slot, gen)`; a popped
 /// entry whose generation no longer matches (or whose slot is empty) is a
 /// cancelled timer and is skipped without dispatch.
 struct EventSlot {
     gen: u32,
     ev: Option<Event>,
-}
-
-/// Everything the world owns *except* the nodes, so a node callback can
-/// borrow the node mutably alongside the rest of the world.
-struct Fabric {
-    now: SimTime,
-    links: Vec<Link>,
-    /// ifaces[node.0][iface.0] = link the interface attaches to.
-    ifaces: Vec<Vec<LinkId>>,
-    /// node_up[node.0]: false while the node is crashed. Down nodes get no
-    /// deliveries and no timer callbacks.
-    node_up: Vec<bool>,
-    queue: BinaryHeap<Reverse<(SimTime, u64, usize, u32)>>,
-    /// Event arena, indexed by the slot carried in the heap. Slots are
-    /// vacated (and recycled via `free`) as events fire or are cancelled,
-    /// so memory is bounded by *outstanding* events, not events ever
-    /// scheduled.
-    events: Vec<EventSlot>,
-    /// Vacated arena slots available for reuse.
-    free: Vec<usize>,
-    seq: u64,
-    rng: StdRng,
-    counters: Counters,
-    /// Packet capture: `Some((limit, ring))` when enabled.
-    capture: Option<(usize, Vec<CaptureRecord>)>,
-    /// Structured-event sink for the world's own events (timer arm /
-    /// fire / cancel, injected faults). `None` = telemetry disabled;
-    /// the only cost on the hot path is this branch.
-    telem: Option<Rc<RefCell<dyn telemetry::Sink>>>,
 }
 
 /// One captured transmission (see [`World::enable_capture`]).
@@ -239,20 +274,121 @@ pub struct CaptureRecord {
     pub summary: String,
 }
 
-impl Fabric {
-    /// Emit a structured telemetry event on behalf of `node`. The
-    /// closure runs only when a sink is attached, so the disabled path
-    /// never constructs (or allocates for) the event.
-    #[inline]
-    fn emit(&self, node: NodeIdx, f: impl FnOnce() -> telemetry::Event) {
-        if let Some(sink) = &self.telem {
-            let ev = f();
-            sink.borrow_mut()
-                .event(node.0 as u32, self.now.ticks(), &ev);
+/// A buffered telemetry entry: the emission plus the canonical key of the
+/// dispatch that produced it, so the barrier merge can restore the
+/// partition-independent order.
+struct BufEntry {
+    tag: Tag,
+    idx: u64,
+    node: u32,
+    at: u64,
+    ev: telemetry::Event,
+}
+
+/// Per-region telemetry buffer. Node adapters and the world's own
+/// emitters write here during a window (each buffer is only touched by
+/// the thread running its region — the mutex is uncontended); the main
+/// thread drains all buffers at every barrier, sorts by `(tag, idx)`,
+/// and streams into the user's sink. `idx` is monotone per buffer:
+/// same-tag entries always come from a single dispatch in a single
+/// region, so only their relative order matters.
+#[derive(Default)]
+struct RegionBuf {
+    tag: Tag,
+    next: u64,
+    entries: Vec<BufEntry>,
+}
+
+impl telemetry::Sink for RegionBuf {
+    fn event(&mut self, node: u32, at: u64, ev: &telemetry::Event) {
+        let idx = self.next;
+        self.next += 1;
+        self.entries.push(BufEntry {
+            tag: self.tag,
+            idx,
+            node,
+            at,
+            ev: ev.clone(),
+        });
+    }
+}
+
+/// A cross-region delivery waiting at the window barrier to be routed
+/// into its destination region's heap. The heap orders by canonical tag,
+/// so routing order is irrelevant to the result.
+struct Outgoing {
+    dst: u32,
+    tag: Tag,
+    node: NodeIdx,
+    iface: IfaceId,
+    packet: Arc<[u8]>,
+    link: LinkId,
+}
+
+/// State shared read-only across regions during a window: topology and
+/// node liveness. Mutated only at barriers (scripts, fault injection) on
+/// the main thread.
+struct Shared {
+    links: Vec<Link>,
+    /// ifaces[node.0][iface.0] = link the interface attaches to.
+    ifaces: Vec<Vec<LinkId>>,
+    /// node_up[node.0]: false while the node is crashed. Down nodes get no
+    /// deliveries and no timer callbacks.
+    node_up: Vec<bool>,
+    /// region_of[node.0] = owning region id.
+    region_of: Vec<u32>,
+    /// slot_of[node.0] = the node's slot inside its region.
+    slot_of: Vec<u32>,
+    /// Packet capture limit, `Some(limit)` when enabled.
+    capture_limit: Option<usize>,
+}
+
+/// One region of the partitioned world: its nodes, their RNG streams and
+/// dispatch counters, an event heap + arena, a `Counters` shard, capture
+/// shard, telemetry buffer, and the cross-region outbox.
+struct Region {
+    id: u32,
+    now: SimTime,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    rngs: Vec<StdRng>,
+    /// Per-slot dispatch counter: the `seq` component of canonical tags.
+    dispatch_seq: Vec<u64>,
+    heap: BinaryHeap<Reverse<(Tag, usize, u32)>>,
+    /// Event arena, indexed by the slot carried in the heap. Slots are
+    /// vacated (and recycled via `free`) as events fire or are cancelled,
+    /// so memory is bounded by *outstanding* events, not events ever
+    /// scheduled.
+    events: Vec<EventSlot>,
+    /// Vacated arena slots available for reuse.
+    free: Vec<usize>,
+    counters: Counters,
+    /// Capture shard: `(dispatch tag, per-region seq, record)`.
+    capture: Vec<(Tag, u64, CaptureRecord)>,
+    cap_seq: u64,
+    buf: Option<Arc<Mutex<RegionBuf>>>,
+    outbox: Vec<Outgoing>,
+}
+
+impl Region {
+    fn new(id: u32) -> Region {
+        Region {
+            id,
+            now: SimTime::ZERO,
+            nodes: Vec::new(),
+            rngs: Vec::new(),
+            dispatch_seq: Vec::new(),
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            free: Vec::new(),
+            counters: Counters::default(),
+            capture: Vec::new(),
+            cap_seq: 0,
+            buf: None,
+            outbox: Vec::new(),
         }
     }
 
-    fn push_event(&mut self, at: SimTime, ev: Event) -> TimerId {
+    fn push_event(&mut self, tag: Tag, ev: Event) -> TimerId {
         let slot = match self.free.pop() {
             Some(slot) => {
                 self.events[slot].ev = Some(ev);
@@ -267,42 +403,254 @@ impl Fabric {
             }
         };
         let gen = self.events[slot].gen;
-        self.seq += 1;
-        self.queue.push(Reverse((at, self.seq, slot, gen)));
+        self.heap.push(Reverse((tag, slot, gen)));
         TimerId { slot, gen }
     }
 
     /// Vacate a slot after its event fired or was cancelled: bump the
     /// generation (so outstanding handles and heap entries for this tenant
-    /// go stale) and recycle the index.
+    /// go stale) and recycle the index. The generation must strictly
+    /// increase across a recycle — if it ever wrapped, a 2^32-events-old
+    /// stale handle (or a future cross-region cancel) could ABA the
+    /// slot's new tenant.
     fn vacate(&mut self, slot: usize) -> Event {
         let s = &mut self.events[slot];
         let ev = s.ev.take().expect("vacating an empty event slot");
-        s.gen = s.gen.wrapping_add(1);
+        let old = s.gen;
+        s.gen = old.wrapping_add(1);
+        debug_assert!(
+            s.gen > old,
+            "event-slot generation wrapped: recycled slot would ABA stale handles"
+        );
         self.free.push(slot);
         ev
     }
 
-    /// Transmit `packet` out of `(node, iface)`: schedule deliveries to all
-    /// other attachments of the link after its propagation delay, applying
-    /// the link's loss probability independently per receiver.
-    fn transmit(&mut self, from: NodeIdx, iface: IfaceId, packet: Vec<u8>) {
-        let link_id = self.ifaces[from.0][iface.index()];
-        let link = &self.links[link_id.0];
+    /// Run one node callback under a fresh canonical dispatch tag,
+    /// through the take-call-put dance that lets the node borrow the
+    /// region mutably alongside itself.
+    fn dispatch(
+        &mut self,
+        shared: &Shared,
+        node: NodeIdx,
+        epoch: u8,
+        f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>),
+    ) {
+        let slot = shared.slot_of[node.0] as usize;
+        let seq = self.dispatch_seq[slot];
+        self.dispatch_seq[slot] = seq + 1;
+        let tag = Tag {
+            time: self.now,
+            epoch,
+            origin: node.0 as u32 + 1,
+            seq,
+            emit: 0,
+        };
+        if let Some(buf) = &self.buf {
+            buf.lock().expect("region buffer poisoned").tag = tag;
+        }
+        let mut node_box = self.nodes[slot].take().expect("node re-entrancy");
+        {
+            let mut ctx = Ctx {
+                region: self,
+                shared,
+                node,
+                slot,
+                tag,
+                emits: 0,
+            };
+            f(node_box.as_mut(), &mut ctx);
+        }
+        self.nodes[slot] = Some(node_box);
+    }
+
+    /// Process every event in this region due strictly before `bound`
+    /// (up to `budget` heap pops), advancing the region clock event by
+    /// event. Newly created same-region events inside the window are
+    /// picked up in the same pass; cross-region events land in the
+    /// outbox (the lookahead guarantees they are due at or after
+    /// `bound`, so routing them at the barrier is conservative-safe).
+    fn run_window(&mut self, shared: &Shared, bound: SimTime, budget: usize) -> usize {
+        let mut n = 0;
+        while n < budget {
+            let due = match self.heap.peek() {
+                Some(Reverse((tag, _, _))) => tag.time,
+                None => break,
+            };
+            if due >= bound {
+                break;
+            }
+            let Some(Reverse((tag, slot, gen))) = self.heap.pop() else {
+                break;
+            };
+            debug_assert!(tag.time >= self.now, "region time went backwards");
+            self.now = tag.time;
+            n += 1;
+            // A generation mismatch or empty slot means the event was
+            // cancelled (or the slot recycled after cancellation): skip
+            // without dispatch.
+            if self.events[slot].gen != gen || self.events[slot].ev.is_none() {
+                self.counters.record_timer_skipped();
+                continue;
+            }
+            let ev = self.vacate(slot);
+            self.counters.record_dispatch();
+            match ev {
+                Event::Deliver {
+                    node,
+                    iface,
+                    packet,
+                    link,
+                } => {
+                    // In-flight packets to a node that crashed after
+                    // transmit are discarded at its dead NIC.
+                    if !shared.node_up[node.0] {
+                        self.counters.record_pkt_dropped_node_down();
+                        continue;
+                    }
+                    let class = PacketClass::classify(&packet);
+                    self.counters.record_rx(link, class, packet.len());
+                    self.dispatch(shared, node, EPOCH_EVENT, |nb, ctx| {
+                        nb.on_packet(ctx, iface, &packet)
+                    });
+                }
+                Event::Timer { node, token } => {
+                    // Belt-and-braces: crash_node cancels the node's
+                    // timers eagerly, but a script could still arm one
+                    // against a down node via call_node.
+                    if !shared.node_up[node.0] {
+                        self.counters.record_timer_cancelled_node_down();
+                        continue;
+                    }
+                    self.counters.record_timer_fired();
+                    self.dispatch(shared, node, EPOCH_EVENT, |nb, ctx| {
+                        ctx.emit(node, || telemetry::Event::TimerFired { token });
+                        nb.on_timer(ctx, token);
+                    });
+                }
+            }
+        }
+        n
+    }
+}
+
+/// The per-callback view of the world handed to [`Node`] implementations.
+pub struct Ctx<'a> {
+    region: &'a mut Region,
+    shared: &'a Shared,
+    node: NodeIdx,
+    slot: usize,
+    /// The dispatch's canonical identity tag (`emit == 0`).
+    tag: Tag,
+    /// Emission counter: 1-based `emit` component for created events.
+    emits: u32,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.region.now
+    }
+
+    /// The index of the node being called.
+    pub fn me(&self) -> NodeIdx {
+        self.node
+    }
+
+    /// Number of interfaces this node has.
+    pub fn iface_count(&self) -> usize {
+        self.shared.ifaces[self.node.0].len()
+    }
+
+    /// Emit a structured telemetry event on behalf of `node` into the
+    /// region buffer. The closure runs only when a sink is attached, so
+    /// the disabled path never constructs (or allocates for) the event.
+    #[inline]
+    fn emit(&mut self, node: NodeIdx, f: impl FnOnce() -> telemetry::Event) {
+        if let Some(buf) = &self.region.buf {
+            let ev = f();
+            use telemetry::Sink as _;
+            buf.lock().expect("region buffer poisoned").event(
+                node.0 as u32,
+                self.region.now.ticks(),
+                &ev,
+            );
+        }
+    }
+
+    /// The canonical tag for the next event this dispatch creates.
+    fn next_tag(&mut self, time: SimTime) -> Tag {
+        self.emits += 1;
+        Tag {
+            time,
+            epoch: EPOCH_EVENT,
+            origin: self.tag.origin,
+            seq: self.tag.seq,
+            emit: self.emits,
+        }
+    }
+
+    /// Schedule a delivery, locally or via the cross-region outbox.
+    fn schedule_deliver(
+        &mut self,
+        due: SimTime,
+        node: NodeIdx,
+        iface: IfaceId,
+        packet: Arc<[u8]>,
+        link: LinkId,
+    ) {
+        let tag = self.next_tag(due);
+        let dst = self.shared.region_of[node.0];
+        if dst == self.region.id {
+            let _ = self.region.push_event(
+                tag,
+                Event::Deliver {
+                    node,
+                    iface,
+                    packet,
+                    link,
+                },
+            );
+        } else {
+            self.region.outbox.push(Outgoing {
+                dst,
+                tag,
+                node,
+                iface,
+                packet,
+                link,
+            });
+        }
+    }
+
+    /// Transmit `packet` out of `(node, iface)`: schedule deliveries to
+    /// all other attachments of the link after its propagation delay,
+    /// applying the link's loss probability independently per receiver.
+    /// All rolls come from the *sender's* RNG stream, during the
+    /// sender's own dispatch — which is what keeps impairments a pure
+    /// function of the seed regardless of how receivers are partitioned.
+    fn transmit(&mut self, iface: IfaceId, packet: Vec<u8>) {
+        let from = self.node;
+        let link_id = self.shared.ifaces[from.0][iface.index()];
+        let link = &self.shared.links[link_id.0];
         if !link.up {
             return;
         }
         let (class, proto) = PacketClass::classify_full(&packet);
-        self.counters
-            .record_tx(link_id, class, proto, packet.len(), self.now);
-        if let Some((limit, ring)) = &mut self.capture {
-            if ring.len() < *limit {
-                ring.push(CaptureRecord {
-                    at: self.now,
+        self.region
+            .counters
+            .record_tx(link_id, class, proto, packet.len(), self.region.now);
+        if let Some(limit) = self.shared.capture_limit {
+            if self.region.capture.len() < limit {
+                let rec = CaptureRecord {
+                    at: self.region.now,
                     link: link_id,
                     from,
                     summary: crate::trace::describe_packet(&packet),
-                });
+                };
+                let cs = self.region.cap_seq;
+                self.region.cap_seq += 1;
+                self.region.capture.push((self.tag, cs, rec));
             }
         }
         let delay = link.delay;
@@ -314,17 +662,17 @@ impl Fabric {
             .collect();
         let loss = link.loss;
         let chan = link.channel;
-        let at = self.now + delay;
+        let at = self.region.now + delay;
         // One shared buffer for the whole fan-out; each delivery below is
         // a refcount bump, not a copy of the packet bytes.
         let packet: Arc<[u8]> = packet.into();
         for (n, i) in dests {
-            if !self.node_up[n.0] {
-                self.counters.record_pkt_dropped_node_down();
+            if !self.shared.node_up[n.0] {
+                self.region.counters.record_pkt_dropped_node_down();
                 continue;
             }
-            if loss > 0.0 && self.rng.gen::<f64>() < loss {
-                self.counters.record_loss(link_id);
+            if loss > 0.0 && self.region.rngs[self.slot].gen::<f64>() < loss {
+                self.region.counters.record_loss(link_id);
                 continue;
             }
             // Adversarial channel: per-receiver rolls in a fixed order
@@ -332,9 +680,10 @@ impl Fabric {
             // a pure function of the seed. Each roll happens only when its
             // probability is nonzero — a clean channel consumes no
             // randomness and pre-existing traces stay byte-identical.
-            let copies = if chan.duplicate_pm > 0 && self.rng.gen_range(0..1000) < chan.duplicate_pm
+            let copies = if chan.duplicate_pm > 0
+                && self.region.rngs[self.slot].gen_range(0..1000) < chan.duplicate_pm
             {
-                self.counters.record_duplicated(link_id);
+                self.region.counters.record_duplicated(link_id);
                 self.emit(n, || telemetry::Event::ChannelImpaired {
                     what: "duplicate",
                     link: link_id.0 as u32,
@@ -346,66 +695,39 @@ impl Fabric {
             for _ in 0..copies {
                 let mut copy = packet.clone();
                 let mut due = at;
-                if chan.corrupt_pm > 0 && self.rng.gen_range(0..1000) < chan.corrupt_pm {
+                if chan.corrupt_pm > 0
+                    && self.region.rngs[self.slot].gen_range(0..1000) < chan.corrupt_pm
+                {
                     // Flip one random bit of one random byte. The shared
                     // Arc must never be mutated (other receivers see the
                     // same buffer), so the corrupted copy gets its own
                     // private allocation.
                     let mut bytes = copy.to_vec();
                     if !bytes.is_empty() {
-                        let idx = self.rng.gen_range(0..bytes.len());
-                        let bit = 1u8 << self.rng.gen_range(0..8u32);
+                        let idx = self.region.rngs[self.slot].gen_range(0..bytes.len());
+                        let bit = 1u8 << self.region.rngs[self.slot].gen_range(0..8u32);
                         bytes[idx] ^= bit;
                     }
                     copy = bytes.into();
-                    self.counters.record_corrupted(link_id);
+                    self.region.counters.record_corrupted(link_id);
                     self.emit(n, || telemetry::Event::ChannelImpaired {
                         what: "corrupt",
                         link: link_id.0 as u32,
                     });
                 }
-                if chan.reorder_pm > 0 && self.rng.gen_range(0..1000) < chan.reorder_pm {
-                    due += Duration(self.rng.gen_range(1..=chan.jitter.max(1)));
-                    self.counters.record_reordered(link_id);
+                if chan.reorder_pm > 0
+                    && self.region.rngs[self.slot].gen_range(0..1000) < chan.reorder_pm
+                {
+                    due += Duration(self.region.rngs[self.slot].gen_range(1..=chan.jitter.max(1)));
+                    self.region.counters.record_reordered(link_id);
                     self.emit(n, || telemetry::Event::ChannelImpaired {
                         what: "reorder",
                         link: link_id.0 as u32,
                     });
                 }
-                self.push_event(
-                    due,
-                    Event::Deliver {
-                        node: n,
-                        iface: i,
-                        packet: copy,
-                        link: link_id,
-                    },
-                );
+                self.schedule_deliver(due, n, i, copy, link_id);
             }
         }
-    }
-}
-
-/// The per-callback view of the world handed to [`Node`] implementations.
-pub struct Ctx<'a> {
-    fabric: &'a mut Fabric,
-    node: NodeIdx,
-}
-
-impl<'a> Ctx<'a> {
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.fabric.now
-    }
-
-    /// The index of the node being called.
-    pub fn me(&self) -> NodeIdx {
-        self.node
-    }
-
-    /// Number of interfaces this node has.
-    pub fn iface_count(&self) -> usize {
-        self.fabric.ifaces[self.node.0].len()
     }
 
     /// Transmit a serialized packet out of `iface`.
@@ -414,31 +736,27 @@ impl<'a> Ctx<'a> {
             iface.index() < self.iface_count(),
             "send on nonexistent interface {iface:?}"
         );
-        self.fabric.transmit(self.node, iface, packet);
+        self.transmit(iface, packet);
     }
 
     /// Arrange for [`Node::on_timer`] to be called with `token` after `d`.
     pub fn set_timer(&mut self, d: Duration, token: u64) -> TimerId {
-        self.set_timer_at(self.fabric.now + d, token)
+        self.set_timer_at(self.region.now + d, token)
     }
 
     /// Arrange for [`Node::on_timer`] to be called with `token` at absolute
     /// time `at` (clamped to now: a past deadline fires this instant, after
     /// the current event). Returns a handle for [`Ctx::cancel_timer`].
     pub fn set_timer_at(&mut self, at: SimTime, token: u64) -> TimerId {
-        let at = at.max(self.fabric.now);
-        self.fabric
-            .emit(self.node, || telemetry::Event::TimerArmed {
-                token,
-                deadline: at.ticks(),
-            });
-        self.fabric.push_event(
-            at,
-            Event::Timer {
-                node: self.node,
-                token,
-            },
-        )
+        let at = at.max(self.region.now);
+        let me = self.node;
+        self.emit(me, || telemetry::Event::TimerArmed {
+            token,
+            deadline: at.ticks(),
+        });
+        let tag = self.next_tag(at);
+        self.region
+            .push_event(tag, Event::Timer { node: me, token })
     }
 
     /// Cancel a pending timer. Returns `true` if the timer was still
@@ -447,7 +765,7 @@ impl<'a> Ctx<'a> {
     /// heap entry stays behind and is skipped — and counted as stale — when
     /// popped.
     pub fn cancel_timer(&mut self, id: TimerId) -> bool {
-        let Some(s) = self.fabric.events.get(id.slot) else {
+        let Some(s) = self.region.events.get(id.slot) else {
             return false;
         };
         if s.gen != id.gen {
@@ -455,9 +773,9 @@ impl<'a> Ctx<'a> {
         }
         match s.ev {
             Some(Event::Timer { node, token }) if node == self.node => {
-                self.fabric.vacate(id.slot);
-                self.fabric
-                    .emit(self.node, || telemetry::Event::TimerCancelled { token });
+                self.region.vacate(id.slot);
+                let me = self.node;
+                self.emit(me, || telemetry::Event::TimerCancelled { token });
                 true
             }
             _ => false,
@@ -465,40 +783,89 @@ impl<'a> Ctx<'a> {
     }
 
     /// Seeded randomness for protocol jitter (e.g. IGMP report delays).
+    /// Each node draws from its own stream — a pure function of the world
+    /// seed and the node index — so one node's draws can never perturb
+    /// another's, whatever the partition.
     pub fn rng(&mut self) -> &mut impl Rng {
-        &mut self.fabric.rng
+        &mut self.region.rngs[self.slot]
     }
 
     /// Is the link behind `iface` currently up?
     pub fn iface_up(&self, iface: IfaceId) -> bool {
-        let link = self.fabric.ifaces[self.node.0][iface.index()];
-        self.fabric.links[link.0].up
+        let link = self.shared.ifaces[self.node.0][iface.index()];
+        self.shared.links[link.0].up
     }
 
     /// Record that a data packet was delivered to a locally attached group
     /// member (for the experiment counters).
     pub fn count_local_delivery(&mut self) {
-        self.fabric.counters.record_local_delivery(self.node);
+        self.region.counters.record_local_delivery(self.node);
     }
 
     /// Record that a received payload failed to decode and was dropped
     /// (see [`crate::Counters::total_decode_failures`]), emitting one
     /// telemetry [`telemetry::Event::DecodeFailed`] mark.
     pub fn count_decode_failure(&mut self, iface: IfaceId, kind: &'static str) {
-        self.fabric.counters.record_decode_failure(self.node);
-        self.fabric
-            .emit(self.node, || telemetry::Event::DecodeFailed {
-                kind,
-                iface: iface.0,
-            });
+        self.region.counters.record_decode_failure(self.node);
+        let me = self.node;
+        self.emit(me, || telemetry::Event::DecodeFailed {
+            kind,
+            iface: iface.0,
+        });
+    }
+}
+
+/// A scheduled script, ordered by `(at, seq)` — scripts live in a
+/// world-level queue on the main thread (their closures mutate the whole
+/// world, so they are natural barriers) and all scripts at tick `t` run
+/// before any node event at tick `t`.
+struct ScriptEntry {
+    at: SimTime,
+    seq: u64,
+    f: Box<dyn FnOnce(&mut World)>,
+}
+
+impl PartialEq for ScriptEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for ScriptEntry {}
+
+impl PartialOrd for ScriptEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScriptEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
 /// The simulation world.
 pub struct World {
-    nodes: Vec<Option<Box<dyn Node>>>,
-    fabric: Fabric,
+    regions: Vec<Region>,
+    shared: Shared,
+    scripts: BinaryHeap<ScriptEntry>,
+    script_seq: u64,
+    /// Counter shard for world-level dispatches (scripts).
+    world_counters: Counters,
+    telem: Option<telemetry::SharedSink>,
+    seed: u64,
+    threads: usize,
+    /// Conservative lookahead: `Some(min cross-region link delay)` when
+    /// more than one region and at least one cross link; `None` means
+    /// windows are unbounded (single region, or no cross traffic).
+    lookahead: Option<Duration>,
     started: bool,
+    now: SimTime,
 }
 
 impl Default for World {
@@ -508,52 +875,158 @@ impl Default for World {
 }
 
 impl World {
-    /// Create an empty world whose RNG is seeded with `seed`.
+    /// Create an empty world whose RNG streams derive from `seed`.
     pub fn new(seed: u64) -> World {
         World {
-            nodes: Vec::new(),
-            fabric: Fabric {
-                now: SimTime::ZERO,
+            regions: vec![Region::new(0)],
+            shared: Shared {
                 links: Vec::new(),
                 ifaces: Vec::new(),
-                queue: BinaryHeap::new(),
                 node_up: Vec::new(),
-                events: Vec::new(),
-                free: Vec::new(),
-                seq: 0,
-                rng: StdRng::seed_from_u64(seed),
-                counters: Counters::default(),
-                capture: None,
-                telem: None,
+                region_of: Vec::new(),
+                slot_of: Vec::new(),
+                capture_limit: None,
             },
+            scripts: BinaryHeap::new(),
+            script_seq: 0,
+            world_counters: Counters::default(),
+            telem: None,
+            seed,
+            threads: 1,
+            lookahead: None,
             started: false,
+            now: SimTime::ZERO,
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.fabric.now
+        self.now
     }
 
-    /// Add a node; returns its index.
+    /// Add a node; returns its index. New nodes land in region 0 until
+    /// [`World::set_partition`]/[`World::parallelize`] reassigns them.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeIdx {
         assert!(!self.started, "cannot add nodes after start");
-        self.nodes.push(Some(node));
-        self.fabric.ifaces.push(Vec::new());
-        self.fabric.node_up.push(true);
-        NodeIdx(self.nodes.len() - 1)
+        let idx = self.shared.region_of.len();
+        let r = &mut self.regions[0];
+        self.shared.region_of.push(0);
+        self.shared.slot_of.push(r.nodes.len() as u32);
+        r.nodes.push(Some(node));
+        r.rngs.push(StdRng::seed_from_u64(par::mix(
+            self.seed,
+            NODE_RNG_STREAM,
+            idx as u64,
+        )));
+        r.dispatch_seq.push(0);
+        self.shared.ifaces.push(Vec::new());
+        self.shared.node_up.push(true);
+        NodeIdx(idx)
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.shared.region_of.len()
+    }
+
+    /// Number of regions in the current partition.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The conservative lookahead: minimum delay over links whose
+    /// attachments span more than one region (`None` when single-region
+    /// or no link crosses a region boundary).
+    pub fn cross_region_lookahead(&self) -> Option<Duration> {
+        if self.regions.len() <= 1 {
+            return None;
+        }
+        self.shared
+            .links
+            .iter()
+            .filter(|l| {
+                let mut rs = l
+                    .attachments
+                    .iter()
+                    .map(|(n, _)| self.shared.region_of[n.0]);
+                let first = rs.next();
+                rs.any(|r| Some(r) != first)
+            })
+            .map(|l| l.delay)
+            .min()
+    }
+
+    /// Assign every node to a region (`assign[node] = region id`).
+    /// Region ids are renumbered densely by first appearance. Must be
+    /// called before [`World::start`]; the default is one region.
+    ///
+    /// Correctness does not depend on the assignment — any partition
+    /// yields byte-identical results — but *liveness* of the parallel
+    /// windows requires every cross-region link to have delay ≥ 1 tick
+    /// (asserted at start).
+    pub fn set_partition(&mut self, assign: &[u32]) {
+        assert!(!self.started, "cannot repartition after start");
+        assert_eq!(
+            assign.len(),
+            self.node_count(),
+            "one region id per node required"
+        );
+        // Densify region ids by first appearance.
+        let mut lut: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut next = 0u32;
+        let dense: Vec<u32> = assign
+            .iter()
+            .map(|&a| {
+                *lut.entry(a).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+            })
+            .collect();
+        // Pull every node (and its RNG stream) out in global index order.
+        let mut moved: Vec<(Box<dyn Node>, StdRng)> = Vec::with_capacity(assign.len());
+        for i in 0..assign.len() {
+            let r = &mut self.regions[self.shared.region_of[i] as usize];
+            let slot = self.shared.slot_of[i] as usize;
+            let node = r.nodes[slot].take().expect("node is not mid-callback");
+            let rng = r.rngs[slot].clone();
+            moved.push((node, rng));
+        }
+        // Rebuild the regions.
+        self.regions = (0..next.max(1)).map(Region::new).collect();
+        self.shared.region_of = dense.clone();
+        for (i, (node, rng)) in moved.into_iter().enumerate() {
+            let r = &mut self.regions[dense[i] as usize];
+            self.shared.slot_of[i] = r.nodes.len() as u32;
+            r.nodes.push(Some(node));
+            r.rngs.push(rng);
+            r.dispatch_seq.push(0);
+        }
+        self.lookahead = self.cross_region_lookahead();
+    }
+
+    /// Opt into parallel execution with `threads` workers: runs the
+    /// delay-aware auto-partitioner ([`crate::partition::auto_partition`])
+    /// targeting one region per thread. `threads == 1` keeps the default
+    /// single region (and runs inline with no thread machinery). Results
+    /// are byte-identical for every thread count.
+    pub fn parallelize(&mut self, threads: usize) {
+        assert!(!self.started, "cannot repartition after start");
+        let threads = threads.max(1);
+        self.threads = threads;
+        if threads > 1 && self.node_count() > 1 {
+            let assign =
+                crate::partition::auto_partition(self.node_count(), &self.shared.links, threads);
+            self.set_partition(&assign);
+        }
     }
 
     fn attach(&mut self, node: NodeIdx, link: LinkId) -> IfaceId {
-        let ifaces = &mut self.fabric.ifaces[node.0];
+        let ifaces = &mut self.shared.ifaces[node.0];
         ifaces.push(link);
         let iface = IfaceId(ifaces.len() as u32 - 1);
-        self.fabric.links[link.0].attachments.push((node, iface));
+        self.shared.links[link.0].attachments.push((node, iface));
         iface
     }
 
@@ -565,8 +1038,8 @@ impl World {
         delay: Duration,
     ) -> (LinkId, IfaceId, IfaceId) {
         assert_ne!(a, b, "p2p link endpoints must differ");
-        let id = LinkId(self.fabric.links.len());
-        self.fabric.links.push(Link {
+        let id = LinkId(self.shared.links.len());
+        self.shared.links.push(Link {
             kind: LinkKind::PointToPoint,
             delay,
             up: true,
@@ -583,8 +1056,8 @@ impl World {
     /// node's new interface, in order.
     pub fn add_lan(&mut self, nodes: &[NodeIdx], delay: Duration) -> (LinkId, Vec<IfaceId>) {
         assert!(nodes.len() >= 2, "a LAN needs at least two attachments");
-        let id = LinkId(self.fabric.links.len());
-        self.fabric.links.push(Link {
+        let id = LinkId(self.shared.links.len());
+        self.shared.links.push(Link {
             kind: LinkKind::Lan,
             delay,
             up: true,
@@ -603,15 +1076,16 @@ impl World {
     /// fires against the corpse, and packets addressed to it are discarded
     /// until [`World::restart_node`]. No-op if the node is already down.
     pub fn crash_node(&mut self, idx: NodeIdx) {
-        if !self.fabric.node_up[idx.0] {
+        if !self.shared.node_up[idx.0] {
             return;
         }
-        self.fabric.node_up[idx.0] = false;
-        // Eagerly vacate every armed timer owned by the node. The heap
-        // entries stay behind and are skipped as stale when popped; what
-        // matters is that no Timer event can reach a dead node.
-        let doomed: Vec<usize> = self
-            .fabric
+        self.shared.node_up[idx.0] = false;
+        // Eagerly vacate every armed timer owned by the node (timers
+        // always live in the node's own region). The heap entries stay
+        // behind and are skipped as stale when popped; what matters is
+        // that no Timer event can reach a dead node.
+        let r = &mut self.regions[self.shared.region_of[idx.0] as usize];
+        let doomed: Vec<usize> = r
             .events
             .iter()
             .enumerate()
@@ -621,10 +1095,11 @@ impl World {
             })
             .collect();
         for slot in doomed {
-            self.fabric.vacate(slot);
-            self.fabric.counters.record_timer_cancelled_node_down();
+            r.vacate(slot);
+            r.counters.record_timer_cancelled_node_down();
         }
-        if let Some(node) = self.nodes[idx.0].as_mut() {
+        let slot = self.shared.slot_of[idx.0] as usize;
+        if let Some(node) = r.nodes[slot].as_mut() {
             node.on_crash();
         }
     }
@@ -633,27 +1108,27 @@ impl World {
     /// [`Node::on_restart`] with whatever static configuration survived
     /// [`Node::on_crash`]. No-op if the node is already up.
     pub fn restart_node(&mut self, idx: NodeIdx) {
-        if self.fabric.node_up[idx.0] {
+        if self.shared.node_up[idx.0] {
             return;
         }
-        self.fabric.node_up[idx.0] = true;
-        self.with_node(idx, |n, ctx| n.on_restart(ctx));
+        self.shared.node_up[idx.0] = true;
+        self.dispatch_at_barrier(idx, EPOCH_EVENT, |n, ctx| n.on_restart(ctx));
     }
 
     /// Is `node` currently up (not crashed)?
     pub fn is_node_up(&self, idx: NodeIdx) -> bool {
-        self.fabric.node_up[idx.0]
+        self.shared.node_up[idx.0]
     }
 
     /// Take a link up or down (topology-change injection).
     pub fn set_link_up(&mut self, link: LinkId, up: bool) {
-        self.fabric.links[link.0].up = up;
+        self.shared.links[link.0].up = up;
     }
 
     /// Set a link's independent per-receiver drop probability.
     pub fn set_link_loss(&mut self, link: LinkId, loss: f64) {
         assert!((0.0..=1.0).contains(&loss));
-        self.fabric.links[link.0].loss = loss;
+        self.shared.links[link.0].loss = loss;
     }
 
     /// Install an adversarial [`ChannelModel`] on a link (corruption,
@@ -663,68 +1138,108 @@ impl World {
         assert!(channel.corrupt_pm <= 1000, "corrupt_pm is per-mille");
         assert!(channel.duplicate_pm <= 1000, "duplicate_pm is per-mille");
         assert!(channel.reorder_pm <= 1000, "reorder_pm is per-mille");
-        self.fabric.links[link.0].channel = channel;
+        self.shared.links[link.0].channel = channel;
     }
 
     /// Link metadata.
     pub fn link(&self, link: LinkId) -> &Link {
-        &self.fabric.links[link.0]
+        &self.shared.links[link.0]
     }
 
     /// Number of links.
     pub fn link_count(&self) -> usize {
-        self.fabric.links.len()
+        self.shared.links.len()
     }
 
-    /// Overhead counters collected so far.
-    pub fn counters(&self) -> &Counters {
-        &self.fabric.counters
+    /// Overhead counters collected so far: the world shard (script
+    /// dispatches) merged with every region shard. The merge is
+    /// associative and order-independent (see `Counters::merge`), so the
+    /// totals are identical for any partition.
+    pub fn counters(&self) -> Counters {
+        let mut total = self.world_counters.clone();
+        for r in &self.regions {
+            total.merge(&r.counters);
+        }
+        total
     }
 
     /// Reset the overhead counters (e.g. after protocol warm-up, so an
     /// experiment measures steady state only).
     pub fn reset_counters(&mut self) {
-        self.fabric.counters = Counters::default();
+        self.world_counters = Counters::default();
+        for r in &mut self.regions {
+            r.counters = Counters::default();
+        }
     }
 
-    /// Attach a structured-event sink for the world's own telemetry
-    /// (timer arm / fire / cancel, injected fault markers). Node
-    /// adapters attach their own per-node handles separately (see the
-    /// `telemetry` crate). Telemetry only observes: it consumes no
+    /// Attach a structured-event sink for all telemetry: the world's own
+    /// events (timer arm / fire / cancel, injected faults) and — via the
+    /// [`Node::set_telemetry`] hook wired at start — every node adapter's
+    /// protocol events. Telemetry only observes: it consumes no
     /// randomness and takes no behavioral branches, so packet traces
-    /// are identical with or without a sink.
-    pub fn set_telemetry(&mut self, sink: Rc<RefCell<dyn telemetry::Sink>>) {
-        self.fabric.telem = Some(sink);
+    /// are identical with or without a sink. Events reach `sink` in
+    /// canonical event order, whatever the partition or thread count.
+    pub fn set_telemetry(&mut self, sink: telemetry::SharedSink) {
+        assert!(!self.started, "attach telemetry before start");
+        self.telem = Some(sink);
     }
 
     /// Emit one telemetry event on behalf of `node` (no-op when no sink
     /// is attached). Scenario scripts use this to mark injected faults
-    /// so sinks can measure post-fault reconvergence.
+    /// so sinks can measure post-fault reconvergence. Only callable at
+    /// barriers (scripts run on the main thread), where region buffers
+    /// are already flushed, so direct writes stay in canonical order.
     pub fn emit_event(&mut self, node: NodeIdx, ev: telemetry::Event) {
-        self.fabric.emit(node, || ev);
+        if let Some(sink) = &self.telem {
+            sink.lock()
+                .expect("sink poisoned")
+                .event(node.0 as u32, self.now.ticks(), &ev);
+        }
     }
 
     /// Start capturing packet transmissions — the simulator's `tcpdump`.
     /// Records up to `limit` packets (time, link, sender, human-readable
     /// decode) from now on; calling again clears the buffer.
     pub fn enable_capture(&mut self, limit: usize) {
-        self.fabric.capture = Some((limit, Vec::new()));
+        self.shared.capture_limit = Some(limit);
+        for r in &mut self.regions {
+            r.capture.clear();
+            r.cap_seq = 0;
+        }
     }
 
-    /// The packets captured so far (empty if capture was never enabled).
-    pub fn captured(&self) -> &[CaptureRecord] {
-        self.fabric
-            .capture
-            .as_ref()
-            .map(|(_, ring)| ring.as_slice())
-            .unwrap_or(&[])
+    /// The packets captured so far (empty if capture was never enabled),
+    /// merged across region shards in canonical transmit order and
+    /// truncated to the capture limit. Each region keeps at most `limit`
+    /// records, so any record in the true global first-`limit` is
+    /// guaranteed to be present in some shard — truncation after the
+    /// merge is exact, not partition-dependent.
+    pub fn captured(&self) -> Vec<CaptureRecord> {
+        let limit = match self.shared.capture_limit {
+            Some(l) => l,
+            None => return Vec::new(),
+        };
+        let mut all: Vec<&(Tag, u64, CaptureRecord)> =
+            self.regions.iter().flat_map(|r| r.capture.iter()).collect();
+        all.sort_by_key(|(tag, cs, _)| (*tag, *cs));
+        all.into_iter()
+            .take(limit)
+            .map(|(_, _, r)| r.clone())
+            .collect()
     }
 
     /// Schedule an arbitrary scripted action (host joins a group, link
-    /// fails, ...) at absolute time `at`.
+    /// fails, ...) at absolute time `at`. Scripts are barriers: all
+    /// scripts at tick `t` run (in scheduling order) before any node
+    /// event at tick `t`.
     pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
-        assert!(at >= self.fabric.now, "cannot schedule in the past");
-        let _ = self.fabric.push_event(at, Event::Script(Box::new(f)));
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.script_seq += 1;
+        self.scripts.push(ScriptEntry {
+            at,
+            seq: self.script_seq,
+            f: Box::new(f),
+        });
     }
 
     /// Immutable access to a node, downcast to its concrete type.
@@ -733,7 +1248,8 @@ impl World {
     /// Panics if the node is of a different type (a test bug, not a runtime
     /// condition).
     pub fn node<T: 'static>(&self, idx: NodeIdx) -> &T {
-        self.nodes[idx.0]
+        self.regions[self.shared.region_of[idx.0] as usize].nodes
+            [self.shared.slot_of[idx.0] as usize]
             .as_ref()
             .expect("node is not mid-callback")
             .as_any()
@@ -743,7 +1259,8 @@ impl World {
 
     /// Mutable access to a node, downcast to its concrete type.
     pub fn node_mut<T: 'static>(&mut self, idx: NodeIdx) -> &mut T {
-        self.nodes[idx.0]
+        self.regions[self.shared.region_of[idx.0] as usize].nodes
+            [self.shared.slot_of[idx.0] as usize]
             .as_mut()
             .expect("node is not mid-callback")
             .as_any_mut()
@@ -751,113 +1268,232 @@ impl World {
             .expect("node type mismatch")
     }
 
-    /// Run a node callback through the take-call-put dance that lets the
-    /// node borrow the fabric mutably alongside itself.
-    fn with_node(&mut self, idx: NodeIdx, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
-        let mut node = self.nodes[idx.0].take().expect("node re-entrancy");
-        {
-            let mut ctx = Ctx {
-                fabric: &mut self.fabric,
-                node: idx,
-            };
-            f(node.as_mut(), &mut ctx);
-        }
-        self.nodes[idx.0] = Some(node);
+    /// Run one node callback at a barrier (scripts, start, restart): the
+    /// owning region's clock is pulled up to world time, the dispatch
+    /// runs inline on the main thread, any cross-region events it
+    /// creates are routed immediately, and its telemetry is flushed so
+    /// the stream stays in canonical order around direct
+    /// [`World::emit_event`] writes.
+    fn dispatch_at_barrier(
+        &mut self,
+        idx: NodeIdx,
+        epoch: u8,
+        f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>),
+    ) {
+        let rid = self.shared.region_of[idx.0] as usize;
+        let now = self.now;
+        let region = &mut self.regions[rid];
+        debug_assert!(region.now <= now, "region ahead of barrier time");
+        region.now = now;
+        region.dispatch(&self.shared, idx, epoch, f);
+        self.route_mail();
+        self.flush_telemetry();
     }
 
     /// Invoke a node's [`Node::on_timer`]-style entry from scripted events,
     /// giving scenario code a way to poke engines with full context.
     pub fn call_node(&mut self, idx: NodeIdx, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
-        self.with_node(idx, f);
+        self.dispatch_at_barrier(idx, EPOCH_EVENT, f);
     }
 
     /// Deliver `on_start` to every node (idempotent; called automatically by
-    /// the run methods).
+    /// the run methods). With telemetry attached, this is also where every
+    /// node receives its per-region buffered [`telemetry::Telem`] handle.
     pub fn start(&mut self) {
         if self.started {
             return;
         }
         self.started = true;
-        for i in 0..self.nodes.len() {
-            self.with_node(NodeIdx(i), |n, ctx| n.on_start(ctx));
+        self.lookahead = self.cross_region_lookahead();
+        if self.regions.len() > 1 {
+            if let Some(l) = self.lookahead {
+                assert!(
+                    l.ticks() >= 1,
+                    "cross-region links must have delay >= 1 tick (conservative lookahead)"
+                );
+            }
+        }
+        if self.telem.is_some() {
+            for r in &mut self.regions {
+                let buf = Arc::new(Mutex::new(RegionBuf::default()));
+                r.buf = Some(Arc::clone(&buf));
+            }
+            for i in 0..self.node_count() {
+                let rid = self.shared.region_of[i] as usize;
+                let buf = self.regions[rid].buf.as_ref().expect("buffer just created");
+                let sink: telemetry::SharedSink = Arc::clone(buf) as telemetry::SharedSink;
+                let slot = self.shared.slot_of[i] as usize;
+                self.regions[rid].nodes[slot]
+                    .as_mut()
+                    .expect("node is not mid-callback")
+                    .set_telemetry(telemetry::Telem::attached(sink, i as u32));
+            }
+        }
+        for i in 0..self.node_count() {
+            self.dispatch_at_barrier(NodeIdx(i), EPOCH_START, |n, ctx| n.on_start(ctx));
         }
     }
 
-    fn step(&mut self) -> bool {
-        let Some(Reverse((at, _seq, slot, gen))) = self.fabric.queue.pop() else {
-            return false;
+    /// The earliest pending region-event time across all regions.
+    fn min_event_time(&self) -> Option<SimTime> {
+        self.regions
+            .iter()
+            .filter_map(|r| r.heap.peek().map(|Reverse((tag, _, _))| tag.time))
+            .min()
+    }
+
+    /// Drain every region's outbox into the destination regions' heaps.
+    /// Order is irrelevant: heaps order by the canonical tag.
+    fn route_mail(&mut self) {
+        let mut mail: Vec<Outgoing> = Vec::new();
+        for r in &mut self.regions {
+            mail.append(&mut r.outbox);
+        }
+        for m in mail {
+            let _ = self.regions[m.dst as usize].push_event(
+                m.tag,
+                Event::Deliver {
+                    node: m.node,
+                    iface: m.iface,
+                    packet: m.packet,
+                    link: m.link,
+                },
+            );
+        }
+    }
+
+    /// Merge all region telemetry buffers into the user sink in
+    /// canonical `(tag, idx)` order and clear them. Called at every
+    /// barrier, so each flushed batch covers a disjoint slice of the
+    /// canonical order and concatenation preserves it.
+    fn flush_telemetry(&mut self) {
+        let Some(sink) = &self.telem else {
+            return;
         };
-        debug_assert!(at >= self.fabric.now, "time went backwards");
-        self.fabric.now = at;
-        // A generation mismatch or empty slot means the event was cancelled
-        // (or the slot recycled after cancellation): skip without dispatch.
-        if self.fabric.events[slot].gen != gen || self.fabric.events[slot].ev.is_none() {
-            self.fabric.counters.record_timer_skipped();
-            return true;
-        }
-        let ev = self.fabric.vacate(slot);
-        self.fabric.counters.record_dispatch();
-        match ev {
-            Event::Deliver {
-                node,
-                iface,
-                packet,
-                link,
-            } => {
-                // In-flight packets to a node that crashed after transmit
-                // are discarded at its dead NIC.
-                if !self.fabric.node_up[node.0] {
-                    self.fabric.counters.record_pkt_dropped_node_down();
-                    return true;
-                }
-                let class = PacketClass::classify(&packet);
-                self.fabric.counters.record_rx(link, class, packet.len());
-                self.with_node(node, |n, ctx| n.on_packet(ctx, iface, &packet));
+        let mut batch: Vec<BufEntry> = Vec::new();
+        for r in &self.regions {
+            if let Some(buf) = &r.buf {
+                let mut guard = buf.lock().expect("region buffer poisoned");
+                batch.append(&mut guard.entries);
             }
-            Event::Timer { node, token } => {
-                // Belt-and-braces: crash_node cancels the node's timers
-                // eagerly, but a script could still arm one against a down
-                // node via call_node.
-                if !self.fabric.node_up[node.0] {
-                    self.fabric.counters.record_timer_cancelled_node_down();
-                    return true;
-                }
-                self.fabric.counters.record_timer_fired();
-                self.fabric
-                    .emit(node, || telemetry::Event::TimerFired { token });
-                self.with_node(node, |n, ctx| n.on_timer(ctx, token));
-            }
-            Event::Script(f) => f(self),
         }
-        true
+        if batch.is_empty() {
+            return;
+        }
+        batch.sort_by_key(|a| (a.tag, a.idx));
+        let mut s = sink.lock().expect("sink poisoned");
+        for e in batch {
+            s.event(e.node, e.at, &e.ev);
+        }
+    }
+
+    /// Run one lock-step window: every region processes its events due
+    /// before `bound` (in parallel when `threads > 1`), then cross-region
+    /// mail is routed and telemetry merged at the barrier. Returns the
+    /// number of heap pops across all regions.
+    fn run_window_all(&mut self, bound: SimTime, budget: usize) -> usize {
+        let n: usize = {
+            let shared = &self.shared;
+            par::run_regions(self.threads, &mut self.regions, |_, r| {
+                r.run_window(shared, bound, budget)
+            })
+            .into_iter()
+            .sum()
+        };
+        self.route_mail();
+        self.flush_telemetry();
+        n
+    }
+
+    /// Pop and run every script scheduled for exactly tick `t` (they may
+    /// schedule more work, including further scripts at `t`). Returns the
+    /// number of scripts dispatched.
+    fn run_scripts_at(&mut self, t: SimTime) -> usize {
+        let mut n = 0;
+        while self.scripts.peek().map(|s| s.at) == Some(t) {
+            let entry = self.scripts.pop().expect("peeked script vanished");
+            self.world_counters.record_dispatch();
+            (entry.f)(self);
+            n += 1;
+            self.flush_telemetry();
+        }
+        n
     }
 
     /// Run until the event queue is empty or simulated time would exceed
-    /// `until`. Returns the number of events processed.
+    /// `until`. Returns the number of events processed (scripts plus
+    /// region heap pops, stale skips included).
     pub fn run_until(&mut self, until: SimTime) -> usize {
         self.start();
         let mut n = 0;
-        while let Some(&Reverse((at, _, _, _))) = self.fabric.queue.peek() {
-            if at > until {
+        loop {
+            let t_ev = self.min_event_time();
+            let t_sc = self.scripts.peek().map(|s| s.at);
+            let t = match t_ev.into_iter().chain(t_sc).min() {
+                Some(t) => t,
+                None => break,
+            };
+            if t > until {
                 break;
             }
-            self.step();
-            n += 1;
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            if t_sc == Some(t) {
+                n += self.run_scripts_at(t);
+                continue;
+            }
+            let mut bound = SimTime(until.ticks().saturating_add(1));
+            if let Some(ts) = t_sc {
+                bound = bound.min(ts);
+            }
+            if let Some(l) = self.lookahead {
+                bound = bound.min(SimTime(t.ticks().saturating_add(l.ticks())));
+            }
+            n += self.run_window_all(bound, usize::MAX);
+            self.now = self.now.max(SimTime(bound.ticks().saturating_sub(1)));
         }
         // Advance the clock to the requested horizon even if idle.
-        if self.fabric.now < until {
-            self.fabric.now = until;
+        if self.now < until {
+            self.now = until;
         }
         n
     }
 
     /// Run until the queue drains completely (only sensible when no node
-    /// sets periodic timers), or until `max_events` as a runaway guard.
+    /// sets periodic timers), or until `max_events` as a runaway guard
+    /// (per region within a window, exact in the default single-region
+    /// world).
     pub fn run_to_idle(&mut self, max_events: usize) -> usize {
         self.start();
         let mut n = 0;
-        while n < max_events && self.step() {
-            n += 1;
+        while n < max_events {
+            let t_ev = self.min_event_time();
+            let t_sc = self.scripts.peek().map(|s| s.at);
+            let t = match t_ev.into_iter().chain(t_sc).min() {
+                Some(t) => t,
+                None => break,
+            };
+            self.now = t;
+            if t_sc == Some(t) {
+                let entry = self.scripts.pop().expect("peeked script vanished");
+                self.world_counters.record_dispatch();
+                (entry.f)(self);
+                n += 1;
+                self.flush_telemetry();
+            } else {
+                let mut bound = SimTime(u64::MAX);
+                if let Some(ts) = t_sc {
+                    bound = ts;
+                }
+                if let Some(l) = self.lookahead {
+                    bound = bound.min(SimTime(t.ticks().saturating_add(l.ticks())));
+                }
+                let c = self.run_window_all(bound, max_events - n);
+                n += c;
+                if c == 0 {
+                    break;
+                }
+            }
         }
         n
     }
@@ -1405,5 +2041,147 @@ mod tests {
         });
         w.run_until(SimTime(50));
         assert!(w.is_node_up(b));
+    }
+
+    // ---- Partitioned-core tests -------------------------------------
+
+    /// A sink that renders every event to its JSONL form — the same
+    /// bytes `telemetry::JsonlSink` would write, usable as a fingerprint.
+    struct VecSink(Vec<String>);
+
+    impl telemetry::Sink for VecSink {
+        fn event(&mut self, node: u32, at: u64, ev: &telemetry::Event) {
+            self.0.push(ev.to_json(node, at));
+        }
+    }
+
+    /// Build a 4-node line `n0 -1- n1 -5- n2 -1- n3` (the delay-5 middle
+    /// link is the natural cross-region cut), drive cross-link ping-pong
+    /// traffic with loss + adversarial channel + a mid-run crash/restart,
+    /// and return (receptions, timers, telemetry JSONL, counter totals).
+    #[allow(clippy::type_complexity)]
+    fn partitioned_fixture(
+        partition: Option<&[u32]>,
+        threads: Option<usize>,
+    ) -> (Vec<Vec<(u64, IfaceId, Vec<u8>)>>, Vec<String>, Vec<u64>) {
+        let mut w = World::new(42);
+        let nodes: Vec<NodeIdx> = (0..4).map(|_| w.add_node(Box::new(Echo::new()))).collect();
+        w.add_p2p(nodes[0], nodes[1], Duration(1));
+        let (mid, _, _) = w.add_p2p(nodes[1], nodes[2], Duration(5));
+        w.add_p2p(nodes[2], nodes[3], Duration(1));
+        if let Some(p) = partition {
+            w.set_partition(p);
+        }
+        if let Some(t) = threads {
+            w.parallelize(t);
+        }
+        w.set_link_loss(mid, 0.2);
+        w.set_channel_model(
+            mid,
+            ChannelModel {
+                corrupt_pm: 200,
+                duplicate_pm: 200,
+                reorder_pm: 200,
+                jitter: 7,
+            },
+        );
+        let sink = Arc::new(Mutex::new(VecSink(Vec::new())));
+        w.set_telemetry(sink.clone() as telemetry::SharedSink);
+        let (n1, n2) = (nodes[1], nodes[2]);
+        for t in 0..30u64 {
+            w.at(SimTime(t * 4), move |w| {
+                // n1's iface 1 faces the cross-region link to n2.
+                w.call_node(n1, |_n, ctx| ctx.send(IfaceId(1), vec![4, t as u8]));
+            });
+        }
+        w.at(SimTime(35), move |w| w.crash_node(n2));
+        w.at(SimTime(60), move |w| w.restart_node(n2));
+        w.run_until(SimTime(600));
+        let receptions = nodes
+            .iter()
+            .map(|&n| w.node::<Echo>(n).received.clone())
+            .collect();
+        let jsonl = sink.lock().unwrap().0.clone();
+        let c = w.counters();
+        let totals = vec![
+            c.events_dispatched(),
+            c.rx_pkts(),
+            c.losses(),
+            c.pkts_corrupted(),
+            c.pkts_duplicated(),
+            c.pkts_reordered(),
+            c.pkts_dropped_node_down(),
+            c.timers_fired(),
+            c.timers_cancelled_node_down(),
+        ];
+        (receptions, jsonl, totals)
+    }
+
+    /// The tentpole contract: any region assignment produces byte-identical
+    /// receptions, telemetry, and merged counters — including under
+    /// impairments and a mid-run crash/restart.
+    #[test]
+    fn partitioned_run_is_byte_identical_to_single_region() {
+        let single = partitioned_fixture(None, None);
+        let split = partitioned_fixture(Some(&[0, 0, 1, 1]), None);
+        assert_eq!(single.0, split.0, "receptions diverged");
+        assert_eq!(single.1, split.1, "telemetry fingerprint diverged");
+        assert_eq!(single.2, split.2, "merged counters diverged");
+        // A deliberately bad partition (cutting the delay-1 links too)
+        // must still agree — correctness never depends on the partition.
+        let scattered = partitioned_fixture(Some(&[0, 1, 2, 3]), None);
+        assert_eq!(single.0, scattered.0);
+        assert_eq!(single.1, scattered.1);
+        assert_eq!(single.2, scattered.2);
+    }
+
+    /// `parallelize(n)` (auto-partition + scoped threads) is also
+    /// byte-identical, and the auto-partitioner cuts at the delay-5 link.
+    #[test]
+    fn parallelize_auto_partitions_and_matches_single_region() {
+        let single = partitioned_fixture(None, None);
+        for threads in [2, 4] {
+            let par = partitioned_fixture(None, Some(threads));
+            assert_eq!(single.0, par.0, "threads={threads}: receptions diverged");
+            assert_eq!(single.1, par.1, "threads={threads}: telemetry diverged");
+            assert_eq!(single.2, par.2, "threads={threads}: counters diverged");
+        }
+        // Region-count sanity: the fixture topology splits on the
+        // delay-5 middle link into exactly two delay-1 islands.
+        let mut w = World::new(7);
+        let nodes: Vec<NodeIdx> = (0..4).map(|_| w.add_node(Box::new(Echo::new()))).collect();
+        w.add_p2p(nodes[0], nodes[1], Duration(1));
+        w.add_p2p(nodes[1], nodes[2], Duration(5));
+        w.add_p2p(nodes[2], nodes[3], Duration(1));
+        w.parallelize(4);
+        assert_eq!(w.region_count(), 2);
+        assert_eq!(w.cross_region_lookahead(), Some(Duration(5)));
+    }
+
+    /// Captures merge across shards in canonical transmit order.
+    #[test]
+    fn capture_is_partition_independent() {
+        let run = |partition: Option<&[u32]>| {
+            let mut w = World::new(9);
+            let a = w.add_node(Box::new(Echo::new()));
+            let b = w.add_node(Box::new(Echo::new()));
+            w.add_p2p(a, b, Duration(2));
+            if let Some(p) = partition {
+                w.set_partition(p);
+            }
+            w.enable_capture(16);
+            w.at(SimTime(0), move |w| {
+                w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![6]));
+            });
+            w.run_until(SimTime(100));
+            w.captured()
+                .iter()
+                .map(|r| format!("{} {:?} {:?} {}", r.at.ticks(), r.link, r.from, r.summary))
+                .collect::<Vec<_>>()
+        };
+        let single = run(None);
+        let split = run(Some(&[0, 1]));
+        assert!(!single.is_empty());
+        assert_eq!(single, split);
     }
 }

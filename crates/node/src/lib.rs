@@ -77,7 +77,7 @@ pub enum Action {
 /// The [`StateDump`] supertrait is the `show mroute` of the simulator:
 /// every engine renders its live (*,G)/(S,G)/tree state as stable text
 /// for replay artifacts and debugging.
-pub trait ProtocolEngine: StateDump {
+pub trait ProtocolEngine: StateDump + Send {
     /// This router's address.
     fn addr(&self) -> Addr;
 
@@ -518,6 +518,10 @@ impl<P: ProtocolEngine> ProtocolNode<P> {
 }
 
 impl<P: ProtocolEngine + 'static> Node for ProtocolNode<P> {
+    fn set_telemetry(&mut self, telem: Telem) {
+        ProtocolNode::set_telemetry(self, telem);
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let outs = self.unicast.on_start(ctx.now());
         self.handle_unicast_outputs(ctx, outs);

@@ -17,8 +17,7 @@
 
 use netsim::{NodeIdx, SimTime};
 use scenario::{build_net, random_schedule, topologies, topology, Protocol, Substrate};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use telemetry::{Event, Fanout, JsonlSink, MetricsAggregator, Sink, Ticks};
 use wire::Group;
 
@@ -76,14 +75,14 @@ fn main() {
     );
     net.world.enable_capture(300_000);
 
-    let lines = Rc::new(RefCell::new(Lines::default()));
-    let jsonl = Rc::new(RefCell::new(JsonlSink::new(Vec::<u8>::new())));
-    let metrics = Rc::new(RefCell::new(MetricsAggregator::new()));
+    let lines = Arc::new(Mutex::new(Lines::default()));
+    let jsonl = Arc::new(Mutex::new(JsonlSink::new(Vec::<u8>::new())));
+    let metrics = Arc::new(Mutex::new(MetricsAggregator::new()));
     let mut fan = Fanout::new();
     fan.push(lines.clone());
     fan.push(jsonl.clone());
     fan.push(metrics.clone());
-    net.attach_telemetry(Rc::new(RefCell::new(fan)));
+    net.attach_telemetry(Arc::new(Mutex::new(fan)));
 
     let schedule = random_schedule(&topo, seed, false);
     let host_nodes: Vec<NodeIdx> = net.hosts.iter().map(|&(n, _)| n).collect();
@@ -95,7 +94,7 @@ fn main() {
     if jsonl_mode {
         print!(
             "{}",
-            String::from_utf8(jsonl.borrow().get_ref().clone()).expect("JSONL is UTF-8")
+            String::from_utf8(jsonl.lock().unwrap().get_ref().clone()).expect("JSONL is UTF-8")
         );
         return;
     }
@@ -124,7 +123,7 @@ fn main() {
             )
         })
         .collect();
-    merged.extend(lines.borrow().0.iter().cloned());
+    merged.extend(lines.lock().unwrap().0.iter().cloned());
     merged.sort_by_key(|&(t, _)| t);
     for (_, l) in &merged {
         println!("{l}");
@@ -137,9 +136,9 @@ fn main() {
         }
     }
 
-    metrics.borrow_mut().finish();
+    metrics.lock().unwrap().finish();
     println!("\n# convergence metrics:");
-    for l in metrics.borrow().render().lines() {
+    for l in metrics.lock().unwrap().render().lines() {
         println!("{l}");
     }
 }

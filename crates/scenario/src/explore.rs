@@ -37,10 +37,9 @@ use graph::{Graph, NodeId};
 use netsim::{host_addr, NodeIdx, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use telemetry::{Fanout, FlightRecorder, JsonlSink, MetricsAggregator, FLIGHT_RECORDER_CAP};
 use wire::Group;
 
@@ -310,8 +309,23 @@ pub fn run_case(
     schedule: &FaultSchedule,
     seed: u64,
 ) -> CaseOutcome {
+    run_case_threads(topo, protocol, schedule, seed, 1)
+}
+
+/// [`run_case`] on a region-partitioned world advanced by `threads`
+/// workers. The replay-artifact contract extends across this knob: every
+/// thread count (including 1) produces byte-identical traces, telemetry,
+/// and fingerprints, so campaigns can be parallelized without forking
+/// their artifacts.
+pub fn run_case_threads(
+    topo: &TopoSpec,
+    protocol: Protocol,
+    schedule: &FaultSchedule,
+    seed: u64,
+    threads: usize,
+) -> CaseOutcome {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_case_inner(topo, protocol, schedule, seed)
+        run_case_inner(topo, protocol, schedule, seed, threads)
     })) {
         Ok(outcome) => outcome,
         Err(payload) => {
@@ -342,6 +356,7 @@ fn run_case_inner(
     protocol: Protocol,
     schedule: &FaultSchedule,
     seed: u64,
+    threads: usize,
 ) -> CaseOutcome {
     let group = Group::test(1);
     let mut net = build_net(
@@ -358,14 +373,14 @@ fn run_case_inner(
     // Telemetry: flight recorder (post-mortem dumps), JSONL stream (the
     // byte-identity contract), metrics aggregator (convergence
     // histograms). Observation only — the packet trace is unchanged.
-    let flight = Rc::new(RefCell::new(FlightRecorder::new(FLIGHT_RECORDER_CAP)));
-    let jsonl = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
-    let metrics = Rc::new(RefCell::new(MetricsAggregator::new()));
+    let flight = Arc::new(Mutex::new(FlightRecorder::new(FLIGHT_RECORDER_CAP)));
+    let jsonl = Arc::new(Mutex::new(JsonlSink::new(Vec::new())));
+    let metrics = Arc::new(Mutex::new(MetricsAggregator::new()));
     let mut fan = Fanout::new();
     fan.push(flight.clone());
     fan.push(jsonl.clone());
     fan.push(metrics.clone());
-    net.attach_telemetry(Rc::new(RefCell::new(fan)));
+    net.attach_telemetry(Arc::new(Mutex::new(fan)));
 
     let host_nodes: Vec<NodeIdx> = net.hosts.iter().map(|&(n, _)| n).collect();
     schedule.install(&mut net.world, &host_nodes, group);
@@ -374,6 +389,7 @@ fn run_case_inner(
     net.send_at(0, 100, TRAIN, 40);
     net.send_at(0, PROBE_START, PROBES, PROBE_GAP);
 
+    net.world.parallelize(threads);
     net.world.run_until(SimTime(CHECK_AT));
 
     let members = schedule.final_members(topo.host_routers.len());
@@ -399,7 +415,7 @@ fn run_case_inner(
         .into_iter()
         .map(|n| NodeDump {
             node: n,
-            flight: flight.borrow().dump(n as u32),
+            flight: flight.lock().unwrap().dump(n as u32),
             state: net
                 .state_dump(n, SimTime(CHECK_AT))
                 .lines()
@@ -408,9 +424,9 @@ fn run_case_inner(
         })
         .collect();
 
-    metrics.borrow_mut().finish();
-    let metrics = metrics.borrow().render();
-    let telemetry = String::from_utf8(jsonl.borrow().get_ref().clone())
+    metrics.lock().unwrap().finish();
+    let metrics = metrics.lock().unwrap().render();
+    let telemetry = String::from_utf8(jsonl.lock().unwrap().get_ref().clone())
         .expect("JSONL telemetry is always UTF-8");
 
     let trace = trace_lines(&net);
@@ -677,12 +693,12 @@ mod tests {
             net.world.enable_capture(CAPTURE_LIMIT);
             if attach {
                 let mut fan = Fanout::new();
-                fan.push(Rc::new(RefCell::new(FlightRecorder::new(
+                fan.push(Arc::new(Mutex::new(FlightRecorder::new(
                     FLIGHT_RECORDER_CAP,
                 ))));
-                fan.push(Rc::new(RefCell::new(JsonlSink::new(Vec::new()))));
-                fan.push(Rc::new(RefCell::new(MetricsAggregator::new())));
-                net.attach_telemetry(Rc::new(RefCell::new(fan)));
+                fan.push(Arc::new(Mutex::new(JsonlSink::new(Vec::new()))));
+                fan.push(Arc::new(Mutex::new(MetricsAggregator::new())));
+                net.attach_telemetry(Arc::new(Mutex::new(fan)));
             }
             let host_nodes: Vec<NodeIdx> = net.hosts.iter().map(|&(n, _)| n).collect();
             schedule.install(&mut net.world, &host_nodes, group);

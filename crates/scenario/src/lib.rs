@@ -37,8 +37,8 @@ pub mod oracle;
 pub mod schedule;
 
 pub use explore::{
-    explore_seed, random_schedule, replay, run_case, topologies, topology, Artifact, CaseOutcome,
-    NodeDump, TopoSpec,
+    explore_seed, random_schedule, replay, run_case, run_case_threads, topologies, topology,
+    Artifact, CaseOutcome, NodeDump, TopoSpec,
 };
 pub use fuzz::{
     corpus, fuzz_engine, fuzz_engines, fuzz_wire, mutate, EngineFuzzOutcome, SeedStream,

@@ -11,9 +11,7 @@ use graph::{Graph, NodeId};
 use igmp::HostNode;
 use netsim::{host_addr, router_addr, Duration, IfaceId, NodeIdx, SimTime, Topology, World};
 use pim::{Engine, PimConfig, PimRouter};
-use std::cell::RefCell;
-use std::rc::Rc;
-use telemetry::{Sink, Telem};
+use telemetry::SharedSink;
 use unicast::dv::{DvConfig, DvEngine};
 use unicast::ls::{LsConfig, LsEngine};
 use unicast::OracleRib;
@@ -227,20 +225,13 @@ impl ScenarioNet {
     }
 
     /// Attach one structured-event sink to the whole network: the world's
-    /// own telemetry (timers, injected fault markers) plus a per-router
-    /// [`Telem`] handle keyed by graph node index. Telemetry only
-    /// observes — the packet trace is identical with or without a sink.
-    pub fn attach_telemetry(&mut self, sink: Rc<RefCell<dyn Sink>>) {
-        self.world.set_telemetry(Rc::clone(&sink));
-        for n in 0..self.router_count {
-            let telem = Telem::attached(Rc::clone(&sink), n as u32);
-            let idx = NodeIdx(n);
-            match self.protocol {
-                Protocol::Pim => self.world.node_mut::<PimRouter>(idx).set_telemetry(telem),
-                Protocol::Dvmrp => self.world.node_mut::<DvmrpRouter>(idx).set_telemetry(telem),
-                Protocol::Cbt => self.world.node_mut::<CbtRouter>(idx).set_telemetry(telem),
-            }
-        }
+    /// own telemetry (timers, injected fault markers) plus a per-node
+    /// [`telemetry::Telem`] handle keyed by graph node index, wired by the
+    /// world at `start()` through per-region buffers so the stream stays
+    /// canonical under any partition. Telemetry only observes — the packet
+    /// trace is identical with or without a sink.
+    pub fn attach_telemetry(&mut self, sink: SharedSink) {
+        self.world.set_telemetry(sink);
     }
 
     /// Router `node`'s `show mroute`-style state snapshot at `now`

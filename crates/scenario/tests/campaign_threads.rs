@@ -1,0 +1,50 @@
+//! The acceptance gate for the region-partitioned event core at the
+//! campaign level: a 20-seed explorer campaign — every topology in the
+//! zoo, every protocol, randomized fault schedules — must produce
+//! byte-identical replay artifacts at `--threads` 1, 2, and 4.
+//!
+//! This is stronger than the per-binary stdout checks in
+//! `bench/tests/thread_determinism.rs`: it compares the *full* trace and
+//! telemetry fingerprints of every case, so a single reordered event
+//! anywhere in any run fails the gate with the offending (seed,
+//! protocol) pair named.
+
+use scenario::{random_schedule, run_case_threads, topologies, Protocol};
+
+#[test]
+fn twenty_seed_campaign_is_thread_count_invariant() {
+    let zoo = topologies();
+    let mut cases = 0usize;
+    for seed in 0..20u64 {
+        let topo = &zoo[(seed % zoo.len() as u64) as usize];
+        let schedule = random_schedule(topo, seed, seed % 3 == 2);
+        for protocol in Protocol::ALL {
+            let base = run_case_threads(topo, protocol, &schedule, seed, 1);
+            for threads in [2usize, 4] {
+                let par = run_case_threads(topo, protocol, &schedule, seed, threads);
+                assert_eq!(
+                    base.fingerprint, par.fingerprint,
+                    "trace fingerprint diverged: seed {seed} {protocol:?} \
+                     topo {} threads {threads}",
+                    topo.name
+                );
+                assert_eq!(
+                    base.telemetry_fingerprint, par.telemetry_fingerprint,
+                    "telemetry fingerprint diverged: seed {seed} {protocol:?} \
+                     topo {} threads {threads}",
+                    topo.name
+                );
+                assert_eq!(
+                    base.trace, par.trace,
+                    "trace diverged: seed {seed} {protocol:?} threads {threads}"
+                );
+                assert_eq!(
+                    base.violations, par.violations,
+                    "oracle verdicts diverged: seed {seed} {protocol:?} threads {threads}"
+                );
+            }
+            cases += 1;
+        }
+    }
+    assert_eq!(cases, 20 * 3);
+}

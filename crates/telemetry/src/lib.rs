@@ -32,11 +32,10 @@
 
 #![warn(missing_docs)]
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wire::{Addr, Group, Message};
 
@@ -464,6 +463,13 @@ pub trait Sink {
     fn event(&mut self, node: u32, at: Ticks, ev: &Event);
 }
 
+/// The shared handle every emitter clones: a thread-safe, shareable
+/// sink. `Send` is required because the parallel simulation core hands
+/// per-region buffers (which are sinks themselves) across scoped
+/// threads; the mutex is uncontended in practice — each region's
+/// buffer is only touched by the thread running that region.
+pub type SharedSink = Arc<Mutex<dyn Sink + Send>>;
+
 /// A shareable handle to a [`Sink`], cloned into every emitter.
 ///
 /// `Telem::default()` is the disabled handle: [`Telem::emit`] reduces
@@ -471,7 +477,7 @@ pub trait Sink {
 /// never called — the zero-overhead-when-disabled contract.
 #[derive(Clone, Default)]
 pub struct Telem {
-    inner: Option<(Rc<RefCell<dyn Sink>>, u32)>,
+    inner: Option<(SharedSink, u32)>,
 }
 
 impl fmt::Debug for Telem {
@@ -485,7 +491,7 @@ impl fmt::Debug for Telem {
 
 impl Telem {
     /// An enabled handle delivering events from `node` into `sink`.
-    pub fn attached(sink: Rc<RefCell<dyn Sink>>, node: u32) -> Telem {
+    pub fn attached(sink: SharedSink, node: u32) -> Telem {
         Telem {
             inner: Some((sink, node)),
         }
@@ -509,7 +515,7 @@ impl Telem {
     pub fn emit(&self, at: Ticks, f: impl FnOnce() -> Event) {
         if let Some((sink, node)) = &self.inner {
             let ev = f();
-            sink.borrow_mut().event(*node, at, &ev);
+            sink.lock().expect("sink poisoned").event(*node, at, &ev);
         }
     }
 
@@ -517,7 +523,10 @@ impl Telem {
     /// world clones one handle per node).
     pub fn for_node(&self, node: u32) -> Telem {
         Telem {
-            inner: self.inner.as_ref().map(|(sink, _)| (Rc::clone(sink), node)),
+            inner: self
+                .inner
+                .as_ref()
+                .map(|(sink, _)| (Arc::clone(sink), node)),
         }
     }
 }
@@ -783,12 +792,12 @@ impl Sink for MetricsAggregator {
 
 /// Fans one event stream out to several child sinks in order.
 ///
-/// Callers keep concrete `Rc<RefCell<…>>` clones of the children to
-/// read results after the run (an `Rc<RefCell<FlightRecorder>>`
-/// coerces to `Rc<RefCell<dyn Sink>>` when pushed here).
+/// Callers keep concrete `Arc<Mutex<…>>` clones of the children to
+/// read results after the run (an `Arc<Mutex<FlightRecorder>>`
+/// coerces to [`SharedSink`] when pushed here).
 #[derive(Clone, Default)]
 pub struct Fanout {
-    children: Vec<Rc<RefCell<dyn Sink>>>,
+    children: Vec<SharedSink>,
 }
 
 impl fmt::Debug for Fanout {
@@ -804,7 +813,7 @@ impl Fanout {
     }
 
     /// Append a child sink.
-    pub fn push(&mut self, child: Rc<RefCell<dyn Sink>>) {
+    pub fn push(&mut self, child: SharedSink) {
         self.children.push(child);
     }
 }
@@ -812,7 +821,7 @@ impl Fanout {
 impl Sink for Fanout {
     fn event(&mut self, node: u32, at: Ticks, ev: &Event) {
         for child in &self.children {
-            child.borrow_mut().event(node, at, ev);
+            child.lock().expect("sink poisoned").event(node, at, ev);
         }
     }
 }
@@ -856,13 +865,13 @@ mod tests {
 
     #[test]
     fn flight_recorder_bounds_and_orders() {
-        let rec = Rc::new(RefCell::new(FlightRecorder::new(3)));
+        let rec = Arc::new(Mutex::new(FlightRecorder::new(3)));
         let t = Telem::attached(rec.clone(), 9);
         assert!(t.is_enabled());
         for i in 0..5u64 {
             t.emit(i, || Event::TimerFired { token: i });
         }
-        let dump = rec.borrow().dump(9);
+        let dump = rec.lock().unwrap().dump(9);
         assert_eq!(
             dump,
             vec![
@@ -871,8 +880,8 @@ mod tests {
                 "t4 timer-fired token=4"
             ]
         );
-        assert_eq!(rec.borrow().nodes(), vec![9]);
-        assert!(rec.borrow().dump(1).is_empty());
+        assert_eq!(rec.lock().unwrap().nodes(), vec![9]);
+        assert!(rec.lock().unwrap().dump(1).is_empty());
     }
 
     #[test]
@@ -1008,14 +1017,14 @@ mod tests {
 
     #[test]
     fn fanout_feeds_all_children() {
-        let rec = Rc::new(RefCell::new(FlightRecorder::new(8)));
-        let metrics = Rc::new(RefCell::new(MetricsAggregator::new()));
+        let rec = Arc::new(Mutex::new(FlightRecorder::new(8)));
+        let metrics = Arc::new(Mutex::new(MetricsAggregator::new()));
         let mut fan = Fanout::new();
         fan.push(rec.clone());
         fan.push(metrics.clone());
         fan.event(3, 50, &Event::LocalMemberJoined { group: g() });
-        assert_eq!(rec.borrow().dump(3).len(), 1);
-        assert_eq!(metrics.borrow().pending_joins.len(), 1);
+        assert_eq!(rec.lock().unwrap().dump(3).len(), 1);
+        assert_eq!(metrics.lock().unwrap().pending_joins.len(), 1);
     }
 
     #[test]
@@ -1027,12 +1036,12 @@ mod tests {
 
     #[test]
     fn for_node_rekeys() {
-        let rec = Rc::new(RefCell::new(FlightRecorder::new(8)));
+        let rec = Arc::new(Mutex::new(FlightRecorder::new(8)));
         let t = Telem::attached(rec.clone(), 0);
         let t5 = t.for_node(5);
         t5.emit(1, || Event::TimerFired { token: 1 });
-        assert_eq!(rec.borrow().dump(5).len(), 1);
-        assert!(rec.borrow().dump(0).is_empty());
+        assert_eq!(rec.lock().unwrap().dump(5).len(), 1);
+        assert!(rec.lock().unwrap().dump(0).is_empty());
         assert_eq!(format!("{t5:?}"), "Telem(node 5)");
         assert_eq!(format!("{:?}", Telem::disabled()), "Telem(disabled)");
     }

@@ -92,7 +92,7 @@ pub enum Output {
 ///
 /// Engines are sans-IO: the router adapter delivers parsed messages and
 /// periodic ticks, and carries out the returned [`Output`]s.
-pub trait Engine: Rib {
+pub trait Engine: Rib + Send {
     /// Called once at simulation start; typically emits initial
     /// hellos/updates.
     fn on_start(&mut self, now: SimTime) -> Vec<Output>;

@@ -24,7 +24,11 @@ smoke)
     echo "== fig2b --smoke"
     ./target/release/fig2b --smoke --json "$out/fig2b.json" >/dev/null
     echo "== simbench --smoke"
-    ./target/release/simbench --smoke --json "$out/sim.json" >/dev/null
+    # --threads 4 forces the region auto-partitioner live; surface its
+    # greppable region-count line so the smoke log shows the parallel
+    # core actually engaged.
+    ./target/release/simbench --smoke --threads 4 --json "$out/sim.json" |
+        grep '^auto_partition '
     # Each record must at least parse as a JSON object with a wall time.
     for f in "$out"/fig2a.json "$out"/fig2b.json "$out"/sim.json; do
         grep -q '"wall_ms"' "$f" || { echo "missing wall_ms in $f"; exit 1; }

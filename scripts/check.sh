@@ -20,6 +20,21 @@ cargo test -q --offline
 echo "== cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
 
+echo "== determinism: --threads 1 vs --threads 4"
+# The parallel-core contract, checked end to end on real binaries: the
+# sweep output and the reception fingerprint must be byte-identical at
+# any thread count.
+mkdir -p target/check
+./target/release/fig2a --trials 4 --threads 1 >target/check/det-1t.txt
+./target/release/fig2a --trials 4 --threads 4 >target/check/det-4t.txt
+diff target/check/det-1t.txt target/check/det-4t.txt ||
+    { echo "fig2a diverged across thread counts"; exit 1; }
+./target/release/simbench --smoke --threads 1 | grep fingerprint >target/check/fp-1t.txt
+./target/release/simbench --smoke --threads 4 | grep fingerprint >target/check/fp-4t.txt
+diff target/check/fp-1t.txt target/check/fp-4t.txt ||
+    { echo "simbench fingerprint diverged across thread counts"; exit 1; }
+echo "determinism: OK"
+
 echo "== bench smoke"
 ./scripts/bench.sh smoke
 

@@ -147,9 +147,18 @@ fn one_host_in_many_groups() {
     for &grp in &groups {
         // Host sequence numbers are global per sender (interleaved across
         // its groups), so assert count and monotonicity, not exact values.
+        // A packet may arrive twice when the SPT switchover window (§2.8:
+        // data flows down both the shared tree and the new SPT until the
+        // RPT prune lands) overlaps the train, so count distinct seqs and
+        // allow adjacent duplicates.
         let got = h.seqs_from(hosts[1].1, grp);
-        assert_eq!(got.len(), 8, "group {grp} incomplete: {got:?}");
-        assert!(got.windows(2).all(|w| w[1] > w[0]), "out of order: {got:?}");
+        assert!(
+            got.windows(2).all(|w| w[1] >= w[0]),
+            "out of order: {got:?}"
+        );
+        let mut distinct = got.clone();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 8, "group {grp} incomplete: {got:?}");
     }
     // The DR holds one (*,G) per group (plus per-source SPT state).
     let dr: &PimRouter = world.node(NodeIdx(1));

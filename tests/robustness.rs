@@ -212,9 +212,8 @@ fn rp_failover_restores_shared_tree() {
 /// test's recorder dump).
 #[test]
 fn rp_failover_appears_in_flight_recorder() {
-    use std::cell::RefCell;
-    use std::rc::Rc;
-    use telemetry::{FlightRecorder, Sink, Telem};
+    use std::sync::{Arc, Mutex};
+    use telemetry::{FlightRecorder, SharedSink};
 
     let mut g = Graph::with_nodes(5);
     g.add_edge(NodeId(0), NodeId(1), 1);
@@ -234,14 +233,9 @@ fn rp_failover_appears_in_flight_recorder() {
     // Large ring: this run is long, and the excerpt of interest (the
     // failover at t≈1000) must survive 3000 ticks of steady-state
     // chatter that follows it.
-    let rec = Rc::new(RefCell::new(FlightRecorder::new(8192)));
-    let sink: Rc<RefCell<dyn Sink>> = rec.clone();
-    net.world.set_telemetry(Rc::clone(&sink));
-    for n in 0..5u32 {
-        net.world
-            .node_mut::<PimRouter>(NodeIdx(n as usize))
-            .set_telemetry(Telem::attached(Rc::clone(&sink), n));
-    }
+    let rec = Arc::new(Mutex::new(FlightRecorder::new(8192)));
+    let sink: SharedSink = rec.clone();
+    net.world.set_telemetry(sink);
     let (receiver, _) = net.hosts[0];
     let (sender, _) = net.hosts[1];
     join_at(&mut net.world, receiver, group(), 400);
@@ -254,7 +248,7 @@ fn rp_failover_appears_in_flight_recorder() {
 
     // The receiver's DR (r0) must have recorded the failover from RP#1
     // (10.0.2.1) to RP#2 (10.0.3.1), and its (*,G) entry churn around it.
-    let dump = rec.borrow().dump(0);
+    let dump = rec.lock().unwrap().dump(0);
     let failover = dump
         .iter()
         .position(|l| l.contains("rp-failover group=239.1.0.1 from=10.0.2.1 to=10.0.3.1"))
