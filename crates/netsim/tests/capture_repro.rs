@@ -1,0 +1,52 @@
+//! Repro check: is captured() truncation really partition-independent
+//! when the number of transmissions exceeds the capture limit?
+
+use netsim::{Ctx, Duration, IfaceId, Node, NodeIdx, SimTime, World};
+use std::any::Any;
+
+/// Replies with one packet to every packet it receives.
+struct Echo;
+
+impl Node for Echo {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, _packet: &[u8]) {
+        ctx.send(iface, vec![0xEE]);
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn run(partition: Option<&[u32]>) -> Vec<String> {
+    let mut w = World::new(1);
+    // nodes: 0=A, 1=B, 2=C, 3=D
+    let n: Vec<NodeIdx> = (0..4).map(|_| w.add_node(Box::new(Echo))).collect();
+    // A-D and C-B, both delay 2: deliveries to D and B land at the same tick.
+    w.add_p2p(n[0], n[3], Duration(2));
+    w.add_p2p(n[2], n[1], Duration(2));
+    if let Some(p) = partition {
+        w.set_partition(p);
+    }
+    w.enable_capture(3);
+    let (a, c) = (n[0], n[2]);
+    w.at(SimTime(0), move |w| {
+        w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![1]));
+        w.call_node(c, |_n, ctx| ctx.send(IfaceId(0), vec![2]));
+    });
+    w.run_until(SimTime(2));
+    w.captured()
+        .iter()
+        .map(|r| format!("{} {:?} {:?}", r.at.ticks(), r.link, r.from))
+        .collect()
+}
+
+#[test]
+fn capture_truncation_partition_independence() {
+    let single = run(None);
+    // D (node 3) alone in one region, everyone else in the other.
+    let split = run(Some(&[0, 0, 0, 1]));
+    assert_eq!(single, split, "captured() diverged across partitions");
+}
