@@ -10,7 +10,8 @@
 //! * `disabled` — no sink attached (the production default);
 //! * `flight`   — bounded per-node ring buffer of rendered events;
 //! * `jsonl`    — JSON-lines stream into an in-memory buffer;
-//! * `full`     — flight + jsonl + metrics aggregator fanned out
+//! * `coverage` — the coverage-map fold driving `scenario::search`;
+//! * `full`     — flight + jsonl + metrics + coverage fanned out
 //!   (what `scenario::run_case` attaches).
 //!
 //! Reported metric: simulator events dispatched per wall-clock second,
@@ -28,7 +29,8 @@ use scenario::{build_net, random_schedule, topologies, Protocol, Substrate};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use telemetry::{
-    Fanout, FlightRecorder, JsonlSink, MetricsAggregator, SharedSink, FLIGHT_RECORDER_CAP,
+    CoverageSink, Fanout, FlightRecorder, JsonlSink, MetricsAggregator, SharedSink,
+    FLIGHT_RECORDER_CAP,
 };
 use wire::Group;
 
@@ -43,17 +45,25 @@ enum Mode {
     Disabled,
     Flight,
     Jsonl,
+    Coverage,
     Full,
 }
 
 impl Mode {
-    const ALL: [Mode; 4] = [Mode::Disabled, Mode::Flight, Mode::Jsonl, Mode::Full];
+    const ALL: [Mode; 5] = [
+        Mode::Disabled,
+        Mode::Flight,
+        Mode::Jsonl,
+        Mode::Coverage,
+        Mode::Full,
+    ];
 
     fn name(self) -> &'static str {
         match self {
             Mode::Disabled => "disabled",
             Mode::Flight => "flight",
             Mode::Jsonl => "jsonl",
+            Mode::Coverage => "coverage",
             Mode::Full => "full",
         }
     }
@@ -65,6 +75,7 @@ impl Mode {
                 FLIGHT_RECORDER_CAP,
             )))),
             Mode::Jsonl => Some(Arc::new(Mutex::new(JsonlSink::new(Vec::<u8>::new())))),
+            Mode::Coverage => Some(Arc::new(Mutex::new(CoverageSink::new(0)))),
             Mode::Full => {
                 let mut fan = Fanout::new();
                 fan.push(Arc::new(Mutex::new(FlightRecorder::new(
@@ -72,6 +83,7 @@ impl Mode {
                 ))));
                 fan.push(Arc::new(Mutex::new(JsonlSink::new(Vec::<u8>::new()))));
                 fan.push(Arc::new(Mutex::new(MetricsAggregator::new())));
+                fan.push(Arc::new(Mutex::new(CoverageSink::new(0))));
                 Some(Arc::new(Mutex::new(fan)))
             }
         }

@@ -641,16 +641,43 @@ impl<'a> Ctx<'a> {
             .counters
             .record_tx(link_id, class, proto, packet.len(), self.region.now);
         if let Some(limit) = self.shared.capture_limit {
-            if self.region.capture.len() < limit {
-                let rec = CaptureRecord {
-                    at: self.region.now,
-                    link: link_id,
-                    from,
-                    summary: crate::trace::describe_packet(&packet),
-                };
+            if limit > 0 {
                 let cs = self.region.cap_seq;
                 self.region.cap_seq += 1;
-                self.region.capture.push((self.tag, cs, rec));
+                let cap = &mut self.region.capture;
+                // Keep the canonically-*smallest* `limit` records, not the
+                // first-inserted: same-tick dispatch tags are keyed by the
+                // receiving node and can invert relative to heap (event-tag)
+                // order, so insertion order is not canonical order even
+                // within one region. Bounded replacement preserves the
+                // invariant `captured()` relies on.
+                let full = cap.len() >= limit;
+                let evict = if full {
+                    let (i, (t, c, _)) = cap
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, (t, c, _))| (*t, *c))
+                        .expect("non-empty capture shard");
+                    if (self.tag, cs) < (*t, *c) {
+                        Some(i)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                if !full || evict.is_some() {
+                    let rec = CaptureRecord {
+                        at: self.region.now,
+                        link: link_id,
+                        from,
+                        summary: crate::trace::describe_packet(&packet),
+                    };
+                    match evict {
+                        Some(i) => cap[i] = (self.tag, cs, rec),
+                        None => cap.push((self.tag, cs, rec)),
+                    }
+                }
             }
         }
         let delay = link.delay;
@@ -1210,9 +1237,10 @@ impl World {
 
     /// The packets captured so far (empty if capture was never enabled),
     /// merged across region shards in canonical transmit order and
-    /// truncated to the capture limit. Each region keeps at most `limit`
-    /// records, so any record in the true global first-`limit` is
-    /// guaranteed to be present in some shard — truncation after the
+    /// truncated to the capture limit. Each region keeps the `limit`
+    /// canonically-smallest records it saw, so any record in the true
+    /// global first-`limit` (whose region-local rank can only be lower)
+    /// is guaranteed to be present in some shard — truncation after the
     /// merge is exact, not partition-dependent.
     pub fn captured(&self) -> Vec<CaptureRecord> {
         let limit = match self.shared.capture_limit {

@@ -1,7 +1,7 @@
 //! Command-line schedule explorer.
 //!
 //! ```text
-//! explore [SEEDS] [START] [--threads N]
+//! explore [SEEDS] [START] [--threads N] [--corpus DIR]
 //! ```
 //!
 //! Runs `SEEDS` seeded schedules (default 50) starting at seed `START`
@@ -12,9 +12,16 @@
 //! value. Prints a per-protocol summary plus a chaos summary (channel
 //! impairments inflicted, malformed frames dropped by decode-error kind,
 //! merged post-fault reconvergence histogram); on any oracle violation,
-//! prints the full replay artifact and exits nonzero.
+//! prints the full replay artifact plus a one-line `trace.sh` repro hint
+//! and exits nonzero.
+//!
+//! With `--corpus DIR`, every committed `*.replay` regression artifact in
+//! `DIR` is replayed byte-identically before the seed sweep; any replay
+//! divergence fails the run the same way a violation does.
 
-use scenario::{explore_seed, random_schedule, topologies, Artifact, CaseOutcome, Protocol};
+use scenario::{
+    explore_seed, random_schedule, replay_corpus, topologies, Artifact, CaseOutcome, Protocol,
+};
 use std::collections::BTreeMap;
 
 /// Per-protocol campaign aggregates for the chaos summary.
@@ -123,6 +130,7 @@ fn main() {
     let mut seeds: u64 = 50;
     let mut start: u64 = 0;
     let mut threads = par::default_threads();
+    let mut corpus: Option<String> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = 0;
     let mut i = 0;
@@ -136,6 +144,10 @@ fn main() {
                     .expect("--threads needs a positive number");
                 i += 2;
             }
+            "--corpus" => {
+                corpus = Some(argv.get(i + 1).expect("--corpus needs a directory").clone());
+                i += 2;
+            }
             s => {
                 let n = s.parse().expect("SEEDS/START must be numbers");
                 match positional {
@@ -147,6 +159,28 @@ fn main() {
                 i += 1;
             }
         }
+    }
+
+    // Regression corpus first: if a committed artifact no longer replays
+    // byte-identically, exploring fresh seeds is moot.
+    let mut corpus_failures = 0u64;
+    if let Some(dir) = &corpus {
+        let results =
+            replay_corpus(std::path::Path::new(dir)).expect("--corpus directory unreadable");
+        for (name, r) in &results {
+            match r {
+                Ok(()) => println!("corpus {name}: replayed byte-identically"),
+                Err(e) => {
+                    corpus_failures += 1;
+                    eprintln!("corpus {name}: REPLAY DIVERGED: {e}");
+                }
+            }
+        }
+        println!(
+            "corpus: {}/{} artifacts replayed byte-identically",
+            results.len() as u64 - corpus_failures,
+            results.len()
+        );
     }
 
     let zoo = topologies();
@@ -176,10 +210,13 @@ fn main() {
             violating += 1;
             per_protocol[slot] += 1;
             eprintln!(
-                "seed {seed} topology {} protocol {}: {} violation(s)",
+                "seed {seed} topology {} protocol {}: {} violation(s) \
+                 [repro: ./scripts/trace.sh {} {} {seed}]",
                 topo.name,
                 protocol.name(),
-                outcome.violations.len()
+                outcome.violations.len(),
+                topo.name,
+                protocol.name(),
             );
             let schedule = random_schedule(topo, seed, seed % 3 == 2);
             let artifact = Artifact::capture(topo, *protocol, &schedule, seed, outcome);
@@ -198,7 +235,7 @@ fn main() {
     for (i, p) in Protocol::ALL.iter().enumerate() {
         chaos[i].print(p.name());
     }
-    if violating > 0 {
+    if violating > 0 || corpus_failures > 0 {
         std::process::exit(1);
     }
 }

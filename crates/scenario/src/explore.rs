@@ -40,7 +40,10 @@ use rand::{Rng, SeedableRng};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
-use telemetry::{Fanout, FlightRecorder, JsonlSink, MetricsAggregator, FLIGHT_RECORDER_CAP};
+use telemetry::{
+    CoverageMap, CoverageSink, Fanout, FlightRecorder, JsonlSink, MetricsAggregator,
+    FLIGHT_RECORDER_CAP,
+};
 use wire::Group;
 
 /// Number of packets in the pre-fault data train (sequence numbers
@@ -324,29 +327,68 @@ pub fn run_case_threads(
     seed: u64,
     threads: usize,
 ) -> CaseOutcome {
+    run_case_coverage(topo, protocol, schedule, seed, threads).0
+}
+
+/// [`run_case_threads`] with a [`telemetry::CoverageSink`] attached:
+/// returns the outcome plus the coverage map folded from the run's
+/// event stream — the feedback signal for coverage-guided search. The
+/// sink observes only, so the outcome (trace, telemetry bytes,
+/// fingerprints) is identical to an uninstrumented run; and because the
+/// event stream is byte-identical at any `--threads`, so is the
+/// coverage map (`scenario/tests/coverage.rs` pins this).
+pub fn run_case_coverage(
+    topo: &TopoSpec,
+    protocol: Protocol,
+    schedule: &FaultSchedule,
+    seed: u64,
+    threads: usize,
+) -> (CaseOutcome, CoverageMap) {
+    let coverage = Arc::new(Mutex::new(CoverageSink::new(
+        Protocol::ALL.iter().position(|p| *p == protocol).unwrap() as u64,
+    )));
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_case_inner(topo, protocol, schedule, seed, threads)
+        run_case_inner(topo, protocol, schedule, seed, threads, coverage.clone())
     })) {
-        Ok(outcome) => outcome,
+        Ok(outcome) => {
+            let map = coverage.lock().unwrap().map().clone();
+            (outcome, map)
+        }
         Err(payload) => {
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_string());
-            CaseOutcome {
-                violations: vec![Violation {
-                    oracle: "no-panic",
-                    node: 0,
-                    detail: format!("simulation panicked: {msg}"),
-                }],
-                fingerprint: 0,
-                trace: Vec::new(),
-                telemetry: String::new(),
-                telemetry_fingerprint: 0,
-                metrics: String::new(),
-                dumps: Vec::new(),
-            }
+            // A panicking seed is a reproduction seed above all else:
+            // record it (plus topology and protocol) in the violation
+            // itself, so the repro is one trace.sh invocation away even
+            // when only the summary line survives.
+            let mut map = coverage.lock().unwrap().map().clone();
+            map.record(telemetry::feature("panic", &[]));
+            (
+                CaseOutcome {
+                    violations: vec![Violation {
+                        oracle: "no-panic",
+                        node: 0,
+                        detail: format!(
+                            "simulation panicked [topology {} protocol {} seed {seed}; \
+                             repro: ./scripts/trace.sh {} {} {seed}]: {msg}",
+                            topo.name,
+                            protocol.name(),
+                            topo.name,
+                            protocol.name()
+                        ),
+                    }],
+                    fingerprint: 0,
+                    trace: Vec::new(),
+                    telemetry: String::new(),
+                    telemetry_fingerprint: 0,
+                    metrics: String::new(),
+                    dumps: Vec::new(),
+                },
+                map,
+            )
         }
     }
 }
@@ -357,6 +399,7 @@ fn run_case_inner(
     schedule: &FaultSchedule,
     seed: u64,
     threads: usize,
+    coverage: Arc<Mutex<CoverageSink>>,
 ) -> CaseOutcome {
     let group = Group::test(1);
     let mut net = build_net(
@@ -380,6 +423,7 @@ fn run_case_inner(
     fan.push(flight.clone());
     fan.push(jsonl.clone());
     fan.push(metrics.clone());
+    fan.push(coverage);
     net.attach_telemetry(Arc::new(Mutex::new(fan)));
 
     let host_nodes: Vec<NodeIdx> = net.hosts.iter().map(|&(n, _)| n).collect();
@@ -666,6 +710,82 @@ pub fn replay(artifact: &Artifact) -> Result<CaseOutcome, String> {
         &artifact.schedule,
         artifact.seed,
     ))
+}
+
+/// Replay an artifact and check every recorded field byte-identically:
+/// trace fingerprint, telemetry fingerprint, violations, and post-mortem
+/// dumps. `Ok(outcome)` means the artifact reproduces exactly; the
+/// shrinker calls this before any minimized artifact is written, and the
+/// corpus loop calls it for every committed regression artifact.
+pub fn verify_replay(artifact: &Artifact) -> Result<CaseOutcome, String> {
+    let outcome = replay(artifact)?;
+    if outcome.fingerprint != artifact.fingerprint {
+        return Err(format!(
+            "trace fingerprint mismatch: recorded {:016x}, replayed {:016x}",
+            artifact.fingerprint, outcome.fingerprint
+        ));
+    }
+    if outcome.telemetry_fingerprint != artifact.telemetry {
+        return Err(format!(
+            "telemetry fingerprint mismatch: recorded {:016x}, replayed {:016x}",
+            artifact.telemetry, outcome.telemetry_fingerprint
+        ));
+    }
+    let replayed: Vec<String> = outcome.violations.iter().map(|v| v.to_string()).collect();
+    if replayed != artifact.violations {
+        return Err(format!(
+            "violations mismatch: recorded {:?}, replayed {:?}",
+            artifact.violations, replayed
+        ));
+    }
+    if outcome.dumps != artifact.dumps {
+        return Err("post-mortem dumps mismatch".to_string());
+    }
+    Ok(outcome)
+}
+
+// ---------------------------------------------------------------------
+// The regression corpus loop
+// ---------------------------------------------------------------------
+
+/// Load every `*.replay` artifact under `dir`, sorted by file name so
+/// the corpus loop runs (and reports) in a stable order.
+pub fn load_corpus(dir: &std::path::Path) -> Result<Vec<(std::path::PathBuf, Artifact)>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "replay"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = std::fs::read_to_string(&p).map_err(|e| format!("read {}: {e}", p.display()))?;
+        let artifact =
+            Artifact::from_text(&text).map_err(|e| format!("parse {}: {e}", p.display()))?;
+        out.push((p, artifact));
+    }
+    Ok(out)
+}
+
+/// Per-artifact `(file name, replay result)` list from [`replay_corpus`].
+pub type CorpusReplay = Vec<(String, Result<(), String>)>;
+
+/// Replay every artifact in `dir` byte-identically ([`verify_replay`]).
+/// Returns the per-artifact `(file name, result)` list; an artifact that
+/// drifts — different trace, telemetry, violations, or dumps — is a
+/// regression of whatever behavior the artifact pinned.
+pub fn replay_corpus(dir: &std::path::Path) -> Result<CorpusReplay, String> {
+    let corpus = load_corpus(dir)?;
+    Ok(corpus
+        .into_iter()
+        .map(|(path, artifact)| {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string());
+            (name, verify_replay(&artifact).map(|_| ()))
+        })
+        .collect())
 }
 
 #[cfg(test)]

@@ -23,6 +23,12 @@
 //!    (never panic; accepted inputs re-encode idempotently) and live
 //!    injection of malformed control frames into running engines (state
 //!    stays bounded, drops are accounted, delivery recovers).
+//! 5. [`search`] + [`shrink`] — coverage-guided schedule search using
+//!    the telemetry event stream as feedback (a stable-hash coverage
+//!    map over entry-flag transitions, timer interleavings, and oracle
+//!    near-misses), paired with a deterministic greedy shrinker that
+//!    minimizes every violating run to a 1-minimal schedule and
+//!    re-verifies byte-identical replay before an artifact is written.
 //!
 //! The paper motivates this: §2 requires the architecture stay robust
 //! under "unicast route changes, router failures, and membership churn";
@@ -35,10 +41,13 @@ pub mod fuzz;
 pub mod net;
 pub mod oracle;
 pub mod schedule;
+pub mod search;
+pub mod shrink;
 
 pub use explore::{
-    explore_seed, random_schedule, replay, run_case, run_case_threads, topologies, topology,
-    Artifact, CaseOutcome, NodeDump, TopoSpec,
+    explore_seed, load_corpus, random_schedule, replay, replay_corpus, run_case, run_case_coverage,
+    run_case_threads, topologies, topology, verify_replay, Artifact, CaseOutcome, NodeDump,
+    TopoSpec,
 };
 pub use fuzz::{
     corpus, fuzz_engine, fuzz_engines, fuzz_wire, mutate, EngineFuzzOutcome, SeedStream,
@@ -50,3 +59,7 @@ pub use oracle::{
     check_no_orphans, check_rpf, check_structure, Violation,
 };
 pub use schedule::{FaultEvent, FaultSchedule};
+pub use search::{
+    coverage_search, evaluate_schedule, random_search, Evaluation, SearchConfig, SearchReport,
+};
+pub use shrink::{shrink_artifact, shrink_violation, shrink_with, ShrinkResult, ShrinkStats};

@@ -237,6 +237,221 @@ impl FaultSchedule {
             .collect()
     }
 
+    // -----------------------------------------------------------------
+    // Mutation operators (coverage-guided search)
+    //
+    // All pure and index/time-explicit: the search layer owns the RNG,
+    // so the operators themselves stay trivially deterministic and
+    // testable. Every mutated schedule must pass through
+    // [`FaultSchedule::normalize`] before running — the operators make
+    // no attempt to keep times, indices, or the heal discipline valid.
+    // -----------------------------------------------------------------
+
+    /// The schedule without event `idx` (clamped; no-op on empty).
+    pub fn with_deleted(&self, idx: usize) -> FaultSchedule {
+        let mut s = self.clone();
+        if !s.events.is_empty() {
+            s.events.remove(idx.min(s.events.len() - 1));
+        }
+        s
+    }
+
+    /// The schedule with event `idx` moved to time `at`.
+    pub fn with_retimed(&self, idx: usize, at: u64) -> FaultSchedule {
+        let mut s = self.clone();
+        if let Some(e) = s.events.get_mut(idx) {
+            e.0 = at;
+        }
+        s
+    }
+
+    /// The schedule with a copy of event `idx` appended at time `at`.
+    pub fn with_duplicated(&self, idx: usize, at: u64) -> FaultSchedule {
+        let mut s = self.clone();
+        if let Some((_, ev)) = self.events.get(idx) {
+            s.events.push((at, ev.clone()));
+        }
+        s
+    }
+
+    /// The schedule with every `donor` event in `[t0, t1)` spliced in.
+    pub fn spliced(&self, donor: &FaultSchedule, t0: u64, t1: u64) -> FaultSchedule {
+        let mut s = self.clone();
+        for (t, ev) in &donor.events {
+            if (t0..t1).contains(t) {
+                s.events.push((*t, ev.clone()));
+            }
+        }
+        s
+    }
+
+    /// Single-point crossover: `self`'s events before `cut` plus
+    /// `donor`'s events at or after it.
+    pub fn crossover(&self, donor: &FaultSchedule, cut: u64) -> FaultSchedule {
+        let mut s = FaultSchedule::default();
+        for (t, ev) in &self.events {
+            if *t < cut {
+                s.events.push((*t, ev.clone()));
+            }
+        }
+        for (t, ev) in &donor.events {
+            if *t >= cut {
+                s.events.push((*t, ev.clone()));
+            }
+        }
+        s
+    }
+
+    /// Repair an arbitrary (e.g. mutated) schedule into one the oracle
+    /// layer is sound for, without changing what the schedule *means*
+    /// where it is already valid:
+    ///
+    /// * link / router / host indices are wrapped into range (host
+    ///   slots into the member range `1..hosts` — slot 0 stays the
+    ///   sender), per-mille fields clamped to 1000, jitter to 60;
+    /// * fault events are clamped into the `1..=2900` fault window and
+    ///   membership events to the windows the explorer timeline allows
+    ///   (joins by 2900, leaves by 2970), so no fault overlaps the
+    ///   probe train the delivery oracle measures;
+    /// * the **heal discipline** is re-established: any link left
+    ///   down, lossy, or impaired and any router left crashed at the
+    ///   end of the fault window gets an explicit heal event at 2950,
+    ///   in deterministic (link, then router) order;
+    /// * empty partition/heal link sets (a mutation artifact the text
+    ///   form cannot even express) are dropped;
+    /// * events are stably sorted by time, so the result's text form is
+    ///   canonical.
+    ///
+    /// Normalization is idempotent: `normalize(normalize(s)) ==
+    /// normalize(s)` for any `s` (asserted in tests).
+    pub fn normalize(&self, links: usize, routers: usize, hosts: usize) -> FaultSchedule {
+        /// Faults land in the window the explorer's oracles assume.
+        /// `FAULT_MAX == HEAL_AT` so already-appended heal events
+        /// survive re-normalization unchanged (idempotence).
+        const FAULT_MIN: u64 = 1;
+        const FAULT_MAX: u64 = 2950;
+        const HEAL_AT: u64 = 2950;
+        const JOIN_MAX: u64 = 2900;
+        const LEAVE_MAX: u64 = 2970;
+        let wrap = |i: usize, n: usize| if n == 0 { 0 } else { i % n };
+        let member = |h: u32| -> u32 {
+            if hosts <= 1 {
+                0
+            } else {
+                1 + (h.max(1) - 1) % (hosts as u32 - 1)
+            }
+        };
+        let mut events: Vec<(u64, FaultEvent)> = Vec::with_capacity(self.events.len());
+        for (t, ev) in &self.events {
+            let fault_t = (*t).clamp(FAULT_MIN, FAULT_MAX);
+            let (t, ev) = match ev {
+                FaultEvent::LinkDown(l) => (fault_t, FaultEvent::LinkDown(wrap(*l, links))),
+                FaultEvent::LinkUp(l) => (fault_t, FaultEvent::LinkUp(wrap(*l, links))),
+                FaultEvent::LinkLoss(l, pm) => (
+                    fault_t,
+                    FaultEvent::LinkLoss(wrap(*l, links), (*pm).min(1000)),
+                ),
+                FaultEvent::CorruptLink(l, pm) => (
+                    fault_t,
+                    FaultEvent::CorruptLink(wrap(*l, links), (*pm).min(1000)),
+                ),
+                FaultEvent::DuplicateLink(l, pm) => (
+                    fault_t,
+                    FaultEvent::DuplicateLink(wrap(*l, links), (*pm).min(1000)),
+                ),
+                FaultEvent::ReorderLink(l, pm, jitter) => (
+                    fault_t,
+                    FaultEvent::ReorderLink(wrap(*l, links), (*pm).min(1000), (*jitter).min(60)),
+                ),
+                FaultEvent::Partition(ls) | FaultEvent::Heal(ls) => {
+                    let mut wrapped: Vec<usize> = ls.iter().map(|&l| wrap(l, links)).collect();
+                    wrapped.sort_unstable();
+                    wrapped.dedup();
+                    if wrapped.is_empty() {
+                        continue; // unexpressible in the text form
+                    }
+                    if matches!(ev, FaultEvent::Partition(_)) {
+                        (fault_t, FaultEvent::Partition(wrapped))
+                    } else {
+                        (fault_t, FaultEvent::Heal(wrapped))
+                    }
+                }
+                FaultEvent::CrashRouter(r) => (
+                    fault_t,
+                    FaultEvent::CrashRouter(wrap(*r as usize, routers) as u32),
+                ),
+                FaultEvent::RestartRouter(r) => (
+                    fault_t,
+                    FaultEvent::RestartRouter(wrap(*r as usize, routers) as u32),
+                ),
+                FaultEvent::Join(h) => (
+                    (*t).clamp(FAULT_MIN, JOIN_MAX),
+                    FaultEvent::Join(member(*h)),
+                ),
+                FaultEvent::Leave(h) => (
+                    (*t).clamp(FAULT_MIN, LEAVE_MAX),
+                    FaultEvent::Leave(member(*h)),
+                ),
+            };
+            events.push((t, ev));
+        }
+        events.sort_by_key(|&(t, _)| t);
+
+        // Replay the fault effects to find what is still broken at the
+        // end of the window, then heal it explicitly.
+        let mut link_down = vec![false; links];
+        let mut link_lossy = vec![false; links];
+        let mut link_dirty = vec![false; links]; // corrupt/duplicate/reorder
+        let mut crashed = vec![false; routers];
+        for (_, ev) in &events {
+            match ev {
+                FaultEvent::LinkDown(l) => link_down[*l] = true,
+                FaultEvent::LinkUp(l) => link_down[*l] = false,
+                FaultEvent::LinkLoss(l, pm) => link_lossy[*l] = *pm != 0,
+                FaultEvent::CorruptLink(l, pm)
+                | FaultEvent::DuplicateLink(l, pm)
+                | FaultEvent::ReorderLink(l, pm, _) => {
+                    if *pm != 0 {
+                        link_dirty[*l] = true;
+                    }
+                }
+                FaultEvent::Partition(ls) => {
+                    for l in ls {
+                        link_down[*l] = true;
+                    }
+                }
+                FaultEvent::Heal(ls) => {
+                    for l in ls {
+                        link_down[*l] = false;
+                        link_dirty[*l] = false;
+                    }
+                }
+                FaultEvent::CrashRouter(r) => crashed[*r as usize] = true,
+                FaultEvent::RestartRouter(r) => crashed[*r as usize] = false,
+                FaultEvent::Join(_) | FaultEvent::Leave(_) => {}
+            }
+        }
+        for l in 0..links {
+            if link_down[l] {
+                events.push((HEAL_AT, FaultEvent::LinkUp(l)));
+            }
+            if link_lossy[l] {
+                events.push((HEAL_AT, FaultEvent::LinkLoss(l, 0)));
+            }
+            if link_dirty[l] {
+                // One atomic heal resets the whole channel model.
+                events.push((HEAL_AT, FaultEvent::Heal(vec![l])));
+            }
+        }
+        for (r, down) in crashed.iter().enumerate() {
+            if *down {
+                events.push((HEAL_AT, FaultEvent::RestartRouter(r as u32)));
+            }
+        }
+        events.sort_by_key(|&(t, _)| t);
+        FaultSchedule { events }
+    }
+
     /// Compile the schedule onto `world`'s scripted-event machinery.
     /// `hosts[k]` is the world node of host slot `k`; membership events
     /// target `group`. Events are installed in stable time order.
@@ -416,5 +631,106 @@ mod tests {
     fn span_is_last_time() {
         assert_eq!(sample().span(), 1000);
         assert_eq!(FaultSchedule::default().span(), 0);
+    }
+
+    #[test]
+    fn mutation_operators_are_pure_and_clamped() {
+        let s = sample();
+        let n = s.events.len();
+        assert_eq!(s.with_deleted(1).events.len(), n - 1);
+        assert!(!s
+            .with_deleted(1)
+            .events
+            .contains(&(250, FaultEvent::LinkDown(0))));
+        // Out-of-range delete clamps to the last event.
+        assert_eq!(s.with_deleted(999).events.len(), n - 1);
+        assert_eq!(FaultSchedule::default().with_deleted(0).events.len(), 0);
+
+        let r = s.with_retimed(1, 777);
+        assert_eq!(r.events[1], (777, FaultEvent::LinkDown(0)));
+        assert_eq!(s.with_retimed(999, 777), s, "oob retime is a no-op");
+
+        let d = s.with_duplicated(1, 555);
+        assert_eq!(d.events.len(), n + 1);
+        assert_eq!(d.events[n], (555, FaultEvent::LinkDown(0)));
+
+        let donor = sample();
+        let sp = s.spliced(&donor, 400, 500);
+        assert_eq!(sp.events.len(), n + 4, "four donor events in [400,500)");
+
+        let x = s.crossover(&donor, 500);
+        // Events < 500 from s plus events >= 500 from donor == sample again
+        // (same parents), so crossover with self is identity here.
+        assert_eq!(x.events.len(), n);
+    }
+
+    #[test]
+    fn normalize_wraps_clamps_and_heals() {
+        let mut s = FaultSchedule::default();
+        s.push(0, FaultEvent::Join(9)); // slot wraps into member range
+        s.push(5000, FaultEvent::LinkDown(7)); // link wraps, time clamps
+        s.push(100, FaultEvent::LinkLoss(1, 5000)); // pm clamps, never healed
+        s.push(200, FaultEvent::CrashRouter(11)); // router wraps, never restarted
+        s.push(300, FaultEvent::ReorderLink(0, 100, 999)); // jitter clamps
+        s.push(400, FaultEvent::Partition(vec![])); // unexpressible: dropped
+        let n = s.normalize(4, 5, 3);
+
+        // Every event is in range and the text form round-trips.
+        let text = n.to_text();
+        assert_eq!(FaultSchedule::from_text(&text).unwrap().to_text(), text);
+        for (t, ev) in &n.events {
+            assert!(*t >= 1 && *t <= 2970, "time {t} out of window");
+            match ev {
+                FaultEvent::Join(h) | FaultEvent::Leave(h) => {
+                    assert!((1..3).contains(h), "host slot {h}")
+                }
+                FaultEvent::CrashRouter(r) | FaultEvent::RestartRouter(r) => {
+                    assert!(*r < 5)
+                }
+                FaultEvent::ReorderLink(_, _, j) => assert!(*j <= 60),
+                _ => {}
+            }
+        }
+        // Heal discipline: the down link is up again, loss is zeroed,
+        // the dirty channel healed, the crashed router restarted.
+        assert!(n.events.contains(&(2950, FaultEvent::LinkUp(3))));
+        assert!(n.events.contains(&(2950, FaultEvent::LinkLoss(1, 0))));
+        assert!(n.events.contains(&(2950, FaultEvent::Heal(vec![0]))));
+        assert!(n.events.contains(&(2950, FaultEvent::RestartRouter(1))));
+        assert!(!n
+            .events
+            .iter()
+            .any(|(_, e)| matches!(e, FaultEvent::Partition(ls) if ls.is_empty())));
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        for s in [
+            sample(),
+            {
+                let mut s = FaultSchedule::default();
+                s.push(9999, FaultEvent::Partition(vec![0, 1, 9]));
+                s.push(10, FaultEvent::CrashRouter(2));
+                s.push(2960, FaultEvent::Leave(1));
+                s
+            },
+            FaultSchedule::default(),
+        ] {
+            let once = s.normalize(4, 5, 3);
+            let twice = once.normalize(4, 5, 3);
+            assert_eq!(once, twice, "normalize must be idempotent");
+        }
+    }
+
+    #[test]
+    fn normalize_preserves_already_sound_schedules() {
+        // A generator-shaped schedule (faults healed, members joined)
+        // keeps its semantics: same events, stably time-sorted.
+        let mut s = FaultSchedule::default();
+        s.push(30, FaultEvent::Join(1));
+        s.push(250, FaultEvent::LinkDown(0));
+        s.push(600, FaultEvent::LinkUp(0));
+        let n = s.normalize(4, 4, 3);
+        assert_eq!(n.events, s.events, "sound schedules pass through");
     }
 }

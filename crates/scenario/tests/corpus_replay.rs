@@ -1,0 +1,62 @@
+//! The committed regression corpus replays byte-identically in CI.
+//!
+//! `corpus/` holds shrinker-minimized `scenario-replay-v1` artifacts —
+//! the PR 2 register-suppression and orphaned-upstream scenarios,
+//! rebuilt minimal by `search rebuild-corpus`. Each artifact records
+//! the trace and telemetry fingerprints, rendered violations, and
+//! post-mortem dumps of its original run; this test re-executes every
+//! one and demands exact equality on all four. Any behavioral drift in
+//! the protocols, the schedule compiler, or the telemetry layer shows
+//! up here as a diff, not as a silent regression.
+
+use scenario::load_corpus;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+#[test]
+fn every_corpus_artifact_replays_byte_identically() {
+    let corpus = load_corpus(&corpus_dir()).expect("corpus directory must load");
+    assert!(
+        !corpus.is_empty(),
+        "committed corpus must not be empty (run ./scripts/search.sh rebuild-corpus)"
+    );
+    for (path, artifact) in &corpus {
+        scenario::verify_replay(artifact).unwrap_or_else(|e| {
+            panic!("corpus artifact {} diverged on replay: {e}", path.display())
+        });
+    }
+}
+
+#[test]
+fn corpus_artifacts_round_trip_their_text_form() {
+    for (path, artifact) in load_corpus(&corpus_dir()).expect("corpus directory must load") {
+        let text = artifact.to_text();
+        let reparsed = scenario::Artifact::from_text(&text)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", path.display()));
+        assert_eq!(
+            artifact,
+            reparsed,
+            "{}: to_text/from_text not a fixpoint",
+            path.display()
+        );
+        // The on-disk bytes are exactly the canonical serialization, so
+        // `rebuild-corpus` output is diff-stable.
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, text, "{}: file is not canonical", path.display());
+    }
+}
+
+#[test]
+fn corpus_covers_both_pr2_regressions() {
+    let names: Vec<String> = load_corpus(&corpus_dir())
+        .expect("corpus directory must load")
+        .iter()
+        .map(|(p, _)| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for pin in ["register-suppression.replay", "orphaned-upstream.replay"] {
+        assert!(names.iter().any(|n| n == pin), "missing corpus pin {pin}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Shrinker contract: deterministic, property-preserving, 1-minimal.
+//!
+//! The property family under test starts from a schedule that reliably
+//! violates delivery (crashing the line-stub junction router with no
+//! restart) plus sampled noise events (extra faults, churn, retimes)
+//! that the shrinker should strip back out. For every sampled input:
+//!
+//! * shrinking twice yields the identical schedule (determinism);
+//! * the minimized run still violates the same set of oracles;
+//! * the result is 1-minimal: deleting any single event (modulo
+//!   re-normalization) either reconstructs the same schedule or stops
+//!   violating that oracle set.
+//!
+//! Case count is deliberately small — each case costs dozens of full
+//! simulations in debug mode — and the sampler is deterministic, so
+//! the suite's cost is flat.
+
+use proptest::prelude::*;
+use scenario::schedule::{FaultEvent, FaultSchedule};
+use scenario::{run_case, shrink_violation, topology, Protocol};
+use std::collections::BTreeSet;
+
+/// The reliably violating core: both members join, the junction router
+/// crashes mid-window and never restarts — delivery across the junction
+/// fails on every protocol (the same fixture `replay.rs` pins).
+fn violating_core() -> FaultSchedule {
+    let mut s = FaultSchedule::default();
+    s.push(30, FaultEvent::Join(1));
+    s.push(40, FaultEvent::Join(3));
+    s.push(300, FaultEvent::CrashRouter(2));
+    s
+}
+
+/// Decode one sampled noise event onto the line-stub topology (5 links,
+/// 6 routers, 4 host slots — `normalize` wraps whatever we produce).
+fn noise_event(kind: u8, a: u64, b: u64) -> (u64, FaultEvent) {
+    let at = 200 + (a % 2200);
+    let ev = match kind % 6 {
+        0 => FaultEvent::LinkDown(b as usize % 5),
+        1 => FaultEvent::LinkLoss(b as usize % 5, 100 + (b % 400) as u32),
+        2 => FaultEvent::CorruptLink(b as usize % 5, 100 + (b % 300) as u32),
+        3 => FaultEvent::ReorderLink(b as usize % 5, 200, 5 + (b % 30)),
+        // Slots 2 (never joined) and 3 (the source-adjacent member)
+        // only: a Leave(1) would evict the one member whose path
+        // crosses the crashed junction and un-violate the fixture.
+        4 => FaultEvent::Leave(2 + (b % 2) as u32),
+        _ => FaultEvent::Partition(vec![b as usize % 5, (b as usize + 1) % 5]),
+    };
+    (at, ev)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn shrinking_is_deterministic_property_preserving_and_1_minimal(
+        noise in prop::collection::vec((0u8..6, 0u64..3000, 0u64..1000), 0..4),
+        seed in 0u64..50,
+    ) {
+        let topo = topology("line-stub").unwrap();
+
+        let mut schedule = violating_core();
+        for (kind, a, b) in noise {
+            let (at, ev) = noise_event(kind, a, b);
+            schedule.push(at, ev);
+        }
+
+        let original = run_case(&topo, Protocol::Pim, &schedule, seed);
+        prop_assert!(!original.violations.is_empty(), "core fixture must violate");
+        let oracles: BTreeSet<&str> = original.violations.iter().map(|v| v.oracle).collect();
+
+        let first = shrink_violation(&topo, Protocol::Pim, seed, &schedule)
+            .expect("violating input must shrink");
+        let second = shrink_violation(&topo, Protocol::Pim, seed, &schedule)
+            .expect("violating input must shrink again");
+
+        // Deterministic: bit-identical schedule, outcome, and stats.
+        prop_assert_eq!(&first.schedule, &second.schedule);
+        prop_assert_eq!(first.outcome.fingerprint, second.outcome.fingerprint);
+        prop_assert_eq!(first.stats, second.stats);
+
+        // Property-preserving: the minimized run violates the same oracles.
+        let got: BTreeSet<&str> = first.outcome.violations.iter().map(|v| v.oracle).collect();
+        prop_assert!(
+            oracles.iter().all(|o| got.contains(o)),
+            "minimized run lost oracles: wanted {:?}, got {:?}", oracles, got
+        );
+
+        // Never grows.
+        prop_assert!(first.stats.final_events <= first.stats.initial_events);
+
+        // 1-minimal: no single deletion still violates the same oracle
+        // set.
+        for i in 0..first.schedule.events.len() {
+            let cand = first.schedule.with_deleted(i);
+            let o = run_case(&topo, Protocol::Pim, &cand, seed);
+            let sub: BTreeSet<&str> = o.violations.iter().map(|v| v.oracle).collect();
+            prop_assert!(
+                !oracles.iter().all(|x| sub.contains(x)),
+                "not 1-minimal: deleting event {i} of {:?} still violates {:?}",
+                first.schedule.events, oracles
+            );
+        }
+    }
+}

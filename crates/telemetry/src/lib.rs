@@ -826,6 +826,219 @@ impl Sink for Fanout {
     }
 }
 
+// ---------------------------------------------------------------------
+// Coverage: folding the event stream into a feedback signal
+// ---------------------------------------------------------------------
+
+/// FNV-1a over raw bytes — the stable hash every coverage feature and
+/// the coverage-map digest are built from. Implemented locally (not
+/// `DefaultHasher`) so feature ids and map hashes are stable across
+/// Rust releases: committed corpus artifacts and the search corpus
+/// outlive any one toolchain.
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Derive a stable coverage-feature id from a class label and its
+/// numeric parts. Same inputs → same id, on every platform, forever.
+pub fn feature(class: &str, parts: &[u64]) -> u64 {
+    let mut h = fnv1a(class.as_bytes(), FNV_OFFSET);
+    for p in parts {
+        h = fnv1a(&p.to_le_bytes(), h);
+    }
+    h
+}
+
+/// Stable hash of a short string (event-kind tags, oracle names) for
+/// use as a [`feature`] part.
+pub fn strpart(s: &str) -> u64 {
+    fnv1a(s.as_bytes(), FNV_OFFSET)
+}
+
+/// A coverage map: distinct features with AFL-style log2-bucketed hit
+/// counts. The map is a *set-with-magnitudes*, not a sequence — merging
+/// is associative and order-independent, so per-protocol maps folded in
+/// any order produce the identical map.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    features: BTreeMap<u64, u64>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Record one hit of `feature`.
+    pub fn record(&mut self, feature: u64) {
+        *self.features.entry(feature).or_default() += 1;
+    }
+
+    /// Number of distinct features seen.
+    pub fn distinct(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Total hits across all features.
+    pub fn total(&self) -> u64 {
+        self.features.values().sum()
+    }
+
+    /// Whether `feature` has been seen.
+    pub fn contains(&self, feature: u64) -> bool {
+        self.features.contains_key(&feature)
+    }
+
+    /// Features in `self` that `base` has never seen — the novelty
+    /// signal coverage-guided search prioritizes on.
+    pub fn novel_vs(&self, base: &CoverageMap) -> usize {
+        self.features.keys().filter(|f| !base.contains(**f)).count()
+    }
+
+    /// Merge `other` into `self` (associative, order-independent).
+    pub fn merge(&mut self, other: &CoverageMap) {
+        for (f, n) in &other.features {
+            *self.features.entry(*f).or_default() += n;
+        }
+    }
+
+    /// The log2 hit bucket of a count (AFL-style): 1, 2, 3–4, 5–8, …
+    /// Coverage treats "hit 7 times" and "hit 8 times" as the same
+    /// signal but "once" vs "many" as different ones.
+    pub fn bucket(n: u64) -> u32 {
+        64 - n.leading_zeros()
+    }
+
+    /// Iterate the `(feature, hit-count)` pairs, in feature order.
+    /// Consumers that accumulate bucketed coverage across many runs
+    /// (the search loop's `(feature, bucket)` entry set) fold from
+    /// here.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.features.iter().map(|(f, n)| (*f, *n))
+    }
+
+    /// Stable digest over the sorted `(feature, hit-bucket)` pairs.
+    /// Byte-identical event streams yield the identical hash — the
+    /// `--threads` determinism contract extends to coverage.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for (f, n) in &self.features {
+            h = fnv1a(&f.to_le_bytes(), h);
+            h = fnv1a(&CoverageMap::bucket(*n).to_le_bytes(), h);
+        }
+        h
+    }
+}
+
+/// A [`Sink`] folding the event stream into a [`CoverageMap`] — the
+/// feedback signal behind coverage-guided schedule search.
+///
+/// Features, all derived with the stable [`feature`] hash:
+///
+/// * **entry-flag transitions** — per node and entry-key class, the
+///   `(from, to)` flag-bit deltas of `EntryCreated` / `EntryModified` /
+///   `EntryExpired` (WC/RP/SPT/PRUNED/ON_TREE — the paper's own state
+///   taxonomy);
+/// * **event-kind digrams** — per node, each consecutive
+///   `(previous kind, kind)` pair; timer arm/fire/cancel events are
+///   kinds too, so distinct timer interleavings are distinct features;
+/// * **control-message kinds** sent and received per node, decode
+///   failures by kind, channel impairments by kind and link, and data
+///   deliveries per node.
+///
+/// The optional `tag` is mixed into every feature so streams from
+/// different contexts (e.g. different protocols under one search run)
+/// never collide. The sink observes only — attaching it is invisible
+/// to the packet trace, like every other sink.
+#[derive(Clone, Debug, Default)]
+pub struct CoverageSink {
+    map: CoverageMap,
+    tag: u64,
+    last_kind: BTreeMap<u32, &'static str>,
+}
+
+impl CoverageSink {
+    /// A sink whose features are tagged with `tag` (use 0 for none).
+    pub fn new(tag: u64) -> CoverageSink {
+        CoverageSink {
+            map: CoverageMap::new(),
+            tag,
+            last_kind: BTreeMap::new(),
+        }
+    }
+
+    /// The accumulated map.
+    pub fn map(&self) -> &CoverageMap {
+        &self.map
+    }
+
+    /// Consume the sink, returning the accumulated map.
+    pub fn into_map(self) -> CoverageMap {
+        self.map
+    }
+}
+
+impl Sink for CoverageSink {
+    fn event(&mut self, node: u32, _at: Ticks, ev: &Event) {
+        let t = self.tag;
+        let n = u64::from(node);
+        let key_class = |k: &EntryKey| -> u64 {
+            match k {
+                EntryKey::Star => 0,
+                EntryKey::Source(_) => 1,
+            }
+        };
+        match ev {
+            Event::EntryCreated { key, flags: f2, .. } => self.map.record(feature(
+                "entry-flags",
+                &[t, n, key_class(key), 0, u64::from(*f2)],
+            )),
+            Event::EntryModified { key, from, to, .. } => self.map.record(feature(
+                "entry-flags",
+                &[t, n, key_class(key), u64::from(*from), u64::from(*to)],
+            )),
+            Event::EntryExpired { key, .. } => self
+                .map
+                .record(feature("entry-expired", &[t, n, key_class(key)])),
+            Event::CtrlSend { kind, .. } => {
+                self.map
+                    .record(feature("ctrl-send", &[t, n, strpart(kind)]));
+            }
+            Event::CtrlRecv { kind, .. } => {
+                self.map
+                    .record(feature("ctrl-recv", &[t, n, strpart(kind)]));
+            }
+            Event::DecodeFailed { kind, .. } => {
+                self.map.record(feature("decode", &[t, n, strpart(kind)]));
+            }
+            Event::ChannelImpaired { what, link } => self
+                .map
+                .record(feature("impair", &[t, u64::from(*link), strpart(what)])),
+            Event::DataDelivered { .. } => self.map.record(feature("deliver", &[t, n])),
+            // Everything else contributes its kind per node (RP
+            // failover, DR/querier flips, SPT switch starts, faults,
+            // route changes, membership, timers).
+            other => self
+                .map
+                .record(feature("ev", &[t, n, strpart(other.kind())])),
+        }
+        // Event-kind digram per node: the interleaving signal.
+        let k = ev.kind();
+        if let Some(prev) = self.last_kind.insert(node, k) {
+            self.map
+                .record(feature("digram", &[t, n, strpart(prev), strpart(k)]));
+        }
+    }
+}
+
 /// `show mroute`-style introspection: every protocol engine renders
 /// its live multicast state — (*,G)/(S,G) entries with flag bits,
 /// outgoing interfaces, and timers — as stable text for replay
@@ -1032,6 +1245,100 @@ mod tests {
         use wire::igmp::HostQuery;
         let m = Message::HostQuery(HostQuery { max_resp_time: 10 });
         assert_eq!(message_kind(&m), "igmp-query");
+    }
+
+    #[test]
+    fn coverage_features_are_stable_and_tagged() {
+        // Feature ids are pure functions of their inputs.
+        assert_eq!(feature("x", &[1, 2]), feature("x", &[1, 2]));
+        assert_ne!(feature("x", &[1, 2]), feature("x", &[2, 1]));
+        assert_ne!(feature("x", &[1]), feature("y", &[1]));
+        // Tags separate otherwise identical streams.
+        let ev = Event::CtrlSend {
+            kind: "pim-join-prune",
+            dst: Addr::new(10, 0, 0, 1),
+        };
+        let mut a = CoverageSink::new(0);
+        let mut b = CoverageSink::new(1);
+        a.event(1, 5, &ev);
+        b.event(1, 5, &ev);
+        assert_eq!(a.map().distinct(), 1);
+        assert_ne!(a.map().stable_hash(), b.map().stable_hash());
+    }
+
+    #[test]
+    fn coverage_map_merge_is_order_independent() {
+        let mut x = CoverageMap::new();
+        let mut y = CoverageMap::new();
+        for f in [10u64, 20, 20, 30] {
+            x.record(f);
+        }
+        for f in [20u64, 40] {
+            y.record(f);
+        }
+        let mut xy = x.clone();
+        xy.merge(&y);
+        let mut yx = y.clone();
+        yx.merge(&x);
+        assert_eq!(xy, yx);
+        assert_eq!(xy.distinct(), 4);
+        assert_eq!(xy.total(), 6);
+        assert_eq!(xy.stable_hash(), yx.stable_hash());
+        assert_eq!(y.novel_vs(&x), 1); // only 40 is new
+        assert!(x.contains(30) && !x.contains(40));
+    }
+
+    #[test]
+    fn coverage_hash_buckets_counts_log2() {
+        // Hit counts in the same log2 bucket hash identically; crossing
+        // a bucket boundary changes the hash.
+        let mut a = CoverageMap::new();
+        let mut b = CoverageMap::new();
+        for _ in 0..8 {
+            a.record(1);
+        }
+        for _ in 0..15 {
+            b.record(1);
+        }
+        assert_eq!(a.stable_hash(), b.stable_hash(), "8 and 15 share bucket 4");
+        let mut c = CoverageMap::new();
+        for _ in 0..16 {
+            c.record(1);
+        }
+        assert_ne!(b.stable_hash(), c.stable_hash(), "16 opens bucket 5");
+    }
+
+    #[test]
+    fn coverage_sink_folds_transitions_and_digrams() {
+        let mut s = CoverageSink::new(0);
+        let e1 = Event::EntryCreated {
+            group: g(),
+            key: EntryKey::Star,
+            flags: flags::WC | flags::RP,
+        };
+        let e2 = Event::EntryModified {
+            group: g(),
+            key: EntryKey::Star,
+            from: flags::WC | flags::RP,
+            to: flags::WC | flags::RP | flags::SPT,
+        };
+        s.event(2, 10, &e1);
+        s.event(2, 11, &e2);
+        // entry-flags x2 (distinct transitions) + one digram.
+        assert_eq!(s.map().distinct(), 3);
+        // Same events replayed: same features, same hash, no new ones.
+        let mut s2 = CoverageSink::new(0);
+        s2.event(2, 99, &e1);
+        s2.event(2, 100, &e2);
+        assert_eq!(
+            s.map().stable_hash(),
+            s2.map().stable_hash(),
+            "coverage is time-invariant"
+        );
+        assert_eq!(s2.map().novel_vs(s.map()), 0);
+        // A different transition on another node is novel.
+        s2.event(3, 101, &e1);
+        assert_eq!(s2.map().novel_vs(s.map()), 1);
     }
 
     #[test]

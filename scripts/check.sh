@@ -41,4 +41,10 @@ echo "== bench smoke"
 echo "== fuzz smoke"
 ./scripts/fuzz.sh smoke
 
+echo "== search smoke"
+# Coverage-guided search gate: replay the committed regression corpus
+# byte-identically, self-test the shrinker (determinism + 1-minimality)
+# on a known violating fixture, and run a bounded guided search.
+./scripts/search.sh smoke
+
 echo "tier-1: OK"

@@ -1,13 +1,22 @@
 #!/usr/bin/env sh
 # Fixed-budget fault-schedule exploration: 300 seeded schedules per
 # topology zoo rotation, all three protocols each, oracle-checked.
-# Exits nonzero and prints a scenario-replay-v1 artifact on any
-# violation. Run from the repository root: ./scripts/explore.sh
+# Exits nonzero and prints a scenario-replay-v1 artifact (plus a
+# trace.sh repro hint) on any violation. The committed regression
+# corpus is replayed byte-identically first; set CORPUS= to skip it.
+# Run from the repository root: ./scripts/explore.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 
 SEEDS="${SEEDS:-300}"
 START="${START:-0}"
+CORPUS="${CORPUS-corpus}"
 
-cargo run --release --offline -q -p scenario --bin explore -- "$SEEDS" "$START"
+if [ -n "$CORPUS" ]; then
+    set -- "$SEEDS" "$START" --corpus "$CORPUS"
+else
+    set -- "$SEEDS" "$START"
+fi
+
+cargo run --release --offline -q -p scenario --bin explore -- "$@"

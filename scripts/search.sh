@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Coverage-guided fault-schedule search driver.
+#
+#   ./scripts/search.sh smoke            # tier-1 gate: corpus replay,
+#                                        # shrinker self-test, bounded search
+#   ./scripts/search.sh compare          # random vs guided on identical
+#                                        # budgets (the EXPERIMENTS.md table)
+#   ./scripts/search.sh full             # campaign; shrunk artifacts under
+#                                        # target/search/ on any violation
+#   ./scripts/search.sh rebuild-corpus   # regenerate corpus/*.replay pins
+#
+# Extra flags pass straight through, e.g.:
+#   ./scripts/search.sh compare --budget 96 --seed 1994 --threads 4
+# Output (and any written artifact) is bit-identical at every --threads.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE="${1:-smoke}"
+[ "$#" -gt 0 ] && shift
+
+cargo run --release --offline -q -p scenario --bin search -- "$MODE" "$@"
