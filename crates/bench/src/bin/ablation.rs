@@ -76,6 +76,7 @@ fn run_point(args: &cli::Args, proto: Proto, loss: f64, pim: PimConfig) -> (u64,
                 link_loss: loss,
                 pim,
                 threads: 1,
+                profile: false,
             },
         );
         TrialOut {

@@ -166,6 +166,7 @@ fn protocol_run(seed: u64, threads: usize) -> (u64, f64) {
                 link_loss: 0.0,
                 pim: PimConfig::default(),
                 threads,
+                profile: false,
             },
         )
     });
@@ -179,12 +180,15 @@ struct SweepRow {
     events: u64,
     regions: usize,
     wall_ms: f64,
+    profile: Option<netsim::SimProfile>,
 }
 
 /// PIM source-tree runs over Waxman internets of growing size: the
-/// wall-clock-vs-node-count table. Membership scales with the network
-/// (one member per ~5 routers, 2 senders) so larger points do
-/// proportionally more protocol work, not just more idle topology.
+/// wall-clock-vs-node-count table, each point profiled per region ×
+/// event kind so the sweep says *which* phase bends as the topology
+/// grows. Membership scales with the network (one member per ~5
+/// routers, 2 senders) so larger points do proportionally more protocol
+/// work, not just more idle topology.
 fn node_sweep(sizes: &[usize], seed: u64, threads: usize) -> Vec<SweepRow> {
     sizes
         .iter()
@@ -215,6 +219,7 @@ fn node_sweep(sizes: &[usize], seed: u64, threads: usize) -> Vec<SweepRow> {
                         link_loss: 0.0,
                         pim: PimConfig::default(),
                         threads,
+                        profile: true,
                     },
                 )
             });
@@ -224,6 +229,7 @@ fn node_sweep(sizes: &[usize], seed: u64, threads: usize) -> Vec<SweepRow> {
                 events: r.events_dispatched,
                 regions: r.regions,
                 wall_ms,
+                profile: r.profile,
             }
         })
         .collect()
@@ -257,13 +263,21 @@ fn main() {
         args.threads
     );
     println!(
-        "{:<8} {:>12} {:>12} {:>9} {:>10}",
-        "nodes", "deliveries", "events", "regions", "wall ms"
+        "{:<8} {:>12} {:>12} {:>9} {:>10} {:>8}",
+        "nodes", "deliveries", "events", "regions", "wall ms", "serial%"
     );
     for r in &rows {
         println!(
-            "{:<8} {:>12} {:>12} {:>9} {:>10.1}",
-            r.nodes, r.deliveries, r.events, r.regions, r.wall_ms
+            "{:<8} {:>12} {:>12} {:>9} {:>10.1} {:>8}",
+            r.nodes,
+            r.deliveries,
+            r.events,
+            r.regions,
+            r.wall_ms,
+            r.profile
+                .as_ref()
+                .map(|p| format!("{:.1}", p.serial_pct()))
+                .unwrap_or_else(|| "-".into()),
         );
     }
     // Greppable one-liner for the CI gate: the auto-partitioner must be
@@ -273,18 +287,35 @@ fn main() {
         "auto_partition regions={} nodes={} threads={}",
         last.regions, last.nodes, args.threads
     );
+    // Where the event loop bends: per-region × event-kind attribution of
+    // the largest sweep point (nanosecond columns are wall-clock and
+    // vary run to run; event counts are deterministic).
+    if let Some(p) = &last.profile {
+        println!(
+            "node_profile nodes={} ({} events dispatched):",
+            last.nodes,
+            p.events()
+        );
+        for l in p.render().lines() {
+            println!("  {l}");
+        }
+    }
 
     if let Some(path) = &args.json {
         let mut sweep_json = String::new();
         for (i, r) in rows.iter().enumerate() {
             sweep_json.push_str(&format!(
                 "    {{\"nodes\": {}, \"deliveries\": {}, \"events\": {}, \
-                 \"regions\": {}, \"wall_ms\": {:.1}}}{}\n",
+                 \"regions\": {}, \"wall_ms\": {:.1}, \"serial_pct\": {}}}{}\n",
                 r.nodes,
                 r.deliveries,
                 r.events,
                 r.regions,
                 r.wall_ms,
+                r.profile
+                    .as_ref()
+                    .map(|p| format!("{:.1}", p.serial_pct()))
+                    .unwrap_or_else(|| "null".into()),
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }

@@ -11,8 +11,10 @@
 //! * `flight`   — bounded per-node ring buffer of rendered events;
 //! * `jsonl`    — JSON-lines stream into an in-memory buffer;
 //! * `coverage` — the coverage-map fold driving `scenario::search`;
-//! * `full`     — flight + jsonl + metrics + coverage fanned out
-//!   (what `scenario::run_case` attaches).
+//! * `trace`    — the causal-index fold behind `trace why` (provenance
+//!   DAG over every dispatch, silent ones included);
+//! * `full`     — flight + jsonl + metrics + coverage + trace fanned
+//!   out (what `scenario::run_case` attaches).
 //!
 //! Reported metric: simulator events dispatched per wall-clock second,
 //! mean ± sd over trials, plus each mode's relative slowdown vs
@@ -29,7 +31,7 @@ use scenario::{build_net, random_schedule, topologies, Protocol, Substrate};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use telemetry::{
-    CoverageSink, Fanout, FlightRecorder, JsonlSink, MetricsAggregator, SharedSink,
+    CausalIndex, CoverageSink, Fanout, FlightRecorder, JsonlSink, MetricsAggregator, SharedSink,
     FLIGHT_RECORDER_CAP,
 };
 use wire::Group;
@@ -46,15 +48,17 @@ enum Mode {
     Flight,
     Jsonl,
     Coverage,
+    Trace,
     Full,
 }
 
 impl Mode {
-    const ALL: [Mode; 5] = [
+    const ALL: [Mode; 6] = [
         Mode::Disabled,
         Mode::Flight,
         Mode::Jsonl,
         Mode::Coverage,
+        Mode::Trace,
         Mode::Full,
     ];
 
@@ -64,6 +68,7 @@ impl Mode {
             Mode::Flight => "flight",
             Mode::Jsonl => "jsonl",
             Mode::Coverage => "coverage",
+            Mode::Trace => "trace",
             Mode::Full => "full",
         }
     }
@@ -76,6 +81,7 @@ impl Mode {
             )))),
             Mode::Jsonl => Some(Arc::new(Mutex::new(JsonlSink::new(Vec::<u8>::new())))),
             Mode::Coverage => Some(Arc::new(Mutex::new(CoverageSink::new(0)))),
+            Mode::Trace => Some(Arc::new(Mutex::new(CausalIndex::new()))),
             Mode::Full => {
                 let mut fan = Fanout::new();
                 fan.push(Arc::new(Mutex::new(FlightRecorder::new(
@@ -84,6 +90,7 @@ impl Mode {
                 fan.push(Arc::new(Mutex::new(JsonlSink::new(Vec::<u8>::new()))));
                 fan.push(Arc::new(Mutex::new(MetricsAggregator::new())));
                 fan.push(Arc::new(Mutex::new(CoverageSink::new(0))));
+                fan.push(Arc::new(Mutex::new(CausalIndex::new())));
                 Some(Arc::new(Mutex::new(fan)))
             }
         }

@@ -122,6 +122,10 @@ pub struct SimResult {
     /// sequential core; >1 only when [`SimOptions::threads`] > 1 and the
     /// auto-partitioner found a cut).
     pub regions: usize,
+    /// Per-region × event-kind attribution ([`netsim::SimProfile`]),
+    /// collected only when [`SimOptions::profile`] is set. Event counts
+    /// are deterministic; nanosecond columns are wall-clock.
+    pub profile: Option<netsim::SimProfile>,
 }
 
 /// Simulation schedule shared by all protocols.
@@ -146,6 +150,10 @@ pub struct SimOptions {
     /// Worker threads for the region-partitioned world (1 = the classic
     /// sequential core). Results are byte-identical for any value.
     pub threads: usize,
+    /// Collect a [`netsim::SimProfile`] (per-region wall-clock and
+    /// event-count attribution) into [`SimResult::profile`]. Purely
+    /// observational: every deterministic output is unchanged.
+    pub profile: bool,
 }
 
 impl Default for SimOptions {
@@ -156,6 +164,7 @@ impl Default for SimOptions {
             link_loss: 0.0,
             pim: PimConfig::default(),
             threads: 1,
+            profile: false,
         }
     }
 }
@@ -335,12 +344,16 @@ pub fn run_protocol_sim_opts(
 
     let end = SEND_START + packets_per_sender * SEND_GAP + COOLDOWN;
     world.parallelize(opts.threads);
+    if opts.profile {
+        world.enable_profile();
+    }
     world.run_until(SimTime(end));
 
     // Collect metrics.
     let mut result = SimResult {
         state_entries: state_sample.get(),
         regions: world.region_count(),
+        profile: world.profile(),
         ..SimResult::default()
     };
     // Link metrics cover router-router links only: the member host LANs

@@ -62,8 +62,9 @@ fn ablation_output_is_thread_count_invariant() {
 
 /// simbench prints wall-clock timings, which legitimately vary run to
 /// run, and region counts, which vary with `--threads` by design (the
-/// partition is a performance knob). Strip both, leaving the
-/// deterministic content: fingerprints and delivery/event counts.
+/// partition is a performance knob). Strip both — plus the profile
+/// block, whose per-region attribution follows the partition — leaving
+/// the deterministic content: fingerprints and delivery/event counts.
 fn simbench_deterministic_view(out: &str) -> String {
     out.lines()
         .filter_map(|l| {
@@ -71,14 +72,19 @@ fn simbench_deterministic_view(out: &str) -> String {
             if let Some(i) = l.find(" in ") {
                 return Some(l[..i].to_string());
             }
-            // The echoed thread count and the partition shape it implies.
-            if l.contains(" threads:") || l.starts_with("auto_partition") {
+            // The echoed thread count and the partition shape it implies,
+            // including the per-region profile table (indented block).
+            if l.contains(" threads:")
+                || l.starts_with("auto_partition")
+                || l.starts_with("node_profile")
+                || l.starts_with("  ")
+            {
                 return None;
             }
             let toks: Vec<&str> = l.split_whitespace().collect();
-            // Sweep rows "nodes deliveries events regions wall_ms" →
-            // keep only the simulation results.
-            if toks.len() == 5 && toks.iter().all(|t| t.parse::<f64>().is_ok()) {
+            // Sweep rows "nodes deliveries events regions wall_ms serial%"
+            // → keep only the simulation results (serial% may be "-").
+            if toks.len() == 6 && toks[..5].iter().all(|t| t.parse::<f64>().is_ok()) {
                 return Some(toks[..3].join(" "));
             }
             Some(l.to_string())

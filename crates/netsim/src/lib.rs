@@ -24,12 +24,14 @@
 pub mod build;
 pub mod counters;
 pub mod partition;
+pub mod profile;
 pub mod time;
 pub mod trace;
 pub mod world;
 
 pub use build::{host_addr, node_of_addr, router_addr, Topology};
 pub use counters::{Counters, CtrlProto, LinkStats, PacketClass};
+pub use profile::{RegionProfile, SimProfile};
 pub use time::{earliest, Duration, SimTime};
 pub use world::{
     CaptureRecord, ChannelModel, Ctx, IfaceId, Link, LinkId, LinkKind, Node, NodeIdx, TimerId,

@@ -51,9 +51,14 @@ const NODE_RNG_STREAM: u64 = 0x6E6F_6465; // "node"
 /// Canonical-key epoch for start-of-world dispatches (`on_start`): they
 /// sort before any runtime event at the same tick.
 const EPOCH_START: u8 = 0;
+/// Canonical-key epoch for scripts. Scripts live in a separate
+/// world-level queue and never enter a region heap; the epoch exists so
+/// a script dispatch has a canonical identity of its own — the causal
+/// root every fault injection's consequences hang off — that sorts
+/// before the node events it triggers at the same tick.
+const EPOCH_SCRIPT: u8 = 1;
 /// Canonical-key epoch for runtime node events (deliveries, timers,
-/// barrier dispatches). Epoch 1 is reserved for scripts, which live in a
-/// separate world-level queue and never enter a region heap.
+/// barrier dispatches).
 const EPOCH_EVENT: u8 = 2;
 
 /// Index of a node in the world.
@@ -221,6 +226,21 @@ struct Tag {
     emit: u32,
 }
 
+impl Tag {
+    /// The dispatch-identity part of the tag as a public
+    /// [`telemetry::EventId`]. The `emit` component is dropped: causal
+    /// provenance identifies *dispatches* (always `emit == 0`), and the
+    /// tags stored as causes are exactly the identity tags.
+    fn event_id(self) -> telemetry::EventId {
+        telemetry::EventId {
+            time: self.time.ticks(),
+            epoch: self.epoch,
+            origin: self.origin,
+            seq: self.seq,
+        }
+    }
+}
+
 enum Event {
     Deliver {
         node: NodeIdx,
@@ -259,6 +279,10 @@ pub struct TimerId {
 struct EventSlot {
     gen: u32,
     ev: Option<Event>,
+    /// Identity tag of the dispatch that created this event — the
+    /// event's causal parent, threaded into the handling dispatch so
+    /// every consequence links back to its cause.
+    cause: Tag,
 }
 
 /// One captured transmission (see [`World::enable_capture`]).
@@ -283,6 +307,8 @@ struct BufEntry {
     node: u32,
     at: u64,
     ev: telemetry::Event,
+    /// Cause of the emitting dispatch (None for causal roots).
+    cause: Option<Tag>,
 }
 
 /// Per-region telemetry buffer. Node adapters and the world's own
@@ -295,8 +321,13 @@ struct BufEntry {
 #[derive(Default)]
 struct RegionBuf {
     tag: Tag,
+    cause: Option<Tag>,
     next: u64,
     entries: Vec<BufEntry>,
+    /// One provenance edge per dispatch this window — including silent
+    /// dispatches that emit no events, so backward slices never have
+    /// holes where a hop merely forwarded data.
+    links: Vec<(Tag, Option<Tag>)>,
 }
 
 impl telemetry::Sink for RegionBuf {
@@ -309,6 +340,7 @@ impl telemetry::Sink for RegionBuf {
             node,
             at,
             ev: ev.clone(),
+            cause: self.cause,
         });
     }
 }
@@ -319,6 +351,8 @@ impl telemetry::Sink for RegionBuf {
 struct Outgoing {
     dst: u32,
     tag: Tag,
+    /// Identity tag of the creating dispatch (causal parent).
+    cause: Tag,
     node: NodeIdx,
     iface: IfaceId,
     packet: Arc<[u8]>,
@@ -367,6 +401,10 @@ struct Region {
     cap_seq: u64,
     buf: Option<Arc<Mutex<RegionBuf>>>,
     outbox: Vec<Outgoing>,
+    /// Wall-clock/event-count attribution shard, `Some` when profiling
+    /// (see [`World::enable_profile`]). Only the profiler reads
+    /// wall-clock; nothing inside the simulation ever does.
+    prof: Option<crate::profile::RegionProfile>,
 }
 
 impl Region {
@@ -385,19 +423,22 @@ impl Region {
             cap_seq: 0,
             buf: None,
             outbox: Vec::new(),
+            prof: None,
         }
     }
 
-    fn push_event(&mut self, tag: Tag, ev: Event) -> TimerId {
+    fn push_event(&mut self, tag: Tag, cause: Tag, ev: Event) -> TimerId {
         let slot = match self.free.pop() {
             Some(slot) => {
                 self.events[slot].ev = Some(ev);
+                self.events[slot].cause = cause;
                 slot
             }
             None => {
                 self.events.push(EventSlot {
                     gen: 0,
                     ev: Some(ev),
+                    cause,
                 });
                 self.events.len() - 1
             }
@@ -428,12 +469,17 @@ impl Region {
 
     /// Run one node callback under a fresh canonical dispatch tag,
     /// through the take-call-put dance that lets the node borrow the
-    /// region mutably alongside itself.
+    /// region mutably alongside itself. `cause` is the identity tag of
+    /// the dispatch that created the event being handled (`None` for
+    /// causal roots: `on_start`, and barrier dispatches outside any
+    /// script); it stamps every emission and is recorded as one
+    /// provenance edge even when the callback emits nothing.
     fn dispatch(
         &mut self,
         shared: &Shared,
         node: NodeIdx,
         epoch: u8,
+        cause: Option<Tag>,
         f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>),
     ) {
         let slot = shared.slot_of[node.0] as usize;
@@ -447,7 +493,10 @@ impl Region {
             emit: 0,
         };
         if let Some(buf) = &self.buf {
-            buf.lock().expect("region buffer poisoned").tag = tag;
+            let mut guard = buf.lock().expect("region buffer poisoned");
+            guard.tag = tag;
+            guard.cause = cause;
+            guard.links.push((tag, cause));
         }
         let mut node_box = self.nodes[slot].take().expect("node re-entrancy");
         {
@@ -491,10 +540,15 @@ impl Region {
             // without dispatch.
             if self.events[slot].gen != gen || self.events[slot].ev.is_none() {
                 self.counters.record_timer_skipped();
+                if let Some(p) = &mut self.prof {
+                    p.stale_events += 1;
+                }
                 continue;
             }
+            let cause = self.events[slot].cause;
             let ev = self.vacate(slot);
             self.counters.record_dispatch();
+            let t0 = self.prof.as_ref().map(|_| std::time::Instant::now());
             match ev {
                 Event::Deliver {
                     node,
@@ -510,9 +564,13 @@ impl Region {
                     }
                     let class = PacketClass::classify(&packet);
                     self.counters.record_rx(link, class, packet.len());
-                    self.dispatch(shared, node, EPOCH_EVENT, |nb, ctx| {
+                    self.dispatch(shared, node, EPOCH_EVENT, Some(cause), |nb, ctx| {
                         nb.on_packet(ctx, iface, &packet)
                     });
+                    if let (Some(p), Some(t0)) = (&mut self.prof, t0) {
+                        p.deliver_events += 1;
+                        p.deliver_nanos += t0.elapsed().as_nanos() as u64;
+                    }
                 }
                 Event::Timer { node, token } => {
                     // Belt-and-braces: crash_node cancels the node's
@@ -523,10 +581,14 @@ impl Region {
                         continue;
                     }
                     self.counters.record_timer_fired();
-                    self.dispatch(shared, node, EPOCH_EVENT, |nb, ctx| {
+                    self.dispatch(shared, node, EPOCH_EVENT, Some(cause), |nb, ctx| {
                         ctx.emit(node, || telemetry::Event::TimerFired { token });
                         nb.on_timer(ctx, token);
                     });
+                    if let (Some(p), Some(t0)) = (&mut self.prof, t0) {
+                        p.timer_events += 1;
+                        p.timer_nanos += t0.elapsed().as_nanos() as u64;
+                    }
                 }
             }
         }
@@ -604,6 +666,7 @@ impl<'a> Ctx<'a> {
         if dst == self.region.id {
             let _ = self.region.push_event(
                 tag,
+                self.tag,
                 Event::Deliver {
                     node,
                     iface,
@@ -615,6 +678,7 @@ impl<'a> Ctx<'a> {
             self.region.outbox.push(Outgoing {
                 dst,
                 tag,
+                cause: self.tag,
                 node,
                 iface,
                 packet,
@@ -783,7 +847,7 @@ impl<'a> Ctx<'a> {
         });
         let tag = self.next_tag(at);
         self.region
-            .push_event(tag, Event::Timer { node: me, token })
+            .push_event(tag, self.tag, Event::Timer { node: me, token })
     }
 
     /// Cancel a pending timer. Returns `true` if the timer was still
@@ -893,6 +957,15 @@ pub struct World {
     lookahead: Option<Duration>,
     started: bool,
     now: SimTime,
+    /// Identity tag of the script currently executing, if any: the
+    /// causal root for fault marks and for every barrier dispatch the
+    /// script performs.
+    cur_script: Option<Tag>,
+    /// Whether per-region wall-clock/event attribution is collected
+    /// (see [`World::enable_profile`]).
+    profile: bool,
+    prof_windows: u64,
+    prof_barrier_nanos: u64,
 }
 
 impl Default for World {
@@ -923,6 +996,10 @@ impl World {
             lookahead: None,
             started: false,
             now: SimTime::ZERO,
+            cur_script: None,
+            profile: false,
+            prof_windows: 0,
+            prof_barrier_nanos: 0,
         }
     }
 
@@ -1139,7 +1216,8 @@ impl World {
             return;
         }
         self.shared.node_up[idx.0] = true;
-        self.dispatch_at_barrier(idx, EPOCH_EVENT, |n, ctx| n.on_restart(ctx));
+        let cause = self.cur_script;
+        self.dispatch_at_barrier(idx, EPOCH_EVENT, cause, |n, ctx| n.on_restart(ctx));
     }
 
     /// Is `node` currently up (not crashed)?
@@ -1211,6 +1289,32 @@ impl World {
         self.telem = Some(sink);
     }
 
+    /// Collect per-region wall-clock and event-count attribution (see
+    /// [`crate::profile::SimProfile`]). Profiling is the one place the
+    /// simulator reads wall-clock time; it observes only — the event
+    /// order, RNG streams, and every deterministic output are untouched.
+    /// Must be called before [`World::start`].
+    pub fn enable_profile(&mut self) {
+        assert!(!self.started, "enable profiling before start");
+        self.profile = true;
+    }
+
+    /// The attribution profile collected so far, `None` unless
+    /// [`World::enable_profile`] was called. Event counts are
+    /// deterministic; nanosecond attributions are wall-clock and vary
+    /// run to run (never put them in a fingerprint).
+    pub fn profile(&self) -> Option<crate::profile::SimProfile> {
+        if !self.profile {
+            return None;
+        }
+        Some(crate::profile::SimProfile {
+            regions: self.regions.iter().filter_map(|r| r.prof.clone()).collect(),
+            windows: self.prof_windows,
+            barrier_nanos: self.prof_barrier_nanos,
+            script_dispatches: self.world_counters.events_dispatched(),
+        })
+    }
+
     /// Emit one telemetry event on behalf of `node` (no-op when no sink
     /// is attached). Scenario scripts use this to mark injected faults
     /// so sinks can measure post-fault reconvergence. Only callable at
@@ -1218,9 +1322,29 @@ impl World {
     /// are already flushed, so direct writes stay in canonical order.
     pub fn emit_event(&mut self, node: NodeIdx, ev: telemetry::Event) {
         if let Some(sink) = &self.telem {
-            sink.lock()
-                .expect("sink poisoned")
-                .event(node.0 as u32, self.now.ticks(), &ev);
+            // The emitting script's identity is the causal root the
+            // event hangs off (fault marks are exactly what
+            // `CausalIndex::forward_slice` starts from). Outside any
+            // script — possible only from test code — fall back to a
+            // sentinel script tag.
+            let id = self.cur_script.unwrap_or(Tag {
+                time: self.now,
+                epoch: EPOCH_SCRIPT,
+                origin: u32::MAX,
+                seq: u64::MAX,
+                emit: 0,
+            });
+            let mut s = sink.lock().expect("sink poisoned");
+            s.link(id.event_id(), None);
+            s.event_caused(
+                node.0 as u32,
+                self.now.ticks(),
+                &ev,
+                telemetry::Provenance {
+                    id: id.event_id(),
+                    cause: None,
+                },
+            );
         }
     }
 
@@ -1306,6 +1430,7 @@ impl World {
         &mut self,
         idx: NodeIdx,
         epoch: u8,
+        cause: Option<Tag>,
         f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>),
     ) {
         let rid = self.shared.region_of[idx.0] as usize;
@@ -1313,15 +1438,18 @@ impl World {
         let region = &mut self.regions[rid];
         debug_assert!(region.now <= now, "region ahead of barrier time");
         region.now = now;
-        region.dispatch(&self.shared, idx, epoch, f);
+        region.dispatch(&self.shared, idx, epoch, cause, f);
         self.route_mail();
         self.flush_telemetry();
     }
 
     /// Invoke a node's [`Node::on_timer`]-style entry from scripted events,
-    /// giving scenario code a way to poke engines with full context.
+    /// giving scenario code a way to poke engines with full context. The
+    /// dispatch's causal parent is the executing script, so everything a
+    /// scripted poke sets in motion traces back to the script.
     pub fn call_node(&mut self, idx: NodeIdx, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
-        self.dispatch_at_barrier(idx, EPOCH_EVENT, f);
+        let cause = self.cur_script;
+        self.dispatch_at_barrier(idx, EPOCH_EVENT, cause, f);
     }
 
     /// Deliver `on_start` to every node (idempotent; called automatically by
@@ -1357,8 +1485,13 @@ impl World {
                     .set_telemetry(telemetry::Telem::attached(sink, i as u32));
             }
         }
+        if self.profile {
+            for r in &mut self.regions {
+                r.prof = Some(crate::profile::RegionProfile::new(r.id));
+            }
+        }
         for i in 0..self.node_count() {
-            self.dispatch_at_barrier(NodeIdx(i), EPOCH_START, |n, ctx| n.on_start(ctx));
+            self.dispatch_at_barrier(NodeIdx(i), EPOCH_START, None, |n, ctx| n.on_start(ctx));
         }
     }
 
@@ -1380,6 +1513,7 @@ impl World {
         for m in mail {
             let _ = self.regions[m.dst as usize].push_event(
                 m.tag,
+                m.cause,
                 Event::Deliver {
                     node: m.node,
                     iface: m.iface,
@@ -1399,19 +1533,36 @@ impl World {
             return;
         };
         let mut batch: Vec<BufEntry> = Vec::new();
+        let mut links: Vec<(Tag, Option<Tag>)> = Vec::new();
         for r in &self.regions {
             if let Some(buf) = &r.buf {
                 let mut guard = buf.lock().expect("region buffer poisoned");
                 batch.append(&mut guard.entries);
+                links.append(&mut guard.links);
             }
         }
-        if batch.is_empty() {
+        if batch.is_empty() && links.is_empty() {
             return;
         }
         batch.sort_by_key(|a| (a.tag, a.idx));
+        links.sort_unstable();
         let mut s = sink.lock().expect("sink poisoned");
+        // Provenance edges first (every dispatch, silent ones included),
+        // then the events themselves; both in canonical order, so the
+        // stream a sink sees is identical for any partition.
+        for (id, cause) in links {
+            s.link(id.event_id(), cause.map(Tag::event_id));
+        }
         for e in batch {
-            s.event(e.node, e.at, &e.ev);
+            s.event_caused(
+                e.node,
+                e.at,
+                &e.ev,
+                telemetry::Provenance {
+                    id: e.tag.event_id(),
+                    cause: e.cause.map(Tag::event_id),
+                },
+            );
         }
     }
 
@@ -1428,8 +1579,13 @@ impl World {
             .into_iter()
             .sum()
         };
+        let t0 = self.profile.then(std::time::Instant::now);
         self.route_mail();
         self.flush_telemetry();
+        if let Some(t0) = t0 {
+            self.prof_windows += 1;
+            self.prof_barrier_nanos += t0.elapsed().as_nanos() as u64;
+        }
         n
     }
 
@@ -1441,7 +1597,19 @@ impl World {
         while self.scripts.peek().map(|s| s.at) == Some(t) {
             let entry = self.scripts.pop().expect("peeked script vanished");
             self.world_counters.record_dispatch();
+            // The script's canonical identity: the causal root for the
+            // fault marks it emits and the dispatches it performs.
+            // Scripts execute in (time, seq) order, which is exactly
+            // tag order, so identities ascend like every other tag.
+            self.cur_script = Some(Tag {
+                time: t,
+                epoch: EPOCH_SCRIPT,
+                origin: 0,
+                seq: entry.seq,
+                emit: 0,
+            });
             (entry.f)(self);
+            self.cur_script = None;
             n += 1;
             self.flush_telemetry();
         }
@@ -1505,7 +1673,15 @@ impl World {
             if t_sc == Some(t) {
                 let entry = self.scripts.pop().expect("peeked script vanished");
                 self.world_counters.record_dispatch();
+                self.cur_script = Some(Tag {
+                    time: t,
+                    epoch: EPOCH_SCRIPT,
+                    origin: 0,
+                    seq: entry.seq,
+                    emit: 0,
+                });
                 (entry.f)(self);
+                self.cur_script = None;
                 n += 1;
                 self.flush_telemetry();
             } else {

@@ -33,6 +33,11 @@ struct ChaosAgg {
     drops: BTreeMap<String, u64>,
     /// Merged reconvergence histogram: (count, approx sum, max, buckets).
     reconv: (u64, u128, u64, Vec<u64>),
+    /// Raw join-latency samples pooled across the campaign — exact
+    /// percentiles, not log2-bucket approximations.
+    join_samples: Vec<u64>,
+    /// Raw reconvergence samples pooled across the campaign.
+    reconv_samples: Vec<u64>,
 }
 
 /// Extract `"key":"value"` from a JSONL line.
@@ -45,6 +50,9 @@ fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 
 impl ChaosAgg {
     fn absorb(&mut self, outcome: &CaseOutcome) {
+        self.join_samples.extend_from_slice(&outcome.join_samples);
+        self.reconv_samples
+            .extend_from_slice(&outcome.reconv_samples);
         for line in outcome.telemetry.lines() {
             match json_str(line, "ev") {
                 Some("channel_impaired") => {
@@ -122,6 +130,20 @@ impl ChaosAgg {
             "  {name:>5}: impaired {}\n         dropped  {}\n         reconvergence count={count} mean~{mean} max={max} buckets={buckets:?}",
             ChaosAgg::render_counts(&self.impairments),
             ChaosAgg::render_counts(&self.drops),
+        );
+        // Exact percentiles from the pooled raw samples — the log2
+        // buckets above bound these only within a factor of two.
+        println!(
+            "         join-latency   count={} p50={} p99={}",
+            self.join_samples.len(),
+            telemetry::percentile_of(&self.join_samples, 50.0),
+            telemetry::percentile_of(&self.join_samples, 99.0),
+        );
+        println!(
+            "         reconvergence  count={} p50={} p99={}",
+            self.reconv_samples.len(),
+            telemetry::percentile_of(&self.reconv_samples, 50.0),
+            telemetry::percentile_of(&self.reconv_samples, 99.0),
         );
     }
 }
@@ -209,8 +231,25 @@ fn main() {
             }
             violating += 1;
             per_protocol[slot] += 1;
+            // Deepest backward slice among the implicated nodes: how
+            // long the causal chain behind this violation is (the
+            // `trace why` rendering of the artifact walks it in full).
+            let max_depth = outcome
+                .violations
+                .iter()
+                .filter_map(|v| {
+                    let n = v.node as u32;
+                    outcome
+                        .causal
+                        .last_flag_transition(Some(n))
+                        .or_else(|| outcome.causal.last_event_on(n))
+                })
+                .map(|id| outcome.causal.backward_chain(id).len())
+                .max()
+                .unwrap_or(0);
             eprintln!(
-                "seed {seed} topology {} protocol {}: {} violation(s) \
+                "seed {seed} topology {} protocol {}: {} violation(s), \
+                 max causal-slice depth {max_depth} \
                  [repro: ./scripts/trace.sh {} {} {seed}]",
                 topo.name,
                 protocol.name(),

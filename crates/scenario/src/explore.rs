@@ -41,7 +41,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 use telemetry::{
-    CoverageMap, CoverageSink, Fanout, FlightRecorder, JsonlSink, MetricsAggregator,
+    CausalIndex, CoverageMap, CoverageSink, Fanout, FlightRecorder, JsonlSink, MetricsAggregator,
     FLIGHT_RECORDER_CAP,
 };
 use wire::Group;
@@ -250,6 +250,19 @@ pub struct CaseOutcome {
     /// Flight-recorder and state dumps of the routers implicated by the
     /// violations; empty when every oracle passed.
     pub dumps: Vec<NodeDump>,
+    /// Write-error count of the JSONL sink at detach
+    /// ([`telemetry::JsonlSink`]`::errors`). Nonzero means event lines
+    /// were lost and the stream fingerprint cannot be trusted; replay
+    /// tests assert zero.
+    pub sink_errors: u64,
+    /// Raw join-latency samples (ticks) behind the metrics histogram —
+    /// pooled by the explorer for exact p50/p99.
+    pub join_samples: Vec<u64>,
+    /// Raw post-fault reconvergence samples (ticks).
+    pub reconv_samples: Vec<u64>,
+    /// The causal DAG folded from the run's provenance stream
+    /// (DESIGN.md §11); `trace why` renders slices from it.
+    pub causal: CausalIndex,
 }
 
 /// One implicated router's post-mortem: its flight-recorder tail and its
@@ -262,6 +275,12 @@ pub struct NodeDump {
     pub flight: Vec<String>,
     /// State-snapshot lines ([`telemetry::StateDump`] output, split).
     pub state: Vec<String>,
+    /// Backward causal slice ending at this router's last entry-flag
+    /// transition (fallback: its last event) — the minimal ancestry
+    /// chain explaining how the router got into the dumped state.
+    /// Rendered lines from [`telemetry::CausalIndex::backward_slice`];
+    /// empty on runs recorded before causal tracing existed.
+    pub cause: Vec<String>,
 }
 
 /// Format the captured trace, one stable line per transmission.
@@ -386,6 +405,10 @@ pub fn run_case_coverage(
                     telemetry_fingerprint: 0,
                     metrics: String::new(),
                     dumps: Vec::new(),
+                    sink_errors: 0,
+                    join_samples: Vec::new(),
+                    reconv_samples: Vec::new(),
+                    causal: CausalIndex::new(),
                 },
                 map,
             )
@@ -419,10 +442,12 @@ fn run_case_inner(
     let flight = Arc::new(Mutex::new(FlightRecorder::new(FLIGHT_RECORDER_CAP)));
     let jsonl = Arc::new(Mutex::new(JsonlSink::new(Vec::new())));
     let metrics = Arc::new(Mutex::new(MetricsAggregator::new()));
+    let causal = Arc::new(Mutex::new(CausalIndex::new()));
     let mut fan = Fanout::new();
     fan.push(flight.clone());
     fan.push(jsonl.clone());
     fan.push(metrics.clone());
+    fan.push(causal.clone());
     fan.push(coverage);
     net.attach_telemetry(Arc::new(Mutex::new(fan)));
 
@@ -447,7 +472,10 @@ fn run_case_inner(
         violations.extend(check_delivery(&net, &members, source, &expected));
     }
 
-    // Post-mortem dumps for every router an oracle implicated.
+    let causal = causal.lock().unwrap().clone();
+
+    // Post-mortem dumps for every router an oracle implicated, each with
+    // the backward causal slice explaining its last flag transition.
     let mut implicated: Vec<usize> = violations
         .iter()
         .map(|v| v.node)
@@ -465,11 +493,32 @@ fn run_case_inner(
                 .lines()
                 .map(str::to_string)
                 .collect(),
+            cause: causal
+                .last_flag_transition(Some(n as u32))
+                .or_else(|| causal.last_event_on(n as u32))
+                .map(|id| slice_lines(&causal, id))
+                .unwrap_or_default(),
         })
         .collect();
 
     metrics.lock().unwrap().finish();
-    let metrics = metrics.lock().unwrap().render();
+    let (metrics, join_samples, reconv_samples) = {
+        let m = metrics.lock().unwrap();
+        (
+            m.render(),
+            m.join_latency.samples().to_vec(),
+            m.reconvergence.samples().to_vec(),
+        )
+    };
+    // Detach point: surface the write-error counter the sink accumulated
+    // silently during the run. Nonzero means lost event lines.
+    let sink_errors = jsonl.lock().unwrap().errors;
+    if sink_errors != 0 {
+        eprintln!(
+            "warning: JSONL telemetry sink dropped {sink_errors} event line(s) \
+             (write errors); stream fingerprint is unreliable"
+        );
+    }
     let telemetry = String::from_utf8(jsonl.lock().unwrap().get_ref().clone())
         .expect("JSONL telemetry is always UTF-8");
 
@@ -482,7 +531,22 @@ fn run_case_inner(
         telemetry,
         metrics,
         dumps,
+        sink_errors,
+        join_samples,
+        reconv_samples,
+        causal,
     }
+}
+
+/// A backward slice as flat artifact-ready lines (hop renderings are
+/// multi-line; dumps serialize line by line).
+pub fn slice_lines(causal: &CausalIndex, id: telemetry::EventId) -> Vec<String> {
+    causal
+        .backward_slice(id)
+        .iter()
+        .flat_map(|hop| hop.lines())
+        .map(str::to_string)
+        .collect()
 }
 
 /// Explore one seed on one topology: derive its schedule (teardown mode
@@ -574,6 +638,15 @@ impl Artifact {
                 s.push_str(&format!("  {l}\n"));
             }
             s.push_str("end\n");
+            // Optional section: absent when the slice is empty, so
+            // artifacts recorded before causal tracing parse unchanged.
+            if !d.cause.is_empty() {
+                s.push_str("cause\n");
+                for l in &d.cause {
+                    s.push_str(&format!("  {l}\n"));
+                }
+                s.push_str("end\n");
+            }
             s.push_str("end\n");
         }
         s
@@ -641,6 +714,7 @@ impl Artifact {
             Dump,
             Flight,
             State,
+            Cause,
         }
         let mut mode = Mode::Top;
         let mut violations = Vec::new();
@@ -657,6 +731,7 @@ impl Artifact {
                             node,
                             flight: Vec::new(),
                             state: Vec::new(),
+                            cause: Vec::new(),
                         });
                         mode = Mode::Dump;
                     } else {
@@ -666,13 +741,14 @@ impl Artifact {
                 Mode::Dump => match l {
                     "flight" => mode = Mode::Flight,
                     "state" => mode = Mode::State,
+                    "cause" => mode = Mode::Cause,
                     "end" => {
                         dumps.push(cur.take().expect("dump under construction"));
                         mode = Mode::Top;
                     }
                     _ => return Err(format!("unexpected dump line {l:?}")),
                 },
-                Mode::Flight | Mode::State => {
+                Mode::Flight | Mode::State | Mode::Cause => {
                     if l == "end" {
                         mode = Mode::Dump;
                     } else {
@@ -681,10 +757,10 @@ impl Artifact {
                             .ok_or_else(|| format!("unindented dump payload {l:?}"))?
                             .to_string();
                         let d = cur.as_mut().expect("dump under construction");
-                        if mode == Mode::Flight {
-                            d.flight.push(payload);
-                        } else {
-                            d.state.push(payload);
+                        match mode {
+                            Mode::Flight => d.flight.push(payload),
+                            Mode::State => d.state.push(payload),
+                            _ => d.cause.push(payload),
                         }
                     }
                 }

@@ -24,9 +24,17 @@ fn every_corpus_artifact_replays_byte_identically() {
         "committed corpus must not be empty (run ./scripts/search.sh rebuild-corpus)"
     );
     for (path, artifact) in &corpus {
-        scenario::verify_replay(artifact).unwrap_or_else(|e| {
+        let outcome = scenario::verify_replay(artifact).unwrap_or_else(|e| {
             panic!("corpus artifact {} diverged on replay: {e}", path.display())
         });
+        // The replayed telemetry stream must be complete: a JSONL write
+        // error would silently hole the stream behind the fingerprint.
+        assert_eq!(
+            outcome.sink_errors,
+            0,
+            "{}: JSONL sink recorded write errors on replay",
+            path.display()
+        );
     }
 }
 

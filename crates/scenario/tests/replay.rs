@@ -34,10 +34,19 @@ fn broken_fixture_yields_minimal_replay_artifact() {
             protocol.name(),
             outcome.violations
         );
+        // The JSONL sink must never have dropped a line: a nonzero error
+        // count means the telemetry fingerprint is untrustworthy.
+        assert_eq!(
+            outcome.sink_errors,
+            0,
+            "{}: JSONL sink recorded write errors",
+            protocol.name()
+        );
 
         // The violation implicates at least one router, so the artifact
-        // carries its post-mortem: a non-empty flight recorder tail and a
-        // state snapshot.
+        // carries its post-mortem: a non-empty flight recorder tail, a
+        // state snapshot, and the backward causal slice explaining the
+        // router's final entry-flag transition.
         assert!(
             !outcome.dumps.is_empty(),
             "{}: a violating run must dump the implicated routers",
@@ -49,6 +58,19 @@ fn broken_fixture_yields_minimal_replay_artifact() {
                 "{}: r{} state snapshot must not be empty",
                 protocol.name(),
                 d.node
+            );
+            assert!(
+                !d.cause.is_empty(),
+                "{}: r{} backward causal slice must not be empty",
+                protocol.name(),
+                d.node
+            );
+            assert!(
+                d.cause[0].starts_with("#0 ["),
+                "{}: r{} slice must start at its root hop, got {:?}",
+                protocol.name(),
+                d.node,
+                d.cause[0]
             );
         }
 

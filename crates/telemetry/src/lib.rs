@@ -32,6 +32,10 @@
 
 #![warn(missing_docs)]
 
+pub mod trace;
+
+pub use trace::CausalIndex;
+
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::io::Write;
@@ -46,6 +50,51 @@ use wire::{Addr, Group, Message};
 /// `netsim::SimTime`; emitters pass `SimTime.0` and sinks treat the
 /// value as opaque ordered time.
 pub type Ticks = u64;
+
+/// The canonical identity of one simulator *dispatch* — the handling of
+/// a single event (packet delivery, timer firing, scripted fault, or a
+/// node's `on_start`). The fields mirror netsim's internal canonical
+/// event key, which is partition-independent by construction: the same
+/// dispatch has the same `EventId` at any `--threads` and under any
+/// region partitioning.
+///
+/// Ordering is lexicographic `(time, epoch, origin, seq)` — exactly the
+/// simulator's deterministic execution order — so "parent precedes
+/// child" is checkable as plain `<` on ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId {
+    /// Sim time of the dispatch.
+    pub time: Ticks,
+    /// Scheduling epoch (0 = start-of-world, 1 = script, 2 = runtime).
+    pub epoch: u8,
+    /// Origin discriminator (node index + 1, or 0 for scripts).
+    pub origin: u32,
+    /// Per-origin dispatch sequence number.
+    pub seq: u64,
+}
+
+impl EventId {
+    /// Stable short rendering, e.g. `t240/e2/o3#17` — part of the
+    /// causal-slice byte format asserted identical across `--threads`.
+    pub fn render(&self) -> String {
+        format!(
+            "t{}/e{}/o{}#{}",
+            self.time, self.epoch, self.origin, self.seq
+        )
+    }
+}
+
+/// Causal provenance of one emitted event: the dispatch it was emitted
+/// from (`id`) and that dispatch's own cause — the dispatch that created
+/// the event being handled (`None` for roots: `on_start` and scripted
+/// faults).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Provenance {
+    /// The dispatch this event was emitted during.
+    pub id: EventId,
+    /// The dispatch that caused `id` to run, if any.
+    pub cause: Option<EventId>,
+}
 
 /// Bit flags describing a multicast state entry, shared across all
 /// three protocols so sinks can diff transitions uniformly.
@@ -461,6 +510,22 @@ pub fn message_kind(msg: &Message) -> &'static str {
 pub trait Sink {
     /// Consume one event emitted by `node` at sim time `at`.
     fn event(&mut self, node: u32, at: Ticks, ev: &Event);
+
+    /// Consume one event with causal provenance attached. The default
+    /// forwards to [`Sink::event`], so provenance-blind sinks (JSONL,
+    /// flight recorder, metrics, coverage) see the identical stream they
+    /// always did — byte-for-byte, which keeps committed replay
+    /// fingerprints valid.
+    fn event_caused(&mut self, node: u32, at: Ticks, ev: &Event, _prov: Provenance) {
+        self.event(node, at, ev);
+    }
+
+    /// Observe one dispatch in the causal DAG: `id` ran because `cause`
+    /// created the event it handled (`None` for roots). Delivered for
+    /// *every* dispatch — including silent ones that emit no events, so
+    /// backward slices never have holes where a hop merely forwarded
+    /// data. Default is a no-op.
+    fn link(&mut self, _id: EventId, _cause: Option<EventId>) {}
 }
 
 /// The shared handle every emitter clones: a thread-safe, shareable
@@ -614,6 +679,20 @@ impl<W: Write> Sink for JsonlSink<W> {
     }
 }
 
+/// Exact percentile of an unsorted sample set by the nearest-rank
+/// method (`p` in `[0, 100]`); zero when empty. Shared by
+/// [`Histogram::percentile`] and consumers that pool raw samples across
+/// many runs (the explorer's chaos summary).
+pub fn percentile_of(samples: &[Ticks], p: f64) -> Ticks {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted: Vec<Ticks> = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// A power-of-two-bucketed histogram of sim-time durations.
 ///
 /// Bucket `i` counts samples in `[2^i, 2^(i+1))` ticks (bucket 0 also
@@ -625,6 +704,7 @@ pub struct Histogram {
     count: u64,
     sum: u128,
     max: Ticks,
+    samples: Vec<Ticks>,
 }
 
 impl Histogram {
@@ -638,6 +718,7 @@ impl Histogram {
         self.count += 1;
         self.sum += u128::from(d);
         self.max = self.max.max(d);
+        self.samples.push(d);
     }
 
     /// Number of samples recorded.
@@ -657,6 +738,19 @@ impl Histogram {
     /// Largest sample seen.
     pub fn max(&self) -> Ticks {
         self.max
+    }
+
+    /// The raw samples, in recording order. Log2 buckets summarize the
+    /// shape; exact percentile reporting needs the originals.
+    pub fn samples(&self) -> &[Ticks] {
+        &self.samples
+    }
+
+    /// Exact percentile by the nearest-rank method (`p` in `[0, 100]`);
+    /// zero when empty. `percentile(50)` is the median, `percentile(100)`
+    /// equals [`Histogram::max`].
+    pub fn percentile(&self, p: f64) -> Ticks {
+        percentile_of(&self.samples, p)
     }
 
     /// Render as `count=N mean=M max=X buckets=[..]`.
@@ -822,6 +916,21 @@ impl Sink for Fanout {
     fn event(&mut self, node: u32, at: Ticks, ev: &Event) {
         for child in &self.children {
             child.lock().expect("sink poisoned").event(node, at, ev);
+        }
+    }
+
+    fn event_caused(&mut self, node: u32, at: Ticks, ev: &Event, prov: Provenance) {
+        for child in &self.children {
+            child
+                .lock()
+                .expect("sink poisoned")
+                .event_caused(node, at, ev, prov);
+        }
+    }
+
+    fn link(&mut self, id: EventId, cause: Option<EventId>) {
+        for child in &self.children {
+            child.lock().expect("sink poisoned").link(id, cause);
         }
     }
 }

@@ -33,6 +33,18 @@ diff target/check/det-1t.txt target/check/det-4t.txt ||
 ./target/release/simbench --smoke --threads 4 | grep fingerprint >target/check/fp-4t.txt
 diff target/check/fp-1t.txt target/check/fp-4t.txt ||
     { echo "simbench fingerprint diverged across thread counts"; exit 1; }
+# Causal provenance is part of the determinism contract too: the full
+# `trace why` report (backward slices, critical paths, blast radii,
+# causal-index fingerprint) on every corpus pin must be non-empty and
+# byte-identical at any thread count.
+for pin in corpus/*.replay; do
+    base="target/check/why-$(basename "$pin" .replay)"
+    ./target/release/trace why "$pin" --threads 1 >"$base-1t.txt"
+    ./target/release/trace why "$pin" --threads 4 >"$base-4t.txt"
+    [ -s "$base-1t.txt" ] || { echo "trace why $pin produced no output"; exit 1; }
+    cmp "$base-1t.txt" "$base-4t.txt" ||
+        { echo "trace why $pin diverged across thread counts"; exit 1; }
+done
 echo "determinism: OK"
 
 echo "== bench smoke"
