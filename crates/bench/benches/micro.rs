@@ -201,6 +201,7 @@ fn bench_sim(c: &mut Criterion) {
                     members: vec![NodeId(2), NodeId(9), NodeId(17)],
                     senders: vec![NodeId(9)],
                     rendezvous: NodeId(0),
+                    population: 1,
                 }],
                 5,
                 1,

@@ -49,6 +49,7 @@ fn scenario(seed: u64, trial: u64) -> (graph::Graph, Workload) {
         members: spec.members.clone(),
         senders: spec.senders.clone(),
         rendezvous: NodeId(rng.gen_range(0..NODES as u32)),
+        population: 1,
     };
     (g, w)
 }

@@ -43,6 +43,7 @@ fn main() {
         members: members.to_vec(),
         senders: members.to_vec(),
         rendezvous: backbone_rp,
+        population: 1,
     };
 
     println!(

@@ -94,6 +94,7 @@ fn main() {
                     members: spec.members.clone(),
                     senders: spec.senders.clone(),
                     rendezvous: NodeId(rng.gen_range(0..NODES as u32)),
+                    population: 1,
                 };
                 let r = run_protocol_sim(&g, proto, &[w], PACKETS, args.seed ^ trial as u64);
                 state.push(r.state_entries as f64);

@@ -17,13 +17,22 @@
 //!    partitioned event core scales with topology size. Each point also
 //!    reports how many regions the auto-partitioner produced at the
 //!    requested `--threads`.
+//! 4. **Hierarchical scale sweep**: PIM over backbone+stub-domain
+//!    internets (500/1000/2000 routers) with one aggregate
+//!    [`igmp::PopulationNode`] member site per domain, plus a membership
+//!    sweep (10³…10⁶ total members at 1000 routers). Reports state and
+//!    control overhead per router and per-event cost; each row's
+//!    reception fingerprint is byte-identical across `--threads`, and
+//!    the world is partitioned along domain boundaries.
 //!
 //! Run: `cargo run -p bench --release --bin simbench [--trials N]
-//! [--seed N] [--smoke] [--threads N] [--nodes N,N,...] [--json PATH]`
-//! (`--trials` = LAN packets).
+//! [--seed N] [--smoke] [--threads N] [--nodes N,N,...] [--hier N,N,...]
+//! [--members N,N,...] [--json PATH]` (`--trials` = LAN packets).
 
-use bench::{cli, perf, run_protocol_sim_opts, Proto, SimOptions, Workload};
-use graph::gen::{random_connected, waxman, RandomGraphParams, WaxmanParams};
+use bench::{cli, perf, run_protocol_sim_hier, run_protocol_sim_opts, Proto, SimOptions, Workload};
+use graph::gen::{
+    hierarchical, random_connected, waxman, HierParams, RandomGraphParams, WaxmanParams,
+};
 use graph::NodeId;
 use mctree::GroupSpec;
 use netsim::{Ctx, Duration, IfaceId, Node, NodeIdx, SimTime, World};
@@ -34,7 +43,9 @@ use std::any::Any;
 use wire::Group;
 
 const RECEIVERS: usize = 32;
-const PAYLOAD: usize = 1024;
+/// LAN fan-out payload sizes: a bare header, the classic 1 KiB datagram,
+/// and a jumbo frame — the copy-vs-refcount cost curve.
+const PAYLOADS: [usize; 3] = [64, 1024, 8192];
 
 /// Sends `total` packets on interface 0, one per tick.
 struct Blaster {
@@ -113,10 +124,10 @@ impl Node for Sink {
 }
 
 /// LAN fan-out: returns (deliveries, combined fingerprint, wall ms).
-fn lan_fanout(seed: u64, packets: u64) -> (u64, u64, f64) {
+fn lan_fanout(seed: u64, packets: u64, payload: usize) -> (u64, u64, f64) {
     let mut w = World::new(seed);
     let sender = w.add_node(Box::new(Blaster {
-        payload: vec![0u8; PAYLOAD],
+        payload: vec![0u8; payload],
         total: packets,
         sent: 0,
     }));
@@ -154,6 +165,7 @@ fn protocol_run(seed: u64, threads: usize) -> (u64, f64) {
         members: spec.members.clone(),
         senders: spec.senders.clone(),
         rendezvous: NodeId(rng.gen_range(0..30)),
+        population: 1,
     };
     let (r, wall_ms) = perf::time(|| {
         run_protocol_sim_opts(
@@ -180,7 +192,16 @@ struct SweepRow {
     events: u64,
     regions: usize,
     wall_ms: f64,
+    /// Event-loop time alone (`World::run_until`), excluding topology /
+    /// oracle / world construction — the honest per-event denominator.
+    run_ms: f64,
     profile: Option<netsim::SimProfile>,
+}
+
+impl SweepRow {
+    fn us_per_event(&self) -> f64 {
+        self.run_ms * 1e3 / self.events as f64
+    }
 }
 
 /// PIM source-tree runs over Waxman internets of growing size: the
@@ -207,6 +228,7 @@ fn node_sweep(sizes: &[usize], seed: u64, threads: usize) -> Vec<SweepRow> {
                 members: spec.members.clone(),
                 senders: spec.senders.clone(),
                 rendezvous: NodeId(rng.gen_range(0..nodes as u32)),
+                population: 1,
             };
             let (r, wall_ms) = perf::time(|| {
                 run_protocol_sim_opts(
@@ -229,24 +251,217 @@ fn node_sweep(sizes: &[usize], seed: u64, threads: usize) -> Vec<SweepRow> {
                 events: r.events_dispatched,
                 regions: r.regions,
                 wall_ms,
+                run_ms: r.run_ms,
                 profile: r.profile,
             }
         })
         .collect()
 }
 
+/// One row of the hierarchical scale sweep.
+struct HierRow {
+    routers: usize,
+    domains: usize,
+    members: u64,
+    deliveries: u64,
+    expected: u64,
+    events: u64,
+    state_entries: usize,
+    control_pkts: u64,
+    regions: usize,
+    wall_ms: f64,
+    run_ms: f64,
+    fingerprint: u64,
+    profile: Option<netsim::SimProfile>,
+}
+
+impl HierRow {
+    /// Event-loop cost per event: `run_until` wall time over dispatched
+    /// events. Excludes topology generation, the all-pairs oracle, and
+    /// world build (the `wall ms` column includes them).
+    fn us_per_event(&self) -> f64 {
+        self.run_ms * 1e3 / self.events as f64
+    }
+
+    /// The deterministic content of the row, greppable by the CI gate's
+    /// `--threads 1` vs `4` diff (the line contains "fingerprint").
+    fn det_line(&self) -> String {
+        format!(
+            "hier_fingerprint routers={} members={} deliveries={} events={} \
+             state={} ctrl={} fingerprint={:#018x}",
+            self.routers,
+            self.members,
+            self.deliveries,
+            self.events,
+            self.state_entries,
+            self.control_pkts,
+            self.fingerprint
+        )
+    }
+}
+
+/// Shape a hierarchical internet of roughly `routers` routers: a Waxman
+/// backbone of `routers / 10` and stub domains of 9 hung off it.
+fn hier_params(routers: usize) -> HierParams {
+    let backbone = (routers / 10).max(3);
+    let domain_size = 9;
+    let domains = (routers.saturating_sub(backbone) / domain_size).max(2);
+    HierParams {
+        backbone: WaxmanParams {
+            nodes: backbone,
+            ..WaxmanParams::default()
+        },
+        domains,
+        domain_size,
+        ..HierParams::default()
+    }
+}
+
+/// One PIM run over a hierarchical internet with `total_members` aggregate
+/// members spread over one [`igmp::PopulationNode`] site per stub domain.
+fn hier_run(routers: usize, total_members: u64, seed: u64, threads: usize) -> HierRow {
+    let params = hier_params(routers);
+    let mut rng = StdRng::seed_from_u64(par::mix(seed, 6, routers as u64 ^ total_members));
+    let h = hierarchical(&params, &mut rng);
+    let domains = params.domains;
+    // One member site per domain — its leaf router, the farthest point
+    // from the backbone — holding an equal share of the membership.
+    let members: Vec<NodeId> = (0..domains).map(|d| h.leaf(d)).collect();
+    let population = (total_members / domains as u64).max(2);
+    let senders = vec![h.leaf(0), h.leaf(domains / 2)];
+    let w = Workload {
+        group: Group::test(1),
+        members,
+        senders,
+        rendezvous: NodeId(0), // a backbone router as RP
+        population,
+    };
+    let (r, wall_ms) = perf::time(|| {
+        run_protocol_sim_hier(
+            &h,
+            Proto::PimSpt,
+            std::slice::from_ref(&w),
+            &SimOptions {
+                packets_per_sender: 30,
+                seed: par::mix(seed, 7, routers as u64 ^ total_members),
+                threads,
+                profile: true,
+                ..SimOptions::default()
+            },
+        )
+    });
+    HierRow {
+        routers: h.node_count(),
+        domains,
+        members: population * domains as u64,
+        deliveries: r.deliveries,
+        expected: r.expected_deliveries,
+        events: r.events_dispatched,
+        state_entries: r.state_entries,
+        control_pkts: r.control_pkts,
+        regions: r.regions,
+        wall_ms,
+        run_ms: r.run_ms,
+        fingerprint: r.reception_fingerprint,
+        profile: r.profile,
+    }
+}
+
+fn print_hier_table(rows: &[HierRow]) {
+    println!(
+        "{:<8} {:>8} {:>9} {:>11} {:>6} {:>10} {:>10} {:>9} {:>8} {:>9} {:>8} {:>7}",
+        "routers",
+        "domains",
+        "members",
+        "deliveries",
+        "del%",
+        "events",
+        "state/rtr",
+        "ctrl/rtr",
+        "regions",
+        "wall ms",
+        "run ms",
+        "us/ev"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>8} {:>9} {:>11} {:>6.1} {:>10} {:>10.2} {:>9.1} {:>8} {:>9.1} {:>8.1} {:>7.2}",
+            r.routers,
+            r.domains,
+            r.members,
+            r.deliveries,
+            100.0 * r.deliveries as f64 / r.expected as f64,
+            r.events,
+            r.state_entries as f64 / r.routers as f64,
+            r.control_pkts as f64 / r.routers as f64,
+            r.regions,
+            r.wall_ms,
+            r.run_ms,
+            r.us_per_event(),
+        );
+    }
+    for r in rows {
+        println!("{}", r.det_line());
+    }
+    // Per-event attribution of the largest row: how much of the wall
+    // clock is event dispatch at all (the rest is world build + the
+    // all-pairs unicast oracle).
+    if let Some(r) = rows.last() {
+        if let Some(p) = &r.profile {
+            println!(
+                "hier_profile routers={} ({} events dispatched):",
+                r.routers,
+                p.events()
+            );
+            for l in p.render().lines() {
+                println!("  {l}");
+            }
+        }
+    }
+}
+
+fn hier_json(rows: &[HierRow]) -> String {
+    let mut s = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"routers\": {}, \"domains\": {}, \"members\": {}, \
+             \"deliveries\": {}, \"events\": {}, \"state_entries\": {}, \
+             \"control_pkts\": {}, \"regions\": {}, \"wall_ms\": {:.1}, \
+             \"run_ms\": {:.1}, \"us_per_event\": {:.3}, \"fingerprint\": \"{:#018x}\"}}{}\n",
+            r.routers,
+            r.domains,
+            r.members,
+            r.deliveries,
+            r.events,
+            r.state_entries,
+            r.control_pkts,
+            r.regions,
+            r.wall_ms,
+            r.run_ms,
+            r.us_per_event(),
+            r.fingerprint,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s
+}
+
 fn main() {
     let args = cli::parse_smoke(20_000, 500);
     let packets = args.trials as u64;
     println!("# Simulator microbench: LAN fan-out + end-to-end protocol run");
-    let (received, fingerprint, lan_ms) = lan_fanout(args.seed, packets);
-    assert_eq!(received, packets * RECEIVERS as u64, "lost deliveries");
-    println!(
-        "lan_fanout   {packets} pkts x {RECEIVERS} receivers x {PAYLOAD}B: \
-         {received} deliveries in {lan_ms:.1} ms ({:.0}/ms)",
-        received as f64 / lan_ms
-    );
-    println!("lan_fanout   fingerprint {fingerprint:#018x}");
+    let mut lan_rows = Vec::new();
+    for payload in PAYLOADS {
+        let (received, fingerprint, lan_ms) = lan_fanout(args.seed, packets, payload);
+        assert_eq!(received, packets * RECEIVERS as u64, "lost deliveries");
+        println!(
+            "lan_fanout   {packets} pkts x {RECEIVERS} receivers x {payload}B: \
+             {received} deliveries in {lan_ms:.1} ms ({:.0}/ms)",
+            received as f64 / lan_ms
+        );
+        println!("lan_fanout   {payload}B fingerprint {fingerprint:#018x}");
+        lan_rows.push((payload, received, fingerprint, lan_ms));
+    }
     let (deliveries, proto_ms) = protocol_run(args.seed, args.threads);
     println!("protocol_run pim-spt 30 nodes, 2 senders x 40 pkts: {deliveries} deliveries in {proto_ms:.1} ms");
 
@@ -263,17 +478,19 @@ fn main() {
         args.threads
     );
     println!(
-        "{:<8} {:>12} {:>12} {:>9} {:>10} {:>8}",
-        "nodes", "deliveries", "events", "regions", "wall ms", "serial%"
+        "{:<8} {:>12} {:>12} {:>9} {:>10} {:>8} {:>7} {:>8}",
+        "nodes", "deliveries", "events", "regions", "wall ms", "run ms", "us/ev", "serial%"
     );
     for r in &rows {
         println!(
-            "{:<8} {:>12} {:>12} {:>9} {:>10.1} {:>8}",
+            "{:<8} {:>12} {:>12} {:>9} {:>10.1} {:>8.1} {:>7.2} {:>8}",
             r.nodes,
             r.deliveries,
             r.events,
             r.regions,
             r.wall_ms,
+            r.run_ms,
+            r.us_per_event(),
             r.profile
                 .as_ref()
                 .map(|p| format!("{:.1}", p.serial_pct()))
@@ -301,17 +518,63 @@ fn main() {
         }
     }
 
+    // Hierarchical scale sweep: router counts at a fixed aggregate
+    // membership, then a membership sweep at the largest default size.
+    let hier_sizes: Vec<usize> = args.hier.clone().unwrap_or_else(|| {
+        if args.smoke {
+            vec![60]
+        } else {
+            vec![500, 1000, 2000]
+        }
+    });
+    let hier_members = 10_000u64;
+    println!(
+        "hier_sweep   pim-spt on hierarchical internets ({} aggregate members), {} threads:",
+        hier_members, args.threads
+    );
+    let hier_rows: Vec<HierRow> = hier_sizes
+        .iter()
+        .map(|&n| hier_run(n, hier_members, args.seed, args.threads))
+        .collect();
+    print_hier_table(&hier_rows);
+
+    let member_totals: Vec<u64> = args.members.clone().unwrap_or_else(|| {
+        if args.smoke {
+            vec![]
+        } else {
+            vec![1_000, 10_000, 100_000, 1_000_000]
+        }
+    });
+    let member_rows: Vec<HierRow> = if member_totals.is_empty() {
+        Vec::new()
+    } else {
+        let routers = 1000;
+        println!(
+            "members_sweep pim-spt at {routers} routers, {} threads:",
+            args.threads
+        );
+        let rows: Vec<HierRow> = member_totals
+            .iter()
+            .map(|&m| hier_run(routers, m, args.seed, args.threads))
+            .collect();
+        print_hier_table(&rows);
+        rows
+    };
+
     if let Some(path) = &args.json {
         let mut sweep_json = String::new();
         for (i, r) in rows.iter().enumerate() {
             sweep_json.push_str(&format!(
                 "    {{\"nodes\": {}, \"deliveries\": {}, \"events\": {}, \
-                 \"regions\": {}, \"wall_ms\": {:.1}, \"serial_pct\": {}}}{}\n",
+                 \"regions\": {}, \"wall_ms\": {:.1}, \"run_ms\": {:.1}, \
+                 \"us_per_event\": {:.2}, \"serial_pct\": {}}}{}\n",
                 r.nodes,
                 r.deliveries,
                 r.events,
                 r.regions,
                 r.wall_ms,
+                r.run_ms,
+                r.us_per_event(),
                 r.profile
                     .as_ref()
                     .map(|p| format!("{:.1}", p.serial_pct()))
@@ -319,18 +582,29 @@ fn main() {
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }
+        let mut lan_json = String::new();
+        for (i, (payload, received, fingerprint, lan_ms)) in lan_rows.iter().enumerate() {
+            lan_json.push_str(&format!(
+                "    {{\"packets\": {packets}, \"receivers\": {RECEIVERS}, \
+                 \"payload_bytes\": {payload}, \"deliveries\": {received}, \
+                 \"fingerprint\": \"{fingerprint:#018x}\", \"wall_ms\": {lan_ms:.1}, \
+                 \"deliveries_per_ms\": {:.0}}}{}\n",
+                *received as f64 / lan_ms,
+                if i + 1 == lan_rows.len() { "" } else { "," }
+            ));
+        }
         let json = format!(
             "{{\n  \"bench\": \"simbench\", \"seed\": {}, \"threads\": {},\n  \
-             \"lan_fanout\": {{\"packets\": {packets}, \"receivers\": {RECEIVERS}, \
-             \"payload_bytes\": {PAYLOAD}, \"deliveries\": {received}, \
-             \"fingerprint\": \"{fingerprint:#018x}\", \"wall_ms\": {lan_ms:.1}, \
-             \"deliveries_per_ms\": {:.0}}},\n  \
+             \"lan_fanout\": [\n{lan_json}  ],\n  \
              \"protocol_run\": {{\"proto\": \"pim-spt\", \"nodes\": 30, \
              \"deliveries\": {deliveries}, \"wall_ms\": {proto_ms:.1}}},\n  \
-             \"node_sweep\": [\n{sweep_json}  ]\n}}\n",
+             \"node_sweep\": [\n{sweep_json}  ],\n  \
+             \"hier_sweep\": [\n{}  ],\n  \
+             \"members_sweep\": [\n{}  ]\n}}\n",
             args.seed,
             args.threads,
-            received as f64 / lan_ms,
+            hier_json(&hier_rows),
+            hier_json(&member_rows),
         );
         perf::write_json(path, &json);
     }

@@ -13,8 +13,9 @@
 
 use cbt::{CbtConfig, CbtEngine, CbtRouter};
 use dvmrp::{DvmrpConfig, DvmrpEngine, DvmrpRouter};
+use graph::gen::HierTopology;
 use graph::{Graph, NodeId};
-use igmp::HostNode;
+use igmp::{HostNode, PopulationNode};
 use netsim::{host_addr, router_addr, CtrlProto, Duration, LinkKind, NodeIdx, SimTime, Topology};
 use pim::{Engine as PimEngine, PimConfig, PimRouter};
 use std::collections::BTreeSet;
@@ -54,6 +55,13 @@ pub struct Workload {
     pub senders: Vec<NodeId>,
     /// The RP (PIM) / core (CBT) router for the group. Ignored by DVMRP.
     pub rendezvous: NodeId,
+    /// Aggregate group members behind each member router. `1` attaches
+    /// one explicit [`HostNode`] per site (the classic workloads,
+    /// byte-identical to before this knob existed); `> 1` attaches one
+    /// [`PopulationNode`] holding that many members, and deliveries are
+    /// accounted member-weighted (each unique reception at the site
+    /// counts `population` deliveries).
+    pub population: u64,
 }
 
 /// Which protocol to run.
@@ -126,6 +134,17 @@ pub struct SimResult {
     /// collected only when [`SimOptions::profile`] is set. Event counts
     /// are deterministic; nanosecond columns are wall-clock.
     pub profile: Option<netsim::SimProfile>,
+    /// FNV-1a fold of every member site's reception log (site, arrival
+    /// tick, source, group, sequence, member weight) in site order — a
+    /// deterministic digest of *when and what every member received*.
+    /// Byte-identical across thread counts; the scale sweeps diff it
+    /// between `--threads 1` and `--threads N`.
+    pub reception_fingerprint: u64,
+    /// Wall-clock milliseconds spent inside `World::run_until` alone —
+    /// the event-loop cost, excluding topology generation, the all-pairs
+    /// oracle, world construction, and metric collection. Per-event cost
+    /// is `run_ms / events_dispatched`; wall-clock, varies run to run.
+    pub run_ms: f64,
 }
 
 /// Simulation schedule shared by all protocols.
@@ -202,9 +221,43 @@ pub fn run_protocol_sim_opts(
     workloads: &[Workload],
     opts: &SimOptions,
 ) -> SimResult {
+    run_protocol_sim_core(g, proto, workloads, opts, None)
+}
+
+/// [`run_protocol_sim_opts`] over a hierarchical topology: the world is
+/// partitioned along the generator's domain boundaries (backbone =
+/// region 0, domains folded into the remaining regions) instead of the
+/// generic auto-partitioner, so every cross-region link is an expensive
+/// gateway hop and the conservative lookahead stays large. With
+/// `opts.threads == 1` the partition is skipped entirely; results are
+/// byte-identical either way.
+pub fn run_protocol_sim_hier(
+    h: &HierTopology,
+    proto: Proto,
+    workloads: &[Workload],
+    opts: &SimOptions,
+) -> SimResult {
+    let hints = h.region_hints(opts.threads);
+    run_protocol_sim_core(&h.graph, proto, workloads, opts, Some(&hints))
+}
+
+/// The shared simulation core behind [`run_protocol_sim_opts`] and
+/// [`run_protocol_sim_hier`]. `region_hints`, when given, must assign a
+/// region to every *router* (graph node); attached hosts inherit their
+/// router's region.
+fn run_protocol_sim_core(
+    g: &Graph,
+    proto: Proto,
+    workloads: &[Workload],
+    opts: &SimOptions,
+    region_hints: Option<&[u32]>,
+) -> SimResult {
     let packets_per_sender = opts.packets_per_sender;
     let seed = opts.seed;
     let topo = Topology::from_graph(g);
+    if let Some(hints) = region_hints {
+        assert_eq!(hints.len(), g.node_count(), "one region hint per router");
+    }
 
     // Which routers need an attached host.
     let mut involved: BTreeSet<NodeId> = BTreeSet::new();
@@ -264,11 +317,26 @@ pub fn run_protocol_sim_opts(
         }
     }
 
-    // Attach one host per involved router.
+    // Attach one host node per involved router: an explicit HostNode, or
+    // a PopulationNode when any workload puts an aggregate membership
+    // (population > 1) behind it. Both speak IGMP on the same LAN shape,
+    // so the routers can't tell the difference.
+    let aggregate_at = |n: NodeId| {
+        workloads
+            .iter()
+            .any(|w| w.population > 1 && w.members.contains(&n))
+    };
     let mut host_of = std::collections::BTreeMap::new();
+    // Hosts inherit their router's region; extended in add_node order.
+    let mut full_hints: Vec<u32> = region_hints.map(<[u32]>::to_vec).unwrap_or_default();
     for &n in &involved {
         let h_addr = host_addr(n, 0);
-        let h_idx = world.add_node(Box::new(HostNode::new(h_addr)));
+        let aggregate = aggregate_at(n);
+        let h_idx = if aggregate {
+            world.add_node(Box::new(PopulationNode::new(h_addr)))
+        } else {
+            world.add_node(Box::new(HostNode::new(h_addr)))
+        };
         let (_l, ifs) = world.add_lan(&[NodeIdx(n.index()), h_idx], Duration(1));
         match proto {
             Proto::PimSpt | Proto::PimShared => world
@@ -281,36 +349,54 @@ pub fn run_protocol_sim_opts(
                 .node_mut::<CbtRouter>(NodeIdx(n.index()))
                 .attach_host_lan(ifs[0], &[h_addr]),
         }
-        host_of.insert(n, h_idx);
+        if let Some(hints) = region_hints {
+            full_hints.push(hints[n.index()]);
+        }
+        host_of.insert(n, (h_idx, aggregate));
     }
 
     // Schedule joins and transmissions.
     let mut stagger = 0u64;
     for w in workloads {
         let group = w.group;
+        let population = w.population;
         for &m in &w.members {
-            let h = host_of[&m];
+            let (h, aggregate) = host_of[&m];
             world.at(SimTime(JOIN_START + stagger % 40), move |w| {
                 w.call_node(h, |n, ctx| {
-                    n.as_any_mut()
-                        .downcast_mut::<HostNode>()
-                        .expect("host node")
-                        .join(ctx, group);
+                    if aggregate {
+                        n.as_any_mut()
+                            .downcast_mut::<PopulationNode>()
+                            .expect("population node")
+                            .join_members(ctx, group, population);
+                    } else {
+                        n.as_any_mut()
+                            .downcast_mut::<HostNode>()
+                            .expect("host node")
+                            .join(ctx, group);
+                    }
                 });
             });
             stagger += 1;
         }
         for &s in &w.senders {
-            let h = host_of[&s];
+            let (h, aggregate) = host_of[&s];
             for k in 0..packets_per_sender {
                 world.at(
                     SimTime(SEND_START + (stagger % 17) + k * SEND_GAP),
                     move |w| {
                         w.call_node(h, |n, ctx| {
-                            n.as_any_mut()
-                                .downcast_mut::<HostNode>()
-                                .expect("host node")
-                                .send_data(ctx, group);
+                            if aggregate {
+                                n.as_any_mut()
+                                    .downcast_mut::<PopulationNode>()
+                                    .expect("population node")
+                                    .send_data(ctx, group);
+                            } else {
+                                n.as_any_mut()
+                                    .downcast_mut::<HostNode>()
+                                    .expect("host node")
+                                    .send_data(ctx, group);
+                            }
                         });
                     },
                 );
@@ -344,14 +430,24 @@ pub fn run_protocol_sim_opts(
 
     let end = SEND_START + packets_per_sender * SEND_GAP + COOLDOWN;
     world.parallelize(opts.threads);
+    // Hierarchical runs carry domain-aligned region hints: override the
+    // generic auto-partition so the parallel core cuts only gateway links
+    // (maximising conservative lookahead). Hosts inherit their router's
+    // region, so no host LAN ever crosses a region boundary.
+    if region_hints.is_some() && opts.threads > 1 {
+        world.set_partition(&full_hints);
+    }
     if opts.profile {
         world.enable_profile();
     }
+    let run_started = std::time::Instant::now();
     world.run_until(SimTime(end));
+    let run_ms = run_started.elapsed().as_secs_f64() * 1e3;
 
     // Collect metrics.
     let mut result = SimResult {
         state_entries: state_sample.get(),
+        run_ms,
         regions: world.region_count(),
         profile: world.profile(),
         ..SimResult::default()
@@ -381,30 +477,60 @@ pub fn run_protocol_sim_opts(
         result.max_link_data = result.max_link_data.max(st.data_pkts);
     }
     // Host-side delivery accounting: unique (source, seq) receptions per
-    // member host, with duplicates tallied separately.
-    for (&n, &h) in &host_of {
-        let host: &HostNode = world.node(h);
+    // member site, with duplicates tallied separately. Aggregate sites
+    // weight each reception by the member population behind the LAN, so
+    // `deliveries` counts *member* receptions in both representations
+    // (population 1 degenerates to the explicit accounting exactly).
+    let weight_of = |n: NodeId, g: Group| -> u64 {
+        workloads
+            .iter()
+            .filter(|w| w.group == g && w.members.contains(&n))
+            .map(|w| w.population)
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    };
+    let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        fp ^= v;
+        fp = fp.wrapping_mul(0x100_0000_01b3);
+    };
+    for (&n, &(h, aggregate)) in &host_of {
+        let received: &[igmp::Received] = if aggregate {
+            &world.node::<PopulationNode>(h).received
+        } else {
+            &world.node::<HostNode>(h).received
+        };
         let member_of: BTreeSet<Group> = workloads
             .iter()
             .filter(|w| w.members.contains(&n))
             .map(|w| w.group)
             .collect();
         let mut seen = BTreeSet::new();
-        for r in &host.received {
+        for r in received {
             if !member_of.contains(&r.group) {
                 continue;
             }
+            let weight = weight_of(n, r.group);
             if seen.insert((r.group, r.source, r.seq)) {
-                result.deliveries += 1;
+                result.deliveries += weight;
             } else {
                 result.duplicates += 1;
             }
+            fold(n.index() as u64);
+            fold(r.at.ticks());
+            fold(u64::from(r.source.0));
+            fold(u64::from(r.group.addr().0));
+            fold(r.seq);
+            fold(weight);
         }
     }
+    result.reception_fingerprint = fp;
     for w in workloads {
+        let site_weight = w.population.max(1);
         for &s in &w.senders {
-            let other_members = w.members.iter().filter(|&&m| m != s).count() as u64;
-            result.expected_deliveries += other_members * packets_per_sender;
+            let other_sites = w.members.iter().filter(|&&m| m != s).count() as u64;
+            result.expected_deliveries += other_sites * site_weight * packets_per_sender;
         }
     }
     result
@@ -414,8 +540,10 @@ pub fn run_protocol_sim_opts(
 /// `--trials N`, `--quick` (divides trials by 10), `--smoke` (tiny
 /// bin-chosen trial count for the CI gate), `--threads N` (trial
 /// fan-out and world-partition width; output is bit-identical for every
-/// value), `--nodes N,N,...` (simbench: Waxman scaling sweep sizes), and
-/// `--json PATH` (machine-readable timing record).
+/// value), `--nodes N,N,...` (simbench: Waxman scaling sweep sizes),
+/// `--hier N,N,...` / `--members N,N,...` (simbench: hierarchical router
+/// counts and aggregate-member totals), and `--json PATH`
+/// (machine-readable timing record).
 pub mod cli {
     /// Parsed common flags.
     #[derive(Clone, Debug)]
@@ -434,6 +562,12 @@ pub mod cli {
         /// Node-count sweep override (simbench: comma-separated router
         /// counts for the Waxman scaling table).
         pub nodes: Option<Vec<usize>>,
+        /// Hierarchical sweep override (simbench: comma-separated router
+        /// counts for the backbone+domains scaling table).
+        pub hier: Option<Vec<usize>>,
+        /// Aggregate-membership sweep override (simbench: comma-separated
+        /// total member counts at the fixed hierarchical size).
+        pub members: Option<Vec<u64>>,
         /// `--smoke` was given (bins may also shrink non-trial knobs).
         pub smoke: bool,
     }
@@ -448,8 +582,22 @@ pub mod cli {
             json: None,
             groups: None,
             nodes: None,
+            hier: None,
+            members: None,
             smoke: false,
         };
+        fn csv<T: std::str::FromStr>(flag: &str, arg: Option<&String>) -> Vec<T> {
+            arg.map(|s| {
+                s.split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("{flag} needs comma-separated counts"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_else(|| panic!("{flag} needs comma-separated counts"))
+        }
         let mut explicit_trials = false;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -495,19 +643,15 @@ pub mod cli {
                     i += 2;
                 }
                 "--nodes" => {
-                    args.nodes = Some(
-                        argv.get(i + 1)
-                            .map(|s| {
-                                s.split(',')
-                                    .map(|p| {
-                                        p.trim().parse().unwrap_or_else(|_| {
-                                            panic!("--nodes needs comma-separated counts")
-                                        })
-                                    })
-                                    .collect()
-                            })
-                            .unwrap_or_else(|| panic!("--nodes needs comma-separated counts")),
-                    );
+                    args.nodes = Some(csv("--nodes", argv.get(i + 1)));
+                    i += 2;
+                }
+                "--hier" => {
+                    args.hier = Some(csv("--hier", argv.get(i + 1)));
+                    i += 2;
+                }
+                "--members" => {
+                    args.members = Some(csv("--members", argv.get(i + 1)));
                     i += 2;
                 }
                 "--quick" => {
@@ -520,7 +664,8 @@ pub mod cli {
                 }
                 other => panic!(
                     "unknown flag {other}; supported: --seed N --trials N --quick --smoke \
-                     --threads N --json PATH --groups N --nodes N,N,..."
+                     --threads N --json PATH --groups N --nodes N,N,... --hier N,N,... \
+                     --members N,N,..."
                 ),
             }
         }
@@ -606,6 +751,7 @@ mod tests {
             members: vec![NodeId(2), NodeId(7), NodeId(11)],
             senders: vec![NodeId(7)],
             rendezvous: NodeId(0),
+            population: 1,
         };
         for proto in [Proto::PimSpt, Proto::PimShared, Proto::Dvmrp, Proto::Cbt] {
             let r = run_protocol_sim(&g, proto, std::slice::from_ref(&w), 6, 9);
@@ -638,6 +784,7 @@ mod tests {
             members: vec![NodeId(3), NodeId(17)],
             senders: vec![NodeId(17)],
             rendezvous: NodeId(5),
+            population: 1,
         };
         let pim = run_protocol_sim(&g, Proto::PimSpt, std::slice::from_ref(&w), 8, 2);
         let dvm = run_protocol_sim(&g, Proto::Dvmrp, &[w], 8, 2);

@@ -77,15 +77,23 @@ fn simbench_deterministic_view(out: &str) -> String {
             if l.contains(" threads:")
                 || l.starts_with("auto_partition")
                 || l.starts_with("node_profile")
+                || l.starts_with("hier_profile")
                 || l.starts_with("  ")
             {
                 return None;
             }
             let toks: Vec<&str> = l.split_whitespace().collect();
-            // Sweep rows "nodes deliveries events regions wall_ms serial%"
-            // → keep only the simulation results (serial% may be "-").
-            if toks.len() == 6 && toks[..5].iter().all(|t| t.parse::<f64>().is_ok()) {
+            // Sweep rows "nodes deliveries events regions wall_ms run_ms
+            // us/ev serial%" → keep only the simulation results (serial%
+            // may be "-").
+            if toks.len() == 8 && toks[..7].iter().all(|t| t.parse::<f64>().is_ok()) {
                 return Some(toks[..3].join(" "));
+            }
+            // Hierarchical sweep rows "routers domains members deliveries
+            // del% events state/rtr ctrl/rtr regions wall_ms run_ms us/ev"
+            // → drop the partition shape and the wall-clock tail.
+            if toks.len() == 12 && toks.iter().all(|t| t.parse::<f64>().is_ok()) {
+                return Some(toks[..8].join(" "));
             }
             Some(l.to_string())
         })

@@ -1499,21 +1499,30 @@ impl Engine {
     pub fn tick(&mut self, now: SimTime, rib: &dyn Rib) -> Vec<Output> {
         let mut out = Vec::new();
 
-        // Execute matured pending LAN prunes.
-        let due: Vec<PendingPrune> = {
-            let (due, rest) = self
-                .pending_prunes
-                .drain(..)
-                .partition(|p| now >= p.execute_at);
-            self.pending_prunes = rest;
-            due
-        };
-        for p in due {
-            out.extend(self.execute_prune(now, p.iface, p.group, &p.entry, p.holdtime, rib));
+        // Execute matured pending LAN prunes. `tick` runs on every wakeup
+        // of the adapter's single timer, so each sweep below first checks
+        // whether anything is actually due — the common idle tick must not
+        // allocate.
+        if self.pending_prunes.iter().any(|p| now >= p.execute_at) {
+            let due: Vec<PendingPrune> = {
+                let (due, rest) = self
+                    .pending_prunes
+                    .drain(..)
+                    .partition(|p| now >= p.execute_at);
+                self.pending_prunes = rest;
+                due
+            };
+            for p in due {
+                out.extend(self.execute_prune(now, p.iface, p.group, &p.entry, p.holdtime, rib));
+            }
         }
 
-        // Expire neighbors (DR election input).
+        // Expire neighbors (DR election input). The DR re-election scans
+        // run only on interfaces where a holdtime actually lapsed.
         for idx in 0..self.ifaces.len() {
+            if !self.ifaces[idx].neighbors.values().any(|&exp| now >= exp) {
+                continue;
+            }
             let iface = IfaceId(idx as u32);
             let was_dr = self.is_dr(iface);
             self.ifaces[idx].neighbors.retain(|_, &mut exp| now < exp);
@@ -1532,27 +1541,32 @@ impl Engine {
         // that instant (nothing to join *for*). If downstream interest
         // arrived later, the entry is live again but pointing nowhere —
         // re-resolve it against the RIB and send the triggered join.
-        let orphaned: BTreeSet<Addr> = self
+        fn orphan_scan(gs: &GroupState) -> impl Iterator<Item = Addr> + '_ {
+            let star = gs
+                .star
+                .as_ref()
+                .filter(|s| s.iif.is_none() && !s.oifs_empty())
+                .map(|s| s.key);
+            let sources = gs
+                .sources
+                .iter()
+                .filter(|(_, e)| {
+                    !e.is_negative() && !e.local_source && e.iif.is_none() && !e.oifs_empty()
+                })
+                .map(|(&a, _)| a);
+            star.into_iter().chain(sources)
+        }
+        // Orphans are rare (a route flap racing downstream interest): probe
+        // without allocating before building the repair set.
+        if self
             .groups
             .values()
-            .flat_map(|gs| {
-                let star = gs
-                    .star
-                    .as_ref()
-                    .filter(|s| s.iif.is_none() && !s.oifs_empty())
-                    .map(|s| s.key);
-                let sources = gs
-                    .sources
-                    .iter()
-                    .filter(|(_, e)| {
-                        !e.is_negative() && !e.local_source && e.iif.is_none() && !e.oifs_empty()
-                    })
-                    .map(|(&a, _)| a);
-                star.into_iter().chain(sources)
-            })
-            .collect();
-        for dst in orphaned {
-            out.extend(self.on_route_change(now, dst, rib));
+            .any(|gs| orphan_scan(gs).next().is_some())
+        {
+            let orphaned: BTreeSet<Addr> = self.groups.values().flat_map(orphan_scan).collect();
+            for dst in orphaned {
+                out.extend(self.on_route_change(now, dst, rib));
+            }
         }
 
         // PIM queries.
@@ -1575,19 +1589,22 @@ impl Engine {
         out.extend(self.expire_entries(now));
 
         // RP failover checks.
-        let lapsed: Vec<Group> = self
-            .groups
-            .iter()
-            .filter(|(_, gs)| {
-                gs.star
-                    .as_ref()
-                    .and_then(|s| s.rp_timer)
-                    .is_some_and(|t| now >= t)
-            })
-            .map(|(&g, _)| g)
-            .collect();
-        for g in lapsed {
-            out.extend(self.rp_failover(now, g, rib));
+        let rp_lapsed = |gs: &GroupState| {
+            gs.star
+                .as_ref()
+                .and_then(|s| s.rp_timer)
+                .is_some_and(|t| now >= t)
+        };
+        if self.groups.values().any(rp_lapsed) {
+            let lapsed: Vec<Group> = self
+                .groups
+                .iter()
+                .filter(|(_, gs)| rp_lapsed(gs))
+                .map(|(&g, _)| g)
+                .collect();
+            for g in lapsed {
+                out.extend(self.rp_failover(now, g, rib));
+            }
         }
 
         // RP-reachability generation (§3.2).
@@ -1686,15 +1703,7 @@ impl Engine {
                     }
                     // Negative-cache pruned-oif leases lapse back to
                     // forwarding (footnote 13: kept alive by prunes only).
-                    let lapsed: Vec<IfaceId> = e
-                        .pruned_oifs
-                        .iter()
-                        .filter(|(_, &t)| now >= t)
-                        .map(|(&i, _)| i)
-                        .collect();
-                    for i in lapsed {
-                        e.pruned_oifs.remove(&i);
-                    }
+                    e.pruned_oifs.retain(|_, &mut t| now < t);
                 }
                 // Entries that ended up with no oifs by any path (including
                 // degenerate joins that arrived on the entry's own iif and

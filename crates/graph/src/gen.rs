@@ -235,6 +235,178 @@ pub fn three_domains(domain_size: usize, rng: &mut impl Rng) -> (Graph, [NodeId;
     (g, members, backbone[0])
 }
 
+/// Parameters for the hierarchical (backbone + stub domains) generator.
+///
+/// This is the wide-area shape the paper argues about: a modest AS-level
+/// backbone with many stub domains hung off attachment routers, rather
+/// than one flat random graph. Waxman density grows with node count
+/// (expected degree `~0.068 * (n-1)` at the default alpha/beta), so flat
+/// graphs stop being credible internets well before 1000 routers; the
+/// hierarchy keeps degree bounded no matter how many domains are added.
+#[derive(Clone, Copy, Debug)]
+pub struct HierParams {
+    /// The AS-level backbone, generated by [`waxman`] (its `nodes` field
+    /// is the backbone router count).
+    pub backbone: WaxmanParams,
+    /// Number of stub domains hung off the backbone.
+    pub domains: usize,
+    /// Routers per stub domain (gateway included).
+    pub domain_size: usize,
+    /// Extra intra-domain edges beyond the random spanning tree.
+    pub domain_extra_edges: usize,
+    /// Inclusive delay range for gateway-to-backbone links (the expensive
+    /// WAN hops; intra-domain links have delay 1).
+    pub gateway_delay: (Weight, Weight),
+}
+
+impl Default for HierParams {
+    /// A small campus-scale default: 10 backbone routers, 8 domains of 5.
+    fn default() -> Self {
+        HierParams {
+            backbone: WaxmanParams {
+                nodes: 10,
+                ..WaxmanParams::default()
+            },
+            domains: 8,
+            domain_size: 5,
+            domain_extra_edges: 1,
+            gateway_delay: (5, 15),
+        }
+    }
+}
+
+/// A hierarchical topology plus the structure metadata the simulation
+/// layers need: which domain every router belongs to and where each
+/// domain attaches to the backbone.
+#[derive(Clone, Debug)]
+pub struct HierTopology {
+    /// The full graph. Nodes `0..backbone` are the backbone; domain `d`
+    /// (0-based) occupies the contiguous block starting at
+    /// `backbone + d * domain_size`, gateway first.
+    pub graph: Graph,
+    /// Backbone router count.
+    pub backbone: usize,
+    /// Stub domain count.
+    pub domains: usize,
+    /// Routers per stub domain.
+    pub domain_size: usize,
+    /// Per-node domain id: `0` for backbone routers, `1 + d` for routers
+    /// of domain `d`.
+    pub domain_of: Vec<u32>,
+    /// Per-domain backbone router the gateway link lands on.
+    pub attachment: Vec<NodeId>,
+}
+
+impl HierTopology {
+    /// Node-id range of domain `d` (0-based).
+    pub fn domain_nodes(&self, d: usize) -> std::ops::Range<usize> {
+        assert!(d < self.domains);
+        let base = self.backbone + d * self.domain_size;
+        base..base + self.domain_size
+    }
+
+    /// Domain `d`'s gateway router (the one with the backbone link).
+    pub fn gateway(&self, d: usize) -> NodeId {
+        NodeId(self.domain_nodes(d).start as u32)
+    }
+
+    /// Domain `d`'s leaf router — the canonical member-attachment point,
+    /// farthest-numbered from the gateway.
+    pub fn leaf(&self, d: usize) -> NodeId {
+        NodeId((self.domain_nodes(d).end - 1) as u32)
+    }
+
+    /// Total router count.
+    pub fn node_count(&self) -> usize {
+        self.backbone + self.domains * self.domain_size
+    }
+
+    /// Region hints for the parallel event core, compatible with
+    /// `Topology::regions_by`: the whole backbone is region 0 and the
+    /// domains are folded into the remaining `target - 1` regions in
+    /// contiguous runs. Every cross-region link is a gateway link, so the
+    /// conservative lookahead is the minimum gateway delay — partitioning
+    /// along domain boundaries is exactly what makes the windows long.
+    ///
+    /// `target <= 1` (or a single domain) collapses to one region.
+    pub fn region_hints(&self, target: usize) -> Vec<u32> {
+        let n = self.node_count();
+        if target <= 1 || self.domains == 0 {
+            return vec![0; n];
+        }
+        let buckets = (target - 1).min(self.domains);
+        let mut hints = vec![0u32; n];
+        for d in 0..self.domains {
+            let region = 1 + (d * buckets / self.domains) as u32;
+            for v in self.domain_nodes(d) {
+                hints[v] = region;
+            }
+        }
+        hints
+    }
+}
+
+/// Generate a hierarchical internetwork: a Waxman AS-level backbone with
+/// `domains` stub domains hung off random attachment routers.
+///
+/// Each domain is a random spanning tree (delay-1 links) over
+/// `domain_size` routers plus `domain_extra_edges` random shortcuts, and
+/// its gateway (first node of the block) gets one link to a random
+/// backbone router with a delay drawn from `gateway_delay`. The result is
+/// connected by construction and deterministic per seed.
+pub fn hierarchical(params: &HierParams, rng: &mut impl Rng) -> HierTopology {
+    assert!(params.backbone.nodes >= 2, "backbone needs two routers");
+    assert!(params.domain_size >= 1, "empty domains are pointless");
+    let (lo, hi) = params.gateway_delay;
+    assert!(lo >= 1 && lo <= hi, "invalid gateway delay range");
+
+    let b = params.backbone.nodes;
+    let n = b + params.domains * params.domain_size;
+    let mut g = Graph::with_nodes(n);
+    // Backbone first: its nodes keep their ids when copied into the big
+    // graph, so the Waxman edge list transfers verbatim.
+    let bb = waxman(&params.backbone, rng);
+    for (_, e) in bb.edges() {
+        g.add_edge(e.a, e.b, e.weight);
+    }
+
+    let mut domain_of = vec![0u32; n];
+    let mut attachment = Vec::with_capacity(params.domains);
+    for d in 0..params.domains {
+        let base = b + d * params.domain_size;
+        domain_of[base..base + params.domain_size].fill(1 + d as u32);
+        // Random intra-domain tree rooted at the gateway.
+        for i in 1..params.domain_size {
+            let parent = base + rng.gen_range(0..i);
+            g.add_edge(NodeId((base + i) as u32), NodeId(parent as u32), 1);
+        }
+        for _ in 0..params.domain_extra_edges {
+            if params.domain_size < 3 {
+                break;
+            }
+            let a = base + rng.gen_range(0..params.domain_size);
+            let c = base + rng.gen_range(0..params.domain_size);
+            if a != c && !g.has_edge(NodeId(a as u32), NodeId(c as u32)) {
+                g.add_edge(NodeId(a as u32), NodeId(c as u32), 1);
+            }
+        }
+        // Hang the gateway off a random backbone router.
+        let att = NodeId(rng.gen_range(0..b as u32));
+        g.add_edge(NodeId(base as u32), att, rng.gen_range(lo..=hi));
+        attachment.push(att);
+    }
+
+    debug_assert!(crate::algo::is_connected(&g));
+    HierTopology {
+        graph: g,
+        backbone: b,
+        domains: params.domains,
+        domain_size: params.domain_size,
+        domain_of,
+        attachment,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +498,97 @@ mod tests {
         assert_eq!(members[1], NodeId(9));
         assert_eq!(members[2], NodeId(14));
         assert_eq!(rp, NodeId(15));
+    }
+
+    #[test]
+    fn hierarchical_shape_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let params = HierParams {
+            backbone: WaxmanParams {
+                nodes: 12,
+                ..WaxmanParams::default()
+            },
+            domains: 10,
+            domain_size: 7,
+            domain_extra_edges: 2,
+            gateway_delay: (5, 15),
+        };
+        let h = hierarchical(&params, &mut rng);
+        assert_eq!(h.node_count(), 12 + 70);
+        assert_eq!(h.graph.node_count(), h.node_count());
+        assert!(is_connected(&h.graph));
+        // Domain metadata is consistent with the block layout.
+        for d in 0..10 {
+            for v in h.domain_nodes(d) {
+                assert_eq!(h.domain_of[v], 1 + d as u32);
+            }
+            assert!(h.attachment[d].index() < 12);
+            assert!(h.graph.has_edge(h.gateway(d), h.attachment[d]));
+        }
+        for v in 0..12 {
+            assert_eq!(h.domain_of[v], 0);
+        }
+    }
+
+    #[test]
+    fn hierarchical_deterministic_per_seed() {
+        let params = HierParams::default();
+        let h1 = hierarchical(&params, &mut StdRng::seed_from_u64(33));
+        let h2 = hierarchical(&params, &mut StdRng::seed_from_u64(33));
+        let e1: Vec<_> = h1.graph.edges().map(|(_, e)| *e).collect();
+        let e2: Vec<_> = h2.graph.edges().map(|(_, e)| *e).collect();
+        assert_eq!(e1, e2);
+        assert_eq!(h1.domain_of, h2.domain_of);
+        assert_eq!(h1.attachment, h2.attachment);
+    }
+
+    #[test]
+    fn hierarchical_degree_stays_bounded() {
+        // The whole point of the hierarchy: average degree must not grow
+        // with the domain count (a flat Waxman graph's would).
+        let mut rng = StdRng::seed_from_u64(8);
+        let small = hierarchical(
+            &HierParams {
+                domains: 10,
+                ..HierParams::default()
+            },
+            &mut rng,
+        );
+        let large = hierarchical(
+            &HierParams {
+                domains: 100,
+                ..HierParams::default()
+            },
+            &mut rng,
+        );
+        assert!(large.graph.average_degree() <= small.graph.average_degree() + 0.5);
+    }
+
+    #[test]
+    fn hierarchical_region_hints_cut_only_gateway_links() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let h = hierarchical(
+            &HierParams {
+                domains: 12,
+                ..HierParams::default()
+            },
+            &mut rng,
+        );
+        let hints = h.region_hints(4);
+        assert_eq!(hints.len(), h.node_count());
+        // Backbone is region 0; domains use 1..4.
+        assert!(hints[..h.backbone].iter().all(|&r| r == 0));
+        assert!(hints.iter().all(|&r| r < 4));
+        assert!((1..4).all(|r| hints.contains(&r)));
+        // Every edge that crosses regions is a gateway link, whose delay
+        // (>= 1) is what the parallel core's lookahead will be.
+        for (_, e) in h.graph.edges() {
+            if hints[e.a.index()] != hints[e.b.index()] {
+                assert!(e.weight >= 5, "cross-region edge with delay {}", e.weight);
+            }
+        }
+        // target <= 1 collapses to a single region.
+        assert!(h.region_hints(1).iter().all(|&r| r == 0));
     }
 
     #[test]

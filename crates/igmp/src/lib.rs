@@ -18,8 +18,10 @@
 #![warn(missing_docs)]
 
 pub mod host;
+pub mod population;
 
 pub use host::{HostNode, Received};
+pub use population::{Churn, PopulationNode};
 
 use netsim::{Duration, SimTime};
 use rand::Rng;

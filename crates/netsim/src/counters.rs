@@ -8,7 +8,6 @@
 
 use crate::time::SimTime;
 use crate::world::{LinkId, NodeIdx};
-use std::collections::HashMap;
 use wire::ip::{Header, Protocol};
 
 /// Whether a packet is protocol control traffic or application data.
@@ -135,16 +134,30 @@ pub struct LinkStats {
     pub last_data_at: Option<SimTime>,
 }
 
+/// Grow a dense column to cover `idx` and hand back its slot. Link and
+/// node ids are assigned densely by the world, so indexed columns replace
+/// the hash-per-packet maps this module used to keep — `record_tx` runs
+/// once per transmitted copy and sits on the event-loop hot path.
+fn slot<T: Default + Clone>(column: &mut Vec<T>, idx: usize) -> &mut T {
+    if idx >= column.len() {
+        column.resize(idx + 1, T::default());
+    }
+    &mut column[idx]
+}
+
 /// World-wide overhead counters.
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
-    per_link: HashMap<LinkId, LinkStats>,
+    /// Dense per-link stats indexed by [`LinkId`]; links past the end of
+    /// the column have never recorded anything.
+    per_link: Vec<LinkStats>,
     /// Control packets transmitted, broken down by sub-protocol
     /// ([`CtrlProto::index`] order).
     ctrl_tx: [u64; 6],
-    local_deliveries: HashMap<NodeIdx, u64>,
+    /// Dense per-node local-delivery counts indexed by [`NodeIdx`].
+    local_deliveries: Vec<u64>,
     /// Undecodable payloads dropped at each node's receive path.
-    decode_failures: HashMap<NodeIdx, u64>,
+    decode_failures: Vec<u64>,
     rx_control_pkts: u64,
     rx_data_pkts: u64,
     rx_bytes: u64,
@@ -164,7 +177,7 @@ impl Counters {
         len: usize,
         at: SimTime,
     ) {
-        let s = self.per_link.entry(link).or_default();
+        let s = slot(&mut self.per_link, link.0);
         match class {
             PacketClass::Control => {
                 s.control_pkts += 1;
@@ -207,27 +220,27 @@ impl Counters {
     }
 
     pub(crate) fn record_loss(&mut self, link: LinkId) {
-        self.per_link.entry(link).or_default().losses += 1;
+        slot(&mut self.per_link, link.0).losses += 1;
     }
 
     pub(crate) fn record_corrupted(&mut self, link: LinkId) {
-        self.per_link.entry(link).or_default().corrupted += 1;
+        slot(&mut self.per_link, link.0).corrupted += 1;
     }
 
     pub(crate) fn record_duplicated(&mut self, link: LinkId) {
-        self.per_link.entry(link).or_default().duplicated += 1;
+        slot(&mut self.per_link, link.0).duplicated += 1;
     }
 
     pub(crate) fn record_reordered(&mut self, link: LinkId) {
-        self.per_link.entry(link).or_default().reordered += 1;
+        slot(&mut self.per_link, link.0).reordered += 1;
     }
 
     pub(crate) fn record_decode_failure(&mut self, node: NodeIdx) {
-        *self.decode_failures.entry(node).or_default() += 1;
+        *slot(&mut self.decode_failures, node.0) += 1;
     }
 
     pub(crate) fn record_local_delivery(&mut self, node: NodeIdx) {
-        *self.local_deliveries.entry(node).or_default() += 1;
+        *slot(&mut self.local_deliveries, node.0) += 1;
     }
 
     /// Fold another counter shard into this one.
@@ -239,8 +252,8 @@ impl Counters {
     /// merge order — part of the byte-identity contract the parallel
     /// simulation core pins.
     pub fn merge(&mut self, other: &Counters) {
-        for (&link, o) in &other.per_link {
-            let s = self.per_link.entry(link).or_default();
+        for (link, o) in other.per_link.iter().enumerate() {
+            let s = slot(&mut self.per_link, link);
             s.control_pkts += o.control_pkts;
             s.data_pkts += o.data_pkts;
             s.bytes += o.bytes;
@@ -256,11 +269,11 @@ impl Counters {
         for (i, n) in other.ctrl_tx.iter().enumerate() {
             self.ctrl_tx[i] += n;
         }
-        for (&node, n) in &other.local_deliveries {
-            *self.local_deliveries.entry(node).or_default() += n;
+        for (node, n) in other.local_deliveries.iter().enumerate() {
+            *slot(&mut self.local_deliveries, node) += n;
         }
-        for (&node, n) in &other.decode_failures {
-            *self.decode_failures.entry(node).or_default() += n;
+        for (node, n) in other.decode_failures.iter().enumerate() {
+            *slot(&mut self.decode_failures, node) += n;
         }
         self.rx_control_pkts += other.rx_control_pkts;
         self.rx_data_pkts += other.rx_data_pkts;
@@ -274,17 +287,21 @@ impl Counters {
 
     /// Stats for one link (zeroes if it never carried traffic).
     pub fn link(&self, link: LinkId) -> LinkStats {
-        self.per_link.get(&link).copied().unwrap_or_default()
+        self.per_link.get(link.0).copied().unwrap_or_default()
     }
 
     /// Iterate over links that carried any traffic.
     pub fn links(&self) -> impl Iterator<Item = (LinkId, &LinkStats)> + '_ {
-        self.per_link.iter().map(|(&l, s)| (l, s))
+        self.per_link
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != LinkStats::default())
+            .map(|(l, s)| (LinkId(l), s))
     }
 
     /// Total control packets transmitted network-wide.
     pub fn total_control_pkts(&self) -> u64 {
-        self.per_link.values().map(|s| s.control_pkts).sum()
+        self.per_link.iter().map(|s| s.control_pkts).sum()
     }
 
     /// Control packets transmitted for one sub-protocol.
@@ -302,59 +319,59 @@ impl Counters {
     /// once — this is the paper's "data packet processing across the entire
     /// network").
     pub fn total_data_pkts(&self) -> u64 {
-        self.per_link.values().map(|s| s.data_pkts).sum()
+        self.per_link.iter().map(|s| s.data_pkts).sum()
     }
 
     /// Total bytes transmitted network-wide.
     pub fn total_bytes(&self) -> u64 {
-        self.per_link.values().map(|s| s.bytes).sum()
+        self.per_link.iter().map(|s| s.bytes).sum()
     }
 
     /// Total packets dropped by loss injection.
     pub fn losses(&self) -> u64 {
-        self.per_link.values().map(|s| s.losses).sum()
+        self.per_link.iter().map(|s| s.losses).sum()
     }
 
     /// Total packet copies corrupted by the channel model.
     pub fn pkts_corrupted(&self) -> u64 {
-        self.per_link.values().map(|s| s.corrupted).sum()
+        self.per_link.iter().map(|s| s.corrupted).sum()
     }
 
     /// Total extra packet copies injected by channel duplication.
     pub fn pkts_duplicated(&self) -> u64 {
-        self.per_link.values().map(|s| s.duplicated).sum()
+        self.per_link.iter().map(|s| s.duplicated).sum()
     }
 
     /// Total packet copies delayed out of order by the channel model.
     pub fn pkts_reordered(&self) -> u64 {
-        self.per_link.values().map(|s| s.reordered).sum()
+        self.per_link.iter().map(|s| s.reordered).sum()
     }
 
     /// Undecodable payloads dropped at `node`'s receive path.
     pub fn decode_failures(&self, node: NodeIdx) -> u64 {
-        self.decode_failures.get(&node).copied().unwrap_or(0)
+        self.decode_failures.get(node.0).copied().unwrap_or(0)
     }
 
     /// Undecodable payloads dropped network-wide. Zero on a clean channel:
     /// every encoder produces decodable bytes, so decode failures can only
     /// come from channel corruption (asserted by the hardening oracle).
     pub fn total_decode_failures(&self) -> u64 {
-        self.decode_failures.values().sum()
+        self.decode_failures.iter().sum()
     }
 
     /// Data packets delivered to local group members at `node`.
     pub fn local_deliveries(&self, node: NodeIdx) -> u64 {
-        self.local_deliveries.get(&node).copied().unwrap_or(0)
+        self.local_deliveries.get(node.0).copied().unwrap_or(0)
     }
 
     /// Total data packets delivered to local group members anywhere.
     pub fn total_local_deliveries(&self) -> u64 {
-        self.local_deliveries.values().sum()
+        self.local_deliveries.iter().sum()
     }
 
     /// Number of distinct links that carried at least one data packet.
     pub fn links_carrying_data(&self) -> usize {
-        self.per_link.values().filter(|s| s.data_pkts > 0).count()
+        self.per_link.iter().filter(|s| s.data_pkts > 0).count()
     }
 
     /// Events the world actually dispatched (deliveries + timers + scripts).

@@ -745,19 +745,21 @@ impl<'a> Ctx<'a> {
             }
         }
         let delay = link.delay;
-        let dests: Vec<(NodeIdx, IfaceId)> = link
-            .attachments
-            .iter()
-            .copied()
-            .filter(|&(n, i)| (n, i) != (from, iface))
-            .collect();
         let loss = link.loss;
         let chan = link.channel;
+        let n_att = link.attachments.len();
         let at = self.region.now + delay;
         // One shared buffer for the whole fan-out; each delivery below is
-        // a refcount bump, not a copy of the packet bytes.
+        // a refcount bump, not a copy of the packet bytes. Attachments are
+        // walked by index (re-reading the shared link each step) so the
+        // fan-out allocates nothing beyond the Arc itself — collecting the
+        // destination list first cost a Vec per transmit on the hot path.
         let packet: Arc<[u8]> = packet.into();
-        for (n, i) in dests {
+        for ai in 0..n_att {
+            let (n, i) = self.shared.links[link_id.0].attachments[ai];
+            if (n, i) == (from, iface) {
+                continue;
+            }
             if !self.shared.node_up[n.0] {
                 self.region.counters.record_pkt_dropped_node_down();
                 continue;

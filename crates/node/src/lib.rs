@@ -575,23 +575,29 @@ impl<P: ProtocolEngine + 'static> Node for ProtocolNode<P> {
             let outs = self.unicast.tick(now);
             self.handle_unicast_outputs(ctx, outs);
         }
-        let ifaces: Vec<IfaceId> = self.queriers.keys().copied().collect();
-        for i in ifaces {
-            // Keys are a snapshot; if a concurrent fault path ever removed
-            // a querier mid-iteration, skip it rather than aborting the sim.
-            let Some(q) = self.queriers.get_mut(&i) else {
-                continue;
-            };
-            let was_querier = q.is_querier();
-            let outs = q.tick(now);
-            let is_querier = q.is_querier();
-            if was_querier != is_querier {
-                self.telem.emit(now.ticks(), || Event::QuerierChanged {
-                    iface: i.0,
-                    is_querier,
-                });
+        // Most routers in a large topology have no host LANs, and their
+        // wakeups fire on every engine deadline — don't pay a key-snapshot
+        // allocation for an empty querier map.
+        if !self.queriers.is_empty() {
+            let ifaces: Vec<IfaceId> = self.queriers.keys().copied().collect();
+            for i in ifaces {
+                // Keys are a snapshot; if a concurrent fault path ever
+                // removed a querier mid-iteration, skip it rather than
+                // aborting the sim.
+                let Some(q) = self.queriers.get_mut(&i) else {
+                    continue;
+                };
+                let was_querier = q.is_querier();
+                let outs = q.tick(now);
+                let is_querier = q.is_querier();
+                if was_querier != is_querier {
+                    self.telem.emit(now.ticks(), || Event::QuerierChanged {
+                        iface: i.0,
+                        is_querier,
+                    });
+                }
+                self.handle_querier_outputs(ctx, i, outs);
             }
-            self.handle_querier_outputs(ctx, i, outs);
         }
         let acts = self.engine.tick(now, self.unicast.as_ref());
         self.handle_actions(ctx, acts);

@@ -53,7 +53,7 @@ pub use fuzz::{
     corpus, fuzz_engine, fuzz_engines, fuzz_wire, mutate, EngineFuzzOutcome, SeedStream,
     WireFuzzReport,
 };
-pub use net::{build_net, Protocol, ScenarioNet, Substrate};
+pub use net::{build_net, build_net_aggregate, Protocol, ScenarioNet, Substrate};
 pub use oracle::{
     check_bounded_state, check_cbt_ack_ledger, check_delivery, check_hardening, check_loop_freedom,
     check_no_orphans, check_rpf, check_structure, Violation,

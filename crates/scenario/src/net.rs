@@ -8,7 +8,7 @@
 use cbt::{CbtConfig, CbtEngine, CbtRouter};
 use dvmrp::{DvmrpConfig, DvmrpEngine, DvmrpRouter};
 use graph::{Graph, NodeId};
-use igmp::HostNode;
+use igmp::{HostNode, PopulationNode};
 use netsim::{host_addr, router_addr, Duration, IfaceId, NodeIdx, SimTime, Topology, World};
 use pim::{Engine, PimConfig, PimRouter};
 use telemetry::SharedSink;
@@ -89,6 +89,11 @@ pub struct ScenarioNet {
     pub host_routers: Vec<NodeId>,
     /// Router-router interface map per router, indexed by graph node.
     pub peers: Vec<Vec<IfacePeer>>,
+    /// Aggregate member population behind each host slot, in
+    /// `host_routers` order. `1` = an explicit [`HostNode`] (the classic
+    /// scenarios); `> 1` = a [`PopulationNode`] holding that many
+    /// members behind one LAN.
+    pub populations: Vec<u64>,
 }
 
 /// Build a network of `protocol` routers over `g` with a host behind each
@@ -103,6 +108,40 @@ pub fn build_net(
     host_routers: &[NodeId],
     seed: u64,
 ) -> ScenarioNet {
+    let ones = vec![1; host_routers.len()];
+    build_net_aggregate(
+        g,
+        protocol,
+        substrate,
+        group,
+        rendezvous,
+        host_routers,
+        &ones,
+        seed,
+    )
+}
+
+/// [`build_net`] with an aggregate member population per host slot:
+/// slot `k` gets a [`PopulationNode`] holding `populations[k]` members
+/// when that count exceeds one, and the classic explicit [`HostNode`]
+/// otherwise — so a million-member scenario still attaches one world
+/// node per LAN.
+#[allow(clippy::too_many_arguments)]
+pub fn build_net_aggregate(
+    g: &Graph,
+    protocol: Protocol,
+    substrate: Substrate,
+    group: Group,
+    rendezvous: NodeId,
+    host_routers: &[NodeId],
+    populations: &[u64],
+    seed: u64,
+) -> ScenarioNet {
+    assert_eq!(
+        populations.len(),
+        host_routers.len(),
+        "one population count per host slot"
+    );
     let topo = Topology::from_graph(g);
     let rdv_addr = router_addr(rendezvous);
 
@@ -151,9 +190,13 @@ pub fn build_net(
     });
 
     let mut hosts = Vec::new();
-    for &n in host_routers {
+    for (k, &n) in host_routers.iter().enumerate() {
         let ha = host_addr(n, 0);
-        let hi = world.add_node(Box::new(HostNode::new(ha)));
+        let hi = if populations[k] > 1 {
+            world.add_node(Box::new(PopulationNode::new(ha)))
+        } else {
+            world.add_node(Box::new(HostNode::new(ha)))
+        };
         let (_l, ifs) = world.add_lan(&[NodeIdx(n.index()), hi], Duration(1));
         let r = NodeIdx(n.index());
         match protocol {
@@ -194,6 +237,7 @@ pub fn build_net(
         rendezvous,
         host_routers: host_routers.to_vec(),
         peers,
+        populations: populations.to_vec(),
     }
 }
 
@@ -204,24 +248,83 @@ impl ScenarioNet {
     pub fn send_at(&mut self, slot: usize, start: u64, count: u64, gap: u64) {
         let (host, _) = self.hosts[slot];
         let group = self.group;
+        let aggregate = self.populations[slot] > 1;
         for k in 0..count {
             self.world.at(SimTime(start + k * gap), move |w| {
                 w.call_node(host, |n, ctx| {
-                    n.as_any_mut()
-                        .downcast_mut::<HostNode>()
-                        .expect("host slot is a HostNode")
-                        .send_data(ctx, group);
+                    if aggregate {
+                        n.as_any_mut()
+                            .downcast_mut::<PopulationNode>()
+                            .expect("host slot is a PopulationNode")
+                            .send_data(ctx, group);
+                    } else {
+                        n.as_any_mut()
+                            .downcast_mut::<HostNode>()
+                            .expect("host slot is a HostNode")
+                            .send_data(ctx, group);
+                    }
                 });
             });
         }
     }
 
+    /// Schedule host slot `k`'s members to join at `at`: the slot's whole
+    /// population for an aggregate slot, the single host otherwise.
+    pub fn join_at(&mut self, slot: usize, at: u64) {
+        let (host, _) = self.hosts[slot];
+        let group = self.group;
+        let population = self.populations[slot];
+        self.world.at(SimTime(at), move |w| {
+            w.call_node(host, |n, ctx| {
+                if population > 1 {
+                    n.as_any_mut()
+                        .downcast_mut::<PopulationNode>()
+                        .expect("host slot is a PopulationNode")
+                        .join_members(ctx, group, population);
+                } else {
+                    n.as_any_mut()
+                        .downcast_mut::<HostNode>()
+                        .expect("host slot is a HostNode")
+                        .join(ctx, group);
+                }
+            });
+        });
+    }
+
+    /// Schedule host slot `k`'s entire membership to leave at `at`.
+    pub fn leave_at(&mut self, slot: usize, at: u64) {
+        let (host, _) = self.hosts[slot];
+        let group = self.group;
+        let population = self.populations[slot];
+        self.world.at(SimTime(at), move |w| {
+            w.call_node(host, |n, _ctx| {
+                if population > 1 {
+                    n.as_any_mut()
+                        .downcast_mut::<PopulationNode>()
+                        .expect("host slot is a PopulationNode")
+                        .leave_members(group, population);
+                } else {
+                    n.as_any_mut()
+                        .downcast_mut::<HostNode>()
+                        .expect("host slot is a HostNode")
+                        .leave(group);
+                }
+            });
+        });
+    }
+
     /// The sequence numbers host slot `k` received from `source`.
     pub fn seqs(&self, slot: usize, source: Addr) -> Vec<u64> {
         let (host, _) = self.hosts[slot];
-        self.world
-            .node::<HostNode>(host)
-            .seqs_from(source, self.group)
+        if self.populations[slot] > 1 {
+            self.world
+                .node::<PopulationNode>(host)
+                .seqs_from(source, self.group)
+        } else {
+            self.world
+                .node::<HostNode>(host)
+                .seqs_from(source, self.group)
+        }
     }
 
     /// Attach one structured-event sink to the whole network: the world's

@@ -440,18 +440,36 @@ pub fn check_cbt_ack_ledger(net: &ScenarioNet) -> Vec<Violation> {
 /// * **Drop bookkeeping** — each router's own `malformed_drops`
 ///   counter agrees with the world's per-node decode-failure ledger;
 ///   every undecodable frame is counted exactly once on both sides.
+///
+/// Aggregate scenarios (any host slot with population > 1) add a third
+/// clause: **site-scaled state** — a router's entry count for the
+/// scenario group is bounded by the number of host *sites* (one possible
+/// source plus one tree entry per site, plus the shared tree), never by
+/// the member population behind them. This is the paper's aggregation
+/// argument made checkable: a million members behind fifty LANs must
+/// cost the routers no more state than fifty explicit hosts. Explicit
+/// scenarios skip the clause (adversarial schedules may legally implant
+/// same-group source entries the fuzz corpus pins down separately), so
+/// the classic checks are unchanged.
 pub fn check_bounded_state(net: &ScenarioNet) -> Vec<Violation> {
     let mut out = Vec::new();
     let counters = net.world.counters();
+    let aggregate = net.populations.iter().any(|&p| p > 1);
+    // Worst-case entries per router for the scenario's single group:
+    // every site a source (one (S,G) each) plus the shared (*,G) tree.
+    let site_bound = net.hosts.len() + 1;
     for n in up_routers(net) {
         let idx = NodeIdx(n);
         let mut bad_groups: Vec<String> = Vec::new();
+        let mut group_entries = 0usize;
         let malformed_drops = match net.protocol {
             Protocol::Pim => {
                 let r = net.world.node::<PimRouter>(idx);
-                for (g, _) in r.engine().groups() {
+                for (g, gs) in r.engine().groups() {
                     if g != net.group {
                         bad_groups.push(format!("{g:?}"));
+                    } else {
+                        group_entries += usize::from(gs.star.is_some()) + gs.sources.len();
                     }
                 }
                 r.malformed_drops
@@ -461,6 +479,8 @@ pub fn check_bounded_state(net: &ScenarioNet) -> Vec<Violation> {
                 for (s, g) in r.engine().entry_keys() {
                     if g != net.group {
                         bad_groups.push(format!("({s}, {g:?})"));
+                    } else {
+                        group_entries += 1;
                     }
                 }
                 r.malformed_drops
@@ -470,11 +490,25 @@ pub fn check_bounded_state(net: &ScenarioNet) -> Vec<Violation> {
                 for (g, _) in r.engine().trees() {
                     if g != net.group {
                         bad_groups.push(format!("{g:?}"));
+                    } else {
+                        group_entries += 1;
                     }
                 }
                 r.malformed_drops
             }
         };
+        if aggregate && group_entries > site_bound {
+            out.push(violation(
+                "hardening",
+                n,
+                format!(
+                    "{group_entries} entries for the scenario group exceed the \
+                     site-scaled bound {site_bound} ({} sites): state is scaling \
+                     with members, not sites",
+                    net.hosts.len()
+                ),
+            ));
+        }
         if !bad_groups.is_empty() {
             out.push(violation(
                 "hardening",

@@ -39,7 +39,15 @@ impl OracleRib {
             .map(|p| (p.edge.index(), p.iface))
             .collect();
         let sp = ap.from(me);
-        let mut table = HashMap::new();
+        let n = g.node_count();
+        // First hop from `me` toward each destination, memoized over the
+        // shortest-path tree: every node on a root-to-dst branch shares
+        // the branch's first hop, so each tree node is walked once and
+        // the whole table costs O(n) parent steps instead of
+        // O(n · diameter).
+        let mut first_hop: Vec<Option<(NodeId, graph::EdgeId)>> = vec![None; n];
+        let mut chain: Vec<NodeId> = Vec::new();
+        let mut table = HashMap::with_capacity(n.saturating_sub(1));
         for dst in g.nodes() {
             if dst == me {
                 continue;
@@ -47,17 +55,26 @@ impl OracleRib {
             let Some(metric) = sp.dist_to(dst) else {
                 continue;
             };
-            // Walk back from dst to the hop adjacent to me.
-            let mut cur = dst;
-            let mut via_edge = None;
-            while let Some((parent, edge)) = sp.parent_of(g, cur) {
-                if parent == me {
-                    via_edge = Some((cur, edge));
-                    break;
+            if first_hop[dst.index()].is_none() {
+                let mut cur = dst;
+                let resolved = loop {
+                    if let Some(hop) = first_hop[cur.index()] {
+                        break hop;
+                    }
+                    let (parent, edge) = sp.parent_of(g, cur).expect("path must pass through me");
+                    if parent == me {
+                        break (cur, edge);
+                    }
+                    chain.push(cur);
+                    cur = parent;
+                };
+                first_hop[cur.index()] = Some(resolved);
+                for &v in &chain {
+                    first_hop[v.index()] = Some(resolved);
                 }
-                cur = parent;
+                chain.clear();
             }
-            let (next_hop_node, edge) = via_edge.expect("path must pass through me");
+            let (next_hop_node, edge) = first_hop[dst.index()].expect("resolved above");
             let iface = iface_of_edge[&edge.index()];
             table.insert(
                 router_addr(dst),

@@ -43,6 +43,9 @@ full)
     echo "== fig2b (full)"
     ./target/release/fig2b --json "$out/fig2b.json"
     echo "== simbench (full)"
+    # Single-threaded so the committed wall clocks are comparable across
+    # regenerations on any host (results are thread-invariant anyway; the
+    # parallel core is exercised and gated by check.sh at --threads 4).
     ./target/release/simbench --json BENCH_sim.json
     # Compose the committed fig2 record from the two sweep records.
     {

@@ -47,6 +47,20 @@ for pin in corpus/*.replay; do
 done
 echo "determinism: OK"
 
+echo "== hierarchical smoke (500 routers, 10^4 aggregate members)"
+# Scale gate: all three protocols over the wide-area backbone+domains
+# topology with aggregate member populations, full oracle battery
+# (delivery, structure, site-scaled state bound), thread-invariant.
+./target/release/hier_smoke --threads 1 | sed 's/threads=[0-9]*//' >target/check/hier-1t.txt
+./target/release/hier_smoke --threads 4 | sed 's/threads=[0-9]*//' >target/check/hier-4t.txt
+diff target/check/hier-1t.txt target/check/hier-4t.txt ||
+    { echo "hier_smoke diverged across thread counts"; exit 1; }
+! grep -q FAIL target/check/hier-1t.txt ||
+    { echo "hier_smoke oracle violations"; exit 1; }
+grep -q PASS target/check/hier-1t.txt ||
+    { echo "hier_smoke produced no PASS lines"; exit 1; }
+echo "hier smoke: OK"
+
 echo "== bench smoke"
 ./scripts/bench.sh smoke
 
