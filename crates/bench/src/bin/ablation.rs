@@ -78,6 +78,7 @@ fn run_point(args: &cli::Args, proto: Proto, loss: f64, pim: PimConfig) -> (u64,
                 pim,
                 threads: 1,
                 profile: false,
+                ..SimOptions::default()
             },
         );
         TrialOut {

@@ -27,29 +27,57 @@
 //! once at tx time by [`netsim::CtrlProto`] — the paper's per-protocol
 //! control-cost axis.
 //!
-//! Run: `cargo run -p bench --release --bin overhead [--trials N] [--seed N]`
+//! With `--congestion` every router-router link is capped (rate
+//! [`CONGESTED_RATE`] bytes/tick, queue [`CONGESTED_QUEUE`] bytes,
+//! control priority on) and the table gains the shed-load columns:
+//! `qdrop` (data/control tail drops), `ecn` (congestion marks), and
+//! `peakq` (deepest queue in bytes). Control drops staying 0 under
+//! overload is the no-starvation property, measured per protocol.
+//!
+//! Run: `cargo run -p bench --release --bin overhead [--trials N]
+//! [--seed N] [--congestion]`
 
-use bench::{cli, run_protocol_sim, stats, Proto, Workload};
+use bench::{cli, run_protocol_sim_opts, stats, Proto, SimOptions, Workload};
 use graph::gen::{random_connected, RandomGraphParams};
 use graph::NodeId;
 use mctree::GroupSpec;
-use netsim::CtrlProto;
+use netsim::{CtrlProto, LinkCapacity};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wire::Group;
 
 const NODES: usize = 50;
 const PACKETS: u64 = 12;
+/// `--congestion`: per-tick byte rate of every router-router link.
+const CONGESTED_RATE: u64 = 4;
+/// `--congestion`: transmit-queue bound in bytes.
+const CONGESTED_QUEUE: u64 = 96;
 
 fn main() {
     let args = cli::parse(10);
+    let capacity = if args.congestion {
+        LinkCapacity {
+            bytes_per_tick: CONGESTED_RATE,
+            queue_bytes: CONGESTED_QUEUE,
+            ecn_bytes: CONGESTED_QUEUE / 2,
+            ctrl_priority: true,
+        }
+    } else {
+        LinkCapacity::UNLIMITED
+    };
     println!("# Overhead comparison on a {NODES}-node internet, one group, {PACKETS} pkts/sender,");
     println!(
         "# averaged over {} topologies (seed {}).",
         args.trials, args.seed
     );
+    if args.congestion {
+        println!(
+            "# links capped at {CONGESTED_RATE} B/tick, queue {CONGESTED_QUEUE} B, \
+             ctrl priority on (--congestion)."
+        );
+    }
     println!(
-        "{:<10} {:<11} {:>8} {:>9} {:>9} {:>7} {:>7} {:>11} {:>5} {:>9} {:>8}",
+        "{:<10} {:<11} {:>8} {:>9} {:>9} {:>7} {:>7} {:>11} {:>5} {:>9} {:>8} {:>9} {:>5} {:>6}",
         "members",
         "protocol",
         "state",
@@ -60,7 +88,10 @@ fn main() {
         "dlv/exp",
         "dup",
         "events",
-        "timers"
+        "timers",
+        "qdrop",
+        "ecn",
+        "peakq"
     );
     let mut attribution: Vec<(usize, &'static str, [u64; 6])> = Vec::new();
     for &members in &[2usize, 5, 10, 20, 40] {
@@ -77,6 +108,10 @@ fn main() {
             let mut events = Vec::new();
             let mut timers = Vec::new();
             let mut ctrl_by = [0u64; 6];
+            let mut qdrop_data = 0u64;
+            let mut qdrop_ctrl = 0u64;
+            let mut ecn = 0u64;
+            let mut peakq = 0u64;
             for trial in 0..args.trials {
                 let mut rng =
                     StdRng::seed_from_u64(args.seed ^ ((members as u64) << 24) ^ trial as u64);
@@ -96,7 +131,17 @@ fn main() {
                     rendezvous: NodeId(rng.gen_range(0..NODES as u32)),
                     population: 1,
                 };
-                let r = run_protocol_sim(&g, proto, &[w], PACKETS, args.seed ^ trial as u64);
+                let r = run_protocol_sim_opts(
+                    &g,
+                    proto,
+                    &[w],
+                    &SimOptions {
+                        packets_per_sender: PACKETS,
+                        seed: args.seed ^ trial as u64,
+                        capacity,
+                        ..SimOptions::default()
+                    },
+                );
                 state.push(r.state_entries as f64);
                 ctrl.push(r.control_pkts as f64);
                 data.push(r.data_pkts as f64);
@@ -110,10 +155,14 @@ fn main() {
                 for (slot, (_, n)) in ctrl_by.iter_mut().zip(r.control_breakdown) {
                     *slot += n;
                 }
+                qdrop_data += r.queue_drops_data;
+                qdrop_ctrl += r.queue_drops_ctrl;
+                ecn += r.ecn_marks;
+                peakq = peakq.max(r.peak_queue_bytes);
             }
             attribution.push((members, proto.name(), ctrl_by));
             println!(
-                "{:<10} {:<11} {:>8.1} {:>9.0} {:>9.0} {:>7.1} {:>7.1} {:>5}/{:<5} {:>5} {:>9.0} {:>8.0}",
+                "{:<10} {:<11} {:>8.1} {:>9.0} {:>9.0} {:>7.1} {:>7.1} {:>5}/{:<5} {:>5} {:>9.0} {:>8.0} {:>4}/{:<4} {:>5} {:>6}",
                 members,
                 proto.name(),
                 stats(&state).mean,
@@ -125,7 +174,11 @@ fn main() {
                 exp,
                 dup,
                 stats(&events).mean,
-                stats(&timers).mean
+                stats(&timers).mean,
+                qdrop_data,
+                qdrop_ctrl,
+                ecn,
+                peakq
             );
         }
         println!();

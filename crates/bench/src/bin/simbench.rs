@@ -24,10 +24,17 @@
 //!    control overhead per router and per-event cost; each row's
 //!    reception fingerprint is byte-identical across `--threads`, and
 //!    the world is partitioned along domain boundaries.
+//! 5. **Congestion sweep** (`--congestion`): the end-to-end PIM workload
+//!    with every link capped at a shrinking per-tick byte rate and a
+//!    bounded transmit queue — the graceful-degradation curve. Reports
+//!    deliveries, tail drops by traffic class, ECN marks, and peak queue
+//!    depth per rate; with control priority on, `dropc` staying 0 is the
+//!    no-starvation claim in bench form.
 //!
 //! Run: `cargo run -p bench --release --bin simbench [--trials N]
 //! [--seed N] [--smoke] [--threads N] [--nodes N,N,...] [--hier N,N,...]
-//! [--members N,N,...] [--json PATH]` (`--trials` = LAN packets).
+//! [--members N,N,...] [--congestion] [--json PATH]`
+//! (`--trials` = LAN packets).
 
 use bench::{cli, perf, run_protocol_sim_hier, run_protocol_sim_opts, Proto, SimOptions, Workload};
 use graph::gen::{
@@ -35,7 +42,7 @@ use graph::gen::{
 };
 use graph::NodeId;
 use mctree::GroupSpec;
-use netsim::{Ctx, Duration, IfaceId, Node, NodeIdx, SimTime, World};
+use netsim::{Ctx, Duration, IfaceId, LinkCapacity, Node, NodeIdx, SimTime, World};
 use pim::PimConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -179,10 +186,97 @@ fn protocol_run(seed: u64, threads: usize) -> (u64, f64) {
                 pim: PimConfig::default(),
                 threads,
                 profile: false,
+                ..SimOptions::default()
             },
         )
     });
     (r.deliveries, wall_ms)
+}
+
+/// Transmit-queue bound for the congestion sweep, in bytes.
+const CONGESTION_QUEUE: u64 = 96;
+/// Per-tick link rates swept by `--congestion` (0 = unlimited baseline).
+const CONGESTION_RATES: [u64; 5] = [0, 8, 4, 2, 1];
+
+/// One row of the bounded-capacity congestion sweep.
+struct CongestionRow {
+    rate: u64,
+    deliveries: u64,
+    expected: u64,
+    drops_data: u64,
+    drops_ctrl: u64,
+    ecn_marks: u64,
+    peak_queue: u64,
+    events: u64,
+    fingerprint: u64,
+    wall_ms: f64,
+}
+
+/// The same 30-node PIM workload as `protocol_run`, re-run with every
+/// router-router link capped at a sweep of per-tick rates: the graceful-
+/// degradation curve. Deliveries fall and tail drops rise as the cap
+/// tightens, while the prioritized control plane keeps the tree alive
+/// (`dropc` stays 0). The reception fingerprint per row is deterministic
+/// and byte-identical across `--threads`.
+fn congestion_sweep(seed: u64, threads: usize) -> Vec<CongestionRow> {
+    let mut rng = StdRng::seed_from_u64(par::mix(seed, 2, 0));
+    let g = random_connected(
+        &RandomGraphParams {
+            nodes: 30,
+            avg_degree: 3.5,
+            delay_range: (1, 6),
+        },
+        &mut rng,
+    );
+    let spec = GroupSpec::random(30, 6, 2, &mut rng);
+    let w = Workload {
+        group: Group::test(1),
+        members: spec.members.clone(),
+        senders: spec.senders.clone(),
+        rendezvous: NodeId(rng.gen_range(0..30)),
+        population: 1,
+    };
+    CONGESTION_RATES
+        .iter()
+        .map(|&rate| {
+            let capacity = if rate == 0 {
+                LinkCapacity::UNLIMITED
+            } else {
+                LinkCapacity {
+                    bytes_per_tick: rate,
+                    queue_bytes: CONGESTION_QUEUE,
+                    ecn_bytes: CONGESTION_QUEUE / 2,
+                    ctrl_priority: true,
+                }
+            };
+            let (r, wall_ms) = perf::time(|| {
+                run_protocol_sim_opts(
+                    &g,
+                    Proto::PimSpt,
+                    std::slice::from_ref(&w),
+                    &SimOptions {
+                        packets_per_sender: 40,
+                        seed: par::mix(seed, 13, rate),
+                        threads,
+                        capacity,
+                        ..SimOptions::default()
+                    },
+                )
+            });
+            CongestionRow {
+                rate,
+                deliveries: r.deliveries,
+                expected: r.expected_deliveries,
+                drops_data: r.queue_drops_data,
+                drops_ctrl: r.queue_drops_ctrl,
+                ecn_marks: r.ecn_marks,
+                peak_queue: r.peak_queue_bytes,
+                events: r.events_dispatched,
+                fingerprint: r.reception_fingerprint,
+                wall_ms,
+            }
+        })
+        .collect()
 }
 
 /// One row of the node-count scaling sweep.
@@ -242,6 +336,7 @@ fn node_sweep(sizes: &[usize], seed: u64, threads: usize) -> Vec<SweepRow> {
                         pim: PimConfig::default(),
                         threads,
                         profile: true,
+                        ..SimOptions::default()
                     },
                 )
             });
@@ -561,6 +656,58 @@ fn main() {
         rows
     };
 
+    // Bounded-capacity congestion sweep (opt-in: it measures graceful
+    // degradation, not throughput, so the default run stays unchanged).
+    let congestion_rows = if args.congestion {
+        let rows = congestion_sweep(args.seed, args.threads);
+        println!(
+            "congestion_sweep pim-spt at 30 nodes, queue={CONGESTION_QUEUE}B \
+             ecn={}B ctrl-prio on, {} threads:",
+            CONGESTION_QUEUE / 2,
+            args.threads
+        );
+        println!(
+            "{:<10} {:>11} {:>6} {:>7} {:>7} {:>6} {:>7} {:>10} {:>9}",
+            "rate B/tk",
+            "deliveries",
+            "del%",
+            "dropd",
+            "dropc",
+            "ecn",
+            "peakq",
+            "events",
+            "wall ms"
+        );
+        for r in &rows {
+            println!(
+                "{:<10} {:>11} {:>6.1} {:>7} {:>7} {:>6} {:>7} {:>10} {:>9.1}",
+                if r.rate == 0 {
+                    "unlimited".to_string()
+                } else {
+                    r.rate.to_string()
+                },
+                r.deliveries,
+                100.0 * r.deliveries as f64 / r.expected as f64,
+                r.drops_data,
+                r.drops_ctrl,
+                r.ecn_marks,
+                r.peak_queue,
+                r.events,
+                r.wall_ms,
+            );
+        }
+        for r in &rows {
+            println!(
+                "congestion_fingerprint rate={} deliveries={} dropd={} dropc={} \
+                 fingerprint={:#018x}",
+                r.rate, r.deliveries, r.drops_data, r.drops_ctrl, r.fingerprint
+            );
+        }
+        rows
+    } else {
+        Vec::new()
+    };
+
     if let Some(path) = &args.json {
         let mut sweep_json = String::new();
         for (i, r) in rows.iter().enumerate() {
@@ -593,6 +740,31 @@ fn main() {
                 if i + 1 == lan_rows.len() { "" } else { "," }
             ));
         }
+        let mut congestion_json = String::new();
+        for (i, r) in congestion_rows.iter().enumerate() {
+            congestion_json.push_str(&format!(
+                "    {{\"rate_bytes_per_tick\": {}, \"queue_bytes\": {}, \
+                 \"deliveries\": {}, \"expected\": {}, \"queue_drops_data\": {}, \
+                 \"queue_drops_ctrl\": {}, \"ecn_marks\": {}, \"peak_queue_bytes\": {}, \
+                 \"events\": {}, \"wall_ms\": {:.1}, \"fingerprint\": \"{:#018x}\"}}{}\n",
+                r.rate,
+                if r.rate == 0 { 0 } else { CONGESTION_QUEUE },
+                r.deliveries,
+                r.expected,
+                r.drops_data,
+                r.drops_ctrl,
+                r.ecn_marks,
+                r.peak_queue,
+                r.events,
+                r.wall_ms,
+                r.fingerprint,
+                if i + 1 == congestion_rows.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
         let json = format!(
             "{{\n  \"bench\": \"simbench\", \"seed\": {}, \"threads\": {},\n  \
              \"lan_fanout\": [\n{lan_json}  ],\n  \
@@ -600,7 +772,8 @@ fn main() {
              \"deliveries\": {deliveries}, \"wall_ms\": {proto_ms:.1}}},\n  \
              \"node_sweep\": [\n{sweep_json}  ],\n  \
              \"hier_sweep\": [\n{}  ],\n  \
-             \"members_sweep\": [\n{}  ]\n}}\n",
+             \"members_sweep\": [\n{}  ],\n  \
+             \"congestion_sweep\": [\n{congestion_json}  ]\n}}\n",
             args.seed,
             args.threads,
             hier_json(&hier_rows),

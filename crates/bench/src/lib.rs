@@ -16,7 +16,9 @@ use dvmrp::{DvmrpConfig, DvmrpEngine, DvmrpRouter};
 use graph::gen::HierTopology;
 use graph::{Graph, NodeId};
 use igmp::{HostNode, PopulationNode};
-use netsim::{host_addr, router_addr, CtrlProto, Duration, LinkKind, NodeIdx, SimTime, Topology};
+use netsim::{
+    host_addr, router_addr, CtrlProto, Duration, LinkCapacity, LinkKind, NodeIdx, SimTime, Topology,
+};
 use pim::{Engine as PimEngine, PimConfig, PimRouter};
 use std::collections::BTreeSet;
 use unicast::OracleRib;
@@ -145,6 +147,15 @@ pub struct SimResult {
     /// oracle, world construction, and metric collection. Per-event cost
     /// is `run_ms / events_dispatched`; wall-clock, varies run to run.
     pub run_ms: f64,
+    /// Data packets tail-dropped by bounded transmit queues (zero unless
+    /// [`SimOptions::capacity`] caps the links).
+    pub queue_drops_data: u64,
+    /// Control packets tail-dropped by bounded transmit queues.
+    pub queue_drops_ctrl: u64,
+    /// Packets ECN-marked while crossing a congested transmit queue.
+    pub ecn_marks: u64,
+    /// Deepest transmit-queue backlog observed on any link, in bytes.
+    pub peak_queue_bytes: u64,
 }
 
 /// Simulation schedule shared by all protocols.
@@ -173,6 +184,12 @@ pub struct SimOptions {
     /// event-count attribution) into [`SimResult::profile`]. Purely
     /// observational: every deterministic output is unchanged.
     pub profile: bool,
+    /// Transmit capacity applied to every router-router link
+    /// ([`LinkCapacity::UNLIMITED`] — the default — leaves the capacity
+    /// model disabled and the trace byte-identical to before the model
+    /// existed). Host LANs are never capped: the congestion under study
+    /// is transit-network congestion.
+    pub capacity: LinkCapacity,
 }
 
 impl Default for SimOptions {
@@ -184,6 +201,7 @@ impl Default for SimOptions {
             pim: PimConfig::default(),
             threads: 1,
             profile: false,
+            capacity: LinkCapacity::UNLIMITED,
         }
     }
 }
@@ -314,6 +332,11 @@ fn run_protocol_sim_core(
     if opts.link_loss > 0.0 {
         for &l in &links {
             world.set_link_loss(l, opts.link_loss);
+        }
+    }
+    if !opts.capacity.is_unlimited() {
+        for &l in &links {
+            world.set_link_capacity(l, opts.capacity);
         }
     }
 
@@ -462,6 +485,10 @@ fn run_protocol_sim_core(
     result.timers_fired = counters.timers_fired();
     result.timers_skipped_stale = counters.timers_skipped_stale();
     result.rx_pkts = counters.rx_pkts();
+    result.queue_drops_data = counters.queue_drops_data();
+    result.queue_drops_ctrl = counters.queue_drops_ctrl();
+    result.ecn_marks = counters.ecn_marks();
+    result.peak_queue_bytes = counters.peak_queue_bytes();
     result.link_data = vec![0; g.edge_count()];
     for (l, st) in counters.links() {
         if world.link(l).kind != LinkKind::PointToPoint {
@@ -542,8 +569,8 @@ fn run_protocol_sim_core(
 /// fan-out and world-partition width; output is bit-identical for every
 /// value), `--nodes N,N,...` (simbench: Waxman scaling sweep sizes),
 /// `--hier N,N,...` / `--members N,N,...` (simbench: hierarchical router
-/// counts and aggregate-member totals), and `--json PATH`
-/// (machine-readable timing record).
+/// counts and aggregate-member totals), `--congestion` (bounded-capacity
+/// sweeps), and `--json PATH` (machine-readable timing record).
 pub mod cli {
     /// Parsed common flags.
     #[derive(Clone, Debug)]
@@ -570,6 +597,9 @@ pub mod cli {
         pub members: Option<Vec<u64>>,
         /// `--smoke` was given (bins may also shrink non-trial knobs).
         pub smoke: bool,
+        /// `--congestion` was given (simbench: run the bounded-capacity
+        /// sweep; overhead: cap every link and report shed load).
+        pub congestion: bool,
     }
 
     /// Parse `std::env::args` with the given default trial count;
@@ -585,6 +615,7 @@ pub mod cli {
             hier: None,
             members: None,
             smoke: false,
+            congestion: false,
         };
         fn csv<T: std::str::FromStr>(flag: &str, arg: Option<&String>) -> Vec<T> {
             arg.map(|s| {
@@ -662,10 +693,14 @@ pub mod cli {
                     args.smoke = true;
                     i += 1;
                 }
+                "--congestion" => {
+                    args.congestion = true;
+                    i += 1;
+                }
                 other => panic!(
                     "unknown flag {other}; supported: --seed N --trials N --quick --smoke \
                      --threads N --json PATH --groups N --nodes N,N,... --hier N,N,... \
-                     --members N,N,..."
+                     --members N,N,... --congestion"
                 ),
             }
         }

@@ -130,6 +130,22 @@ pub struct LinkStats {
     pub duplicated: u64,
     /// Packet copies delayed out of order by the channel model.
     pub reordered: u64,
+    /// Data-class packets tail-dropped by the capacity model's bounded
+    /// transmit queue (never reached the wire).
+    pub queue_drops_data: u64,
+    /// Control-class packets tail-dropped by the capacity model. Always
+    /// zero while the link's control-priority class is enabled — the
+    /// no-starvation oracle is exactly the assertion that this stays zero.
+    pub queue_drops_ctrl: u64,
+    /// ECN-style congestion marks (enqueues past the marking threshold).
+    pub ecn_marks: u64,
+    /// Highest transmit-queue backlog (bytes) observed on any direction
+    /// of this link.
+    pub peak_queue_bytes: u64,
+    /// Largest configured queue bound seen at enqueue time — kept here so
+    /// the bounded-queue oracle can check `peak ≤ cap` after a schedule
+    /// has already healed the link back to unlimited.
+    pub queue_cap_bytes: u64,
     /// Time of the most recent data-packet transmission.
     pub last_data_at: Option<SimTime>,
 }
@@ -235,6 +251,24 @@ impl Counters {
         slot(&mut self.per_link, link.0).reordered += 1;
     }
 
+    pub(crate) fn record_queue_drop(&mut self, link: LinkId, class: PacketClass) {
+        let s = slot(&mut self.per_link, link.0);
+        match class {
+            PacketClass::Control => s.queue_drops_ctrl += 1,
+            PacketClass::Data => s.queue_drops_data += 1,
+        }
+    }
+
+    pub(crate) fn record_ecn_mark(&mut self, link: LinkId) {
+        slot(&mut self.per_link, link.0).ecn_marks += 1;
+    }
+
+    pub(crate) fn record_queue_depth(&mut self, link: LinkId, backlog: u64, cap: u64) {
+        let s = slot(&mut self.per_link, link.0);
+        s.peak_queue_bytes = s.peak_queue_bytes.max(backlog);
+        s.queue_cap_bytes = s.queue_cap_bytes.max(cap);
+    }
+
     pub(crate) fn record_decode_failure(&mut self, node: NodeIdx) {
         *slot(&mut self.decode_failures, node.0) += 1;
     }
@@ -261,6 +295,13 @@ impl Counters {
             s.corrupted += o.corrupted;
             s.duplicated += o.duplicated;
             s.reordered += o.reordered;
+            s.queue_drops_data += o.queue_drops_data;
+            s.queue_drops_ctrl += o.queue_drops_ctrl;
+            s.ecn_marks += o.ecn_marks;
+            // Peaks and caps merge by max — max is associative and
+            // commutative, so the merged totals stay partition-invariant.
+            s.peak_queue_bytes = s.peak_queue_bytes.max(o.peak_queue_bytes);
+            s.queue_cap_bytes = s.queue_cap_bytes.max(o.queue_cap_bytes);
             s.last_data_at = match (s.last_data_at, o.last_data_at) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 (a, b) => a.or(b),
@@ -345,6 +386,31 @@ impl Counters {
     /// Total packet copies delayed out of order by the channel model.
     pub fn pkts_reordered(&self) -> u64 {
         self.per_link.iter().map(|s| s.reordered).sum()
+    }
+
+    /// Total data-class packets tail-dropped by bounded transmit queues.
+    pub fn queue_drops_data(&self) -> u64 {
+        self.per_link.iter().map(|s| s.queue_drops_data).sum()
+    }
+
+    /// Total control-class packets tail-dropped by bounded transmit
+    /// queues. Structurally zero whenever control priority is enabled.
+    pub fn queue_drops_ctrl(&self) -> u64 {
+        self.per_link.iter().map(|s| s.queue_drops_ctrl).sum()
+    }
+
+    /// Total ECN-style congestion marks network-wide.
+    pub fn ecn_marks(&self) -> u64 {
+        self.per_link.iter().map(|s| s.ecn_marks).sum()
+    }
+
+    /// Highest transmit-queue backlog (bytes) observed on any link.
+    pub fn peak_queue_bytes(&self) -> u64 {
+        self.per_link
+            .iter()
+            .map(|s| s.peak_queue_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Undecodable payloads dropped at `node`'s receive path.
@@ -585,6 +651,12 @@ mod tests {
             c.record_timer_fired();
             c.record_loss(l);
             c.record_corrupted(l);
+            c.record_queue_drop(l, PacketClass::Data);
+            if salt.is_multiple_of(3) {
+                c.record_queue_drop(l, PacketClass::Control);
+            }
+            c.record_ecn_mark(l);
+            c.record_queue_depth(l, 64 + salt * 8, 256);
             c.record_local_delivery(NodeIdx(salt as usize));
             c.record_decode_failure(NodeIdx(salt as usize));
             if salt.is_multiple_of(2) {
@@ -623,6 +695,10 @@ mod tests {
             assert_eq!(a.total_bytes(), b.total_bytes());
             assert_eq!(a.losses(), b.losses());
             assert_eq!(a.pkts_corrupted(), b.pkts_corrupted());
+            assert_eq!(a.queue_drops_data(), b.queue_drops_data());
+            assert_eq!(a.queue_drops_ctrl(), b.queue_drops_ctrl());
+            assert_eq!(a.ecn_marks(), b.ecn_marks());
+            assert_eq!(a.peak_queue_bytes(), b.peak_queue_bytes());
             assert_eq!(a.rx_pkts(), b.rx_pkts());
             assert_eq!(a.events_dispatched(), b.events_dispatched());
             assert_eq!(a.timers_fired(), b.timers_fired());

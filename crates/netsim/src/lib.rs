@@ -34,6 +34,6 @@ pub use counters::{Counters, CtrlProto, LinkStats, PacketClass};
 pub use profile::{RegionProfile, SimProfile};
 pub use time::{earliest, Duration, SimTime};
 pub use world::{
-    CaptureRecord, ChannelModel, Ctx, IfaceId, Link, LinkId, LinkKind, Node, NodeIdx, TimerId,
-    World,
+    CaptureRecord, ChannelModel, Ctx, IfaceId, Link, LinkCapacity, LinkId, LinkKind, Node, NodeIdx,
+    TimerId, World,
 };

@@ -128,7 +128,7 @@ pub fn auto_partition(nodes: usize, links: &[Link], target: usize) -> Vec<u32> {
 mod tests {
     use super::*;
     use crate::time::Duration;
-    use crate::world::{ChannelModel, IfaceId, LinkKind, NodeIdx};
+    use crate::world::{ChannelModel, IfaceId, LinkCapacity, LinkKind, NodeIdx};
 
     fn link(delay: u64, ends: &[usize]) -> Link {
         Link {
@@ -141,6 +141,7 @@ mod tests {
             up: true,
             loss: 0.0,
             channel: ChannelModel::CLEAN,
+            capacity: LinkCapacity::UNLIMITED,
             attachments: ends
                 .iter()
                 .enumerate()

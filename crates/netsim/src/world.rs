@@ -5,9 +5,22 @@
 //! robustness"): links have a fixed propagation delay and optional random
 //! loss, nodes are trait objects that react to packets and timers, and all
 //! randomness flows from seeded per-node RNG streams so every run is
-//! reproducible. There is no bandwidth/queueing model — the paper's
-//! evaluation counts state, control messages, and data-packet processing,
-//! none of which depend on queueing.
+//! reproducible. Links can additionally carry a deterministic capacity
+//! model ([`LinkCapacity`]): per-direction bandwidth in bytes/tick with a
+//! bounded FIFO transmit queue, serialization + queueing delay, tail-drop
+//! on overflow, and ECN-style marking — all computed from queue state
+//! alone, never from randomness, so a capacity-disabled world (the
+//! default) reproduces pre-capacity traces byte-identically.
+//!
+//! # Units
+//!
+//! Two impairment knobs use different units for historical reasons, kept
+//! deliberately distinct: [`Link::loss`] is a *fraction* (`f64` in
+//! `[0, 1]`, clamped at set time) because it predates the text-round-trip
+//! requirement, while every [`ChannelModel`] probability is integer
+//! *per-mille* (`0..=1000`) so fault schedules carrying them round-trip
+//! exactly through text. [`LinkCapacity`] fields are plain integers
+//! (bytes/tick and bytes) for the same round-trip reason.
 //!
 //! # Parallel core (DESIGN.md §9)
 //!
@@ -148,6 +161,66 @@ impl ChannelModel {
     }
 }
 
+/// Deterministic per-direction link capacity: bandwidth in bytes/tick
+/// with a bounded FIFO transmit queue (the ce-netsim design from the
+/// ROADMAP). Every quantity is an integer and every decision is a pure
+/// function of queue state — the capacity path consumes **no randomness**,
+/// so enabling it on some links leaves the RNG streams (and therefore
+/// every loss/impairment roll) of a run untouched.
+///
+/// Each *direction* of a link — each `(link, sending node)` pair — has its
+/// own queue: a sender transmitting `len` bytes first drains its backlog
+/// by `elapsed × bytes_per_tick`, then tail-drops the packet if
+/// `backlog + len` would exceed `queue_bytes`, otherwise enqueues it and
+/// delivers after `ceil(backlog / bytes_per_tick)` serialization +
+/// queueing delay on top of the link's propagation delay. Crossing
+/// `ecn_bytes` (when nonzero) counts an ECN-style congestion mark.
+///
+/// With `ctrl_priority` (the default), control-class packets — soft-state
+/// refreshes, Joins/Prunes, IGMP queries (see
+/// [`crate::counters::PacketClass`]) — bypass the data queue entirely:
+/// the paper's §3 graceful-degradation argument requires that the
+/// control plane keeps converging while the data plane saturates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkCapacity {
+    /// Bandwidth in bytes per tick; `0` disables the capacity model for
+    /// the link (unlimited, the default — no queueing, no drops).
+    pub bytes_per_tick: u64,
+    /// Transmit queue bound in bytes; a packet that would push the
+    /// backlog past this is tail-dropped at the sender.
+    pub queue_bytes: u64,
+    /// ECN-style marking threshold in bytes (`0` = no marking): an
+    /// enqueue that pushes the backlog past this counts a congestion
+    /// mark (observable in counters/telemetry, not in packet bytes).
+    pub ecn_bytes: u64,
+    /// Control-class packets bypass the queue (never dropped or delayed
+    /// by data backlog). Disable to model a fabric without priority —
+    /// the configuration the no-starvation oracle exists to catch.
+    pub ctrl_priority: bool,
+}
+
+impl LinkCapacity {
+    /// No capacity model: unlimited bandwidth, no queueing (the default).
+    pub const UNLIMITED: LinkCapacity = LinkCapacity {
+        bytes_per_tick: 0,
+        queue_bytes: 0,
+        ecn_bytes: 0,
+        ctrl_priority: true,
+    };
+
+    /// True when the capacity model is disabled for this link — the
+    /// transmit path then takes the pre-capacity fast path untouched.
+    pub fn is_unlimited(&self) -> bool {
+        self.bytes_per_tick == 0
+    }
+}
+
+impl Default for LinkCapacity {
+    fn default() -> Self {
+        LinkCapacity::UNLIMITED
+    }
+}
+
 /// A link connecting node interfaces.
 #[derive(Debug)]
 pub struct Link {
@@ -158,9 +231,14 @@ pub struct Link {
     /// Administratively/physically up?
     pub up: bool,
     /// Per-receiver independent drop probability (failure injection).
+    /// A **fraction** in `[0, 1]` — unlike [`ChannelModel`], whose
+    /// probabilities are integer per-mille (see the module doc's Units
+    /// section). Clamped into range by [`World::set_link_loss`].
     pub loss: f64,
     /// Adversarial impairments (corrupt/duplicate/reorder).
     pub channel: ChannelModel,
+    /// Deterministic bandwidth/queue model (default: unlimited).
+    pub capacity: LinkCapacity,
     /// The attached `(node, iface)` pairs.
     pub attachments: Vec<(NodeIdx, IfaceId)>,
 }
@@ -377,6 +455,24 @@ struct Shared {
     capture_limit: Option<usize>,
 }
 
+/// Per-direction transmit-queue state for the capacity model: one entry
+/// per `(link, sending node)` pair that has ever transmitted on a
+/// capacity-limited link. Lives in the sender's region — every transmit
+/// by a node runs inside its own region's dispatches, so the state is
+/// touched by exactly one region and the partition cannot observe it
+/// (the PR 6 byte-identity invariant).
+#[derive(Clone, Copy, Default)]
+struct TxDir {
+    /// Last time the backlog was drained (sender-region clock).
+    last: SimTime,
+    /// Queued bytes not yet serialized onto the wire.
+    backlog: u64,
+    /// Highest power-of-2 backlog bucket seen, for rate-limited
+    /// queue-depth telemetry: one event per new peak bucket, not one
+    /// per packet, keeps the stream bounded and deterministic.
+    peak_bucket: u32,
+}
+
 /// One region of the partitioned world: its nodes, their RNG streams and
 /// dispatch counters, an event heap + arena, a `Counters` shard, capture
 /// shard, telemetry buffer, and the cross-region outbox.
@@ -401,6 +497,10 @@ struct Region {
     cap_seq: u64,
     buf: Option<Arc<Mutex<RegionBuf>>>,
     outbox: Vec<Outgoing>,
+    /// Capacity-model queue state, keyed `(link, sending node)`. Only
+    /// populated for links with a [`LinkCapacity`] configured; an
+    /// unlimited link never touches it.
+    tx_queues: std::collections::HashMap<(usize, usize), TxDir>,
     /// Wall-clock/event-count attribution shard, `Some` when profiling
     /// (see [`World::enable_profile`]). Only the profiler reads
     /// wall-clock; nothing inside the simulation ever does.
@@ -423,6 +523,7 @@ impl Region {
             cap_seq: 0,
             buf: None,
             outbox: Vec::new(),
+            tx_queues: std::collections::HashMap::new(),
             prof: None,
         }
     }
@@ -701,6 +802,84 @@ impl<'a> Ctx<'a> {
             return;
         }
         let (class, proto) = PacketClass::classify_full(&packet);
+        // Deterministic capacity model (see [`LinkCapacity`]): drain the
+        // sender's per-direction backlog by elapsed time, tail-drop on
+        // overflow, otherwise enqueue and pay serialization + queueing
+        // delay. Everything here is pure integer arithmetic on queue
+        // state — no RNG draw ever happens on this path, so a world with
+        // capacity disabled (or only *other* links capped) keeps its
+        // random streams, and therefore its traces, byte-identical.
+        // Control-class packets bypass the queue when the link grants
+        // them priority: the structural guarantee behind the
+        // no-starvation oracle.
+        let cap = link.capacity;
+        let mut qdelay = Duration(0);
+        let priority_bypass = cap.ctrl_priority && class == PacketClass::Control;
+        if !cap.is_unlimited() && !priority_bypass {
+            let len = packet.len() as u64;
+            let rate = cap.bytes_per_tick;
+            let now = self.region.now;
+            let (dropped, backlog, marked, new_peak) = {
+                let q = self
+                    .region
+                    .tx_queues
+                    .entry((link_id.0, from.0))
+                    .or_default();
+                let elapsed = now.ticks().saturating_sub(q.last.ticks());
+                q.backlog = q.backlog.saturating_sub(elapsed.saturating_mul(rate));
+                q.last = now;
+                if q.backlog.saturating_add(len) > cap.queue_bytes {
+                    (true, q.backlog, false, false)
+                } else {
+                    let marked = cap.ecn_bytes > 0 && q.backlog + len > cap.ecn_bytes;
+                    q.backlog += len;
+                    // Rate-limit queue-depth telemetry to new power-of-2
+                    // peak buckets so the stream stays bounded however
+                    // long the overload lasts.
+                    let bucket = 64 - q.backlog.leading_zeros();
+                    let new_peak = bucket > q.peak_bucket;
+                    if new_peak {
+                        q.peak_bucket = bucket;
+                    }
+                    (false, q.backlog, marked, new_peak)
+                }
+            };
+            if dropped {
+                // Tail drop at the sender: the packet never reaches the
+                // wire — no tx accounting, no capture, no deliveries.
+                self.region.counters.record_queue_drop(link_id, class);
+                let what = match class {
+                    PacketClass::Control => "ctrl",
+                    PacketClass::Data => "data",
+                };
+                self.emit(from, || telemetry::Event::QueueDrop {
+                    what,
+                    link: link_id.0 as u32,
+                });
+                return;
+            }
+            self.region
+                .counters
+                .record_queue_depth(link_id, backlog, cap.queue_bytes);
+            if marked {
+                self.region.counters.record_ecn_mark(link_id);
+                self.emit(from, || telemetry::Event::EcnMark {
+                    link: link_id.0 as u32,
+                });
+            }
+            if new_peak {
+                self.emit(from, || telemetry::Event::QueueDepth {
+                    link: link_id.0 as u32,
+                    bytes: backlog,
+                });
+            }
+            // Ceil division: a partially serialized packet occupies the
+            // wire for the whole remaining tick. The delay is strictly
+            // positive (backlog now includes this packet), so capacity
+            // can only push deliveries later — the conservative
+            // cross-region lookahead bound still holds.
+            qdelay = Duration(backlog.div_ceil(rate));
+        }
         self.region
             .counters
             .record_tx(link_id, class, proto, packet.len(), self.region.now);
@@ -748,7 +927,7 @@ impl<'a> Ctx<'a> {
         let loss = link.loss;
         let chan = link.channel;
         let n_att = link.attachments.len();
-        let at = self.region.now + delay;
+        let at = self.region.now + delay + qdelay;
         // One shared buffer for the whole fan-out; each delivery below is
         // a refcount bump, not a copy of the packet bytes. Attachments are
         // walked by index (re-reading the shared link each step) so the
@@ -1151,6 +1330,7 @@ impl World {
             up: true,
             loss: 0.0,
             channel: ChannelModel::CLEAN,
+            capacity: LinkCapacity::UNLIMITED,
             attachments: Vec::new(),
         });
         let ia = self.attach(a, id);
@@ -1169,6 +1349,7 @@ impl World {
             up: true,
             loss: 0.0,
             channel: ChannelModel::CLEAN,
+            capacity: LinkCapacity::UNLIMITED,
             attachments: Vec::new(),
         });
         let ifaces = nodes.iter().map(|&n| self.attach(n, id)).collect();
@@ -1232,10 +1413,29 @@ impl World {
         self.shared.links[link.0].up = up;
     }
 
-    /// Set a link's independent per-receiver drop probability.
+    /// Set a link's independent per-receiver drop probability — a
+    /// **fraction**, clamped into `[0, 1]` (NaN clamps to 0, i.e. no
+    /// loss). Contrast [`World::set_channel_model`], whose probabilities
+    /// are integer per-mille; the module doc's Units section explains
+    /// the split.
     pub fn set_link_loss(&mut self, link: LinkId, loss: f64) {
-        assert!((0.0..=1.0).contains(&loss));
+        let loss = if loss.is_nan() {
+            0.0
+        } else {
+            loss.clamp(0.0, 1.0)
+        };
         self.shared.links[link.0].loss = loss;
+    }
+
+    /// Install (or, with [`LinkCapacity::UNLIMITED`], remove) the
+    /// deterministic bandwidth/queue model on a link. Both directions get
+    /// the same configuration but independent queues. Like every fault
+    /// knob, this is barrier-mutated state: call it from scripts or
+    /// between runs, never from inside a node callback. Queue state
+    /// already accumulated on the link survives a reconfiguration; an
+    /// unlimited link simply stops consulting it.
+    pub fn set_link_capacity(&mut self, link: LinkId, cap: LinkCapacity) {
+        self.shared.links[link.0].capacity = cap;
     }
 
     /// Install an adversarial [`ChannelModel`] on a link (corruption,
@@ -2249,6 +2449,194 @@ mod tests {
         assert!(w.is_node_up(b));
     }
 
+    // ---- Capacity-model tests ---------------------------------------
+
+    /// A serialized packet that classifies as [`PacketClass::Data`]
+    /// (raw unparseable test bytes classify as Control, which the
+    /// priority class would bypass).
+    fn data_pkt(len: usize) -> Vec<u8> {
+        wire::ip::Header {
+            proto: wire::ip::Protocol::Data,
+            ttl: 8,
+            src: wire::Addr::new(10, 0, 0, 1),
+            dst: wire::Addr::new(239, 0, 0, 1),
+        }
+        .encap(&vec![0u8; len])
+    }
+
+    #[test]
+    fn capacity_serialization_and_queueing_delay() {
+        let (mut w, a, _b, l) = quiet_world();
+        w.set_link_capacity(
+            l,
+            LinkCapacity {
+                bytes_per_tick: 1,
+                queue_bytes: 10_000,
+                ecn_bytes: 0,
+                ctrl_priority: true,
+            },
+        );
+        let p1 = data_pkt(4);
+        let p2 = data_pkt(4);
+        let len = p1.len() as u64;
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| {
+                ctx.send(IfaceId(0), p1);
+                ctx.send(IfaceId(0), p2);
+            });
+        });
+        w.run_until(SimTime(1000));
+        let eb: &Quiet = w.node(NodeIdx(1));
+        assert_eq!(eb.received.len(), 2);
+        // First packet: backlog = len, so delay 3 + len; second queues
+        // behind it: delay 3 + 2*len. FIFO order is preserved.
+        assert_eq!(eb.received[0].0, 3 + len);
+        assert_eq!(eb.received[1].0, 3 + 2 * len);
+        assert_eq!(w.counters().peak_queue_bytes(), 2 * len);
+        assert_eq!(w.counters().queue_drops_data(), 0);
+    }
+
+    #[test]
+    fn capacity_tail_drops_and_marks() {
+        let (mut w, a, _b, l) = quiet_world();
+        let unit = data_pkt(4).len() as u64;
+        // Queue fits exactly two packets; ECN threshold crosses at the
+        // second enqueue.
+        w.set_link_capacity(
+            l,
+            LinkCapacity {
+                bytes_per_tick: 1,
+                queue_bytes: 2 * unit,
+                ecn_bytes: unit,
+                ctrl_priority: true,
+            },
+        );
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| {
+                for _ in 0..4 {
+                    ctx.send(IfaceId(0), data_pkt(4));
+                }
+            });
+        });
+        w.run_until(SimTime(1000));
+        let eb: &Quiet = w.node(NodeIdx(1));
+        assert_eq!(eb.received.len(), 2, "third and fourth tail-dropped");
+        let c = w.counters();
+        assert_eq!(c.queue_drops_data(), 2);
+        assert_eq!(c.queue_drops_ctrl(), 0);
+        assert_eq!(c.ecn_marks(), 1, "second enqueue crossed the threshold");
+        assert_eq!(c.peak_queue_bytes(), 2 * unit);
+        assert_eq!(c.link(l).queue_cap_bytes, 2 * unit);
+        // Tail-dropped packets never reached the wire: tx counts only
+        // the two delivered packets.
+        assert_eq!(c.total_data_pkts(), 2);
+    }
+
+    #[test]
+    fn capacity_ctrl_priority_bypasses_full_queue() {
+        // Raw unparseable bytes classify as Control. With priority on,
+        // they sail past a saturated queue; with priority off, they
+        // tail-drop like anything else — the starvation configuration.
+        let unit = data_pkt(4).len() as u64;
+        let run = |prio: bool| {
+            let (mut w, a, _b, l) = quiet_world();
+            w.set_link_capacity(
+                l,
+                LinkCapacity {
+                    bytes_per_tick: 1,
+                    // Exactly one data packet fills the queue.
+                    queue_bytes: unit,
+                    ecn_bytes: 0,
+                    ctrl_priority: prio,
+                },
+            );
+            w.at(SimTime(0), move |w| {
+                w.call_node(a, |_n, ctx| {
+                    // Saturate with data, then offer one control packet.
+                    ctx.send(IfaceId(0), data_pkt(4));
+                    ctx.send(IfaceId(0), vec![0xFF; 6]);
+                });
+            });
+            w.run_until(SimTime(1000));
+            let got = w.node::<Quiet>(NodeIdx(1)).received.len();
+            (got, w.counters().queue_drops_ctrl())
+        };
+        let (got, starved) = run(true);
+        assert_eq!(got, 2, "control bypasses the full queue");
+        assert_eq!(starved, 0);
+        let (got, starved) = run(false);
+        assert_eq!(got, 1, "no priority: control starves behind data");
+        assert_eq!(starved, 1);
+    }
+
+    #[test]
+    fn capacity_disabled_consumes_no_randomness() {
+        // Explicitly installing UNLIMITED must leave the trace identical
+        // to never touching capacity at all (same RNG stream), exactly
+        // like the CLEAN channel contract.
+        let run = |install: bool| {
+            let (mut w, a, _b, l) = quiet_world();
+            w.set_link_loss(l, 0.3);
+            if install {
+                w.set_link_capacity(l, LinkCapacity::UNLIMITED);
+            }
+            for t in 0..50 {
+                w.at(SimTime(t), move |w| {
+                    w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), vec![0, t as u8]));
+                });
+            }
+            w.run_until(SimTime(500));
+            let eb: &mut Quiet = w.node_mut(NodeIdx(1));
+            std::mem::take(&mut eb.received)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn capacity_drains_backlog_over_time() {
+        let (mut w, a, _b, l) = quiet_world();
+        let unit = data_pkt(4).len() as u64;
+        w.set_link_capacity(
+            l,
+            LinkCapacity {
+                bytes_per_tick: 2,
+                queue_bytes: 2 * unit,
+                ecn_bytes: 0,
+                ctrl_priority: true,
+            },
+        );
+        // Fill the queue at t=0, then send again after it has fully
+        // drained: no drop the second time.
+        w.at(SimTime(0), move |w| {
+            w.call_node(a, |_n, ctx| {
+                ctx.send(IfaceId(0), data_pkt(4));
+                ctx.send(IfaceId(0), data_pkt(4));
+                ctx.send(IfaceId(0), data_pkt(4)); // dropped: queue full
+            });
+        });
+        let late = SimTime(unit); // 2*unit bytes / 2 per tick = unit ticks
+        w.at(late, move |w| {
+            w.call_node(a, |_n, ctx| ctx.send(IfaceId(0), data_pkt(4)));
+        });
+        w.run_until(SimTime(1000));
+        let eb: &Quiet = w.node(NodeIdx(1));
+        assert_eq!(eb.received.len(), 3);
+        assert_eq!(w.counters().queue_drops_data(), 1);
+    }
+
+    #[test]
+    fn set_link_loss_clamps_out_of_range() {
+        let (mut w, _a, _b, l) = quiet_world();
+        w.set_link_loss(l, 1.5);
+        assert_eq!(w.link(l).loss, 1.0);
+        w.set_link_loss(l, -0.25);
+        assert_eq!(w.link(l).loss, 0.0);
+        w.set_link_loss(l, f64::NAN);
+        assert_eq!(w.link(l).loss, 0.0);
+        w.set_link_loss(l, 0.75);
+        assert_eq!(w.link(l).loss, 0.75);
+    }
+
     // ---- Partitioned-core tests -------------------------------------
 
     /// A sink that renders every event to its JSONL form — the same
@@ -2291,6 +2679,18 @@ mod tests {
                 jitter: 7,
             },
         );
+        // Capacity on the cross-region link, with priority off so the
+        // Echo traffic (raw bytes classify as Control) actually queues:
+        // per-direction queue state must be partition-invariant too.
+        w.set_link_capacity(
+            mid,
+            LinkCapacity {
+                bytes_per_tick: 2,
+                queue_bytes: 24,
+                ecn_bytes: 12,
+                ctrl_priority: false,
+            },
+        );
         let sink = Arc::new(Mutex::new(VecSink(Vec::new())));
         w.set_telemetry(sink.clone() as telemetry::SharedSink);
         let (n1, n2) = (nodes[1], nodes[2]);
@@ -2319,6 +2719,10 @@ mod tests {
             c.pkts_dropped_node_down(),
             c.timers_fired(),
             c.timers_cancelled_node_down(),
+            c.queue_drops_data(),
+            c.queue_drops_ctrl(),
+            c.ecn_marks(),
+            c.peak_queue_bytes(),
         ];
         (receptions, jsonl, totals)
     }

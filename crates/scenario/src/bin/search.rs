@@ -33,6 +33,21 @@ use scenario::{
     SearchConfig, SearchReport, TopoSpec,
 };
 
+/// The congestion-degradation fixture: the diamond's r1-r2 link capped
+/// with control priority on, overloaded by a member burst, healed
+/// before the probe train. It congests for real (queue-depth and
+/// queue-drop events in the telemetry stream) yet converges clean.
+fn congestion_fixture() -> (TopoSpec, FaultSchedule) {
+    let topo = topology("diamond").unwrap();
+    let mut s = FaultSchedule::default();
+    s.push(30, FaultEvent::Join(1));
+    s.push(40, FaultEvent::Join(2));
+    s.push(500, FaultEvent::Bandwidth(1, 2, 48, 1));
+    s.push(600, FaultEvent::Burst(1, 24, 2));
+    s.push(2950, FaultEvent::Bandwidth(1, 0, 0, 1));
+    (topo, s)
+}
+
 /// Count `ctrl_send` telemetry lines whose message kind is `kind`.
 fn ctrl_sends(outcome: &CaseOutcome, kind: &str) -> usize {
     let needle = format!("\"kind\":\"{kind}\"");
@@ -353,11 +368,46 @@ fn main() {
                             .any(|(_, e)| matches!(e, FaultEvent::RestartRouter(_)))
                 },
             );
+            // congestion-degradation: a bandwidth-capped link with
+            // control priority on, overloaded by a member burst — the
+            // run congests for real (queue-depth *and* queue-drop
+            // events in the stream) yet every oracle stays green.
+            // Another zero-violation pin: congestion may degrade
+            // service while it lasts, never correctness, and corpus
+            // replay fails the moment the capacity model drifts.
+            let (ctopo, cs) = congestion_fixture();
+            let cpred = |s: &FaultSchedule, o: &CaseOutcome| {
+                o.violations.is_empty()
+                    && o.telemetry.contains("\"ev\":\"queue_depth\"")
+                    && o.telemetry.contains("\"ev\":\"queue_drop\"")
+                    && s.events
+                        .iter()
+                        .any(|(_, e)| matches!(e, FaultEvent::Bandwidth(_, r, _, _) if *r > 0))
+            };
+            let cresult = shrink_with(&ctopo, Protocol::Pim, 5, &cs, cpred)
+                .expect("congestion fixture must congest and converge clean");
+            let cng = Artifact::capture(
+                &ctopo,
+                Protocol::Pim,
+                &cresult.schedule,
+                5,
+                &cresult.outcome,
+            );
+            verify_replay(&cng).expect("minimized pin must replay byte-identically");
+            println!(
+                "pin congestion-degradation: seed 5, {} -> {} events in {} runs ({} passes)",
+                cresult.stats.initial_events,
+                cresult.stats.final_events,
+                cresult.stats.runs,
+                cresult.stats.passes,
+            );
             let dir = std::path::Path::new(&corpus);
             std::fs::create_dir_all(dir).expect("create corpus dir");
             std::fs::write(dir.join("register-suppression.replay"), reg.to_text())
                 .expect("write pin");
             std::fs::write(dir.join("orphaned-upstream.replay"), orp.to_text()).expect("write pin");
+            std::fs::write(dir.join("congestion-degradation.replay"), cng.to_text())
+                .expect("write pin");
             let results = replay_corpus(dir).expect("corpus unreadable");
             for (name, r) in &results {
                 r.as_ref()

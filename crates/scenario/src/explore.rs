@@ -31,7 +31,9 @@
 //! depends on generator internals.
 
 use crate::net::{build_net, Protocol, ScenarioNet, Substrate};
-use crate::oracle::{check_delivery, check_no_orphans, check_structure, Violation};
+use crate::oracle::{
+    check_congestion_recovery, check_delivery, check_no_orphans, check_structure, Violation,
+};
 use crate::schedule::{FaultEvent, FaultSchedule};
 use graph::{Graph, NodeId};
 use netsim::{host_addr, NodeIdx, SimTime};
@@ -159,7 +161,7 @@ pub fn random_schedule(topo: &TopoSpec, seed: u64, teardown: bool) -> FaultSched
     for _ in 0..rng.gen_range(2..=5) {
         let at = rng.gen_range(200..=2400u64);
         let heal = (at + rng.gen_range(100..=400)).min(2950);
-        match rng.gen_range(0..8) {
+        match rng.gen_range(0..10) {
             0 => {
                 let l = rng.gen_range(0..links);
                 s.push(at, FaultEvent::LinkDown(l));
@@ -207,11 +209,33 @@ pub fn random_schedule(topo: &TopoSpec, seed: u64, teardown: bool) -> FaultSched
                 s.push(at, FaultEvent::Partition(cut.clone()));
                 s.push(heal, FaultEvent::Heal(cut));
             }
-            _ => {
+            7 => {
                 // Membership churn mid-fault-window counts as a fault too.
                 let slot = rng.gen_range(member_slots.clone());
                 s.push(at, FaultEvent::Leave(slot));
                 s.push(heal, FaultEvent::Join(slot));
+            }
+            8 => {
+                // Congestion as a fault: cap the link hard enough that the
+                // data train queues and may tail-drop, heal by restoring
+                // unlimited. Control priority stays on (the generator
+                // never emits prio 0) — the no-starvation oracle depends
+                // on it, and clean-by-construction schedules must pass.
+                let l = rng.gen_range(0..links);
+                let rate = rng.gen_range(2..=16);
+                let queue = rng.gen_range(64..=512);
+                s.push(at, FaultEvent::Bandwidth(l, rate, queue, 1));
+                s.push(heal, FaultEvent::Bandwidth(l, 0, 0, 1));
+            }
+            _ => {
+                // Overload burst from a member slot — traffic, not a
+                // fault, so it is self-contained and needs no heal. Its
+                // (S,G) state expires long before the oracle checkpoint
+                // (max burst end ~3450 + entry timeout 400 < 6000).
+                let slot = rng.gen_range(member_slots.clone());
+                let count = rng.gen_range(8..=32);
+                let gap = rng.gen_range(1..=8);
+                s.push(at, FaultEvent::Burst(slot, count, gap));
             }
         }
     }
@@ -469,7 +493,17 @@ fn run_case_inner(
     if members.is_empty() {
         violations.extend(check_no_orphans(&net));
     } else {
-        violations.extend(check_delivery(&net, &members, source, &expected));
+        let c = net.world.counters();
+        let congested =
+            c.queue_drops_data() > 0 || c.queue_drops_ctrl() > 0 || c.peak_queue_bytes() > 0;
+        if congested {
+            // Same expectation as plain delivery, but labeled
+            // `congestion-recovery` so triage can tell "the tree never
+            // recovered from overload" apart from ordinary fault loss.
+            violations.extend(check_congestion_recovery(&net, &members, source, &expected));
+        } else {
+            violations.extend(check_delivery(&net, &members, source, &expected));
+        }
     }
 
     let causal = causal.lock().unwrap().clone();

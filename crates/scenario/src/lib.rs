@@ -6,11 +6,13 @@
 //!
 //! 1. [`schedule`] — a declarative, text-serializable fault DSL: link
 //!    flaps, loss ramps, router crashes with total state loss, restarts,
-//!    and membership churn, compiled onto the simulator's scripted-event
-//!    machinery.
+//!    membership churn, bandwidth caps, and traffic bursts, compiled
+//!    onto the simulator's scripted-event machinery.
 //! 2. [`oracle`] — cross-node invariants checked after quiescence: RPF
 //!    consistency, loop freedom, eventual delivery, no orphaned state
-//!    after teardown, and CBT's hop-by-hop ack ledger.
+//!    after teardown, CBT's hop-by-hop ack ledger, and graceful
+//!    degradation under congestion (bounded queues, no control-plane
+//!    starvation, recovery after overload clears).
 //! 3. [`explore`] — a seeded explorer that samples random schedules per
 //!    topology, runs all three protocols against the identical schedule
 //!    with full structured telemetry attached (flight recorder, JSONL
@@ -55,8 +57,9 @@ pub use fuzz::{
 };
 pub use net::{build_net, build_net_aggregate, Protocol, ScenarioNet, Substrate};
 pub use oracle::{
-    check_bounded_state, check_cbt_ack_ledger, check_delivery, check_hardening, check_loop_freedom,
-    check_no_orphans, check_rpf, check_structure, Violation,
+    check_bounded_queues, check_bounded_state, check_cbt_ack_ledger, check_congestion_recovery,
+    check_delivery, check_hardening, check_loop_freedom, check_no_orphans, check_no_starvation,
+    check_rpf, check_structure, Violation,
 };
 pub use schedule::{FaultEvent, FaultSchedule};
 pub use search::{

@@ -313,6 +313,47 @@ impl ScenarioNet {
         });
     }
 
+    /// The **flash-crowd** workload: `cycles` rounds of synchronized
+    /// join/leave churn across every member slot (1..), each round
+    /// `period` ticks long with joins staggered `stagger` ticks apart
+    /// and the matching leaves half a period later, followed by one
+    /// final join wave that stays. The near-simultaneous join waves are
+    /// the control-plane overload the congestion oracles watch: every
+    /// wave converges on the RP/core as a burst of joins (PIM/CBT) or
+    /// grafts (DVMRP). Returns the time of the last scheduled join so
+    /// callers can place probe traffic after the crowd has settled.
+    pub fn flash_crowd(&mut self, start: u64, cycles: u64, period: u64, stagger: u64) -> u64 {
+        let slots = self.hosts.len();
+        for c in 0..cycles {
+            let base = start + c * period;
+            for k in 1..slots {
+                let jt = base + (k as u64 - 1) * stagger;
+                self.join_at(k, jt);
+                self.leave_at(k, jt + period / 2);
+            }
+        }
+        let base = start + cycles * period;
+        let mut last = base;
+        for k in 1..slots {
+            let jt = base + (k as u64 - 1) * stagger;
+            self.join_at(k, jt);
+            last = last.max(jt);
+        }
+        last
+    }
+
+    /// The **elephant-senders** workload: every slot in `slots` streams
+    /// `count` data packets `gap` ticks apart from `start` (staggered by
+    /// one tick per sender so the streams interleave deterministically).
+    /// Pointed at non-member slots under PIM, every stream's packets
+    /// enter the register path and converge on the RP — the data-plane
+    /// overload that makes a capped RP-side link queue and shed load.
+    pub fn elephants(&mut self, slots: &[usize], start: u64, count: u64, gap: u64) {
+        for (i, &s) in slots.iter().enumerate() {
+            self.send_at(s, start + i as u64, count, gap);
+        }
+    }
+
     /// The sequence numbers host slot `k` received from `source`.
     pub fn seqs(&self, slot: usize, source: Addr) -> Vec<u64> {
         let (host, _) = self.hosts[slot];

@@ -23,6 +23,16 @@
 //!   router state is bounded to the scenario's group, malformed-drop
 //!   counters agree with the world's decode-failure ledger, and a clean
 //!   channel produces zero decode failures.
+//! * **Bounded queues** — no transmit queue's recorded peak ever exceeds
+//!   the capacity bound a `bandwidth` fault configured for its link.
+//! * **No control starvation** — with the control-priority class enabled
+//!   (the DSL default), congestion may tail-drop data but must never
+//!   tail-drop a control packet: the protocols' graceful degradation
+//!   depends on joins, prunes, and acks surviving overload.
+//! * **Congestion recovery** — if congestion occurred at all (any queue
+//!   drop or nonzero queue peak), the post-heal probe train must still
+//!   be fully delivered: overload may degrade service while it lasts,
+//!   never after it clears.
 
 use crate::net::{Protocol, ScenarioNet};
 use cbt::CbtRouter;
@@ -558,16 +568,100 @@ pub fn check_hardening(net: &ScenarioNet) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------
+// Congestion: bounded queues, no starvation, recovery
+// ---------------------------------------------------------------------
+
+/// No transmit queue's peak may exceed the capacity bound configured for
+/// its link. The counters track the high-water mark of both the backlog
+/// and the configured bound, so the check is valid even after the
+/// schedule has healed the cap away: a link that was ever capped keeps
+/// its `queue_cap_bytes` ledger. Violations here mean the capacity model
+/// itself leaked — admission control let a packet through past the bound.
+pub fn check_bounded_queues(net: &ScenarioNet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (link, stats) in net.world.counters().links() {
+        if stats.queue_cap_bytes > 0 && stats.peak_queue_bytes > stats.queue_cap_bytes {
+            out.push(violation(
+                "bounded-queues",
+                0,
+                format!(
+                    "link {} queue peaked at {} bytes, above its configured \
+                     bound {}",
+                    link.0, stats.peak_queue_bytes, stats.queue_cap_bytes
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Congestion must never starve the control plane: with the DSL's
+/// control-priority class (the `bandwidth` fault's default), every
+/// tail-drop charged to the control class is a violation. Joins, prunes,
+/// registers, and acks are what let the protocols degrade gracefully —
+/// losing them converts transient overload into persistent tree damage.
+pub fn check_no_starvation(net: &ScenarioNet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (link, stats) in net.world.counters().links() {
+        if stats.queue_drops_ctrl > 0 {
+            out.push(violation(
+                "no-starvation",
+                0,
+                format!(
+                    "link {} tail-dropped {} control packet(s) under congestion \
+                     ({} data drops alongside)",
+                    link.0, stats.queue_drops_ctrl, stats.queue_drops_data
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Graceful degradation's other half: once congestion clears, service
+/// must come back. If the run congested at all (any queue drop or a
+/// nonzero queue peak), every member must still have received the full
+/// post-heal probe train — reported as `congestion-recovery` rather than
+/// plain `delivery` so triage can tell "the tree never recovered from
+/// overload" apart from ordinary fault-induced loss. Runs that never
+/// congested return no violations (plain [`check_delivery`] already
+/// covers them).
+pub fn check_congestion_recovery(
+    net: &ScenarioNet,
+    members: &[u32],
+    source: Addr,
+    expected: &[u64],
+) -> Vec<Violation> {
+    let c = net.world.counters();
+    let congested =
+        c.queue_drops_data() > 0 || c.queue_drops_ctrl() > 0 || c.peak_queue_bytes() > 0;
+    if !congested {
+        return Vec::new();
+    }
+    check_delivery(net, members, source, expected)
+        .into_iter()
+        .map(|mut v| {
+            v.oracle = "congestion-recovery";
+            v
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // Composites
 // ---------------------------------------------------------------------
 
 /// The structural invariants that must hold after any healed schedule,
 /// regardless of final membership: RPF consistency, loop freedom, the
-/// CBT ack ledger, and the decode-hardening invariants.
+/// CBT ack ledger, the decode-hardening invariants, and the congestion
+/// invariants (bounded queues, no control starvation) — the latter two
+/// are free on uncongested runs, where every counter they read is zero.
 pub fn check_structure(net: &ScenarioNet) -> Vec<Violation> {
     let mut out = check_rpf(net);
     out.extend(check_loop_freedom(net));
     out.extend(check_cbt_ack_ledger(net));
     out.extend(check_hardening(net));
+    out.extend(check_bounded_queues(net));
+    out.extend(check_no_starvation(net));
     out
 }

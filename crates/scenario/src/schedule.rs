@@ -3,7 +3,10 @@
 //! A [`FaultSchedule`] is an ordered list of timed [`FaultEvent`]s — link
 //! flaps, loss ramps, adversarial channel impairments (corruption,
 //! duplication, reordering), multi-link partitions, router crashes with
-//! state loss, restarts, and membership churn. Schedules are pure data:
+//! state loss, restarts, membership churn, bandwidth caps
+//! ([`FaultEvent::Bandwidth`] — congestion as a fault), and traffic
+//! bursts ([`FaultEvent::Burst`] — the overload workloads that make a
+//! cap bite). Schedules are pure data:
 //! they serialize to a line-oriented text form with an exact round trip
 //! (loss and impairment probabilities are carried in per-mille, never
 //! floating point), which is what makes replay artifacts byte-identical,
@@ -20,7 +23,7 @@
 //! resets their channel models to clean in the same tick.
 
 use igmp::HostNode;
-use netsim::{ChannelModel, LinkId, NodeIdx, SimTime, World};
+use netsim::{ChannelModel, LinkCapacity, LinkId, NodeIdx, SimTime, World};
 use wire::Group;
 
 /// One fault, applied at a scheduled instant.
@@ -59,6 +62,16 @@ pub enum FaultEvent {
     Join(u32),
     /// Host slot `k` leaves the group (silent IGMPv1 leave).
     Leave(u32),
+    /// Cap a link's per-direction bandwidth: `(link, rate, queue, prio)`
+    /// with `rate` in bytes/tick, `queue` the transmit-queue bound in
+    /// bytes, and `prio` (0/1) whether control traffic bypasses the
+    /// queue. The ECN mark threshold is derived as `queue / 2`. `rate`
+    /// 0 restores the unlimited default — the heal form.
+    Bandwidth(usize, u64, u64, u32),
+    /// Host slot `k` sends a burst of `count` data packets, `gap` ticks
+    /// apart — overload *traffic*, not a fault proper, so it never
+    /// emits a fault marker and needs no heal.
+    Burst(u32, u32, u64),
 }
 
 impl FaultEvent {
@@ -76,6 +89,10 @@ impl FaultEvent {
             FaultEvent::RestartRouter(r) => format!("restart {r}"),
             FaultEvent::Join(h) => format!("join {h}"),
             FaultEvent::Leave(h) => format!("leave {h}"),
+            FaultEvent::Bandwidth(l, rate, queue, prio) => {
+                format!("bandwidth {l} {rate} {queue} {prio}")
+            }
+            FaultEvent::Burst(h, count, gap) => format!("burst {h} {count} {gap}"),
         }
     }
 }
@@ -187,6 +204,23 @@ impl FaultSchedule {
                 "restart" => FaultEvent::RestartRouter(num(0, "missing router")? as u32),
                 "join" => FaultEvent::Join(num(0, "missing host")? as u32),
                 "leave" => FaultEvent::Leave(num(0, "missing host")? as u32),
+                "bandwidth" => {
+                    let prio = num(3, "missing prio")?;
+                    if prio > 1 {
+                        return Err(err("prio must be 0 or 1"));
+                    }
+                    FaultEvent::Bandwidth(
+                        num(0, "missing link")? as usize,
+                        num(1, "missing rate")?,
+                        num(2, "missing queue")?,
+                        prio as u32,
+                    )
+                }
+                "burst" => FaultEvent::Burst(
+                    num(0, "missing host")? as u32,
+                    num(1, "missing count")? as u32,
+                    num(2, "missing gap")?,
+                ),
                 _ => return Err(err("unknown fault kind")),
             };
             let expected = match &ev {
@@ -199,7 +233,8 @@ impl FaultSchedule {
                 FaultEvent::LinkLoss(..)
                 | FaultEvent::CorruptLink(..)
                 | FaultEvent::DuplicateLink(..) => 2,
-                FaultEvent::ReorderLink(..) => 3,
+                FaultEvent::ReorderLink(..) | FaultEvent::Burst(..) => 3,
+                FaultEvent::Bandwidth(..) => 4,
                 FaultEvent::Partition(ls) | FaultEvent::Heal(ls) => ls.len(),
             };
             if args.len() != expected {
@@ -308,15 +343,17 @@ impl FaultSchedule {
     ///
     /// * link / router / host indices are wrapped into range (host
     ///   slots into the member range `1..hosts` — slot 0 stays the
-    ///   sender), per-mille fields clamped to 1000, jitter to 60;
+    ///   sender, so burst traffic never perturbs the probe train's
+    ///   sequence numbers), per-mille fields clamped to 1000, jitter
+    ///   to 60, burst counts to 32 and burst gaps to 16;
     /// * fault events are clamped into the `1..=2900` fault window and
     ///   membership events to the windows the explorer timeline allows
     ///   (joins by 2900, leaves by 2970), so no fault overlaps the
     ///   probe train the delivery oracle measures;
     /// * the **heal discipline** is re-established: any link left
-    ///   down, lossy, or impaired and any router left crashed at the
-    ///   end of the fault window gets an explicit heal event at 2950,
-    ///   in deterministic (link, then router) order;
+    ///   down, lossy, impaired, or bandwidth-capped and any router left
+    ///   crashed at the end of the fault window gets an explicit heal
+    ///   event at 2950, in deterministic (link, then router) order;
     /// * empty partition/heal link sets (a mutation artifact the text
     ///   form cannot even express) are dropped;
     /// * events are stably sorted by time, so the result's text form is
@@ -392,6 +429,14 @@ impl FaultSchedule {
                     (*t).clamp(FAULT_MIN, LEAVE_MAX),
                     FaultEvent::Leave(member(*h)),
                 ),
+                FaultEvent::Bandwidth(l, rate, queue, prio) => (
+                    fault_t,
+                    FaultEvent::Bandwidth(wrap(*l, links), *rate, *queue, (*prio).min(1)),
+                ),
+                FaultEvent::Burst(h, count, gap) => (
+                    fault_t,
+                    FaultEvent::Burst(member(*h), (*count).min(32), (*gap).min(16)),
+                ),
             };
             events.push((t, ev));
         }
@@ -402,6 +447,7 @@ impl FaultSchedule {
         let mut link_down = vec![false; links];
         let mut link_lossy = vec![false; links];
         let mut link_dirty = vec![false; links]; // corrupt/duplicate/reorder
+        let mut link_capped = vec![false; links]; // bandwidth caps
         let mut crashed = vec![false; routers];
         for (_, ev) in &events {
             match ev {
@@ -428,7 +474,8 @@ impl FaultSchedule {
                 }
                 FaultEvent::CrashRouter(r) => crashed[*r as usize] = true,
                 FaultEvent::RestartRouter(r) => crashed[*r as usize] = false,
-                FaultEvent::Join(_) | FaultEvent::Leave(_) => {}
+                FaultEvent::Bandwidth(l, rate, ..) => link_capped[*l] = *rate != 0,
+                FaultEvent::Join(_) | FaultEvent::Leave(_) | FaultEvent::Burst(..) => {}
             }
         }
         for l in 0..links {
@@ -441,6 +488,10 @@ impl FaultSchedule {
             if link_dirty[l] {
                 // One atomic heal resets the whole channel model.
                 events.push((HEAL_AT, FaultEvent::Heal(vec![l])));
+            }
+            if link_capped[l] {
+                // Rate 0 is the bandwidth heal form: restore unlimited.
+                events.push((HEAL_AT, FaultEvent::Bandwidth(l, 0, 0, 1)));
             }
         }
         for (r, down) in crashed.iter().enumerate() {
@@ -466,6 +517,22 @@ impl FaultSchedule {
         sorted.sort_by_key(|&(t, _)| t);
         let mut last_marked = None;
         for (at, ev) in sorted {
+            // A burst expands into its individual sends here: each is an
+            // ordinary scripted data transmission, not a fault.
+            if let FaultEvent::Burst(h, count, gap) = ev {
+                let idx = hosts[h as usize];
+                for k in 0..u64::from(count) {
+                    world.at(SimTime(at + k * gap), move |w| {
+                        w.call_node(idx, |n, ctx| {
+                            n.as_any_mut()
+                                .downcast_mut::<HostNode>()
+                                .expect("host slot is a HostNode")
+                                .send_data(ctx, group);
+                        });
+                    });
+                }
+                continue;
+            }
             let is_fault = !matches!(ev, FaultEvent::Join(_) | FaultEvent::Leave(_));
             let mark = is_fault && last_marked != Some(at);
             if mark {
@@ -542,6 +609,20 @@ fn apply(w: &mut World, ev: FaultEvent, hosts: &[NodeIdx], group: Group, mark: b
             let idx = hosts[h as usize];
             w.node_mut::<HostNode>(idx).leave(group);
         }
+        FaultEvent::Bandwidth(l, rate, queue, prio) => {
+            let cap = if rate == 0 {
+                LinkCapacity::UNLIMITED
+            } else {
+                LinkCapacity {
+                    bytes_per_tick: rate,
+                    queue_bytes: queue,
+                    ecn_bytes: queue / 2,
+                    ctrl_priority: prio != 0,
+                }
+            };
+            w.set_link_capacity(LinkId(l), cap);
+        }
+        FaultEvent::Burst(..) => unreachable!("bursts expand in install"),
     }
 }
 
@@ -557,6 +638,8 @@ mod tests {
         s.push(450, FaultEvent::CorruptLink(1, 250));
         s.push(470, FaultEvent::DuplicateLink(0, 100));
         s.push(490, FaultEvent::ReorderLink(2, 300, 25));
+        s.push(520, FaultEvent::Bandwidth(1, 4, 64, 1));
+        s.push(560, FaultEvent::Burst(2, 8, 5));
         s.push(600, FaultEvent::Partition(vec![0, 2, 3]));
         s.push(700, FaultEvent::CrashRouter(3));
         s.push(900, FaultEvent::RestartRouter(3));
@@ -592,6 +675,11 @@ mod tests {
             "partition 0 2 3"
         );
         assert_eq!(FaultEvent::Heal(vec![4]).to_line(), "heal 4");
+        assert_eq!(
+            FaultEvent::Bandwidth(1, 4, 64, 1).to_line(),
+            "bandwidth 1 4 64 1"
+        );
+        assert_eq!(FaultEvent::Burst(2, 8, 5).to_line(), "burst 2 8 5");
     }
 
     #[test]
@@ -616,6 +704,12 @@ mod tests {
         assert!(FaultSchedule::from_text("10 partition").is_err());
         assert!(FaultSchedule::from_text("10 partition 0 x").is_err());
         assert!(FaultSchedule::from_text("10 heal").is_err());
+        // Bandwidth / burst arity and range errors.
+        assert!(FaultSchedule::from_text("10 bandwidth 0 4 64").is_err());
+        assert!(FaultSchedule::from_text("10 bandwidth 0 4 64 2").is_err());
+        assert!(FaultSchedule::from_text("10 bandwidth 0 4 64 1 junk").is_err());
+        assert!(FaultSchedule::from_text("10 burst 1 8").is_err());
+        assert!(FaultSchedule::from_text("10 burst 1 8 5 junk").is_err());
     }
 
     #[test]
@@ -673,6 +767,8 @@ mod tests {
         s.push(200, FaultEvent::CrashRouter(11)); // router wraps, never restarted
         s.push(300, FaultEvent::ReorderLink(0, 100, 999)); // jitter clamps
         s.push(400, FaultEvent::Partition(vec![])); // unexpressible: dropped
+        s.push(500, FaultEvent::Bandwidth(6, 3, 48, 9)); // link wraps, prio clamps, never healed
+        s.push(600, FaultEvent::Burst(0, 500, 99)); // host wraps off sender, count+gap clamp
         let n = s.normalize(4, 5, 3);
 
         // Every event is in range and the text form round-trips.
@@ -688,6 +784,13 @@ mod tests {
                     assert!(*r < 5)
                 }
                 FaultEvent::ReorderLink(_, _, j) => assert!(*j <= 60),
+                FaultEvent::Bandwidth(l, _, _, p) => {
+                    assert!(*l < 4 && *p <= 1)
+                }
+                FaultEvent::Burst(h, c, g) => {
+                    assert!((1..3).contains(h), "burst host {h} must be a member slot");
+                    assert!(*c <= 32 && *g <= 16);
+                }
                 _ => {}
             }
         }
@@ -696,6 +799,9 @@ mod tests {
         assert!(n.events.contains(&(2950, FaultEvent::LinkUp(3))));
         assert!(n.events.contains(&(2950, FaultEvent::LinkLoss(1, 0))));
         assert!(n.events.contains(&(2950, FaultEvent::Heal(vec![0]))));
+        assert!(n
+            .events
+            .contains(&(2950, FaultEvent::Bandwidth(2, 0, 0, 1))));
         assert!(n.events.contains(&(2950, FaultEvent::RestartRouter(1))));
         assert!(!n
             .events

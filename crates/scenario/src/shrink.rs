@@ -14,8 +14,8 @@
 //! 2. **time rounding** — snap event times down to multiples of 1000,
 //!    500, 100, 50, 10;
 //! 3. **fault-arm weakening** — halve loss/corrupt/duplicate/reorder
-//!    per-mille values and reorder jitter, and drop links from
-//!    partition/heal cut sets one at a time.
+//!    per-mille values, reorder jitter, and burst counts, and drop
+//!    links from partition/heal cut sets one at a time.
 //!
 //! Unlike the search mutator, the shrinker deliberately does **not**
 //! re-soundene candidates through [`FaultSchedule::normalize`]: its
@@ -154,6 +154,9 @@ where
                         if *pm > 1 { pm / 2 } else { *pm },
                         if *j > 1 { j / 2 } else { *j },
                     )]
+                }
+                FaultEvent::Burst(h, count, gap) if *count > 1 => {
+                    vec![FaultEvent::Burst(*h, count / 2, *gap)]
                 }
                 FaultEvent::Partition(ls) if ls.len() > 1 => (0..ls.len())
                     .map(|k| {

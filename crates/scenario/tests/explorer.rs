@@ -43,6 +43,7 @@ fn schedules_are_self_healing() {
             let mut node_down = std::collections::BTreeSet::new();
             let mut loss = std::collections::BTreeMap::new();
             let mut impaired = std::collections::BTreeMap::new();
+            let mut capped = std::collections::BTreeMap::new();
             for &(at, ref ev) in &s.events {
                 use scenario::FaultEvent::*;
                 match ev {
@@ -85,15 +86,23 @@ fn schedules_are_self_healing() {
                     RestartRouter(r) => {
                         node_down.remove(r);
                     }
-                    Join(_) | Leave(_) => {}
+                    Bandwidth(l, rate, _, _) if *rate > 0 => {
+                        capped.insert(*l, at);
+                    }
+                    Bandwidth(l, _, _, _) => {
+                        capped.remove(l);
+                    }
+                    // Bursts are traffic, not faults: nothing to heal.
+                    Join(_) | Leave(_) | Burst(..) => {}
                 }
             }
             assert!(
                 link_state.is_empty()
                     && node_down.is_empty()
                     && loss.is_empty()
-                    && impaired.is_empty(),
-                "seed {seed} on {}: unhealed faults {link_state:?} {node_down:?} {loss:?} {impaired:?}",
+                    && impaired.is_empty()
+                    && capped.is_empty(),
+                "seed {seed} on {}: unhealed faults {link_state:?} {node_down:?} {loss:?} {impaired:?} {capped:?}",
                 topo.name
             );
             assert!(s.span() < 4500, "faults must settle before the probe train");

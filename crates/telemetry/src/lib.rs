@@ -302,6 +302,31 @@ pub enum Event {
         /// The link the impairment occurred on.
         link: u32,
     },
+    /// The capacity model tail-dropped a packet at a full transmit
+    /// queue. Per-packet congestion noise like [`Event::ChannelImpaired`]
+    /// — never opens a reconvergence window.
+    QueueDrop {
+        /// Dropped packet's class: `data` or `ctrl`.
+        what: &'static str,
+        /// The congested link.
+        link: u32,
+    },
+    /// The capacity model counted an ECN-style congestion mark (an
+    /// enqueue crossed the link's marking threshold).
+    EcnMark {
+        /// The congested link.
+        link: u32,
+    },
+    /// A transmit-queue backlog reached a new per-direction peak
+    /// power-of-2 bucket. Rate-limited by construction — at most 64
+    /// events per link direction however long the overload lasts — so
+    /// the telemetry stream stays bounded and deterministic.
+    QueueDepth {
+        /// The congested link.
+        link: u32,
+        /// The backlog, in bytes, at the new peak.
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -355,6 +380,9 @@ impl Event {
                 format!("decode-failed kind={kind} iface={iface}")
             }
             Event::ChannelImpaired { what, link } => format!("channel {what} link={link}"),
+            Event::QueueDrop { what, link } => format!("queue-drop {what} link={link}"),
+            Event::EcnMark { link } => format!("ecn-mark link={link}"),
+            Event::QueueDepth { link, bytes } => format!("queue-depth link={link} bytes={bytes}"),
         }
     }
 
@@ -380,6 +408,9 @@ impl Event {
             Event::Fault { .. } => "fault",
             Event::DecodeFailed { .. } => "decode_failed",
             Event::ChannelImpaired { .. } => "channel_impaired",
+            Event::QueueDrop { .. } => "queue_drop",
+            Event::EcnMark { .. } => "ecn_mark",
+            Event::QueueDepth { .. } => "queue_depth",
         }
     }
 
@@ -466,8 +497,14 @@ impl Event {
             Event::DecodeFailed { kind, iface } => {
                 s.push_str(&format!(",\"kind\":\"{kind}\",\"iface\":{iface}"));
             }
-            Event::ChannelImpaired { what, link } => {
+            Event::ChannelImpaired { what, link } | Event::QueueDrop { what, link } => {
                 s.push_str(&format!(",\"what\":\"{what}\",\"link\":{link}"));
+            }
+            Event::EcnMark { link } => {
+                s.push_str(&format!(",\"link\":{link}"));
+            }
+            Event::QueueDepth { link, bytes } => {
+                s.push_str(&format!(",\"link\":{link},\"bytes\":{bytes}"));
             }
         }
         s.push('}');
@@ -782,6 +819,14 @@ pub struct MetricsAggregator {
     /// Post-fault reconvergence histogram (ticks from fault to last
     /// state change before quiescence).
     pub reconvergence: Histogram,
+    /// Transmit-queue peak-depth samples in bytes (one per
+    /// [`Event::QueueDepth`], i.e. per new per-direction peak bucket) —
+    /// the p50/p99 source for the EXPERIMENTS congestion tables.
+    pub queue_depth: Histogram,
+    /// Capacity-model tail drops observed (both classes).
+    pub queue_drops: u64,
+    /// ECN-style congestion marks observed.
+    pub ecn_marks: u64,
     pending_joins: BTreeMap<(u32, u32), Ticks>,
     pending_spt: BTreeMap<(u32, u32, u32), Ticks>,
     open_fault: Option<Ticks>,
@@ -870,6 +915,14 @@ impl Sink for MetricsAggregator {
                 self.open_fault = Some(at);
                 self.last_state_change = Some(at);
             }
+            // Congestion marks are per-packet noise too, but worth
+            // aggregating: queue-depth peaks feed the p50/p99 tables and
+            // the drop/mark totals cross-check the counters. Still never
+            // a state change — congestion must not open or extend a
+            // reconvergence window.
+            Event::QueueDepth { bytes, .. } => self.queue_depth.record(*bytes),
+            Event::QueueDrop { .. } => self.queue_drops += 1,
+            Event::EcnMark { .. } => self.ecn_marks += 1,
             // Channel impairments and decode-failure drops are per-packet
             // noise, not protocol state changes: they must neither open
             // reconvergence windows (only `Fault` does) nor extend one.
@@ -1131,6 +1184,17 @@ impl Sink for CoverageSink {
             Event::ChannelImpaired { what, link } => self
                 .map
                 .record(feature("impair", &[t, u64::from(*link), strpart(what)])),
+            // Congestion features reward schedules that actually reach
+            // queue pressure: drops by class and link, marks by link,
+            // and depth by link + log2 backlog bucket.
+            Event::QueueDrop { what, link } => self
+                .map
+                .record(feature("qdrop", &[t, u64::from(*link), strpart(what)])),
+            Event::EcnMark { link } => self.map.record(feature("ecn", &[t, u64::from(*link)])),
+            Event::QueueDepth { link, bytes } => self.map.record(feature(
+                "qdepth",
+                &[t, u64::from(*link), u64::from(CoverageMap::bucket(*bytes))],
+            )),
             Event::DataDelivered { .. } => self.map.record(feature("deliver", &[t, n])),
             // Everything else contributes its kind per node (RP
             // failover, DR/querier flips, SPT switch starts, faults,
@@ -1448,6 +1512,72 @@ mod tests {
         // A different transition on another node is novel.
         s2.event(3, 101, &e1);
         assert_eq!(s2.map().novel_vs(s.map()), 1);
+    }
+
+    #[test]
+    fn congestion_events_render_fold_and_never_reconverge() {
+        let drop = Event::QueueDrop {
+            what: "data",
+            link: 3,
+        };
+        let mark = Event::EcnMark { link: 3 };
+        let depth = Event::QueueDepth { link: 3, bytes: 96 };
+        assert_eq!(drop.render(), "queue-drop data link=3");
+        assert_eq!(mark.render(), "ecn-mark link=3");
+        assert_eq!(depth.render(), "queue-depth link=3 bytes=96");
+        assert_eq!(
+            drop.to_json(1, 7),
+            "{\"t\":7,\"node\":1,\"ev\":\"queue_drop\",\"what\":\"data\",\"link\":3}"
+        );
+        assert_eq!(
+            depth.to_json(1, 8),
+            "{\"t\":8,\"node\":1,\"ev\":\"queue_depth\",\"link\":3,\"bytes\":96}"
+        );
+
+        // Congestion noise must not open or extend reconvergence windows.
+        let mut m = MetricsAggregator::new();
+        m.event(0, 100, &Event::Fault { desc: "cap".into() });
+        m.event(1, 150, &drop);
+        m.event(1, 160, &mark);
+        m.event(1, 170, &depth);
+        m.finish();
+        // The fault itself closes as a 0-tick window at finish();
+        // congestion noise at t=150..170 must not have extended it.
+        assert_eq!(m.reconvergence.count(), 1);
+        assert_eq!(m.reconvergence.max(), 0, "no state change after fault");
+        assert_eq!(m.queue_drops, 1);
+        assert_eq!(m.ecn_marks, 1);
+        assert_eq!(m.queue_depth.count(), 1);
+        assert_eq!(m.queue_depth.max(), 96);
+
+        // Each congestion event is a distinct coverage feature; depth
+        // folds by log2 bucket, so 96 and 127 collide but 256 is novel.
+        let mut s = CoverageSink::new(0);
+        s.event(1, 5, &drop);
+        s.event(1, 6, &mark);
+        s.event(1, 7, &depth);
+        let base = s.map().clone();
+        let mut s2 = CoverageSink::new(0);
+        s2.event(
+            1,
+            9,
+            &Event::QueueDepth {
+                link: 3,
+                bytes: 127,
+            },
+        );
+        assert_eq!(s2.map().novel_vs(&base), 0, "same log2 bucket");
+        s2.event(
+            1,
+            10,
+            &Event::QueueDepth {
+                link: 3,
+                bytes: 256,
+            },
+        );
+        // Novelty: the bucket-9 qdepth feature plus the depth→depth
+        // digram, neither of which the base stream produced.
+        assert_eq!(s2.map().novel_vs(&base), 2, "new bucket is novel");
     }
 
     #[test]

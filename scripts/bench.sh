@@ -27,12 +27,14 @@ smoke)
     # --threads 4 forces the region auto-partitioner live; surface its
     # greppable region-count line so the smoke log shows the parallel
     # core actually engaged.
-    ./target/release/simbench --smoke --threads 4 --json "$out/sim.json" |
+    ./target/release/simbench --smoke --congestion --threads 4 --json "$out/sim.json" |
         grep '^auto_partition '
     # Each record must at least parse as a JSON object with a wall time.
     for f in "$out"/fig2a.json "$out"/fig2b.json "$out"/sim.json; do
         grep -q '"wall_ms"' "$f" || { echo "missing wall_ms in $f"; exit 1; }
     done
+    grep -q '"congestion_sweep"' "$out/sim.json" ||
+        { echo "missing congestion_sweep in $out/sim.json"; exit 1; }
     echo "bench smoke: OK ($out/*.json)"
     ;;
 full)
@@ -46,7 +48,7 @@ full)
     # Single-threaded so the committed wall clocks are comparable across
     # regenerations on any host (results are thread-invariant anyway; the
     # parallel core is exercised and gated by check.sh at --threads 4).
-    ./target/release/simbench --json BENCH_sim.json
+    ./target/release/simbench --congestion --json BENCH_sim.json
     # Compose the committed fig2 record from the two sweep records.
     {
         printf '{\n"fig2a": '

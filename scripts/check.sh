@@ -29,8 +29,10 @@ mkdir -p target/check
 ./target/release/fig2a --trials 4 --threads 4 >target/check/det-4t.txt
 diff target/check/det-1t.txt target/check/det-4t.txt ||
     { echo "fig2a diverged across thread counts"; exit 1; }
-./target/release/simbench --smoke --threads 1 | grep fingerprint >target/check/fp-1t.txt
-./target/release/simbench --smoke --threads 4 | grep fingerprint >target/check/fp-4t.txt
+# --congestion folds the bounded-capacity sweep's reception fingerprints
+# into the same diff: congestion must not cost determinism.
+./target/release/simbench --smoke --congestion --threads 1 | grep fingerprint >target/check/fp-1t.txt
+./target/release/simbench --smoke --congestion --threads 4 | grep fingerprint >target/check/fp-4t.txt
 diff target/check/fp-1t.txt target/check/fp-4t.txt ||
     { echo "simbench fingerprint diverged across thread counts"; exit 1; }
 # Causal provenance is part of the determinism contract too: the full
@@ -60,6 +62,21 @@ diff target/check/hier-1t.txt target/check/hier-4t.txt ||
 grep -q PASS target/check/hier-1t.txt ||
     { echo "hier_smoke produced no PASS lines"; exit 1; }
 echo "hier smoke: OK"
+
+echo "== overload smoke (flash-crowd + RP-overload under capped links)"
+# Congestion gate: both overload workloads against all three protocols
+# with a capped RP-side link, full oracle battery (bounded queues, no
+# control-plane starvation, post-heal congestion recovery), and the
+# printed drop/mark/peak counters byte-identical across thread counts.
+./target/release/overload_smoke --threads 1 | sed 's/threads=[0-9]*//' >target/check/overload-1t.txt
+./target/release/overload_smoke --threads 4 | sed 's/threads=[0-9]*//' >target/check/overload-4t.txt
+diff target/check/overload-1t.txt target/check/overload-4t.txt ||
+    { echo "overload_smoke diverged across thread counts"; exit 1; }
+! grep -q FAIL target/check/overload-1t.txt ||
+    { echo "overload_smoke oracle violations"; exit 1; }
+grep -q PASS target/check/overload-1t.txt ||
+    { echo "overload_smoke produced no PASS lines"; exit 1; }
+echo "overload smoke: OK"
 
 echo "== bench smoke"
 ./scripts/bench.sh smoke
